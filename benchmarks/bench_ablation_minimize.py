@@ -1,0 +1,50 @@
+"""Ablation: control minimization (the Section 5.3 optimality extension).
+
+Measures the size of the generated control — as Figure 7-style PyRTL lines
+and as union if-tree groups — with and without the don't-care merging
+post-pass, on a single-cycle RISC-V subset.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_eval
+from repro.designs import riscv
+from repro.oyster.printer import print_expr
+from repro.synthesis import minimize_solutions, synthesize
+from repro.synthesis.union import control_union
+
+_SUBSET = ["lui", "jal", "beq", "lw", "sw", "addi", "srai", "add",
+           "sltu", "and"]
+
+
+def _union_size(problem, solutions):
+    """Characters of the pretty-printed control union (if-tree size)."""
+    _, stmts = control_union(problem, solutions)
+    return sum(len(print_expr(stmt.expr)) + len(stmt.target) + 4
+               for stmt in stmts), len(stmts)
+
+
+def test_minimization_shrinks_generated_control(benchmark):
+    problem = riscv.build_problem(
+        "RV32I", "single_cycle",
+        instructions=None if full_eval() else _SUBSET,
+    )
+    result = synthesize(problem, timeout=3600)
+    chars_before, stmts_before = _union_size(
+        problem, result.per_instruction
+    )
+
+    def run():
+        return minimize_solutions(problem, result.per_instruction)
+
+    minimized, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    chars_after, stmts_after = _union_size(problem, minimized)
+    groups_before = sum(report.distinct_before.values())
+    groups_after = sum(report.distinct_after.values())
+    assert groups_after <= groups_before
+    assert chars_after <= chars_before
+    benchmark.extra_info.update(
+        union_chars_before=chars_before, union_chars_after=chars_after,
+        groups_before=groups_before, groups_after=groups_after,
+        merged=report.merged, checks=report.checks,
+    )

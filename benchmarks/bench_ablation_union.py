@@ -1,0 +1,41 @@
+"""Ablation: per-instruction + control union vs monolithic Equation (1).
+
+Measures synthesis time as the instruction count grows, in both modes, on
+the single-cycle core.  The paper's Table 1 shows only the endpoints (6.6s
+vs Timeout); this sweep exposes the scaling curve that motivates the
+Section 3.3.1 optimization.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_eval
+from repro.designs import riscv
+from repro.synthesis import SynthesisTimeout, synthesize
+
+_ORDERED = ["add", "sub", "and", "or", "xor", "addi", "lui", "sltu"]
+
+
+def _subset(count):
+    return _ORDERED[:count]
+
+
+@pytest.mark.parametrize("count", [2, 4, 6])
+@pytest.mark.parametrize("mode", ["per_instruction", "monolithic"])
+def test_union_scaling(benchmark, mode, count):
+    problem = riscv.build_problem(
+        "RV32I", "single_cycle", instructions=_subset(count)
+    )
+    budget = 900 if full_eval() else 60
+
+    def run():
+        try:
+            result = synthesize(problem, mode=mode, timeout=budget)
+            return ("ok", result.elapsed)
+        except SynthesisTimeout:
+            return ("timeout", budget)
+
+    status, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        mode=mode, instructions=count, status=status,
+        seconds=round(elapsed, 2),
+    )

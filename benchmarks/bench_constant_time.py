@@ -1,0 +1,35 @@
+"""The Section 5.2 constant-time study.
+
+SHA-256 on the bespoke core: the cycle count must be identical for every
+input length (4..32 in the paper; a subset in quick mode), and the core with
+generated control must match the hand-written-reference core cycle-for-cycle
+with identical digests.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_eval
+from repro.eval.constant_time import build_cores, run_constant_time
+
+
+@pytest.fixture(scope="module")
+def cores():
+    return build_cores(timeout=3600)
+
+
+def test_constant_time_sweep(benchmark, cores):
+    lengths = tuple(range(4, 33)) if full_eval() else (4, 12, 21, 32)
+    rows = benchmark.pedantic(
+        lambda: run_constant_time(lengths=lengths, cores=cores),
+        rounds=1, iterations=1,
+    )
+    generated_counts = {row.generated_cycles for row in rows}
+    reference_counts = {row.reference_cycles for row in rows}
+    assert len(generated_counts) == 1, "cycle count varies with length!"
+    assert len(reference_counts) == 1
+    assert generated_counts == reference_counts
+    assert all(row.digest_ok and row.reference_digest_ok for row in rows)
+    benchmark.extra_info.update(
+        lengths=list(lengths),
+        cycles=rows[0].generated_cycles,
+    )

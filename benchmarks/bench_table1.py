@@ -1,0 +1,62 @@
+"""Table 1: control logic synthesis time per design variant.
+
+Each benchmark regenerates one row of the paper's Table 1: the wall-clock
+time of control logic synthesis (per-instruction with the control union, or
+monolithic for the † rows).  The monolithic RV32I row reproduces the paper's
+Timeout entry: it is bounded by a budget and reports whether it hit it.
+
+Run ``REPRO_FULL_EVAL=1 pytest benchmarks/bench_table1.py --benchmark-only``
+for the full-ISA rows (the numbers recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import full_eval
+from repro.eval.table1 import TABLE1_CONFIGS, run_row
+
+_PER_INSTRUCTION_ROWS = [c[0] for c in TABLE1_CONFIGS
+                         if c[3] == "per_instruction"]
+
+
+@pytest.mark.parametrize("row_id", _PER_INSTRUCTION_ROWS)
+def test_table1_row(benchmark, row_id):
+    quick = not full_eval()
+    row = benchmark.pedantic(
+        lambda: run_row(row_id, quick=quick, timeout=3600),
+        rounds=1, iterations=1,
+    )
+    assert row.status == "ok", row
+    benchmark.extra_info.update(
+        design=row.design, variant=row.variant,
+        sketch_size=row.sketch_size, instructions=row.instructions,
+        synthesis_seconds=round(row.time_seconds, 2),
+    )
+
+
+def test_table1_aes_monolithic(benchmark):
+    """The AES † row: monolithic synthesis completes but is slower."""
+    row = benchmark.pedantic(
+        lambda: run_row("aes_mono", monolithic_timeout=1200),
+        rounds=1, iterations=1,
+    )
+    assert row.status == "ok", row
+    benchmark.extra_info.update(synthesis_seconds=round(row.time_seconds, 2))
+
+
+def test_table1_rv32i_monolithic_times_out(benchmark):
+    """The RV32I † row: Equation (1) over the whole ISA exceeds any budget.
+
+    The paper ran 3 hours before declaring Timeout; we bound the budget at
+    120s (quick) / 900s (full) — the row's claim is only that monolithic
+    synthesis is intractable where per-instruction synthesis takes seconds.
+    """
+    budget = 900 if full_eval() else 120
+    quick = not full_eval()
+    row = benchmark.pedantic(
+        lambda: run_row("sc_rv32i_mono", quick=quick,
+                        monolithic_timeout=budget),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info.update(status=row.status, budget=budget)
+    if full_eval():
+        assert row.status == "timeout", row

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Set ``REPRO_FULL_EVAL=1`` to run the paper-scale experiments (full
+instruction sets; minutes per row).  The default "quick" configuration uses
+representative instruction subsets so that a complete
+``pytest benchmarks/ --benchmark-only`` pass finishes in a few minutes while
+exercising exactly the same pipelines.
+"""
+
+import os
+
+import pytest
+
+
+def full_eval():
+    return os.environ.get("REPRO_FULL_EVAL", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick_mode():
+    return not full_eval()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Agile design iteration: the paper's core motivation (Sections 1 and 4.1).
+
+A designer iterates along both axes without ever writing control logic:
+
+1. **Change the architecture**: start from a small RV32I subset, then add
+   Zbkb bit-manipulation instructions to the specification.  The datapath
+   sketch already contains the functional units, so re-running synthesis
+   regenerates the decoder — no control is written by hand.
+2. **Change the microarchitecture**: switch the same specification from the
+   single-cycle core to the two-stage pipeline.  Only the datapath sketch
+   and the abstraction function (read/write timesteps) change.
+
+Run: ``python examples/design_iteration.py``
+"""
+
+import time
+
+from repro.designs import riscv
+from repro.synthesis import synthesize, verify_design
+
+BASE = ["lui", "jal", "lw", "sw", "addi", "add", "xor", "and"]
+CRYPTO_EXTENSION = ["rol", "rori", "andn", "xnor", "rev8", "pack"]
+
+
+def synthesize_and_report(label, variant, microarch, instructions):
+    problem = riscv.build_problem(variant, microarch,
+                                  instructions=instructions)
+    started = time.monotonic()
+    result = synthesize(problem, timeout=900)
+    elapsed = time.monotonic() - started
+    print(f"  {label}: {len(instructions)} instructions, "
+          f"{elapsed:.1f}s, {len(result.control_stmts)} generated "
+          "control statements")
+    return problem, result
+
+
+def main():
+    print("=== iteration 1: base subset on the single-cycle core ===")
+    synthesize_and_report("base/single-cycle", "RV32I", "single_cycle", BASE)
+
+    print("\n=== iteration 2: architecture change (+Zbkb instructions) ===")
+    print("  (same sketch; only the specification grows)")
+    problem, result = synthesize_and_report(
+        "base+Zbkb/single-cycle", "RV32I+Zbkb", "single_cycle",
+        BASE + CRYPTO_EXTENSION,
+    )
+    verdict = verify_design(result.completed_design, problem.spec,
+                            problem.alpha,
+                            instructions=["rol", "rev8", "pack"])
+    assert verdict.ok, verdict.summary()
+    print("  new instructions verified:",
+          ", ".join(v.instruction_name for v in verdict.verdicts))
+
+    print("\n=== iteration 3: microarchitecture change (two-stage pipe) ===")
+    print("  (same specification; new sketch + abstraction function)")
+    problem, result = synthesize_and_report(
+        "base+Zbkb/two-stage", "RV32I+Zbkb", "two_stage",
+        BASE + CRYPTO_EXTENSION,
+    )
+    verdict = verify_design(result.completed_design, problem.spec,
+                            problem.alpha, instructions=["add", "rol"])
+    assert verdict.ok, verdict.summary()
+    print("  pipelined core verified.")
+    print("\nAll three design points synthesized from the same flow — the "
+          "designer never wrote a line of control logic.")
+
+
+if __name__ == "__main__":
+    main()

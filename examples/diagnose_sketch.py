@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Developer feedback for a broken sketch (the paper's Section 5.3 wish).
+
+"If the datapath sketch is incorrect with respect to the ILA, the tool will
+fail to find a satisfying solution ... Future work can extend the tool to
+indicate which part of the datapath is incorrect."  This example shows that
+extension: a designer forgets the subtract unit, synthesis fails, and the
+diagnosis pinpoints the unimplementable architectural update.
+
+Run: ``python examples/diagnose_sketch.py``
+"""
+
+from repro import hdl
+from repro.designs import alu_machine
+from repro.synthesis import (
+    SynthesisFailure,
+    SynthesisProblem,
+    diagnose_instruction,
+    synthesize,
+)
+
+
+def broken_sketch():
+    """The three-stage ALU pipeline, but the ALU lost its subtractor."""
+    with hdl.Module("alu_no_sub") as module:
+        hdl.Input(2, "op")
+        dest = hdl.Input(2, "dest")
+        src1 = hdl.Input(2, "src1")
+        src2 = hdl.Input(2, "src2")
+        regfile = hdl.MemBlock(2, 8, "regfile")
+        alu_op = hdl.Hole(2, "alu_op", deps=["op"])
+        wb_en = hdl.Hole(1, "wb_en", deps=["op"])
+        rs1 = regfile.read(src1)
+        rs2 = regfile.read(src2)
+        p_rs1, p_rs2 = hdl.Register(8, "p_rs1"), hdl.Register(8, "p_rs2")
+        p_dest = hdl.Register(2, "p_dest")
+        p_aluop = hdl.Register(2, "p_aluop")
+        p_wben = hdl.Register(1, "p_wben", init=0)
+        p_rs1.next <<= rs1
+        p_rs2.next <<= rs2
+        p_dest.next <<= dest
+        p_aluop.next <<= alu_op
+        p_wben.next <<= wb_en
+        alu_out = hdl.mux(
+            p_aluop,
+            p_rs1 ^ p_rs2,
+            p_rs1 + p_rs2,
+            p_rs1 + p_rs2,  # <- the subtractor is missing!
+            p_rs1 & p_rs2,
+        )
+        p_res = hdl.Register(8, "p_res")
+        p_dest2 = hdl.Register(2, "p_dest2")
+        p_wben2 = hdl.Register(1, "p_wben2", init=0)
+        p_res.next <<= alu_out
+        p_dest2.next <<= p_dest
+        p_wben2.next <<= p_wben
+        regfile.write(p_dest2, p_res, enable=p_wben2)
+    return module.to_oyster()
+
+
+def main():
+    problem = SynthesisProblem(
+        sketch=broken_sketch(),
+        spec=alu_machine.build_spec(),
+        alpha=alu_machine.build_alpha(),
+        name="broken_alu",
+    )
+    print("=== synthesizing against the full ALU spec ===")
+    try:
+        synthesize(problem, timeout=300)
+        raise AssertionError("expected synthesis to fail")
+    except SynthesisFailure as error:
+        print(f"  synthesis failed (as expected): {error}\n")
+
+    print("=== diagnosing each instruction ===")
+    for instruction in problem.spec.instructions:
+        diagnosis = diagnose_instruction(problem, instruction)
+        print(diagnosis.summary())
+    print("\nThe SUB instruction's register-file update is flagged as "
+          "missing hardware — the designer now knows exactly which "
+          "datapath unit to add.")
+
+
+if __name__ == "__main__":
+    main()

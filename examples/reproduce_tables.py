@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation tables from the command line.
+
+Usage::
+
+    python examples/reproduce_tables.py --table1 [--full]
+    python examples/reproduce_tables.py --table2 [--full]
+    python examples/reproduce_tables.py --constant-time [--full]
+
+``--full`` runs the paper-scale configurations (full instruction sets, the
+4..32 length sweep, a 900s monolithic budget); the default quick mode uses
+representative subsets and finishes in a few minutes.
+"""
+
+import argparse
+
+from repro.eval import (
+    format_table,
+    run_constant_time,
+    run_table1,
+    run_table2,
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table1", action="store_true")
+    parser.add_argument("--table2", action="store_true")
+    parser.add_argument("--constant-time", action="store_true")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale configurations")
+    parser.add_argument("--rows", nargs="*", default=None,
+                        help="table 1 row ids to run (default: all)")
+    arguments = parser.parse_args()
+    quick = not arguments.full
+    ran_any = False
+
+    if arguments.table1:
+        ran_any = True
+        rows = run_table1(
+            row_ids=arguments.rows, quick=quick,
+            monolithic_timeout=900 if arguments.full else 120,
+            progress=lambda row: print(
+                f"  {row.design} {row.variant} [{row.mode}]: "
+                f"{row.time_seconds:.1f}s ({row.status})"
+            ),
+        )
+        print()
+        print(format_table(rows, title="Table 1: synthesis times"))
+    if arguments.table2:
+        ran_any = True
+        rows = run_table2(
+            quick=quick,
+            progress=lambda row: print(f"  {row.variant}: done"),
+        )
+        print()
+        print(format_table(rows, title="Table 2: control logic size"))
+    if arguments.constant_time:
+        ran_any = True
+        lengths = tuple(range(4, 33)) if arguments.full else (4, 12, 21, 32)
+        rows = run_constant_time(lengths=lengths)
+        print(format_table(rows, title="Constant-time study (Section 5.2)"))
+    if not ran_any:
+        parser.error("choose at least one of --table1/--table2/"
+                     "--constant-time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run the paper-scale evaluation and record results as JSON + text.
+
+Writes ``results/full_eval.json`` and prints the tables; EXPERIMENTS.md is
+written from this output.  Expected runtime: tens of minutes.
+"""
+
+import dataclasses
+import json
+import os
+import sys
+import time
+
+from repro.eval import (
+    format_table,
+    run_constant_time,
+    run_table1,
+    run_table2,
+)
+
+
+def main():
+    only = set(sys.argv[1:])  # optional: table1 table2 ct
+    os.makedirs("results", exist_ok=True)
+    results = {}
+    if os.path.exists("results/full_eval.json"):
+        with open("results/full_eval.json") as handle:
+            results = json.load(handle)
+
+    def save():
+        with open("results/full_eval.json", "w") as handle:
+            json.dump(results, handle, indent=2)
+
+    if not only or "table1" in only:
+        print("=== Table 1 (full) ===", flush=True)
+        rows = run_table1(
+            quick=False, monolithic_timeout=300,
+            progress=lambda row: print(
+                f"  {row.row_id}: {row.time_seconds:.1f}s ({row.status})",
+                flush=True,
+            ),
+        )
+        results["table1"] = [dataclasses.asdict(row) for row in rows]
+        print(format_table(rows))
+        save()
+
+    if not only or "table2" in only:
+        print("=== Table 2 (full) ===", flush=True)
+        rows = run_table2(
+            quick=False,
+            progress=lambda row: print(f"  {row.variant}: done", flush=True),
+        )
+        results["table2"] = [dataclasses.asdict(row) for row in rows]
+        print(format_table(rows))
+        save()
+
+    if not only or "ct" in only:
+        print("=== Constant-time study (full 4..32) ===", flush=True)
+        started = time.monotonic()
+        rows = run_constant_time(lengths=tuple(range(4, 33)))
+        results["constant_time"] = [dataclasses.asdict(row) for row in rows]
+        results["constant_time_seconds"] = time.monotonic() - started
+        print(format_table(rows))
+        save()
+    print("saved results/full_eval.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Control logic synthesis: a reproduction of the ASPLOS 2024 OWL paper.
+
+The three-input workflow (Figure 4 of the paper)::
+
+    from repro import hdl
+    from repro.abstraction import parse_abstraction
+    from repro.ila import Ila
+    from repro.synthesis import SynthesisProblem, synthesize, verify_design
+
+1. write a datapath sketch with ``hdl`` (holes mark missing control);
+2. specify instruction semantics with ``ila``;
+3. connect them with an abstraction function;
+4. ``synthesize`` fills the holes; ``verify_design`` independently checks
+   the completed design.
+
+Sub-packages: ``smt`` (the QF_BV solver), ``oyster`` (the IR and its
+evaluators), ``hdl`` (the mini-PyRTL frontend), ``ila``, ``abstraction``,
+``synthesis``, ``netlist`` (gate-level backend), ``designs`` (the case
+studies), ``eval`` (the Table 1/2 and constant-time harnesses).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,22 @@
+"""Abstraction functions: the lightweight microarchitectural model (§3.2).
+
+An abstraction function maps each architectural state element of the ILA
+specification to a datapath component, annotated with read/write timesteps,
+plus the number of cycles to evaluate and optional ``assume`` signals.
+"""
+
+from repro.abstraction.model import (
+    AbstractionFunction,
+    Mapping,
+    Effect,
+    AbstractionError,
+)
+from repro.abstraction.parser import parse_abstraction
+
+__all__ = [
+    "AbstractionFunction",
+    "Mapping",
+    "Effect",
+    "AbstractionError",
+    "parse_abstraction",
+]

@@ -1,0 +1,155 @@
+"""The abstraction function data model.
+
+Follows the grammar of Section 3.2::
+
+    α ::= (SpecID: {name: DatapathID, type: type, [effect+]})+
+          with cycles: TimeStep, assume*
+    type ::= input | output | register | memory
+    effect ::= read: TimeStep | write: TimeStep
+    assume ::= [DatapathID: TimeStep]+
+
+Extensions used by the toolchain:
+
+* a spec memory may map to several datapath memories (the paper's
+  ``i_mem``/``d_mem`` example); the entry whose effects are read-only serves
+  *fetch* loads, the read-write entry serves data loads/stores;
+* ``field_bindings`` binds spec decode-field names to datapath wire names
+  for code generation (defaults to the same name);
+* ``decode_step`` is the timestep at which decode-field wires are sampled
+  when validating/rendering preconditions (default 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AbstractionFunction", "Mapping", "Effect", "AbstractionError"]
+
+_TYPES = ("input", "output", "register", "memory")
+
+
+class AbstractionError(Exception):
+    """Raised for ill-formed abstraction functions."""
+
+
+@dataclass(frozen=True)
+class Effect:
+    kind: str  # "read" or "write"
+    time: int
+
+    def __post_init__(self):
+        if self.kind not in ("read", "write"):
+            raise AbstractionError(f"unknown effect kind {self.kind!r}")
+        if self.time < 1:
+            raise AbstractionError(
+                f"effect timestep must be >= 1, got {self.time}"
+            )
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One entry: spec state element -> datapath component with timing."""
+
+    spec_name: str
+    dp_name: str
+    dp_type: str
+    effects: tuple
+
+    def __post_init__(self):
+        if self.dp_type not in _TYPES:
+            raise AbstractionError(f"unknown datapath type {self.dp_type!r}")
+        object.__setattr__(self, "effects", tuple(self.effects))
+        if not self.effects:
+            raise AbstractionError(
+                f"mapping for {self.spec_name!r} has no effects"
+            )
+
+    @property
+    def read_time(self):
+        for effect in self.effects:
+            if effect.kind == "read":
+                return effect.time
+        return None
+
+    @property
+    def write_time(self):
+        for effect in self.effects:
+            if effect.kind == "write":
+                return effect.time
+        return None
+
+    @property
+    def is_read_only(self):
+        return self.write_time is None
+
+
+class AbstractionFunction:
+    """The complete abstraction function for one (spec, sketch) pair."""
+
+    def __init__(self, mappings, cycles, assumes=(), field_bindings=None,
+                 decode_step=1):
+        self.mappings = tuple(mappings)
+        if cycles < 1:
+            raise AbstractionError(f"cycles must be >= 1, got {cycles}")
+        self.cycles = cycles
+        self.assumes = tuple(assumes)  # (datapath signal name, timestep)
+        self.field_bindings = dict(field_bindings or {})
+        self.decode_step = decode_step
+        self._by_spec = {}
+        for mapping in self.mappings:
+            self._by_spec.setdefault(mapping.spec_name, []).append(mapping)
+            for effect in mapping.effects:
+                if effect.time > cycles:
+                    raise AbstractionError(
+                        f"{mapping.spec_name!r} has effect at time "
+                        f"{effect.time} beyond cycles={cycles}"
+                    )
+        for signal, time in self.assumes:
+            if not 1 <= time <= cycles:
+                raise AbstractionError(
+                    f"assume [{signal}: {time}] outside 1..{cycles}"
+                )
+
+    def entries_for(self, spec_name):
+        entries = self._by_spec.get(spec_name)
+        if not entries:
+            raise AbstractionError(
+                f"no abstraction entry for spec element {spec_name!r}"
+            )
+        return entries
+
+    def has_entry(self, spec_name):
+        return spec_name in self._by_spec
+
+    def entry(self, spec_name, role="data"):
+        """The entry serving ``role`` ("data" or "fetch") for a spec element.
+
+        With a single entry it serves both roles.  With several, the
+        read-only entry serves fetch and the writable entry serves data.
+        """
+        entries = self.entries_for(spec_name)
+        if len(entries) == 1:
+            return entries[0]
+        read_only = [m for m in entries if m.is_read_only]
+        writable = [m for m in entries if not m.is_read_only]
+        if role == "fetch":
+            if not read_only:
+                raise AbstractionError(
+                    f"{spec_name!r} has no read-only entry for fetch"
+                )
+            return read_only[0]
+        if not writable:
+            raise AbstractionError(
+                f"{spec_name!r} has no writable entry for data access"
+            )
+        return writable[0]
+
+    def binding(self, field_name):
+        """Datapath wire bound to a decode field (defaults to same name)."""
+        return self.field_bindings.get(field_name, field_name)
+
+    def __repr__(self):
+        return (
+            f"<AbstractionFunction {len(self.mappings)} entries, "
+            f"cycles={self.cycles}>"
+        )

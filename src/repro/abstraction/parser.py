@@ -1,0 +1,109 @@
+"""Parser for the textual abstraction-function format of Section 3.2.
+
+Accepts exactly the paper's concrete syntax, e.g.::
+
+    pc: {name: 'pc', type: register, [read: 1, write: 2]}
+    GPR: {name: 'rf', type: memory, [read: 2, write: 3]}
+    mem: {name: 'i_mem', type: memory, [read: 1]}
+    mem: {name: 'd_mem', type: memory, [read: 3, write: 3]}
+    with cycles: 3, [instruction_valid: 1]
+
+plus an optional ``fields`` line binding decode-field names to datapath
+wires::
+
+    fields: {opcode: 'opcode', funct3: 'funct3', funct7: 'funct7'}
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.abstraction.model import (
+    AbstractionFunction,
+    AbstractionError,
+    Effect,
+    Mapping,
+)
+
+__all__ = ["parse_abstraction"]
+
+_ENTRY_RE = re.compile(
+    r"""^(?P<spec>[\w.]+)\s*:\s*\{
+        \s*name\s*:\s*'(?P<dp>[\w.]+)'\s*,
+        \s*type\s*:\s*(?P<type>\w+)\s*,
+        \s*\[(?P<effects>[^\]]*)\]\s*
+        \}$""",
+    re.VERBOSE,
+)
+
+_EFFECT_RE = re.compile(r"^(read|write)\s*:\s*(\d+)$")
+
+_WITH_RE = re.compile(
+    r"^with\s+cycles\s*:\s*(?P<cycles>\d+)\s*(?:,\s*(?P<assumes>.*))?$"
+)
+
+_ASSUME_RE = re.compile(r"\[\s*([\w.]+)\s*:\s*(\d+)\s*\]")
+
+_FIELDS_RE = re.compile(r"^fields\s*:\s*\{(?P<body>[^}]*)\}$")
+
+_FIELD_RE = re.compile(r"^([\w.]+)\s*:\s*'([\w.]+)'$")
+
+
+def parse_abstraction(text):
+    """Parse the textual abstraction-function format; returns the model."""
+    mappings = []
+    cycles = None
+    assumes = []
+    field_bindings = {}
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        entry = _ENTRY_RE.match(line)
+        if entry:
+            effects = []
+            for chunk in entry.group("effects").split(","):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                effect = _EFFECT_RE.match(chunk)
+                if effect is None:
+                    raise AbstractionError(
+                        f"line {line_number}: bad effect {chunk!r}"
+                    )
+                effects.append(Effect(effect.group(1), int(effect.group(2))))
+            mappings.append(
+                Mapping(entry.group("spec"), entry.group("dp"),
+                        entry.group("type"), effects)
+            )
+            continue
+        with_clause = _WITH_RE.match(line)
+        if with_clause:
+            if cycles is not None:
+                raise AbstractionError(
+                    f"line {line_number}: duplicate 'with cycles'"
+                )
+            cycles = int(with_clause.group("cycles"))
+            rest = with_clause.group("assumes") or ""
+            for signal, time in _ASSUME_RE.findall(rest):
+                assumes.append((signal, int(time)))
+            continue
+        fields = _FIELDS_RE.match(line)
+        if fields:
+            for chunk in fields.group("body").split(","):
+                chunk = chunk.strip()
+                if not chunk:
+                    continue
+                binding = _FIELD_RE.match(chunk)
+                if binding is None:
+                    raise AbstractionError(
+                        f"line {line_number}: bad field binding {chunk!r}"
+                    )
+                field_bindings[binding.group(1)] = binding.group(2)
+            continue
+        raise AbstractionError(
+            f"line {line_number}: cannot parse {line!r}"
+        )
+    if cycles is None:
+        raise AbstractionError("missing 'with cycles: <n>' clause")
+    return AbstractionFunction(mappings, cycles, assumes, field_bindings)

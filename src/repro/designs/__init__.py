@@ -1,0 +1,13 @@
+"""Case-study designs.
+
+Each design module/package exposes ``build_problem()`` returning a ready
+``repro.synthesis.SynthesisProblem`` (sketch + ILA spec + abstraction
+function), plus whatever reference implementations and helpers the
+evaluation needs.
+
+* ``alu_machine`` — the three-stage pipelined ALU of Section 2.2
+* ``accumulator`` — the FSM accumulator of Section 2.3
+* ``riscv`` — the embedded-class RV32I cores of Section 4.1 (+Zbkb/Zbkc)
+* ``crypto_core`` — the constant-time cryptography core of Section 4.2
+* ``aes`` — the AES-128 accelerator of Section 4.3
+"""

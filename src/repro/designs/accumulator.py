@@ -1,0 +1,127 @@
+"""The Section 2.3 accumulator machine: FSM-style control synthesis.
+
+The spec is the paper's three-state accumulator (RESET/GO/STOP) with the
+``go`` behaviour split into its two FSM edges (enter-GO and stay-in-GO) so
+each instruction pins the machine state — the form required for
+per-instruction constants.  The sketch follows the paper's pseudocode::
+
+    state := ??
+    with state:
+      ?? -> acc := 0
+      ?? -> acc := acc + val
+      ?? -> acc := acc
+
+i.e. the next-state transition *and* the state encodings guarding each
+accumulator update are all holes; synthesis infers the encodings, transition
+conditions and transitions (Section 2.3's closing claim).
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.ila import And, BvConst, Ila, Not, ZExt
+from repro.synthesis import SynthesisProblem
+
+__all__ = [
+    "build_spec",
+    "build_sketch",
+    "build_alpha",
+    "build_problem",
+    "STATES",
+]
+
+#: architectural state encodings fixed by the specification
+STATES = {"RESET": 0, "GO": 1, "STOP": 2}
+
+
+def build_spec():
+    ila = Ila("acc_ila")
+    reset = ila.new_bv_input("reset", 1)
+    go = ila.new_bv_input("go", 1)
+    stop = ila.new_bv_input("stop", 1)
+    val = ila.new_bv_input("val", 2)
+    acc = ila.new_bv_state("acc", 8)
+    state = ila.new_bv_state("state", 2)
+
+    reset_c = BvConst(STATES["RESET"], 2)
+    go_c = BvConst(STATES["GO"], 2)
+    stop_c = BvConst(STATES["STOP"], 2)
+
+    reset_instr = ila.new_instr("reset_instr")
+    reset_instr.set_decode(And(state == stop_c, reset == 1))
+    reset_instr.set_update(acc, BvConst(0, 8))
+    reset_instr.set_update(state, reset_c)
+
+    # The paper's go_instr decodes on either FSM edge into GO; per-edge
+    # instructions pin the current state, which a `with state == ??` sketch
+    # dispatch requires.
+    go_start = ila.new_instr("go_start")
+    go_start.set_decode(And(state == reset_c, go == 1))
+    go_start.set_update(acc, acc + ZExt(val, 8))
+    go_start.set_update(state, go_c)
+
+    go_continue = ila.new_instr("go_continue")
+    go_continue.set_decode(And(state == go_c, Not(stop == 1)))
+    go_continue.set_update(acc, acc + ZExt(val, 8))
+    go_continue.set_update(state, go_c)
+
+    stop_instr = ila.new_instr("stop_instr")
+    stop_instr.set_decode(And(state == go_c, stop == 1))
+    stop_instr.set_update(acc, acc)
+    stop_instr.set_update(state, stop_c)
+    return ila.validate()
+
+
+def build_sketch():
+    with hdl.Module("acc_datapath") as module:
+        hdl.Input(1, "reset")
+        hdl.Input(1, "go")
+        hdl.Input(1, "stop")
+        val = hdl.Input(2, "val")
+        acc = hdl.Register(8, "acc")
+        state = hdl.Register(2, "state")
+        out = hdl.Output(8, "out")
+
+        # state := ??   (the transition logic is a hole)
+        state_next = hdl.Hole(2, "state_next",
+                              deps=["state", "reset", "go", "stop"])
+        state.next <<= state_next
+
+        # with state: ?? -> ... (the dispatch encodings are holes too)
+        s_clear = hdl.Hole(2, "s_clear")
+        s_accumulate = hdl.Hole(2, "s_accumulate")
+        s_hold = hdl.Hole(2, "s_hold")
+        with hdl.conditional_assignment():
+            with state == s_clear:
+                acc.next |= 0
+            with state == s_accumulate:
+                acc.next |= acc + val.zext(8)
+            with state == s_hold:
+                acc.next |= acc
+        out <<= acc
+    return module.to_oyster()
+
+
+_ALPHA_TEXT = """
+reset: {name: 'reset', type: input, [read: 1]}
+go:    {name: 'go',    type: input, [read: 1]}
+stop:  {name: 'stop',  type: input, [read: 1]}
+val:   {name: 'val',   type: input, [read: 1]}
+acc:   {name: 'acc',   type: register, [read: 1, write: 1]}
+state: {name: 'state', type: register, [read: 1, write: 1]}
+with cycles: 1
+"""
+
+
+def build_alpha():
+    return parse_abstraction(_ALPHA_TEXT)
+
+
+def build_problem():
+    return SynthesisProblem(
+        sketch=build_sketch(),
+        spec=build_spec(),
+        alpha=build_alpha(),
+        name="accumulator",
+    )

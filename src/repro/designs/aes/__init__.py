@@ -1,0 +1,26 @@
+"""The AES-128 hardware accelerator of Section 4.3.
+
+FSM-style control: the ILA models the encryption as three "instructions"
+(first / intermediate / final round, decoded from the ``round`` counter);
+the sketch leaves the FSM state encodings and the transition logic as holes.
+The S-box and round-constant tables are ``MemConst`` read-only memories in
+the spec and constant-backed memories in the datapath (Section 5.1's
+"Racket immutable vectors").
+"""
+
+from repro.designs.aes.golden import aes128_encrypt_block, expand_key
+from repro.designs.aes.tables import SBOX, RCON
+from repro.designs.aes.spec import build_spec
+from repro.designs.aes.sketch import build_sketch, build_alpha
+from repro.designs.aes.problem import build_problem
+
+__all__ = [
+    "aes128_encrypt_block",
+    "expand_key",
+    "SBOX",
+    "RCON",
+    "build_spec",
+    "build_sketch",
+    "build_alpha",
+    "build_problem",
+]

@@ -1,0 +1,115 @@
+"""A pure-Python AES-128 golden model (encryption only).
+
+State convention: the 128-bit state is treated big-endian byte-wise — byte 0
+(the first plaintext byte) occupies bits [127:120].  Column-major state
+matrix as in FIPS-197.
+"""
+
+from __future__ import annotations
+
+from repro.designs.aes.tables import RCON, SBOX
+
+__all__ = [
+    "aes128_encrypt_block",
+    "expand_key",
+    "bytes_to_int",
+    "int_to_bytes",
+    "sub_bytes",
+    "shift_rows",
+    "mix_columns",
+    "next_round_key",
+]
+
+
+def bytes_to_int(data):
+    return int.from_bytes(bytes(data), "big")
+
+
+def int_to_bytes(value, length=16):
+    return value.to_bytes(length, "big")
+
+
+def _bytes(state):
+    return list(int_to_bytes(state))
+
+
+def sub_bytes(state):
+    return bytes_to_int(SBOX[b] for b in _bytes(state))
+
+
+def shift_rows(state):
+    """Row r rotates left by r; byte index 4*c + r (column-major)."""
+    b = _bytes(state)
+    out = [0] * 16
+    for column in range(4):
+        for row in range(4):
+            out[4 * column + row] = b[4 * ((column + row) % 4) + row]
+    return bytes_to_int(out)
+
+
+def _xtime(byte):
+    byte <<= 1
+    if byte & 0x100:
+        byte ^= 0x11B
+    return byte & 0xFF
+
+
+def _mul(byte, factor):
+    if factor == 1:
+        return byte
+    if factor == 2:
+        return _xtime(byte)
+    if factor == 3:
+        return _xtime(byte) ^ byte
+    raise ValueError(factor)
+
+
+def mix_columns(state):
+    b = _bytes(state)
+    out = [0] * 16
+    matrix = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+    for column in range(4):
+        col = b[4 * column:4 * column + 4]
+        for row in range(4):
+            out[4 * column + row] = (
+                _mul(col[0], matrix[row][0]) ^ _mul(col[1], matrix[row][1])
+                ^ _mul(col[2], matrix[row][2]) ^ _mul(col[3], matrix[row][3])
+            )
+    return bytes_to_int(out)
+
+
+def next_round_key(round_key, round_index):
+    """One 128-bit key-schedule step (producing the key for round_index)."""
+    words = [
+        (round_key >> (96 - 32 * i)) & 0xFFFFFFFF for i in range(4)
+    ]
+    rotated = ((words[3] << 8) | (words[3] >> 24)) & 0xFFFFFFFF
+    substituted = 0
+    for shift in (24, 16, 8, 0):
+        substituted |= SBOX[(rotated >> shift) & 0xFF] << shift
+    temp = substituted ^ (RCON[round_index] << 24)
+    out = []
+    previous = temp
+    for word in words:
+        previous = word ^ previous
+        out.append(previous)
+    return bytes_to_int(
+        b"".join(w.to_bytes(4, "big") for w in out)
+    )
+
+
+def expand_key(key):
+    """All 11 round keys (index 0 is the cipher key)."""
+    keys = [key]
+    for round_index in range(1, 11):
+        keys.append(next_round_key(keys[-1], round_index))
+    return keys
+
+
+def aes128_encrypt_block(plaintext, key):
+    """Encrypt one 128-bit block; ints in, int out."""
+    keys = expand_key(key)
+    state = plaintext ^ keys[0]
+    for round_index in range(1, 10):
+        state = mix_columns(shift_rows(sub_bytes(state))) ^ keys[round_index]
+    return shift_rows(sub_bytes(state)) ^ keys[10]

@@ -1,0 +1,19 @@
+"""Problem assembly for the AES accelerator."""
+
+from __future__ import annotations
+
+from repro.designs.aes.sketch import build_alpha, build_sketch, const_memories
+from repro.designs.aes.spec import build_spec
+from repro.synthesis import SynthesisProblem
+
+__all__ = ["build_problem"]
+
+
+def build_problem():
+    return SynthesisProblem(
+        sketch=build_sketch(),
+        spec=build_spec(),
+        alpha=build_alpha(),
+        const_mems=const_memories(),
+        name="aes_accelerator",
+    )

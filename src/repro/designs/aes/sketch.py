@@ -1,0 +1,86 @@
+"""The AES accelerator datapath sketch with FSM-style control holes.
+
+Following Section 4.3: the datapath computes one round per cycle; the FSM
+state wire and the per-branch state encodings are holes::
+
+    state <<= ??
+    with conditional_assignment:
+        with state == ??:   # first round ...
+        with state == ??:   # intermediate rounds ...
+        with state == ??:   # final round ...
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.designs.aes.tables import RCON, SBOX
+from repro.designs.aes.transforms import HdlAdapter, round_outputs
+from repro.oyster.memory import ConstMemory
+
+__all__ = ["build_sketch", "build_alpha", "const_memories",
+           "SBOX_INIT", "RCON_INIT"]
+
+SBOX_INIT = {i: SBOX[i] for i in range(256)}
+RCON_INIT = {i: RCON[i] for i in range(len(RCON))}
+
+
+def build_sketch():
+    with hdl.Module("aes_accelerator") as module:
+        key_in = hdl.Input(128, "key_in")
+        plaintext = hdl.Input(128, "plaintext")
+        round_reg = hdl.Register(4, "round")
+        round_key = hdl.Register(128, "round_key")
+        ciphertext = hdl.Register(128, "ciphertext")
+        done = hdl.Output(128, "ct_out")
+        sbox = hdl.MemBlock(8, 8, "sbox")
+        rcon = hdl.MemBlock(4, 8, "rcon")
+
+        ops = HdlAdapter(sbox, rcon)
+        mid_ct, final_ct, next_key = round_outputs(
+            ops, ciphertext, round_key, round_reg
+        )
+
+        # FSM control: the state and its encodings are synthesized.
+        state = hdl.Hole(2, "state", deps=[round_reg])
+        s_first = hdl.Hole(2, "s_first")
+        s_mid = hdl.Hole(2, "s_mid")
+        s_final = hdl.Hole(2, "s_final")
+
+        with hdl.conditional_assignment():
+            with state == s_first:
+                ciphertext.next |= plaintext ^ key_in
+                round_key.next |= key_in
+                round_reg.next |= round_reg + 1
+            with state == s_mid:
+                ciphertext.next |= mid_ct
+                round_key.next |= next_key
+                round_reg.next |= round_reg + 1
+            with state == s_final:
+                ciphertext.next |= final_ct
+                round_key.next |= next_key
+                round_reg.next |= round_reg + 1
+        done <<= ciphertext
+    return module.to_oyster()
+
+
+def const_memories():
+    """Constant backings for the datapath lookup tables."""
+    return {
+        "sbox": ConstMemory("sbox", 8, 8, SBOX_INIT),
+        "rcon": ConstMemory("rcon", 4, 8, RCON_INIT),
+    }
+
+
+_ALPHA_TEXT = """
+key_in:     {name: 'key_in', type: input, [read: 1]}
+plaintext:  {name: 'plaintext', type: input, [read: 1]}
+round:      {name: 'round', type: register, [read: 1, write: 1]}
+round_key:  {name: 'round_key', type: register, [read: 1, write: 1]}
+ciphertext: {name: 'ciphertext', type: register, [read: 1, write: 1]}
+with cycles: 1
+"""
+
+
+def build_alpha():
+    return parse_abstraction(_ALPHA_TEXT)

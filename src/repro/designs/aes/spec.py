@@ -1,0 +1,55 @@
+"""The ILA specification for the AES-128 accelerator.
+
+Three "instructions" model the FSM states, decoded from the ``round``
+counter (Section 4.3's listing): FirstRound (round == 0) whitens the
+plaintext, IntermediateRound (0 < round < 10) applies a full round, and
+FinalRound (round == 10) applies the last round without MixColumns.  The
+S-box and round constants are ``MemConst`` read-only memories.
+"""
+
+from __future__ import annotations
+
+from repro.designs.aes.tables import RCON, SBOX
+from repro.designs.aes.transforms import IlaAdapter, round_outputs
+from repro.ila import BvConst, Ila
+
+__all__ = ["build_spec"]
+
+
+def build_spec():
+    ila = Ila("aes128")
+    key_in = ila.new_bv_input("key_in", 128)
+    plaintext = ila.new_bv_input("plaintext", 128)
+    round_state = ila.new_bv_state("round", 4)
+    round_key = ila.new_bv_state("round_key", 128)
+    ciphertext = ila.new_bv_state("ciphertext", 128)
+    sbox = ila.new_mem_const("sbox", 8, 8, list(SBOX))
+    rcon = ila.new_mem_const("rcon", 4, 8, list(RCON))
+
+    ops = IlaAdapter(sbox, rcon)
+    mid_ct, final_ct, next_key = round_outputs(
+        ops, ciphertext, round_key, round_state
+    )
+    one = BvConst(1, 4)
+
+    first = ila.new_instr("FirstRound")
+    first.set_decode(round_state == BvConst(0, 4))
+    first.set_update(ciphertext, plaintext ^ key_in)
+    first.set_update(round_key, key_in)
+    first.set_update(round_state, round_state + one)
+
+    intermediate = ila.new_instr("IntermediateRound")
+    intermediate.set_decode(
+        (round_state > BvConst(0, 4)) & (round_state < BvConst(10, 4))
+    )
+    intermediate.set_update(ciphertext, mid_ct)
+    intermediate.set_update(round_key, next_key)
+    intermediate.set_update(round_state, round_state + one)
+
+    final = ila.new_instr("FinalRound")
+    final.set_decode(round_state == BvConst(10, 4))
+    final.set_update(ciphertext, final_ct)
+    final.set_update(round_key, next_key)
+    final.set_update(round_state, round_state + one)
+
+    return ila.validate()

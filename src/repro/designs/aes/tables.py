@@ -1,0 +1,39 @@
+"""AES lookup tables: the S-box and the round-constant table."""
+
+from __future__ import annotations
+
+__all__ = ["SBOX", "RCON", "INV_SBOX"]
+
+
+def _build_sbox():
+    """Generate the AES S-box from GF(2^8) inversion + affine transform."""
+    # Multiplicative inverse via exponentiation chains is overkill; build
+    # log/antilog tables over the AES field generator 3.
+    log = [0] * 256
+    antilog = [0] * 256
+    value = 1
+    for exponent in range(255):
+        antilog[exponent] = value
+        log[value] = exponent
+        # multiply by the generator 0x03 = x + 1
+        value ^= (value << 1) ^ (0x11B if value & 0x80 else 0)
+        value &= 0xFF
+    sbox = [0] * 256
+    for byte in range(256):
+        if byte == 0:
+            inverse = 0
+        else:
+            inverse = antilog[(255 - log[byte]) % 255]
+        transformed = inverse
+        for shift in (1, 2, 3, 4):
+            transformed ^= ((inverse << shift) | (inverse >> (8 - shift))) & 0xFF
+        sbox[byte] = transformed ^ 0x63
+    return tuple(sbox)
+
+
+SBOX = _build_sbox()
+
+INV_SBOX = tuple(SBOX.index(i) for i in range(256))
+
+#: round constants rcon[1..10] (index 0 unused)
+RCON = (0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)

@@ -1,0 +1,170 @@
+"""AES round transforms, written once over an adapter.
+
+The same transform code builds both the ILA specification expressions and
+the datapath hardware: an adapter supplies the primitive operations (xor,
+extract, concat, bit-mux, S-box lookup).  Sharing one code path guarantees
+the specification and the sketch produce structurally identical symbolic
+terms, which lets the synthesizer's verification queries fold away instead
+of bit-blasting 20 S-box selector trees per round.
+
+Byte convention matches ``golden.py``: byte 0 is bits [127:120].
+"""
+
+from __future__ import annotations
+
+from repro.ila import ast as ila_ast
+from repro.ila import BvConst, Concat, Extract, Ite, Load
+
+__all__ = [
+    "IlaAdapter",
+    "HdlAdapter",
+    "sub_bytes_t",
+    "shift_rows_t",
+    "mix_columns_t",
+    "next_key_t",
+    "round_outputs",
+]
+
+
+class IlaAdapter:
+    """Builds ILA expressions; S-box/rcon are MemConst loads."""
+
+    def __init__(self, sbox_mem, rcon_mem):
+        self.sbox_mem = sbox_mem
+        self.rcon_mem = rcon_mem
+
+    def xor(self, a, b):
+        return a ^ b
+
+    def extract(self, value, high, low):
+        return Extract(value, high, low)
+
+    def concat(self, *parts):
+        result = parts[0]
+        for part in parts[1:]:
+            result = Concat(result, part)
+        return result
+
+    def mux_bit(self, bit, then, els):
+        return Ite(bit == BvConst(1, 1), then, els)
+
+    def const(self, value, width):
+        return BvConst(value, width)
+
+    def sbox(self, byte):
+        return Load(self.sbox_mem, byte)
+
+    def rcon(self, round_value):
+        return Load(self.rcon_mem, round_value)
+
+
+class HdlAdapter:
+    """Builds hardware through the mini-PyRTL layer."""
+
+    def __init__(self, sbox_mem, rcon_mem):
+        self.sbox_mem = sbox_mem
+        self.rcon_mem = rcon_mem
+
+    def xor(self, a, b):
+        return a ^ b
+
+    def extract(self, value, high, low):
+        return value[low:high + 1]
+
+    def concat(self, *parts):
+        from repro import hdl
+
+        return hdl.concat(*parts)
+
+    def mux_bit(self, bit, then, els):
+        from repro import hdl
+
+        return hdl.select(bit, then, els)
+
+    def const(self, value, width):
+        from repro import hdl
+
+        return hdl.Const(value, width)
+
+    def sbox(self, byte):
+        return self.sbox_mem.read(byte)
+
+    def rcon(self, round_value):
+        return self.rcon_mem.read(round_value)
+
+
+def _byte(ops, state, index):
+    return ops.extract(state, 127 - 8 * index, 120 - 8 * index)
+
+
+def _from_bytes(ops, byte_list):
+    return ops.concat(*byte_list)
+
+
+def sub_bytes_t(ops, state):
+    return _from_bytes(ops, [ops.sbox(_byte(ops, state, i)) for i in range(16)])
+
+
+def shift_rows_t(ops, state):
+    out = []
+    for column in range(4):
+        for row in range(4):
+            out.append(_byte(ops, state, 4 * ((column + row) % 4) + row))
+    return _from_bytes(ops, out)
+
+
+def _xtime(ops, byte):
+    shifted = ops.concat(ops.extract(byte, 6, 0), ops.const(0, 1))
+    top = ops.extract(byte, 7, 7)
+    return ops.mux_bit(top, ops.xor(shifted, ops.const(0x1B, 8)), shifted)
+
+
+def _mul3(ops, byte):
+    return ops.xor(_xtime(ops, byte), byte)
+
+
+def mix_columns_t(ops, state):
+    matrix = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+    factors = {1: lambda b: b, 2: lambda b: _xtime(ops, b),
+               3: lambda b: _mul3(ops, b)}
+    out = []
+    for column in range(4):
+        col = [_byte(ops, state, 4 * column + row) for row in range(4)]
+        for row in range(4):
+            acc = None
+            for k in range(4):
+                term = factors[matrix[row][k]](col[k])
+                acc = term if acc is None else ops.xor(acc, term)
+            out.append(acc)
+    return _from_bytes(ops, out)
+
+
+def _word(ops, key, index):
+    return ops.extract(key, 127 - 32 * index, 96 - 32 * index)
+
+
+def next_key_t(ops, round_key, round_value):
+    """One key-schedule step; ``round_value`` indexes the rcon table."""
+    w3 = _word(ops, round_key, 3)
+    rotated = ops.concat(ops.extract(w3, 23, 0), ops.extract(w3, 31, 24))
+    substituted = ops.concat(*[
+        ops.sbox(ops.extract(rotated, 31 - 8 * i, 24 - 8 * i))
+        for i in range(4)
+    ])
+    rcon_word = ops.concat(ops.rcon(round_value), ops.const(0, 24))
+    temp = ops.xor(substituted, rcon_word)
+    words = []
+    previous = temp
+    for i in range(4):
+        previous = ops.xor(_word(ops, round_key, i), previous)
+        words.append(previous)
+    return ops.concat(*words)
+
+
+def round_outputs(ops, ciphertext, round_key, round_value):
+    """(mid-round ct', final-round ct', next round key)."""
+    next_key = next_key_t(ops, round_key, round_value)
+    shifted = shift_rows_t(ops, sub_bytes_t(ops, ciphertext))
+    mid = ops.xor(mix_columns_t(ops, shifted), next_key)
+    final = ops.xor(shifted, next_key)
+    return mid, final, next_key

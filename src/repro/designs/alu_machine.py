@@ -1,0 +1,128 @@
+"""The Section 2.2 ALU machine: spec, three-stage pipelined sketch, α.
+
+The ILA models a 4-register machine with four ALU operations selected by a
+2-bit ``op`` input.  The sketch implements the paper's Figure 2 datapath: a
+three-stage pipeline (register read / execute / write back) whose control —
+the ALU operation select and the write-back enable — is left as holes.
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.ila import BvConst, Ila, Load, Store
+from repro.synthesis import SynthesisProblem
+
+__all__ = [
+    "build_spec",
+    "build_sketch",
+    "build_alpha",
+    "build_problem",
+    "REFERENCE_HOLE_VALUES",
+    "OPCODES",
+]
+
+#: spec opcode -> operation (XOR occupies opcode 0)
+OPCODES = {"XOR": 0, "ADD": 1, "SUB": 2, "AND": 3}
+
+
+def build_spec():
+    """The ALU machine ILA (extends the paper's ADD listing to 4 ops)."""
+    ila = Ila("alu_ila")
+    op = ila.new_bv_input("op", 2)
+    dest = ila.new_bv_input("dest", 2)
+    src1 = ila.new_bv_input("src1", 2)
+    src2 = ila.new_bv_input("src2", 2)
+    regs = ila.new_mem_state("regs", 2, 8)
+    rs1_val = Load(regs, src1)
+    rs2_val = Load(regs, src2)
+    operations = {
+        "ADD": rs1_val + rs2_val,
+        "SUB": rs1_val - rs2_val,
+        "AND": rs1_val & rs2_val,
+        "XOR": rs1_val ^ rs2_val,
+    }
+    for name, result in operations.items():
+        instr = ila.new_instr(name)
+        instr.set_decode(op == BvConst(OPCODES[name], 2))
+        instr.set_update(regs, Store(regs, dest, result))
+    return ila.validate()
+
+
+def build_sketch():
+    """The three-stage pipelined datapath with control holes (Figure 2)."""
+    with hdl.Module("alu_pipeline") as module:
+        op = hdl.Input(2, "op")
+        dest = hdl.Input(2, "dest")
+        src1 = hdl.Input(2, "src1")
+        src2 = hdl.Input(2, "src2")
+        regfile = hdl.MemBlock(2, 8, "regfile")
+
+        # Control holes: what the ALU does and whether write-back happens.
+        alu_op = hdl.Hole(2, "alu_op", deps=[op])
+        wb_en = hdl.Hole(1, "wb_en", deps=[op])
+
+        # Stage 1: register read; latch operands, destination and control.
+        rs1_val = regfile.read(src1)
+        rs2_val = regfile.read(src2)
+        p_rs1 = hdl.Register(8, "p_rs1")
+        p_rs2 = hdl.Register(8, "p_rs2")
+        p_dest = hdl.Register(2, "p_dest")
+        p_aluop = hdl.Register(2, "p_aluop")
+        p_wben = hdl.Register(1, "p_wben", init=0)
+        p_rs1.next <<= rs1_val
+        p_rs2.next <<= rs2_val
+        p_dest.next <<= dest
+        p_aluop.next <<= alu_op
+        p_wben.next <<= wb_en
+
+        # Stage 2: execute; latch the result and piped control.
+        alu_out = hdl.mux(
+            p_aluop,
+            p_rs1 ^ p_rs2,  # select 0
+            p_rs1 + p_rs2,  # select 1
+            p_rs1 - p_rs2,  # select 2
+            p_rs1 & p_rs2,  # select 3
+        )
+        p_res = hdl.Register(8, "p_res")
+        p_dest2 = hdl.Register(2, "p_dest2")
+        p_wben2 = hdl.Register(1, "p_wben2", init=0)
+        p_res.next <<= alu_out
+        p_dest2.next <<= p_dest
+        p_wben2.next <<= p_wben
+
+        # Stage 3: write back.
+        regfile.write(p_dest2, p_res, enable=p_wben2)
+    return module.to_oyster()
+
+
+_ALPHA_TEXT = """
+op:   {name: 'op',   type: input, [read: 1]}
+dest: {name: 'dest', type: input, [read: 1]}
+src1: {name: 'src1', type: input, [read: 1]}
+src2: {name: 'src2', type: input, [read: 1]}
+regs: {name: 'regfile', type: memory, [read: 1, write: 3]}
+with cycles: 3
+"""
+
+
+def build_alpha():
+    return parse_abstraction(_ALPHA_TEXT)
+
+
+def build_problem():
+    return SynthesisProblem(
+        sketch=build_sketch(),
+        spec=build_spec(),
+        alpha=build_alpha(),
+        name="alu_machine",
+    )
+
+
+#: hand-written reference control (mux select wiring makes these evident)
+REFERENCE_HOLE_VALUES = {
+    "XOR": {"alu_op": 0, "wb_en": 1},
+    "ADD": {"alu_op": 1, "wb_en": 1},
+    "SUB": {"alu_op": 2, "wb_en": 1},
+    "AND": {"alu_op": 3, "wb_en": 1},
+}

@@ -1,0 +1,36 @@
+"""The constant-time cryptography core of Section 4.2.
+
+A bespoke three-stage core: the RISC-V ISA stripped of conditional branches
+(and of everything SHA-256 does not need) plus a custom conditional-move
+instruction (``cmov rd, rs1, rs2``: rd <- rs2 != 0 ? rs1 : rd).  Removing
+data-dependent control flow makes execution time independent of input
+values; the Section 5.2 study runs SHA-256 over inputs of different lengths
+and checks the cycle count never changes.
+
+Stages: (1) instruction fetch, (2) decode + execute (jumps resolve here,
+flushing the fetch stage — the ``instruction_valid`` assume in the
+abstraction function), (3) memory + write back.
+"""
+
+from repro.designs.crypto_core.spec import build_spec, CMOV_ISA
+from repro.designs.crypto_core.sketch import build_sketch, build_alpha
+from repro.designs.crypto_core.problem import build_problem
+from repro.designs.crypto_core.reference import reference_control_values
+from repro.designs.crypto_core.sha256_program import (
+    sha256_program,
+    sha256_reference,
+)
+from repro.designs.crypto_core.run import run_sha256, CoreRun
+
+__all__ = [
+    "build_spec",
+    "CMOV_ISA",
+    "build_sketch",
+    "build_alpha",
+    "build_problem",
+    "reference_control_values",
+    "sha256_program",
+    "sha256_reference",
+    "run_sha256",
+    "CoreRun",
+]

@@ -1,0 +1,24 @@
+"""Problem assembly for the constant-time crypto core."""
+
+from __future__ import annotations
+
+from repro.designs.crypto_core.sketch import build_alpha, build_sketch
+from repro.designs.crypto_core.spec import build_spec
+from repro.synthesis import SynthesisProblem
+
+__all__ = ["build_problem"]
+
+
+def build_problem(instructions=None):
+    spec = build_spec()
+    if instructions is not None:
+        wanted = set(instructions)
+        spec.instructions = [
+            instr for instr in spec.instructions if instr.name in wanted
+        ]
+    return SynthesisProblem(
+        sketch=build_sketch(),
+        spec=spec,
+        alpha=build_alpha(),
+        name="crypto_core/CMOV_ISA",
+    )

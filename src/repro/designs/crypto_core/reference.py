@@ -1,0 +1,60 @@
+"""Hand-written reference control for the bespoke constant-time core.
+
+Used by the Section 5.2 study: the paper compares the synthesized-control
+core against a hand-written reference and finds identical cycle counts and
+results.
+"""
+
+from __future__ import annotations
+
+from repro.designs.crypto_core.sketch import (
+    CRYPTO_IMM_SELECTS,
+    crypto_alu_op_index,
+)
+from repro.designs.riscv.encodings import INSTRUCTIONS
+
+__all__ = ["reference_control_values"]
+
+_IMM_ALIASES = {
+    "addi": "add", "xori": "xor", "ori": "or", "andi": "and",
+    "slli": "sll", "srli": "srl",
+}
+
+
+def reference_control_values(name):
+    values = {
+        "imm_sel": 0, "alu_src1_pc": 0, "alu_imm": 0, "alu_op": 0,
+        "reg_write": 0, "mem_read": 0, "mem_write": 0, "jump": 0,
+        "jalr_sel": 0,
+    }
+    spec = INSTRUCTIONS[name]
+    if name == "lui":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["U"], alu_imm=1,
+                      alu_op=crypto_alu_op_index("copyb"), reg_write=1)
+    elif name == "auipc":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["U"], alu_src1_pc=1,
+                      alu_imm=1, alu_op=crypto_alu_op_index("add"),
+                      reg_write=1)
+    elif name == "jal":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["J"], jump=1, reg_write=1)
+    elif name == "jalr":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["I"], alu_imm=1,
+                      alu_op=crypto_alu_op_index("add"), jump=1,
+                      jalr_sel=1, reg_write=1)
+    elif name == "lw":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["I"], alu_imm=1,
+                      alu_op=crypto_alu_op_index("add"), mem_read=1,
+                      reg_write=1)
+    elif name == "sw":
+        values.update(imm_sel=CRYPTO_IMM_SELECTS["S"], alu_imm=1,
+                      alu_op=crypto_alu_op_index("add"), mem_write=1)
+    elif name == "cmov":
+        values.update(alu_op=crypto_alu_op_index("cmov"), reg_write=1)
+    elif name == "sltu":
+        values.update(alu_op=crypto_alu_op_index("sltu"), reg_write=1)
+    else:
+        base = _IMM_ALIASES.get(name, name)
+        values.update(alu_op=crypto_alu_op_index(base), reg_write=1)
+        if spec.fmt != "R":
+            values.update(imm_sel=CRYPTO_IMM_SELECTS["I"], alu_imm=1)
+    return values

@@ -1,0 +1,68 @@
+"""Running programs on the (completed) constant-time core.
+
+``run_sha256`` loads the kernel and a message, runs the core to the halt
+self-loop, and returns the cycle count and digest — the Section 5.2
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.designs.crypto_core.sha256_program import (
+    MSG_BASE,
+    OUT_BASE,
+    halt_pc,
+    pack_message_words,
+    program_image,
+)
+from repro.oyster.compiled import CompiledSimulator
+
+__all__ = ["run_sha256", "CoreRun"]
+
+
+@dataclass
+class CoreRun:
+    cycles: int
+    digest_words: list
+    halted: bool
+
+    @property
+    def digest_bytes(self):
+        return b"".join(w.to_bytes(4, "big") for w in self.digest_words)
+
+
+def run_sha256(design, message, hole_values=None, max_cycles=100_000):
+    """Execute the SHA-256 kernel on ``design`` for ``message``.
+
+    ``cycles`` counts until the fetch stage first reaches the halt self-loop
+    (plus the two cycles needed to drain the final stores through the
+    pipeline) — a deterministic, architecture-level completion event.
+    """
+    simulator = CompiledSimulator(
+        design,
+        hole_values=hole_values,
+        memory_init={
+            "i_mem": program_image(),
+            "d_mem": pack_message_words(message),
+            "rf": {1: MSG_BASE, 2: len(message)},
+        },
+    )
+    halt = halt_pc()
+    cycles = None
+    for cycle in range(max_cycles):
+        simulator.step({})
+        if simulator.peek("fetch_pc") == halt:
+            cycles = cycle + 1
+            break
+    if cycles is None:
+        return CoreRun(max_cycles, [], False)
+    # Drain the two instructions still in flight (the halt loop itself
+    # fetches forever; two more cycles commit every outstanding store).
+    simulator.step({})
+    simulator.step({})
+    digest = [
+        simulator.peek_memory("d_mem", (OUT_BASE >> 2) + i)
+        for i in range(8)
+    ]
+    return CoreRun(cycles, digest, True)

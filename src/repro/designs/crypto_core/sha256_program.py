@@ -1,0 +1,243 @@
+"""A branch-free SHA-256 kernel for the bespoke constant-time ISA.
+
+The program is fully unrolled straight-line code (the ISA has no conditional
+branches): padding is computed with ``cmov``/``sltu`` arithmetic, the message
+schedule and all 64 compression rounds are unrolled, and the working
+variables a..h live in a rotating register window so each round needs only
+two writes.  It ends in a ``jal x0, 0`` self-loop (the halt convention).
+
+Memory map (byte addresses, word-aligned):
+
+* ``MSG_BASE``   the message, packed big-endian into words, zero-padded;
+* ``OUT_BASE``   the eight digest words (big-endian words, as in FIPS-180);
+* ``W_BASE``     the 64-entry message schedule scratch area.
+
+Inputs: ``x1`` = MSG_BASE, ``x2`` = message length in bytes (0..55 — one
+block).  The host packs bytes beyond the length as zero; all
+length-dependent selection happens on-core, branch-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.designs.riscv.encodings import assemble
+
+__all__ = [
+    "sha256_program",
+    "sha256_reference",
+    "pack_message_words",
+    "MSG_BASE",
+    "OUT_BASE",
+    "W_BASE",
+    "HALT_OFFSET",
+]
+
+#: data segment well above the (unrolled, ~4k instruction) program image
+MSG_BASE = 0x8000
+OUT_BASE = 0x8400
+W_BASE = 0x8600
+
+_H_INIT = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+# Register roles.
+_MSG = 1      # x1: message base (input)
+_LEN = 2      # x2: length in bytes (input)
+_ACC = 3      # x3..x10: rotating a..h window
+_WPTR = 11    # x11: W base address
+_T = (12, 13, 14, 15, 16, 17)  # temporaries
+_HSAVE = 18   # x18..x25: initial hash values
+_C4 = 26      # x26: the constant 4
+_C24 = 27     # x27: the constant 24
+_OPTR = 29    # x29: output (digest) base address
+
+
+class _Asm:
+    def __init__(self):
+        self.code = []
+
+    def emit(self, name, **kwargs):
+        self.code.append((name, kwargs))
+
+    def li(self, rd, value):
+        """Load a 32-bit immediate (1 or 2 instructions)."""
+        value &= 0xFFFFFFFF
+        signed = value - (1 << 32) if value & 0x80000000 else value
+        if -2048 <= signed < 2048:
+            self.emit("addi", rd=rd, rs1=0, imm=signed)
+            return
+        low = value & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = (value - low) & 0xFFFFFFFF
+        self.emit("lui", rd=rd, imm=high)
+        if low:
+            self.emit("addi", rd=rd, rs1=rd, imm=low)
+
+    def ror(self, rd, rs, amount, scratch):
+        """rd = rs rotated right by a constant amount (3 instructions)."""
+        self.emit("srli", rd=scratch, rs1=rs, imm=amount)
+        self.emit("slli", rd=rd, rs1=rs, imm=(32 - amount) % 32)
+        self.emit("or", rd=rd, rs1=rd, rs2=scratch)
+
+    def shr(self, rd, rs, amount):
+        self.emit("srli", rd=rd, rs1=rs, imm=amount)
+
+
+def _reg(role, round_index):
+    """Register holding working-variable ``role`` (0=a..7=h) at a round."""
+    return _ACC + ((role - round_index) % 8)
+
+
+def sha256_program():
+    """The instruction list (name, fields) of the SHA-256 kernel."""
+    asm = _Asm()
+    t0, t1, t2, t3, t4, t5 = _T
+
+    # Constants and initial hash state.
+    asm.li(_C4, 4)
+    asm.li(_C24, 24)
+    for index, value in enumerate(_H_INIT):
+        asm.li(_HSAVE + index, value)
+        asm.emit("addi", rd=_ACC + index, rs1=_HSAVE + index, imm=0)
+    asm.li(_WPTR, W_BASE)
+    asm.li(_OPTR, OUT_BASE)
+
+    # Padding and W[0..14]: branch-free 0x80 insertion.
+    for word_index in range(15):
+        asm.emit("lw", rd=t0, rs1=_MSG, imm=4 * word_index)
+        # delta = len - 4*word_index; in_range = delta < 4 (unsigned)
+        asm.li(t1, 4 * word_index)
+        asm.emit("sub", rd=t1, rs1=_LEN, rs2=t1)
+        asm.emit("sltu", rd=t2, rs1=t1, rs2=_C4)
+        # marker = 0x80 << (24 - 8*delta), gated by in_range
+        asm.emit("slli", rd=t3, rs1=t1, imm=3)
+        asm.emit("sub", rd=t3, rs1=_C24, rs2=t3)
+        asm.li(t4, 0x80)
+        asm.emit("sll", rd=t4, rs1=t4, rs2=t3)
+        asm.li(t5, 0)
+        asm.emit("cmov", rd=t5, rs1=t4, rs2=t2)
+        asm.emit("or", rd=t0, rs1=t0, rs2=t5)
+        asm.emit("sw", rs1=_WPTR, rs2=t0, imm=4 * word_index)
+    # W[15] = bit length.
+    asm.emit("slli", rd=t0, rs1=_LEN, imm=3)
+    asm.emit("sw", rs1=_WPTR, rs2=t0, imm=60)
+
+    # Message schedule W[16..63].
+    for t in range(16, 64):
+        asm.emit("lw", rd=t0, rs1=_WPTR, imm=4 * (t - 2))
+        asm.ror(t1, t0, 17, t5)
+        asm.ror(t2, t0, 19, t5)
+        asm.emit("xor", rd=t1, rs1=t1, rs2=t2)
+        asm.shr(t2, t0, 10)
+        asm.emit("xor", rd=t1, rs1=t1, rs2=t2)  # t1 = sigma1
+        asm.emit("lw", rd=t0, rs1=_WPTR, imm=4 * (t - 15))
+        asm.ror(t2, t0, 7, t5)
+        asm.ror(t3, t0, 18, t5)
+        asm.emit("xor", rd=t2, rs1=t2, rs2=t3)
+        asm.shr(t3, t0, 3)
+        asm.emit("xor", rd=t2, rs1=t2, rs2=t3)  # t2 = sigma0
+        asm.emit("lw", rd=t3, rs1=_WPTR, imm=4 * (t - 7))
+        asm.emit("lw", rd=t4, rs1=_WPTR, imm=4 * (t - 16))
+        asm.emit("add", rd=t1, rs1=t1, rs2=t3)
+        asm.emit("add", rd=t1, rs1=t1, rs2=t2)
+        asm.emit("add", rd=t1, rs1=t1, rs2=t4)
+        asm.emit("sw", rs1=_WPTR, rs2=t1, imm=4 * t)
+
+    # Compression rounds with a rotating register window.
+    for t in range(64):
+        a = _reg(0, t)
+        b = _reg(1, t)
+        c = _reg(2, t)
+        d = _reg(3, t)
+        e = _reg(4, t)
+        f = _reg(5, t)
+        g = _reg(6, t)
+        h = _reg(7, t)
+        # Sigma1(e), Ch(e, f, g), temp1 = h + Sigma1 + Ch + K[t] + W[t]
+        asm.ror(t0, e, 6, t5)
+        asm.ror(t1, e, 11, t5)
+        asm.emit("xor", rd=t0, rs1=t0, rs2=t1)
+        asm.ror(t1, e, 25, t5)
+        asm.emit("xor", rd=t0, rs1=t0, rs2=t1)
+        asm.emit("and", rd=t1, rs1=e, rs2=f)
+        asm.emit("xori", rd=t2, rs1=e, imm=-1)
+        asm.emit("and", rd=t2, rs1=t2, rs2=g)
+        asm.emit("xor", rd=t1, rs1=t1, rs2=t2)
+        asm.emit("add", rd=t0, rs1=t0, rs2=t1)
+        asm.emit("add", rd=t0, rs1=t0, rs2=h)
+        asm.li(t1, _K[t])
+        asm.emit("add", rd=t0, rs1=t0, rs2=t1)
+        asm.emit("lw", rd=t1, rs1=_WPTR, imm=4 * t)
+        asm.emit("add", rd=t0, rs1=t0, rs2=t1)  # t0 = temp1
+        # Sigma0(a), Maj(a, b, c), temp2 = Sigma0 + Maj
+        asm.ror(t1, a, 2, t5)
+        asm.ror(t2, a, 13, t5)
+        asm.emit("xor", rd=t1, rs1=t1, rs2=t2)
+        asm.ror(t2, a, 22, t5)
+        asm.emit("xor", rd=t1, rs1=t1, rs2=t2)
+        asm.emit("and", rd=t2, rs1=a, rs2=b)
+        asm.emit("and", rd=t3, rs1=a, rs2=c)
+        asm.emit("xor", rd=t2, rs1=t2, rs2=t3)
+        asm.emit("and", rd=t3, rs1=b, rs2=c)
+        asm.emit("xor", rd=t2, rs1=t2, rs2=t3)
+        asm.emit("add", rd=t1, rs1=t1, rs2=t2)  # t1 = temp2
+        # Window rotation: new e into old d's register, new a into old h's.
+        asm.emit("add", rd=d, rs1=d, rs2=t0)
+        asm.emit("add", rd=h, rs1=t0, rs2=t1)
+
+    # Digest: H[i] + final working variable i (window is realigned: 64%8==0).
+    for index in range(8):
+        asm.emit("add", rd=_T[0], rs1=_HSAVE + index, rs2=_ACC + index)
+        asm.emit("sw", rs1=_OPTR, rs2=_T[0], imm=4 * index)
+
+    # Halt: self-loop.
+    asm.emit("jal", rd=0, imm=0)
+    return asm.code
+
+
+def program_image():
+    """The assembled instruction memory image (word index -> word)."""
+    return assemble(sha256_program(), base=0)
+
+
+HALT_OFFSET = None  # computed lazily; see halt_pc()
+
+
+def halt_pc():
+    """Byte address of the final self-loop."""
+    return (len(sha256_program()) - 1) * 4
+
+
+def pack_message_words(message):
+    """Pack bytes big-endian into the d_mem word image at MSG_BASE."""
+    words = {}
+    padded = bytes(message) + b"\x00" * ((-len(message)) % 4)
+    for index in range(0, len(padded), 4):
+        words[(MSG_BASE + index) >> 2] = int.from_bytes(
+            padded[index:index + 4], "big"
+        )
+    return words
+
+
+def sha256_reference(message):
+    """The expected digest as eight 32-bit words (via hashlib)."""
+    digest = hashlib.sha256(bytes(message)).digest()
+    return [int.from_bytes(digest[i:i + 4], "big") for i in range(0, 32, 4)]

@@ -1,0 +1,180 @@
+"""The three-stage constant-time core datapath sketch.
+
+Stage 1 (IF) fetches; stage 2 (DE/EX) decodes, reads registers (three read
+ports — cmov needs the old rd value), executes, resolves jumps, and commits
+the architectural pc; stage 3 (MEM/WB) accesses data memory and writes back.
+
+Jumps resolving in stage 2 squash the instruction fetched in stage 1 via the
+``flush`` register, whose reset-time value is *unconstrained* — this is
+exactly the control-hazard scenario Section 4.2 describes, and synthesis
+fails without the ``instruction_valid`` assume (a test checks that).
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.designs.riscv.datapath import build_decode_unit
+
+__all__ = ["build_sketch", "build_alpha", "CRYPTO_ALU_OPS",
+           "CRYPTO_CONTROL_HOLES", "crypto_alu_op_index"]
+
+#: the bespoke core's ALU encoding (4-bit alu_op)
+CRYPTO_ALU_OPS = (
+    "add", "sub", "sll", "srl", "xor", "or", "and", "sltu", "copyb", "cmov",
+)
+
+#: hole name -> width
+CRYPTO_CONTROL_HOLES = {
+    "imm_sel": 3,
+    "alu_src1_pc": 1,
+    "alu_imm": 1,
+    "alu_op": 4,
+    "reg_write": 1,
+    "mem_read": 1,
+    "mem_write": 1,
+    "jump": 1,
+    "jalr_sel": 1,
+}
+
+
+def crypto_alu_op_index(name):
+    return CRYPTO_ALU_OPS.index(name)
+
+
+def _build_crypto_alu(alu_op, in1, in2, rd_val):
+    amount = in2[0:5].zext(32)
+    results = {
+        "add": in1 + in2,
+        "sub": in1 - in2,
+        "sll": in1.shl(amount),
+        "srl": in1.lshr(amount),
+        "xor": in1 ^ in2,
+        "or": in1 | in2,
+        "and": in1 & in2,
+        "sltu": (in1 < in2).zext(32),
+        "copyb": in2,
+        "cmov": hdl.select(in2 != 0, in1, rd_val),
+    }
+    inputs = [results[name] for name in CRYPTO_ALU_OPS]
+    inputs += [results["copyb"]] * (16 - len(inputs))
+    return hdl.mux(alu_op, *inputs)
+
+
+def _build_immediates(inst, imm_sel):
+    imm_i = inst[20:32].sext(32)
+    imm_s = hdl.concat(inst[25:32], inst[7:12]).sext(32)
+    imm_u = hdl.concat(inst[12:32], hdl.Const(0, 12))
+    imm_j = hdl.concat(
+        inst[31], inst[12:20], inst[20], inst[21:31], hdl.Const(0, 1)
+    ).sext(32)
+    return hdl.mux(imm_sel, imm_i, imm_s, imm_u, imm_j,
+                   imm_i, imm_i, imm_i, imm_i)
+
+
+#: imm_sel encoding for the bespoke core (no B format: no branches!)
+CRYPTO_IMM_SELECTS = {"I": 0, "S": 1, "U": 2, "J": 3}
+
+
+def build_sketch():
+    with hdl.Module("crypto_core") as module:
+        pc = hdl.Register(32, "pc")
+        fetch_pc = hdl.Register(32, "fetch_pc")
+        flush = hdl.Register(1, "flush")  # reset value unconstrained
+        rf = hdl.MemBlock(5, 32, "rf")
+        i_mem = hdl.MemBlock(30, 32, "i_mem")
+        d_mem = hdl.MemBlock(30, 32, "d_mem")
+
+        # Stage-2 state (IF/DE boundary).
+        v2 = hdl.Register(1, "v2", init=0)
+        p_inst = hdl.Register(32, "p_inst")
+        p_pc = hdl.Register(32, "p_pc")
+        # Stage-3 state (DE/MEM boundary).
+        v3 = hdl.Register(1, "v3", init=0)
+        p3_wb = hdl.Register(32, "p3_wb")
+        p3_rd = hdl.Register(5, "p3_rd")
+        p3_reg_write = hdl.Register(1, "p3_reg_write", init=0)
+        p3_mem_read = hdl.Register(1, "p3_mem_read", init=0)
+        p3_mem_write = hdl.Register(1, "p3_mem_write", init=0)
+        p3_store_data = hdl.Register(32, "p3_store_data")
+        p3_addr = hdl.Register(32, "p3_addr")
+
+        pcs_agree = (fetch_pc == pc).label("pcs_agree")
+        instruction_valid = (~flush).label("instruction_valid")
+
+        # ---- Stage 3: memory + write back (oldest instruction first) ------
+        loaded_word = d_mem.read(p3_addr[2:32])
+        wb_value = hdl.mux(p3_mem_read, p3_wb, loaded_word).label("wb_value")
+        wb_live = (v3 & p3_reg_write & (p3_rd != 0)).label("wb_live")
+        rf.write(p3_rd, wb_value, enable=wb_live)
+        d_mem.write(p3_addr[2:32], p3_store_data,
+                    enable=v3 & p3_mem_write)
+
+        # ---- Stage 2: decode + execute --------------------------------------
+        opcode, rd, funct3, rs1f, rs2f, funct7 = build_decode_unit(p_inst)
+        deps = [opcode, funct3, funct7]
+        holes = {
+            name: hdl.Hole(width, name, deps=deps)
+            for name, width in CRYPTO_CONTROL_HOLES.items()
+        }
+        rs1_raw = rf.read(rs1f)
+        rs2_raw = rf.read(rs2f)
+        rd_raw = rf.read(rd)  # third read port for cmov
+        rs1_val = hdl.select(wb_live & (p3_rd == rs1f), wb_value, rs1_raw)
+        rs2_val = hdl.select(wb_live & (p3_rd == rs2f), wb_value, rs2_raw)
+        rd_val = hdl.select(wb_live & (p3_rd == rd), wb_value, rd_raw)
+
+        imm = _build_immediates(p_inst, holes["imm_sel"])
+        alu_in1 = hdl.select(holes["alu_src1_pc"], p_pc, rs1_val)
+        alu_in2 = hdl.mux(holes["alu_imm"], rs2_val, imm)
+        alu_out = _build_crypto_alu(
+            holes["alu_op"], alu_in1, alu_in2, rd_val
+        ).label("alu_out")
+
+        p_pc_plus_4 = (p_pc + 4).label("p_pc_plus_4")
+        jalr_target = alu_out & hdl.Const(0xFFFFFFFE, 32)
+        jump_target = hdl.select(
+            holes["jalr_sel"], jalr_target, (p_pc + imm)
+        )
+        de_redirect = (v2 & holes["jump"]).label("de_redirect")
+        committed_next_pc = hdl.select(
+            holes["jump"], jump_target, p_pc_plus_4
+        )
+        with hdl.conditional_assignment():
+            with v2:
+                pc.next |= committed_next_pc
+        flush.next <<= de_redirect
+
+        # Latch stage 3.
+        v3.next <<= v2
+        p3_wb.next <<= hdl.mux(holes["jump"], alu_out, p_pc_plus_4)
+        p3_rd.next <<= rd
+        p3_reg_write.next <<= holes["reg_write"]
+        p3_mem_read.next <<= holes["mem_read"]
+        p3_mem_write.next <<= holes["mem_write"]
+        p3_store_data.next <<= rs2_val
+        p3_addr.next <<= alu_out
+
+        # ---- Stage 1: fetch ----------------------------------------------------
+        instruction = i_mem.read(fetch_pc[2:32]).label("instruction")
+        fetch_pc_plus_4 = fetch_pc + 4
+        fetch_next = hdl.select(de_redirect, jump_target, fetch_pc_plus_4)
+        fetch_pc.next <<= fetch_next
+        v2.next <<= instruction_valid
+        p_inst.next <<= instruction
+        p_pc.next <<= fetch_pc
+    return module.to_oyster()
+
+
+_ALPHA_TEXT = """
+pc:  {name: 'pc', type: register, [read: 1, write: 2]}
+GPR: {name: 'rf', type: memory, [read: 2, write: 3]}
+mem: {name: 'd_mem', type: memory, [read: 3, write: 3]}
+mem: {name: 'i_mem', type: memory, [read: 1]}
+with cycles: 3, [pcs_agree: 1], [instruction_valid: 1]
+fields: {opcode: 'opcode', funct3: 'funct3', funct7: 'funct7', rs2f: 'rs2f'}
+"""
+
+
+def build_alpha():
+    return parse_abstraction(_ALPHA_TEXT)

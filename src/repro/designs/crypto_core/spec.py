@@ -1,0 +1,26 @@
+"""The bespoke constant-time ISA: an RV32I subset plus CMOV.
+
+Built by the shared RISC-V spec builder — the paper modifies the RISC-V ILA
+the same way (Section 4.2: "We modify the RISC-V ISA specification to remove
+conditional branch instructions and all other instructions not necessary to
+execute SHA-256.  We then extend it with a custom instruction for
+conditional move").
+"""
+
+from __future__ import annotations
+
+from repro.designs.riscv.spec import build_spec as build_riscv_spec
+
+__all__ = ["build_spec", "CMOV_ISA"]
+
+#: the bespoke instruction set (no conditional branches)
+CMOV_ISA = (
+    "lui", "auipc", "jal", "jalr", "lw", "sw",
+    "addi", "xori", "ori", "andi", "slli", "srli", "sltu",
+    "add", "sub", "sll", "srl", "xor", "or", "and",
+    "cmov",
+)
+
+
+def build_spec():
+    return build_riscv_spec(names=list(CMOV_ISA), spec_name="cmov_isa")

@@ -1,0 +1,55 @@
+"""The embedded-class RISC-V cores of Section 4.1.
+
+Variants (matching Table 1's rows):
+
+* ``RV32I`` — the 37-instruction base set (no ecall/ebreak/fence, as in the
+  paper);
+* ``RV32I + Zbkb`` — plus the 12 bit-manipulation instructions;
+* ``RV32I + Zbkc`` — plus Zbkb plus the 2 carryless-multiply instructions
+  (the paper's +Zbkc row sizes imply Zbkc stacks on Zbkb).
+
+Microarchitectures: a single-cycle core and a two-stage pipeline (IF/DE/EX
+then MEM/WB), both with instruction-decoder-style control left as holes.
+
+Memory model: instruction and data memories are word-addressed (30-bit word
+index over a 32-bit byte address space); sub-word loads/stores select lanes
+within the addressed word and stores read-modify-write, with misaligned
+accesses treated lane-aligned (no traps — the cores do not implement
+exceptions, as in the paper).  ``x0`` semantics live in the specification
+(stores to x0 are skipped via a conditional Store) and in fixed datapath
+gating, so no per-instruction ``rd != 0`` preconditions are needed.
+"""
+
+from repro.designs.riscv.encodings import (
+    INSTRUCTIONS,
+    VARIANTS,
+    encode,
+    variant_instructions,
+)
+from repro.designs.riscv.iss import GoldenISS
+from repro.designs.riscv.spec import build_spec
+from repro.designs.riscv.sketch_single_cycle import (
+    build_single_cycle_sketch,
+    build_single_cycle_alpha,
+)
+from repro.designs.riscv.sketch_two_stage import (
+    build_two_stage_sketch,
+    build_two_stage_alpha,
+)
+from repro.designs.riscv.problem import build_problem
+from repro.designs.riscv.reference import reference_control_values
+
+__all__ = [
+    "INSTRUCTIONS",
+    "VARIANTS",
+    "encode",
+    "variant_instructions",
+    "GoldenISS",
+    "build_spec",
+    "build_single_cycle_sketch",
+    "build_single_cycle_alpha",
+    "build_two_stage_sketch",
+    "build_two_stage_alpha",
+    "build_problem",
+    "reference_control_values",
+]

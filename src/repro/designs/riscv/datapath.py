@@ -1,0 +1,157 @@
+"""Shared datapath building blocks for the RISC-V sketches.
+
+Both the single-cycle and pipelined cores instantiate the same decode unit,
+immediate generator, ALU (with the Zbkb/Zbkc functional units), branch
+comparator, and load/store lane units; the sketches differ only in staging
+and control placement.  ``ALU_OPS`` fixes the ALU operation encoding that
+the synthesized ``alu_op`` control selects from.
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+
+__all__ = [
+    "ALU_OPS",
+    "alu_op_index",
+    "build_decode_unit",
+    "build_immediate_unit",
+    "build_alu",
+    "build_branch_unit",
+    "build_load_unit",
+    "build_store_unit",
+    "IMM_SELECTS",
+]
+
+#: ALU operation encoding: index in this list == alu_op control value.
+ALU_OPS = (
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "rol", "ror", "andn", "orn", "xnor", "pack", "packh", "rev8", "brev8",
+    "zip", "unzip", "clmul", "clmulh", "copyb",
+)
+
+#: immediate-format encoding: imm_sel control value -> format
+IMM_SELECTS = {"I": 0, "S": 1, "B": 2, "U": 3, "J": 4}
+
+
+def alu_op_index(name):
+    return ALU_OPS.index(name)
+
+
+def build_decode_unit(inst):
+    """Split an instruction word into its fields (wires named for codegen)."""
+    opcode = inst[0:7].label("opcode")
+    rd = inst[7:12].label("rd")
+    funct3 = inst[12:15].label("funct3")
+    rs1f = inst[15:20].label("rs1f")
+    rs2f = inst[20:25].label("rs2f")
+    funct7 = inst[25:32].label("funct7")
+    return opcode, rd, funct3, rs1f, rs2f, funct7
+
+
+def build_immediate_unit(inst, imm_sel):
+    """All five immediate formats muxed by the 3-bit ``imm_sel`` control."""
+    imm_i = inst[20:32].sext(32)
+    imm_s = hdl.concat(inst[25:32], inst[7:12]).sext(32)
+    imm_b = hdl.concat(
+        inst[31], inst[7], inst[25:31], inst[8:12], hdl.Const(0, 1)
+    ).sext(32)
+    imm_u = hdl.concat(inst[12:32], hdl.Const(0, 12))
+    imm_j = hdl.concat(
+        inst[31], inst[12:20], inst[20], inst[21:31], hdl.Const(0, 1)
+    ).sext(32)
+    return hdl.mux(imm_sel, imm_i, imm_s, imm_b, imm_u, imm_j,
+                   imm_i, imm_i, imm_i)
+
+
+def build_alu(alu_op, in1, in2):
+    """The full ALU: base ops plus the Zbkb/Zbkc units, muxed by alu_op."""
+    amount = in2[0:5]
+    wide_amount = amount.zext(32)
+    complement = 32 - wide_amount
+    clmul_full = hdl.carryless_multiply(in1, in2)
+    byte0, byte1 = in1[0:8], in1[8:16]
+    byte2, byte3 = in1[16:24], in1[24:32]
+
+    def brev(byte):
+        return hdl.concat(*[byte[i] for i in range(8)])
+
+    zip_pairs = [
+        hdl.concat(in1[i + 16], in1[i]) for i in range(15, -1, -1)
+    ]
+    unzip_high = hdl.concat(*[in1[2 * i + 1] for i in range(15, -1, -1)])
+    unzip_low = hdl.concat(*[in1[2 * i] for i in range(15, -1, -1)])
+
+    results = {
+        "add": in1 + in2,
+        "sub": in1 - in2,
+        "sll": in1.shl(wide_amount),
+        "slt": in1.slt(in2).zext(32),
+        "sltu": (in1 < in2).zext(32),
+        "xor": in1 ^ in2,
+        "srl": in1.lshr(wide_amount),
+        "sra": in1.ashr(wide_amount),
+        "or": in1 | in2,
+        "and": in1 & in2,
+        "rol": in1.shl(wide_amount) | in1.lshr(complement),
+        "ror": in1.lshr(wide_amount) | in1.shl(complement),
+        "andn": in1 & ~in2,
+        "orn": in1 | ~in2,
+        "xnor": ~(in1 ^ in2),
+        "pack": hdl.concat(in2[0:16], in1[0:16]),
+        "packh": hdl.concat(in2[0:8], in1[0:8]).zext(32),
+        "rev8": hdl.concat(byte0, byte1, byte2, byte3),
+        "brev8": hdl.concat(brev(byte3), brev(byte2), brev(byte1),
+                            brev(byte0)),
+        "zip": hdl.concat(*zip_pairs),
+        "unzip": hdl.concat(unzip_high, unzip_low),
+        "clmul": clmul_full[0:32],
+        "clmulh": clmul_full[32:64],
+        "copyb": in2,
+    }
+    inputs = [results[name] for name in ALU_OPS]
+    inputs += [results["copyb"]] * (32 - len(inputs))
+    return hdl.mux(alu_op, *inputs)
+
+
+def build_branch_unit(funct3, rs1_val, rs2_val):
+    """Branch-taken condition selected by funct3 (fixed decode datapath)."""
+    return hdl.mux(
+        funct3,
+        rs1_val == rs2_val,       # 000 beq
+        rs1_val != rs2_val,       # 001 bne
+        hdl.Const(0, 1),          # 010 (unused)
+        hdl.Const(0, 1),          # 011 (unused)
+        rs1_val.slt(rs2_val),     # 100 blt
+        rs1_val.sge(rs2_val),     # 101 bge
+        rs1_val < rs2_val,        # 110 bltu
+        rs1_val >= rs2_val,       # 111 bgeu
+    )
+
+
+def build_load_unit(word, lane, mask_mode, sign_ext):
+    """Lane-select + extend a loaded word (mask_mode: 0=b, 1=h, 2/3=w)."""
+    half = hdl.select(lane[1], word[16:32], word[0:16])
+    byte = hdl.mux(lane, word[0:8], word[8:16], word[16:24], word[24:32])
+    byte_ext = hdl.select(sign_ext, byte.sext(32), byte.zext(32))
+    half_ext = hdl.select(sign_ext, half.sext(32), half.zext(32))
+    return hdl.mux(mask_mode, byte_ext, half_ext, word, word)
+
+
+def build_store_unit(old_word, store_data, lane, mask_mode):
+    """Read-modify-write merge for sub-word stores."""
+    byte = store_data[0:8]
+    half = store_data[0:16]
+    merged_h = hdl.select(
+        lane[1],
+        hdl.concat(half, old_word[0:16]),
+        hdl.concat(old_word[16:32], half),
+    )
+    merged_b = hdl.mux(
+        lane,
+        hdl.concat(old_word[8:32], byte),
+        hdl.concat(old_word[16:32], byte, old_word[0:8]),
+        hdl.concat(old_word[24:32], byte, old_word[0:16]),
+        hdl.concat(byte, old_word[0:24]),
+    )
+    return hdl.mux(mask_mode, merged_b, merged_h, store_data, store_data)

@@ -1,0 +1,191 @@
+"""RV32I + Zbkb + Zbkc instruction encodings and an assembler.
+
+The instruction table drives the ILA specification, the reference control
+logic, the assembler, and the golden instruction-set simulator, so every
+component agrees on one source of truth.
+
+Formats: R (register), I (immediate), I-SHAMT (shift-immediate with a fixed
+funct7), I-FUNCT12 (unary ops whose whole imm field is fixed, e.g. rev8),
+S (store), B (branch), U (upper immediate), J (jump).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "InstructionSpec",
+    "INSTRUCTIONS",
+    "VARIANTS",
+    "variant_instructions",
+    "encode",
+    "assemble",
+]
+
+# Major opcodes.
+OP_LUI = 0b0110111
+OP_AUIPC = 0b0010111
+OP_JAL = 0b1101111
+OP_JALR = 0b1100111
+OP_BRANCH = 0b1100011
+OP_LOAD = 0b0000011
+OP_STORE = 0b0100011
+OP_IMM = 0b0010011
+OP_OP = 0b0110011
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    name: str
+    fmt: str           # R, I, I-SHAMT, I-FUNCT12, S, B, U, J
+    opcode: int
+    funct3: int = None
+    funct7: int = None
+    funct12_rs2: int = None  # rs2-field constant for I-FUNCT12 ops
+    extension: str = "I"     # "I", "Zbkb", "Zbkc"
+
+
+def _r(name, funct3, funct7, extension="I"):
+    return InstructionSpec(name, "R", OP_OP, funct3, funct7,
+                           extension=extension)
+
+
+INSTRUCTIONS = {
+    spec.name: spec
+    for spec in [
+        # --- RV32I base (37 instructions; no fence/ecall/ebreak) ---------
+        InstructionSpec("lui", "U", OP_LUI),
+        InstructionSpec("auipc", "U", OP_AUIPC),
+        InstructionSpec("jal", "J", OP_JAL),
+        InstructionSpec("jalr", "I", OP_JALR, 0b000),
+        InstructionSpec("beq", "B", OP_BRANCH, 0b000),
+        InstructionSpec("bne", "B", OP_BRANCH, 0b001),
+        InstructionSpec("blt", "B", OP_BRANCH, 0b100),
+        InstructionSpec("bge", "B", OP_BRANCH, 0b101),
+        InstructionSpec("bltu", "B", OP_BRANCH, 0b110),
+        InstructionSpec("bgeu", "B", OP_BRANCH, 0b111),
+        InstructionSpec("lb", "I", OP_LOAD, 0b000),
+        InstructionSpec("lh", "I", OP_LOAD, 0b001),
+        InstructionSpec("lw", "I", OP_LOAD, 0b010),
+        InstructionSpec("lbu", "I", OP_LOAD, 0b100),
+        InstructionSpec("lhu", "I", OP_LOAD, 0b101),
+        InstructionSpec("sb", "S", OP_STORE, 0b000),
+        InstructionSpec("sh", "S", OP_STORE, 0b001),
+        InstructionSpec("sw", "S", OP_STORE, 0b010),
+        InstructionSpec("addi", "I", OP_IMM, 0b000),
+        InstructionSpec("slti", "I", OP_IMM, 0b010),
+        InstructionSpec("sltiu", "I", OP_IMM, 0b011),
+        InstructionSpec("xori", "I", OP_IMM, 0b100),
+        InstructionSpec("ori", "I", OP_IMM, 0b110),
+        InstructionSpec("andi", "I", OP_IMM, 0b111),
+        InstructionSpec("slli", "I-SHAMT", OP_IMM, 0b001, 0b0000000),
+        InstructionSpec("srli", "I-SHAMT", OP_IMM, 0b101, 0b0000000),
+        InstructionSpec("srai", "I-SHAMT", OP_IMM, 0b101, 0b0100000),
+        _r("add", 0b000, 0b0000000),
+        _r("sub", 0b000, 0b0100000),
+        _r("sll", 0b001, 0b0000000),
+        _r("slt", 0b010, 0b0000000),
+        _r("sltu", 0b011, 0b0000000),
+        _r("xor", 0b100, 0b0000000),
+        _r("srl", 0b101, 0b0000000),
+        _r("sra", 0b101, 0b0100000),
+        _r("or", 0b110, 0b0000000),
+        _r("and", 0b111, 0b0000000),
+        # --- Zbkb: bit manipulation for cryptography (12) ------------------
+        _r("rol", 0b001, 0b0110000, "Zbkb"),
+        _r("ror", 0b101, 0b0110000, "Zbkb"),
+        InstructionSpec("rori", "I-SHAMT", OP_IMM, 0b101, 0b0110000,
+                        extension="Zbkb"),
+        _r("andn", 0b111, 0b0100000, "Zbkb"),
+        _r("orn", 0b110, 0b0100000, "Zbkb"),
+        _r("xnor", 0b100, 0b0100000, "Zbkb"),
+        InstructionSpec("rev8", "I-FUNCT12", OP_IMM, 0b101, 0b0110100,
+                        funct12_rs2=0b11000, extension="Zbkb"),
+        InstructionSpec("brev8", "I-FUNCT12", OP_IMM, 0b101, 0b0110100,
+                        funct12_rs2=0b00111, extension="Zbkb"),
+        InstructionSpec("zip", "I-FUNCT12", OP_IMM, 0b001, 0b0000100,
+                        funct12_rs2=0b01111, extension="Zbkb"),
+        InstructionSpec("unzip", "I-FUNCT12", OP_IMM, 0b101, 0b0000100,
+                        funct12_rs2=0b01111, extension="Zbkb"),
+        _r("pack", 0b100, 0b0000100, "Zbkb"),
+        _r("packh", 0b111, 0b0000100, "Zbkb"),
+        # --- Zbkc: carryless multiply (2) ------------------------------------
+        _r("clmul", 0b001, 0b0000101, "Zbkc"),
+        _r("clmulh", 0b011, 0b0000101, "Zbkc"),
+        # --- the bespoke constant-time core's custom instruction -----------
+        # cmov rd, rs1, rs2: rd <- (rs2 != 0) ? rs1 : rd  (custom-0 opcode)
+        InstructionSpec("cmov", "R", 0b0001011, 0b000, 0b0000000,
+                        extension="Xcmov"),
+    ]
+}
+
+#: Table 1's design variants -> extensions included
+VARIANTS = {
+    "RV32I": ("I",),
+    "RV32I+Zbkb": ("I", "Zbkb"),
+    "RV32I+Zbkc": ("I", "Zbkb", "Zbkc"),
+}
+
+
+def variant_instructions(variant):
+    """The instruction names belonging to a Table 1 variant, in table order."""
+    extensions = VARIANTS[variant]
+    return [
+        name for name, spec in INSTRUCTIONS.items()
+        if spec.extension in extensions
+    ]
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def encode(name, rd=0, rs1=0, rs2=0, imm=0):
+    """Encode one instruction to its 32-bit word.
+
+    ``imm`` is the architectural immediate (byte offsets for branches and
+    jumps, the full 32-bit value for LUI/AUIPC with the low 12 bits zero).
+    """
+    spec = INSTRUCTIONS[name]
+    opcode = spec.opcode
+    if spec.fmt == "R":
+        return (spec.funct7 << 25 | rs2 << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if spec.fmt == "I":
+        return ((imm & 0xFFF) << 20 | rs1 << 15 | spec.funct3 << 12
+                | rd << 7 | opcode)
+    if spec.fmt == "I-SHAMT":
+        return (spec.funct7 << 25 | (imm & 0x1F) << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if spec.fmt == "I-FUNCT12":
+        return (spec.funct7 << 25 | spec.funct12_rs2 << 20 | rs1 << 15
+                | spec.funct3 << 12 | rd << 7 | opcode)
+    if spec.fmt == "S":
+        imm &= 0xFFF
+        return ((imm >> 5) << 25 | rs2 << 20 | rs1 << 15
+                | spec.funct3 << 12 | (imm & 0x1F) << 7 | opcode)
+    if spec.fmt == "B":
+        imm &= 0x1FFF
+        return (((imm >> 12) & 1) << 31 | ((imm >> 5) & 0x3F) << 25
+                | rs2 << 20 | rs1 << 15 | spec.funct3 << 12
+                | ((imm >> 1) & 0xF) << 8 | ((imm >> 11) & 1) << 7 | opcode)
+    if spec.fmt == "U":
+        return (imm & 0xFFFFF000) | rd << 7 | opcode
+    if spec.fmt == "J":
+        imm &= 0x1FFFFF
+        return (((imm >> 20) & 1) << 31 | ((imm >> 1) & 0x3FF) << 21
+                | ((imm >> 11) & 1) << 20 | ((imm >> 12) & 0xFF) << 12
+                | rd << 7 | opcode)
+    raise ValueError(f"unknown format {spec.fmt!r}")
+
+
+def assemble(program, base=0):
+    """Assemble ``(name, kwargs)`` pairs into a word-indexed memory image.
+
+    Returns ``{word_index: instruction_word}`` suitable for loading into
+    ``i_mem``.  ``base`` is the byte address of the first instruction.
+    """
+    image = {}
+    for offset, (name, kwargs) in enumerate(program):
+        image[(base >> 2) + offset] = encode(name, **kwargs)
+    return image

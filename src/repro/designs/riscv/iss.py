@@ -1,0 +1,281 @@
+"""A golden instruction-set simulator for the RV32I(+Zbkb/Zbkc) subset.
+
+Used as the differential oracle for the synthesized cores and by the
+constant-time study's cycle accounting.  Memory is word-addressed (matching
+the spec and datapath model); sub-word accesses are lane-aligned.
+"""
+
+from __future__ import annotations
+
+from repro.designs.riscv.encodings import INSTRUCTIONS
+
+__all__ = [
+    "GoldenISS",
+    "rev8",
+    "brev8",
+    "zip32",
+    "unzip32",
+    "clmul32",
+    "clmulh32",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _signed(value):
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def _sext(value, bits):
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value & _MASK32
+
+
+def rev8(x):
+    """Byte-reverse a 32-bit value."""
+    return ((x & 0xFF) << 24 | (x & 0xFF00) << 8
+            | (x >> 8) & 0xFF00 | (x >> 24) & 0xFF)
+
+
+def brev8(x):
+    """Bit-reverse within each byte."""
+    out = 0
+    for byte_index in range(4):
+        byte = (x >> (8 * byte_index)) & 0xFF
+        reversed_byte = int(f"{byte:08b}"[::-1], 2)
+        out |= reversed_byte << (8 * byte_index)
+    return out
+
+
+def zip32(x):
+    """Interleave: out[2i] = x[i], out[2i+1] = x[i+16]."""
+    out = 0
+    for i in range(16):
+        out |= ((x >> i) & 1) << (2 * i)
+        out |= ((x >> (i + 16)) & 1) << (2 * i + 1)
+    return out
+
+
+def unzip32(x):
+    """The inverse of zip32: out[i] = x[2i], out[i+16] = x[2i+1]."""
+    out = 0
+    for i in range(16):
+        out |= ((x >> (2 * i)) & 1) << i
+        out |= ((x >> (2 * i + 1)) & 1) << (i + 16)
+    return out
+
+
+def _clmul64(a, b):
+    out = 0
+    for i in range(32):
+        if (b >> i) & 1:
+            out ^= a << i
+    return out
+
+
+def clmul32(a, b):
+    return _clmul64(a, b) & _MASK32
+
+
+def clmulh32(a, b):
+    return (_clmul64(a, b) >> 32) & _MASK32
+
+
+class GoldenISS:
+    """Executes decoded RV32I(+Zbkb/Zbkc) instructions one at a time."""
+
+    def __init__(self, memory=None, pc=0, regs=None):
+        self.pc = pc & _MASK32
+        self.regs = [0] * 32
+        if regs:
+            for index, value in regs.items():
+                self.regs[index] = value & _MASK32
+        self.regs[0] = 0
+        self.memory = dict(memory or {})  # word index -> 32-bit word
+        self.instret = 0
+
+    # -- memory helpers ------------------------------------------------------
+
+    def load_word(self, byte_addr):
+        return self.memory.get((byte_addr >> 2) & 0x3FFFFFFF, 0)
+
+    def store_word(self, byte_addr, value):
+        self.memory[(byte_addr >> 2) & 0x3FFFFFFF] = value & _MASK32
+
+    def _write_rd(self, rd, value):
+        if rd != 0:
+            self.regs[rd] = value & _MASK32
+
+    # -- decode ------------------------------------------------------------------
+
+    @staticmethod
+    def decode(word):
+        """Decode a word to (name, fields) or raise ValueError."""
+        opcode = word & 0x7F
+        rd = (word >> 7) & 0x1F
+        funct3 = (word >> 12) & 0x7
+        rs1 = (word >> 15) & 0x1F
+        rs2 = (word >> 20) & 0x1F
+        funct7 = (word >> 25) & 0x7F
+        for name, spec in INSTRUCTIONS.items():
+            if spec.opcode != opcode:
+                continue
+            if spec.funct3 is not None and spec.funct3 != funct3:
+                continue
+            if spec.fmt in ("R", "I-SHAMT", "I-FUNCT12") and (
+                spec.funct7 != funct7
+            ):
+                continue
+            if spec.fmt == "I-FUNCT12" and spec.funct12_rs2 != rs2:
+                continue
+            return name, {
+                "rd": rd, "rs1": rs1, "rs2": rs2,
+                "funct3": funct3, "funct7": funct7, "word": word,
+            }
+        raise ValueError(f"cannot decode {word:#010x}")
+
+    # -- immediates -----------------------------------------------------------------
+
+    @staticmethod
+    def _imm(fmt, word):
+        if fmt in ("I", "I-SHAMT", "I-FUNCT12"):
+            return _sext(word >> 20, 12)
+        if fmt == "S":
+            return _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+        if fmt == "B":
+            imm = (((word >> 31) & 1) << 12 | ((word >> 7) & 1) << 11
+                   | ((word >> 25) & 0x3F) << 5 | ((word >> 8) & 0xF) << 1)
+            return _sext(imm, 13)
+        if fmt == "U":
+            return word & 0xFFFFF000
+        if fmt == "J":
+            imm = (((word >> 31) & 1) << 20 | ((word >> 12) & 0xFF) << 12
+                   | ((word >> 20) & 1) << 11 | ((word >> 21) & 0x3FF) << 1)
+            return _sext(imm, 21)
+        raise ValueError(fmt)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def step(self):
+        """Fetch, decode, and execute one instruction."""
+        word = self.load_word(self.pc)
+        name, fields = self.decode(word)
+        self.execute(name, fields)
+        self.instret += 1
+        return name
+
+    def run(self, max_steps, halt_pc=None):
+        """Step until ``halt_pc`` (a tight self-loop also counts as halted)."""
+        for _ in range(max_steps):
+            if halt_pc is not None and self.pc == halt_pc:
+                return True
+            before = self.pc
+            self.step()
+            if halt_pc is None and self.pc == before:
+                return True  # self-loop: conventional halt
+        return False
+
+    def execute(self, name, fields):
+        spec = INSTRUCTIONS[name]
+        rd = fields["rd"]
+        rs1_val = self.regs[fields["rs1"]]
+        rs2_val = self.regs[fields["rs2"]]
+        word = fields["word"]
+        imm = self._imm(spec.fmt, word) if spec.fmt != "R" else 0
+        shamt = (word >> 20) & 0x1F
+        next_pc = (self.pc + 4) & _MASK32
+
+        if name == "lui":
+            self._write_rd(rd, imm)
+        elif name == "auipc":
+            self._write_rd(rd, self.pc + imm)
+        elif name == "jal":
+            self._write_rd(rd, self.pc + 4)
+            next_pc = (self.pc + imm) & _MASK32
+        elif name == "jalr":
+            self._write_rd(rd, self.pc + 4)
+            next_pc = (rs1_val + imm) & ~1 & _MASK32
+        elif spec.fmt == "B":
+            taken = {
+                "beq": rs1_val == rs2_val,
+                "bne": rs1_val != rs2_val,
+                "blt": _signed(rs1_val) < _signed(rs2_val),
+                "bge": _signed(rs1_val) >= _signed(rs2_val),
+                "bltu": rs1_val < rs2_val,
+                "bgeu": rs1_val >= rs2_val,
+            }[name]
+            if taken:
+                next_pc = (self.pc + imm) & _MASK32
+        elif name in ("lb", "lh", "lw", "lbu", "lhu"):
+            addr = (rs1_val + imm) & _MASK32
+            loaded = self.load_word(addr)
+            if name == "lw":
+                value = loaded
+            elif name in ("lh", "lhu"):
+                half = (loaded >> (16 * ((addr >> 1) & 1))) & 0xFFFF
+                value = _sext(half, 16) if name == "lh" else half
+            else:
+                byte = (loaded >> (8 * (addr & 3))) & 0xFF
+                value = _sext(byte, 8) if name == "lb" else byte
+            self._write_rd(rd, value)
+        elif name in ("sb", "sh", "sw"):
+            addr = (rs1_val + imm) & _MASK32
+            old = self.load_word(addr)
+            if name == "sw":
+                merged = rs2_val
+            elif name == "sh":
+                shift = 16 * ((addr >> 1) & 1)
+                merged = (old & ~(0xFFFF << shift)) | (
+                    (rs2_val & 0xFFFF) << shift
+                )
+            else:
+                shift = 8 * (addr & 3)
+                merged = (old & ~(0xFF << shift)) | ((rs2_val & 0xFF) << shift)
+            self.store_word(addr, merged)
+        elif name == "cmov":
+            self._write_rd(rd, rs1_val if rs2_val != 0 else self.regs[rd])
+        else:
+            operand = rs2_val if spec.fmt == "R" else imm & _MASK32
+            amount = (rs2_val if spec.fmt == "R" else shamt) & 0x1F
+            self._write_rd(rd, self._alu(name, rs1_val, operand, amount))
+        self.pc = next_pc
+        self.regs[0] = 0
+
+    _IMM_ALIASES = {
+        "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+        "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+        "srai": "sra", "rori": "ror",
+    }
+
+    @classmethod
+    def _alu(cls, name, a, b, amount):
+        base = cls._IMM_ALIASES.get(name, name)
+        operations = {
+            "add": lambda: a + b,
+            "sub": lambda: a - b,
+            "sll": lambda: a << amount,
+            "slt": lambda: int(_signed(a) < _signed(b)),
+            "sltu": lambda: int(a < b),
+            "xor": lambda: a ^ b,
+            "srl": lambda: a >> amount,
+            "sra": lambda: _signed(a) >> amount,
+            "or": lambda: a | b,
+            "and": lambda: a & b,
+            "rol": lambda: (a << amount) | (a >> ((32 - amount) % 32))
+            if amount else a,
+            "ror": lambda: (a >> amount) | (a << ((32 - amount) % 32))
+            if amount else a,
+            "andn": lambda: a & ~b,
+            "orn": lambda: a | ~b,
+            "xnor": lambda: ~(a ^ b),
+            "pack": lambda: ((b & 0xFFFF) << 16) | (a & 0xFFFF),
+            "packh": lambda: ((b & 0xFF) << 8) | (a & 0xFF),
+            "rev8": lambda: rev8(a),
+            "brev8": lambda: brev8(a),
+            "zip": lambda: zip32(a),
+            "unzip": lambda: unzip32(a),
+            "clmul": lambda: clmul32(a, b),
+            "clmulh": lambda: clmulh32(a, b),
+        }
+        return operations[base]() & _MASK32

@@ -1,0 +1,46 @@
+"""Problem assembly for the RISC-V case studies (Table 1 rows)."""
+
+from __future__ import annotations
+
+from repro.designs.riscv.spec import build_spec
+from repro.designs.riscv.sketch_single_cycle import (
+    build_single_cycle_alpha,
+    build_single_cycle_sketch,
+)
+from repro.designs.riscv.sketch_two_stage import (
+    build_two_stage_alpha,
+    build_two_stage_sketch,
+)
+from repro.synthesis import SynthesisProblem
+
+__all__ = ["build_problem"]
+
+_MICROARCHES = {
+    "single_cycle": (build_single_cycle_sketch, build_single_cycle_alpha),
+    "two_stage": (build_two_stage_sketch, build_two_stage_alpha),
+}
+
+
+def build_problem(variant="RV32I", microarch="single_cycle",
+                  instructions=None):
+    """Build a synthesis problem for one (variant, microarchitecture) pair.
+
+    ``instructions`` optionally restricts the specification to the named
+    subset (used by tests and the scaling ablation).
+    """
+    build_sketch, build_alpha = _MICROARCHES[microarch]
+    spec = build_spec(variant)
+    if instructions is not None:
+        wanted = set(instructions)
+        spec.instructions = [
+            instr for instr in spec.instructions if instr.name in wanted
+        ]
+        missing = wanted - {instr.name for instr in spec.instructions}
+        if missing:
+            raise ValueError(f"unknown instructions: {sorted(missing)}")
+    return SynthesisProblem(
+        sketch=build_sketch(),
+        spec=spec,
+        alpha=build_alpha(),
+        name=f"{variant}/{microarch}",
+    )

@@ -1,0 +1,122 @@
+"""The single-cycle RISC-V datapath sketch (Section 4.1.1).
+
+Control points left as holes, mirroring the paper's listing::
+
+    alu_imm  <<= ??(opcode, funct3, funct7)
+    alu_op   <<= ??(opcode, funct3, funct7)
+    reg_write <<= ??(opcode, funct3, funct7)
+    ...
+
+(our holes also observe ``rs2f``, required to distinguish the Zbkb unary
+instructions rev8/brev8/zip/unzip, which share opcode/funct3/funct7).
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.designs.riscv.datapath import (
+    build_alu,
+    build_branch_unit,
+    build_decode_unit,
+    build_immediate_unit,
+    build_load_unit,
+    build_store_unit,
+)
+
+__all__ = ["build_single_cycle_sketch", "build_single_cycle_alpha",
+           "CONTROL_HOLES"]
+
+#: hole name -> width (instruction-decoder control, Figure 7 style)
+CONTROL_HOLES = {
+    "imm_sel": 3,
+    "alu_src1_pc": 1,
+    "alu_imm": 1,
+    "alu_op": 5,
+    "reg_write": 1,
+    "mem_read": 1,
+    "mem_write": 1,
+    "mask_mode": 2,
+    "mem_sign_ext": 1,
+    "jump": 1,
+    "jalr_sel": 1,
+    "branch_en": 1,
+}
+
+
+def build_single_cycle_sketch():
+    with hdl.Module("rv32_single_cycle") as module:
+        pc = hdl.Register(32, "pc")
+        rf = hdl.MemBlock(5, 32, "rf")
+        i_mem = hdl.MemBlock(30, 32, "i_mem")
+        d_mem = hdl.MemBlock(30, 32, "d_mem")
+
+        # Fetch and decode.
+        instruction = i_mem.read(pc[2:32]).label("instruction")
+        opcode, rd, funct3, rs1f, rs2f, funct7 = build_decode_unit(
+            instruction
+        )
+
+        # Control logic left as holes.
+        deps = [opcode, funct3, funct7, rs2f]
+        holes = {
+            name: hdl.Hole(width, name, deps=deps)
+            for name, width in CONTROL_HOLES.items()
+        }
+
+        # Register file read.
+        rs1_val = rf.read(rs1f).label("rs1_val")
+        rs2_val = rf.read(rs2f).label("rs2_val")
+
+        # Immediates and ALU.
+        imm = build_immediate_unit(instruction, holes["imm_sel"])
+        alu_in1 = hdl.select(holes["alu_src1_pc"], pc, rs1_val)
+        alu_in2 = hdl.mux(holes["alu_imm"], rs2_val, imm)
+        alu_out = build_alu(holes["alu_op"], alu_in1, alu_in2).label(
+            "alu_out"
+        )
+
+        # Data memory.
+        lane = alu_out[0:2]
+        word_addr = alu_out[2:32]
+        loaded_word = d_mem.read(word_addr)
+        load_value = build_load_unit(
+            loaded_word, lane, holes["mask_mode"], holes["mem_sign_ext"]
+        )
+        merged = build_store_unit(
+            loaded_word, rs2_val, lane, holes["mask_mode"]
+        )
+        d_mem.write(word_addr, merged, enable=holes["mem_write"])
+
+        # Write back (x0 is structurally write-protected).
+        pc_plus_4 = (pc + 4).label("pc_plus_4")
+        wb_value = hdl.mux(
+            holes["mem_read"],
+            hdl.mux(holes["jump"], alu_out, pc_plus_4),
+            load_value,
+        )
+        rd_is_zero = rd == 0
+        rf.write(rd, wb_value, enable=holes["reg_write"] & ~rd_is_zero)
+
+        # Next PC.
+        taken = build_branch_unit(funct3, rs1_val, rs2_val)
+        branch_target = (pc + imm).label("branch_target")
+        jalr_target = alu_out & hdl.Const(0xFFFFFFFE, 32)
+        target = hdl.select(holes["jalr_sel"], jalr_target, branch_target)
+        redirect = holes["jump"] | (holes["branch_en"] & taken)
+        pc.next <<= hdl.select(redirect, target, pc_plus_4)
+    return module.to_oyster()
+
+
+_ALPHA_TEXT = """
+pc:  {name: 'pc', type: register, [read: 1, write: 1]}
+GPR: {name: 'rf', type: memory, [read: 1, write: 1]}
+mem: {name: 'd_mem', type: memory, [read: 1, write: 1]}
+mem: {name: 'i_mem', type: memory, [read: 1]}
+with cycles: 1
+fields: {opcode: 'opcode', funct3: 'funct3', funct7: 'funct7', rs2f: 'rs2f'}
+"""
+
+
+def build_single_cycle_alpha():
+    return parse_abstraction(_ALPHA_TEXT)

@@ -1,0 +1,139 @@
+"""The two-stage pipelined RISC-V sketch (Section 4.1.2, Ibex-like).
+
+Stage 1: fetch + decode + execute (and branch resolution); stage 2: memory
+and write-back.  Fetch runs off its own ``fetch_pc`` register (updated every
+cycle) while the architectural ``pc`` commits in stage 2 — the classic
+flushed-pipeline abstraction: synthesis evaluates from a drained state where
+``fetch_pc == pc``, expressed with the abstraction function's ``assume``
+clause over the ``pcs_agree`` wire.
+
+A write-back-to-read bypass on the register file (fixed datapath, not
+control) resolves the stage-2-write/stage-1-read hazard so the completed
+core is correct at CPI=1, which the differential tests against the golden
+ISS exercise.
+"""
+
+from __future__ import annotations
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.designs.riscv.datapath import (
+    build_alu,
+    build_branch_unit,
+    build_decode_unit,
+    build_immediate_unit,
+    build_load_unit,
+    build_store_unit,
+)
+from repro.designs.riscv.sketch_single_cycle import CONTROL_HOLES
+
+__all__ = ["build_two_stage_sketch", "build_two_stage_alpha"]
+
+
+def build_two_stage_sketch():
+    with hdl.Module("rv32_two_stage") as module:
+        pc = hdl.Register(32, "pc")
+        fetch_pc = hdl.Register(32, "fetch_pc")
+        rf = hdl.MemBlock(5, 32, "rf")
+        i_mem = hdl.MemBlock(30, 32, "i_mem")
+        d_mem = hdl.MemBlock(30, 32, "d_mem")
+
+        # Stage-2 pipeline registers (declared first so stage 1 can read the
+        # bypass values; control-carrying registers reset to harmless 0).
+        p_wb = hdl.Register(32, "p_wb")
+        p_rd = hdl.Register(5, "p_rd")
+        p_reg_write = hdl.Register(1, "p_reg_write", init=0)
+        p_mem_read = hdl.Register(1, "p_mem_read", init=0)
+        p_mem_write = hdl.Register(1, "p_mem_write", init=0)
+        p_mask_mode = hdl.Register(2, "p_mask_mode")
+        p_sign_ext = hdl.Register(1, "p_sign_ext")
+        p_store_data = hdl.Register(32, "p_store_data")
+        p_addr = hdl.Register(32, "p_addr")
+        p_next_pc = hdl.Register(32, "p_next_pc")
+
+        # The drained-pipeline invariant assumed by the abstraction function.
+        pcs_agree = (fetch_pc == pc).label("pcs_agree")
+
+        # ---- Stage 1: fetch, decode, execute --------------------------------
+        instruction = i_mem.read(fetch_pc[2:32]).label("instruction")
+        opcode, rd, funct3, rs1f, rs2f, funct7 = build_decode_unit(
+            instruction
+        )
+        deps = [opcode, funct3, funct7, rs2f]
+        holes = {
+            name: hdl.Hole(width, name, deps=deps)
+            for name, width in CONTROL_HOLES.items()
+        }
+
+        # Stage-2 write-back value (computed here: stage 2 is further down
+        # the program but a cycle ahead for the older instruction).
+        lane2 = p_addr[0:2]
+        loaded_word = d_mem.read(p_addr[2:32])
+        load_value = build_load_unit(
+            loaded_word, lane2, p_mask_mode, p_sign_ext
+        )
+        wb_value = hdl.mux(p_mem_read, p_wb, load_value).label("wb_value")
+
+        # Register read with write-back bypass (fixed hazard hardware).
+        rs1_raw = rf.read(rs1f)
+        rs2_raw = rf.read(rs2f)
+        rd_live = (p_reg_write & (p_rd != 0)).label("rd_live")
+        rs1_val = hdl.select(
+            rd_live & (p_rd == rs1f), wb_value, rs1_raw
+        ).label("rs1_val")
+        rs2_val = hdl.select(
+            rd_live & (p_rd == rs2f), wb_value, rs2_raw
+        ).label("rs2_val")
+
+        imm = build_immediate_unit(instruction, holes["imm_sel"])
+        alu_in1 = hdl.select(holes["alu_src1_pc"], fetch_pc, rs1_val)
+        alu_in2 = hdl.mux(holes["alu_imm"], rs2_val, imm)
+        alu_out = build_alu(holes["alu_op"], alu_in1, alu_in2).label(
+            "alu_out"
+        )
+
+        taken = build_branch_unit(funct3, rs1_val, rs2_val)
+        fetch_pc_plus_4 = (fetch_pc + 4).label("fetch_pc_plus_4")
+        branch_target = (fetch_pc + imm).label("branch_target")
+        jalr_target = alu_out & hdl.Const(0xFFFFFFFE, 32)
+        target = hdl.select(holes["jalr_sel"], jalr_target, branch_target)
+        redirect = holes["jump"] | (holes["branch_en"] & taken)
+        next_pc = hdl.select(redirect, target, fetch_pc_plus_4).label(
+            "next_pc"
+        )
+        fetch_pc.next <<= next_pc
+
+        # Latch stage-2 state.
+        p_wb.next <<= hdl.mux(holes["jump"], alu_out, fetch_pc_plus_4)
+        p_rd.next <<= rd
+        p_reg_write.next <<= holes["reg_write"]
+        p_mem_read.next <<= holes["mem_read"]
+        p_mem_write.next <<= holes["mem_write"]
+        p_mask_mode.next <<= holes["mask_mode"]
+        p_sign_ext.next <<= holes["mem_sign_ext"]
+        p_store_data.next <<= rs2_val
+        p_addr.next <<= alu_out
+        p_next_pc.next <<= next_pc
+
+        # ---- Stage 2: memory + write back -------------------------------------
+        merged = build_store_unit(
+            loaded_word, p_store_data, lane2, p_mask_mode
+        )
+        d_mem.write(p_addr[2:32], merged, enable=p_mem_write)
+        rf.write(p_rd, wb_value, enable=rd_live)
+        pc.next <<= p_next_pc
+    return module.to_oyster()
+
+
+_ALPHA_TEXT = """
+pc:  {name: 'pc', type: register, [read: 1, write: 2]}
+GPR: {name: 'rf', type: memory, [read: 1, write: 2]}
+mem: {name: 'd_mem', type: memory, [read: 2, write: 2]}
+mem: {name: 'i_mem', type: memory, [read: 1]}
+with cycles: 2, [pcs_agree: 1]
+fields: {opcode: 'opcode', funct3: 'funct3', funct7: 'funct7', rs2f: 'rs2f'}
+"""
+
+
+def build_two_stage_alpha():
+    return parse_abstraction(_ALPHA_TEXT)

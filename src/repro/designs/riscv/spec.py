@@ -1,0 +1,333 @@
+"""The ILA specification for the RV32I(+Zbkb/Zbkc) cores.
+
+Built from the same instruction table as the assembler/ISS.  Architectural
+state: ``pc`` (32), ``GPR`` (32 x 32, including x0 — stores to x0 are
+skipped with a conditional Store, and reset establishes the x0==0
+invariant), and a unified word-addressed memory ``mem`` (2^30 x 32) whose
+fetch and data views the abstraction function maps to ``i_mem``/``d_mem``.
+
+Decode fields ``opcode``, ``funct3``, ``funct7`` and ``rs2f`` (the rs2/shamt
+bit field, needed to distinguish rev8/brev8/zip/unzip) are declared for the
+control-union code generator.
+"""
+
+from __future__ import annotations
+
+from repro.designs.riscv.encodings import INSTRUCTIONS, variant_instructions
+from repro.ila import (
+    And,
+    BvConst,
+    Concat,
+    Extract,
+    Ila,
+    Ite,
+    Load,
+    SExt,
+    Store,
+    ZExt,
+)
+
+__all__ = ["build_spec", "XLEN"]
+
+XLEN = 32
+
+
+def build_spec(variant="RV32I", names=None, spec_name=None):
+    """Build the ILA for one Table 1 variant.
+
+    ``names`` overrides the instruction list entirely (used by the bespoke
+    constant-time core, whose ISA is an RV32I subset plus ``cmov``).
+    """
+    default_name = f"riscv_{variant.replace('+', '_').lower()}"
+    ila = Ila(spec_name or default_name)
+    pc = ila.new_bv_state("pc", XLEN)
+    gpr = ila.new_mem_state("GPR", 5, XLEN)
+    mem = ila.new_mem_state("mem", 30, XLEN)
+
+    inst = ila.set_fetch(Load(mem, Extract(pc, 31, 2)))
+    opcode = ila.declare_decode_field("opcode", Extract(inst, 6, 0))
+    funct3 = ila.declare_decode_field("funct3", Extract(inst, 14, 12))
+    funct7 = ila.declare_decode_field("funct7", Extract(inst, 31, 25))
+    rs2f = ila.declare_decode_field("rs2f", Extract(inst, 24, 20))
+
+    rd = Extract(inst, 11, 7)
+    rs1f = Extract(inst, 19, 15)
+    rs1_val = Load(gpr, rs1f)
+    rs2_val = Load(gpr, rs2f)
+
+    imm_i = SExt(Extract(inst, 31, 20), XLEN)
+    imm_s = SExt(Concat(Extract(inst, 31, 25), Extract(inst, 11, 7)), XLEN)
+    imm_b = SExt(
+        Concat(
+            Extract(inst, 31, 31),
+            Concat(
+                Extract(inst, 7, 7),
+                Concat(
+                    Extract(inst, 30, 25),
+                    Concat(Extract(inst, 11, 8), BvConst(0, 1)),
+                ),
+            ),
+        ),
+        XLEN,
+    )
+    imm_u = Concat(Extract(inst, 31, 12), BvConst(0, 12))
+    imm_j = SExt(
+        Concat(
+            Extract(inst, 31, 31),
+            Concat(
+                Extract(inst, 19, 12),
+                Concat(
+                    Extract(inst, 20, 20),
+                    Concat(Extract(inst, 30, 21), BvConst(0, 1)),
+                ),
+            ),
+        ),
+        XLEN,
+    )
+    shamt_imm = Extract(inst, 24, 20)
+
+    pc_plus_4 = pc + BvConst(4, XLEN)
+
+    def write_rd(value):
+        """GPR update skipping x0 (reset keeps x0 at zero)."""
+        return Ite(rd == BvConst(0, 5), gpr, Store(gpr, rd, value))
+
+    def decode_for(spec):
+        terms = [opcode == BvConst(spec.opcode, 7)]
+        if spec.funct3 is not None:
+            terms.append(funct3 == BvConst(spec.funct3, 3))
+        if spec.fmt in ("R", "I-SHAMT", "I-FUNCT12"):
+            terms.append(funct7 == BvConst(spec.funct7, 7))
+        if spec.fmt == "I-FUNCT12":
+            terms.append(rs2f == BvConst(spec.funct12_rs2, 5))
+        return And(*terms)
+
+    # -- shared sub-expressions ------------------------------------------------
+
+    def shift_amount(value):
+        return ZExt(value, XLEN)
+
+    def rotate_left(value, amount5):
+        amount = shift_amount(amount5)
+        complement = BvConst(XLEN, XLEN) - amount
+        return value.shl(amount) | value.lshr(complement)
+
+    def rotate_right(value, amount5):
+        amount = shift_amount(amount5)
+        complement = BvConst(XLEN, XLEN) - amount
+        return value.lshr(amount) | value.shl(complement)
+
+    def bool_to_bv(bit):
+        return ZExt(bit, XLEN)
+
+    def rev8_expr(value):
+        return Concat(
+            Extract(value, 7, 0),
+            Concat(
+                Extract(value, 15, 8),
+                Concat(Extract(value, 23, 16), Extract(value, 31, 24)),
+            ),
+        )
+
+    def brev8_expr(value):
+        out = None
+        for byte_index in range(3, -1, -1):
+            byte = None
+            for bit in range(8):
+                piece = Extract(value, 8 * byte_index + bit,
+                                8 * byte_index + bit)
+                byte = piece if byte is None else Concat(byte, piece)
+            out = byte if out is None else Concat(out, byte)
+        return out
+
+    def zip_expr(value):
+        out = None  # build MSB-first: bit 31 down to 0
+        for i in range(15, -1, -1):
+            pair = Concat(
+                Extract(value, i + 16, i + 16), Extract(value, i, i)
+            )
+            out = pair if out is None else Concat(out, pair)
+        return out
+
+    def unzip_expr(value):
+        high = None
+        low = None
+        for i in range(15, -1, -1):
+            odd = Extract(value, 2 * i + 1, 2 * i + 1)
+            even = Extract(value, 2 * i, 2 * i)
+            high = odd if high is None else Concat(high, odd)
+            low = even if low is None else Concat(low, even)
+        return Concat(high, low)
+
+    def clmul_wide(a, b):
+        wide_a = ZExt(a, 2 * XLEN)
+        accumulator = BvConst(0, 2 * XLEN)
+        for i in range(XLEN):
+            bit = Extract(b, i, i)
+            term = Ite(
+                bit == BvConst(1, 1),
+                wide_a.shl(BvConst(i, 2 * XLEN)),
+                BvConst(0, 2 * XLEN),
+            )
+            accumulator = accumulator ^ term
+        return accumulator
+
+    # -- ALU-style result per instruction ------------------------------------------
+
+    def alu_result(name, operand, amount):
+        results = {
+            "add": lambda: rs1_val + operand,
+            "sub": lambda: rs1_val - operand,
+            "sll": lambda: rs1_val.shl(shift_amount(amount)),
+            "slt": lambda: bool_to_bv(rs1_val.slt(operand)),
+            "sltu": lambda: bool_to_bv(rs1_val < operand),
+            "xor": lambda: rs1_val ^ operand,
+            "srl": lambda: rs1_val.lshr(shift_amount(amount)),
+            "sra": lambda: rs1_val.ashr(shift_amount(amount)),
+            "or": lambda: rs1_val | operand,
+            "and": lambda: rs1_val & operand,
+            "rol": lambda: rotate_left(rs1_val, amount),
+            "ror": lambda: rotate_right(rs1_val, amount),
+            "andn": lambda: rs1_val & ~operand,
+            "orn": lambda: rs1_val | ~operand,
+            "xnor": lambda: ~(rs1_val ^ operand),
+            "pack": lambda: Concat(Extract(operand, 15, 0),
+                                   Extract(rs1_val, 15, 0)),
+            "packh": lambda: ZExt(
+                Concat(Extract(operand, 7, 0), Extract(rs1_val, 7, 0)),
+                XLEN,
+            ),
+            "rev8": lambda: rev8_expr(rs1_val),
+            "brev8": lambda: brev8_expr(rs1_val),
+            "zip": lambda: zip_expr(rs1_val),
+            "unzip": lambda: unzip_expr(rs1_val),
+            "clmul": lambda: Extract(clmul_wide(rs1_val, operand),
+                                     XLEN - 1, 0),
+            "clmulh": lambda: Extract(clmul_wide(rs1_val, operand),
+                                      2 * XLEN - 1, XLEN),
+        }
+        return results[name]()
+
+    _IMM_ALIASES = {
+        "addi": "add", "slti": "slt", "sltiu": "sltu", "xori": "xor",
+        "ori": "or", "andi": "and", "slli": "sll", "srli": "srl",
+        "srai": "sra", "rori": "ror",
+    }
+
+    # -- memory access helpers --------------------------------------------------------
+
+    def load_value(name, addr):
+        word = Load(mem, Extract(addr, 31, 2))
+        if name == "lw":
+            return word
+        if name in ("lh", "lhu"):
+            half = Ite(
+                Extract(addr, 1, 1) == BvConst(1, 1),
+                Extract(word, 31, 16),
+                Extract(word, 15, 0),
+            )
+            return SExt(half, XLEN) if name == "lh" else ZExt(half, XLEN)
+        lane = Extract(addr, 1, 0)
+        byte = Ite(
+            Extract(lane, 1, 1) == BvConst(1, 1),
+            Ite(Extract(lane, 0, 0) == BvConst(1, 1),
+                Extract(word, 31, 24), Extract(word, 23, 16)),
+            Ite(Extract(lane, 0, 0) == BvConst(1, 1),
+                Extract(word, 15, 8), Extract(word, 7, 0)),
+        )
+        return SExt(byte, XLEN) if name == "lb" else ZExt(byte, XLEN)
+
+    def store_merge(name, addr, old):
+        if name == "sw":
+            return rs2_val
+        if name == "sh":
+            return Ite(
+                Extract(addr, 1, 1) == BvConst(1, 1),
+                Concat(Extract(rs2_val, 15, 0), Extract(old, 15, 0)),
+                Concat(Extract(old, 31, 16), Extract(rs2_val, 15, 0)),
+            )
+        lane = Extract(addr, 1, 0)
+        byte = Extract(rs2_val, 7, 0)
+        lane_bit1 = Extract(lane, 1, 1) == BvConst(1, 1)
+        lane_bit0 = Extract(lane, 0, 0) == BvConst(1, 1)
+        return Ite(
+            lane_bit1,
+            Ite(
+                lane_bit0,
+                Concat(byte, Extract(old, 23, 0)),
+                Concat(Extract(old, 31, 24),
+                       Concat(byte, Extract(old, 15, 0))),
+            ),
+            Ite(
+                lane_bit0,
+                Concat(Extract(old, 31, 16),
+                       Concat(byte, Extract(old, 7, 0))),
+                Concat(Extract(old, 31, 8), byte),
+            ),
+        )
+
+    # -- instruction construction ----------------------------------------------------
+
+    branch_conditions = {
+        "beq": lambda: rs1_val == rs2_val,
+        "bne": lambda: rs1_val != rs2_val,
+        "blt": lambda: rs1_val.slt(rs2_val),
+        "bge": lambda: rs1_val.sge(rs2_val),
+        "bltu": lambda: rs1_val < rs2_val,
+        "bgeu": lambda: rs1_val >= rs2_val,
+    }
+
+    chosen = names if names is not None else variant_instructions(variant)
+    for name in chosen:
+        spec = INSTRUCTIONS[name]
+        instr = ila.new_instr(name)
+        instr.set_decode(decode_for(spec))
+        if name == "lui":
+            instr.set_update(gpr, write_rd(imm_u))
+            instr.set_update(pc, pc_plus_4)
+        elif name == "auipc":
+            instr.set_update(gpr, write_rd(pc + imm_u))
+            instr.set_update(pc, pc_plus_4)
+        elif name == "jal":
+            instr.set_update(gpr, write_rd(pc_plus_4))
+            instr.set_update(pc, pc + imm_j)
+        elif name == "jalr":
+            instr.set_update(gpr, write_rd(pc_plus_4))
+            instr.set_update(
+                pc, (rs1_val + imm_i) & BvConst(0xFFFFFFFE, XLEN)
+            )
+        elif spec.fmt == "B":
+            instr.set_update(
+                pc, Ite(branch_conditions[name](), pc + imm_b, pc_plus_4)
+            )
+        elif name in ("lb", "lh", "lw", "lbu", "lhu"):
+            addr = rs1_val + imm_i
+            instr.set_update(gpr, write_rd(load_value(name, addr)))
+            instr.set_update(pc, pc_plus_4)
+        elif name == "cmov":
+            rd_val = Load(gpr, rd)
+            instr.set_update(
+                gpr,
+                write_rd(Ite(rs2_val != BvConst(0, XLEN), rs1_val, rd_val)),
+            )
+            instr.set_update(pc, pc_plus_4)
+        elif name in ("sb", "sh", "sw"):
+            addr = rs1_val + imm_s
+            word_addr = Extract(addr, 31, 2)
+            old = Load(mem, word_addr)
+            instr.set_update(
+                mem, Store(mem, word_addr, store_merge(name, addr, old))
+            )
+            instr.set_update(pc, pc_plus_4)
+        else:
+            base = _IMM_ALIASES.get(name, name)
+            if spec.fmt == "R":
+                operand, amount = rs2_val, Extract(rs2_val, 4, 0)
+            elif spec.fmt in ("I-SHAMT", "I-FUNCT12"):
+                operand, amount = imm_i, shamt_imm
+            else:
+                operand, amount = imm_i, shamt_imm
+            instr.set_update(gpr, write_rd(alu_result(base, operand, amount)))
+            instr.set_update(pc, pc_plus_4)
+
+    return ila.validate()

@@ -1,0 +1,23 @@
+"""The evaluation harness: regenerates every table and figure of Section 5.
+
+* ``table1`` — control logic synthesis times over all case studies;
+* ``table2`` — generated vs hand-written control size (LoC and gates);
+* ``constant_time`` — the Section 5.2 SHA-256 cycle-count study;
+* ``report`` — plain-text rendering of the result rows.
+"""
+
+from repro.eval.table1 import run_table1, TABLE1_CONFIGS, Table1Row
+from repro.eval.table2 import run_table2, Table2Row
+from repro.eval.constant_time import run_constant_time, ConstantTimeRow
+from repro.eval.report import format_table
+
+__all__ = [
+    "run_table1",
+    "TABLE1_CONFIGS",
+    "Table1Row",
+    "run_table2",
+    "Table2Row",
+    "run_constant_time",
+    "ConstantTimeRow",
+    "format_table",
+]

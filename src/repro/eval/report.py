@@ -1,0 +1,41 @@
+"""Plain-text rendering of evaluation rows (dataclasses) as tables."""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+__all__ = ["format_table", "format_rows"]
+
+
+def format_rows(headers, rows):
+    """Align a header list + list-of-string-lists into a text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def format_table(rows, title=None):
+    """Render a list of dataclass rows."""
+    if not rows:
+        return "(no rows)"
+    headers = [f.name for f in fields(rows[0])]
+    body = [[_cell(getattr(row, name)) for name in headers] for row in rows]
+    table = format_rows(headers, body)
+    if title:
+        return f"{title}\n{table}"
+    return table

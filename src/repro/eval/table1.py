@@ -1,0 +1,139 @@
+"""Table 1: control logic synthesis times over all case studies.
+
+Rows (matching the paper):
+
+===================  ==========================  =====================
+AES Accelerator       FSM control                 per-instruction
+AES Accelerator †     FSM control                 monolithic
+Single-Cycle Core     RV32I / +Zbkb / +Zbkc       per-instruction
+Single-Cycle Core †   RV32I                       monolithic (times out)
+Two-Stage Core        RV32I / +Zbkb / +Zbkc       per-instruction
+Crypto Core           CMOV ISA                    per-instruction
+===================  ==========================  =====================
+
+``quick=True`` (the default for the pytest benchmarks) restricts the RISC-V
+rows to a representative instruction subset so a full Table 1 pass stays
+inside a CI-scale budget; ``quick=False`` reproduces the full paper rows.
+The monolithic RV32I row is bounded by ``monolithic_timeout`` and is
+*expected* to time out, reproducing the paper's Timeout entry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.oyster.printer import design_loc
+from repro.synthesis import SynthesisTimeout, synthesize
+from repro.synthesis.result import SynthesisError
+
+__all__ = ["run_table1", "TABLE1_CONFIGS", "Table1Row", "build_config"]
+
+_QUICK_SUBSET = [
+    "lui", "auipc", "jal", "jalr", "beq", "bltu", "lw", "lb", "sw", "sh",
+    "addi", "srai", "add", "sltu", "and",
+]
+_QUICK_ZBKB = _QUICK_SUBSET + ["rol", "rori", "andn", "pack", "rev8", "zip"]
+_QUICK_ZBKC = _QUICK_ZBKB + ["clmul", "clmulh"]
+
+_QUICK_CRYPTO = ["lui", "jal", "jalr", "lw", "sw", "addi", "slli", "sltu",
+                 "add", "xor", "cmov"]
+
+#: row id -> (description fields, problem factory kwargs)
+TABLE1_CONFIGS = (
+    ("aes", "AES Accelerator", "-", "per_instruction"),
+    ("aes_mono", "AES Accelerator †", "-", "monolithic"),
+    ("sc_rv32i", "Single-Cycle Core", "RV32I", "per_instruction"),
+    ("sc_zbkb", "Single-Cycle Core", "RV32I + Zbkb", "per_instruction"),
+    ("sc_zbkc", "Single-Cycle Core", "RV32I + Zbkc", "per_instruction"),
+    ("sc_rv32i_mono", "Single-Cycle Core †", "RV32I", "monolithic"),
+    ("ts_rv32i", "Two-Stage Core", "RV32I", "per_instruction"),
+    ("ts_zbkb", "Two-Stage Core", "RV32I + Zbkb", "per_instruction"),
+    ("ts_zbkc", "Two-Stage Core", "RV32I + Zbkc", "per_instruction"),
+    ("crypto", "Crypto Core", "CMOV ISA", "per_instruction"),
+)
+
+
+@dataclass
+class Table1Row:
+    row_id: str
+    design: str
+    variant: str
+    mode: str
+    sketch_size: int
+    instructions: int
+    time_seconds: float
+    status: str  # "ok" or "timeout"
+
+
+def build_config(row_id, quick=True):
+    """Build the synthesis problem for one Table 1 row."""
+    from repro.designs import aes
+    from repro.designs import crypto_core
+    from repro.designs import riscv
+
+    def riscv_problem(variant, microarch):
+        subset = None
+        if quick:
+            subset = {
+                "RV32I": _QUICK_SUBSET,
+                "RV32I+Zbkb": _QUICK_ZBKB,
+                "RV32I+Zbkc": _QUICK_ZBKC,
+            }[variant]
+        return riscv.build_problem(variant, microarch, instructions=subset)
+
+    factories = {
+        "aes": lambda: aes.build_problem(),
+        "aes_mono": lambda: aes.build_problem(),
+        "sc_rv32i": lambda: riscv_problem("RV32I", "single_cycle"),
+        "sc_zbkb": lambda: riscv_problem("RV32I+Zbkb", "single_cycle"),
+        "sc_zbkc": lambda: riscv_problem("RV32I+Zbkc", "single_cycle"),
+        "sc_rv32i_mono": lambda: riscv_problem("RV32I", "single_cycle"),
+        "ts_rv32i": lambda: riscv_problem("RV32I", "two_stage"),
+        "ts_zbkb": lambda: riscv_problem("RV32I+Zbkb", "two_stage"),
+        "ts_zbkc": lambda: riscv_problem("RV32I+Zbkc", "two_stage"),
+        "crypto": lambda: crypto_core.build_problem(
+            instructions=_QUICK_CRYPTO if quick else None
+        ),
+    }
+    return factories[row_id]()
+
+
+def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120):
+    """Run one Table 1 row; returns a ``Table1Row``."""
+    config = next(c for c in TABLE1_CONFIGS if c[0] == row_id)
+    _, design_name, variant, mode = config
+    problem = build_config(row_id, quick=quick)
+    budget = monolithic_timeout if mode == "monolithic" else timeout
+    started = time.monotonic()
+    status = "ok"
+    try:
+        result = synthesize(problem, mode=mode, timeout=budget)
+        elapsed = result.elapsed
+    except SynthesisTimeout:
+        elapsed = time.monotonic() - started
+        status = "timeout"
+    return Table1Row(
+        row_id=row_id,
+        design=design_name,
+        variant=variant,
+        mode=mode,
+        sketch_size=design_loc(problem.sketch),
+        instructions=len(problem.spec.instructions),
+        time_seconds=elapsed,
+        status=status,
+    )
+
+
+def run_table1(row_ids=None, quick=True, timeout=1800,
+               monolithic_timeout=120, progress=None):
+    """Run Table 1 (all rows by default); returns the row list."""
+    chosen = row_ids or [config[0] for config in TABLE1_CONFIGS]
+    rows = []
+    for row_id in chosen:
+        row = run_row(row_id, quick=quick, timeout=timeout,
+                      monolithic_timeout=monolithic_timeout)
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+    return rows

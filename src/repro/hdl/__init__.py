@@ -1,0 +1,71 @@
+"""A mini-PyRTL hardware description layer.
+
+The paper writes datapath sketches in PyRTL extended with holes (``??``).
+This package provides the same authoring experience — ``WireVector``
+operators, ``Register``, ``MemBlock``, ``conditional_assignment`` blocks with
+``|=`` predicated connects, and ``Hole`` — and compiles directly to the
+Oyster IR, mirroring the paper's PyRTL-to-Oyster translator.
+
+Example (the paper's Section 2.3 accumulator datapath)::
+
+    from repro import hdl
+
+    with hdl.Module("acc") as m:
+        reset = hdl.Input(1, "reset")
+        val = hdl.Input(2, "val")
+        acc = hdl.Register(8, "acc")
+        state_is_reset = hdl.Hole(1, "state_is_reset", deps=[reset])
+        with hdl.conditional_assignment():
+            with state_is_reset:
+                acc.next |= hdl.Const(0, 8)
+            with hdl.otherwise:
+                acc.next |= acc + val.zext(8)
+    design = m.to_oyster()
+"""
+
+from repro.hdl.core import (
+    Module,
+    WireVector,
+    Input,
+    Output,
+    Register,
+    Const,
+    Hole,
+    wire,
+    current_module,
+    HDLError,
+)
+from repro.hdl.conditional import conditional_assignment, otherwise
+from repro.hdl.memblock import MemBlock
+from repro.hdl.corecircuits import (
+    mux,
+    concat,
+    select,
+    barrel_shift_left,
+    barrel_shift_right,
+    rotate_left_by,
+    carryless_multiply,
+)
+
+__all__ = [
+    "Module",
+    "WireVector",
+    "Input",
+    "Output",
+    "Register",
+    "Const",
+    "Hole",
+    "wire",
+    "current_module",
+    "HDLError",
+    "conditional_assignment",
+    "otherwise",
+    "MemBlock",
+    "mux",
+    "concat",
+    "select",
+    "barrel_shift_left",
+    "barrel_shift_right",
+    "rotate_left_by",
+    "carryless_multiply",
+]

@@ -1,0 +1,147 @@
+"""PyRTL-style ``conditional_assignment`` blocks.
+
+Inside a ``conditional_assignment`` context, ``with <wire>:`` opens a
+predicated region and ``target |= value`` records a predicated connect.
+Blocks at the same nesting level have first-match-wins priority (each block
+is implicitly guarded by the negation of its earlier siblings), and
+``otherwise`` catches everything that remains — exactly PyRTL's semantics,
+which the paper's sketches (Figures 2.2, 4.1) rely on.
+
+On exit the context lowers every touched signal to one Oyster assignment:
+registers default to holding their value, wires/outputs default to zero, and
+memory writes get their predicate as the write enable.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.hdl.core import current_module, HDLError, Register
+
+__all__ = ["conditional_assignment", "otherwise"]
+
+
+class _Otherwise:
+    """Singleton usable as ``with otherwise:`` inside conditionals."""
+
+    def __enter__(self):
+        context = current_module()._conditional
+        if context is None:
+            raise HDLError("'otherwise' outside conditional_assignment")
+        context.push(None)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        current_module()._conditional.pop()
+        return False
+
+
+otherwise = _Otherwise()
+
+
+class _Frame:
+    __slots__ = ("predicate", "prior")
+
+    def __init__(self, predicate):
+        self.predicate = predicate  # Oyster expr for "this block is active"
+        self.prior = []  # conditions of earlier sibling blocks (exprs)
+
+
+class conditional_assignment:
+    """Context manager collecting predicated connects; lowers on exit."""
+
+    def __init__(self):
+        self.module = current_module()
+        self.updates = {}  # WireVector -> list of (predicate expr, value expr)
+        self.order = []
+        self.mem_writes = []  # (MemBlock, addr expr, data expr, predicate)
+        self.is_register = {}
+        self._frames = [_Frame(None)]  # sentinel root frame
+
+    def __enter__(self):
+        if self.module._conditional is not None:
+            raise HDLError("conditional_assignment blocks do not nest")
+        self.module._conditional = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.module._conditional = None
+        if exc_type is None:
+            if len(self._frames) != 1:
+                raise HDLError("unbalanced conditional blocks")
+            self._lower()
+        return False
+
+    # -- block tracking ------------------------------------------------------
+
+    def push(self, condition_wire):
+        """Enter a ``with <wire>:`` block (or ``otherwise`` when None)."""
+        parent = self._frames[-1]
+        terms = []
+        if parent.predicate is not None:
+            terms.append(parent.predicate)
+        for prior_condition in parent.prior:
+            terms.append(ast.Unop("~", prior_condition))
+        if condition_wire is not None:
+            terms.append(condition_wire.expr)
+            parent.prior.append(condition_wire.expr)
+        else:
+            # ``otherwise`` closes the level: subsequent siblings would be
+            # unreachable, mirroring PyRTL which forbids them.
+            parent.prior.append(ast.Const(1, 1))
+        predicate = _conjoin(terms)
+        frame = _Frame(predicate)
+        self._frames.append(frame)
+
+    def pop(self):
+        self._frames.pop()
+
+    @property
+    def current_predicate(self):
+        predicate = self._frames[-1].predicate
+        if predicate is None:
+            raise HDLError(
+                "a predicated connect must be inside a 'with <condition>:'"
+            )
+        return predicate
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, target, value, is_register=False):
+        predicate = self.current_predicate
+        if target not in self.updates:
+            self.updates[target] = []
+            self.order.append(target)
+            self.is_register[target] = is_register or isinstance(
+                target, Register
+            )
+        self.updates[target].append((predicate, value.expr))
+
+    def record_memory_write(self, mem, addr, data):
+        self.mem_writes.append(
+            (mem, addr.expr, data.expr, self.current_predicate)
+        )
+
+    # -- lowering ----------------------------------------------------------------
+
+    def _lower(self):
+        module = self.module
+        for target in self.order:
+            if self.is_register[target]:
+                default = ast.Var(target.name)  # registers hold their value
+            else:
+                default = ast.Const(0, target.width)  # PyRTL wires default to 0
+            chain = default
+            for predicate, value in reversed(self.updates[target]):
+                chain = ast.Ite(predicate, value, chain)
+            module.emit_stmt(ast.Assign(target.name, chain))
+        for mem, addr, data, predicate in self.mem_writes:
+            module.emit_stmt(ast.Write(mem.name, addr, data, predicate))
+
+
+def _conjoin(exprs):
+    if not exprs:
+        return ast.Const(1, 1)
+    result = exprs[0]
+    for expr in exprs[1:]:
+        result = ast.Binop("&", result, expr)
+    return result

@@ -1,0 +1,491 @@
+"""Core wire/module machinery for the mini-PyRTL layer.
+
+Every operator application emits one Oyster assignment to a fresh temporary
+wire, so the generated IR is flat (one operation per line) — this is also
+what makes the "lines of Oyster" sketch-size metric meaningful.
+
+Semantics notes relative to PyRTL:
+
+* widths must match exactly; use ``.zext()`` / ``.sext()`` / ``.truncate()``
+  (ints are coerced to the other operand's width);
+* ``==`` on wires builds hardware (use ``is`` for object identity; wires
+  hash by identity so dict/set usage still works);
+* ``reg.next <<= value`` assigns the register's next value, as in PyRTL;
+* inside ``conditional_assignment`` blocks, ``|=`` is the predicated
+  connect, with PyRTL's first-match-wins priority.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+
+__all__ = [
+    "Module",
+    "WireVector",
+    "Input",
+    "Output",
+    "Register",
+    "Const",
+    "Hole",
+    "wire",
+    "current_module",
+    "HDLError",
+]
+
+
+class HDLError(Exception):
+    """Raised for malformed hardware construction."""
+
+
+_MODULE_STACK = []
+
+
+def current_module():
+    if not _MODULE_STACK:
+        raise HDLError(
+            "no active Module; build hardware inside 'with Module(...)'"
+        )
+    return _MODULE_STACK[-1]
+
+
+class Module:
+    """Collects declarations and statements; compiles to an Oyster design."""
+
+    def __init__(self, name):
+        self.name = name
+        self.decls = []
+        self.stmts = []
+        self._names = set()
+        self._tmp_counter = 0
+        self._conditional = None  # active conditional_assignment context
+
+    # -- context management -------------------------------------------------
+
+    def __enter__(self):
+        _MODULE_STACK.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        popped = _MODULE_STACK.pop()
+        assert popped is self
+        return False
+
+    # -- naming ----------------------------------------------------------------
+
+    def _claim_name(self, name):
+        if name in self._names:
+            raise HDLError(f"duplicate signal name {name!r}")
+        self._names.add(name)
+        return name
+
+    def fresh_name(self, prefix="t"):
+        while True:
+            self._tmp_counter += 1
+            name = f"{prefix}{self._tmp_counter}"
+            if name not in self._names:
+                self._names.add(name)
+                return name
+
+    # -- emission ---------------------------------------------------------------
+
+    def emit_decl(self, decl):
+        self.decls.append(decl)
+
+    def emit_stmt(self, stmt):
+        self.stmts.append(stmt)
+
+    def emit_expr(self, expr, width, name=None, prefix="t"):
+        """Assign ``expr`` to a fresh wire; returns that wire."""
+        if name is None:
+            name = self.fresh_name(prefix)
+        else:
+            self._claim_name(name)
+        self.emit_stmt(ast.Assign(name, expr))
+        return WireVector._make(self, name, width)
+
+    def to_oyster(self):
+        """The accumulated design as an Oyster ``Design`` (validated)."""
+        from repro.oyster.typecheck import check_design
+
+        design = ast.Design(self.name, tuple(self.decls), tuple(self.stmts))
+        check_design(design)
+        return design
+
+
+def _coerce(module, value, width):
+    if isinstance(value, WireVector):
+        return value
+    if hasattr(value, "as_wire"):  # lazy memory read handles
+        return value.as_wire()
+    if isinstance(value, int):
+        return Const(value, width, module=module)
+    raise HDLError(f"cannot use {value!r} as a wire")
+
+
+class WireVector:
+    """A named signal of fixed width.
+
+    Instances are handles into their module's statement list; operators emit
+    statements eagerly and return fresh handles.
+    """
+
+    def __init__(self, width, name=None, module=None):
+        if width <= 0:
+            raise HDLError(f"wire width must be positive, got {width}")
+        self.module = module if module is not None else current_module()
+        self.width = width
+        self.name = (
+            self.module._claim_name(name)
+            if name is not None
+            else self.module.fresh_name("w")
+        )
+        self._declared_unassigned = True
+
+    @classmethod
+    def _make(cls, module, name, width):
+        """Internal: wrap an already-emitted signal without re-claiming."""
+        wire_vector = object.__new__(cls)
+        wire_vector.module = module
+        wire_vector.name = name
+        wire_vector.width = width
+        wire_vector._declared_unassigned = False
+        return wire_vector
+
+    # -- expression handle ---------------------------------------------------
+
+    @property
+    def expr(self):
+        override = getattr(self, "expr_override", None)
+        if override is not None:
+            return override
+        return ast.Var(self.name)
+
+    def __hash__(self):
+        return id(self)
+
+    def __bool__(self):
+        raise HDLError(
+            "wires have no truth value; use conditional_assignment blocks"
+        )
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}/{self.width}>"
+
+    # -- connections -----------------------------------------------------------
+
+    def __ilshift__(self, other):
+        """``w <<= value``: unconditional connect."""
+        other = _coerce(self.module, other, self.width)
+        if other.width != self.width:
+            raise HDLError(
+                f"connecting width {other.width} to {self.name!r} "
+                f"of width {self.width}"
+            )
+        self.module.emit_stmt(ast.Assign(self.name, other.expr))
+        return self
+
+    def __ior__(self, other):
+        """``w |= value``: predicated connect inside conditional blocks."""
+        conditional = self.module._conditional
+        if conditional is None:
+            raise HDLError(
+                "'|=' is only legal inside a conditional_assignment block"
+            )
+        other = _coerce(self.module, other, self.width)
+        if other.width != self.width:
+            raise HDLError(
+                f"connecting width {other.width} to {self.name!r} "
+                f"of width {self.width}"
+            )
+        conditional.record(self, other)
+        return self
+
+    # -- conditional block sugar (``with wire:``) -------------------------------
+
+    def __enter__(self):
+        conditional = self.module._conditional
+        if conditional is None:
+            raise HDLError(
+                "'with <wire>:' is only legal inside conditional_assignment"
+            )
+        if self.width != 1:
+            raise HDLError(
+                f"condition {self.name!r} must have width 1, got {self.width}"
+            )
+        conditional.push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.module._conditional.pop()
+        return False
+
+    # -- operators -------------------------------------------------------------
+
+    def _binop(self, op, other, reverse=False):
+        other = _coerce(self.module, other, self.width)
+        if other.width != self.width:
+            raise HDLError(
+                f"width mismatch in {op!r}: {self.width} vs {other.width}"
+            )
+        left, right = (other, self) if reverse else (self, other)
+        width = 1 if op in ast.COMPARISONS else self.width
+        return self.module.emit_expr(
+            ast.Binop(op, left.expr, right.expr), width
+        )
+
+    def __and__(self, other):
+        return self._binop("&", other)
+
+    __rand__ = lambda self, other: self._binop("&", other, reverse=True)
+
+    def __or__(self, other):
+        return self._binop("|", other)
+
+    __ror__ = lambda self, other: self._binop("|", other, reverse=True)
+
+    def __xor__(self, other):
+        return self._binop("^", other)
+
+    __rxor__ = lambda self, other: self._binop("^", other, reverse=True)
+
+    def __add__(self, other):
+        return self._binop("+", other)
+
+    __radd__ = lambda self, other: self._binop("+", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binop("-", other)
+
+    __rsub__ = lambda self, other: self._binop("-", other, reverse=True)
+
+    def __mul__(self, other):
+        return self._binop("*", other)
+
+    __rmul__ = lambda self, other: self._binop("*", other, reverse=True)
+
+    def __invert__(self):
+        return self.module.emit_expr(
+            ast.Unop("~", self.expr), self.width
+        )
+
+    def __eq__(self, other):
+        return self._binop("==", other)
+
+    def __ne__(self, other):
+        return self._binop("!=", other)
+
+    def __lt__(self, other):
+        return self._binop("<u", other)
+
+    def __le__(self, other):
+        return self._binop("<=u", other)
+
+    def __gt__(self, other):
+        return self._binop(">u", other)
+
+    def __ge__(self, other):
+        return self._binop(">=u", other)
+
+    def slt(self, other):
+        return self._binop("<s", other)
+
+    def sle(self, other):
+        return self._binop("<=s", other)
+
+    def sgt(self, other):
+        return self._binop(">s", other)
+
+    def sge(self, other):
+        return self._binop(">=s", other)
+
+    def shl(self, amount):
+        """Shift left by a wire amount (same width) or a Python int."""
+        return self._binop("<<", amount)
+
+    def lshr(self, amount):
+        return self._binop(">>u", amount)
+
+    def ashr(self, amount):
+        return self._binop(">>s", amount)
+
+    # -- slicing / resizing -----------------------------------------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, int):
+            if key < 0:
+                key += self.width
+            if not 0 <= key < self.width:
+                raise HDLError(f"bit {key} out of range for {self.name!r}")
+            expr = ast.Extract(self.expr, key, key)
+            return self.module.emit_expr(expr, 1)
+        if isinstance(key, slice):
+            if key.step is not None:
+                raise HDLError("strided slices are not supported")
+            low = 0 if key.start is None else key.start
+            stop = self.width if key.stop is None else key.stop
+            if low < 0:
+                low += self.width
+            if stop < 0:
+                stop += self.width
+            if not (0 <= low < stop <= self.width):
+                raise HDLError(
+                    f"slice [{key.start}:{key.stop}] out of range for "
+                    f"{self.name!r} of width {self.width}"
+                )
+            expr = ast.Extract(self.expr, stop - 1, low)
+            return self.module.emit_expr(expr, stop - low)
+        raise HDLError(f"cannot index a wire with {key!r}")
+
+    def zext(self, width):
+        """Zero-extend to ``width`` bits."""
+        if width < self.width:
+            raise HDLError("zext target is narrower than the wire")
+        if width == self.width:
+            return self
+        pad = ast.Const(0, width - self.width)
+        return self.module.emit_expr(
+            ast.Concat(pad, self.expr), width
+        )
+
+    def sext(self, width):
+        """Sign-extend to ``width`` bits."""
+        if width < self.width:
+            raise HDLError("sext target is narrower than the wire")
+        if width == self.width:
+            return self
+        sign = ast.Extract(self.expr, self.width - 1, self.width - 1)
+        pad = sign
+        for _ in range(width - self.width - 1):
+            pad = ast.Concat(sign, pad)
+        return self.module.emit_expr(ast.Concat(pad, self.expr), width)
+
+    def truncate(self, width):
+        if width > self.width:
+            raise HDLError("truncate target is wider than the wire")
+        if width == self.width:
+            return self
+        return self.module.emit_expr(
+            ast.Extract(self.expr, width - 1, 0), width
+        )
+
+    def label(self, name):
+        """Re-emit under a stable name (useful for debugging/codegen)."""
+        return self.module.emit_expr(self.expr, self.width, name=name)
+
+
+class Input(WireVector):
+    def __init__(self, width, name, module=None):
+        super().__init__(width, name, module)
+        self.module.emit_decl(ast.InputDecl(self.name, width))
+
+    def __ilshift__(self, other):
+        raise HDLError(f"cannot drive input {self.name!r}")
+
+
+class Output(WireVector):
+    def __init__(self, width, name, module=None):
+        super().__init__(width, name, module)
+        self.module.emit_decl(ast.OutputDecl(self.name, width))
+
+
+class _RegisterNext:
+    """The ``reg.next`` handle: assignment target for the next-cycle value."""
+
+    def __init__(self, register):
+        self.register = register
+        self.module = register.module
+        self.width = register.width
+        self.name = register.name
+
+    def __ilshift__(self, other):
+        other = _coerce(self.module, other, self.width)
+        if other.width != self.width:
+            raise HDLError(
+                f"connecting width {other.width} to register "
+                f"{self.name!r} of width {self.width}"
+            )
+        self.module.emit_stmt(ast.Assign(self.name, other.expr))
+        return self
+
+    def __ior__(self, other):
+        conditional = self.module._conditional
+        if conditional is None:
+            raise HDLError(
+                "'|=' is only legal inside a conditional_assignment block"
+            )
+        other = _coerce(self.module, other, self.width)
+        if other.width != self.width:
+            raise HDLError(
+                f"connecting width {other.width} to register "
+                f"{self.name!r} of width {self.width}"
+            )
+        conditional.record(self.register, other, is_register=True)
+        return self
+
+
+class Register(WireVector):
+    """A clocked register; read it directly, drive it via ``.next``.
+
+    ``init`` gives the register a reset value; registers without one start
+    from an arbitrary (universally quantified) value during synthesis.
+    """
+
+    def __init__(self, width, name, init=None, module=None):
+        super().__init__(width, name, module)
+        self.module.emit_decl(ast.RegisterDecl(self.name, width, init))
+
+    @property
+    def next(self):
+        return _RegisterNext(self)
+
+    @next.setter
+    def next(self, value):
+        # ``reg.next <<= x`` re-assigns the property with the augmented
+        # result; accept the handle back silently.
+        if not isinstance(value, _RegisterNext) or value.register is not self:
+            raise HDLError(
+                f"drive register {self.name!r} via '.next <<= ...' only"
+            )
+
+    def __ilshift__(self, other):
+        raise HDLError(
+            f"drive register {self.name!r} via '{self.name}.next <<= ...'"
+        )
+
+    def __ior__(self, other):
+        raise HDLError(
+            f"drive register {self.name!r} via '{self.name}.next |= ...'"
+        )
+
+
+class Hole(WireVector):
+    """A control-logic hole: the ``??`` of the paper's sketches.
+
+    ``deps`` lists wires the synthesized control may depend on (the
+    arguments of ``??(opcode, funct3, funct7)`` in the paper); they shape
+    the generated code, not the synthesis query itself.
+    """
+
+    def __init__(self, width, name, deps=(), module=None):
+        super().__init__(width, name, module)
+        dep_names = tuple(
+            dep.name if isinstance(dep, WireVector) else str(dep)
+            for dep in deps
+        )
+        self.module.emit_decl(ast.HoleDecl(self.name, width, dep_names))
+
+    def __ilshift__(self, other):
+        raise HDLError(f"cannot drive hole {self.name!r}; it is synthesized")
+
+
+def Const(value, width, module=None):
+    """A constant wire (no statement is emitted; constants are inlined)."""
+    module = module if module is not None else current_module()
+    wire_vector = WireVector._make(module, f"const:{value}:{width}", width)
+    wire_vector.expr_override = ast.Const(value, width)
+    return wire_vector
+
+
+def wire(width, name=None, module=None):
+    """Declare a named wire to be driven later with ``<<=``."""
+    return WireVector(width, name, module)

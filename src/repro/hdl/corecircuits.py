@@ -1,0 +1,183 @@
+"""Combinational building blocks: mux, concat, shifters, clmul.
+
+``mux`` follows PyRTL's argument order — ``mux(select, falsecase, truecase)``
+for one select bit, or ``mux(select, *inputs)`` selecting ``inputs[select]``
+for wider selects — because the paper's sketches are written against it
+(e.g. ``alu_in2 <<= mux(alu_imm, rs2_val, imm)``).
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.hdl.core import current_module, HDLError, WireVector, _coerce
+
+__all__ = [
+    "mux",
+    "concat",
+    "select",
+    "barrel_shift_left",
+    "barrel_shift_right",
+    "rotate_left_by",
+    "carryless_multiply",
+]
+
+
+def _as_wire(value, width_hint=None, module=None):
+    module = module if module is not None else current_module()
+    if isinstance(value, int):
+        if width_hint is None:
+            raise HDLError(
+                f"cannot infer a width for bare int {value!r}; wrap in Const"
+            )
+        return _coerce(module, value, width_hint)
+    return _coerce(module, value, width_hint or 1)
+
+
+def mux(select, *inputs):
+    """PyRTL-style mux: returns ``inputs[select]``.
+
+    With a 1-bit select this is ``mux(select, falsecase, truecase)``.  The
+    number of inputs must be exactly ``2 ** select.width``.
+    """
+    module = current_module()
+    select = _coerce(module, select, 1)
+    expected = 1 << select.width
+    if len(inputs) != expected:
+        raise HDLError(
+            f"mux with a {select.width}-bit select needs {expected} inputs, "
+            f"got {len(inputs)}"
+        )
+    width = None
+    for candidate in inputs:
+        if not isinstance(candidate, int):
+            width = _as_wire(candidate, module=module).width
+            break
+    if width is None:
+        raise HDLError("mux needs at least one non-integer input")
+    wires = [_as_wire(value, width, module) for value in inputs]
+    for w in wires:
+        if w.width != width:
+            raise HDLError(
+                f"mux inputs have differing widths {width} and {w.width}"
+            )
+    return _mux_tree(module, select, wires, 0, select.width)
+
+
+def _mux_tree(module, select, wires, base, bits_left):
+    if bits_left == 0:
+        return wires[base]
+    bit_index = bits_left - 1
+    bit = ast.Extract(select.expr, bit_index, bit_index)
+    half = 1 << bit_index
+    low = _mux_tree(module, select, wires, base, bit_index)
+    high = _mux_tree(module, select, wires, base + half, bit_index)
+    return module.emit_expr(
+        ast.Ite(bit, high.expr, low.expr), low.width, prefix="mx"
+    )
+
+
+def select(condition, truecase, falsecase):
+    """``condition ? truecase : falsecase`` (note: true first, unlike mux)."""
+    module = current_module()
+    condition = _coerce(module, condition, 1)
+    if condition.width != 1:
+        raise HDLError("select condition must have width 1")
+    width = None
+    for candidate in (truecase, falsecase):
+        if not isinstance(candidate, int):
+            width = _as_wire(candidate, module=module).width
+    truecase = _as_wire(truecase, width, module)
+    falsecase = _as_wire(falsecase, width, module)
+    if truecase.width != falsecase.width:
+        raise HDLError(
+            f"select branches have widths {truecase.width} and "
+            f"{falsecase.width}"
+        )
+    return module.emit_expr(
+        ast.Ite(condition.expr, truecase.expr, falsecase.expr),
+        truecase.width, prefix="sel",
+    )
+
+
+def concat(*wires):
+    """Concatenate wires, first argument highest (PyRTL order)."""
+    module = current_module()
+    if not wires:
+        raise HDLError("concat needs at least one wire")
+    converted = [_as_wire(w, module=module) for w in wires]
+    result = converted[0]
+    for low in converted[1:]:
+        result = module.emit_expr(
+            ast.Concat(result.expr, low.expr), result.width + low.width,
+            prefix="cat",
+        )
+    return result
+
+
+def barrel_shift_left(value, amount):
+    """Shift ``value`` left by the low bits of ``amount`` (zero fill)."""
+    return value.shl(amount.zext(value.width)
+                     if amount.width < value.width else amount)
+
+
+def barrel_shift_right(value, amount, arithmetic=False):
+    amount = (amount.zext(value.width)
+              if amount.width < value.width else amount)
+    if arithmetic:
+        return value.ashr(amount)
+    return value.lshr(amount)
+
+
+def rotate_left_by(value, amount):
+    """Rotate left by a wire amount (amount width = log2 of value width)."""
+    module = current_module()
+    width = value.width
+    if width & (width - 1):
+        raise HDLError("rotate requires a power-of-two width")
+    shift_bits = width.bit_length() - 1
+    if amount.width < shift_bits:
+        raise HDLError("rotate amount is too narrow")
+    amount_low = amount[0:shift_bits] if amount.width > shift_bits else amount
+    result = value
+    for stage in range(shift_bits):
+        rotated = _rotate_const(module, result, 1 << stage)
+        bit = amount_low[stage]
+        result = module.emit_expr(
+            ast.Ite(bit.expr, rotated.expr, result.expr), width, prefix="rot"
+        )
+    return result
+
+
+def _rotate_const(module, value, count):
+    width = value.width
+    count %= width
+    if count == 0:
+        return value
+    high = ast.Extract(value.expr, width - 1 - count, 0)
+    low = ast.Extract(value.expr, width - 1, width - count)
+    return module.emit_expr(ast.Concat(high, low), width, prefix="rc")
+
+
+def carryless_multiply(a, b):
+    """Carryless (GF(2)) multiply; returns the full 2w-bit product wire.
+
+    This is the datapath for the Zbkc ``clmul``/``clmulh`` instructions:
+    ``prod = XOR over i of (b[i] ? a << i : 0)``.
+    """
+    module = current_module()
+    if a.width != b.width:
+        raise HDLError("clmul operands must share a width")
+    width = a.width
+    wide = a.zext(2 * width)
+    acc = None
+    for i in range(width):
+        shifted_expr = wide.expr if i == 0 else ast.Concat(
+            ast.Extract(wide.expr, 2 * width - 1 - i, 0), ast.Const(0, i)
+        )
+        bit = b[i]
+        term = module.emit_expr(
+            ast.Ite(bit.expr, shifted_expr, ast.Const(0, 2 * width)),
+            2 * width, prefix="cl",
+        )
+        acc = term if acc is None else acc ^ term
+    return acc

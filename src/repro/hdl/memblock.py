@@ -1,0 +1,164 @@
+"""Memories for the mini-PyRTL layer.
+
+``mem[addr]`` reads (start-of-cycle contents, as in the Oyster semantics);
+``mem[addr] |= data`` inside a conditional block records a predicated write;
+``mem.write(addr, data, enable)`` is the explicit form.  Indexing returns a
+lazy handle so that a pure write (``rf[rd] |= value``) does not emit a
+spurious read.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.hdl.core import current_module, HDLError, WireVector, _coerce
+
+__all__ = ["MemBlock"]
+
+
+class MemBlock:
+    """A synchronous memory (asynchronous read, next-cycle write)."""
+
+    def __init__(self, addr_width, data_width, name, module=None):
+        self.module = module if module is not None else current_module()
+        if addr_width <= 0 or data_width <= 0:
+            raise HDLError("memory widths must be positive")
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self.name = self.module._claim_name(name)
+        self.module.emit_decl(
+            ast.MemoryDecl(self.name, addr_width, data_width)
+        )
+
+    def __getitem__(self, addr):
+        addr = _coerce(self.module, addr, self.addr_width)
+        if addr.width != self.addr_width:
+            raise HDLError(
+                f"memory {self.name!r} indexed with width {addr.width}, "
+                f"expected {self.addr_width}"
+            )
+        return _MemIndexed(self, addr)
+
+    def __setitem__(self, addr, value):
+        # ``mem[addr] |= data`` re-assigns the item with the augmented
+        # result; accept our own handle back silently.
+        if not (isinstance(value, _MemIndexed) and value.mem is self):
+            raise HDLError(
+                f"write memory {self.name!r} via 'mem[addr] |= data' inside "
+                "a conditional block, or mem.write(addr, data, enable)"
+            )
+
+    def read(self, addr):
+        """Read now; returns the value wire."""
+        return self[addr].as_wire()
+
+    def write(self, addr, data, enable=None):
+        """Explicit write; ``enable`` defaults to always-on."""
+        addr = _coerce(self.module, addr, self.addr_width)
+        data = _coerce(self.module, data, self.data_width)
+        if data.width != self.data_width:
+            raise HDLError(
+                f"memory {self.name!r} written with width {data.width}, "
+                f"expected {self.data_width}"
+            )
+        if enable is None:
+            enable_expr = ast.Const(1, 1)
+        else:
+            enable = _coerce(self.module, enable, 1)
+            if enable.width != 1:
+                raise HDLError("write enable must have width 1")
+            enable_expr = enable.expr
+        self.module.emit_stmt(
+            ast.Write(self.name, addr.expr, data.expr, enable_expr)
+        )
+
+    def __repr__(self):
+        return (
+            f"<MemBlock {self.name} {self.addr_width}->{self.data_width}>"
+        )
+
+
+class _MemIndexed:
+    """Lazy ``mem[addr]``: a read when used as a value, a write target
+    under ``|=``."""
+
+    def __init__(self, mem, addr):
+        self.mem = mem
+        self.addr = addr
+        self._wire = None
+
+    def as_wire(self):
+        if self._wire is None:
+            read = ast.Read(self.mem.name, self.addr.expr)
+            self._wire = self.mem.module.emit_expr(
+                read, self.mem.data_width, prefix="rd"
+            )
+        return self._wire
+
+    def __ior__(self, data):
+        conditional = self.mem.module._conditional
+        if conditional is None:
+            raise HDLError(
+                "'mem[addr] |= data' requires a conditional_assignment block"
+            )
+        data = _coerce(self.mem.module, data, self.mem.data_width)
+        if isinstance(data, _MemIndexed):
+            data = data.as_wire()
+        if data.width != self.mem.data_width:
+            raise HDLError(
+                f"memory {self.mem.name!r} written with width {data.width}, "
+                f"expected {self.mem.data_width}"
+            )
+        conditional.record_memory_write(self.mem, self.addr, data)
+        return self
+
+    # Value-like forwarding: any arithmetic use materializes the read.
+    def _delegate(self, method, *args):
+        return getattr(self.as_wire(), method)(*args)
+
+    @property
+    def width(self):
+        return self.mem.data_width
+
+    @property
+    def expr(self):
+        return self.as_wire().expr
+
+    @property
+    def name(self):
+        return self.as_wire().name
+
+    def __and__(self, other):
+        return self._delegate("__and__", other)
+
+    def __or__(self, other):
+        return self._delegate("__or__", other)
+
+    def __xor__(self, other):
+        return self._delegate("__xor__", other)
+
+    def __add__(self, other):
+        return self._delegate("__add__", other)
+
+    def __sub__(self, other):
+        return self._delegate("__sub__", other)
+
+    def __invert__(self):
+        return self._delegate("__invert__")
+
+    def __eq__(self, other):
+        return self._delegate("__eq__", other)
+
+    def __ne__(self, other):
+        return self._delegate("__ne__", other)
+
+    def __getitem__(self, key):
+        return self._delegate("__getitem__", key)
+
+    def zext(self, width):
+        return self._delegate("zext", width)
+
+    def sext(self, width):
+        return self._delegate("sext", width)
+
+    def __hash__(self):
+        return id(self)

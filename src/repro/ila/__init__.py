@@ -1,0 +1,46 @@
+"""An Instruction-Level Abstraction (ILA) modelling library.
+
+Re-implements the modelling subset of the ILAng C++ library that the paper's
+specifications use (Section 2.1): bitvector inputs and state, memory state,
+instructions with ``SetDecode``/``SetUpdate``, hierarchical fetch
+expressions, and ``MemConst`` read-only memories.  The compiler
+(``repro.ila.compiler``) implements the Figure 8 translation from decode and
+update expressions into assume/assert constraints over a symbolically
+evaluated datapath sketch, parameterized by an abstraction function.
+"""
+
+from repro.ila.ast import (
+    IlaExpr,
+    BvConst,
+    Load,
+    Store,
+    Ite,
+    Extract,
+    Concat,
+    ZExt,
+    SExt,
+    And,
+    Or,
+    Not,
+    Implies,
+)
+from repro.ila.spec import Ila, Instruction, SpecError
+
+__all__ = [
+    "IlaExpr",
+    "BvConst",
+    "Load",
+    "Store",
+    "Ite",
+    "Extract",
+    "Concat",
+    "ZExt",
+    "SExt",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+    "Ila",
+    "Instruction",
+    "SpecError",
+]

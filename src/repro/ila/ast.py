@@ -1,0 +1,407 @@
+"""Expression nodes for ILA specifications.
+
+Unlike Oyster expressions (which are anonymous hardware), ILA expressions
+describe architecture-level semantics: they reference named inputs and state
+variables, may load/store memory state, and know their own widths.  Memory-
+typed expressions (``Store`` chains, memory ``Ite``) describe whole-memory
+values for ``SetUpdate``.
+
+Operator overloading covers the common cases; named constructors exist for
+everything (``Load``, ``Store``, ``Ite``, ``Extract``, ``Concat``, ``ZExt``,
+``SExt``, ``And``, ``Or``, ``Not``, ``Implies``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "IlaExpr",
+    "BvExpr",
+    "MemExpr",
+    "BvConst",
+    "BvVar",
+    "MemVar",
+    "Binop",
+    "Unop",
+    "IteExpr",
+    "ExtractExpr",
+    "ConcatExpr",
+    "LoadExpr",
+    "StoreExpr",
+    "MemIteExpr",
+    "Load",
+    "Store",
+    "Ite",
+    "Extract",
+    "Concat",
+    "ZExt",
+    "SExt",
+    "And",
+    "Or",
+    "Not",
+    "Implies",
+]
+
+
+class IlaExpr:
+    """Base for all ILA expressions."""
+
+    __slots__ = ()
+
+
+class BvExpr(IlaExpr):
+    """A bitvector-valued expression; subclasses set ``width``."""
+
+    __slots__ = ()
+
+    # -- operator sugar ------------------------------------------------------
+
+    def _coerce(self, other):
+        if isinstance(other, BvExpr):
+            return other
+        if isinstance(other, int):
+            return BvConst(other, self.width)
+        raise TypeError(f"cannot use {other!r} in an ILA expression")
+
+    def __add__(self, other):
+        return Binop("+", self, self._coerce(other))
+
+    def __radd__(self, other):
+        return Binop("+", self._coerce(other), self)
+
+    def __sub__(self, other):
+        return Binop("-", self, self._coerce(other))
+
+    def __rsub__(self, other):
+        return Binop("-", self._coerce(other), self)
+
+    def __mul__(self, other):
+        return Binop("*", self, self._coerce(other))
+
+    def __and__(self, other):
+        return Binop("&", self, self._coerce(other))
+
+    def __or__(self, other):
+        return Binop("|", self, self._coerce(other))
+
+    def __xor__(self, other):
+        return Binop("^", self, self._coerce(other))
+
+    def __invert__(self):
+        return Unop("~", self)
+
+    def __eq__(self, other):
+        return Binop("==", self, self._coerce(other))
+
+    def __ne__(self, other):
+        return Binop("!=", self, self._coerce(other))
+
+    def __lt__(self, other):
+        return Binop("<u", self, self._coerce(other))
+
+    def __le__(self, other):
+        return Binop("<=u", self, self._coerce(other))
+
+    def __gt__(self, other):
+        return Binop(">u", self, self._coerce(other))
+
+    def __ge__(self, other):
+        return Binop(">=u", self, self._coerce(other))
+
+    def slt(self, other):
+        return Binop("<s", self, self._coerce(other))
+
+    def sle(self, other):
+        return Binop("<=s", self, self._coerce(other))
+
+    def sgt(self, other):
+        return Binop(">s", self, self._coerce(other))
+
+    def sge(self, other):
+        return Binop(">=s", self, self._coerce(other))
+
+    def shl(self, other):
+        return Binop("<<", self, self._coerce(other))
+
+    def lshr(self, other):
+        return Binop(">>u", self, self._coerce(other))
+
+    def ashr(self, other):
+        return Binop(">>s", self, self._coerce(other))
+
+    def __hash__(self):
+        return id(self)
+
+    def __bool__(self):
+        raise TypeError(
+            "ILA expressions have no truth value; use And/Or/Not"
+        )
+
+
+class MemExpr(IlaExpr):
+    """A memory-valued expression (for SetUpdate of memory state)."""
+
+    __slots__ = ()
+
+    def __hash__(self):
+        return id(self)
+
+
+class BvConst(BvExpr):
+    __slots__ = ("value", "width")
+
+    def __init__(self, value, width):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.value = value & ((1 << width) - 1)
+        self.width = width
+
+    def __repr__(self):
+        return f"BvConst({self.value:#x}, {self.width})"
+
+
+class BvVar(BvExpr):
+    """A named bitvector input or state variable (create via ``Ila``)."""
+
+    __slots__ = ("name", "width", "kind")
+
+    def __init__(self, name, width, kind):
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.name = name
+        self.width = width
+        self.kind = kind  # "input" or "state"
+
+    def __repr__(self):
+        return f"BvVar({self.name}:{self.kind}/{self.width})"
+
+
+class MemVar(MemExpr):
+    """A named memory state variable (create via ``Ila``)."""
+
+    __slots__ = ("name", "addr_width", "data_width", "kind", "table")
+
+    def __init__(self, name, addr_width, data_width, kind="mem", table=None):
+        self.name = name
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self.kind = kind  # "mem" or "memconst"
+        self.table = table
+
+    def __repr__(self):
+        return f"MemVar({self.name}:{self.addr_width}->{self.data_width})"
+
+
+class Binop(BvExpr):
+    __slots__ = ("op", "left", "right", "width")
+
+    _BIT_RESULTS = frozenset(
+        {"==", "!=", "<u", "<=u", ">u", ">=u", "<s", "<=s", ">s", ">=s"}
+    )
+
+    def __init__(self, op, left, right):
+        if left.width != right.width:
+            raise ValueError(
+                f"width mismatch in {op!r}: {left.width} vs {right.width}"
+            )
+        self.op = op
+        self.left = left
+        self.right = right
+        self.width = 1 if op in self._BIT_RESULTS else left.width
+
+
+class Unop(BvExpr):
+    __slots__ = ("op", "arg", "width")
+
+    def __init__(self, op, arg):
+        self.op = op  # "~" or "-"
+        self.arg = arg
+        self.width = arg.width
+
+
+class IteExpr(BvExpr):
+    __slots__ = ("cond", "then", "els", "width")
+
+    def __init__(self, cond, then, els):
+        if cond.width != 1:
+            raise ValueError("ite condition must have width 1")
+        if then.width != els.width:
+            raise ValueError(
+                f"ite branch widths differ: {then.width} vs {els.width}"
+            )
+        self.cond = cond
+        self.then = then
+        self.els = els
+        self.width = then.width
+
+
+class ExtractExpr(BvExpr):
+    __slots__ = ("arg", "high", "low", "width")
+
+    def __init__(self, arg, high, low):
+        if not (0 <= low <= high < arg.width):
+            raise ValueError(
+                f"extract [{high}:{low}] out of range for width {arg.width}"
+            )
+        self.arg = arg
+        self.high = high
+        self.low = low
+        self.width = high - low + 1
+
+
+class ConcatExpr(BvExpr):
+    __slots__ = ("high", "low", "width")
+
+    def __init__(self, high, low):
+        self.high = high
+        self.low = low
+        self.width = high.width + low.width
+
+
+class LoadExpr(BvExpr):
+    __slots__ = ("mem", "addr", "width")
+
+    def __init__(self, mem, addr):
+        if not isinstance(mem, MemExpr):
+            raise TypeError("Load requires a memory expression")
+        if addr.width != _addr_width(mem):
+            raise ValueError(
+                f"load address width {addr.width}, expected "
+                f"{_addr_width(mem)}"
+            )
+        self.mem = mem
+        self.addr = addr
+        self.width = _data_width(mem)
+
+
+class StoreExpr(MemExpr):
+    __slots__ = ("mem", "addr", "data")
+
+    def __init__(self, mem, addr, data):
+        if not isinstance(mem, MemExpr):
+            raise TypeError("Store requires a memory expression")
+        if addr.width != _addr_width(mem):
+            raise ValueError("store address width mismatch")
+        if data.width != _data_width(mem):
+            raise ValueError("store data width mismatch")
+        self.mem = mem
+        self.addr = addr
+        self.data = data
+
+    @property
+    def addr_width(self):
+        return _addr_width(self.mem)
+
+    @property
+    def data_width(self):
+        return _data_width(self.mem)
+
+
+class MemIteExpr(MemExpr):
+    """Conditional between two memory values (e.g. skip-store when rd==0)."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond, then, els):
+        if cond.width != 1:
+            raise ValueError("memory ite condition must have width 1")
+        if (_addr_width(then) != _addr_width(els)
+                or _data_width(then) != _data_width(els)):
+            raise ValueError("memory ite branches have different shapes")
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    @property
+    def addr_width(self):
+        return _addr_width(self.then)
+
+    @property
+    def data_width(self):
+        return _data_width(self.then)
+
+
+def _addr_width(mem):
+    return mem.addr_width
+
+
+def _data_width(mem):
+    return mem.data_width
+
+
+# ---------------------------------------------------------------------------
+# Named constructors (ILAng-style API)
+# ---------------------------------------------------------------------------
+
+
+def Load(mem, addr):
+    return LoadExpr(mem, addr)
+
+
+def Store(mem, addr, data):
+    return StoreExpr(mem, addr, data)
+
+
+def Ite(cond, then, els):
+    if isinstance(then, MemExpr):
+        return MemIteExpr(cond, then, els)
+    return IteExpr(cond, then, els)
+
+
+def Extract(arg, high, low):
+    return ExtractExpr(arg, high, low)
+
+
+def Concat(high, low):
+    return ConcatExpr(high, low)
+
+
+def ZExt(arg, width):
+    if width < arg.width:
+        raise ValueError("ZExt target narrower than source")
+    if width == arg.width:
+        return arg
+    return ConcatExpr(BvConst(0, width - arg.width), arg)
+
+
+def SExt(arg, width):
+    if width < arg.width:
+        raise ValueError("SExt target narrower than source")
+    if width == arg.width:
+        return arg
+    sign = ExtractExpr(arg, arg.width - 1, arg.width - 1)
+    pad = sign
+    for _ in range(width - arg.width - 1):
+        pad = ConcatExpr(sign, pad)
+    return ConcatExpr(pad, arg)
+
+
+def And(*args):
+    result = None
+    for arg in args:
+        if arg.width != 1:
+            raise ValueError("And operands must have width 1")
+        result = arg if result is None else Binop("&", result, arg)
+    if result is None:
+        return BvConst(1, 1)
+    return result
+
+
+def Or(*args):
+    result = None
+    for arg in args:
+        if arg.width != 1:
+            raise ValueError("Or operands must have width 1")
+        result = arg if result is None else Binop("|", result, arg)
+    if result is None:
+        return BvConst(0, 1)
+    return result
+
+
+def Not(arg):
+    if arg.width != 1:
+        raise ValueError("Not operand must have width 1")
+    return Unop("~", arg)
+
+
+def Implies(a, b):
+    return Or(Not(a), b)

@@ -1,0 +1,342 @@
+"""Compiling ILA instructions into pre/postconditions over a sketch trace.
+
+This implements the Figure 8 translation: each instruction's ``SetDecode``
+becomes an assumed precondition and each ``SetUpdate`` becomes an asserted
+postcondition, with the abstraction function ``α`` substituting architectural
+state by datapath state at the right timesteps (Section 3.3's
+``Pre_j[s_spec := α(s_0)]`` and ``Post_j[s_spec := α(s_1 .. s_k)]``).
+
+Memory updates are compared extensionally: for each memory postcondition a
+fresh universally-quantified address is introduced and the datapath memory at
+the write timestep must agree with the specified ``Store``-chain at that
+address.  State elements the instruction does not update receive automatic
+frame conditions (ILA semantics: unspecified state is unchanged) — this is
+what forces the synthesizer to drive ``mem_write``/``jump`` to 0 in the
+paper's Figure 7 example.
+"""
+
+from __future__ import annotations
+
+from repro.ila import ast
+from repro.abstraction.model import AbstractionError
+from repro.oyster.memory import ConstMemory
+from repro.smt import terms as T
+
+__all__ = ["ConstraintCompiler", "CompiledInstruction", "CompileError"]
+
+
+class CompileError(Exception):
+    """Raised when a spec cannot be compiled against a sketch trace."""
+
+
+class CompiledInstruction:
+    """Constraints for one instruction over one symbolic trace."""
+
+    def __init__(self, instruction, precondition, assumptions,
+                 postconditions, frame_conditions):
+        self.instruction = instruction
+        self.precondition = precondition
+        self.assumptions = tuple(assumptions)
+        self.postconditions = tuple(postconditions)  # (label, term)
+        self.frame_conditions = tuple(frame_conditions)  # (label, term)
+
+    @property
+    def all_posts(self):
+        return self.postconditions + self.frame_conditions
+
+    def antecedent(self):
+        """Precondition conjoined with the abstraction-function assumptions."""
+        return T.and_(self.precondition, *self.assumptions)
+
+    def consequent(self):
+        return T.and_(*[term for _, term in self.all_posts])
+
+    def formula(self):
+        """``(pre ∧ assumes) → (posts ∧ frames)`` as a single term."""
+        return T.implies(self.antecedent(), self.consequent())
+
+
+class _StoreView:
+    """Memory view for a Store chain: read(a) folds the chain."""
+
+    def __init__(self, inner, addr, data):
+        self.inner = inner
+        self.addr = addr
+        self.data = data
+
+    def read(self, addr):
+        return T.bv_ite(
+            T.bv_eq(addr, self.addr), self.data, self.inner.read(addr)
+        )
+
+
+class _IteView:
+    def __init__(self, cond, then, els):
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def read(self, addr):
+        return T.bv_ite(self.cond, self.then.read(addr), self.els.read(addr))
+
+
+class ConstraintCompiler:
+    """Compiles instructions of ``spec`` against a symbolic ``trace``.
+
+    One compiler instance is built per (spec, abstraction, trace) triple; the
+    trace's free symbols determine the universally quantified state.
+    """
+
+    def __init__(self, spec, alpha, trace, prefix=""):
+        self.spec = spec
+        self.alpha = alpha
+        self.trace = trace
+        self.prefix = prefix
+        self._fresh_counter = 0
+        self._memo = {}
+        self.fresh_addresses = []
+
+    # -- public API ---------------------------------------------------------
+
+    def compile_instruction(self, instruction):
+        if instruction.decode is None:
+            raise CompileError(
+                f"instruction {instruction.name!r} has no decode"
+            )
+        precondition = self._compile(instruction.decode, "data")
+        assumptions = []
+        for signal, time in self.alpha.assumes:
+            value = self.trace.wire_at(signal, time)
+            if value.width != 1:
+                raise CompileError(
+                    f"assumed signal {signal!r} must have width 1"
+                )
+            assumptions.append(value)
+        postconditions = []
+        for state, update in instruction.updates:
+            postconditions.append(
+                (state.name, self._compile_update(state, update))
+            )
+        frame_conditions = self._frames(instruction)
+        return CompiledInstruction(
+            instruction, precondition, assumptions, postconditions,
+            frame_conditions,
+        )
+
+    def compile_expr(self, expr):
+        """Compile a free-standing spec expression (decode fields, tests)."""
+        return self._compile(expr, "data")
+
+    # -- updates and frames -------------------------------------------------
+
+    def _compile_update(self, state, update):
+        if isinstance(state, ast.MemVar):
+            mapping = self.alpha.entry(state.name, role="data")
+            write_time = mapping.write_time
+            if write_time is None:
+                raise CompileError(
+                    f"memory {state.name!r} is updated by the spec but its "
+                    f"abstraction entry has no write effect"
+                )
+            datapath_mem = self.trace.mem_after(mapping.dp_name, write_time)
+            spec_view = self._compile_mem(update, "data")
+            address = self._fresh_address(state.name, mapping)
+            return T.bv_eq(datapath_mem.read(address),
+                           spec_view.read(address))
+        mapping = self.alpha.entry(state.name, role="data")
+        write_time = mapping.write_time
+        if write_time is None:
+            raise CompileError(
+                f"state {state.name!r} is updated by the spec but its "
+                f"abstraction entry has no write effect"
+            )
+        new_value = self._datapath_value(mapping, write_time, after=True)
+        spec_value = self._compile(update, "data")
+        return T.bv_eq(new_value, spec_value)
+
+    def _frames(self, instruction):
+        frames = []
+        seen = set()
+        for state_name, var in list(self.spec.states.items()) + list(
+            self.spec.memories.items()
+        ):
+            if instruction.updates_state(state_name):
+                continue
+            if isinstance(var, ast.MemVar) and var.kind == "memconst":
+                continue
+            if not self.alpha.has_entry(state_name):
+                continue
+            for mapping in self.alpha.entries_for(state_name):
+                if mapping.write_time is None:
+                    continue  # read-only view: nothing to frame
+                key = (state_name, mapping.dp_name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                frames.append(
+                    (f"frame:{state_name}", self._frame_condition(var, mapping))
+                )
+        return frames
+
+    def _frame_condition(self, var, mapping):
+        read_time = mapping.read_time or 1
+        write_time = mapping.write_time
+        if isinstance(var, ast.MemVar):
+            old = self.trace.mem_before(mapping.dp_name, read_time)
+            new = self.trace.mem_after(mapping.dp_name, write_time)
+            address = self._fresh_address(var.name, mapping)
+            return T.bv_eq(new.read(address), old.read(address))
+        old = self._datapath_value(mapping, read_time, after=False)
+        new = self._datapath_value(mapping, write_time, after=True)
+        return T.bv_eq(new, old)
+
+    def _fresh_address(self, spec_name, mapping):
+        self._fresh_counter += 1
+        address = T.bv_var(
+            f"{self.prefix}addr!{spec_name}!{self._fresh_counter}",
+            _mem_addr_width(self, mapping),
+        )
+        self.fresh_addresses.append(address)
+        return address
+
+    # -- α resolution -----------------------------------------------------------
+
+    def _datapath_value(self, mapping, time, after):
+        name = mapping.dp_name
+        if mapping.dp_type == "input":
+            return self.trace.input_at(name, time)
+        if mapping.dp_type == "register":
+            if after:
+                return self.trace.reg_after(name, time)
+            return self.trace.reg_before(name, time)
+        if mapping.dp_type == "output":
+            return self.trace.wire_at(name, time)
+        raise AbstractionError(
+            f"cannot take a value of datapath {mapping.dp_type} {name!r}"
+        )
+
+    def _spec_var_value(self, var, role):
+        mapping = self.alpha.entry(var.name, role=role)
+        read_time = mapping.read_time
+        if read_time is None:
+            raise CompileError(
+                f"spec element {var.name!r} is read but its abstraction "
+                f"entry has no read effect"
+            )
+        return self._datapath_value(mapping, read_time, after=False)
+
+    def _spec_mem_view(self, var, role):
+        if var.kind == "memconst":
+            return ConstMemory(
+                var.name, var.addr_width, var.data_width, var.table
+            )
+        mapping = self.alpha.entry(var.name, role=role)
+        read_time = mapping.read_time
+        if read_time is None:
+            raise CompileError(
+                f"spec memory {var.name!r} is read but its abstraction "
+                f"entry has no read effect"
+            )
+        if mapping.dp_type != "memory":
+            raise CompileError(
+                f"spec memory {var.name!r} maps to non-memory "
+                f"{mapping.dp_name!r}"
+            )
+        return self.trace.mem_before(mapping.dp_name, read_time)
+
+    # -- expression compilation ---------------------------------------------------
+
+    def _compile(self, expr, role):
+        memo = self._memo
+        key = (id(expr), role)
+        if key in memo:
+            return memo[key]
+        fetch = self.spec.fetch_expr
+        if fetch is not None and expr is fetch and role != "fetch":
+            result = self._compile(expr, "fetch")
+            memo[key] = result
+            return result
+        result = self._compile_node(expr, role)
+        memo[key] = result
+        return result
+
+    def _compile_node(self, expr, role):
+        if isinstance(expr, ast.BvConst):
+            return T.bv_const(expr.value, expr.width)
+        if isinstance(expr, ast.BvVar):
+            return self._spec_var_value(expr, role)
+        if isinstance(expr, ast.Unop):
+            arg = self._compile(expr.arg, role)
+            if expr.op == "~":
+                return T.bv_not(arg)
+            return T.bv_neg(arg)
+        if isinstance(expr, ast.Binop):
+            left = self._compile(expr.left, role)
+            right = self._compile(expr.right, role)
+            return _BINOPS[expr.op](left, right)
+        if isinstance(expr, ast.IteExpr):
+            return T.bv_ite(
+                self._compile(expr.cond, role),
+                self._compile(expr.then, role),
+                self._compile(expr.els, role),
+            )
+        if isinstance(expr, ast.ExtractExpr):
+            return T.bv_extract(self._compile(expr.arg, role), expr.high,
+                                expr.low)
+        if isinstance(expr, ast.ConcatExpr):
+            return T.bv_concat(self._compile(expr.high, role),
+                               self._compile(expr.low, role))
+        if isinstance(expr, ast.LoadExpr):
+            view = self._compile_mem(expr.mem, role)
+            addr = self._compile(expr.addr, role)
+            return view.read(addr)
+        raise CompileError(f"cannot compile {type(expr).__name__}")
+
+    def _compile_mem(self, expr, role):
+        if isinstance(expr, ast.MemVar):
+            return self._spec_mem_view(expr, role)
+        if isinstance(expr, ast.StoreExpr):
+            return _StoreView(
+                self._compile_mem(expr.mem, role),
+                self._compile(expr.addr, role),
+                self._compile(expr.data, role),
+            )
+        if isinstance(expr, ast.MemIteExpr):
+            return _IteView(
+                self._compile(expr.cond, role),
+                self._compile_mem(expr.then, role),
+                self._compile_mem(expr.els, role),
+            )
+        raise CompileError(
+            f"cannot compile memory expression {type(expr).__name__}"
+        )
+
+
+def _mem_addr_width(compiler, mapping):
+    memory = compiler.trace.mem_before(
+        mapping.dp_name, mapping.read_time or 1
+    )
+    return memory.addr_width
+
+
+_BINOPS = {
+    "&": T.bv_and,
+    "|": T.bv_or,
+    "^": T.bv_xor,
+    "+": T.bv_add,
+    "-": T.bv_sub,
+    "*": T.bv_mul,
+    "<<": T.bv_shl,
+    ">>u": T.bv_lshr,
+    ">>s": T.bv_ashr,
+    "==": T.bv_eq,
+    "!=": T.bv_ne,
+    "<u": T.bv_ult,
+    "<=u": T.bv_ule,
+    ">u": T.bv_ugt,
+    ">=u": T.bv_uge,
+    "<s": T.bv_slt,
+    "<=s": T.bv_sle,
+    ">s": T.bv_sgt,
+    ">=s": T.bv_sge,
+}

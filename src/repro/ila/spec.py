@@ -1,0 +1,203 @@
+"""The ILA container: state declarations, instructions, fetch, decode fields.
+
+Mirrors the ILAng API used in the paper's listings::
+
+    ila = Ila("alu_ila")
+    op = ila.new_bv_input("op", 2)
+    regs = ila.new_mem_state("regs", 2, 8)
+    add = ila.new_instr("ADD")
+    add.set_decode(op == BvConst(1, 2))
+    add.set_update(regs, Store(regs, dest, rs1_val + rs2_val))
+
+Two additions support the synthesis toolchain:
+
+* ``set_fetch(expr)`` marks the instruction-fetch expression (ILA's fetch
+  function); loads *inside* it resolve to the abstraction function's
+  read-only memory entry (e.g. ``i_mem``) rather than the data entry.
+* ``declare_decode_field(name, expr)`` names sub-expressions of the decode
+  logic (opcode, funct3, ...).  The control-union code generator renders
+  instruction preconditions over these names, bound to datapath wires via
+  the abstraction function.
+"""
+
+from __future__ import annotations
+
+from repro.ila import ast
+
+__all__ = ["Ila", "Instruction", "SpecError"]
+
+
+class SpecError(Exception):
+    """Raised for malformed ILA specifications."""
+
+
+class Instruction:
+    """One ILA instruction: a decode condition plus state updates."""
+
+    def __init__(self, name, ila):
+        self.name = name
+        self.ila = ila
+        self.decode = None
+        self.updates = []  # (state var, update expr) in declaration order
+        self._updated_names = set()
+
+    def set_decode(self, expr):
+        """Define when this instruction applies (must have width 1)."""
+        if self.decode is not None:
+            raise SpecError(f"instruction {self.name!r} has two decodes")
+        if not isinstance(expr, ast.BvExpr) or expr.width != 1:
+            raise SpecError(
+                f"decode of {self.name!r} must be a width-1 expression"
+            )
+        self.decode = expr
+        return self
+
+    def set_update(self, state, expr):
+        """Define the next value of one state element."""
+        if isinstance(state, ast.MemVar):
+            if state.kind == "memconst":
+                raise SpecError(
+                    f"{self.name!r} cannot update read-only memory "
+                    f"{state.name!r}"
+                )
+            if not isinstance(expr, ast.MemExpr):
+                raise SpecError(
+                    f"update of memory {state.name!r} must be memory-valued"
+                )
+        elif isinstance(state, ast.BvVar):
+            if state.kind != "state":
+                raise SpecError(
+                    f"{self.name!r} cannot update input {state.name!r}"
+                )
+            if not isinstance(expr, ast.BvExpr) or expr.width != state.width:
+                raise SpecError(
+                    f"update of {state.name!r} must have width {state.width}"
+                )
+        else:
+            raise SpecError(f"cannot update {state!r}")
+        if state.name in self._updated_names:
+            raise SpecError(
+                f"instruction {self.name!r} updates {state.name!r} twice"
+            )
+        self._updated_names.add(state.name)
+        self.updates.append((state, expr))
+        return self
+
+    def updates_state(self, name):
+        return name in self._updated_names
+
+    def __repr__(self):
+        return f"<Instruction {self.name}>"
+
+    # ILAng-style aliases
+    SetDecode = set_decode
+    SetUpdate = set_update
+
+
+class Ila:
+    """An instruction-level abstraction of a processor or accelerator."""
+
+    def __init__(self, name):
+        self.name = name
+        self.inputs = {}
+        self.states = {}
+        self.memories = {}
+        self.instructions = []
+        self.fetch_expr = None
+        self.decode_fields = {}  # name -> BvExpr
+
+    # -- declarations -----------------------------------------------------
+
+    def _claim(self, name):
+        if (name in self.inputs or name in self.states
+                or name in self.memories):
+            raise SpecError(f"duplicate declaration {name!r}")
+
+    def new_bv_input(self, name, width):
+        self._claim(name)
+        var = ast.BvVar(name, width, "input")
+        self.inputs[name] = var
+        return var
+
+    def new_bv_state(self, name, width):
+        self._claim(name)
+        var = ast.BvVar(name, width, "state")
+        self.states[name] = var
+        return var
+
+    def new_mem_state(self, name, addr_width, data_width):
+        self._claim(name)
+        var = ast.MemVar(name, addr_width, data_width, "mem")
+        self.memories[name] = var
+        return var
+
+    def new_mem_const(self, name, addr_width, data_width, table):
+        """A read-only memory with known contents (AES lookup tables)."""
+        self._claim(name)
+        var = ast.MemVar(name, addr_width, data_width, "memconst",
+                         table=dict(table) if isinstance(table, dict)
+                         else dict(enumerate(table)))
+        self.memories[name] = var
+        return var
+
+    # ILAng-style aliases
+    NewBvInput = new_bv_input
+    NewBvState = new_bv_state
+    NewMemState = new_mem_state
+    NewMemConst = new_mem_const
+
+    # -- instructions --------------------------------------------------------
+
+    def new_instr(self, name):
+        if any(instr.name == name for instr in self.instructions):
+            raise SpecError(f"duplicate instruction {name!r}")
+        instr = Instruction(name, self)
+        self.instructions.append(instr)
+        return instr
+
+    NewInstr = new_instr
+
+    def instr(self, name):
+        for instruction in self.instructions:
+            if instruction.name == name:
+                return instruction
+        raise SpecError(f"no instruction named {name!r}")
+
+    # -- fetch / decode fields --------------------------------------------------
+
+    def set_fetch(self, expr):
+        """The fetch expression; loads inside it use the fetch memory entry."""
+        if not isinstance(expr, ast.BvExpr):
+            raise SpecError("fetch must be a bitvector expression")
+        self.fetch_expr = expr
+        return expr
+
+    SetFetch = set_fetch
+
+    def declare_decode_field(self, name, expr):
+        """Name a decode sub-expression for code generation (e.g. 'opcode')."""
+        if name in self.decode_fields:
+            raise SpecError(f"duplicate decode field {name!r}")
+        if not isinstance(expr, ast.BvExpr):
+            raise SpecError("decode fields must be bitvector expressions")
+        self.decode_fields[name] = expr
+        return expr
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self):
+        """Check every instruction has a decode; returns self."""
+        for instruction in self.instructions:
+            if instruction.decode is None:
+                raise SpecError(
+                    f"instruction {instruction.name!r} has no decode"
+                )
+        if not self.instructions:
+            raise SpecError(f"ILA {self.name!r} has no instructions")
+        return self
+
+    def __repr__(self):
+        return (
+            f"<Ila {self.name}: {len(self.instructions)} instructions, "
+            f"{len(self.states) + len(self.memories)} state elements>"
+        )

@@ -1,0 +1,27 @@
+"""Gate-level synthesis and optimization of Oyster designs.
+
+This substitutes for the paper's two netlist tools: the PyRTL compiler
+(which lowers a completed design to gates so Table 2 can count them) and the
+Yosys optimization pass (the "Netlist Size (Optimized)" column).
+
+``synth.synthesize_netlist`` performs a *naive* word-to-bit lowering with no
+sharing — the honest "unoptimized" gate count — while ``optimize.optimize``
+applies constant propagation, structural hashing/CSE, double-negation and
+absorption rewrites, and dead-gate elimination to a fixpoint.
+"""
+
+from repro.netlist.gates import Netlist, Gate, GATE_KINDS
+from repro.netlist.synth import synthesize_netlist, SynthesisOptions
+from repro.netlist.optimize import optimize
+from repro.netlist.stats import netlist_stats, gate_count
+
+__all__ = [
+    "Netlist",
+    "Gate",
+    "GATE_KINDS",
+    "synthesize_netlist",
+    "SynthesisOptions",
+    "optimize",
+    "netlist_stats",
+    "gate_count",
+]

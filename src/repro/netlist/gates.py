@@ -1,0 +1,163 @@
+"""The gate-level netlist data structure.
+
+A netlist is a list of gates; each gate drives exactly one net, identified
+by the gate's index.  Gate kinds:
+
+=========  =======================================================
+``const0`` ``const1``  constants (no inputs)
+``input``  a primary input bit (``name``)
+``and`` ``or`` ``xor`` two-input logic
+``not``    inverter
+``dff``    D flip-flop; input set after creation (sequential loop)
+``memrd``  one output bit of an opaque memory macro read port
+``memwr``  a sink representing one write-port bit of a memory macro
+``output`` a sink marking a primary output bit (``name``)
+=========  =======================================================
+
+Memories narrower than the expansion threshold are decomposed into DFFs and
+muxes by the synthesizer; wide ones stay opaque macros (``memrd``/``memwr``),
+matching how RAMs survive logic synthesis as block macros.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Netlist", "Gate", "GATE_KINDS"]
+
+GATE_KINDS = (
+    "const0", "const1", "input", "and", "or", "xor", "not", "dff",
+    "memrd", "memwr", "output",
+)
+
+_LOGIC = frozenset({"and", "or", "xor", "not"})
+
+
+class Gate:
+    __slots__ = ("kind", "inputs", "name")
+
+    def __init__(self, kind, inputs=(), name=None):
+        self.kind = kind
+        self.inputs = tuple(inputs)
+        self.name = name
+
+    def __repr__(self):
+        label = f" {self.name}" if self.name else ""
+        return f"Gate({self.kind}{label} <- {list(self.inputs)})"
+
+
+class Netlist:
+    """A flat gate list; net ids are gate indices."""
+
+    def __init__(self, name=""):
+        self.name = name
+        self.gates = []
+        self._const0 = None
+        self._const1 = None
+
+    def __len__(self):
+        return len(self.gates)
+
+    def add(self, kind, inputs=(), name=None):
+        if kind not in GATE_KINDS:
+            raise ValueError(f"unknown gate kind {kind!r}")
+        self.gates.append(Gate(kind, inputs, name))
+        return len(self.gates) - 1
+
+    def const(self, value):
+        if value:
+            if self._const1 is None:
+                self._const1 = self.add("const1")
+            return self._const1
+        if self._const0 is None:
+            self._const0 = self.add("const0")
+        return self._const0
+
+    def and_(self, a, b):
+        return self.add("and", (a, b))
+
+    def or_(self, a, b):
+        return self.add("or", (a, b))
+
+    def xor_(self, a, b):
+        return self.add("xor", (a, b))
+
+    def not_(self, a):
+        return self.add("not", (a,))
+
+    def mux(self, sel, then, els):
+        """then if sel else els — four gates, as a naive lowering would."""
+        sel_n = self.not_(sel)
+        return self.or_(self.and_(sel, then), self.and_(sel_n, els))
+
+    def new_dff(self, name=None):
+        """A flip-flop with its data input unset; connect via connect_dff."""
+        return self.add("dff", (None,), name)
+
+    def connect_dff(self, dff, data):
+        gate = self.gates[dff]
+        if gate.kind != "dff":
+            raise ValueError(f"net {dff} is not a dff")
+        gate.inputs = (data,)
+
+    # -- queries -----------------------------------------------------------
+
+    def sinks(self):
+        """Indices whose gates anchor liveness (outputs, memory writes)."""
+        return [
+            index for index, gate in enumerate(self.gates)
+            if gate.kind in ("output", "memwr")
+        ]
+
+    def validate(self):
+        """Check structural sanity; returns self."""
+        for index, gate in enumerate(self.gates):
+            for net in gate.inputs:
+                if net is None:
+                    raise ValueError(f"gate {index} has an unconnected input")
+                if not 0 <= net < len(self.gates):
+                    raise ValueError(f"gate {index} reads bogus net {net}")
+                # Only dffs may close cycles.
+                if net >= index and gate.kind != "dff" and (
+                    self.gates[net].kind != "dff"
+                ):
+                    raise ValueError(
+                        f"combinational gate {index} reads forward net {net}"
+                    )
+        return self
+
+    def evaluate(self, input_bits, dff_state=None, max_iterations=None):
+        """One combinational evaluation; returns (net values, next dff state).
+
+        ``input_bits`` maps input gate name -> 0/1; ``dff_state`` maps dff
+        index -> 0/1 (default 0).  Used by equivalence tests.
+        """
+        dff_state = dict(dff_state or {})
+        values = [0] * len(self.gates)
+        for index, gate in enumerate(self.gates):
+            kind = gate.kind
+            if kind == "const0":
+                values[index] = 0
+            elif kind == "const1":
+                values[index] = 1
+            elif kind == "input":
+                values[index] = input_bits.get(gate.name, 0)
+            elif kind == "dff":
+                values[index] = dff_state.get(index, 0)
+            elif kind == "and":
+                values[index] = values[gate.inputs[0]] & values[gate.inputs[1]]
+            elif kind == "or":
+                values[index] = values[gate.inputs[0]] | values[gate.inputs[1]]
+            elif kind == "xor":
+                values[index] = values[gate.inputs[0]] ^ values[gate.inputs[1]]
+            elif kind == "not":
+                values[index] = 1 - values[gate.inputs[0]]
+            elif kind == "memrd":
+                values[index] = 0  # opaque macro: contents unmodelled
+            elif kind in ("memwr", "output"):
+                if gate.inputs:
+                    values[index] = values[gate.inputs[0]]
+        next_state = {
+            index: values[gate.inputs[0]]
+            for index, gate in enumerate(self.gates)
+            if gate.kind == "dff" and gate.inputs[0] is not None
+        }
+        return values, next_state

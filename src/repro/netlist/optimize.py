@@ -1,0 +1,215 @@
+"""Combinational logic optimization over gate netlists.
+
+Stands in for the paper's Yosys pass (Table 2's "Netlist Size (Optimized)"
+column).  Rewrites applied to a fixpoint, then dead gates are swept:
+
+* constant propagation through and/or/xor/not and derived mux structures;
+* operand-level identities (``a&a``, ``a&~a``, ``a^a``, double negation);
+* structural hashing / common-subexpression elimination;
+* absorption of constant-fed flip-flop inputs is deliberately *not* done
+  (sequential optimization is out of scope, as it is for the paper's flow).
+
+The result is a new, compacted netlist; primary inputs, outputs, memory
+macros, and flip-flops are preserved.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.gates import Netlist
+
+__all__ = ["optimize"]
+
+
+def optimize(netlist, max_rounds=20):
+    """Optimize; returns a new ``Netlist``."""
+    current = netlist
+    for _ in range(max_rounds):
+        rewritten, changed = _rewrite_once(current)
+        compacted = _sweep(rewritten)
+        if not changed and len(compacted) == len(current):
+            return compacted
+        current = compacted
+    return current
+
+
+def _rewrite_once(netlist):
+    """One pass of local rewrites + CSE.  Returns (new netlist, changed?)."""
+    new = Netlist(netlist.name)
+    mapping = {}  # old net -> new net
+    strash = {}
+    changed = False
+    const_of = {}  # new net -> 0/1 if constant
+
+    def emit(kind, inputs=(), name=None):
+        index = new.add(kind, inputs, name)
+        if kind == "const0":
+            const_of[index] = 0
+        elif kind == "const1":
+            const_of[index] = 1
+        return index
+
+    def const(value):
+        key = ("const", value)
+        if key not in strash:
+            strash[key] = emit("const1" if value else "const0")
+        return strash[key]
+
+    def logic(kind, operands):
+        nonlocal changed
+        values = [const_of.get(op) for op in operands]
+        if kind == "not":
+            (a,) = operands
+            if values[0] is not None:
+                changed = True
+                return const(1 - values[0])
+            gate = new.gates[a]
+            if gate.kind == "not":
+                changed = True
+                return gate.inputs[0]
+            key = ("not", a)
+        else:
+            a, b = operands
+            if a > b:
+                a, b = b, a
+            va, vb = const_of.get(a), const_of.get(b)
+            if kind == "and":
+                if va == 0 or vb == 0:
+                    changed = True
+                    return const(0)
+                if va == 1:
+                    changed = True
+                    return b
+                if vb == 1:
+                    changed = True
+                    return a
+                if a == b:
+                    changed = True
+                    return a
+                if _complements(new, a, b):
+                    changed = True
+                    return const(0)
+            elif kind == "or":
+                if va == 1 or vb == 1:
+                    changed = True
+                    return const(1)
+                if va == 0:
+                    changed = True
+                    return b
+                if vb == 0:
+                    changed = True
+                    return a
+                if a == b:
+                    changed = True
+                    return a
+                if _complements(new, a, b):
+                    changed = True
+                    return const(1)
+            elif kind == "xor":
+                if a == b:
+                    changed = True
+                    return const(0)
+                if va is not None and vb is not None:
+                    changed = True
+                    return const(va ^ vb)
+                if va == 0:
+                    changed = True
+                    return b
+                if vb == 0:
+                    changed = True
+                    return a
+                if va == 1:
+                    changed = True
+                    return logic("not", (b,))
+                if vb == 1:
+                    changed = True
+                    return logic("not", (a,))
+                if _complements(new, a, b):
+                    changed = True
+                    return const(1)
+            key = (kind, a, b)
+        cached = strash.get(key)
+        if cached is not None:
+            if key[0] != "not" or True:
+                # a structural duplicate was eliminated
+                pass
+            return cached
+        index = emit(kind, operands if kind == "not" else (key[1], key[2]))
+        strash[key] = index
+        return index
+
+    # First pass: create placeholders for dffs so cyclic reads resolve.
+    dff_map = {}
+    for index, gate in enumerate(netlist.gates):
+        if gate.kind == "dff":
+            dff_map[index] = new.new_dff(gate.name)
+    for index, gate in enumerate(netlist.gates):
+        kind = gate.kind
+        if kind == "dff":
+            mapping[index] = dff_map[index]
+            continue
+        if kind in ("const0", "const1"):
+            mapping[index] = const(1 if kind == "const1" else 0)
+            continue
+        if kind == "input":
+            key = ("input", gate.name)
+            if key not in strash:
+                strash[key] = emit("input", name=gate.name)
+            mapping[index] = strash[key]
+            continue
+        inputs = tuple(mapping[net] if net in mapping else dff_map[net]
+                       for net in gate.inputs)
+        if kind in ("and", "or", "xor", "not"):
+            mapping[index] = logic(kind, inputs)
+        else:  # memrd, memwr, output
+            mapping[index] = emit(kind, inputs, gate.name)
+    # Connect dff data inputs.
+    for index, gate in enumerate(netlist.gates):
+        if gate.kind == "dff":
+            data = gate.inputs[0]
+            new_data = mapping.get(data, dff_map.get(data))
+            new.connect_dff(dff_map[index], new_data)
+    return new, changed
+
+
+def _complements(netlist, a, b):
+    ga = netlist.gates[a]
+    gb = netlist.gates[b]
+    return (ga.kind == "not" and ga.inputs[0] == b) or (
+        gb.kind == "not" and gb.inputs[0] == a
+    )
+
+
+def _sweep(netlist):
+    """Remove gates not reachable from outputs, memory writes, or flops."""
+    keep = set()
+    stack = list(netlist.sinks())
+    # Flip-flops and memory reads are state/interface: keep their cones.
+    for index, gate in enumerate(netlist.gates):
+        if gate.kind in ("dff", "memrd"):
+            stack.append(index)
+    while stack:
+        index = stack.pop()
+        if index in keep:
+            continue
+        keep.add(index)
+        for net in netlist.gates[index].inputs:
+            if net is not None and net not in keep:
+                stack.append(net)
+    new = Netlist(netlist.name)
+    mapping = {}
+    # Two-phase to keep dff cycles intact.
+    for index in sorted(keep):
+        gate = netlist.gates[index]
+        if gate.kind == "dff":
+            mapping[index] = new.new_dff(gate.name)
+    for index in sorted(keep):
+        gate = netlist.gates[index]
+        if gate.kind == "dff":
+            continue
+        inputs = tuple(mapping[net] for net in gate.inputs)
+        mapping[index] = new.add(gate.kind, inputs, gate.name)
+    for index in sorted(keep):
+        gate = netlist.gates[index]
+        if gate.kind == "dff":
+            new.connect_dff(mapping[index], mapping[gate.inputs[0]])
+    return new

@@ -1,0 +1,26 @@
+"""Gate-count metrics for Table 2."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["netlist_stats", "gate_count"]
+
+_LOGIC = ("and", "or", "xor", "not")
+
+
+def netlist_stats(netlist):
+    """Counts by gate kind plus the headline totals."""
+    by_kind = Counter(gate.kind for gate in netlist.gates)
+    logic = sum(by_kind[k] for k in _LOGIC)
+    return {
+        "by_kind": dict(by_kind),
+        "logic_gates": logic,
+        "flops": by_kind["dff"],
+        "total": logic + by_kind["dff"],
+    }
+
+
+def gate_count(netlist):
+    """The Table 2 metric: logic gates plus flip-flops."""
+    return netlist_stats(netlist)["total"]

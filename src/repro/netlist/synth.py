@@ -1,0 +1,340 @@
+"""Naive word-to-bit lowering of Oyster designs into gate netlists.
+
+Deliberately performs no sharing or simplification (beyond constant nets):
+the output is the honest "unoptimized" netlist whose gate count Table 2
+reports, leaving all cleanup to ``repro.netlist.optimize``.
+
+Memories with address width at most ``SynthesisOptions.expand_memories_to``
+are decomposed into DFF words with write-decoders and read mux trees (the
+register file); wider memories remain opaque macros with ``memrd``/``memwr``
+port gates (instruction/data RAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oyster import ast
+from repro.oyster.typecheck import check_design
+
+__all__ = ["synthesize_netlist", "SynthesisOptions", "NetlistSynthesisError"]
+
+from repro.netlist.gates import Netlist
+
+
+class NetlistSynthesisError(Exception):
+    pass
+
+
+@dataclass
+class SynthesisOptions:
+    expand_memories_to: int = 6  # expand memories with addr_width <= this
+
+
+def synthesize_netlist(design, options=None, hole_values=None):
+    """Lower a (hole-free, or hole-bound) design to a gate netlist."""
+    options = options or SynthesisOptions()
+    widths = check_design(design)
+    if design.holes and not hole_values:
+        raise NetlistSynthesisError(
+            f"design {design.name!r} has unfilled holes"
+        )
+    lowering = _Lowering(design, widths, options, hole_values or {})
+    return lowering.run()
+
+
+class _Lowering:
+    def __init__(self, design, widths, options, hole_values):
+        self.design = design
+        self.widths = widths
+        self.options = options
+        self.hole_values = hole_values
+        self.netlist = Netlist(design.name)
+        self.env = {}  # signal name -> tuple of nets (current value)
+        self.dffs = {}  # register name -> tuple of dff nets
+        self.mem_words = {}  # expanded memory name -> [tuple of dff nets]
+        self.mem_writes = {}  # memory name -> list of (addr, data, enable)
+        self.register_names = {reg.name for reg in design.registers}
+        self.register_next = {}  # register name -> nets
+
+    def run(self):
+        netlist = self.netlist
+        design = self.design
+        for decl in design.inputs:
+            self.env[decl.name] = tuple(
+                netlist.add("input", name=f"{decl.name}[{i}]")
+                for i in range(decl.width)
+            )
+        for decl in design.registers:
+            nets = tuple(
+                netlist.new_dff(f"{decl.name}[{i}]")
+                for i in range(decl.width)
+            )
+            self.dffs[decl.name] = nets
+            self.env[decl.name] = nets
+        for decl in design.memories:
+            self.mem_writes[decl.name] = []
+            if decl.addr_width <= self.options.expand_memories_to:
+                self.mem_words[decl.name] = [
+                    tuple(
+                        netlist.new_dff(f"{decl.name}[{word}][{bit}]")
+                        for bit in range(decl.data_width)
+                    )
+                    for word in range(1 << decl.addr_width)
+                ]
+        for decl in design.holes:
+            value = self.hole_values[decl.name]
+            self.env[decl.name] = self._const_bits(value, decl.width)
+
+        for stmt in design.stmts:
+            if isinstance(stmt, ast.Assign):
+                bits = self._expr(stmt.expr)
+                if stmt.target in self.register_names:
+                    self.register_next[stmt.target] = bits
+                else:
+                    self.env[stmt.target] = bits
+            else:
+                self.mem_writes[stmt.mem].append(
+                    (self._expr(stmt.addr), self._expr(stmt.data),
+                     self._expr(stmt.enable)[0])
+                )
+
+        self._close_registers()
+        self._close_memories()
+        for decl in design.outputs:
+            for i, net in enumerate(self.env[decl.name]):
+                netlist.add("output", (net,), name=f"{decl.name}[{i}]")
+        return netlist.validate()
+
+    # -- sequential closure ------------------------------------------------
+
+    def _close_registers(self):
+        for name, dffs in self.dffs.items():
+            next_bits = self.register_next.get(name, dffs)
+            for dff, data in zip(dffs, next_bits):
+                self.netlist.connect_dff(dff, data)
+
+    def _close_memories(self):
+        netlist = self.netlist
+        for decl in self.design.memories:
+            writes = self.mem_writes[decl.name]
+            if decl.name in self.mem_words:
+                words = self.mem_words[decl.name]
+                for word_index, word in enumerate(words):
+                    data = word  # hold by default
+                    for addr, wdata, enable in writes:
+                        hit = self._addr_match(addr, word_index)
+                        strobe = netlist.and_(enable, hit)
+                        data = tuple(
+                            netlist.mux(strobe, new, old)
+                            for new, old in zip(wdata, data)
+                        )
+                    for dff, bit in zip(word, data):
+                        netlist.connect_dff(dff, bit)
+            else:
+                for addr, wdata, enable in writes:
+                    for net in addr:
+                        netlist.add("memwr", (net,), name=decl.name)
+                    for net in wdata:
+                        netlist.add("memwr", (net,), name=decl.name)
+                    netlist.add("memwr", (enable,), name=decl.name)
+
+    def _addr_match(self, addr_bits, word_index):
+        netlist = self.netlist
+        acc = None
+        for bit_index, net in enumerate(addr_bits):
+            want = (word_index >> bit_index) & 1
+            term = net if want else netlist.not_(net)
+            acc = term if acc is None else netlist.and_(acc, term)
+        return acc if acc is not None else netlist.const(1)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _const_bits(self, value, width):
+        return tuple(
+            self.netlist.const((value >> i) & 1) for i in range(width)
+        )
+
+    def _expr(self, expr):
+        netlist = self.netlist
+        if isinstance(expr, ast.Const):
+            return self._const_bits(expr.value, expr.width)
+        if isinstance(expr, ast.Var):
+            return self.env[expr.name]
+        if isinstance(expr, ast.Unop):
+            bits = self._expr(expr.arg)
+            if expr.op == "~":
+                return tuple(netlist.not_(b) for b in bits)
+            zero = self._const_bits(0, len(bits))
+            return self._subtract(zero, bits)[0]
+        if isinstance(expr, ast.Binop):
+            return self._binop(expr)
+        if isinstance(expr, ast.Ite):
+            sel = self._expr(expr.cond)[0]
+            then = self._expr(expr.then)
+            els = self._expr(expr.els)
+            return tuple(
+                netlist.mux(sel, t, e) for t, e in zip(then, els)
+            )
+        if isinstance(expr, ast.Extract):
+            bits = self._expr(expr.arg)
+            return bits[expr.low:expr.high + 1]
+        if isinstance(expr, ast.Concat):
+            high = self._expr(expr.high)
+            low = self._expr(expr.low)
+            return low + high
+        if isinstance(expr, ast.Read):
+            return self._read(expr)
+        raise NetlistSynthesisError(f"cannot lower {type(expr).__name__}")
+
+    def _read(self, expr):
+        netlist = self.netlist
+        decl = next(m for m in self.design.memories if m.name == expr.mem)
+        addr = self._expr(expr.addr)
+        if expr.mem in self.mem_words:
+            words = self.mem_words[expr.mem]
+            return self._read_mux_tree(words, addr, len(addr))
+        return tuple(
+            netlist.add("memrd", tuple(addr), name=f"{expr.mem}[{i}]")
+            for i in range(decl.data_width)
+        )
+
+    def _read_mux_tree(self, words, addr, bits_left, base=0):
+        if bits_left == 0:
+            return words[base]
+        sel = addr[bits_left - 1]
+        half = 1 << (bits_left - 1)
+        low = self._read_mux_tree(words, addr, bits_left - 1, base)
+        high = self._read_mux_tree(words, addr, bits_left - 1, base + half)
+        return tuple(
+            self.netlist.mux(sel, h, l) for h, l in zip(high, low)
+        )
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def _binop(self, expr):
+        netlist = self.netlist
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        op = expr.op
+        if op == "&":
+            return tuple(netlist.and_(a, b) for a, b in zip(left, right))
+        if op == "|":
+            return tuple(netlist.or_(a, b) for a, b in zip(left, right))
+        if op == "^":
+            return tuple(netlist.xor_(a, b) for a, b in zip(left, right))
+        if op == "+":
+            return self._add(left, right, netlist.const(0))
+        if op == "-":
+            return self._subtract(left, right)[0]
+        if op == "*":
+            return self._multiply(left, right)
+        if op == "<<":
+            return self._shift(left, right, "left", netlist.const(0))
+        if op == ">>u":
+            return self._shift(left, right, "right", netlist.const(0))
+        if op == ">>s":
+            return self._shift(left, right, "right", left[-1])
+        if op == "==":
+            return (self._equal(left, right),)
+        if op == "!=":
+            return (netlist.not_(self._equal(left, right)),)
+        if op == "<u":
+            return (self._less_unsigned(left, right),)
+        if op == "<=u":
+            return (netlist.not_(self._less_unsigned(right, left)),)
+        if op == ">u":
+            return (self._less_unsigned(right, left),)
+        if op == ">=u":
+            return (netlist.not_(self._less_unsigned(left, right)),)
+        if op == "<s":
+            return (self._less_signed(left, right),)
+        if op == "<=s":
+            return (netlist.not_(self._less_signed(right, left)),)
+        if op == ">s":
+            return (self._less_signed(right, left),)
+        if op == ">=s":
+            return (netlist.not_(self._less_signed(left, right)),)
+        raise NetlistSynthesisError(f"cannot lower operator {op!r}")
+
+    def _add(self, left, right, carry):
+        netlist = self.netlist
+        out = []
+        for a, b in zip(left, right):
+            partial = netlist.xor_(a, b)
+            out.append(netlist.xor_(partial, carry))
+            carry = netlist.or_(
+                netlist.and_(a, b), netlist.and_(partial, carry)
+            )
+        return tuple(out)
+
+    def _subtract(self, left, right):
+        netlist = self.netlist
+        inverted = tuple(netlist.not_(b) for b in right)
+        out = []
+        carry = netlist.const(1)
+        for a, b in zip(left, inverted):
+            partial = netlist.xor_(a, b)
+            out.append(netlist.xor_(partial, carry))
+            carry = netlist.or_(
+                netlist.and_(a, b), netlist.and_(partial, carry)
+            )
+        return tuple(out), carry
+
+    def _multiply(self, left, right):
+        netlist = self.netlist
+        width = len(left)
+        acc = self._const_bits(0, width)
+        for i, sel in enumerate(right):
+            shifted = self._const_bits(0, i) + left[:width - i]
+            partial = tuple(netlist.and_(bit, sel) for bit in shifted)
+            acc = self._add(acc, partial, netlist.const(0))
+        return acc
+
+    def _shift(self, value, amount, direction, fill):
+        netlist = self.netlist
+        width = len(value)
+        stages = max(1, (width - 1).bit_length())
+        bits = list(value)
+        for stage in range(min(stages, len(amount))):
+            sel = amount[stage]
+            step = 1 << stage
+            shifted = [fill] * width
+            for i in range(width):
+                source = i - step if direction == "left" else i + step
+                if 0 <= source < width:
+                    shifted[i] = bits[source]
+            bits = [netlist.mux(sel, s, b) for s, b in zip(shifted, bits)]
+        overflow = netlist.const(0)
+        for net in amount[stages:]:
+            overflow = netlist.or_(overflow, net)
+        if width & (width - 1):
+            big = self._less_unsigned(
+                tuple(amount[:stages]),
+                self._const_bits(width, stages),
+            )
+            overflow = netlist.or_(overflow, netlist.not_(big))
+        return tuple(netlist.mux(overflow, fill, b) for b in bits)
+
+    def _equal(self, left, right):
+        netlist = self.netlist
+        acc = netlist.const(1)
+        for a, b in zip(left, right):
+            acc = netlist.and_(acc, netlist.not_(netlist.xor_(a, b)))
+        return acc
+
+    def _less_unsigned(self, left, right):
+        netlist = self.netlist
+        lt = netlist.const(0)
+        for a, b in zip(left, right):
+            eq = netlist.not_(netlist.xor_(a, b))
+            lt = netlist.or_(
+                netlist.and_(netlist.not_(a), b), netlist.and_(eq, lt)
+            )
+        return lt
+
+    def _less_signed(self, left, right):
+        netlist = self.netlist
+        flipped_left = left[:-1] + (netlist.not_(left[-1]),)
+        flipped_right = right[:-1] + (netlist.not_(right[-1]),)
+        return self._less_unsigned(flipped_left, flipped_right)

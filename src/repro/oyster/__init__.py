@@ -1,0 +1,68 @@
+"""Oyster: the paper's HDL intermediate representation (Section 3.1).
+
+An Oyster design is a set of declarations (inputs, outputs, registers,
+memories, holes) plus an ordered list of statements (wire/register
+assignments and conditional memory writes).  Designs are synchronous with a
+single implicit clock: register and memory writes take effect at the next
+cycle.
+
+The package provides:
+
+``ast``          the IR node types (Figure 5 grammar, extended operator set)
+``typecheck``    width inference and well-formedness checking
+``parser``       a concrete syntax parser (used for artifacts and tests)
+``printer``      the canonical pretty printer ("lines of Oyster" metric)
+``interpreter``  a concrete cycle-accurate simulator
+``symbolic``     the symbolic evaluator producing SMT terms per cycle
+``memory``       the uninterpreted-function + write-list memory model
+"""
+
+from repro.oyster.ast import (
+    Design,
+    InputDecl,
+    OutputDecl,
+    RegisterDecl,
+    MemoryDecl,
+    HoleDecl,
+    Assign,
+    Write,
+    Var,
+    Const,
+    Unop,
+    Binop,
+    Ite,
+    Extract,
+    Concat,
+    Read,
+)
+from repro.oyster.typecheck import check_design, TypeError_ as OysterTypeError
+from repro.oyster.parser import parse_design
+from repro.oyster.printer import print_design
+from repro.oyster.interpreter import Simulator
+from repro.oyster.symbolic import SymbolicEvaluator, Trace
+
+__all__ = [
+    "Design",
+    "InputDecl",
+    "OutputDecl",
+    "RegisterDecl",
+    "MemoryDecl",
+    "HoleDecl",
+    "Assign",
+    "Write",
+    "Var",
+    "Const",
+    "Unop",
+    "Binop",
+    "Ite",
+    "Extract",
+    "Concat",
+    "Read",
+    "check_design",
+    "OysterTypeError",
+    "parse_design",
+    "print_design",
+    "Simulator",
+    "SymbolicEvaluator",
+    "Trace",
+]

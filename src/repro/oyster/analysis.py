@@ -1,0 +1,87 @@
+"""Static analyses over Oyster designs: variable uses and dependencies."""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+
+__all__ = [
+    "expr_vars",
+    "stmt_uses",
+    "direct_dependencies",
+    "transitive_dependencies",
+]
+
+
+def expr_vars(expr):
+    """The set of signal names read by an expression."""
+    names = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Var):
+            names.add(node.name)
+        elif isinstance(node, ast.Unop):
+            stack.append(node.arg)
+        elif isinstance(node, ast.Binop):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, ast.Ite):
+            stack.extend((node.cond, node.then, node.els))
+        elif isinstance(node, ast.Extract):
+            stack.append(node.arg)
+        elif isinstance(node, ast.Concat):
+            stack.append(node.high)
+            stack.append(node.low)
+        elif isinstance(node, ast.Read):
+            stack.append(node.addr)
+    return names
+
+
+def stmt_uses(stmt):
+    """Signal names read by a statement."""
+    if isinstance(stmt, ast.Assign):
+        return expr_vars(stmt.expr)
+    return expr_vars(stmt.addr) | expr_vars(stmt.data) | expr_vars(stmt.enable)
+
+
+def direct_dependencies(design, through_registers=False):
+    """Combinational dependency map: defined signal -> names it reads.
+
+    By default register next-value assignments are *excluded*: a register's
+    current value is state, not a combinational function of this cycle's
+    wires, so feedback through a register is cycle-delayed (an FSM's state
+    register legitimately closes a control loop this way).  Pass
+    ``through_registers=True`` to include them.
+    """
+    register_names = {reg.name for reg in design.registers}
+    deps = {}
+    for stmt in design.stmts:
+        if isinstance(stmt, ast.Assign):
+            if stmt.target in register_names and not through_registers:
+                continue
+            deps.setdefault(stmt.target, set()).update(expr_vars(stmt.expr))
+    return deps
+
+
+def transitive_dependencies(design, start_names, stop_names=()):
+    """All signal names reachable from ``start_names`` through definitions.
+
+    ``stop_names`` are treated as opaque (traversal does not look through
+    their definitions) — used for the valid-signal exception of the
+    instruction-independence check.
+    """
+    deps = direct_dependencies(design)
+    stop = set(stop_names)
+    seen = set()
+    stack = list(start_names)
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        if name in stop:
+            continue
+        for dep in deps.get(name, ()):
+            if dep not in seen:
+                stack.append(dep)
+    return seen

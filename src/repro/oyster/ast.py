@@ -1,0 +1,272 @@
+"""AST node types for the Oyster IR (Figure 5 of the paper).
+
+Expressions are plain immutable trees (widths are inferred by the type
+checker, not stored, except on constants).  The operator set extends the
+figure's ``∧ ∨ ⊕ + =`` with the "many common bitvector operations" the paper
+mentions supporting; the full list is in ``BINOPS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Design",
+    "InputDecl",
+    "OutputDecl",
+    "RegisterDecl",
+    "MemoryDecl",
+    "HoleDecl",
+    "Assign",
+    "Write",
+    "Expr",
+    "Var",
+    "Const",
+    "Unop",
+    "Binop",
+    "Ite",
+    "Extract",
+    "Concat",
+    "Read",
+    "BINOPS",
+    "COMPARISONS",
+    "UNOPS",
+]
+
+#: binop symbol -> result kind ("same" keeps operand width, "bit" yields 1)
+BINOPS = {
+    "&": "same",
+    "|": "same",
+    "^": "same",
+    "+": "same",
+    "-": "same",
+    "*": "same",
+    "<<": "same",
+    ">>u": "same",
+    ">>s": "same",
+    "==": "bit",
+    "!=": "bit",
+    "<u": "bit",
+    "<=u": "bit",
+    ">u": "bit",
+    ">=u": "bit",
+    "<s": "bit",
+    "<=s": "bit",
+    ">s": "bit",
+    ">=s": "bit",
+}
+
+COMPARISONS = frozenset(op for op, kind in BINOPS.items() if kind == "bit")
+
+UNOPS = ("~", "-")
+
+
+class Expr:
+    """Base class for Oyster expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A reference to an input, register, wire, output, or hole."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A sized constant, written ``width'value`` in concrete syntax."""
+
+    value: int
+    width: int
+
+    def __post_init__(self):
+        if self.width <= 0:
+            raise ValueError(f"constant width must be positive: {self.width}")
+        object.__setattr__(self, "value", self.value & ((1 << self.width) - 1))
+
+
+@dataclass(frozen=True)
+class Unop(Expr):
+    """Unary operator: ``~`` (bitwise not) or ``-`` (two's-complement negate)."""
+
+    op: str
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Binop(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ite(Expr):
+    """``if cond then a else b``; ``cond`` must have width 1."""
+
+    cond: Expr
+    then: Expr
+    els: Expr
+
+
+@dataclass(frozen=True)
+class Extract(Expr):
+    """Bits ``high`` down to ``low`` of ``arg`` (inclusive, LSB is 0)."""
+
+    arg: Expr
+    high: int
+    low: int
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    """``{high, low}`` concatenation; ``high`` supplies the upper bits."""
+
+    high: Expr
+    low: Expr
+
+
+@dataclass(frozen=True)
+class Read(Expr):
+    """``read mem addr``: asynchronous read of the start-of-cycle memory."""
+
+    mem: str
+    addr: Expr
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InputDecl:
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class OutputDecl:
+    name: str
+    width: int
+
+
+@dataclass(frozen=True)
+class RegisterDecl:
+    """A clocked register; ``init`` (optional) is its reset value.
+
+    Registers with an ``init`` start every evaluation from that concrete
+    value instead of a universally quantified symbol — this models reset
+    state and is how pipelined sketches keep startup garbage (symbolic
+    write enables in not-yet-filled stages) from falsifying Equation (1).
+    """
+
+    name: str
+    width: int
+    init: int = None
+
+
+@dataclass(frozen=True)
+class MemoryDecl:
+    name: str
+    addr_width: int
+    data_width: int
+
+
+@dataclass(frozen=True)
+class HoleDecl:
+    """A control-logic hole.
+
+    ``deps`` names the signals the synthesized logic may observe; it guides
+    code generation (the union operator's preconditions are expressed over
+    these) and documents designer intent, mirroring ``??(opcode, funct3,
+    funct7)`` in the paper's sketches.
+    """
+
+    name: str
+    width: int
+    deps: tuple = ()
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``var := expr``.
+
+    Assigning to a register name sets its *next* value; assigning to a fresh
+    name defines a wire; assigning to an output drives it this cycle.
+    """
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Write:
+    """``write mem addr data enable``: conditional synchronous memory write."""
+
+    mem: str
+    addr: Expr
+    data: Expr
+    enable: Expr
+
+
+@dataclass(frozen=True)
+class Design:
+    """A complete Oyster design: declarations plus ordered statements."""
+
+    name: str
+    decls: tuple = ()
+    stmts: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "decls", tuple(self.decls))
+        object.__setattr__(self, "stmts", tuple(self.stmts))
+
+    def decl_of(self, name):
+        for decl in self.decls:
+            if decl.name == name:
+                return decl
+        return None
+
+    @property
+    def inputs(self):
+        return [d for d in self.decls if isinstance(d, InputDecl)]
+
+    @property
+    def outputs(self):
+        return [d for d in self.decls if isinstance(d, OutputDecl)]
+
+    @property
+    def registers(self):
+        return [d for d in self.decls if isinstance(d, RegisterDecl)]
+
+    @property
+    def memories(self):
+        return [d for d in self.decls if isinstance(d, MemoryDecl)]
+
+    @property
+    def holes(self):
+        return [d for d in self.decls if isinstance(d, HoleDecl)]
+
+    def with_stmts(self, stmts):
+        return Design(self.name, self.decls, tuple(stmts))
+
+    def replace_holes(self, decls=None, extra_stmts=()):
+        """A copy with hole declarations replaced and statements appended.
+
+        Used when splicing synthesized control logic into the sketch: the
+        hole declarations are dropped and the generated assignments (which
+        define the former hole names as wires) are *prepended* so every use
+        site sees them.
+        """
+        kept = tuple(d for d in self.decls if not isinstance(d, HoleDecl))
+        if decls:
+            kept = kept + tuple(decls)
+        return Design(self.name, kept, tuple(extra_stmts) + self.stmts)

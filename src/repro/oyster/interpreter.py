@@ -1,0 +1,242 @@
+"""A concrete cycle-accurate simulator for Oyster designs.
+
+This is "the Oyster interpreter" of Section 3.1 run on concrete values: the
+same synchronous semantics as ``repro.oyster.symbolic`` (writes take effect
+next cycle, reads see start-of-cycle state), used for running programs on
+completed designs (e.g. SHA-256 on the crypto core) and for differential
+testing against the symbolic evaluator.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.oyster.typecheck import check_design
+
+__all__ = ["Simulator", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Raised for malformed stimulus (missing inputs, unbound holes, ...)."""
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def _to_signed(value, width):
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+class Simulator:
+    """Simulates a hole-free Oyster design (or a sketch with bound holes).
+
+    Parameters
+    ----------
+    design:
+        The Oyster design.  Any holes must be given concrete values via
+        ``hole_values``.
+    hole_values:
+        Maps hole name -> int.
+    memory_init:
+        Maps memory name -> {address: value} initial contents (unset
+        addresses read as 0).
+    register_init:
+        Maps register name -> initial value (default 0).
+    """
+
+    def __init__(self, design, hole_values=None, memory_init=None,
+                 register_init=None):
+        self.design = design
+        self.widths = check_design(design)
+        self._mem_shapes = {
+            mem.name: (mem.addr_width, mem.data_width)
+            for mem in design.memories
+        }
+        self.hole_values = {}
+        for hole in design.holes:
+            if hole_values is None or hole.name not in hole_values:
+                raise SimulationError(
+                    f"hole {hole.name!r} has no concrete value; synthesize "
+                    "or bind it before simulating"
+                )
+            self.hole_values[hole.name] = (
+                hole_values[hole.name] & _mask(hole.width)
+            )
+        self.registers = {
+            reg.name: (reg.init or 0) & _mask(reg.width)
+            for reg in design.registers
+        }
+        if register_init:
+            for name, value in register_init.items():
+                if name not in self.registers:
+                    raise SimulationError(f"no register named {name!r}")
+                self.registers[name] = value & _mask(self.widths[name])
+        self.memories = {mem.name: {} for mem in design.memories}
+        if memory_init:
+            for name, contents in memory_init.items():
+                if name not in self.memories:
+                    raise SimulationError(f"no memory named {name!r}")
+                data_mask = _mask(self._mem_shapes[name][1])
+                self.memories[name] = {
+                    addr: value & data_mask
+                    for addr, value in contents.items()
+                }
+        self.cycle = 0
+        self.last_wires = {}
+
+    def step(self, inputs=None):
+        """Advance one cycle; returns the output values of this cycle."""
+        design = self.design
+        env = {}
+        for decl in design.inputs:
+            if inputs is None or decl.name not in inputs:
+                raise SimulationError(
+                    f"missing input {decl.name!r} at cycle {self.cycle}"
+                )
+            env[decl.name] = inputs[decl.name] & _mask(decl.width)
+        env.update(self.registers)
+        env.update(self.hole_values)
+        register_names = set(self.registers)
+        next_registers = dict(self.registers)
+        pending_writes = []
+        for stmt in design.stmts:
+            if isinstance(stmt, ast.Assign):
+                value = _eval(stmt.expr, env, self.memories, self.widths, self._mem_shapes)
+                if stmt.target in register_names:
+                    next_registers[stmt.target] = value
+                else:
+                    env[stmt.target] = value
+            else:
+                addr = _eval(stmt.addr, env, self.memories, self.widths, self._mem_shapes)
+                data = _eval(stmt.data, env, self.memories, self.widths, self._mem_shapes)
+                enable = _eval(stmt.enable, env, self.memories, self.widths, self._mem_shapes)
+                if enable:
+                    pending_writes.append((stmt.mem, addr, data))
+        for mem, addr, data in pending_writes:
+            self.memories[mem][addr] = data
+        self.registers = next_registers
+        self.cycle += 1
+        self.last_wires = env
+        return {decl.name: env[decl.name] for decl in design.outputs}
+
+    def run(self, input_sequence):
+        """Step once per element of ``input_sequence``; returns all outputs."""
+        return [self.step(inputs) for inputs in input_sequence]
+
+    def peek(self, name):
+        """Current value of a register, or a wire from the last cycle."""
+        if name in self.registers:
+            return self.registers[name]
+        if name in self.last_wires:
+            return self.last_wires[name]
+        raise SimulationError(f"no signal named {name!r}")
+
+    def peek_memory(self, mem, addr):
+        if mem not in self.memories:
+            raise SimulationError(f"no memory named {mem!r}")
+        return self.memories[mem].get(addr, 0)
+
+
+def _eval(expr, env, memories, widths, shapes):
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.Var):
+        return env[expr.name]
+    if isinstance(expr, ast.Unop):
+        arg = _eval(expr.arg, env, memories, widths, shapes)
+        width = _expr_width(expr.arg, env, widths, shapes)
+        if expr.op == "~":
+            return ~arg & _mask(width)
+        return -arg & _mask(width)
+    if isinstance(expr, ast.Binop):
+        left = _eval(expr.left, env, memories, widths, shapes)
+        right = _eval(expr.right, env, memories, widths, shapes)
+        width = _expr_width(expr.left, env, widths, shapes)
+        return _apply_binop(expr.op, left, right, width)
+    if isinstance(expr, ast.Ite):
+        cond = _eval(expr.cond, env, memories, widths, shapes)
+        branch = expr.then if cond else expr.els
+        return _eval(branch, env, memories, widths, shapes)
+    if isinstance(expr, ast.Extract):
+        arg = _eval(expr.arg, env, memories, widths, shapes)
+        return (arg >> expr.low) & _mask(expr.high - expr.low + 1)
+    if isinstance(expr, ast.Concat):
+        high = _eval(expr.high, env, memories, widths, shapes)
+        low = _eval(expr.low, env, memories, widths, shapes)
+        low_width = _expr_width(expr.low, env, widths, shapes)
+        return (high << low_width) | low
+    if isinstance(expr, ast.Read):
+        addr = _eval(expr.addr, env, memories, widths, shapes)
+        return memories[expr.mem].get(addr, 0)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _expr_width(expr, env, widths, shapes):
+    """Width of a sub-expression during simulation (cheap structural walk)."""
+    if isinstance(expr, ast.Const):
+        return expr.width
+    if isinstance(expr, ast.Var):
+        return widths[expr.name]
+    if isinstance(expr, ast.Unop):
+        return _expr_width(expr.arg, env, widths, shapes)
+    if isinstance(expr, ast.Binop):
+        if expr.op in ast.COMPARISONS:
+            return 1
+        return _expr_width(expr.left, env, widths, shapes)
+    if isinstance(expr, ast.Ite):
+        return _expr_width(expr.then, env, widths, shapes)
+    if isinstance(expr, ast.Extract):
+        return expr.high - expr.low + 1
+    if isinstance(expr, ast.Concat):
+        return (_expr_width(expr.high, env, widths, shapes)
+                + _expr_width(expr.low, env, widths, shapes))
+    if isinstance(expr, ast.Read):
+        return shapes[expr.mem][1]
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def _apply_binop(op, left, right, width):
+    mask = _mask(width)
+    if op == "&":
+        return left & right
+    if op == "|":
+        return left | right
+    if op == "^":
+        return left ^ right
+    if op == "+":
+        return (left + right) & mask
+    if op == "-":
+        return (left - right) & mask
+    if op == "*":
+        return (left * right) & mask
+    if op == "<<":
+        return (left << right) & mask if right < width else 0
+    if op == ">>u":
+        return left >> right if right < width else 0
+    if op == ">>s":
+        return (_to_signed(left, width) >> min(right, width - 1)) & mask
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<u":
+        return 1 if left < right else 0
+    if op == "<=u":
+        return 1 if left <= right else 0
+    if op == ">u":
+        return 1 if left > right else 0
+    if op == ">=u":
+        return 1 if left >= right else 0
+    signed_left = _to_signed(left, width)
+    signed_right = _to_signed(right, width)
+    if op == "<s":
+        return 1 if signed_left < signed_right else 0
+    if op == "<=s":
+        return 1 if signed_left <= signed_right else 0
+    if op == ">s":
+        return 1 if signed_left > signed_right else 0
+    if op == ">=s":
+        return 1 if signed_left >= signed_right else 0
+    raise ValueError(f"unknown operator {op!r}")

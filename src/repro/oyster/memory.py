@@ -1,0 +1,127 @@
+"""The symbolic memory model: uninterpreted reads plus an association list.
+
+Following Section 3.1 of the paper, a memory is modelled as a pair of (1) an
+uninterpreted read function over the initial contents and (2) an association
+list tracking writes.  Reads of the initial contents are Ackermann-expanded:
+each syntactically distinct address gets a fresh variable, with pairwise
+consistency constraints ``addr_i == addr_j -> val_i == val_j`` collected as
+side conditions.  Reads after writes fold the write list into an
+if-then-else chain.
+
+``MemConst`` read-only memories (used for the AES lookup tables, Section 5.1)
+are instead backed by a concrete table, so reads at constant addresses fold
+to constants and reads at symbolic addresses become selector trees.
+"""
+
+from __future__ import annotations
+
+from repro.smt import terms as T
+
+__all__ = ["SymbolicMemory", "ConstMemory"]
+
+
+class _UninterpretedArray:
+    """Ackermann-expanded uninterpreted function for initial memory contents."""
+
+    def __init__(self, name, addr_width, data_width, side_conditions):
+        self.name = name
+        self.addr_width = addr_width
+        self.data_width = data_width
+        self._reads = []  # list of (addr_term, value_var)
+        self._by_addr = {}
+        self._side_conditions = side_conditions
+
+    def read(self, addr):
+        cached = self._by_addr.get(addr)
+        if cached is not None:
+            return cached
+        value = T.bv_var(f"{self.name}!r{len(self._reads)}", self.data_width)
+        for other_addr, other_value in self._reads:
+            consistent = T.implies(
+                T.bv_eq(addr, other_addr), T.bv_eq(value, other_value)
+            )
+            if consistent is not T.TRUE:
+                self._side_conditions.append(consistent)
+        self._reads.append((addr, value))
+        self._by_addr[addr] = value
+        return value
+
+
+class SymbolicMemory:
+    """A memory during symbolic evaluation.
+
+    Immutable-by-convention: ``written`` returns a new memory sharing the
+    base array, so per-timestep snapshots are just references.
+    """
+
+    def __init__(self, name, addr_width, data_width, side_conditions,
+                 base=None, writes=()):
+        self.name = name
+        self.addr_width = addr_width
+        self.data_width = data_width
+        if base is None:
+            base = _UninterpretedArray(
+                name, addr_width, data_width, side_conditions
+            )
+        self._base = base
+        self.writes = tuple(writes)  # (addr, data, enable) newest last
+
+    def read(self, addr):
+        """The value at ``addr``, accounting for all recorded writes."""
+        value = self._base.read(addr)
+        for write_addr, data, enable in self.writes:
+            hit = T.bv_and(enable, T.bv_eq(write_addr, addr))
+            value = T.bv_ite(hit, data, value)
+        return value
+
+    def written(self, addr, data, enable):
+        """A new memory with one more (conditional) write recorded."""
+        if enable is T.FALSE:
+            return self
+        return SymbolicMemory(
+            self.name, self.addr_width, self.data_width, None,
+            base=self._base, writes=self.writes + ((addr, data, enable),),
+        )
+
+    def same_base(self, other):
+        """True when both memories view the same initial contents."""
+        return isinstance(other, SymbolicMemory) and self._base is other._base
+
+
+class ConstMemory:
+    """A read-only memory with known contents (the paper's ``MemConst``).
+
+    Reads at constant addresses fold immediately; reads at symbolic
+    addresses build a balanced selector tree over the table.
+    """
+
+    def __init__(self, name, addr_width, data_width, table, default=0):
+        self.name = name
+        self.addr_width = addr_width
+        self.data_width = data_width
+        if isinstance(table, dict):
+            contents = dict(table)
+        else:
+            contents = dict(enumerate(table))
+        self._table = contents
+        self._default = default
+
+    def lookup(self, addr_value):
+        return self._table.get(addr_value, self._default)
+
+    def read(self, addr):
+        if addr.is_const:
+            return T.bv_const(self.lookup(addr.value), self.data_width)
+        return self._tree(addr, 0, (1 << self.addr_width) - 1)
+
+    def _tree(self, addr, low, high):
+        if low == high:
+            return T.bv_const(self.lookup(low), self.data_width)
+        mid = (low + high) // 2
+        below = T.bv_ule(addr, T.bv_const(mid, self.addr_width))
+        return T.bv_ite(
+            below, self._tree(addr, low, mid), self._tree(addr, mid + 1, high)
+        )
+
+    def written(self, addr, data, enable):
+        raise ValueError(f"cannot write to constant memory {self.name!r}")

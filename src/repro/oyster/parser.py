@@ -1,0 +1,298 @@
+"""A parser for the Oyster concrete syntax.
+
+The textual format mirrors Figure 5 of the paper, one declaration or
+statement per line::
+
+    design accumulator:
+      input reset 1
+      input val 2
+      register acc 8
+      output out 8
+      hole state_sel 2 deps(reset)
+
+      sum := acc + {6'0, val}
+      acc := if reset then 8'0 else sum
+      out := acc
+
+Expression syntax, loosest to tightest binding: ``if .. then .. else ..``;
+comparisons (``== != <u <=u >u >=u <s <=s >s >=s``); ``|``; ``^``; ``&``;
+shifts (``<< >>u >>s``); ``+ -``; ``*``; unary ``~ -``; bit slices
+``x[high:low]``; atoms (names, sized constants ``width'value`` with decimal,
+``0x`` or ``0b`` values, concatenation ``{high, low}``, memory reads
+``read mem (addr)`` and parenthesised expressions).  ``#`` starts a comment.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.oyster import ast
+
+__all__ = ["parse_design", "parse_expr", "ParseError"]
+
+
+class ParseError(Exception):
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<sized>\d+'(?:0x[0-9a-fA-F]+|0b[01]+|\d+))
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9.!@]*)
+  | (?P<op><=u|>=u|<=s|>=s|>>u|>>s|<<|==|!=|:=|<u|>u|<s|>s|[~^&|+\-*(){}\[\]:,'])
+  | (?P<ws>\s+)
+  | (?P<comment>\#.*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "design", "input", "output", "register", "memory", "hole", "deps",
+    "if", "then", "else", "read", "write", "init",
+}
+
+
+def _tokenize(text, line_number):
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"bad character {text[position]!r}", line_number)
+        position = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    return tokens
+
+
+class _LineParser:
+    def __init__(self, tokens, line_number):
+        self.tokens = tokens
+        self.position = 0
+        self.line = line_number
+
+    def peek(self):
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return (None, None)
+
+    def next(self):
+        token = self.peek()
+        if token[0] is None:
+            raise ParseError("unexpected end of line", self.line)
+        self.position += 1
+        return token
+
+    def expect(self, text):
+        kind, value = self.next()
+        if value != text:
+            raise ParseError(f"expected {text!r}, found {value!r}", self.line)
+        return value
+
+    def expect_name(self):
+        kind, value = self.next()
+        if kind != "name" or value in _KEYWORDS:
+            raise ParseError(f"expected a name, found {value!r}", self.line)
+        return value
+
+    def expect_int(self):
+        kind, value = self.next()
+        if kind != "num":
+            raise ParseError(f"expected an integer, found {value!r}", self.line)
+        return int(value)
+
+    def at_end(self):
+        return self.position >= len(self.tokens)
+
+    def done(self):
+        if not self.at_end():
+            kind, value = self.peek()
+            raise ParseError(f"trailing input starting at {value!r}", self.line)
+
+    # --- expressions -----------------------------------------------------
+
+    def parse_expr(self):
+        if self.peek()[1] == "if":
+            self.next()
+            cond = self.parse_expr()
+            self.expect("then")
+            then = self.parse_expr()
+            self.expect("else")
+            els = self.parse_expr()
+            return ast.Ite(cond, then, els)
+        return self._comparison()
+
+    _COMPARISONS = ("==", "!=", "<u", "<=u", ">u", ">=u",
+                    "<s", "<=s", ">s", ">=s")
+
+    def _comparison(self):
+        left = self._bitor()
+        if self.peek()[1] in self._COMPARISONS:
+            op = self.next()[1]
+            right = self._bitor()
+            return ast.Binop(op, left, right)
+        return left
+
+    def _binop_chain(self, operators, parse_tighter):
+        left = parse_tighter()
+        while self.peek()[1] in operators:
+            op = self.next()[1]
+            right = parse_tighter()
+            left = ast.Binop(op, left, right)
+        return left
+
+    def _bitor(self):
+        return self._binop_chain(("|",), self._bitxor)
+
+    def _bitxor(self):
+        return self._binop_chain(("^",), self._bitand)
+
+    def _bitand(self):
+        return self._binop_chain(("&",), self._shift)
+
+    def _shift(self):
+        return self._binop_chain(("<<", ">>u", ">>s"), self._additive)
+
+    def _additive(self):
+        return self._binop_chain(("+", "-"), self._multiplicative)
+
+    def _multiplicative(self):
+        return self._binop_chain(("*",), self._unary)
+
+    def _unary(self):
+        token = self.peek()[1]
+        if token in ("~", "-"):
+            self.next()
+            return ast.Unop(token, self._unary())
+        return self._postfix()
+
+    def _postfix(self):
+        expr = self._atom()
+        while self.peek()[1] == "[":
+            self.next()
+            high = self.expect_int()
+            if self.peek()[1] == ":":
+                self.next()
+                low = self.expect_int()
+            else:
+                low = high  # x[i] selects a single bit
+            self.expect("]")
+            expr = ast.Extract(expr, high, low)
+        return expr
+
+    def _atom(self):
+        kind, value = self.peek()
+        if kind == "sized":
+            self.next()
+            width_text, _, value_text = value.partition("'")
+            return ast.Const(int(value_text, 0), int(width_text))
+        if value == "(":
+            self.next()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if value == "{":
+            self.next()
+            high = self.parse_expr()
+            self.expect(",")
+            low = self.parse_expr()
+            self.expect("}")
+            return ast.Concat(high, low)
+        if value == "read":
+            self.next()
+            mem = self.expect_name()
+            addr = self._postfix()
+            return ast.Read(mem, addr)
+        if kind == "name" and value not in _KEYWORDS:
+            self.next()
+            return ast.Var(value)
+        raise ParseError(f"unexpected token {value!r} in expression", self.line)
+
+
+def parse_expr(text):
+    """Parse a single expression (used in tests and tooling)."""
+    parser = _LineParser(_tokenize(text, 1), 1)
+    expr = parser.parse_expr()
+    parser.done()
+    return expr
+
+
+def parse_design(text):
+    """Parse a complete Oyster design from its textual form."""
+    name = None
+    decls = []
+    stmts = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        tokens = _tokenize(raw_line, line_number)
+        if not tokens:
+            continue
+        parser = _LineParser(tokens, line_number)
+        head = parser.peek()[1]
+        if head == "design":
+            if name is not None:
+                raise ParseError("duplicate design header", line_number)
+            parser.next()
+            name = parser.expect_name()
+            parser.expect(":")
+            parser.done()
+        elif head in ("input", "output"):
+            parser.next()
+            decl_name = parser.expect_name()
+            width = parser.expect_int()
+            parser.done()
+            decl_type = ast.InputDecl if head == "input" else ast.OutputDecl
+            decls.append(decl_type(decl_name, width))
+        elif head == "register":
+            parser.next()
+            decl_name = parser.expect_name()
+            width = parser.expect_int()
+            init = None
+            if parser.peek()[1] == "init":
+                parser.next()
+                init = parser.expect_int()
+            parser.done()
+            decls.append(ast.RegisterDecl(decl_name, width, init))
+        elif head == "memory":
+            parser.next()
+            decl_name = parser.expect_name()
+            addr_width = parser.expect_int()
+            data_width = parser.expect_int()
+            parser.done()
+            decls.append(ast.MemoryDecl(decl_name, addr_width, data_width))
+        elif head == "hole":
+            parser.next()
+            decl_name = parser.expect_name()
+            width = parser.expect_int()
+            deps = []
+            if parser.peek()[1] == "deps":
+                parser.next()
+                parser.expect("(")
+                deps.append(parser.expect_name())
+                while parser.peek()[1] == ",":
+                    parser.next()
+                    deps.append(parser.expect_name())
+                parser.expect(")")
+            parser.done()
+            decls.append(ast.HoleDecl(decl_name, width, tuple(deps)))
+        elif head == "write":
+            parser.next()
+            mem = parser.expect_name()
+            addr = parser._postfix()
+            data = parser._postfix()
+            enable = parser._postfix()
+            parser.done()
+            stmts.append(ast.Write(mem, addr, data, enable))
+        else:
+            target = parser.expect_name()
+            parser.expect(":=")
+            expr = parser.parse_expr()
+            parser.done()
+            stmts.append(ast.Assign(target, expr))
+    if name is None:
+        raise ParseError("missing 'design <name>:' header")
+    return ast.Design(name, tuple(decls), tuple(stmts))

@@ -1,0 +1,132 @@
+"""The canonical pretty printer for Oyster designs.
+
+``print_design`` emits text that ``repro.oyster.parser.parse_design`` reads
+back to an equal design.  The paper's "Sketch Size (lines of Oyster)" metric
+is the line count of this rendering (``design_loc``).
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+
+__all__ = ["print_design", "print_expr", "design_loc"]
+
+# Binding strength, loosest (1) to tightest; mirrors the parser.
+_LEVELS = [
+    ("ite",),
+    ("==", "!=", "<u", "<=u", ">u", ">=u", "<s", "<=s", ">s", ">=s"),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("<<", ">>u", ">>s"),
+    ("+", "-"),
+    ("*",),
+    ("unary",),
+]
+
+_PRECEDENCE = {
+    op: level for level, ops in enumerate(_LEVELS, start=1) for op in ops
+}
+_ATOM = len(_LEVELS) + 1
+
+
+def print_expr(expr):
+    """Render one expression in concrete syntax."""
+    text, _ = _render(expr)
+    return text
+
+
+def _parenthesize(text, level, minimum):
+    if level < minimum:
+        return f"({text})"
+    return text
+
+
+def _render(expr):
+    """Returns (text, precedence level of the outermost operator)."""
+    if isinstance(expr, ast.Const):
+        if expr.width > 8 and expr.value > 9:
+            return f"{expr.width}'{expr.value:#x}", _ATOM
+        return f"{expr.width}'{expr.value}", _ATOM
+    if isinstance(expr, ast.Var):
+        return expr.name, _ATOM
+    if isinstance(expr, ast.Unop):
+        arg_text, arg_level = _render(expr.arg)
+        level = _PRECEDENCE["unary"]
+        return expr.op + _parenthesize(arg_text, arg_level, level), level
+    if isinstance(expr, ast.Binop):
+        level = _PRECEDENCE[expr.op]
+        left_text, left_level = _render(expr.left)
+        right_text, right_level = _render(expr.right)
+        # Operators associate left; require strictly tighter on the right.
+        left = _parenthesize(left_text, left_level, level)
+        right = _parenthesize(right_text, right_level, level + 1)
+        return f"{left} {expr.op} {right}", level
+    if isinstance(expr, ast.Ite):
+        cond_text, _ = _render(expr.cond)
+        then_text, _ = _render(expr.then)
+        else_text, _ = _render(expr.els)
+        level = _PRECEDENCE["ite"]
+        return (f"if {cond_text} then ({then_text}) else ({else_text})",
+                level)
+    if isinstance(expr, ast.Extract):
+        arg_text, arg_level = _render(expr.arg)
+        return (_parenthesize(arg_text, arg_level, _ATOM)
+                + f"[{expr.high}:{expr.low}]"), _ATOM
+    if isinstance(expr, ast.Concat):
+        high_text, _ = _render(expr.high)
+        low_text, _ = _render(expr.low)
+        return "{" + high_text + ", " + low_text + "}", _ATOM
+    if isinstance(expr, ast.Read):
+        addr_text, addr_level = _render(expr.addr)
+        addr = _parenthesize(addr_text, addr_level, _ATOM)
+        return f"read {expr.mem} {addr}", _ATOM
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def print_design(design):
+    """Render a full design in concrete syntax."""
+    lines = [f"design {design.name}:"]
+    for decl in design.decls:
+        if isinstance(decl, ast.InputDecl):
+            lines.append(f"  input {decl.name} {decl.width}")
+        elif isinstance(decl, ast.OutputDecl):
+            lines.append(f"  output {decl.name} {decl.width}")
+        elif isinstance(decl, ast.RegisterDecl):
+            suffix = "" if decl.init is None else f" init {decl.init}"
+            lines.append(f"  register {decl.name} {decl.width}{suffix}")
+        elif isinstance(decl, ast.MemoryDecl):
+            lines.append(
+                f"  memory {decl.name} {decl.addr_width} {decl.data_width}"
+            )
+        elif isinstance(decl, ast.HoleDecl):
+            suffix = ""
+            if decl.deps:
+                suffix = f" deps({', '.join(decl.deps)})"
+            lines.append(f"  hole {decl.name} {decl.width}{suffix}")
+        else:
+            raise TypeError(f"unknown declaration {type(decl).__name__}")
+    lines.append("")
+    for stmt in design.stmts:
+        if isinstance(stmt, ast.Assign):
+            lines.append(f"  {stmt.target} := {print_expr(stmt.expr)}")
+        elif isinstance(stmt, ast.Write):
+            addr = _atom_text(stmt.addr)
+            data = _atom_text(stmt.data)
+            enable = _atom_text(stmt.enable)
+            lines.append(f"  write {stmt.mem} {addr} {data} {enable}")
+        else:
+            raise TypeError(f"unknown statement {type(stmt).__name__}")
+    return "\n".join(lines) + "\n"
+
+
+def _atom_text(expr):
+    text, level = _render(expr)
+    return _parenthesize(text, level, _ATOM)
+
+
+def design_loc(design):
+    """Lines of Oyster code: the paper's sketch-size metric (Table 1)."""
+    return sum(
+        1 for line in print_design(design).splitlines() if line.strip()
+    )

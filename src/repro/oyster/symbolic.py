@@ -1,0 +1,292 @@
+"""Symbolic evaluation of Oyster designs.
+
+This is the role Rosette plays in the paper: a cycle-accurate interpreter
+lifted to symbolic values.  Running a design for ``k`` cycles produces a
+``Trace`` — the sequence of environments ``s_1 .. s_k`` of Equation (1) —
+whose entries are SMT terms, plus the Ackermann side conditions produced by
+the memory model.
+
+Conventions (matching Section 3.2's TimeStep semantics):
+
+* steps are numbered 1..k;
+* an input read at time ``t`` is the fresh input symbol of step ``t``;
+* a register/memory read at time ``t`` sees the state at the *start* of
+  step ``t`` (i.e. after the updates of step ``t-1``);
+* a write at time ``t`` is visible in the state at the *end* of step ``t``.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.oyster.memory import SymbolicMemory, ConstMemory
+from repro.oyster.typecheck import check_design
+from repro.smt import terms as T
+
+__all__ = ["SymbolicEvaluator", "Trace", "StepState", "eval_expr"]
+
+
+class StepState:
+    """Symbolic state for one evaluation step."""
+
+    __slots__ = ("inputs", "wires", "regs_in", "regs_out", "mems_in",
+                 "mems_out")
+
+    def __init__(self, inputs, wires, regs_in, regs_out, mems_in, mems_out):
+        self.inputs = inputs
+        self.wires = wires
+        self.regs_in = regs_in
+        self.regs_out = regs_out
+        self.mems_in = mems_in
+        self.mems_out = mems_out
+
+
+class Trace:
+    """The result of symbolically evaluating a design for k cycles."""
+
+    def __init__(self, design, steps, side_conditions, initial_regs,
+                 initial_mems, hole_values):
+        self.design = design
+        self.steps = steps
+        self.side_conditions = side_conditions
+        self.initial_regs = initial_regs
+        self.initial_mems = initial_mems
+        self.hole_values = hole_values
+
+    @property
+    def cycles(self):
+        return len(self.steps)
+
+    def _step(self, t):
+        if not 1 <= t <= len(self.steps):
+            raise IndexError(
+                f"timestep {t} out of range 1..{len(self.steps)}"
+            )
+        return self.steps[t - 1]
+
+    def input_at(self, name, t):
+        return self._step(t).inputs[name]
+
+    def wire_at(self, name, t):
+        step = self._step(t)
+        if name in step.wires:
+            return step.wires[name]
+        if name in step.inputs:
+            return step.inputs[name]
+        if name in step.regs_in:
+            return step.regs_in[name]
+        raise KeyError(f"no signal {name!r} at step {t}")
+
+    def reg_before(self, name, t):
+        """Register value at the start of step t (s_{t-1})."""
+        return self._step(t).regs_in[name]
+
+    def reg_after(self, name, t):
+        """Register value at the end of step t (s_t)."""
+        return self._step(t).regs_out[name]
+
+    def mem_before(self, name, t):
+        return self._step(t).mems_in[name]
+
+    def mem_after(self, name, t):
+        return self._step(t).mems_out[name]
+
+    def forall_variables(self):
+        """The variables Equation (1) quantifies universally.
+
+        These are the initial-state symbols: initial registers, memory read
+        witnesses, and all per-step inputs.  (Hole variables are the
+        existential side and are excluded.)
+        """
+        hole_names = {
+            term.name for term in self.hole_values.values() if term.is_var
+        }
+        roots = list(self.initial_regs.values())
+        for step in self.steps:
+            roots.extend(step.inputs.values())
+            roots.extend(step.wires.values())
+        for condition in self.side_conditions:
+            roots.append(condition)
+        return {
+            var for var in T.free_variables(roots)
+            if var.name not in hole_names
+        }
+
+
+class SymbolicEvaluator:
+    """Lifts the Oyster interpreter to symbolic values.
+
+    Parameters
+    ----------
+    design:
+        The (type-correct) Oyster design, typically a sketch with holes.
+    hole_values:
+        Maps hole name -> term.  Synthesis passes one fresh variable per
+        hole (the existentially quantified constants of Equation (2));
+        verification passes concrete constants.  Missing holes get fresh
+        variables automatically.
+    const_mems:
+        Maps memory name -> ``ConstMemory`` to back a declared memory with
+        read-only known contents (the paper's ``MemConst``).
+    input_values:
+        Optional ``{(name, step): term}`` overrides for input symbols.
+    prefix:
+        Prepended to every fresh symbol name so that several evaluations can
+        share one solver without collisions.
+    """
+
+    def __init__(self, design, hole_values=None, const_mems=None,
+                 input_values=None, prefix=""):
+        self.design = design
+        self.widths = check_design(design)
+        self.prefix = prefix
+        self.const_mems = dict(const_mems or {})
+        self.input_values = dict(input_values or {})
+        self.side_conditions = []
+        self.hole_values = {}
+        for hole in design.holes:
+            provided = (hole_values or {}).get(hole.name)
+            if provided is None:
+                provided = T.bv_var(f"{prefix}hole!{hole.name}", hole.width)
+            if provided.width != hole.width:
+                raise ValueError(
+                    f"hole {hole.name!r} has width {hole.width}, value has "
+                    f"width {provided.width}"
+                )
+            self.hole_values[hole.name] = provided
+
+    def run(self, cycles):
+        """Evaluate for ``cycles`` steps; returns a ``Trace``."""
+        if cycles < 1:
+            raise ValueError("must evaluate at least one cycle")
+        design = self.design
+        regs = {}
+        for reg in design.registers:
+            if reg.init is not None:
+                regs[reg.name] = T.bv_const(reg.init, reg.width)
+            else:
+                regs[reg.name] = T.bv_var(
+                    f"{self.prefix}{reg.name}@0", reg.width
+                )
+        initial_regs = dict(regs)
+        mems = {}
+        for mem in design.memories:
+            const = self.const_mems.get(mem.name)
+            if const is not None:
+                if (const.addr_width, const.data_width) != (
+                    mem.addr_width, mem.data_width
+                ):
+                    raise ValueError(
+                        f"constant memory {mem.name!r} shape mismatch"
+                    )
+                mems[mem.name] = const
+            else:
+                mems[mem.name] = SymbolicMemory(
+                    f"{self.prefix}{mem.name}", mem.addr_width,
+                    mem.data_width, self.side_conditions,
+                )
+        initial_mems = dict(mems)
+        steps = []
+        for step_index in range(1, cycles + 1):
+            inputs = {}
+            for decl in design.inputs:
+                key = (decl.name, step_index)
+                term = self.input_values.get(key)
+                if term is None:
+                    term = T.bv_var(
+                        f"{self.prefix}{decl.name}@{step_index}", decl.width
+                    )
+                inputs[decl.name] = term
+            state = self._step(regs, mems, inputs)
+            steps.append(state)
+            regs = state.regs_out
+            mems = state.mems_out
+        return Trace(design, steps, self.side_conditions, initial_regs,
+                     initial_mems, self.hole_values)
+
+    def _step(self, regs_in, mems_in, inputs):
+        env = {}
+        env.update(inputs)
+        env.update(regs_in)
+        env.update(self.hole_values)
+        regs_out = dict(regs_in)
+        mems_out = dict(mems_in)
+        register_names = {reg.name for reg in self.design.registers}
+        wires = {}
+        for stmt in self.design.stmts:
+            if isinstance(stmt, ast.Assign):
+                value = eval_expr(stmt.expr, env, mems_in)
+                if stmt.target in register_names:
+                    regs_out[stmt.target] = value
+                    wires[f"{stmt.target}.next"] = value
+                else:
+                    env[stmt.target] = value
+                    wires[stmt.target] = value
+            else:  # ast.Write
+                addr = eval_expr(stmt.addr, env, mems_in)
+                data = eval_expr(stmt.data, env, mems_in)
+                enable = eval_expr(stmt.enable, env, mems_in)
+                mems_out[stmt.mem] = mems_out[stmt.mem].written(
+                    addr, data, enable
+                )
+        return StepState(inputs, wires, regs_in, regs_out, mems_in, mems_out)
+
+
+def eval_expr(expr, env, mems):
+    """Evaluate one Oyster expression to an SMT term.
+
+    ``env`` maps signal names to terms; ``mems`` maps memory names to
+    memory objects whose ``read`` returns a term.  Reads always see the
+    start-of-cycle memory state.
+    """
+    if isinstance(expr, ast.Const):
+        return T.bv_const(expr.value, expr.width)
+    if isinstance(expr, ast.Var):
+        return env[expr.name]
+    if isinstance(expr, ast.Unop):
+        arg = eval_expr(expr.arg, env, mems)
+        if expr.op == "~":
+            return T.bv_not(arg)
+        return T.bv_neg(arg)
+    if isinstance(expr, ast.Binop):
+        left = eval_expr(expr.left, env, mems)
+        right = eval_expr(expr.right, env, mems)
+        return _BINOP_BUILDERS[expr.op](left, right)
+    if isinstance(expr, ast.Ite):
+        cond = eval_expr(expr.cond, env, mems)
+        then = eval_expr(expr.then, env, mems)
+        els = eval_expr(expr.els, env, mems)
+        return T.bv_ite(cond, then, els)
+    if isinstance(expr, ast.Extract):
+        arg = eval_expr(expr.arg, env, mems)
+        return T.bv_extract(arg, expr.high, expr.low)
+    if isinstance(expr, ast.Concat):
+        high = eval_expr(expr.high, env, mems)
+        low = eval_expr(expr.low, env, mems)
+        return T.bv_concat(high, low)
+    if isinstance(expr, ast.Read):
+        addr = eval_expr(expr.addr, env, mems)
+        return mems[expr.mem].read(addr)
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+_BINOP_BUILDERS = {
+    "&": T.bv_and,
+    "|": T.bv_or,
+    "^": T.bv_xor,
+    "+": T.bv_add,
+    "-": T.bv_sub,
+    "*": T.bv_mul,
+    "<<": T.bv_shl,
+    ">>u": T.bv_lshr,
+    ">>s": T.bv_ashr,
+    "==": T.bv_eq,
+    "!=": T.bv_ne,
+    "<u": T.bv_ult,
+    "<=u": T.bv_ule,
+    ">u": T.bv_ugt,
+    ">=u": T.bv_uge,
+    "<s": T.bv_slt,
+    "<=s": T.bv_sle,
+    ">s": T.bv_sgt,
+    ">=s": T.bv_sge,
+}

@@ -1,0 +1,194 @@
+"""Width inference and well-formedness checking for Oyster designs.
+
+``check_design`` validates:
+
+* every name is declared exactly once (wires are implicitly declared by
+  their defining assignment);
+* wires are assigned exactly once and only read after their definition
+  (statements execute in program order within a cycle);
+* registers and outputs are assigned at most / exactly once per cycle;
+* inputs and holes are never assigned;
+* all operator widths agree, ite conditions and write enables are width 1,
+  extract ranges are in bounds, and memory address widths match.
+
+It returns a ``{name: width}`` mapping covering declarations and wires.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+
+__all__ = ["check_design", "infer_expr_width", "TypeError_"]
+
+
+class TypeError_(Exception):
+    """An Oyster design failed width or well-formedness checking."""
+
+
+def infer_expr_width(expr, widths, mems=None, defined=None):
+    """Width of ``expr`` under ``widths``; checks sub-expression consistency.
+
+    ``mems`` maps memory name -> (addr_width, data_width).  ``defined``, when
+    given, is the set of signal names legal to read at this program point.
+    """
+    if isinstance(expr, ast.Const):
+        return expr.width
+    if isinstance(expr, ast.Var):
+        if expr.name not in widths:
+            raise TypeError_(f"use of undeclared signal {expr.name!r}")
+        if defined is not None and expr.name not in defined:
+            raise TypeError_(
+                f"signal {expr.name!r} read before it is defined"
+            )
+        return widths[expr.name]
+    if isinstance(expr, ast.Unop):
+        if expr.op not in ast.UNOPS:
+            raise TypeError_(f"unknown unary operator {expr.op!r}")
+        return infer_expr_width(expr.arg, widths, mems, defined)
+    if isinstance(expr, ast.Binop):
+        kind = ast.BINOPS.get(expr.op)
+        if kind is None:
+            raise TypeError_(f"unknown operator {expr.op!r}")
+        left = infer_expr_width(expr.left, widths, mems, defined)
+        right = infer_expr_width(expr.right, widths, mems, defined)
+        if left != right:
+            raise TypeError_(
+                f"operator {expr.op!r} applied to widths {left} and {right}"
+            )
+        return 1 if kind == "bit" else left
+    if isinstance(expr, ast.Ite):
+        cond = infer_expr_width(expr.cond, widths, mems, defined)
+        if cond != 1:
+            raise TypeError_(f"ite condition must have width 1, got {cond}")
+        then = infer_expr_width(expr.then, widths, mems, defined)
+        els = infer_expr_width(expr.els, widths, mems, defined)
+        if then != els:
+            raise TypeError_(f"ite branches have widths {then} and {els}")
+        return then
+    if isinstance(expr, ast.Extract):
+        base = infer_expr_width(expr.arg, widths, mems, defined)
+        if not (0 <= expr.low <= expr.high < base):
+            raise TypeError_(
+                f"extract [{expr.high}:{expr.low}] out of range for width {base}"
+            )
+        return expr.high - expr.low + 1
+    if isinstance(expr, ast.Concat):
+        high = infer_expr_width(expr.high, widths, mems, defined)
+        low = infer_expr_width(expr.low, widths, mems, defined)
+        return high + low
+    if isinstance(expr, ast.Read):
+        if mems is None or expr.mem not in mems:
+            raise TypeError_(f"read from undeclared memory {expr.mem!r}")
+        addr_width, data_width = mems[expr.mem]
+        addr = infer_expr_width(expr.addr, widths, mems, defined)
+        if addr != addr_width:
+            raise TypeError_(
+                f"read of {expr.mem!r} with address width {addr}, "
+                f"expected {addr_width}"
+            )
+        return data_width
+    raise TypeError_(f"unknown expression node {type(expr).__name__}")
+
+
+def check_design(design):
+    """Validate ``design``; returns the complete ``{name: width}`` map."""
+    widths = {}
+    mems = {}
+    inputs = set()
+    registers = set()
+    outputs = set()
+    holes = set()
+    for decl in design.decls:
+        if decl.name in widths or decl.name in mems:
+            raise TypeError_(f"duplicate declaration of {decl.name!r}")
+        if isinstance(decl, ast.MemoryDecl):
+            if decl.addr_width <= 0 or decl.data_width <= 0:
+                raise TypeError_(
+                    f"memory {decl.name!r} must have positive widths"
+                )
+            mems[decl.name] = (decl.addr_width, decl.data_width)
+            continue
+        if decl.width <= 0:
+            raise TypeError_(f"declaration {decl.name!r} has width {decl.width}")
+        widths[decl.name] = decl.width
+        if isinstance(decl, ast.InputDecl):
+            inputs.add(decl.name)
+        elif isinstance(decl, ast.RegisterDecl):
+            registers.add(decl.name)
+        elif isinstance(decl, ast.OutputDecl):
+            outputs.add(decl.name)
+        elif isinstance(decl, ast.HoleDecl):
+            holes.add(decl.name)
+            for dep in decl.deps:
+                if not isinstance(dep, str):
+                    raise TypeError_(
+                        f"hole {decl.name!r} dependency {dep!r} is not a name"
+                    )
+
+    # Readable-at-start: inputs, registers, holes.  Wires and outputs become
+    # readable once assigned; register *current* values are always readable.
+    defined = inputs | registers | holes
+    assigned = set()
+    for stmt in design.stmts:
+        if isinstance(stmt, ast.Assign):
+            expr_width = infer_expr_width(stmt.expr, widths, mems, defined)
+            target = stmt.target
+            if target in inputs:
+                raise TypeError_(f"cannot assign to input {target!r}")
+            if target in holes:
+                raise TypeError_(f"cannot assign to hole {target!r}")
+            if target in mems:
+                raise TypeError_(
+                    f"cannot assign to memory {target!r}; use write"
+                )
+            if target in assigned:
+                raise TypeError_(f"signal {target!r} assigned more than once")
+            if target in widths:
+                if widths[target] != expr_width:
+                    raise TypeError_(
+                        f"assignment to {target!r}: declared width "
+                        f"{widths[target]}, expression width {expr_width}"
+                    )
+            else:
+                widths[target] = expr_width  # implicit wire declaration
+            assigned.add(target)
+            if target not in registers:
+                defined.add(target)
+        elif isinstance(stmt, ast.Write):
+            if stmt.mem not in mems:
+                raise TypeError_(f"write to undeclared memory {stmt.mem!r}")
+            addr_width, data_width = mems[stmt.mem]
+            got_addr = infer_expr_width(stmt.addr, widths, mems, defined)
+            got_data = infer_expr_width(stmt.data, widths, mems, defined)
+            got_enable = infer_expr_width(stmt.enable, widths, mems, defined)
+            if got_addr != addr_width:
+                raise TypeError_(
+                    f"write to {stmt.mem!r}: address width {got_addr}, "
+                    f"expected {addr_width}"
+                )
+            if got_data != data_width:
+                raise TypeError_(
+                    f"write to {stmt.mem!r}: data width {got_data}, "
+                    f"expected {data_width}"
+                )
+            if got_enable != 1:
+                raise TypeError_(
+                    f"write enable for {stmt.mem!r} must have width 1, "
+                    f"got {got_enable}"
+                )
+        else:
+            raise TypeError_(f"unknown statement {type(stmt).__name__}")
+
+    missing = outputs - assigned
+    if missing:
+        raise TypeError_(f"outputs never assigned: {sorted(missing)}")
+
+    # Hole dependencies must name real signals.
+    for decl in design.decls:
+        if isinstance(decl, ast.HoleDecl):
+            for dep in decl.deps:
+                if dep not in widths:
+                    raise TypeError_(
+                        f"hole {decl.name!r} depends on unknown signal {dep!r}"
+                    )
+    return widths

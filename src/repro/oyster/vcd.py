@@ -1,0 +1,94 @@
+"""VCD (Value Change Dump) waveform capture for Oyster simulations.
+
+Wraps any simulator with the ``step``/``peek`` interface and records inputs,
+wires, and registers each cycle; ``write`` emits a standard VCD file viewable
+in GTKWave & co.  Useful when debugging a completed design against the ISS.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VcdRecorder"]
+
+_ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _short_id(index):
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        chars.append(_ID_CHARS[rem])
+    return "".join(chars)
+
+
+class VcdRecorder:
+    """Records a simulation run and serializes it as VCD.
+
+    Parameters
+    ----------
+    simulator:
+        A ``Simulator``/``CompiledSimulator`` (any object with ``design``,
+        ``step``, ``registers`` and ``last_wires``).
+    signals:
+        Optional list of signal names to record (default: all inputs,
+        registers, and outputs).
+    """
+
+    def __init__(self, simulator, signals=None):
+        self.simulator = simulator
+        design = simulator.design
+        if signals is None:
+            signals = ([d.name for d in design.inputs]
+                       + [d.name for d in design.registers]
+                       + [d.name for d in design.outputs])
+        widths = simulator.widths
+        self.signals = [(name, widths[name]) for name in signals]
+        self.changes = []  # (cycle, name, value)
+        self._previous = {}
+        self.cycles = 0
+
+    def step(self, inputs=None):
+        """Step the wrapped simulator, recording signal changes."""
+        outputs = self.simulator.step(inputs)
+        observed = dict(inputs or {})
+        observed.update(self.simulator.registers)
+        observed.update(self.simulator.last_wires)
+        for name, _ in self.signals:
+            value = observed.get(name, 0)
+            if self._previous.get(name) != value:
+                self.changes.append((self.cycles, name, value))
+                self._previous[name] = value
+        self.cycles += 1
+        return outputs
+
+    def write(self, path, timescale="1ns", date="reproduction run"):
+        """Serialize the recording to ``path``."""
+        ids = {
+            name: _short_id(index)
+            for index, (name, _) in enumerate(self.signals)
+        }
+        lines = [
+            f"$date {date} $end",
+            f"$timescale {timescale} $end",
+            f"$scope module {self.simulator.design.name} $end",
+        ]
+        for name, width in self.signals:
+            safe = name.replace(" ", "_")
+            lines.append(f"$var wire {width} {ids[name]} {safe} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        widths = dict(self.signals)
+        current = None
+        for cycle, name, value in self.changes:
+            if cycle != current:
+                lines.append(f"#{cycle}")
+                current = cycle
+            width = widths[name]
+            if width == 1:
+                lines.append(f"{value}{ids[name]}")
+            else:
+                lines.append(f"b{value:b} {ids[name]}")
+        lines.append(f"#{self.cycles}")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return path

@@ -1,0 +1,214 @@
+"""Verilog export of Oyster designs.
+
+The paper notes the sketch frontend "could support other languages such as
+SystemVerilog"; this backend closes the loop on the output side, emitting a
+single synthesizable module per design:
+
+* wires become continuous assignments (one per Oyster statement);
+* registers become an ``always @(posedge clk)`` block, with declared
+  ``init`` values emitted as an ``initial`` block (FPGA-style reset);
+* memories become unpacked arrays with synchronous write ports;
+* holes are rejected — synthesize (or bind) them first.
+
+Sub-expressions that Verilog cannot nest (bit-slices of computed values)
+are hoisted into fresh wires automatically.
+"""
+
+from __future__ import annotations
+
+from repro.oyster import ast
+from repro.oyster.typecheck import check_design, infer_expr_width
+
+__all__ = ["to_verilog", "VerilogError"]
+
+
+class VerilogError(Exception):
+    pass
+
+
+def _identifier(name):
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    text = "".join(out)
+    if text[0].isdigit():
+        text = "s_" + text
+    return text
+
+
+class _Emitter:
+    def __init__(self, design):
+        self.design = design
+        self.widths = check_design(design)
+        self.mem_shapes = {
+            m.name: (m.addr_width, m.data_width) for m in design.memories
+        }
+        self.hoisted = []
+        self._hoist_counter = 0
+        self.names = {}  # oyster name -> verilog identifier
+        for name in sorted(set(self.widths) | set(self.mem_shapes)):
+            self._claim(name)
+
+    def _claim(self, name):
+        base = _identifier(name)
+        candidate = base
+        suffix = 0
+        taken = set(self.names.values())
+        while candidate in taken or candidate in ("clk", "module"):
+            suffix += 1
+            candidate = f"{base}_{suffix}"
+        self.names[name] = candidate
+        return candidate
+
+    def _fresh(self, width):
+        self._hoist_counter += 1
+        name = f"_hoist{self._hoist_counter}"
+        while name in self.names.values():
+            self._hoist_counter += 1
+            name = f"_hoist{self._hoist_counter}"
+        self.names[name] = name
+        return name, width
+
+    def width_of(self, expr):
+        return infer_expr_width(expr, self.widths, self.mem_shapes)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, node):
+        if isinstance(node, ast.Const):
+            return f"{node.width}'d{node.value}"
+        if isinstance(node, ast.Var):
+            return self.names[node.name]
+        if isinstance(node, ast.Unop):
+            inner = self.expr(node.arg)
+            if node.op == "~":
+                return f"(~{inner})"
+            return f"(-{inner})"
+        if isinstance(node, ast.Binop):
+            return self._binop(node)
+        if isinstance(node, ast.Ite):
+            return (f"(({self.expr(node.cond)}) ? ({self.expr(node.then)})"
+                    f" : ({self.expr(node.els)}))")
+        if isinstance(node, ast.Extract):
+            base = self._sliceable(node.arg)
+            if node.high == node.low:
+                return f"{base}[{node.high}]"
+            return f"{base}[{node.high}:{node.low}]"
+        if isinstance(node, ast.Concat):
+            return f"{{{self.expr(node.high)}, {self.expr(node.low)}}}"
+        if isinstance(node, ast.Read):
+            return f"{self.names[node.mem]}[{self.expr(node.addr)}]"
+        raise VerilogError(f"cannot emit {type(node).__name__}")
+
+    def _sliceable(self, node):
+        """Verilog can only slice identifiers; hoist anything else."""
+        if isinstance(node, ast.Var):
+            return self.names[node.name]
+        width = self.width_of(node)
+        name, _ = self._fresh(width)
+        self.hoisted.append(
+            f"  wire [{width - 1}:0] {name} = {self.expr(node)};"
+        )
+        return name
+
+    def _binop(self, node):
+        left = self.expr(node.left)
+        right = self.expr(node.right)
+        signed = {
+            "<s": "<", "<=s": "<=", ">s": ">", ">=s": ">=", ">>s": ">>>",
+        }
+        unsigned = {
+            "&": "&", "|": "|", "^": "^", "+": "+", "-": "-", "*": "*",
+            "<<": "<<", ">>u": ">>", "==": "==", "!=": "!=",
+            "<u": "<", "<=u": "<=", ">u": ">", ">=u": ">=",
+        }
+        if node.op in unsigned:
+            return f"({left} {unsigned[node.op]} {right})"
+        if node.op in signed:
+            return (f"($signed({left}) {signed[node.op]} "
+                    f"$signed({right}))")
+        raise VerilogError(f"cannot emit operator {node.op!r}")
+
+
+def to_verilog(design, module_name=None):
+    """Emit the design as a synthesizable Verilog module."""
+    if design.holes:
+        raise VerilogError(
+            f"design {design.name!r} still has holes: "
+            f"{[h.name for h in design.holes]}; synthesize control first"
+        )
+    emitter = _Emitter(design)
+    names = emitter.names
+    ports = ["input wire clk"]
+    for decl in design.inputs:
+        ports.append(f"input wire [{decl.width - 1}:0] {names[decl.name]}")
+    for decl in design.outputs:
+        ports.append(f"output wire [{decl.width - 1}:0] {names[decl.name]}")
+
+    body = []
+    for decl in design.registers:
+        body.append(f"  reg [{decl.width - 1}:0] {names[decl.name]};")
+    for decl in design.memories:
+        depth = (1 << decl.addr_width) - 1
+        body.append(
+            f"  reg [{decl.data_width - 1}:0] {names[decl.name]} "
+            f"[0:{depth}];"
+        )
+
+    initials = [
+        f"    {names[r.name]} = {r.width}'d{r.init};"
+        for r in design.registers if r.init is not None
+    ]
+    register_names = {r.name for r in design.registers}
+    sequential = []  # lines inside always @(posedge clk)
+
+    def drain_hoisted():
+        body.extend(emitter.hoisted)
+        emitter.hoisted.clear()
+
+    for index, stmt in enumerate(design.stmts):
+        if isinstance(stmt, ast.Assign):
+            expression = emitter.expr(stmt.expr)
+            drain_hoisted()
+            if stmt.target in register_names:
+                sequential.append(
+                    f"    {names[stmt.target]} <= {expression};"
+                )
+            else:
+                width = emitter.widths[stmt.target]
+                keyword = ("assign " if any(
+                    o.name == stmt.target for o in design.outputs
+                ) else f"wire [{width - 1}:0] ")
+                if keyword == "assign ":
+                    body.append(
+                        f"  assign {names[stmt.target]} = {expression};"
+                    )
+                else:
+                    body.append(
+                        f"  wire [{width - 1}:0] {names[stmt.target]} "
+                        f"= {expression};"
+                    )
+        else:
+            enable = emitter.expr(stmt.enable)
+            address = emitter.expr(stmt.addr)
+            data = emitter.expr(stmt.data)
+            drain_hoisted()
+            sequential.append(f"    if ({enable})")
+            sequential.append(
+                f"      {names[stmt.mem]}[{address}] <= {data};"
+            )
+
+    lines = [f"module {_identifier(module_name or design.name)} ("]
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    lines.extend(body)
+    if initials:
+        lines.append("  initial begin")
+        lines.extend(initials)
+        lines.append("  end")
+    if sequential:
+        lines.append("  always @(posedge clk) begin")
+        lines.extend(sequential)
+        lines.append("  end")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

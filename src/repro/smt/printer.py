@@ -1,0 +1,77 @@
+"""Rendering of terms for debugging and error messages."""
+
+from __future__ import annotations
+
+__all__ = ["to_string"]
+
+_INFIX = {
+    "and": "&",
+    "or": "|",
+    "xor": "^",
+    "add": "+",
+    "sub": "-",
+    "mul": "*",
+    "udiv": "/u",
+    "urem": "%u",
+    "shl": "<<",
+    "lshr": ">>u",
+    "ashr": ">>s",
+    "eq": "==",
+    "ult": "<u",
+    "slt": "<s",
+}
+
+
+def to_string(term, max_depth=None):
+    """A readable S-expression-ish rendering of a term.
+
+    ``max_depth`` truncates deep subterms with ``...`` so that ``repr`` on a
+    datapath-sized DAG stays bounded.
+    """
+    parts = []
+    _emit(term, parts, 0, max_depth)
+    return "".join(parts)
+
+
+def _emit(term, parts, depth, max_depth):
+    if max_depth is not None and depth > max_depth:
+        parts.append("...")
+        return
+    op = term.op
+    if op == "const":
+        parts.append(f"{term.value}'{term.width}")
+    elif op == "var":
+        parts.append(term.name)
+    elif op == "not":
+        parts.append("~")
+        _emit(term.args[0], parts, depth + 1, max_depth)
+    elif op == "extract":
+        _emit(term.args[0], parts, depth + 1, max_depth)
+        high, low = term.params
+        parts.append(f"[{high}:{low}]")
+    elif op == "concat":
+        parts.append("{")
+        _emit(term.args[0], parts, depth + 1, max_depth)
+        parts.append(", ")
+        _emit(term.args[1], parts, depth + 1, max_depth)
+        parts.append("}")
+    elif op == "ite":
+        parts.append("(if ")
+        _emit(term.args[0], parts, depth + 1, max_depth)
+        parts.append(" then ")
+        _emit(term.args[1], parts, depth + 1, max_depth)
+        parts.append(" else ")
+        _emit(term.args[2], parts, depth + 1, max_depth)
+        parts.append(")")
+    elif op in _INFIX:
+        parts.append("(")
+        _emit(term.args[0], parts, depth + 1, max_depth)
+        parts.append(f" {_INFIX[op]} ")
+        _emit(term.args[1], parts, depth + 1, max_depth)
+        parts.append(")")
+    else:
+        parts.append(f"({op}")
+        for arg in term.args:
+            parts.append(" ")
+            _emit(arg, parts, depth + 1, max_depth)
+        parts.append(")")

@@ -1,0 +1,5 @@
+"""A from-scratch CDCL SAT solver used as the decision core for QF_BV."""
+
+from repro.smt.sat.solver import SatSolver
+
+__all__ = ["SatSolver"]

@@ -1,0 +1,470 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern recipe: two-literal watching, first-UIP clause
+learning with local minimization, VSIDS decision ordering with phase saving,
+Luby restarts, and learned-clause database reduction.  Literal encoding: for
+variable ``v`` (1-based) the positive literal is ``2*v`` and the negative
+literal is ``2*v + 1``; ``lit ^ 1`` negates.
+
+The solver is incremental in the "add clauses, solve, add more, solve again"
+sense, and supports solving under assumptions.  ``solve`` can be bounded by a
+conflict budget and/or a wall-clock deadline, returning ``None`` (unknown)
+when exhausted — this is how the reproduction implements the paper's
+synthesis timeouts.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["SatSolver"]
+
+_UNASSIGNED = -1
+
+
+def _luby(x):
+    """The Luby restart sequence, 0-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+class SatSolver:
+    def __init__(self):
+        self.clauses = []           # each clause: list of lits
+        self.learned = set()        # indices into self.clauses that are learned
+        self.activity_cl = {}       # clause index -> activity
+        self.watches = [[], []]     # lit -> clause indices (lit 0/1 unused)
+        self.assign = [_UNASSIGNED]  # var -> 0/1/_UNASSIGNED
+        self.phase = [0]
+        self.level = [0]
+        self.reason = [-1]
+        self.activity = [0.0]
+        self.trail = []
+        self.trail_lim = []
+        self.propagated = 0
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.cla_inc = 1.0
+        self.ok = True
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._heap = []
+        self._heap_pos = {}
+
+    # -- variable / clause management -----------------------------------
+
+    def new_var(self):
+        self.assign.append(_UNASSIGNED)
+        self.phase.append(0)
+        self.level.append(0)
+        self.reason.append(-1)
+        self.activity.append(0.0)
+        self.watches.append([])
+        self.watches.append([])
+        var = len(self.assign) - 1
+        self._heap_insert(var)
+        return var
+
+    @property
+    def num_vars(self):
+        return len(self.assign) - 1
+
+    def add_clause(self, lits):
+        """Add a clause of literals; returns False if the formula is UNSAT."""
+        if not self.ok:
+            return False
+        if self.trail_lim:
+            self._backtrack(0)
+        seen = set()
+        clause = []
+        for lit in lits:
+            if lit ^ 1 in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._lit_value(lit)
+            if value == 1:
+                return True  # already satisfied at level 0
+            if value == 0:
+                continue  # falsified at level 0; drop the literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self.ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], -1):
+                self.ok = False
+                return False
+            self.ok = self._propagate() == -1
+            return self.ok
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.watches[clause[0]].append(index)
+        self.watches[clause[1]].append(index)
+        return True
+
+    # -- assignment helpers ----------------------------------------------
+
+    def _lit_value(self, lit):
+        value = self.assign[lit >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit, reason):
+        value = self._lit_value(lit)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = lit >> 1
+        self.assign[var] = 1 - (lit & 1)
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.phase[var] = self.assign[var]
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self):
+        return len(self.trail_lim)
+
+    def _backtrack(self, target_level):
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in self.trail[limit:]:
+            var = lit >> 1
+            self.assign[var] = _UNASSIGNED
+            self.reason[var] = -1
+            self._heap_insert(var)
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.propagated = min(self.propagated, len(self.trail))
+
+    # -- propagation -------------------------------------------------------
+
+    def _propagate(self):
+        """Unit propagation; returns conflicting clause index or -1."""
+        clauses = self.clauses
+        watches = self.watches
+        while self.propagated < len(self.trail):
+            lit = self.trail[self.propagated]
+            self.propagated += 1
+            false_lit = lit ^ 1
+            watch_list = watches[false_lit]
+            i = 0
+            j = 0
+            n = len(watch_list)
+            while i < n:
+                ci = watch_list[i]
+                i += 1
+                clause = clauses[ci]
+                # Normalize: watched literals are clause[0] and clause[1].
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) == 1:
+                    watch_list[j] = ci
+                    j += 1
+                    continue
+                found = False
+                for k in range(2, len(clause)):
+                    other = clause[k]
+                    if self._lit_value(other) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        watches[other].append(ci)
+                        found = True
+                        break
+                if found:
+                    continue
+                watch_list[j] = ci
+                j += 1
+                self.propagations += 1
+                if not self._enqueue(first, ci):
+                    # Conflict: keep the rest of the watch list intact.
+                    while i < n:
+                        watch_list[j] = watch_list[i]
+                        j += 1
+                        i += 1
+                    del watch_list[j:]
+                    return ci
+            del watch_list[j:]
+        return -1
+
+    # -- clause learning ----------------------------------------------------
+
+    def _analyze(self, conflict):
+        """First-UIP learning; returns (learned clause, backtrack level)."""
+        learned = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = -1
+        index = len(self.trail) - 1
+        clause_index = conflict
+        current_level = self._decision_level()
+        while True:
+            clause = self.clauses[clause_index]
+            self._bump_clause(clause_index)
+            start = 0 if lit == -1 else 1
+            for reason_lit in clause[start:]:
+                var = reason_lit >> 1
+                if seen[var] or self.level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self.level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(reason_lit)
+            while True:
+                lit = self.trail[index]
+                index -= 1
+                if seen[lit >> 1]:
+                    break
+            counter -= 1
+            if counter == 0:
+                break
+            clause_index = self.reason[lit >> 1]
+            seen[lit >> 1] = False
+        learned[0] = lit ^ 1
+        self._minimize(learned, seen)
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            # Second-highest decision level among learned literals.
+            max_index = 1
+            for k in range(2, len(learned)):
+                if self.level[learned[k] >> 1] > self.level[learned[max_index] >> 1]:
+                    max_index = k
+            learned[1], learned[max_index] = learned[max_index], learned[1]
+            back_level = self.level[learned[1] >> 1]
+        return learned, back_level
+
+    def _minimize(self, learned, seen):
+        """Drop literals implied by the rest of the clause (local check)."""
+        kept = [learned[0]]
+        for lit in learned[1:]:
+            reason = self.reason[lit >> 1]
+            if reason == -1:
+                kept.append(lit)
+                continue
+            clause = self.clauses[reason]
+            for other in clause:
+                var = other >> 1
+                if other != (lit ^ 1) and not seen[var] and self.level[var] > 0:
+                    kept.append(lit)
+                    break
+        learned[:] = kept
+
+    def _record_learned(self, learned):
+        if len(learned) == 1:
+            self._enqueue(learned[0], -1)
+            return
+        index = len(self.clauses)
+        self.clauses.append(learned)
+        self.learned.add(index)
+        self.activity_cl[index] = self.cla_inc
+        self.watches[learned[0]].append(index)
+        self.watches[learned[1]].append(index)
+        self._enqueue(learned[0], index)
+
+    # -- activity ------------------------------------------------------------
+
+    def _bump_var(self, var):
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+        if var in self._heap_pos:
+            self._heap_sift_up(self._heap_pos[var])
+
+    def _bump_clause(self, index):
+        if index in self.learned:
+            self.activity_cl[index] = self.activity_cl.get(index, 0.0) + self.cla_inc
+
+    def _decay(self):
+        self.var_inc /= self.var_decay
+        self.cla_inc /= 0.999
+
+    # -- decision heap (max-heap on activity) --------------------------------
+
+    def _heap_insert(self, var):
+        if var in self._heap_pos:
+            return
+        self._heap.append(var)
+        self._heap_pos[var] = len(self._heap) - 1
+        self._heap_sift_up(len(self._heap) - 1)
+
+    def _heap_pop(self):
+        heap = self._heap
+        top = heap[0]
+        last = heap.pop()
+        del self._heap_pos[top]
+        if heap:
+            heap[0] = last
+            self._heap_pos[last] = 0
+            self._heap_sift_down(0)
+        return top
+
+    def _heap_sift_up(self, i):
+        heap = self._heap
+        activity = self.activity
+        pos = self._heap_pos
+        item = heap[i]
+        key = activity[item]
+        while i > 0:
+            parent = (i - 1) >> 1
+            if activity[heap[parent]] >= key:
+                break
+            heap[i] = heap[parent]
+            pos[heap[i]] = i
+            i = parent
+        heap[i] = item
+        pos[item] = i
+
+    def _heap_sift_down(self, i):
+        heap = self._heap
+        activity = self.activity
+        pos = self._heap_pos
+        size = len(heap)
+        item = heap[i]
+        key = activity[item]
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and activity[heap[right]] > activity[heap[left]]:
+                best = right
+            if activity[heap[best]] <= key:
+                break
+            heap[i] = heap[best]
+            pos[heap[i]] = i
+            i = best
+        heap[i] = item
+        pos[item] = i
+
+    def _pick_branch_var(self):
+        while self._heap:
+            var = self._heap_pop()
+            if self.assign[var] == _UNASSIGNED:
+                return var
+        return 0
+
+    # -- learned clause DB reduction ------------------------------------------
+
+    def _reduce_db(self):
+        if len(self.learned) < 2000:
+            return
+        ranked = sorted(self.learned, key=lambda ci: self.activity_cl.get(ci, 0.0))
+        drop = set(ranked[: len(ranked) // 2])
+        # Keep clauses that are a reason for a current assignment.
+        locked = {self.reason[lit >> 1] for lit in self.trail}
+        drop -= locked
+        if not drop:
+            return
+        for ci in drop:
+            self.clauses[ci] = None
+            self.learned.discard(ci)
+            self.activity_cl.pop(ci, None)
+        for lit in range(2, len(self.watches)):
+            self.watches[lit] = [
+                ci for ci in self.watches[lit] if self.clauses[ci] is not None
+            ]
+
+    # -- main solve loop ---------------------------------------------------------
+
+    def solve(self, assumptions=(), max_conflicts=None, deadline=None):
+        """Solve; returns True (SAT), False (UNSAT) or None (budget exhausted).
+
+        ``deadline`` is an absolute ``time.monotonic()`` timestamp.
+        """
+        if not self.ok:
+            return False
+        self._backtrack(0)
+        if self._propagate() != -1:
+            self.ok = False
+            return False
+        restart_count = 0
+        conflicts_at_entry = self.conflicts
+        conflict_budget = _luby(restart_count) * 128
+        conflicts_this_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.conflicts += 1
+                conflicts_this_restart += 1
+                if self._decision_level() == 0:
+                    self.ok = False
+                    return False
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                self._record_learned(learned)
+                self._decay()
+                if max_conflicts is not None and (
+                    self.conflicts - conflicts_at_entry
+                ) >= max_conflicts:
+                    self._backtrack(0)
+                    return None
+                if deadline is not None and (self.conflicts % 128 == 0) and (
+                    time.monotonic() > deadline
+                ):
+                    self._backtrack(0)
+                    return None
+                continue
+            if conflicts_this_restart >= conflict_budget:
+                restart_count += 1
+                conflict_budget = _luby(restart_count) * 128
+                conflicts_this_restart = 0
+                self._reduce_db()
+                self._backtrack(0)
+                continue
+            # Re-place any assumption that is not yet satisfied; assumptions
+            # are replayed as the first decisions after every backtrack.
+            placed_all = True
+            for lit in assumptions:
+                value = self._lit_value(lit)
+                if value == 1:
+                    continue
+                if value == 0:
+                    # The formula (plus learned clauses) forces the negation
+                    # of an assumption: UNSAT under these assumptions.
+                    self._backtrack(0)
+                    return False
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, -1)
+                placed_all = False
+                break
+            if not placed_all:
+                continue
+            var = self._pick_branch_var()
+            if var == 0:
+                return True
+            self.decisions += 1
+            if deadline is not None and (self.decisions % 512 == 0) and (
+                time.monotonic() > deadline
+            ):
+                self._backtrack(0)
+                return None
+            self.trail_lim.append(len(self.trail))
+            lit = 2 * var + (1 - self.phase[var])
+            self._enqueue(lit, -1)
+
+    def model(self):
+        """The satisfying assignment as ``{var: 0/1}`` after a SAT solve."""
+        return {
+            var: self.assign[var]
+            for var in range(1, self.num_vars + 1)
+            if self.assign[var] != _UNASSIGNED
+        }

@@ -1,0 +1,98 @@
+"""SMT-LIB 2 export of term-level queries.
+
+The built-in solver handles everything this reproduction needs, but the
+queries it discharges are plain QF_BV — exporting them lets users replay any
+query on an external solver (Boolector/CVC5/Z3, as the paper's artifact
+does) or archive them as artifacts.  Round-trip fidelity is tested by
+evaluating models produced by our own solver against the exported text's
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.smt import terms as T
+
+__all__ = ["to_smtlib", "query_to_smtlib"]
+
+_BINOPS = {
+    "and": "bvand",
+    "or": "bvor",
+    "xor": "bvxor",
+    "add": "bvadd",
+    "sub": "bvsub",
+    "mul": "bvmul",
+    "udiv": "bvudiv",
+    "urem": "bvurem",
+    "shl": "bvshl",
+    "lshr": "bvlshr",
+    "ashr": "bvashr",
+    "ult": "bvult",
+    "slt": "bvslt",
+}
+
+
+def _symbol(name):
+    """Quote names containing characters outside the simple-symbol set."""
+    if name and all(c.isalnum() or c in "_-.~!@$%^&*+<>?/" for c in name):
+        return name
+    return "|" + name.replace("|", "_") + "|"
+
+
+def to_smtlib(term):
+    """One term as an SMT-LIB expression (width-1 terms stay bitvectors)."""
+    parts = []
+    memo = {}
+    order = T._postorder([term])
+    for node in order:
+        memo[id(node)] = _render(node, memo, parts)
+    return memo[id(term)]
+
+
+def _render(node, memo, _parts):
+    op = node.op
+    if op == "const":
+        return f"(_ bv{node.value} {node.width})"
+    if op == "var":
+        return _symbol(node.name)
+    args = [memo[id(arg)] for arg in node.args]
+    if op == "not":
+        return f"(bvnot {args[0]})"
+    if op == "eq":
+        return f"(ite (= {args[0]} {args[1]}) #b1 #b0)"
+    if op in ("ult", "slt"):
+        return f"(ite ({_BINOPS[op]} {args[0]} {args[1]}) #b1 #b0)"
+    if op in _BINOPS:
+        return f"({_BINOPS[op]} {args[0]} {args[1]})"
+    if op == "concat":
+        return f"(concat {args[0]} {args[1]})"
+    if op == "extract":
+        high, low = node.params
+        return f"((_ extract {high} {low}) {args[0]})"
+    if op == "ite":
+        return f"(ite (= {args[0]} #b1) {args[1]} {args[2]})"
+    raise ValueError(f"cannot export operator {op!r}")
+
+
+def query_to_smtlib(assertions, logic="QF_BV", check_sat=True,
+                    get_model=False):
+    """A full SMT-LIB script asserting each width-1 term equals 1."""
+    lines = [f"(set-logic {logic})"]
+    declared = set()
+    for assertion in assertions:
+        for var in sorted(T.free_variables(assertion),
+                          key=lambda v: v.name):
+            if var.name not in declared:
+                declared.add(var.name)
+                lines.append(
+                    f"(declare-const {_symbol(var.name)} "
+                    f"(_ BitVec {var.width}))"
+                )
+    for assertion in assertions:
+        if assertion.width != 1:
+            raise ValueError("assertions must have width 1")
+        lines.append(f"(assert (= {to_smtlib(assertion)} #b1))")
+    if check_sat:
+        lines.append("(check-sat)")
+    if get_model:
+        lines.append("(get-model)")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,165 @@
+"""Solver facade: assert width-1 terms, check satisfiability, read models.
+
+Lowers terms through the bit-blaster into an AIG, Tseitin-encodes new AND
+nodes into the CDCL core incrementally, and exposes models as assignments to
+term-level variables.  Re-asserting into the same solver shares AIG structure
+across queries (the CEGIS guess solver relies on this).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.smt.aig import FALSE_LIT, TRUE_LIT
+from repro.smt.bitblast import BitBlaster
+from repro.smt.sat.solver import SatSolver
+from repro.smt import terms as T
+
+__all__ = ["Solver", "SolverResult", "SAT", "UNSAT", "UNKNOWN", "Model"]
+
+
+class SolverResult:
+    """Tri-state solver verdict (a tiny enum with a readable repr)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+    def __bool__(self):
+        raise TypeError(
+            "SolverResult is tri-state; compare against SAT/UNSAT/UNKNOWN"
+        )
+
+
+SAT = SolverResult("sat")
+UNSAT = SolverResult("unsat")
+UNKNOWN = SolverResult("unknown")
+
+
+class Model:
+    """A satisfying assignment mapping term variables to ints."""
+
+    def __init__(self, values):
+        self._values = dict(values)
+
+    def value(self, var):
+        """Value of a variable, given a var term or a name; defaults to 0.
+
+        Variables the solver never saw (e.g. folded away by rewriting) are
+        unconstrained; 0 is as good a witness as any.
+        """
+        name = var.name if isinstance(var, T.Term) else var
+        return self._values.get(name, 0)
+
+    def __contains__(self, name):
+        return name in self._values
+
+    def as_dict(self):
+        return dict(self._values)
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"{k}={v:#x}" for k, v in sorted(self._values.items())
+        )
+        return f"Model({inner})"
+
+
+class Solver:
+    """An incremental QF_BV solver over the term language."""
+
+    def __init__(self):
+        self._blaster = BitBlaster()
+        self._sat = SatSolver()
+        self._node_to_satvar = {}
+        self._encoded_nodes = 0
+        self._asserted = []
+        self._trivially_false = False
+        self.stats = {"asserts": 0, "checks": 0, "clauses": 0}
+
+    def add(self, term):
+        """Assert that a width-1 term is 1."""
+        if term.width != 1:
+            raise ValueError(f"assertions must have width 1, got {term.width}")
+        self.stats["asserts"] += 1
+        self._asserted.append(term)
+        lit = self._blaster.blast_bit(term)
+        self._encode_new_nodes()
+        if lit == TRUE_LIT:
+            return
+        if lit == FALSE_LIT:
+            self._trivially_false = True
+            return
+        self._sat.add_clause([self._to_sat_lit(lit)])
+
+    def add_all(self, terms):
+        for term in terms:
+            self.add(term)
+
+    def check(self, max_conflicts=None, timeout=None):
+        """Check satisfiability; returns SAT/UNSAT/UNKNOWN.
+
+        ``timeout`` is in seconds (wall clock) and bounds only this call.
+        """
+        self.stats["checks"] += 1
+        if self._trivially_false:
+            return UNSAT
+        deadline = None if timeout is None else time.monotonic() + timeout
+        verdict = self._sat.solve(max_conflicts=max_conflicts,
+                                  deadline=deadline)
+        if verdict is None:
+            return UNKNOWN
+        return SAT if verdict else UNSAT
+
+    def model(self):
+        """Extract the model after a SAT check."""
+        assignment = self._sat.model()
+        values = {}
+        for name, bits in self._blaster.var_bits.items():
+            value = 0
+            for i, lit in enumerate(bits):
+                bit = self._aig_lit_value(lit, assignment)
+                value |= bit << i
+            values[name] = value
+        return Model(values)
+
+    # ------------------------------------------------------------------
+
+    def _aig_lit_value(self, lit, assignment):
+        node = lit >> 1
+        if node == 0:
+            value = 0
+        else:
+            sat_var = self._node_to_satvar.get(node)
+            value = assignment.get(sat_var, 0) if sat_var is not None else 0
+        return value ^ (lit & 1)
+
+    def _to_sat_lit(self, aig_lit):
+        node = aig_lit >> 1
+        sat_var = self._node_to_satvar[node]
+        return 2 * sat_var + (aig_lit & 1)
+
+    def _encode_new_nodes(self):
+        """Tseitin-encode AIG nodes created since the last call."""
+        aig = self._blaster.aig
+        sat = self._sat
+        node_to_satvar = self._node_to_satvar
+        for node in range(max(1, self._encoded_nodes), len(aig)):
+            sat_var = sat.new_var()
+            node_to_satvar[node] = sat_var
+            left = aig.left[node]
+            if left == -1:
+                continue  # primary input: free variable
+            right = aig.right[node]
+            out = 2 * sat_var
+            a = self._to_sat_lit(left)
+            b = self._to_sat_lit(right)
+            # out <-> a & b
+            sat.add_clause([out ^ 1, a])
+            sat.add_clause([out ^ 1, b])
+            sat.add_clause([out, a ^ 1, b ^ 1])
+            self.stats["clauses"] += 3
+        self._encoded_nodes = len(aig)

@@ -1,0 +1,889 @@
+"""Hash-consed bitvector terms with rewriting smart constructors.
+
+Every term is a fixed-width bitvector; booleans are width-1 bitvectors.  Terms
+are immutable, interned, and form a DAG, so structural equality is pointer
+equality.  The constructors below aggressively constant-fold and apply
+algebraic rewrites; this partial evaluation is what keeps the CEGIS queries
+produced by control logic synthesis small enough for the pure-Python SAT core
+(the verify step runs with concrete hole values, so most of the datapath folds
+away here before any bit-blasting happens).
+
+Operator vocabulary (the bit-blaster understands exactly these):
+
+=========  =========================================================
+``const``  literal value (``term.value``), no arguments
+``var``    free variable (``term.name``), no arguments
+``not``    bitwise complement
+``and``    bitwise and            ``or``   bitwise or
+``xor``    bitwise xor
+``add``    modular addition       ``sub``  modular subtraction
+``mul``    modular multiplication
+``udiv``   unsigned division (x/0 = all-ones, SMT-LIB semantics)
+``urem``   unsigned remainder (x%0 = x, SMT-LIB semantics)
+``shl``    shift left             ``lshr`` logical shift right
+``ashr``   arithmetic shift right
+``eq``     equality (width-1 result)
+``ult``    unsigned less-than     ``slt``  signed less-than
+``concat`` concatenation (first argument is the high part)
+``extract`` bit slice (``term.params == (high, low)``)
+``ite``    if-then-else (condition is width-1)
+=========  =========================================================
+"""
+
+from __future__ import annotations
+
+import weakref
+
+__all__ = [
+    "Term",
+    "bv_const",
+    "bv_var",
+    "TRUE",
+    "FALSE",
+    "bv_not",
+    "bv_neg",
+    "bv_and",
+    "bv_or",
+    "bv_xor",
+    "bv_add",
+    "bv_sub",
+    "bv_mul",
+    "bv_udiv",
+    "bv_urem",
+    "bv_shl",
+    "bv_lshr",
+    "bv_ashr",
+    "bv_eq",
+    "bv_ne",
+    "bv_ult",
+    "bv_ule",
+    "bv_ugt",
+    "bv_uge",
+    "bv_slt",
+    "bv_sle",
+    "bv_sgt",
+    "bv_sge",
+    "bv_concat",
+    "bv_extract",
+    "bv_ite",
+    "zero_extend",
+    "sign_extend",
+    "repeat_bit",
+    "reduce_or",
+    "reduce_and",
+    "rotate_left",
+    "rotate_right",
+    "and_",
+    "or_",
+    "not_",
+    "xor_",
+    "implies",
+    "evaluate",
+    "free_variables",
+    "substitute",
+    "term_size",
+    "reset_interner",
+]
+
+_COMMUTATIVE = frozenset({"and", "or", "xor", "add", "mul", "eq"})
+
+# Operators whose result width equals the (shared) width of their arguments.
+_SAME_WIDTH = frozenset(
+    {"not", "and", "or", "xor", "add", "sub", "mul", "udiv", "urem",
+     "shl", "lshr", "ashr", "ite"}
+)
+
+_PREDICATES = frozenset({"eq", "ult", "slt"})
+
+
+class Term:
+    """A node in the hash-consed term DAG.
+
+    Do not instantiate directly; use the ``bv_*`` constructor functions, which
+    intern nodes and apply rewrites.  ``Term`` instances compare and hash by
+    identity, which is sound because of interning.
+    """
+
+    __slots__ = ("op", "args", "width", "value", "name", "params", "_id",
+                 "__weakref__")
+
+    def __init__(self, op, args, width, value=None, name=None, params=None):
+        self.op = op
+        self.args = args
+        self.width = width
+        self.value = value
+        self.name = name
+        self.params = params
+        self._id = 0  # assigned by the interner
+
+    @property
+    def is_const(self):
+        return self.op == "const"
+
+    @property
+    def is_var(self):
+        return self.op == "var"
+
+    def __repr__(self):
+        from repro.smt.printer import to_string
+
+        return to_string(self, max_depth=6)
+
+    # Arithmetic/bitwise sugar so terms compose naturally in host code.
+    def __invert__(self):
+        return bv_not(self)
+
+    def __and__(self, other):
+        return bv_and(self, _coerce(other, self.width))
+
+    def __or__(self, other):
+        return bv_or(self, _coerce(other, self.width))
+
+    def __xor__(self, other):
+        return bv_xor(self, _coerce(other, self.width))
+
+    def __add__(self, other):
+        return bv_add(self, _coerce(other, self.width))
+
+    def __sub__(self, other):
+        return bv_sub(self, _coerce(other, self.width))
+
+    def __mul__(self, other):
+        return bv_mul(self, _coerce(other, self.width))
+
+
+def _coerce(value, width):
+    if isinstance(value, Term):
+        return value
+    return bv_const(value, width)
+
+
+class _Interner:
+    """Interns terms so that structurally equal terms are the same object."""
+
+    def __init__(self):
+        self._table = weakref.WeakValueDictionary()
+        self._next_id = 1
+
+    def intern(self, term):
+        key = (term.op, term.args, term.width, term.value, term.name,
+               term.params)
+        existing = self._table.get(key)
+        if existing is not None:
+            return existing
+        term._id = self._next_id
+        self._next_id += 1
+        self._table[key] = term
+        return term
+
+    def __len__(self):
+        return len(self._table)
+
+
+_INTERNER = _Interner()
+
+
+def reset_interner():
+    """Drop the intern table (useful to bound memory across test sessions)."""
+    global _INTERNER
+    _INTERNER = _Interner()
+
+
+def _mk(op, args, width, value=None, name=None, params=None):
+    return _INTERNER.intern(Term(op, tuple(args), width, value, name, params))
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def _check_width(width):
+    if not isinstance(width, int) or width <= 0:
+        raise ValueError(f"bitvector width must be a positive int, got {width!r}")
+
+
+def _check_same_width(a, b, op):
+    if a.width != b.width:
+        raise ValueError(
+            f"width mismatch in {op}: {a.width} vs {b.width}"
+        )
+
+
+def bv_const(value, width):
+    """A bitvector constant; ``value`` is masked to ``width`` bits."""
+    _check_width(width)
+    if not isinstance(value, int):
+        raise TypeError(f"constant value must be an int, got {value!r}")
+    return _mk("const", (), width, value=value & _mask(width))
+
+
+def bv_var(name, width):
+    """A free bitvector variable, identified by name and width."""
+    _check_width(width)
+    return _mk("var", (), width, name=name)
+
+
+TRUE = bv_const(1, 1)
+FALSE = bv_const(0, 1)
+
+
+def _to_signed(value, width):
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Bitwise operators
+# ---------------------------------------------------------------------------
+
+
+def bv_not(a):
+    if a.is_const:
+        return bv_const(~a.value, a.width)
+    if a.op == "not":
+        return a.args[0]
+    if a.op == "ite":
+        cond, then, els = a.args
+        if then.is_const and els.is_const:
+            return bv_ite(cond, bv_not(then), bv_not(els))
+    return _mk("not", (a,), a.width)
+
+
+def _comm_args(a, b):
+    """Canonical argument order for commutative operators."""
+    if b._id < a._id:
+        return (b, a)
+    return (a, b)
+
+
+def bv_and(a, b):
+    _check_same_width(a, b, "and")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value & b.value, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, w)
+            if x.value == _mask(w):
+                return y
+    if a is b:
+        return a
+    if (a.op == "not" and a.args[0] is b) or (b.op == "not" and b.args[0] is a):
+        return bv_const(0, w)
+    return _mk("and", _comm_args(a, b), w)
+
+
+def bv_or(a, b):
+    _check_same_width(a, b, "or")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value | b.value, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return y
+            if x.value == _mask(w):
+                return bv_const(_mask(w), w)
+    if a is b:
+        return a
+    if (a.op == "not" and a.args[0] is b) or (b.op == "not" and b.args[0] is a):
+        return bv_const(_mask(w), w)
+    return _mk("or", _comm_args(a, b), w)
+
+
+def bv_xor(a, b):
+    _check_same_width(a, b, "xor")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value ^ b.value, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return y
+            if x.value == _mask(w):
+                return bv_not(y)
+    if a is b:
+        return bv_const(0, w)
+    return _mk("xor", _comm_args(a, b), w)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+
+def bv_add(a, b):
+    _check_same_width(a, b, "add")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value + b.value, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const and x.value == 0:
+            return y
+        # (y + c1) + c2  ->  y + (c1 + c2)
+        if x.is_const and y.op == "add" and y.args[1].is_const:
+            return bv_add(y.args[0], bv_const(x.value + y.args[1].value, w))
+    # Keep a lone constant on the right for the reassociation rule above.
+    if a.is_const:
+        a, b = b, a
+    if b.is_const:
+        return _mk("add", (a, b), w)
+    return _mk("add", _comm_args(a, b), w)
+
+
+def bv_sub(a, b):
+    _check_same_width(a, b, "sub")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value - b.value, w)
+    if b.is_const:
+        if b.value == 0:
+            return a
+        return bv_add(a, bv_const(-b.value, w))
+    if a is b:
+        return bv_const(0, w)
+    return _mk("sub", (a, b), w)
+
+
+def bv_neg(a):
+    return bv_sub(bv_const(0, a.width), a)
+
+
+def bv_mul(a, b):
+    _check_same_width(a, b, "mul")
+    w = a.width
+    if a.is_const and b.is_const:
+        return bv_const(a.value * b.value, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const:
+            if x.value == 0:
+                return bv_const(0, w)
+            if x.value == 1:
+                return y
+            if x.value and (x.value & (x.value - 1)) == 0:
+                shift = x.value.bit_length() - 1
+                return bv_shl(y, bv_const(shift, w))
+    return _mk("mul", _comm_args(a, b), w)
+
+
+def bv_udiv(a, b):
+    _check_same_width(a, b, "udiv")
+    w = a.width
+    if b.is_const:
+        if b.value == 0:
+            return bv_const(_mask(w), w)  # SMT-LIB: x / 0 = all-ones
+        if a.is_const:
+            return bv_const(a.value // b.value, w)
+        if b.value == 1:
+            return a
+    return _mk("udiv", (a, b), w)
+
+
+def bv_urem(a, b):
+    _check_same_width(a, b, "urem")
+    w = a.width
+    if b.is_const:
+        if b.value == 0:
+            return a  # SMT-LIB: x % 0 = x
+        if a.is_const:
+            return bv_const(a.value % b.value, w)
+        if b.value == 1:
+            return bv_const(0, w)
+    return _mk("urem", (a, b), w)
+
+
+# ---------------------------------------------------------------------------
+# Shifts.  Shifts by a constant amount are rewritten into pure wiring
+# (extract/concat), which is free after bit-blasting.
+# ---------------------------------------------------------------------------
+
+
+def bv_shl(a, b):
+    _check_same_width(a, b, "shl")
+    w = a.width
+    if b.is_const:
+        n = b.value
+        if n == 0:
+            return a
+        if n >= w:
+            return bv_const(0, w)
+        return bv_concat(bv_extract(a, w - 1 - n, 0), bv_const(0, n))
+    if a.is_const and a.value == 0:
+        return a
+    return _mk("shl", (a, b), w)
+
+
+def bv_lshr(a, b):
+    _check_same_width(a, b, "lshr")
+    w = a.width
+    if b.is_const:
+        n = b.value
+        if n == 0:
+            return a
+        if n >= w:
+            return bv_const(0, w)
+        return bv_concat(bv_const(0, n), bv_extract(a, w - 1, n))
+    if a.is_const and a.value == 0:
+        return a
+    return _mk("lshr", (a, b), w)
+
+
+def bv_ashr(a, b):
+    _check_same_width(a, b, "ashr")
+    w = a.width
+    if b.is_const:
+        n = b.value
+        sign = bv_extract(a, w - 1, w - 1)
+        if n == 0:
+            return a
+        if n >= w:
+            return repeat_bit(sign, w)
+        return bv_concat(repeat_bit(sign, n), bv_extract(a, w - 1, n))
+    return _mk("ashr", (a, b), w)
+
+
+def rotate_left(a, n):
+    """Rotate left by a Python-int amount (pure wiring)."""
+    w = a.width
+    n %= w
+    if n == 0:
+        return a
+    return bv_concat(bv_extract(a, w - 1 - n, 0), bv_extract(a, w - 1, w - n))
+
+
+def rotate_right(a, n):
+    return rotate_left(a, (a.width - n) % a.width)
+
+
+# ---------------------------------------------------------------------------
+# Predicates (width-1 results)
+# ---------------------------------------------------------------------------
+
+
+def bv_eq(a, b):
+    _check_same_width(a, b, "eq")
+    if a is b:
+        return TRUE
+    if a.is_const and b.is_const:
+        return TRUE if a.value == b.value else FALSE
+    if a.width == 1:
+        # eq over single bits is xnor; expressing it with xor unlocks the
+        # boolean rewrites above.
+        return bv_not(bv_xor(a, b))
+    # eq(concat(a1, a0), concat(b1, b0)) with matching widths splits, which
+    # lets constant halves fold away (common with decode-field matching).
+    if (a.op == "concat" and b.op == "concat"
+            and a.args[0].width == b.args[0].width):
+        return and_(bv_eq(a.args[0], b.args[0]), bv_eq(a.args[1], b.args[1]))
+    for x, y in ((a, b), (b, a)):
+        if y.is_const and x.op == "concat":
+            hi_w = x.args[0].width
+            lo_w = x.args[1].width
+            return and_(
+                bv_eq(x.args[0], bv_const(y.value >> lo_w, hi_w)),
+                bv_eq(x.args[1], bv_const(y.value, lo_w)),
+            )
+        if y.is_const and x.op == "ite":
+            cond, then, els = x.args
+            if then.is_const and els.is_const:
+                t_hit = then.value == y.value
+                e_hit = els.value == y.value
+                if t_hit and e_hit:
+                    return TRUE
+                if t_hit:
+                    return cond
+                if e_hit:
+                    return bv_not(cond)
+                return FALSE
+    return _mk("eq", _comm_args(a, b), 1)
+
+
+def bv_ne(a, b):
+    return bv_not(bv_eq(a, b))
+
+
+def bv_ult(a, b):
+    _check_same_width(a, b, "ult")
+    if a is b:
+        return FALSE
+    if a.is_const and b.is_const:
+        return TRUE if a.value < b.value else FALSE
+    if b.is_const and b.value == 0:
+        return FALSE
+    if a.is_const and a.value == _mask(a.width):
+        return FALSE
+    return _mk("ult", (a, b), 1)
+
+
+def bv_ule(a, b):
+    return bv_not(bv_ult(b, a))
+
+
+def bv_ugt(a, b):
+    return bv_ult(b, a)
+
+
+def bv_uge(a, b):
+    return bv_not(bv_ult(a, b))
+
+
+def bv_slt(a, b):
+    _check_same_width(a, b, "slt")
+    if a is b:
+        return FALSE
+    if a.is_const and b.is_const:
+        w = a.width
+        return TRUE if _to_signed(a.value, w) < _to_signed(b.value, w) else FALSE
+    return _mk("slt", (a, b), 1)
+
+
+def bv_sle(a, b):
+    return bv_not(bv_slt(b, a))
+
+
+def bv_sgt(a, b):
+    return bv_slt(b, a)
+
+
+def bv_sge(a, b):
+    return bv_not(bv_slt(a, b))
+
+
+# ---------------------------------------------------------------------------
+# Structure: concat / extract / ite
+# ---------------------------------------------------------------------------
+
+
+def bv_concat(a, b):
+    """Concatenate ``a`` (high bits) with ``b`` (low bits)."""
+    w = a.width + b.width
+    if a.is_const and b.is_const:
+        return bv_const((a.value << b.width) | b.value, w)
+    # Merge adjacent extracts of the same base term.
+    if (a.op == "extract" and b.op == "extract" and a.args[0] is b.args[0]
+            and a.params[1] == b.params[0] + 1):
+        return bv_extract(a.args[0], a.params[0], b.params[1])
+    # Reassociate concat(a, concat(x, y)) when a and x would merge, so chains
+    # built low-bit-first still collapse.
+    if b.op == "concat":
+        hi2, lo2 = b.args
+        mergeable = (a.is_const and hi2.is_const) or (
+            a.op == "extract" and hi2.op == "extract"
+            and a.args[0] is hi2.args[0]
+            and a.params[1] == hi2.params[0] + 1
+        )
+        if mergeable:
+            return bv_concat(bv_concat(a, hi2), lo2)
+    return _mk("concat", (a, b), w)
+
+
+def bv_extract(a, high, low):
+    """Extract bits ``high`` down to ``low`` (inclusive, LSB is bit 0)."""
+    if not (0 <= low <= high < a.width):
+        raise ValueError(
+            f"extract [{high}:{low}] out of range for width {a.width}"
+        )
+    w = high - low + 1
+    if w == a.width:
+        return a
+    if a.is_const:
+        return bv_const(a.value >> low, w)
+    if a.op == "extract":
+        base_low = a.params[1]
+        return bv_extract(a.args[0], base_low + high, base_low + low)
+    if a.op == "concat":
+        hi_part, lo_part = a.args
+        if high < lo_part.width:
+            return bv_extract(lo_part, high, low)
+        if low >= lo_part.width:
+            return bv_extract(hi_part, high - lo_part.width, low - lo_part.width)
+        return bv_concat(
+            bv_extract(hi_part, high - lo_part.width, 0),
+            bv_extract(lo_part, lo_part.width - 1, low),
+        )
+    if a.op in ("not", "and", "or", "xor"):
+        # Bitwise ops commute with extraction; pushing the slice down exposes
+        # constant sub-fields (decode logic is full of this pattern).
+        parts = [bv_extract(arg, high, low) for arg in a.args]
+        if a.op == "not":
+            return bv_not(parts[0])
+        if a.op == "and":
+            return bv_and(*parts)
+        if a.op == "or":
+            return bv_or(*parts)
+        return bv_xor(*parts)
+    if a.op == "ite":
+        cond, then, els = a.args
+        if then.is_const or els.is_const or then.op == "concat" or els.op == "concat":
+            return bv_ite(cond, bv_extract(then, high, low),
+                          bv_extract(els, high, low))
+    return _mk("extract", (a,), w, params=(high, low))
+
+
+def bv_ite(cond, then, els):
+    if cond.width != 1:
+        raise ValueError(f"ite condition must have width 1, got {cond.width}")
+    _check_same_width(then, els, "ite")
+    if cond.is_const:
+        return then if cond.value == 1 else els
+    if then is els:
+        return then
+    if cond.op == "not":
+        return bv_ite(cond.args[0], els, then)
+    if then.width == 1:
+        if then.is_const and els.is_const:
+            # then=1, els=0 -> cond; then=0, els=1 -> not cond
+            return cond if then.value == 1 else bv_not(cond)
+        if then.is_const:
+            if then.value == 1:
+                return bv_or(cond, els)
+            return bv_and(bv_not(cond), els)
+        if els.is_const:
+            if els.value == 0:
+                return bv_and(cond, then)
+            return bv_or(bv_not(cond), then)
+    # ite(c, x, ite(c, _, y)) -> ite(c, x, y)
+    if els.op == "ite" and els.args[0] is cond:
+        return bv_ite(cond, then, els.args[2])
+    if then.op == "ite" and then.args[0] is cond:
+        return bv_ite(cond, then.args[1], els)
+    return _mk("ite", (cond, then, els), then.width)
+
+
+# ---------------------------------------------------------------------------
+# Extension / reduction helpers
+# ---------------------------------------------------------------------------
+
+
+def zero_extend(a, new_width):
+    if new_width < a.width:
+        raise ValueError("zero_extend target narrower than source")
+    if new_width == a.width:
+        return a
+    return bv_concat(bv_const(0, new_width - a.width), a)
+
+
+def sign_extend(a, new_width):
+    if new_width < a.width:
+        raise ValueError("sign_extend target narrower than source")
+    if new_width == a.width:
+        return a
+    sign = bv_extract(a, a.width - 1, a.width - 1)
+    return bv_concat(repeat_bit(sign, new_width - a.width), a)
+
+
+def repeat_bit(bit, count):
+    """Replicate a 1-bit term ``count`` times (MSB-to-LSB identical)."""
+    if bit.width != 1:
+        raise ValueError("repeat_bit requires a width-1 term")
+    if count <= 0:
+        raise ValueError("repeat_bit count must be positive")
+    if bit.is_const:
+        return bv_const(-1 if bit.value else 0, count)
+    result = bit
+    built = 1
+    while built < count:
+        take = min(built, count - built)
+        result = bv_concat(bv_extract(result, take - 1, 0), result)
+        built += take
+    return result
+
+
+def reduce_or(a):
+    """1 iff any bit of ``a`` is set."""
+    return bv_ne(a, bv_const(0, a.width))
+
+
+def reduce_and(a):
+    """1 iff all bits of ``a`` are set."""
+    return bv_eq(a, bv_const(_mask(a.width), a.width))
+
+
+# Boolean (width-1) convenience connectives.
+
+
+def and_(*args):
+    result = TRUE
+    for a in args:
+        result = bv_and(result, a)
+    return result
+
+
+def or_(*args):
+    result = FALSE
+    for a in args:
+        result = bv_or(result, a)
+    return result
+
+
+def not_(a):
+    return bv_not(a)
+
+
+def xor_(a, b):
+    return bv_xor(a, b)
+
+
+def implies(a, b):
+    return bv_or(bv_not(a), b)
+
+
+# ---------------------------------------------------------------------------
+# Traversal utilities (iterative; term DAGs routinely exceed the recursion
+# limit for multi-cycle datapaths)
+# ---------------------------------------------------------------------------
+
+
+def _postorder(roots):
+    """Yield terms reachable from ``roots`` in dependency-first order."""
+    seen = set()
+    order = []
+    stack = [(root, False) for root in reversed(list(roots))]
+    while stack:
+        term, expanded = stack.pop()
+        if expanded:
+            order.append(term)
+            continue
+        if id(term) in seen:
+            continue
+        seen.add(id(term))
+        stack.append((term, True))
+        for arg in reversed(term.args):
+            if id(arg) not in seen:
+                stack.append((arg, False))
+    return order
+
+
+def evaluate(term, env):
+    """Evaluate a term to a Python int under a variable assignment.
+
+    ``env`` maps variable *names* to ints.  Raises ``KeyError`` for
+    unassigned variables.
+    """
+    values = evaluate_many([term], env)
+    return values[0]
+
+
+def evaluate_many(terms, env):
+    """Evaluate several terms sharing one memo table; returns a list of ints."""
+    memo = {}
+    for node in _postorder(terms):
+        memo[id(node)] = _eval_node(node, memo, env)
+    return [memo[id(t)] for t in terms]
+
+
+def _eval_node(node, memo, env):
+    op = node.op
+    w = node.width
+    mask = _mask(w)
+    if op == "const":
+        return node.value
+    if op == "var":
+        value = env[node.name]
+        return value & mask
+    a = memo[id(node.args[0])] if node.args else None
+    b = memo[id(node.args[1])] if len(node.args) > 1 else None
+    if op == "not":
+        return ~a & mask
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "udiv":
+        return mask if b == 0 else (a // b) & mask
+    if op == "urem":
+        return a if b == 0 else (a % b) & mask
+    if op == "shl":
+        return (a << b) & mask if b < w else 0
+    if op == "lshr":
+        return (a >> b) if b < w else 0
+    if op == "ashr":
+        sa = _to_signed(a, w)
+        return (sa >> min(b, w - 1)) & mask
+    if op == "eq":
+        return 1 if a == b else 0
+    if op == "ult":
+        return 1 if a < b else 0
+    if op == "slt":
+        aw = node.args[0].width
+        return 1 if _to_signed(a, aw) < _to_signed(b, aw) else 0
+    if op == "concat":
+        return (a << node.args[1].width) | b
+    if op == "extract":
+        high, low = node.params
+        return (a >> low) & _mask(high - low + 1)
+    if op == "ite":
+        c = memo[id(node.args[0])]
+        return memo[id(node.args[1])] if c else memo[id(node.args[2])]
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def free_variables(terms):
+    """The set of variable terms reachable from ``terms`` (a term or list)."""
+    if isinstance(terms, Term):
+        terms = [terms]
+    return {node for node in _postorder(terms) if node.is_var}
+
+
+def substitute(term, mapping):
+    """Rebuild ``term`` with variables (or arbitrary subterms) replaced.
+
+    ``mapping`` maps Term -> Term.  Rewrites re-run during reconstruction, so
+    substituting constants triggers full constant folding.
+    """
+    memo = {id(k): v for k, v in mapping.items()}
+    for node in _postorder([term]):
+        if id(node) in memo:
+            continue
+        new_args = [memo[id(arg)] for arg in node.args]
+        if all(na is a for na, a in zip(new_args, node.args)):
+            memo[id(node)] = node
+        else:
+            memo[id(node)] = _rebuild(node, new_args)
+    return memo[id(term)]
+
+
+_REBUILDERS = {
+    "not": lambda a, n: bv_not(a[0]),
+    "and": lambda a, n: bv_and(a[0], a[1]),
+    "or": lambda a, n: bv_or(a[0], a[1]),
+    "xor": lambda a, n: bv_xor(a[0], a[1]),
+    "add": lambda a, n: bv_add(a[0], a[1]),
+    "sub": lambda a, n: bv_sub(a[0], a[1]),
+    "mul": lambda a, n: bv_mul(a[0], a[1]),
+    "udiv": lambda a, n: bv_udiv(a[0], a[1]),
+    "urem": lambda a, n: bv_urem(a[0], a[1]),
+    "shl": lambda a, n: bv_shl(a[0], a[1]),
+    "lshr": lambda a, n: bv_lshr(a[0], a[1]),
+    "ashr": lambda a, n: bv_ashr(a[0], a[1]),
+    "eq": lambda a, n: bv_eq(a[0], a[1]),
+    "ult": lambda a, n: bv_ult(a[0], a[1]),
+    "slt": lambda a, n: bv_slt(a[0], a[1]),
+    "concat": lambda a, n: bv_concat(a[0], a[1]),
+    "extract": lambda a, n: bv_extract(a[0], n.params[0], n.params[1]),
+    "ite": lambda a, n: bv_ite(a[0], a[1], a[2]),
+}
+
+
+def _rebuild(node, new_args):
+    builder = _REBUILDERS.get(node.op)
+    if builder is None:
+        raise ValueError(f"cannot rebuild operator {node.op!r}")
+    return builder(new_args, node)
+
+
+def term_size(terms):
+    """Number of distinct DAG nodes reachable from a term or list of terms."""
+    if isinstance(terms, Term):
+        terms = [terms]
+    return len(_postorder(terms))

@@ -1,0 +1,141 @@
+"""Counterexample-guided inductive synthesis over the QF_BV solver.
+
+This is the decision procedure for the ∃holes ∀state formulas of
+Equation (1)/(2).  Rosette's ``synthesize`` runs the same loop internally;
+here it is explicit:
+
+1. *verify*: with the current hole candidate substituted, ask the solver for
+   a state falsifying the formula.  UNSAT means the candidate is correct.
+2. *guess*: substitute the counterexample state into the formula (constant
+   folding collapses the datapath almost entirely) and add it as a
+   constraint on the hole variables; ask for a new candidate.
+
+The guess solver is incremental — every counterexample stays, so candidates
+monotonically improve.  Both sides respect a wall-clock deadline so Table 1's
+timeout rows reproduce faithfully.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
+from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
+
+__all__ = ["cegis_solve", "CegisStats"]
+
+
+class CegisStats:
+    """Counters for one CEGIS run (exposed in synthesis results)."""
+
+    def __init__(self):
+        self.iterations = 0
+        self.verify_time = 0.0
+        self.guess_time = 0.0
+        self.verify_conflicts = 0
+
+    def as_dict(self):
+        return {
+            "iterations": self.iterations,
+            "verify_time": self.verify_time,
+            "guess_time": self.guess_time,
+            "verify_conflicts": self.verify_conflicts,
+        }
+
+
+def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
+                stats=None, initial_candidate=None, partial_eval=True):
+    """Find ints for ``hole_vars`` making ``formula`` valid for all states.
+
+    ``formula`` is a width-1 term whose free variables are ``hole_vars``
+    plus the universally quantified state.  Returns ``{hole name: int}``.
+
+    ``partial_eval`` controls whether the verify step substitutes the
+    candidate constants into the formula (letting the rewriting constructors
+    collapse the datapath) or merely asserts ``hole == constant`` equalities
+    alongside the unreduced formula.  The latter exists for the ablation
+    study — it produces the full-datapath queries a rewrite-free evaluator
+    would send to the solver.
+
+    Raises ``SynthesisFailure`` if no assignment exists and
+    ``SynthesisTimeout`` if the budget is exhausted first.
+    """
+    if stats is None:
+        stats = CegisStats()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    hole_names = {var.name for var in hole_vars}
+    forall_vars = [
+        var for var in T.free_variables(formula)
+        if var.name not in hole_names
+    ]
+    candidate = {var.name: 0 for var in hole_vars}
+    if initial_candidate:
+        candidate.update(initial_candidate)
+    hole_by_name = {var.name: var for var in hole_vars}
+    guess_solver = Solver()
+
+    for _ in range(max_iterations):
+        stats.iterations += 1
+        # -- verify ---------------------------------------------------------
+        started = time.monotonic()
+        verifier = Solver()
+        if partial_eval:
+            substitution = {
+                hole_by_name[name]: T.bv_const(value,
+                                               hole_by_name[name].width)
+                for name, value in candidate.items()
+            }
+            verifier.add(T.bv_not(T.substitute(formula, substitution)))
+        else:
+            verifier.add(T.bv_not(formula))
+            for name, value in candidate.items():
+                var = hole_by_name[name]
+                verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
+        verdict = verifier.check(timeout=_remaining(deadline))
+        stats.verify_time += time.monotonic() - started
+        stats.verify_conflicts += verifier._sat.conflicts
+        if verdict is UNSAT:
+            return dict(candidate)
+        if verdict is UNKNOWN:
+            raise SynthesisTimeout(
+                f"verification exceeded the budget after "
+                f"{stats.iterations} iterations"
+            )
+        model = verifier.model()
+        counterexample = {
+            var: T.bv_const(model.value(var), var.width)
+            for var in forall_vars
+        }
+        # -- guess -----------------------------------------------------------
+        started = time.monotonic()
+        folded = T.substitute(formula, counterexample)
+        guess_solver.add(folded)
+        verdict = guess_solver.check(timeout=_remaining(deadline))
+        stats.guess_time += time.monotonic() - started
+        if verdict is UNSAT:
+            raise SynthesisFailure(
+                "no hole constants satisfy the specification; the datapath "
+                "sketch cannot implement this instruction"
+            )
+        if verdict is UNKNOWN:
+            raise SynthesisTimeout(
+                f"candidate search exceeded the budget after "
+                f"{stats.iterations} iterations"
+            )
+        model = guess_solver.model()
+        candidate = {
+            var.name: model.value(var) for var in hole_vars
+        }
+    raise SynthesisTimeout(
+        f"CEGIS did not converge within {max_iterations} iterations"
+    )
+
+
+def _remaining(deadline):
+    if deadline is None:
+        return None
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        raise SynthesisTimeout("synthesis wall-clock budget exhausted")
+    return remaining

@@ -1,0 +1,107 @@
+"""Feedback for unsynthesizable sketches (the paper's Section 5.3 wish).
+
+When control logic synthesis fails, the solver has proved that no hole
+constants satisfy *some* conjunction of postconditions — but Equation (2)
+alone does not say which architectural state update the datapath cannot
+implement.  ``diagnose_instruction`` re-runs CEGIS once per postcondition
+(and once per frame condition), reporting which of them are individually
+implementable; the unimplementable ones point at the missing or wrong
+datapath hardware.
+
+A condition can also be individually implementable while the conjunction is
+not (the datapath can do either update but not both at once); the diagnosis
+reports that case as a *conflict* over the minimal failing subset found by
+greedy growth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.ila.compiler import ConstraintCompiler
+from repro.oyster.symbolic import SymbolicEvaluator
+from repro.smt import terms as T
+from repro.synthesis.cegis import cegis_solve
+from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
+
+__all__ = ["diagnose_instruction", "InstructionDiagnosis"]
+
+
+@dataclass
+class InstructionDiagnosis:
+    instruction_name: str
+    feasible: list = field(default_factory=list)    # condition labels
+    infeasible: list = field(default_factory=list)  # condition labels
+    conflict: list = field(default_factory=list)    # minimal failing subset
+    elapsed: float = 0.0
+
+    @property
+    def ok(self):
+        return not self.infeasible and not self.conflict
+
+    def summary(self):
+        lines = [f"diagnosis of {self.instruction_name!r}:"]
+        for label in self.feasible:
+            lines.append(f"  [ok]       {label}")
+        for label in self.infeasible:
+            lines.append(
+                f"  [missing]  {label}: no control makes the datapath "
+                "implement this update — the sketch lacks the hardware"
+            )
+        if self.conflict:
+            lines.append(
+                "  [conflict] individually implementable, but not "
+                f"simultaneously: {self.conflict}"
+            )
+        return "\n".join(lines)
+
+
+def diagnose_instruction(problem, instruction, timeout_per_condition=60.0):
+    """Explain why synthesis fails (or confirm it succeeds) for one
+    instruction."""
+    started = time.monotonic()
+    prefix = "diag!"
+    evaluator = SymbolicEvaluator(
+        problem.sketch, const_mems=problem.const_mems, prefix=prefix
+    )
+    trace = evaluator.run(problem.alpha.cycles)
+    compiler = ConstraintCompiler(problem.spec, problem.alpha, trace,
+                                  prefix=prefix)
+    compiled = compiler.compile_instruction(instruction)
+    side = T.and_(*trace.side_conditions)
+    antecedent = T.bv_and(side, compiled.antecedent())
+    hole_vars = [
+        trace.hole_values[hole.name] for hole in problem.sketch.holes
+    ]
+    conditions = list(compiled.postconditions) + list(
+        compiled.frame_conditions
+    )
+
+    def solvable(condition_terms):
+        formula = T.implies(antecedent, T.and_(*condition_terms))
+        try:
+            cegis_solve(formula, hole_vars, timeout=timeout_per_condition)
+            return True
+        except (SynthesisFailure, SynthesisTimeout):
+            return False
+
+    diagnosis = InstructionDiagnosis(instruction.name)
+    for label, term in conditions:
+        if solvable([term]):
+            diagnosis.feasible.append(label)
+        else:
+            diagnosis.infeasible.append(label)
+    if not diagnosis.infeasible:
+        # Each update works alone; find a minimal failing combination by
+        # greedily growing the set.
+        chosen = []
+        chosen_labels = []
+        for label, term in conditions:
+            if not solvable(chosen + [term]):
+                diagnosis.conflict = chosen_labels + [label]
+                break
+            chosen.append(term)
+            chosen_labels.append(label)
+    diagnosis.elapsed = time.monotonic() - started
+    return diagnosis

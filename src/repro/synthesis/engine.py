@@ -1,0 +1,154 @@
+"""The synthesis driver: Figure 4's dotted box.
+
+``synthesize`` runs either strategy, applies the control union, splices the
+generated control logic back into the sketch at a dataflow-legal position,
+and returns a ``SynthesisResult`` whose ``completed_design`` is a hole-free
+Oyster design.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.oyster import ast as oy
+from repro.oyster.analysis import expr_vars, stmt_uses
+from repro.oyster.typecheck import check_design
+from repro.synthesis.independence import check_instruction_independence
+from repro.synthesis.monolithic import synthesize_monolithic_solutions
+from repro.synthesis.per_instruction import synthesize_instruction
+from repro.synthesis.result import (
+    SynthesisError,
+    SynthesisResult,
+    SynthesisTimeout,
+)
+from repro.synthesis.union import control_union
+
+__all__ = ["synthesize", "splice_control"]
+
+
+def synthesize(problem, mode="per_instruction", timeout=None,
+               max_iterations=256, check_independence=True,
+               progress=None, partial_eval=True):
+    """Run control logic synthesis.
+
+    Parameters
+    ----------
+    mode:
+        ``"per_instruction"`` (the Section 3.3.1 optimization, default) or
+        ``"monolithic"`` (Equation (1), the Table 1 † configuration).
+    timeout:
+        Overall wall-clock budget in seconds; ``SynthesisTimeout`` is raised
+        when exceeded (this is how the paper's Timeout row reproduces).
+    check_independence:
+        Verify the instruction-independence property before trusting the
+        per-instruction strategy.
+    progress:
+        Optional callback ``progress(instruction_name, solution)``.
+    """
+    started = time.monotonic()
+    deadline = None if timeout is None else started + timeout
+    stats = {"mode": mode}
+
+    if mode == "per_instruction":
+        if check_independence:
+            stats["independence_notes"] = check_instruction_independence(
+                problem
+            )
+        solutions = []
+        for index, instruction in enumerate(problem.spec.instructions):
+            remaining = _remaining(deadline)
+            solution = synthesize_instruction(
+                problem, instruction, index, timeout=remaining,
+                max_iterations=max_iterations, partial_eval=partial_eval,
+            )
+            solutions.append(solution)
+            if progress is not None:
+                progress(instruction.name, solution)
+    elif mode == "monolithic":
+        solutions, cegis_stats = synthesize_monolithic_solutions(
+            problem, timeout=_remaining(deadline),
+            max_iterations=max_iterations,
+        )
+        stats["cegis"] = cegis_stats.as_dict()
+    else:
+        raise ValueError(f"unknown synthesis mode {mode!r}")
+
+    hole_exprs, control_stmts = control_union(problem, solutions)
+    completed = splice_control(problem.sketch, control_stmts)
+    return SynthesisResult(
+        problem_name=problem.name,
+        mode=mode,
+        hole_exprs=hole_exprs,
+        control_stmts=control_stmts,
+        completed_design=completed,
+        per_instruction=solutions,
+        elapsed=time.monotonic() - started,
+        stats=stats,
+    )
+
+
+def _remaining(deadline):
+    if deadline is None:
+        return None
+    remaining = deadline - time.monotonic()
+    if remaining <= 0:
+        raise SynthesisTimeout("synthesis wall-clock budget exhausted")
+    return remaining
+
+
+def splice_control(sketch, control_stmts):
+    """Insert generated control assignments into the sketch.
+
+    The assignments are placed at the earliest program point where all the
+    signals they read are defined, which must precede the first use of any
+    hole.  Hole declarations are dropped (the assignments define the same
+    names as ordinary wires); the result is validated.
+    """
+    hole_names = {hole.name for hole in sketch.holes}
+    defined_targets = {stmt.target for stmt in control_stmts
+                       if isinstance(stmt, oy.Assign)}
+    needed = set()
+    for stmt in control_stmts:
+        needed |= stmt_uses(stmt)
+    needed -= defined_targets
+    needed -= hole_names
+
+    # Signals readable before any statement runs.
+    ready = set()
+    for decl in sketch.decls:
+        if isinstance(decl, (oy.InputDecl, oy.RegisterDecl)):
+            ready.add(decl.name)
+    register_names = {reg.name for reg in sketch.registers}
+
+    insert_at = 0 if needed <= ready else None
+    first_hole_use = None
+    for index, stmt in enumerate(sketch.stmts):
+        if first_hole_use is None and (stmt_uses(stmt) & hole_names):
+            first_hole_use = index
+        if isinstance(stmt, oy.Assign) and stmt.target not in register_names:
+            ready.add(stmt.target)
+        if insert_at is None and needed <= ready:
+            insert_at = index + 1
+    if insert_at is None:
+        missing = needed - ready
+        raise SynthesisError(
+            f"generated control reads signals never defined in the sketch: "
+            f"{sorted(missing)}"
+        )
+    if first_hole_use is not None and insert_at > first_hole_use:
+        raise SynthesisError(
+            "generated control logic depends on signals defined after the "
+            "first hole use; reorder the sketch so decode precedes control "
+            "consumption"
+        )
+    new_stmts = (
+        sketch.stmts[:insert_at]
+        + tuple(control_stmts)
+        + sketch.stmts[insert_at:]
+    )
+    kept_decls = tuple(
+        decl for decl in sketch.decls if not isinstance(decl, oy.HoleDecl)
+    )
+    completed = oy.Design(sketch.name, kept_decls, new_stmts)
+    check_design(completed)
+    return completed

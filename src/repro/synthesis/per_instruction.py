@@ -1,0 +1,81 @@
+"""Per-instruction control logic synthesis (Section 3.3.1).
+
+Synthesizes the hole constants of Equation (2) for one instruction at a
+time: symbolically evaluate the sketch with fresh hole variables, compile the
+instruction's pre/postconditions through the abstraction function, and run
+CEGIS for the formula ``(side ∧ pre ∧ assumes) → (posts ∧ frames)``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.ila.compiler import ConstraintCompiler
+from repro.oyster.symbolic import SymbolicEvaluator
+from repro.smt import terms as T
+from repro.synthesis.cegis import cegis_solve, CegisStats
+from repro.synthesis.preprocess import resolve_equalities
+from repro.synthesis.result import InstructionSolution, SynthesisError
+
+__all__ = ["synthesize_instruction", "instruction_formula"]
+
+
+def instruction_formula(problem, instruction, prefix):
+    """Build (formula, trace, compiled) for one instruction.
+
+    The formula is ``(side_conditions ∧ pre ∧ assumes) → (posts ∧ frames)``
+    with the sketch's holes appearing as the free variables named
+    ``{prefix}hole!<name>``.
+    """
+    evaluator = SymbolicEvaluator(
+        problem.sketch, const_mems=problem.const_mems, prefix=prefix
+    )
+    trace = evaluator.run(problem.alpha.cycles)
+    compiler = ConstraintCompiler(problem.spec, problem.alpha, trace,
+                                  prefix=prefix)
+    compiled = compiler.compile_instruction(instruction)
+    # Side conditions must be harvested *after* compilation: compiling the
+    # postconditions performs additional memory reads (fresh frame
+    # addresses), which append Ackermann constraints.
+    side = T.and_(*trace.side_conditions)
+    antecedent = T.bv_and(side, compiled.antecedent())
+    consequent = compiled.consequent()
+    hole_names = {
+        term.name for term in trace.hole_values.values() if term.is_var
+    }
+    antecedent, consequent = resolve_equalities(
+        antecedent, consequent, protected_names=hole_names
+    )
+    formula = T.implies(antecedent, consequent)
+    return formula, trace, compiled
+
+
+def synthesize_instruction(problem, instruction, index, timeout=None,
+                           max_iterations=256, partial_eval=True):
+    """Solve the hole constants for one instruction; returns a solution."""
+    started = time.monotonic()
+    prefix = f"i{index}!"
+    formula, trace, _ = instruction_formula(problem, instruction, prefix)
+    hole_vars = [
+        trace.hole_values[hole.name] for hole in problem.sketch.holes
+    ]
+    for var in hole_vars:
+        if not var.is_var:
+            raise SynthesisError(
+                "per-instruction synthesis requires fresh hole variables"
+            )
+    stats = CegisStats()
+    values_by_var = cegis_solve(
+        formula, hole_vars, timeout=timeout, stats=stats,
+        max_iterations=max_iterations, partial_eval=partial_eval,
+    )
+    hole_values = {
+        hole.name: values_by_var[trace.hole_values[hole.name].name]
+        for hole in problem.sketch.holes
+    }
+    return InstructionSolution(
+        instruction_name=instruction.name,
+        hole_values=hole_values,
+        iterations=stats.iterations,
+        solve_time=time.monotonic() - started,
+    )

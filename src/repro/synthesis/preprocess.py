@@ -1,0 +1,89 @@
+"""Query preprocessing: destructive equality resolution.
+
+The synthesis formula has the shape ``(side ∧ pre ∧ assumes) → posts``.
+When a top-level antecedent conjunct is
+
+* ``var_a == var_b``  (e.g. the drained-pipeline invariant
+  ``fetch_pc == pc``, or an Ackermann consistency fact whose address
+  disjointness has already folded away), or
+* a bare width-1 variable / its negation (e.g. ``instruction_valid``),
+
+the formula is equivalent to the one with that variable substituted
+(``∀x,y. (x==y ∧ A) → C  ⟺  ∀y. A[x:=y] → C[x:=y]``).  Substitution re-runs
+the rewriting constructors, which aligns the specification-side and
+datapath-side term structures: after a couple of rounds the two clmul/S-box
+networks the solver would otherwise have to prove congruent become the
+*same hash-consed term* and the equation folds to true.  This is standard
+SMT preprocessing (DER); it is what keeps the pipelined cores' queries in
+the same ballpark as the single-cycle ones.
+
+Hole variables are existentially quantified and must never be eliminated;
+equalities touching them are left alone (they can only appear through the
+abstraction function's assume exception anyway).
+"""
+
+from __future__ import annotations
+
+from repro.smt import terms as T
+
+__all__ = ["resolve_equalities"]
+
+
+def _conjuncts(term):
+    out = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node.op == "and":
+            stack.extend(node.args)
+        else:
+            out.append(node)
+    return out
+
+
+def _pick_substitution(antecedent, protected):
+    for conjunct in _conjuncts(antecedent):
+        if conjunct.op == "eq":
+            left, right = conjunct.args
+            if left.is_var and left.name not in protected and left is not right:
+                if not (right.is_var and right.name in protected):
+                    return left, right
+            if right.is_var and right.name not in protected:
+                if not (left.is_var and left.name in protected):
+                    return right, left
+            continue
+        if conjunct.is_var and conjunct.width == 1 and (
+            conjunct.name not in protected
+        ):
+            return conjunct, T.TRUE
+        if (conjunct.op == "not" and conjunct.args[0].is_var
+                and conjunct.args[0].width == 1
+                and conjunct.args[0].name not in protected):
+            return conjunct.args[0], T.FALSE
+    return None
+
+
+def resolve_equalities(antecedent, consequent, protected_names=(),
+                       max_rounds=64):
+    """Repeatedly eliminate antecedent equalities by substitution.
+
+    ``protected_names`` are variables that must survive (the hole
+    variables).  Returns the rewritten ``(antecedent, consequent)``.
+    Equality-of-two-variables conjuncts eliminate the side that is not
+    protected; ``x == f(y)`` with a non-variable right-hand side also
+    eliminates ``x`` (the substitution is still a definition).
+    """
+    protected = set(protected_names)
+    for _ in range(max_rounds):
+        found = _pick_substitution(antecedent, protected)
+        if found is None:
+            break
+        var, replacement = found
+        # Guard against cyclic definitions: x := f(x) is not a definition.
+        if not replacement.is_const and var in T.free_variables(replacement):
+            protected.add(var.name)
+            continue
+        mapping = {var: replacement}
+        antecedent = T.substitute(antecedent, mapping)
+        consequent = T.substitute(consequent, mapping)
+    return antecedent, consequent

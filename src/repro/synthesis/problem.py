@@ -1,0 +1,36 @@
+"""The synthesis problem triple: sketch + specification + abstraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.abstraction.model import AbstractionFunction
+from repro.oyster.ast import Design
+
+__all__ = ["SynthesisProblem"]
+
+
+@dataclass
+class SynthesisProblem:
+    """Everything control logic synthesis needs (Figure 4's three inputs).
+
+    ``const_mems`` maps datapath memory names to ``ConstMemory`` contents for
+    read-only lookup tables (the AES S-boxes); these back the corresponding
+    ``MemoryDecl`` during symbolic evaluation instead of uninterpreted
+    functions, mirroring the paper's Racket immutable vectors (Section 5.1).
+    """
+
+    sketch: Design
+    spec: object  # repro.ila.Ila
+    alpha: AbstractionFunction
+    const_mems: dict = field(default_factory=dict)
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            self.name = self.sketch.name
+        self.spec.validate()
+        if not self.sketch.holes:
+            raise ValueError(
+                f"sketch {self.sketch.name!r} has no holes to synthesize"
+            )

@@ -1,0 +1,86 @@
+"""Result and error types for control logic synthesis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SynthesisError",
+    "SynthesisTimeout",
+    "SynthesisFailure",
+    "InstructionSolution",
+    "SynthesisResult",
+]
+
+
+class SynthesisError(Exception):
+    """Base class for synthesis failures."""
+
+
+class SynthesisTimeout(SynthesisError):
+    """The configured time/iteration budget was exhausted."""
+
+
+class SynthesisFailure(SynthesisError):
+    """No control logic exists: the sketch cannot implement the spec.
+
+    This is the paper's "datapath sketch is incorrect with respect to the
+    ILA" outcome (Section 5.3): the solver proved the hole constraints
+    unsatisfiable for some instruction.
+    """
+
+
+@dataclass
+class InstructionSolution:
+    """Solved hole constants for one instruction (Equation 2's c_j)."""
+
+    instruction_name: str
+    hole_values: dict  # hole name -> int
+    iterations: int
+    solve_time: float
+
+
+@dataclass
+class SynthesisResult:
+    """The output of control logic synthesis.
+
+    ``hole_exprs`` maps each hole to the Oyster expression that fills it
+    (after the control union in per-instruction mode); ``control_stmts`` are
+    the generated assignments (precondition wires first), and
+    ``completed_design`` is the sketch with holes replaced by the generated
+    control logic — the final design of Figure 4.
+    """
+
+    problem_name: str
+    mode: str
+    hole_exprs: dict
+    control_stmts: list
+    completed_design: object
+    per_instruction: list = field(default_factory=list)
+    elapsed: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def instruction_count(self):
+        return len(self.per_instruction)
+
+    def hole_values_for(self, instruction_name):
+        for solution in self.per_instruction:
+            if solution.instruction_name == instruction_name:
+                return solution.hole_values
+        raise KeyError(instruction_name)
+
+    def summary(self):
+        lines = [
+            f"synthesis of {self.problem_name!r} ({self.mode}): "
+            f"{len(self.hole_exprs)} holes, "
+            f"{self.instruction_count} instructions, "
+            f"{self.elapsed:.2f}s"
+        ]
+        for solution in self.per_instruction:
+            lines.append(
+                f"  {solution.instruction_name}: "
+                f"{solution.iterations} CEGIS iterations, "
+                f"{solution.solve_time:.2f}s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""The control union ⊔ (Figure 6) and precondition rendering.
+
+Per-instruction synthesis yields, for every hole, a concrete bitvector per
+instruction.  The union operator groups instructions by solved value and
+emits nested if-then-else Oyster code dispatching on the instruction
+preconditions — exactly the paper's ``LogicGen``, including the
+"one shared value -> plain constant" collapse visible in the AES case study.
+
+Preconditions are *rendered* from the spec's decode expressions into Oyster
+code over datapath signals: decode fields (``opcode``, ``funct3``, ...) map
+to the sketch wires named by the abstraction function's field bindings, and
+spec inputs/state map through their abstraction entries.
+"""
+
+from __future__ import annotations
+
+from repro.ila import ast as ila_ast
+from repro.oyster import ast as oy
+from repro.synthesis.result import SynthesisError
+
+__all__ = ["control_union", "render_precondition", "RenderError"]
+
+
+class RenderError(SynthesisError):
+    """A decode expression cannot be rendered over datapath signals."""
+
+
+def render_precondition(spec, alpha, expr):
+    """Translate a spec decode expression into an Oyster expression."""
+    fields = {id(field): name for name, field in spec.decode_fields.items()}
+    memo = {}
+
+    def walk(node):
+        if id(node) in memo:
+            return memo[id(node)]
+        rendered = _render_node(node, walk, fields, spec, alpha)
+        memo[id(node)] = rendered
+        return rendered
+
+    return walk(expr)
+
+
+def _render_node(node, walk, fields, spec, alpha):
+    field_name = fields.get(id(node))
+    if field_name is not None:
+        return oy.Var(alpha.binding(field_name))
+    if isinstance(node, ila_ast.BvConst):
+        return oy.Const(node.value, node.width)
+    if isinstance(node, ila_ast.BvVar):
+        mapping = alpha.entry(node.name, role="data")
+        if mapping.dp_type == "memory":
+            raise RenderError(
+                f"decode references memory {node.name!r} directly; declare "
+                "a decode field for it"
+            )
+        return oy.Var(mapping.dp_name)
+    if isinstance(node, ila_ast.Unop):
+        return oy.Unop(node.op, walk(node.arg))
+    if isinstance(node, ila_ast.Binop):
+        return oy.Binop(node.op, walk(node.left), walk(node.right))
+    if isinstance(node, ila_ast.IteExpr):
+        return oy.Ite(walk(node.cond), walk(node.then), walk(node.els))
+    if isinstance(node, ila_ast.ExtractExpr):
+        return oy.Extract(walk(node.arg), node.high, node.low)
+    if isinstance(node, ila_ast.ConcatExpr):
+        return oy.Concat(walk(node.high), walk(node.low))
+    if isinstance(node, ila_ast.LoadExpr):
+        raise RenderError(
+            "decode contains a memory load with no decode-field binding; "
+            "declare it with Ila.declare_decode_field and bind it to a "
+            "datapath wire in the abstraction function"
+        )
+    raise RenderError(
+        f"cannot render {type(node).__name__} in a precondition"
+    )
+
+
+def control_union(problem, solutions):
+    """Combine per-instruction hole constants into final control logic.
+
+    ``solutions`` is a list of ``InstructionSolution`` in specification
+    order.  Returns ``(hole_exprs, control_stmts)`` where ``control_stmts``
+    starts with the shared precondition wire definitions (``pre_<instr> :=
+    <rendered decode>``) followed by one assignment per hole.
+    """
+    spec = problem.spec
+    alpha = problem.alpha
+    sketch = problem.sketch
+    by_name = {
+        solution.instruction_name: solution for solution in solutions
+    }
+    instr_order = [
+        instr.name for instr in spec.instructions if instr.name in by_name
+    ]
+    if len(instr_order) != len(solutions):
+        raise SynthesisError("solutions do not match the specification")
+
+    pre_wires = {}  # instruction name -> wire name
+    pre_stmts = []
+    hole_stmts = []
+    hole_exprs = {}
+
+    def pre_wire(instr_name):
+        wire = pre_wires.get(instr_name)
+        if wire is None:
+            wire = f"pre_{_sanitize(instr_name)}"
+            rendered = render_precondition(
+                spec, alpha, spec.instr(instr_name).decode
+            )
+            pre_stmts.append(oy.Assign(wire, rendered))
+            pre_wires[instr_name] = wire
+        return wire
+
+    for hole in sketch.holes:
+        groups = {}  # value -> [instr names], insertion-ordered
+        for instr_name in instr_order:
+            value = by_name[instr_name].hole_values[hole.name]
+            groups.setdefault(value, []).append(instr_name)
+        expr = _logic_gen(list(groups.items()), hole.width, pre_wire)
+        hole_exprs[hole.name] = expr
+        hole_stmts.append(oy.Assign(hole.name, expr))
+
+    return hole_exprs, pre_stmts + hole_stmts
+
+
+def _logic_gen(value_groups, width, pre_wire):
+    """Figure 6's LogicGen: nested if-then-else over grouped preconditions."""
+    if len(value_groups) == 1:
+        value, _ = value_groups[0]
+        return oy.Const(value, width)
+    value, instr_names = value_groups[0]
+    condition = None
+    for instr_name in instr_names:
+        var = oy.Var(pre_wire(instr_name))
+        condition = var if condition is None else oy.Binop("|", condition, var)
+    return oy.Ite(
+        condition,
+        oy.Const(value, width),
+        _logic_gen(value_groups[1:], width, pre_wire),
+    )
+
+
+def _sanitize(name):
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)

@@ -1,0 +1,89 @@
+"""``python -m repro.tools.oyster_tool`` — inspect and convert Oyster files.
+
+Subcommands:
+
+* ``check <file>``    parse + typecheck, print the signal widths;
+* ``print <file>``    parse and pretty-print canonically;
+* ``loc <file>``      the sketch-size metric (lines of Oyster);
+* ``verilog <file>``  emit Verilog (design must be hole-free);
+* ``gates <file>``    lower to gates and print netlist statistics;
+* ``sim <file>``      run N cycles with zero inputs (or --random) and print
+  the register/output trace — a smoke-run for hole-free designs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.netlist import netlist_stats, optimize, synthesize_netlist
+from repro.oyster import Simulator, check_design, parse_design, print_design
+from repro.oyster.printer import design_loc
+from repro.oyster.verilog import to_verilog
+
+__all__ = ["main"]
+
+
+def _load(path):
+    with open(path) as handle:
+        return parse_design(handle.read())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="oyster_tool",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name in ("check", "print", "loc", "verilog", "gates"):
+        command = sub.add_parser(name)
+        command.add_argument("file")
+        if name == "gates":
+            command.add_argument("--optimize", action="store_true")
+    sim = sub.add_parser("sim")
+    sim.add_argument("file")
+    sim.add_argument("--cycles", type=int, default=10)
+    sim.add_argument("--random", action="store_true")
+    sim.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args(argv)
+
+    design = _load(arguments.file)
+    if arguments.command == "check":
+        widths = check_design(design)
+        print(f"{design.name}: OK ({len(widths)} signals)")
+        for name in sorted(widths):
+            print(f"  {name}: {widths[name]}")
+    elif arguments.command == "print":
+        sys.stdout.write(print_design(design))
+    elif arguments.command == "loc":
+        print(design_loc(design))
+    elif arguments.command == "verilog":
+        sys.stdout.write(to_verilog(design))
+    elif arguments.command == "gates":
+        netlist = synthesize_netlist(design)
+        if arguments.optimize:
+            netlist = optimize(netlist)
+        stats = netlist_stats(netlist)
+        print(f"{design.name}: {stats['total']} gates "
+              f"({stats['logic_gates']} logic + {stats['flops']} flops)")
+        for kind, count in sorted(stats["by_kind"].items()):
+            print(f"  {kind}: {count}")
+    elif arguments.command == "sim":
+        rng = random.Random(arguments.seed)
+        simulator = Simulator(design)
+        for cycle in range(arguments.cycles):
+            inputs = {
+                decl.name: (rng.randrange(1 << decl.width)
+                            if arguments.random else 0)
+                for decl in design.inputs
+            }
+            outputs = simulator.step(inputs)
+            state = {**simulator.registers, **outputs}
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(state.items())
+            )
+            print(f"cycle {cycle}: {rendered}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

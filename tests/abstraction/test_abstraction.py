@@ -1,0 +1,126 @@
+"""Tests for the abstraction-function model and its textual parser."""
+
+import pytest
+
+from repro.abstraction import (
+    AbstractionError,
+    AbstractionFunction,
+    Effect,
+    Mapping,
+    parse_abstraction,
+)
+
+PAPER_TWO_STAGE = """
+pc: {name: 'pc', type: register, [read: 1, write: 2]}
+GPR: {name: 'rf', type: memory, [read: 1, write: 2]}
+mem: {name: 'd_mem', type: memory, [read: 2, write: 2]}
+mem: {name: 'i_mem', type: memory, [read: 1]}
+with cycles: 2
+"""
+
+
+def test_parse_paper_example():
+    alpha = parse_abstraction(PAPER_TWO_STAGE)
+    assert alpha.cycles == 2
+    pc = alpha.entry("pc")
+    assert pc.dp_name == "pc" and pc.dp_type == "register"
+    assert pc.read_time == 1 and pc.write_time == 2
+    assert len(alpha.entries_for("mem")) == 2
+
+
+def test_fetch_and_data_roles():
+    alpha = parse_abstraction(PAPER_TWO_STAGE)
+    assert alpha.entry("mem", role="fetch").dp_name == "i_mem"
+    assert alpha.entry("mem", role="data").dp_name == "d_mem"
+    # A single entry serves both roles.
+    assert alpha.entry("pc", role="fetch").dp_name == "pc"
+
+
+def test_parse_assumes():
+    alpha = parse_abstraction(
+        "pc: {name: 'pc', type: register, [read: 1, write: 2]}\n"
+        "with cycles: 3, [instruction_valid: 1], [other: 2]\n"
+    )
+    assert alpha.assumes == (("instruction_valid", 1), ("other", 2))
+
+
+def test_parse_field_bindings():
+    alpha = parse_abstraction(
+        "pc: {name: 'pc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+        "fields: {opcode: 'op_wire', funct3: 'f3'}\n"
+    )
+    assert alpha.binding("opcode") == "op_wire"
+    assert alpha.binding("funct3") == "f3"
+    assert alpha.binding("unbound") == "unbound"
+
+
+def test_comments_allowed():
+    alpha = parse_abstraction(
+        "# the program counter\n"
+        "pc: {name: 'pc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    assert alpha.cycles == 1
+
+
+def test_parse_errors():
+    with pytest.raises(AbstractionError, match="cannot parse"):
+        parse_abstraction("nonsense here\nwith cycles: 1\n")
+    with pytest.raises(AbstractionError, match="bad effect"):
+        parse_abstraction(
+            "pc: {name: 'pc', type: register, [explode: 1]}\nwith cycles: 1\n"
+        )
+    with pytest.raises(AbstractionError, match="missing 'with cycles"):
+        parse_abstraction("pc: {name: 'pc', type: register, [read: 1]}\n")
+    with pytest.raises(AbstractionError, match="duplicate"):
+        parse_abstraction("with cycles: 1\nwith cycles: 2\n")
+
+
+def test_effect_validation():
+    with pytest.raises(AbstractionError, match="kind"):
+        Effect("peek", 1)
+    with pytest.raises(AbstractionError, match=">= 1"):
+        Effect("read", 0)
+
+
+def test_mapping_validation():
+    with pytest.raises(AbstractionError, match="type"):
+        Mapping("a", "b", "wire", [Effect("read", 1)])
+    with pytest.raises(AbstractionError, match="no effects"):
+        Mapping("a", "b", "input", [])
+
+
+def test_effects_beyond_cycles_rejected():
+    with pytest.raises(AbstractionError, match="beyond cycles"):
+        AbstractionFunction(
+            [Mapping("pc", "pc", "register", [Effect("write", 3)])],
+            cycles=2,
+        )
+
+
+def test_assume_time_bounds():
+    with pytest.raises(AbstractionError, match="outside"):
+        AbstractionFunction(
+            [Mapping("pc", "pc", "register", [Effect("read", 1)])],
+            cycles=2, assumes=[("v", 3)],
+        )
+
+
+def test_unknown_spec_element():
+    alpha = parse_abstraction(PAPER_TWO_STAGE)
+    with pytest.raises(AbstractionError, match="no abstraction entry"):
+        alpha.entry("ghost")
+    assert not alpha.has_entry("ghost")
+
+
+def test_role_resolution_errors():
+    alpha = AbstractionFunction(
+        [
+            Mapping("mem", "m1", "memory", [Effect("read", 1)]),
+            Mapping("mem", "m2", "memory", [Effect("read", 1)]),
+        ],
+        cycles=1,
+    )
+    with pytest.raises(AbstractionError, match="no writable"):
+        alpha.entry("mem", role="data")

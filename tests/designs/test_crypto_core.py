@@ -1,0 +1,150 @@
+"""Tests for the constant-time crypto core and the SHA-256 study."""
+
+import hashlib
+
+import pytest
+
+from repro.designs.crypto_core import (
+    CMOV_ISA,
+    build_problem,
+    reference_control_values,
+    run_sha256,
+    sha256_reference,
+)
+from repro.designs.crypto_core.sha256_program import (
+    MSG_BASE,
+    OUT_BASE,
+    halt_pc,
+    pack_message_words,
+    program_image,
+    sha256_program,
+)
+from repro.designs.riscv.iss import GoldenISS
+from repro.synthesis import synthesize, verify_design
+from repro.synthesis.engine import splice_control
+from repro.synthesis.result import InstructionSolution, SynthesisFailure
+from repro.synthesis.union import control_union
+
+SUBSET = ["lui", "jal", "jalr", "lw", "sw", "addi", "slli", "sltu",
+          "add", "xor", "cmov"]
+
+
+def test_isa_has_no_conditional_branches():
+    from repro.designs.riscv.encodings import INSTRUCTIONS
+
+    for name in CMOV_ISA:
+        assert INSTRUCTIONS[name].fmt != "B"
+
+
+def _reference_design(problem):
+    solutions = [
+        InstructionSolution(instr.name, reference_control_values(instr.name),
+                            0, 0.0)
+        for instr in problem.spec.instructions
+    ]
+    _, stmts = control_union(problem, solutions)
+    return splice_control(problem.sketch, stmts)
+
+
+@pytest.fixture(scope="module")
+def subset_result():
+    problem = build_problem(instructions=SUBSET)
+    return problem, synthesize(problem, timeout=600)
+
+
+def test_subset_verifies(subset_result):
+    problem, result = subset_result
+    verdict = verify_design(
+        result.completed_design, problem.spec, problem.alpha,
+        instructions=["add", "lw", "sw", "jal", "cmov"],
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def test_instruction_valid_assume_is_load_bearing():
+    """Without the instruction_valid assume, synthesis must fail.
+
+    This is exactly the scenario Section 4.2 describes: the solver can
+    always pick an initial flush that kills the instruction.
+    """
+    from repro.abstraction.model import AbstractionFunction
+
+    problem = build_problem(instructions=["add"])
+    alpha = problem.alpha
+    problem.alpha = AbstractionFunction(
+        alpha.mappings, alpha.cycles,
+        assumes=[a for a in alpha.assumes if a[0] != "instruction_valid"],
+        field_bindings=alpha.field_bindings,
+    )
+    with pytest.raises(SynthesisFailure):
+        synthesize(problem, timeout=300)
+
+
+def test_reference_values_verify():
+    problem = build_problem(instructions=SUBSET)
+    hole_values = None
+    for instr in problem.spec.instructions:
+        values = reference_control_values(instr.name)
+        verdict = verify_design(
+            problem.sketch, problem.spec, problem.alpha,
+            hole_values=values, instructions=[instr.name],
+        )
+        assert verdict.ok, (instr.name, verdict.summary())
+
+
+class TestSha256Program:
+    def _iss_digest(self, message):
+        memory = dict(program_image())
+        memory.update(pack_message_words(message))
+        iss = GoldenISS(memory=memory, pc=0,
+                        regs={1: MSG_BASE, 2: len(message)})
+        assert iss.run(20_000, halt_pc=halt_pc())
+        return ([iss.memory.get((OUT_BASE >> 2) + i, 0) for i in range(8)],
+                iss.instret)
+
+    def test_digest_matches_hashlib(self):
+        for message in (b"", b"abc", b"a" * 32, bytes(range(19))):
+            digest, _ = self._iss_digest(message)
+            assert digest == sha256_reference(message), message
+
+    def test_instruction_count_is_length_independent(self):
+        counts = {self._iss_digest(b"x" * n)[1] for n in (0, 4, 17, 32)}
+        assert len(counts) == 1
+
+    def test_program_is_branch_free(self):
+        from repro.designs.riscv.encodings import INSTRUCTIONS
+
+        names = {name for name, _ in sha256_program()}
+        assert all(INSTRUCTIONS[n].fmt != "B" for n in names)
+        assert "cmov" in names
+
+
+@pytest.mark.slow
+class TestConstantTimeStudy:
+    """The Section 5.2 experiment, on a reduced set of lengths."""
+
+    @pytest.fixture(scope="class")
+    def cores(self):
+        problem = build_problem()
+        result = synthesize(problem, timeout=900)
+        return (_reference_design(problem), result.completed_design)
+
+    def test_generated_core_constant_time_and_correct(self, cores):
+        reference, generated = cores
+        cycle_counts = set()
+        for length in (4, 11, 21, 32):
+            message = bytes((i * 7 + 3) & 0xFF for i in range(length))
+            run = run_sha256(generated, message)
+            assert run.halted
+            assert run.digest_words == sha256_reference(message)
+            cycle_counts.add(run.cycles)
+        assert len(cycle_counts) == 1  # cycles independent of input length
+
+    def test_generated_matches_reference_cycle_for_cycle(self, cores):
+        reference, generated = cores
+        message = b"The OWL and the pussycat"
+        ref_run = run_sha256(reference, message)
+        gen_run = run_sha256(generated, message)
+        assert ref_run.cycles == gen_run.cycles
+        assert ref_run.digest_words == gen_run.digest_words
+        assert gen_run.digest_bytes == hashlib.sha256(message).digest()

@@ -1,0 +1,183 @@
+"""Tests for the RISC-V encodings table, assembler, and golden ISS."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.designs.riscv.encodings import (
+    INSTRUCTIONS,
+    VARIANTS,
+    assemble,
+    encode,
+    variant_instructions,
+)
+from repro.designs.riscv.iss import (
+    GoldenISS,
+    brev8,
+    clmul32,
+    clmulh32,
+    rev8,
+    unzip32,
+    zip32,
+)
+
+
+def test_variant_instruction_counts_match_paper():
+    assert len(variant_instructions("RV32I")) == 37
+    assert len(variant_instructions("RV32I+Zbkb")) == 37 + 12
+    assert len(variant_instructions("RV32I+Zbkc")) == 37 + 12 + 2
+
+
+def test_cmov_not_in_standard_variants():
+    for variant in VARIANTS:
+        assert "cmov" not in variant_instructions(variant)
+
+
+def test_encode_decode_roundtrip_all_instructions():
+    for name, spec in INSTRUCTIONS.items():
+        kwargs = {"rd": 5, "rs1": 6, "rs2": 7}
+        if spec.fmt in ("I", "S", "B", "J"):
+            kwargs["imm"] = -8 if spec.fmt in ("I", "S") else 16
+        elif spec.fmt == "I-SHAMT":
+            kwargs["imm"] = 13
+        elif spec.fmt == "U":
+            kwargs["imm"] = 0xABCDE000
+        word = encode(name, **kwargs)
+        decoded_name, fields = GoldenISS.decode(word)
+        assert decoded_name == name, f"{name} decoded as {decoded_name}"
+        if spec.fmt not in ("S", "B"):  # S/B formats have no rd field
+            assert fields["rd"] == 5
+
+
+def test_distinct_encodings():
+    seen = {}
+    for name in INSTRUCTIONS:
+        word = encode(name, rd=1, rs1=2, rs2=3, imm=0)
+        assert word not in seen, f"{name} collides with {seen.get(word)}"
+        seen[word] = name
+
+
+def test_assemble_lays_out_words():
+    image = assemble(
+        [("addi", {"rd": 1, "rs1": 0, "imm": 5}), ("add", {"rd": 2, "rs1": 1, "rs2": 1})],
+        base=0x40,
+    )
+    assert set(image) == {16, 17}
+
+
+def test_bit_manipulation_helpers():
+    assert rev8(0x11223344) == 0x44332211
+    assert brev8(0x01) == 0x80
+    assert brev8(0x8000) == 0x0100
+    assert unzip32(zip32(0xDEADBEEF)) == 0xDEADBEEF
+    assert zip32(0x0000FFFF) == 0x55555555
+    assert clmul32(0xFFFFFFFF, 3) == (0xFFFFFFFF ^ (0xFFFFFFFF << 1)) & 0xFFFFFFFF
+    assert clmulh32(0x80000000, 0x80000000) == (1 << 62) >> 32
+
+
+@settings(max_examples=100, deadline=None)
+@given(x=st.integers(min_value=0, max_value=(1 << 32) - 1))
+def test_zip_unzip_inverse(x):
+    assert unzip32(zip32(x)) == x
+    assert zip32(unzip32(x)) == x
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    c=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_clmul_distributes_over_xor(a, b, c):
+    assert clmul32(a, b ^ c) == clmul32(a, b) ^ clmul32(a, c)
+    assert clmulh32(a, b ^ c) == clmulh32(a, b) ^ clmulh32(a, c)
+
+
+class TestISS:
+    def _run(self, program, regs=None, memory=None, steps=None):
+        iss = GoldenISS(memory={**assemble(program), **(memory or {})},
+                        pc=0, regs=regs or {})
+        for _ in range(steps or len(program)):
+            iss.step()
+        return iss
+
+    def test_arith_immediates(self):
+        iss = self._run([
+            ("addi", {"rd": 1, "rs1": 0, "imm": 100}),
+            ("slti", {"rd": 2, "rs1": 1, "imm": -5}),
+            ("sltiu", {"rd": 3, "rs1": 1, "imm": 2047}),
+            ("xori", {"rd": 4, "rs1": 1, "imm": -1}),
+        ])
+        assert iss.regs[1] == 100
+        assert iss.regs[2] == 0
+        assert iss.regs[3] == 1
+        assert iss.regs[4] == 100 ^ 0xFFFFFFFF
+
+    def test_x0_never_written(self):
+        iss = self._run([("addi", {"rd": 0, "rs1": 0, "imm": 55})])
+        assert iss.regs[0] == 0
+
+    def test_branches(self):
+        iss = self._run([
+            ("beq", {"rs1": 0, "rs2": 0, "imm": 8}),  # taken: skip next
+            ("addi", {"rd": 1, "rs1": 0, "imm": 1}),
+            ("addi", {"rd": 2, "rs1": 0, "imm": 2}),
+        ], steps=2)
+        assert iss.regs[1] == 0 and iss.regs[2] == 2
+
+    def test_jal_jalr_link(self):
+        iss = self._run([
+            ("jal", {"rd": 1, "imm": 8}),
+            ("addi", {"rd": 3, "rs1": 0, "imm": 99}),  # skipped
+            ("jalr", {"rd": 2, "rs1": 1, "imm": 8}),   # to pc=12... x1=4 -> 12
+            ("addi", {"rd": 4, "rs1": 0, "imm": 7}),
+        ], steps=3)
+        assert iss.regs[1] == 4
+        assert iss.regs[2] == 12
+        assert iss.regs[3] == 0
+        assert iss.regs[4] == 7
+
+    def test_subword_memory(self):
+        iss = self._run([
+            ("lui", {"rd": 1, "imm": 0x1000}),
+            ("sw", {"rs1": 1, "rs2": 0, "imm": 0}),
+            ("addi", {"rd": 2, "rs1": 0, "imm": -1}),
+            ("sb", {"rs1": 1, "rs2": 2, "imm": 1}),
+            ("lw", {"rd": 3, "rs1": 1, "imm": 0}),
+            ("lb", {"rd": 4, "rs1": 1, "imm": 1}),
+            ("lbu", {"rd": 5, "rs1": 1, "imm": 1}),
+            ("lh", {"rd": 6, "rs1": 1, "imm": 0}),
+        ])
+        assert iss.regs[3] == 0x0000FF00
+        assert iss.regs[4] == 0xFFFFFFFF
+        assert iss.regs[5] == 0xFF
+        assert iss.regs[6] == 0xFFFFFF00  # sign-extended 0xFF00
+
+    def test_shifts_and_rotates(self):
+        iss = self._run([
+            ("lui", {"rd": 1, "imm": 0x80000000}),
+            ("srai", {"rd": 2, "rs1": 1, "imm": 4}),
+            ("srli", {"rd": 3, "rs1": 1, "imm": 4}),
+            ("rori", {"rd": 4, "rs1": 1, "imm": 31}),
+        ])
+        assert iss.regs[2] == 0xF8000000
+        assert iss.regs[3] == 0x08000000
+        assert iss.regs[4] == 0x00000001
+
+    def test_cmov(self):
+        iss = self._run([
+            ("addi", {"rd": 1, "rs1": 0, "imm": 11}),
+            ("addi", {"rd": 2, "rs1": 0, "imm": 22}),
+            ("addi", {"rd": 3, "rs1": 0, "imm": 1}),
+            ("cmov", {"rd": 2, "rs1": 1, "rs2": 3}),  # cond true: 2 <- 11
+            ("cmov", {"rd": 1, "rs1": 2, "rs2": 0}),  # cond false: hold
+        ])
+        assert iss.regs[2] == 11
+        assert iss.regs[1] == 11
+
+    def test_halt_detection_on_self_loop(self):
+        iss = GoldenISS(memory=assemble([("jal", {"rd": 0, "imm": 0})]))
+        assert iss.run(10)
+
+    def test_undecodable_word_raises(self):
+        with pytest.raises(ValueError, match="cannot decode"):
+            GoldenISS.decode(0xFFFFFFFF)

@@ -1,0 +1,59 @@
+"""Property tests for the branch-free SHA-256 kernel on the golden ISS."""
+
+import hashlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.designs.crypto_core.sha256_program import (
+    MSG_BASE,
+    OUT_BASE,
+    halt_pc,
+    pack_message_words,
+    program_image,
+    sha256_reference,
+)
+from repro.designs.riscv.iss import GoldenISS
+
+
+def _run_iss(message):
+    memory = dict(program_image())
+    memory.update(pack_message_words(message))
+    iss = GoldenISS(memory=memory, pc=0,
+                    regs={1: MSG_BASE, 2: len(message)})
+    assert iss.run(20_000, halt_pc=halt_pc())
+    digest = [iss.memory.get((OUT_BASE >> 2) + i, 0) for i in range(8)]
+    return digest, iss.instret
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(message=st.binary(min_size=0, max_size=55))
+def test_digest_matches_hashlib_for_any_single_block_message(message):
+    digest, _ = _run_iss(message)
+    assert digest == sha256_reference(message)
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    first=st.binary(min_size=0, max_size=55),
+    second=st.binary(min_size=0, max_size=55),
+)
+def test_instruction_count_never_depends_on_data_or_length(first, second):
+    _, count_first = _run_iss(first)
+    _, count_second = _run_iss(second)
+    assert count_first == count_second
+
+
+def test_pack_message_words_is_big_endian():
+    words = pack_message_words(b"\x01\x02\x03\x04\x05")
+    assert words[MSG_BASE >> 2] == 0x01020304
+    assert words[(MSG_BASE >> 2) + 1] == 0x05000000
+
+
+def test_reference_matches_hashlib():
+    for message in (b"", b"abc", b"x" * 55):
+        expected = hashlib.sha256(message).digest()
+        words = sha256_reference(message)
+        assert b"".join(w.to_bytes(4, "big") for w in words) == expected

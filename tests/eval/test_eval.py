@@ -1,0 +1,70 @@
+"""Tests for the evaluation harness (small configurations)."""
+
+import pytest
+
+from repro.eval.report import format_rows, format_table
+from repro.eval.table1 import TABLE1_CONFIGS, Table1Row, run_row
+from repro.eval.table2 import run_variant
+
+
+def test_table1_configs_cover_paper_rows():
+    row_ids = [config[0] for config in TABLE1_CONFIGS]
+    assert len(row_ids) == 10  # the paper's Table 1 has ten rows
+    modes = [config[3] for config in TABLE1_CONFIGS]
+    assert modes.count("monolithic") == 2  # the two † rows
+
+
+def test_run_row_aes():
+    row = run_row("aes")
+    assert row.status == "ok"
+    assert row.design == "AES Accelerator"
+    assert row.instructions == 3
+    assert row.sketch_size > 100
+    assert row.time_seconds > 0
+
+
+def test_run_row_crypto_quick():
+    row = run_row("crypto", quick=True, timeout=900)
+    assert row.status == "ok"
+    assert row.variant == "CMOV ISA"
+    assert row.instructions == 11
+
+
+def test_table2_small_subset():
+    row = run_variant("RV32I", quick=True, timeout=600,
+                      instructions=["lui", "add", "lw"])
+    assert row.generated_loc > 0
+    assert row.reference_loc > 0
+    assert row.reference_gates > 1000  # a real core, not a toy
+    assert row.optimized_gates <= row.generated_gates
+    assert row.optimized_reference_gates <= row.reference_gates
+
+
+def test_format_rows_alignment():
+    text = format_rows(["col", "x"], [["a", "bbbb"], ["cc", "d"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+
+def test_format_table_renders_dataclasses():
+    rows = [
+        Table1Row("x", "Design", "V", "per_instruction", 100, 5, 1.25, "ok"),
+    ]
+    text = format_table(rows, title="Demo")
+    assert "Demo" in text
+    assert "per_instruction" in text
+    assert "1.2" in text
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_build_config_all_rows_construct():
+    from repro.eval.table1 import build_config
+
+    for config in TABLE1_CONFIGS:
+        problem = build_config(config[0], quick=True)
+        assert problem.spec.instructions
+        assert problem.sketch.holes

@@ -1,0 +1,161 @@
+"""Tests for conditional_assignment semantics (PyRTL first-match-wins)."""
+
+import pytest
+
+from repro import hdl
+from repro.oyster import Simulator
+
+
+def _build_priority():
+    with hdl.Module("prio") as module:
+        a = hdl.Input(1, "a")
+        b = hdl.Input(1, "b")
+        o = hdl.Output(4, "o")
+        w = hdl.wire(4, "w")
+        with hdl.conditional_assignment():
+            with a:
+                w |= 1
+            with b:
+                w |= 2
+            with hdl.otherwise:
+                w |= 3
+        o <<= w
+    return module.to_oyster()
+
+
+def test_first_match_wins():
+    sim = Simulator(_build_priority())
+    assert sim.step({"a": 1, "b": 1})["o"] == 1
+    assert sim.step({"a": 0, "b": 1})["o"] == 2
+    assert sim.step({"a": 0, "b": 0})["o"] == 3
+
+
+def test_wire_defaults_to_zero_without_otherwise():
+    with hdl.Module("d") as module:
+        a = hdl.Input(1, "a")
+        o = hdl.Output(4, "o")
+        w = hdl.wire(4, "w")
+        with hdl.conditional_assignment():
+            with a:
+                w |= 9
+        o <<= w
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 0})["o"] == 0
+    assert sim.step({"a": 1})["o"] == 9
+
+
+def test_register_holds_without_match():
+    with hdl.Module("r") as module:
+        en = hdl.Input(1, "en")
+        r = hdl.Register(8, "r", init=10)
+        with hdl.conditional_assignment():
+            with en:
+                r.next |= r + 1
+    sim = Simulator(module.to_oyster())
+    sim.step({"en": 0})
+    assert sim.peek("r") == 10
+    sim.step({"en": 1})
+    assert sim.peek("r") == 11
+    sim.step({"en": 0})
+    assert sim.peek("r") == 11
+
+
+def test_nested_conditions():
+    with hdl.Module("n") as module:
+        a = hdl.Input(1, "a")
+        b = hdl.Input(1, "b")
+        o = hdl.Output(4, "o")
+        w = hdl.wire(4, "w")
+        with hdl.conditional_assignment():
+            with a:
+                with b:
+                    w |= 1
+                with hdl.otherwise:
+                    w |= 2
+            with hdl.otherwise:
+                w |= 3
+        o <<= w
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 1, "b": 1})["o"] == 1
+    assert sim.step({"a": 1, "b": 0})["o"] == 2
+    assert sim.step({"a": 0, "b": 1})["o"] == 3
+
+
+def test_memory_write_under_condition():
+    with hdl.Module("mw") as module:
+        we = hdl.Input(1, "we")
+        addr = hdl.Input(2, "addr")
+        data = hdl.Input(8, "data")
+        mem = hdl.MemBlock(2, 8, "mem")
+        with hdl.conditional_assignment():
+            with we:
+                mem[addr] |= data
+    sim = Simulator(module.to_oyster())
+    sim.step({"we": 1, "addr": 2, "data": 50})
+    sim.step({"we": 0, "addr": 2, "data": 99})
+    assert sim.peek_memory("mem", 2) == 50
+
+
+def test_predicated_connect_outside_block_rejected():
+    with hdl.Module("e"):
+        a = hdl.Input(1, "a")
+        w = hdl.wire(4, "w")
+        with pytest.raises(hdl.HDLError, match="conditional_assignment"):
+            w |= 1
+
+
+def test_with_wire_outside_conditional_rejected():
+    with hdl.Module("e2"):
+        a = hdl.Input(1, "a")
+        with pytest.raises(hdl.HDLError, match="conditional_assignment"):
+            with a:
+                pass
+
+
+def test_connect_at_top_of_conditional_rejected():
+    with hdl.Module("e3"):
+        a = hdl.Input(1, "a")
+        w = hdl.wire(4, "w")
+        with pytest.raises(hdl.HDLError, match="with"):
+            with hdl.conditional_assignment():
+                w |= 1
+
+
+def test_wide_condition_rejected():
+    with hdl.Module("e4"):
+        a = hdl.Input(2, "a")
+        with pytest.raises(hdl.HDLError, match="width 1"):
+            with hdl.conditional_assignment():
+                with a:
+                    pass
+
+
+def test_conditionals_do_not_nest():
+    with hdl.Module("e5"):
+        with pytest.raises(hdl.HDLError, match="nest"):
+            with hdl.conditional_assignment():
+                with hdl.conditional_assignment():
+                    pass
+
+
+def test_multiple_targets_in_one_block():
+    with hdl.Module("multi") as module:
+        sel = hdl.Input(1, "sel")
+        x = hdl.Output(4, "x")
+        y = hdl.Output(4, "y")
+        wx = hdl.wire(4, "wx")
+        wy = hdl.wire(4, "wy")
+        with hdl.conditional_assignment():
+            with sel:
+                wx |= 1
+                wy |= 2
+            with hdl.otherwise:
+                wx |= 3
+                wy |= 4
+        x <<= wx
+        y <<= wy
+    sim = Simulator(module.to_oyster())
+    outs = sim.step({"sel": 1})
+    assert (outs["x"], outs["y"]) == (1, 2)
+    outs = sim.step({"sel": 0})
+    assert (outs["x"], outs["y"]) == (3, 4)

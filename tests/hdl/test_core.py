@@ -1,0 +1,189 @@
+"""Tests for the mini-PyRTL wire/module layer."""
+
+import pytest
+
+from repro import hdl
+from repro.oyster import Simulator, ast
+from repro.oyster.printer import print_design
+
+
+def test_module_requires_context():
+    with pytest.raises(hdl.HDLError, match="no active Module"):
+        hdl.Input(4, "a")
+
+
+def test_basic_arithmetic_compiles_and_simulates():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        b = hdl.Input(8, "b")
+        o = hdl.Output(8, "o")
+        o <<= (a + b) ^ (a & b)
+    sim = Simulator(module.to_oyster())
+    out = sim.step({"a": 0x35, "b": 0x0F})["o"]
+    assert out == ((0x35 + 0x0F) ^ (0x35 & 0x0F)) & 0xFF
+
+
+def test_int_operands_coerce():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        o = hdl.Output(8, "o")
+        o <<= (a + 3) - 1
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 10})["o"] == 12
+
+
+def test_reverse_operators():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        o = hdl.Output(8, "o")
+        o <<= 100 - a
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 1})["o"] == 99
+
+
+def test_width_mismatch_raises():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        b = hdl.Input(4, "b")
+        with pytest.raises(hdl.HDLError, match="mismatch"):
+            a + b
+
+
+def test_comparisons_yield_single_bit():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        b = hdl.Input(8, "b")
+        o = hdl.Output(1, "o")
+        o <<= (a < b) & (a != b)
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 1, "b": 2})["o"] == 1
+    assert sim.step({"a": 2, "b": 2})["o"] == 0
+
+
+def test_signed_comparison_methods():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        b = hdl.Input(8, "b")
+        o = hdl.Output(1, "o")
+        o <<= a.slt(b)
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 0xFF, "b": 1})["o"] == 1  # -1 < 1 signed
+
+
+def test_slicing_and_bit_select():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        o = hdl.Output(4, "o")
+        bit = hdl.Output(1, "bit")
+        o <<= a[2:6]
+        bit <<= a[7]
+    sim = Simulator(module.to_oyster())
+    outs = sim.step({"a": 0b1011_0100})
+    assert outs["o"] == 0b1101
+    assert outs["bit"] == 1
+
+
+def test_negative_indices():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        o = hdl.Output(1, "o")
+        o <<= a[-1]
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 0x80})["o"] == 1
+
+
+def test_zext_sext_truncate():
+    with hdl.Module("m") as module:
+        a = hdl.Input(4, "a")
+        z = hdl.Output(8, "z")
+        s = hdl.Output(8, "s")
+        t = hdl.Output(2, "t")
+        z <<= a.zext(8)
+        s <<= a.sext(8)
+        t <<= a.truncate(2)
+    sim = Simulator(module.to_oyster())
+    outs = sim.step({"a": 0b1010})
+    assert outs["z"] == 0b0000_1010
+    assert outs["s"] == 0b1111_1010
+    assert outs["t"] == 0b10
+
+
+def test_register_next_semantics():
+    with hdl.Module("m") as module:
+        inc = hdl.Input(8, "inc")
+        r = hdl.Register(8, "r")
+        o = hdl.Output(8, "o")
+        r.next <<= r + inc
+        o <<= r
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"inc": 5})["o"] == 0
+    assert sim.step({"inc": 5})["o"] == 5
+
+
+def test_register_direct_drive_rejected():
+    with hdl.Module("m"):
+        r = hdl.Register(8, "r")
+        with pytest.raises(hdl.HDLError, match=".next"):
+            r <<= 1
+
+
+def test_input_and_hole_cannot_be_driven():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        h = hdl.Hole(8, "h")
+        with pytest.raises(hdl.HDLError):
+            a <<= 1
+        with pytest.raises(hdl.HDLError):
+            h <<= 1
+
+
+def test_hole_records_deps():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        h = hdl.Hole(2, "ctl", deps=[a])
+        t = hdl.wire(2, "t")
+        t <<= h
+    design = module.to_oyster()
+    assert design.holes[0].deps == ("a",)
+
+
+def test_duplicate_names_rejected():
+    with hdl.Module("m"):
+        hdl.Input(8, "a")
+        with pytest.raises(hdl.HDLError, match="duplicate"):
+            hdl.Input(8, "a")
+
+
+def test_wires_have_no_truth_value():
+    with hdl.Module("m"):
+        a = hdl.Input(1, "a")
+        with pytest.raises(hdl.HDLError, match="truth value"):
+            if a:
+                pass
+
+
+def test_label_creates_named_alias():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        named = (a + 1).label("a_plus_one")
+        o = hdl.Output(8, "o")
+        o <<= named
+    text = print_design(module.to_oyster())
+    assert "a_plus_one :=" in text
+
+
+def test_shift_operators():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        n = hdl.Input(8, "n")
+        l = hdl.Output(8, "l")
+        r = hdl.Output(8, "r")
+        s = hdl.Output(8, "s")
+        l <<= a.shl(n)
+        r <<= a.lshr(n)
+        s <<= a.ashr(n)
+    sim = Simulator(module.to_oyster())
+    outs = sim.step({"a": 0x90, "n": 2})
+    assert outs["l"] == (0x90 << 2) & 0xFF
+    assert outs["r"] == 0x90 >> 2
+    assert outs["s"] == ((0x90 - 256) >> 2) & 0xFF

@@ -1,0 +1,124 @@
+"""Error-path and helper coverage for the HDL layer."""
+
+import pytest
+
+from repro import hdl
+from repro.oyster import ast
+
+
+def test_rotate_requires_power_of_two_width():
+    with hdl.Module("m"):
+        a = hdl.Input(12, "a")
+        n = hdl.Input(4, "n")
+        with pytest.raises(hdl.HDLError, match="power-of-two"):
+            hdl.rotate_left_by(a, n)
+
+
+def test_rotate_amount_too_narrow():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        n = hdl.Input(2, "n")
+        with pytest.raises(hdl.HDLError, match="too narrow"):
+            hdl.rotate_left_by(a, n)
+
+
+def test_concat_requires_wires():
+    with hdl.Module("m"):
+        with pytest.raises(hdl.HDLError):
+            hdl.concat()
+
+
+def test_mux_needs_wire_input_for_width():
+    with hdl.Module("m"):
+        sel = hdl.Input(1, "sel")
+        with pytest.raises(hdl.HDLError, match="non-integer"):
+            hdl.mux(sel, 1, 2)
+
+
+def test_select_width_mismatch():
+    with hdl.Module("m"):
+        c = hdl.Input(1, "c")
+        a = hdl.Input(4, "a")
+        b = hdl.Input(8, "b")
+        with pytest.raises(hdl.HDLError, match="widths"):
+            hdl.select(c, a, b)
+
+
+def test_select_condition_must_be_bit():
+    with hdl.Module("m"):
+        c = hdl.Input(2, "c")
+        a = hdl.Input(4, "a")
+        with pytest.raises(hdl.HDLError, match="width 1"):
+            hdl.select(c, a, a)
+
+
+def test_clmul_width_mismatch():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        b = hdl.Input(4, "b")
+        with pytest.raises(hdl.HDLError, match="share a width"):
+            hdl.carryless_multiply(a, b)
+
+
+def test_slice_errors():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        with pytest.raises(hdl.HDLError, match="out of range"):
+            a[9]
+        with pytest.raises(hdl.HDLError, match="out of range"):
+            a[4:20]
+        with pytest.raises(hdl.HDLError, match="strided"):
+            a[0:8:2]
+        with pytest.raises(hdl.HDLError, match="cannot index"):
+            a["bit"]
+
+
+def test_resize_errors():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        with pytest.raises(hdl.HDLError, match="narrower"):
+            a.zext(4)
+        with pytest.raises(hdl.HDLError, match="narrower"):
+            a.sext(4)
+        with pytest.raises(hdl.HDLError, match="wider"):
+            a.truncate(12)
+        assert a.zext(8) is a
+        assert a.sext(8) is a
+        assert a.truncate(8) is a
+
+
+def test_bad_operand_types():
+    with hdl.Module("m"):
+        a = hdl.Input(8, "a")
+        with pytest.raises(hdl.HDLError, match="cannot use"):
+            a + "three"
+
+
+def test_bare_int_needs_width_hint():
+    from repro.hdl.corecircuits import _as_wire
+
+    with hdl.Module("m"):
+        with pytest.raises(hdl.HDLError, match="width"):
+            _as_wire(5)
+
+
+# ---------------------------------------------------------------------------
+# Design dataclass helpers
+# ---------------------------------------------------------------------------
+
+
+def test_design_helpers():
+    from repro.oyster import parse_design
+
+    design = parse_design(
+        "design h:\n  input a 4\n  hole x 1\n  t := a[0]\n"
+    )
+    assert design.decl_of("a").width == 4
+    assert design.decl_of("ghost") is None
+    replaced = design.replace_holes(
+        extra_stmts=[ast.Assign("x", ast.Const(1, 1))]
+    )
+    assert replaced.holes == []
+    assert replaced.stmts[0] == ast.Assign("x", ast.Const(1, 1))
+    restmts = design.with_stmts([ast.Assign("t", ast.Var("a"))])
+    assert len(restmts.stmts) == 1

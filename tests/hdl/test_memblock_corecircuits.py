@@ -1,0 +1,165 @@
+"""Tests for MemBlock and the combinational building blocks."""
+
+import pytest
+
+from repro import hdl
+from repro.oyster import Simulator
+
+
+def test_mem_read_write_roundtrip():
+    with hdl.Module("m") as module:
+        addr = hdl.Input(3, "addr")
+        data = hdl.Input(8, "data")
+        we = hdl.Input(1, "we")
+        o = hdl.Output(8, "o")
+        mem = hdl.MemBlock(3, 8, "mem")
+        o <<= mem[addr]
+        mem.write(addr, data, enable=we)
+    sim = Simulator(module.to_oyster())
+    sim.step({"addr": 5, "data": 123, "we": 1})
+    assert sim.step({"addr": 5, "data": 0, "we": 0})["o"] == 123
+
+
+def test_mem_indexed_acts_as_value():
+    with hdl.Module("m") as module:
+        addr = hdl.Input(2, "addr")
+        o = hdl.Output(8, "o")
+        mem = hdl.MemBlock(2, 8, "mem")
+        o <<= mem[addr] + 1
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"addr": 0})["o"] == 1
+
+
+def test_pure_write_emits_no_read():
+    with hdl.Module("m") as module:
+        addr = hdl.Input(2, "addr")
+        data = hdl.Input(8, "data")
+        we = hdl.Input(1, "we")
+        mem = hdl.MemBlock(2, 8, "mem")
+        with hdl.conditional_assignment():
+            with we:
+                mem[addr] |= data
+    design = module.to_oyster()
+    from repro.oyster import ast
+    reads = [
+        stmt for stmt in design.stmts
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.expr, ast.Read)
+    ]
+    assert reads == []
+
+
+def test_mem_address_width_checked():
+    with hdl.Module("m"):
+        addr = hdl.Input(4, "addr")
+        mem = hdl.MemBlock(2, 8, "mem")
+        with pytest.raises(hdl.HDLError, match="width"):
+            mem[addr]
+
+
+def test_mem_data_width_checked():
+    with hdl.Module("m"):
+        addr = hdl.Input(2, "addr")
+        data = hdl.Input(4, "data")
+        mem = hdl.MemBlock(2, 8, "mem")
+        with pytest.raises(hdl.HDLError, match="width"):
+            mem.write(addr, data)
+
+
+def test_mux_is_pyrtl_argument_order():
+    # mux(select, falsecase, truecase)
+    with hdl.Module("m") as module:
+        sel = hdl.Input(1, "sel")
+        o = hdl.Output(8, "o")
+        o <<= hdl.mux(sel, hdl.Const(10, 8), hdl.Const(20, 8))
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"sel": 0})["o"] == 10
+    assert sim.step({"sel": 1})["o"] == 20
+
+
+def test_wide_mux():
+    with hdl.Module("m") as module:
+        sel = hdl.Input(3, "sel")
+        a = hdl.Input(8, "a")
+        o = hdl.Output(8, "o")
+        o <<= hdl.mux(sel, a, a + 1, a + 2, a + 3, a + 4, a + 5, a + 6, a + 7)
+    sim = Simulator(module.to_oyster())
+    for k in range(8):
+        assert sim.step({"sel": k, "a": 100})["o"] == 100 + k
+
+
+def test_mux_input_count_checked():
+    with hdl.Module("m"):
+        sel = hdl.Input(2, "sel")
+        a = hdl.Input(8, "a")
+        with pytest.raises(hdl.HDLError, match="needs 4 inputs"):
+            hdl.mux(sel, a, a)
+
+
+def test_select_is_truecase_first():
+    with hdl.Module("m") as module:
+        c = hdl.Input(1, "c")
+        o = hdl.Output(8, "o")
+        o <<= hdl.select(c, hdl.Const(1, 8), hdl.Const(2, 8))
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"c": 1})["o"] == 1
+    assert sim.step({"c": 0})["o"] == 2
+
+
+def test_concat_msb_first():
+    with hdl.Module("m") as module:
+        a = hdl.Input(4, "a")
+        b = hdl.Input(4, "b")
+        c = hdl.Input(4, "c")
+        o = hdl.Output(12, "o")
+        o <<= hdl.concat(a, b, c)
+    sim = Simulator(module.to_oyster())
+    assert sim.step({"a": 0xA, "b": 0xB, "c": 0xC})["o"] == 0xABC
+
+
+def test_barrel_shifts():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        n = hdl.Input(3, "n")
+        l = hdl.Output(8, "l")
+        r = hdl.Output(8, "r")
+        s = hdl.Output(8, "s")
+        l <<= hdl.barrel_shift_left(a, n)
+        r <<= hdl.barrel_shift_right(a, n)
+        s <<= hdl.barrel_shift_right(a, n, arithmetic=True)
+    sim = Simulator(module.to_oyster())
+    outs = sim.step({"a": 0x96, "n": 3})
+    assert outs["l"] == (0x96 << 3) & 0xFF
+    assert outs["r"] == 0x96 >> 3
+    assert outs["s"] == ((0x96 - 256) >> 3) & 0xFF
+
+
+def test_rotate_left_by_wire():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        n = hdl.Input(3, "n")
+        o = hdl.Output(8, "o")
+        o <<= hdl.rotate_left_by(a, n)
+    sim = Simulator(module.to_oyster())
+    value = 0b1011_0010
+    for n in range(8):
+        expected = ((value << n) | (value >> (8 - n))) & 0xFF
+        assert sim.step({"a": value, "n": n})["o"] == expected
+
+
+def test_carryless_multiply_matches_reference():
+    with hdl.Module("m") as module:
+        a = hdl.Input(8, "a")
+        b = hdl.Input(8, "b")
+        o = hdl.Output(16, "o")
+        o <<= hdl.carryless_multiply(a, b)
+    sim = Simulator(module.to_oyster())
+
+    def clmul(x, y):
+        out = 0
+        for i in range(8):
+            if (y >> i) & 1:
+                out ^= x << i
+        return out
+
+    for x, y in [(0, 0), (255, 255), (0x35, 0x8C), (1, 170), (0x80, 0x80)]:
+        assert sim.step({"a": x, "b": y})["o"] == clmul(x, y)

@@ -1,0 +1,274 @@
+"""Tests for the ILA-to-constraints compiler (Figure 8 + α substitution)."""
+
+import pytest
+
+from repro.abstraction import parse_abstraction
+from repro.ila import BvConst, Ila, Ite, Load, Store
+from repro.ila.compiler import CompileError, ConstraintCompiler
+from repro.oyster import SymbolicEvaluator, parse_design
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNSAT
+
+
+def _simple_setup():
+    """A 1-cycle incrementer: spec acc' = acc + inc, datapath matches."""
+    ila = Ila("inc")
+    inc = ila.new_bv_input("inc", 8)
+    acc = ila.new_bv_state("acc", 8)
+    instr = ila.new_instr("INC")
+    instr.set_decode(inc != 0)
+    instr.set_update(acc, acc + inc)
+    design = parse_design(
+        "design d:\n  input inc 8\n  register acc 8\n"
+        "  acc := acc + inc\n"
+    )
+    alpha = parse_abstraction(
+        "inc: {name: 'inc', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    return ila, design, alpha
+
+
+def _compile_one(ila, design, alpha, **eval_kwargs):
+    trace = SymbolicEvaluator(design, **eval_kwargs).run(alpha.cycles)
+    compiler = ConstraintCompiler(ila, alpha, trace)
+    compiled = compiler.compile_instruction(ila.instructions[0])
+    return trace, compiled
+
+
+def _is_valid(trace, compiled):
+    side = T.and_(*trace.side_conditions)
+    solver = Solver()
+    solver.add(T.and_(side, compiled.antecedent(),
+                      T.bv_not(compiled.consequent())))
+    return solver.check() is UNSAT
+
+
+def test_correct_datapath_proves():
+    ila, design, alpha = _simple_setup()
+    trace, compiled = _compile_one(ila, design, alpha)
+    assert _is_valid(trace, compiled)
+
+
+def test_wrong_datapath_fails():
+    ila, _, alpha = _simple_setup()
+    wrong = parse_design(
+        "design d:\n  input inc 8\n  register acc 8\n"
+        "  acc := acc - inc\n"
+    )
+    trace, compiled = _compile_one(ila, wrong, alpha)
+    assert not _is_valid(trace, compiled)
+
+
+def test_precondition_compiles_over_inputs():
+    ila, design, alpha = _simple_setup()
+    trace, compiled = _compile_one(ila, design, alpha)
+    free = {v.name for v in T.free_variables(compiled.precondition)}
+    assert free == {"inc@1"}
+
+
+def test_frame_condition_for_unmentioned_state():
+    """A spec with a second state element gets an automatic frame."""
+    ila = Ila("two")
+    inc = ila.new_bv_input("inc", 8)
+    acc = ila.new_bv_state("acc", 8)
+    other = ila.new_bv_state("other", 8)
+    instr = ila.new_instr("INC")
+    instr.set_decode(inc != 0)
+    instr.set_update(acc, acc + inc)
+    alpha = parse_abstraction(
+        "inc: {name: 'inc', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "other: {name: 'o2', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    # A datapath that corrupts `o2` must be rejected by the frame.
+    bad = parse_design(
+        "design d:\n  input inc 8\n  register acc 8\n  register o2 8\n"
+        "  acc := acc + inc\n  o2 := o2 + 8'1\n"
+    )
+    trace, compiled = _compile_one(ila, bad, alpha)
+    assert [label for label, _ in compiled.frame_conditions] == ["frame:other"]
+    assert not _is_valid(trace, compiled)
+    # One that holds it passes.
+    good = parse_design(
+        "design d:\n  input inc 8\n  register acc 8\n  register o2 8\n"
+        "  acc := acc + inc\n  o2 := o2\n"
+    )
+    trace, compiled = _compile_one(ila, good, alpha)
+    assert _is_valid(trace, compiled)
+
+
+def _memory_setup(store_addr="dest"):
+    ila = Ila("st")
+    dest = ila.new_bv_input("dest", 2)
+    val = ila.new_bv_input("val", 8)
+    regs = ila.new_mem_state("regs", 2, 8)
+    instr = ila.new_instr("ST")
+    instr.set_decode(val != 0)
+    instr.set_update(regs, Store(regs, dest, val))
+    alpha = parse_abstraction(
+        "dest: {name: 'dest', type: input, [read: 1]}\n"
+        "val: {name: 'val', type: input, [read: 1]}\n"
+        "regs: {name: 'rf', type: memory, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    return ila, alpha
+
+
+def test_memory_update_extensional_equality():
+    ila, alpha = _memory_setup()
+    good = parse_design(
+        "design d:\n  input dest 2\n  input val 8\n  memory rf 2 8\n"
+        "  write rf dest val 1'1\n"
+    )
+    trace, compiled = _compile_one(ila, good, alpha)
+    assert _is_valid(trace, compiled)
+    # Writing the wrong address is caught (the fresh ∀ address sees it).
+    bad = parse_design(
+        "design d:\n  input dest 2\n  input val 8\n  memory rf 2 8\n"
+        "  write rf (dest + 2'1) val 1'1\n"
+    )
+    trace, compiled = _compile_one(ila, bad, alpha)
+    assert not _is_valid(trace, compiled)
+    # Clobbering a second address is also caught.
+    clobber = parse_design(
+        "design d:\n  input dest 2\n  input val 8\n  memory rf 2 8\n"
+        "  write rf dest val 1'1\n  write rf (dest + 2'1) val 1'1\n"
+    )
+    trace, compiled = _compile_one(ila, clobber, alpha)
+    assert not _is_valid(trace, compiled)
+
+
+def test_memory_frame_rejects_spurious_write():
+    """An instruction not updating memory must leave it untouched."""
+    ila = Ila("nop")
+    go = ila.new_bv_input("go", 1)
+    acc = ila.new_bv_state("acc", 8)
+    regs = ila.new_mem_state("regs", 2, 8)
+    instr = ila.new_instr("NOP")
+    instr.set_decode(go == 1)
+    instr.set_update(acc, acc)
+    alpha = parse_abstraction(
+        "go: {name: 'go', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "regs: {name: 'rf', type: memory, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    bad = parse_design(
+        "design d:\n  input go 1\n  register acc 8\n  memory rf 2 8\n"
+        "  acc := acc\n  write rf 2'0 acc go\n"
+    )
+    trace, compiled = _compile_one(ila, bad, alpha)
+    assert not _is_valid(trace, compiled)
+    good = parse_design(
+        "design d:\n  input go 1\n  register acc 8\n  memory rf 2 8\n"
+        "  acc := acc\n  write rf 2'0 acc 1'0\n"
+    )
+    trace, compiled = _compile_one(ila, good, alpha)
+    assert _is_valid(trace, compiled)
+
+
+def test_memory_ite_update():
+    """Conditional store (e.g. skip when dest == 0) compiles correctly."""
+    ila = Ila("cst")
+    dest = ila.new_bv_input("dest", 2)
+    val = ila.new_bv_input("val", 8)
+    regs = ila.new_mem_state("regs", 2, 8)
+    instr = ila.new_instr("CST")
+    instr.set_decode(val != 0)
+    instr.set_update(
+        regs, Ite(dest == 0, regs, Store(regs, dest, val))
+    )
+    alpha = parse_abstraction(
+        "dest: {name: 'dest', type: input, [read: 1]}\n"
+        "val: {name: 'val', type: input, [read: 1]}\n"
+        "regs: {name: 'rf', type: memory, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    good = parse_design(
+        "design d:\n  input dest 2\n  input val 8\n  memory rf 2 8\n"
+        "  en := dest != 2'0\n  write rf dest val en\n"
+    )
+    trace, compiled = _compile_one(ila, good, alpha)
+    assert _is_valid(trace, compiled)
+    bad = parse_design(
+        "design d:\n  input dest 2\n  input val 8\n  memory rf 2 8\n"
+        "  write rf dest val 1'1\n"
+    )
+    trace, compiled = _compile_one(ila, bad, alpha)
+    assert not _is_valid(trace, compiled)
+
+
+def test_assume_signal_conjunction():
+    """α assumes weaken the precondition (flushed instructions excluded)."""
+    ila = Ila("va")
+    go = ila.new_bv_input("go", 1)
+    acc = ila.new_bv_state("acc", 8)
+    instr = ila.new_instr("GO")
+    instr.set_decode(go == 1)
+    instr.set_update(acc, acc + 1)
+    # Datapath only increments when `valid` (an arbitrary initial register).
+    design = parse_design(
+        "design d:\n  input go 1\n  register acc 8\n  register valid 1\n"
+        "  acc := if valid & go then (acc + 8'1) else (acc)\n"
+        "  valid := valid\n"
+    )
+    alpha_without = parse_abstraction(
+        "go: {name: 'go', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    trace, compiled = _compile_one(ila, design, alpha_without)
+    assert not _is_valid(trace, compiled)  # valid=0 falsifies the spec
+    alpha_with = parse_abstraction(
+        "go: {name: 'go', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1, [valid: 1]\n"
+    )
+    trace, compiled = _compile_one(ila, design, alpha_with)
+    assert len(compiled.assumptions) == 1
+    assert _is_valid(trace, compiled)
+
+
+def test_fetch_role_selects_read_only_entry():
+    """A unified spec memory splits into i_mem (fetch) and d_mem (data)."""
+    ila = Ila("fetchy")
+    pc = ila.new_bv_state("pc", 4)
+    mem = ila.new_mem_state("mem", 4, 8)
+    acc = ila.new_bv_state("acc", 8)
+    fetched = ila.set_fetch(Load(mem, pc))
+    instr = ila.new_instr("LOADACC")
+    instr.set_decode(fetched == BvConst(1, 8))
+    # Data load from address 2 (distinct from the fetch load).
+    instr.set_update(acc, Load(mem, BvConst(2, 4)))
+    instr.set_update(pc, pc + 1)
+    alpha = parse_abstraction(
+        "pc:  {name: 'pc', type: register, [read: 1, write: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "mem: {name: 'i_mem', type: memory, [read: 1]}\n"
+        "mem: {name: 'd_mem', type: memory, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    design = parse_design(
+        "design d:\n  register pc 4\n  register acc 8\n"
+        "  memory i_mem 4 8\n  memory d_mem 4 8\n"
+        "  inst := read i_mem pc\n"
+        "  acc := if inst == 8'1 then (read d_mem 4'2) else (acc)\n"
+        "  pc := if inst == 8'1 then (pc + 4'1) else (pc)\n"
+    )
+    trace, compiled = _compile_one(ila, design, alpha)
+    assert _is_valid(trace, compiled)
+
+
+def test_missing_alpha_entry_raises():
+    ila, design, _ = _simple_setup()
+    bad_alpha = parse_abstraction(
+        "inc: {name: 'inc', type: input, [read: 1]}\n"
+        "with cycles: 1\n"
+    )
+    trace = SymbolicEvaluator(design).run(1)
+    compiler = ConstraintCompiler(ila, bad_alpha, trace)
+    with pytest.raises(Exception, match="no abstraction entry"):
+        compiler.compile_instruction(ila.instructions[0])

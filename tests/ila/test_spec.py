@@ -1,0 +1,155 @@
+"""Tests for the ILA modelling library."""
+
+import pytest
+
+from repro.ila import (
+    And, BvConst, Concat, Extract, Ila, Implies, Ite, Load, Not, Or, SExt,
+    Store, ZExt,
+)
+from repro.ila.spec import SpecError
+from repro.ila import ast
+
+
+def _small_ila():
+    ila = Ila("t")
+    op = ila.new_bv_input("op", 2)
+    acc = ila.new_bv_state("acc", 8)
+    mem = ila.new_mem_state("mem", 4, 8)
+    return ila, op, acc, mem
+
+
+def test_declarations_register():
+    ila, op, acc, mem = _small_ila()
+    assert ila.inputs["op"] is op
+    assert ila.states["acc"] is acc
+    assert ila.memories["mem"] is mem
+
+
+def test_duplicate_declaration_rejected():
+    ila, *_ = _small_ila()
+    with pytest.raises(SpecError, match="duplicate"):
+        ila.new_bv_input("op", 4)
+
+
+def test_operator_widths():
+    ila, op, acc, mem = _small_ila()
+    assert (acc + 1).width == 8
+    assert (acc == 3).width == 1
+    assert Extract(acc, 7, 4).width == 4
+    assert Concat(acc, acc).width == 16
+    assert ZExt(op, 8).width == 8
+    assert SExt(op, 8).width == 8
+    assert Load(mem, Extract(acc, 3, 0)).width == 8
+
+
+def test_width_mismatch_raises():
+    ila, op, acc, _ = _small_ila()
+    with pytest.raises(ValueError):
+        _ = acc + op
+    with pytest.raises(ValueError):
+        Ite(acc == 1, acc, op)
+
+
+def test_bool_connectives_require_bits():
+    ila, op, acc, _ = _small_ila()
+    with pytest.raises(ValueError):
+        And(acc, acc)
+    c = acc == 1
+    assert And(c, c).width == 1
+    assert Or(c, Not(c)).width == 1
+    assert Implies(c, c).width == 1
+
+
+def test_load_store_type_checks():
+    ila, op, acc, mem = _small_ila()
+    addr = Extract(acc, 3, 0)
+    with pytest.raises(ValueError, match="address"):
+        Load(mem, acc)  # 8-bit address into 4-bit memory
+    store = Store(mem, addr, acc)
+    assert store.addr_width == 4 and store.data_width == 8
+    with pytest.raises(ValueError):
+        Store(mem, addr, Extract(acc, 3, 0))
+
+
+def test_memory_ite():
+    ila, op, acc, mem = _small_ila()
+    addr = Extract(acc, 3, 0)
+    conditional = Ite(acc == 0, mem, Store(mem, addr, acc))
+    assert isinstance(conditional, ast.MemIteExpr)
+
+
+def test_instruction_construction():
+    ila, op, acc, mem = _small_ila()
+    instr = ila.new_instr("INC")
+    instr.set_decode(op == 1)
+    instr.set_update(acc, acc + 1)
+    assert instr.updates_state("acc")
+    assert not instr.updates_state("mem")
+    assert ila.instr("INC") is instr
+
+
+def test_instruction_errors():
+    ila, op, acc, mem = _small_ila()
+    instr = ila.new_instr("BAD")
+    with pytest.raises(SpecError, match="width-1"):
+        instr.set_decode(acc)
+    instr.set_decode(op == 0)
+    with pytest.raises(SpecError, match="two decodes"):
+        instr.set_decode(op == 1)
+    with pytest.raises(SpecError, match="input"):
+        instr.set_update(op, BvConst(0, 2))
+    instr.set_update(acc, acc)
+    with pytest.raises(SpecError, match="twice"):
+        instr.set_update(acc, acc + 1)
+    with pytest.raises(SpecError, match="memory-valued"):
+        instr.set_update(mem, acc)
+
+
+def test_memconst_cannot_be_updated():
+    ila = Ila("c")
+    op = ila.new_bv_input("op", 1)
+    rom = ila.new_mem_const("rom", 4, 8, [1, 2, 3])
+    acc = ila.new_bv_state("acc", 8)
+    instr = ila.new_instr("X")
+    instr.set_decode(op == 0)
+    with pytest.raises(SpecError, match="read-only"):
+        instr.set_update(rom, Store(rom, Extract(acc, 3, 0), acc))
+
+
+def test_validate_requires_decode_and_instructions():
+    ila = Ila("v")
+    with pytest.raises(SpecError, match="no instructions"):
+        ila.validate()
+    op = ila.new_bv_input("op", 1)
+    ila.new_instr("X")
+    with pytest.raises(SpecError, match="no decode"):
+        ila.validate()
+
+
+def test_decode_fields_and_fetch():
+    ila = Ila("f")
+    pc = ila.new_bv_state("pc", 8)
+    mem = ila.new_mem_state("mem", 8, 8)
+    fetch = ila.set_fetch(Load(mem, pc))
+    field = ila.declare_decode_field("opcode", Extract(fetch, 3, 0))
+    assert ila.fetch_expr is fetch
+    assert ila.decode_fields["opcode"] is field
+    with pytest.raises(SpecError, match="duplicate"):
+        ila.declare_decode_field("opcode", field)
+
+
+def test_duplicate_instruction_rejected():
+    ila, op, acc, mem = _small_ila()
+    ila.new_instr("A")
+    with pytest.raises(SpecError, match="duplicate"):
+        ila.new_instr("A")
+
+
+def test_ilang_style_aliases():
+    ila = Ila("alias")
+    op = ila.NewBvInput("op", 2)
+    acc = ila.NewBvState("acc", 8)
+    instr = ila.NewInstr("I")
+    instr.SetDecode(op == 0)
+    instr.SetUpdate(acc, acc)
+    assert ila.validate() is ila

@@ -1,0 +1,195 @@
+"""Netlist synthesis/optimization tests, incl. differential equivalence."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import (
+    Netlist,
+    SynthesisOptions,
+    gate_count,
+    netlist_stats,
+    optimize,
+    synthesize_netlist,
+)
+from repro.netlist.synth import NetlistSynthesisError
+from repro.oyster import Simulator, parse_design
+
+
+def test_basic_gate_construction():
+    netlist = Netlist("t")
+    a = netlist.add("input", name="a")
+    b = netlist.add("input", name="b")
+    out = netlist.and_(a, b)
+    netlist.add("output", (out,), name="o")
+    netlist.validate()
+    values, _ = netlist.evaluate({"a": 1, "b": 1})
+    assert values[out] == 1
+
+
+def test_validate_rejects_unconnected_dff():
+    netlist = Netlist("t")
+    netlist.new_dff("d")
+    with pytest.raises(ValueError, match="unconnected"):
+        netlist.validate()
+
+
+def test_validate_rejects_forward_comb_reference():
+    netlist = Netlist("t")
+    a = netlist.add("input", name="a")
+    netlist.gates[a].inputs = (a + 1,)  # corrupt it
+    netlist.gates[a].kind = "not"
+    netlist.add("input", name="b")
+    with pytest.raises(ValueError, match="forward"):
+        netlist.validate()
+
+
+def test_mux_lowering_counts_four_gates():
+    netlist = Netlist("t")
+    sel = netlist.add("input", name="s")
+    a = netlist.add("input", name="a")
+    b = netlist.add("input", name="b")
+    before = len(netlist)
+    netlist.mux(sel, a, b)
+    assert len(netlist) - before == 4  # not, 2x and, or
+
+
+DESIGN = """
+design dut:
+  input a 6
+  input b 6
+  input sel 1
+  register acc 6
+  output o 6
+  t := if sel then (a + b) else (a ^ acc)
+  u := t - b
+  v := if a <u b then u else (u >>u 6'1)
+  acc := v
+  o := v | b
+"""
+
+
+def _simulate_netlist(netlist, design, inputs_by_cycle):
+    widths = {d.name: d.width for d in design.inputs}
+    out_width = design.outputs[0].width
+    state = {}
+    outputs = []
+    for inputs in inputs_by_cycle:
+        bits = {}
+        for name, value in inputs.items():
+            for i in range(widths[name]):
+                bits[f"{name}[{i}]"] = (value >> i) & 1
+        values, state = netlist.evaluate(bits, state)
+        word = 0
+        for index, gate in enumerate(netlist.gates):
+            if gate.kind == "output":
+                bit_index = int(gate.name.split("[")[1].rstrip("]"))
+                word |= values[index] << bit_index
+        outputs.append(word)
+    return outputs
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 63), st.integers(0, 1)),
+    min_size=1, max_size=8,
+))
+def test_raw_and_optimized_netlists_match_simulator(stimulus):
+    design = parse_design(DESIGN)
+    raw = synthesize_netlist(design)
+    optimized = optimize(raw)
+    assert gate_count(optimized) <= gate_count(raw)
+    inputs_by_cycle = [
+        {"a": a, "b": b, "sel": s} for a, b, s in stimulus
+    ]
+    sim = Simulator(design)
+    expected = [out["o"] for out in sim.run(inputs_by_cycle)]
+    assert _simulate_netlist(raw, design, inputs_by_cycle) == expected
+    assert _simulate_netlist(optimized, design, inputs_by_cycle) == expected
+
+
+def test_optimizer_removes_dead_logic():
+    design = parse_design(
+        "design dead:\n  input a 8\n  output o 8\n"
+        "  unused := a * a\n  o := a\n"
+    )
+    raw = synthesize_netlist(design)
+    optimized = optimize(raw)
+    assert gate_count(optimized) < gate_count(raw)
+    stats = netlist_stats(optimized)
+    assert stats["logic_gates"] == 0  # o := a is pure wiring
+
+
+def test_optimizer_folds_constants():
+    design = parse_design(
+        "design cf:\n  input a 8\n  output o 8\n"
+        "  t := a & 8'0\n  o := t | a\n"
+    )
+    optimized = optimize(synthesize_netlist(design))
+    assert netlist_stats(optimized)["logic_gates"] == 0
+
+
+def test_optimizer_shares_common_subexpressions():
+    design = parse_design(
+        "design cse:\n  input a 8\n  input b 8\n  output o 1\n"
+        "  t1 := a + b\n  t2 := a + b\n  o := t1 == t2\n"
+    )
+    optimized = optimize(synthesize_netlist(design))
+    # t1 == t2 must fold to constant 1 after CSE.
+    assert netlist_stats(optimized)["logic_gates"] == 0
+
+
+def test_small_memory_expands_to_dffs():
+    design = parse_design(
+        "design m:\n  input a 2\n  input d 4\n  input we 1\n  output o 4\n"
+        "  memory mem 2 4\n  o := read mem a\n  write mem a d we\n"
+    )
+    netlist = synthesize_netlist(design)
+    assert netlist_stats(netlist)["flops"] == 16
+
+
+def test_large_memory_stays_macro():
+    design = parse_design(
+        "design m:\n  input a 20 \n  output o 8\n  memory mem 20 8\n"
+        "  o := read mem a\n"
+    )
+    netlist = synthesize_netlist(design)
+    stats = netlist_stats(netlist)
+    assert stats["flops"] == 0
+    assert stats["by_kind"]["memrd"] == 8
+
+
+def test_memory_expansion_threshold_configurable():
+    design = parse_design(
+        "design m:\n  input a 7\n  output o 4\n  memory mem 7 4\n"
+        "  o := read mem a\n"
+    )
+    default = synthesize_netlist(design)
+    expanded = synthesize_netlist(
+        design, options=SynthesisOptions(expand_memories_to=7)
+    )
+    assert netlist_stats(default)["flops"] == 0
+    assert netlist_stats(expanded)["flops"] == 4 * 128
+
+
+def test_holes_require_values():
+    design = parse_design(
+        "design h:\n  input a 4\n  hole ctl 1\n  t := if ctl then a else ~a\n"
+    )
+    with pytest.raises(NetlistSynthesisError, match="unfilled holes"):
+        synthesize_netlist(design)
+    netlist = synthesize_netlist(design, hole_values={"ctl": 1})
+    netlist.validate()
+
+
+def test_sequential_counter_equivalence():
+    design = parse_design(
+        "design c:\n  input en 1\n  register n 5\n  output o 5\n"
+        "  n := if en then (n + 5'1) else (n)\n  o := n\n"
+    )
+    netlist = optimize(synthesize_netlist(design))
+    sim = Simulator(design)
+    stimulus = [{"en": e} for e in (1, 1, 0, 1, 1, 1, 0)]
+    expected = [out["o"] for out in sim.run(stimulus)]
+    assert _simulate_netlist(netlist, design, stimulus) == expected

@@ -1,0 +1,60 @@
+"""Tests for the static analyses (variable uses, dependency closure)."""
+
+from repro.oyster import parse_design
+from repro.oyster.analysis import (
+    direct_dependencies,
+    expr_vars,
+    stmt_uses,
+    transitive_dependencies,
+)
+from repro.oyster.parser import parse_expr
+
+
+def test_expr_vars_collects_all_reads():
+    expr = parse_expr("if c then (a + b) else (read m x[3:0])")
+    assert expr_vars(expr) == {"c", "a", "b", "x"}
+
+
+def test_stmt_uses_write():
+    design = parse_design(
+        "design d:\n  input a 4\n  input v 8\n  input en 1\n"
+        "  memory m 4 8\n  write m a v en\n"
+    )
+    assert stmt_uses(design.stmts[0]) == {"a", "v", "en"}
+
+
+DESIGN = """
+design dep:
+  input a 4
+  register r 4
+  hole h 4
+
+  t := a + h
+  u := t & r
+  r := u
+  out := u | a
+"""
+
+
+def test_direct_dependencies_skip_registers_by_default():
+    design = parse_design(DESIGN)
+    deps = direct_dependencies(design)
+    assert deps["t"] == {"a", "h"}
+    assert deps["u"] == {"t", "r"}
+    assert "r" not in deps  # register next-value excluded
+    deps_all = direct_dependencies(design, through_registers=True)
+    assert deps_all["r"] == {"u"}
+
+
+def test_transitive_dependencies():
+    design = parse_design(DESIGN)
+    reached = transitive_dependencies(design, ["out"])
+    assert {"out", "u", "t", "a", "h", "r"} <= reached
+
+
+def test_transitive_stop_names_are_opaque():
+    design = parse_design(DESIGN)
+    reached = transitive_dependencies(design, ["out"], stop_names=["u"])
+    assert "u" in reached
+    assert "t" not in reached  # not traced through u
+    assert "a" in reached  # still reached directly via out := u | a

@@ -1,0 +1,131 @@
+"""Concrete simulator tests."""
+
+import pytest
+
+from repro.oyster import Simulator, parse_design
+from repro.oyster.interpreter import SimulationError
+
+
+COUNTER = """
+design counter:
+  input enable 1
+  register count 8
+  output out 8
+
+  count := if enable then (count + 8'1) else (count)
+  out := count
+"""
+
+
+def test_counter_counts():
+    sim = Simulator(parse_design(COUNTER))
+    outs = [sim.step({"enable": 1})["out"] for _ in range(4)]
+    assert outs == [0, 1, 2, 3]
+    sim.step({"enable": 0})
+    assert sim.peek("count") == 4
+    sim.step({"enable": 0})
+    assert sim.peek("count") == 4
+
+
+def test_register_init():
+    sim = Simulator(parse_design(COUNTER.replace(
+        "register count 8", "register count 8 init 250")))
+    sim.step({"enable": 1})
+    assert sim.peek("count") == 251
+
+
+def test_missing_input_raises():
+    sim = Simulator(parse_design(COUNTER))
+    with pytest.raises(SimulationError, match="missing input"):
+        sim.step({})
+
+
+def test_unbound_hole_raises():
+    design = parse_design(
+        "design h:\n  input a 1\n  hole x 1\n  t := a & x\n"
+    )
+    with pytest.raises(SimulationError, match="hole"):
+        Simulator(design)
+    sim = Simulator(design, hole_values={"x": 1})
+    sim.step({"a": 1})
+    assert sim.peek("t") == 1
+
+
+MEMORY = """
+design memdut:
+  input addr 4
+  input data 8
+  input we 1
+  output out 8
+
+  memory m 4 8
+  out := read m addr
+  write m addr data we
+"""
+
+
+def test_memory_write_visible_next_cycle():
+    sim = Simulator(parse_design(MEMORY))
+    first = sim.step({"addr": 3, "data": 55, "we": 1})
+    assert first["out"] == 0  # read sees start-of-cycle contents
+    second = sim.step({"addr": 3, "data": 0, "we": 0})
+    assert second["out"] == 55
+
+
+def test_memory_write_gated_by_enable():
+    sim = Simulator(parse_design(MEMORY))
+    sim.step({"addr": 3, "data": 55, "we": 0})
+    assert sim.peek_memory("m", 3) == 0
+
+
+def test_memory_init():
+    sim = Simulator(parse_design(MEMORY), memory_init={"m": {7: 99}})
+    assert sim.step({"addr": 7, "data": 0, "we": 0})["out"] == 99
+
+
+def test_register_reads_old_value_within_cycle():
+    design = parse_design(
+        "design swap:\n  register a 8 init 1\n  register b 8 init 2\n"
+        "  a := b\n  b := a\n"
+    )
+    sim = Simulator(design)
+    sim.step({})
+    assert sim.peek("a") == 2 and sim.peek("b") == 1
+
+
+def test_multiple_writes_last_wins():
+    design = parse_design(
+        "design w2:\n  input v 8\n  memory m 2 8\n"
+        "  write m 2'0 v 1'1\n  write m 2'0 (v + 8'1) 1'1\n"
+    )
+    sim = Simulator(design)
+    sim.step({"v": 10})
+    assert sim.peek_memory("m", 0) == 11
+
+
+def test_all_operators_execute():
+    design = parse_design(
+        "design ops:\n  input a 8\n  input b 8\n"
+        "  t1 := a - b\n  t2 := a * b\n  t3 := a << 8'2\n"
+        "  t4 := a >>u 8'1\n  t5 := a >>s 8'1\n  t6 := a <s b\n"
+        "  t7 := a >=u b\n  t8 := -a\n  t9 := a != b\n"
+    )
+    sim = Simulator(design)
+    sim.step({"a": 0x90, "b": 3})
+    assert sim.peek("t1") == (0x90 - 3) & 0xFF
+    assert sim.peek("t2") == (0x90 * 3) & 0xFF
+    assert sim.peek("t3") == (0x90 << 2) & 0xFF
+    assert sim.peek("t4") == 0x90 >> 1
+    assert sim.peek("t5") == ((0x90 - 256) >> 1) & 0xFF
+    assert sim.peek("t6") == 1  # 0x90 is negative signed
+    assert sim.peek("t7") == 1
+    assert sim.peek("t8") == (-0x90) & 0xFF
+    assert sim.peek("t9") == 1
+
+
+def test_peek_unknown_signal():
+    sim = Simulator(parse_design(COUNTER))
+    with pytest.raises(SimulationError):
+        sim.peek("ghost")
+    with pytest.raises(SimulationError):
+        sim.peek_memory("ghost", 0)

@@ -1,0 +1,122 @@
+"""Unit tests for the symbolic memory model (UF + association list)."""
+
+import pytest
+
+from repro.oyster.memory import ConstMemory, SymbolicMemory
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNSAT
+
+
+def _memory(name="mem", addr=4, data=8):
+    side = []
+    return SymbolicMemory(name, addr, data, side), side
+
+
+def test_repeated_reads_same_address_share_variable():
+    memory, side = _memory()
+    addr = T.bv_var("a", 4)
+    assert memory.read(addr) is memory.read(addr)
+    assert side == []
+
+
+def test_distinct_addresses_get_consistency_conditions():
+    memory, side = _memory()
+    first = memory.read(T.bv_var("a1", 4))
+    second = memory.read(T.bv_var("a2", 4))
+    assert first is not second
+    assert len(side) == 1  # a1 == a2 -> v1 == v2
+
+
+def test_constant_addresses_skip_trivial_conditions():
+    memory, side = _memory()
+    memory.read(T.bv_const(1, 4))
+    memory.read(T.bv_const(2, 4))
+    assert side == []  # distinct constants can never alias
+
+
+def test_write_then_read_folds_through_ite():
+    memory, side = _memory()
+    data = T.bv_var("d", 8)
+    written = memory.written(T.bv_const(3, 4), data, T.TRUE)
+    assert written.read(T.bv_const(3, 4)) is data
+    # A different constant address bypasses the write entirely.
+    other = written.read(T.bv_const(5, 4))
+    assert other is memory.read(T.bv_const(5, 4))
+
+
+def test_disabled_write_is_dropped():
+    memory, _ = _memory()
+    written = memory.written(T.bv_const(3, 4), T.bv_var("d", 8), T.FALSE)
+    assert written is memory
+
+
+def test_conditional_write_builds_ite():
+    memory, side = _memory()
+    enable = T.bv_var("en", 1)
+    written = memory.written(T.bv_const(3, 4), T.bv_var("d", 8), enable)
+    value = written.read(T.bv_const(3, 4))
+    assert value.op == "ite"
+
+
+def test_writes_stack_newest_wins():
+    memory, _ = _memory()
+    first = T.bv_var("d1", 8)
+    second = T.bv_var("d2", 8)
+    written = memory.written(T.bv_const(3, 4), first, T.TRUE)
+    written = written.written(T.bv_const(3, 4), second, T.TRUE)
+    assert written.read(T.bv_const(3, 4)) is second
+
+
+def test_same_base_tracks_snapshots():
+    memory, _ = _memory()
+    written = memory.written(T.bv_const(0, 4), T.bv_var("d", 8), T.TRUE)
+    assert memory.same_base(written)
+    other, _ = _memory("other")
+    assert not memory.same_base(other)
+
+
+def test_aliasing_is_sound_under_solver():
+    """Symbolic write then read at a *different symbolic* address must agree
+    with the base exactly when the addresses differ."""
+    memory, side = _memory()
+    write_addr = T.bv_var("wa", 4)
+    read_addr = T.bv_var("ra", 4)
+    data = T.bv_var("wd", 8)
+    base_value = memory.read(read_addr)
+    written = memory.written(write_addr, data, T.TRUE)
+    value = written.read(read_addr)
+    solver = Solver()
+    solver.add_all(side)
+    # Case 1: addresses equal -> value == data is forced.
+    solver.add(T.bv_eq(write_addr, read_addr))
+    solver.add(T.bv_ne(value, data))
+    assert solver.check() is UNSAT
+    # Case 2: addresses differ -> value == base read.
+    solver2 = Solver()
+    solver2.add_all(side)
+    solver2.add(T.bv_ne(write_addr, read_addr))
+    solver2.add(T.bv_ne(value, base_value))
+    assert solver2.check() is UNSAT
+
+
+def test_const_memory_lookup_and_default():
+    rom = ConstMemory("rom", 4, 8, {0: 10, 3: 30})
+    assert rom.lookup(0) == 10
+    assert rom.lookup(3) == 30
+    assert rom.lookup(9) == 0  # default
+    assert rom.read(T.bv_const(3, 4)).value == 30
+
+
+def test_const_memory_symbolic_read_is_correct_everywhere():
+    table = {i: (i * 17 + 3) & 0xFF for i in range(16)}
+    rom = ConstMemory("rom", 4, 8, table)
+    addr = T.bv_var("ca", 4)
+    tree = rom.read(addr)
+    for a in range(16):
+        assert T.evaluate(tree, {"ca": a}) == table[a]
+
+
+def test_const_memory_write_rejected():
+    rom = ConstMemory("rom", 4, 8, {})
+    with pytest.raises(ValueError, match="constant memory"):
+        rom.written(T.bv_const(0, 4), T.bv_const(0, 8), T.TRUE)

@@ -1,0 +1,111 @@
+"""Parser/printer tests: round trips, precedence, errors."""
+
+import pytest
+
+from repro.oyster import ast, parse_design, print_design
+from repro.oyster.parser import ParseError, parse_expr
+from repro.oyster.printer import design_loc, print_expr
+
+
+EXAMPLE = """
+design demo:
+  input a 8
+  input sel 1
+  register r 8 init 7
+  memory m 4 8
+  output o 8
+  hole h 2 deps(a, sel)
+
+  t := a + 8'3
+  u := if sel then (t ^ r) else (~t)
+  v := read m a[3:0]
+  r := u & v
+  o := {u[7:4], v[3:0]}
+  write m a[7:4] u sel
+"""
+
+
+def test_round_trip_is_identity():
+    design = parse_design(EXAMPLE)
+    printed = print_design(design)
+    assert parse_design(printed) == design
+    # And printing is a fixed point.
+    assert print_design(parse_design(printed)) == printed
+
+
+def test_parsed_structure():
+    design = parse_design(EXAMPLE)
+    assert design.name == "demo"
+    assert [d.name for d in design.inputs] == ["a", "sel"]
+    assert design.registers[0].init == 7
+    assert design.memories[0].addr_width == 4
+    assert design.holes[0].deps == ("a", "sel")
+    assert isinstance(design.stmts[-1], ast.Write)
+
+
+def test_design_loc_counts_nonempty_lines():
+    design = parse_design(EXAMPLE)
+    assert design_loc(design) == 13  # 1 header + 6 decls + 6 statements
+
+
+def test_expr_precedence():
+    expr = parse_expr("a | b & c")
+    assert expr == ast.Binop("|", ast.Var("a"),
+                             ast.Binop("&", ast.Var("b"), ast.Var("c")))
+    expr = parse_expr("a + b == c")
+    assert expr.op == "=="
+    expr = parse_expr("a + b * c")
+    assert expr == ast.Binop("+", ast.Var("a"),
+                             ast.Binop("*", ast.Var("b"), ast.Var("c")))
+
+
+def test_expr_unary_and_slices():
+    expr = parse_expr("~a[3:1]")
+    assert expr == ast.Unop("~", ast.Extract(ast.Var("a"), 3, 1))
+    expr = parse_expr("(a + b)[0:0]")
+    assert isinstance(expr, ast.Extract)
+
+
+def test_sized_constants():
+    assert parse_expr("8'255") == ast.Const(255, 8)
+    assert parse_expr("8'0xff") == ast.Const(255, 8)
+    assert parse_expr("4'0b1010") == ast.Const(10, 4)
+
+
+def test_concat_and_read():
+    expr = parse_expr("{a, read m b}")
+    assert expr == ast.Concat(ast.Var("a"), ast.Read("m", ast.Var("b")))
+
+
+def test_if_then_else_nests():
+    expr = parse_expr("if c then a else if d then b else e")
+    assert isinstance(expr, ast.Ite)
+    assert isinstance(expr.els, ast.Ite)
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_design("input a 8\n")  # no header
+    with pytest.raises(ParseError):
+        parse_design("design x:\n  input 8 a\n")
+    with pytest.raises(ParseError):
+        parse_expr("a +")
+    with pytest.raises(ParseError):
+        parse_expr("a $ b")
+    with pytest.raises(ParseError):
+        parse_design("design x:\ndesign y:\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    design = parse_design(
+        "design c:  # header\n\n  input a 1  # an input\n  o := a\n"
+    )
+    assert design.name == "c"
+    assert len(design.stmts) == 1
+
+
+def test_print_expr_parenthesizes_correctly():
+    expr = ast.Binop("&", ast.Binop("|", ast.Var("a"), ast.Var("b")),
+                     ast.Var("c"))
+    text = print_expr(expr)
+    assert parse_expr(text) == expr

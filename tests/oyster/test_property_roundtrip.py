@@ -1,0 +1,139 @@
+"""Property tests: random designs round-trip through print/parse, and the
+three evaluators (tree-walking, compiled, symbolic) agree on them."""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.oyster import (
+    Simulator,
+    SymbolicEvaluator,
+    ast,
+    check_design,
+    parse_design,
+    print_design,
+)
+from repro.oyster.compiled import CompiledSimulator
+from repro.smt import terms as T
+
+_BINOPS = sorted(ast.BINOPS)
+
+
+@st.composite
+def designs(draw):
+    """A random, well-formed combinational+register design."""
+    width = draw(st.sampled_from([1, 2, 4, 8]))
+    input_count = draw(st.integers(1, 3))
+    names = [f"in{i}" for i in range(input_count)]
+    decls = [ast.InputDecl(name, width) for name in names]
+    has_register = draw(st.booleans())
+    if has_register:
+        init = draw(st.one_of(st.none(), st.integers(0, (1 << width) - 1)))
+        decls.append(ast.RegisterDecl("reg0", width, init))
+        names.append("reg0")
+    stmts = []
+    available = list(names)
+
+    def expr(depth):
+        kind = draw(st.sampled_from(
+            ["var", "const", "binop", "unop", "ite", "extract", "concat"]
+            if depth > 0 else ["var", "const"]
+        ))
+        if kind == "var":
+            return ast.Var(draw(st.sampled_from(available))), width
+        if kind == "const":
+            return ast.Const(draw(st.integers(0, (1 << width) - 1)),
+                             width), width
+        if kind == "binop":
+            op = draw(st.sampled_from(_BINOPS))
+            left, _ = expr(depth - 1)
+            right, _ = expr(depth - 1)
+            node = ast.Binop(op, left, right)
+            if op in ast.COMPARISONS:
+                # Widen back to the working width for composability.
+                if width == 1:
+                    return node, width
+                pad = ast.Const(0, width - 1)
+                return ast.Concat(pad, node), width
+            return node, width
+        if kind == "unop":
+            inner, _ = expr(depth - 1)
+            return ast.Unop(draw(st.sampled_from(["~", "-"])), inner), width
+        if kind == "ite":
+            cond, _ = expr(depth - 1)
+            cond = ast.Extract(cond, 0, 0)
+            then, _ = expr(depth - 1)
+            els, _ = expr(depth - 1)
+            return ast.Ite(cond, then, els), width
+        if kind == "extract":
+            inner, _ = expr(depth - 1)
+            if width == 1:
+                return ast.Extract(inner, 0, 0), width
+            # Keep the working width by extracting from a 2w concat.
+            doubled = ast.Concat(inner, inner)
+            low = draw(st.integers(0, width))
+            return ast.Extract(doubled, low + width - 1, low), width
+        inner1, _ = expr(depth - 1)
+        inner2, _ = expr(depth - 1)
+        if width == 1:
+            return ast.Extract(ast.Concat(inner1, inner2), 0, 0), width
+        half = width // 2
+        return ast.Concat(
+            ast.Extract(inner1, half - 1, 0),
+            ast.Extract(inner2, width - half - 1, 0),
+        ), width
+
+    wire_count = draw(st.integers(1, 4))
+    for index in range(wire_count):
+        body, _ = expr(2)
+        name = f"w{index}"
+        stmts.append(ast.Assign(name, body))
+        available.append(name)
+    if has_register:
+        body, _ = expr(1)
+        stmts.append(ast.Assign("reg0", body))
+    decls.append(ast.OutputDecl("out", width))
+    stmts.append(ast.Assign("out", ast.Var(available[-1])))
+    design = ast.Design("fuzz", tuple(decls), tuple(stmts))
+    check_design(design)
+    return design
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(design=designs(), data=st.data())
+def test_print_parse_roundtrip(design, data):
+    assert parse_design(print_design(design)) == design
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(design=designs(), data=st.data())
+def test_three_evaluators_agree(design, data):
+    width = design.inputs[0].width
+    cycles = data.draw(st.integers(1, 3))
+    stimulus = [
+        {
+            decl.name: data.draw(st.integers(0, (1 << decl.width) - 1))
+            for decl in design.inputs
+        }
+        for _ in range(cycles)
+    ]
+    slow = Simulator(design)
+    fast = CompiledSimulator(design)
+    slow_outs = [slow.step(inputs)["out"] for inputs in stimulus]
+    fast_outs = [fast.step(inputs)["out"] for inputs in stimulus]
+    assert slow_outs == fast_outs
+
+    trace = SymbolicEvaluator(design).run(cycles)
+    env = {}
+    for step, inputs in enumerate(stimulus, start=1):
+        for name, value in inputs.items():
+            env[f"{name}@{step}"] = value
+    for var in trace.forall_variables():
+        env.setdefault(var.name, 0)
+    symbolic_outs = [
+        T.evaluate(trace.wire_at("out", step), env)
+        for step in range(1, cycles + 1)
+    ]
+    assert symbolic_outs == slow_outs

@@ -1,0 +1,199 @@
+"""Symbolic evaluator tests, including differential tests vs the simulator.
+
+The key property: for any concrete stimulus, evaluating the design with the
+concrete simulator and evaluating it symbolically then substituting the same
+stimulus must agree on every register, wire, and memory write.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.oyster import Simulator, SymbolicEvaluator, parse_design
+from repro.oyster.memory import ConstMemory
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNSAT
+
+
+DUT = """
+design dut:
+  input a 8
+  input sel 1
+  register r 8
+  register q 4 init 5
+  memory m 4 8
+  output o 8
+
+  addr := a[3:0]
+  loaded := read m addr
+  t := if sel then (a + loaded) else (a ^ r)
+  r := t
+  q := q + 4'1
+  o := t
+  write m addr t sel
+"""
+
+
+def _concrete_run(inputs_by_cycle, register_init=None):
+    sim = Simulator(parse_design(DUT), register_init=register_init)
+    outs = [sim.step(inputs) for inputs in inputs_by_cycle]
+    return sim, outs
+
+
+def _symbolic_env(inputs_by_cycle, register_init):
+    env = {}
+    for step, inputs in enumerate(inputs_by_cycle, start=1):
+        for name, value in inputs.items():
+            env[f"{name}@{step}"] = value
+    env["r@0"] = register_init.get("r", 0) if register_init else 0
+    return env
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cycles=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+def test_symbolic_agrees_with_simulator(cycles, data):
+    inputs_by_cycle = [
+        {
+            "a": data.draw(st.integers(min_value=0, max_value=255)),
+            "sel": data.draw(st.integers(min_value=0, max_value=1)),
+        }
+        for _ in range(cycles)
+    ]
+    r0 = data.draw(st.integers(min_value=0, max_value=255))
+    sim, outs = _concrete_run(inputs_by_cycle, register_init={"r": r0})
+
+    evaluator = SymbolicEvaluator(parse_design(DUT))
+    trace = evaluator.run(cycles)
+    env = _symbolic_env(inputs_by_cycle, {"r": r0})
+    # Memory reads come from an empty memory in the simulator: read vars = 0.
+    for var in trace.forall_variables():
+        env.setdefault(var.name, 0)
+
+    # Registers agree at the end.
+    assert T.evaluate(trace.reg_after("r", cycles), env) == sim.peek("r")
+    assert T.evaluate(trace.reg_after("q", cycles), env) == sim.peek("q")
+    # Outputs agree per cycle.
+    for step in range(1, cycles + 1):
+        assert T.evaluate(trace.wire_at("o", step), env) == outs[step - 1]["o"]
+    # Side conditions hold under the consistent environment.
+    for condition in trace.side_conditions:
+        assert T.evaluate(condition, env) == 1
+
+
+def test_register_init_is_concrete():
+    trace = SymbolicEvaluator(parse_design(DUT)).run(1)
+    assert trace.reg_before("q", 1).is_const
+    assert trace.reg_before("q", 1).value == 5
+    assert trace.reg_before("r", 1).is_var
+
+
+def test_hole_becomes_fresh_variable():
+    design = parse_design(
+        "design h:\n  input a 4\n  hole hh 4\n  t := a + hh\n"
+    )
+    trace = SymbolicEvaluator(design, prefix="p!").run(1)
+    hole = trace.hole_values["hh"]
+    assert hole.is_var and hole.name == "p!hole!hh"
+    assert hole not in trace.forall_variables()
+
+
+def test_hole_value_can_be_bound():
+    design = parse_design(
+        "design h:\n  input a 4\n  hole hh 4\n  t := a + hh\n"
+    )
+    trace = SymbolicEvaluator(
+        design, hole_values={"hh": T.bv_const(3, 4)}
+    ).run(1)
+    value = T.evaluate(trace.wire_at("t", 1), {"a@1": 2})
+    assert value == 5
+
+
+def test_hole_width_mismatch_rejected():
+    design = parse_design("design h:\n  input a 4\n  hole hh 4\n  t := a + hh\n")
+    with pytest.raises(ValueError, match="width"):
+        SymbolicEvaluator(design, hole_values={"hh": T.bv_const(0, 5)})
+
+
+def test_memory_ackermann_consistency():
+    design = parse_design(
+        "design rd:\n  input a1 4\n  input a2 4\n  memory m 4 8\n"
+        "  v1 := read m a1\n  v2 := read m a2\n  d := v1 != v2\n"
+    )
+    trace = SymbolicEvaluator(design).run(1)
+    # Same address must imply same value: a1 == a2 && v1 != v2 is UNSAT.
+    solver = Solver()
+    for condition in trace.side_conditions:
+        solver.add(condition)
+    solver.add(T.bv_eq(trace.input_at("a1", 1), trace.input_at("a2", 1)))
+    solver.add(trace.wire_at("d", 1))
+    assert solver.check() is UNSAT
+    # Different addresses may differ.
+    solver2 = Solver()
+    for condition in trace.side_conditions:
+        solver2.add(condition)
+    solver2.add(trace.wire_at("d", 1))
+    assert solver2.check() is SAT
+
+
+def test_memory_read_after_write_next_cycle():
+    design = parse_design(
+        "design wr:\n  input a 4\n  input v 8\n  memory m 4 8\n"
+        "  out := read m a\n  write m a v 1'1\n"
+    )
+    trace = SymbolicEvaluator(design).run(2)
+    env = {"a@1": 3, "v@1": 77, "a@2": 3, "v@2": 0}
+    for var in trace.forall_variables():
+        env.setdefault(var.name, 0)
+    # Cycle 2's read returns cycle 1's write when the addresses match.
+    assert T.evaluate(trace.wire_at("out", 2), env) == 77
+
+
+def test_const_memory_folds_constant_reads():
+    design = parse_design(
+        "design cm:\n  input a 4\n  memory rom 4 8\n  out := read rom 4'2\n"
+    )
+    rom = ConstMemory("rom", 4, 8, {2: 42})
+    trace = SymbolicEvaluator(design, const_mems={"rom": rom}).run(1)
+    assert trace.wire_at("out", 1).is_const
+    assert trace.wire_at("out", 1).value == 42
+
+
+def test_const_memory_symbolic_read_tree():
+    design = parse_design(
+        "design cm2:\n  input a 2\n  memory rom 2 8\n  out := read rom a\n"
+    )
+    rom = ConstMemory("rom", 2, 8, [10, 20, 30, 40])
+    trace = SymbolicEvaluator(design, const_mems={"rom": rom}).run(1)
+    for addr in range(4):
+        value = T.evaluate(trace.wire_at("out", 1), {"a@1": addr})
+        assert value == (addr + 1) * 10
+
+
+def test_const_memory_rejects_writes():
+    design = parse_design(
+        "design cm3:\n  input a 2\n  input v 8\n  memory rom 2 8\n"
+        "  write rom a v 1'1\n"
+    )
+    rom = ConstMemory("rom", 2, 8, [0, 0, 0, 0])
+    with pytest.raises(ValueError, match="constant memory"):
+        SymbolicEvaluator(design, const_mems={"rom": rom}).run(1)
+
+
+def test_trace_timestep_bounds():
+    trace = SymbolicEvaluator(parse_design(DUT)).run(2)
+    with pytest.raises(IndexError):
+        trace.reg_after("r", 3)
+    with pytest.raises(IndexError):
+        trace.reg_before("r", 0)
+
+
+def test_input_override():
+    design = parse_design("design i:\n  input a 4\n  t := a + 4'1\n")
+    forced = T.bv_const(9, 4)
+    trace = SymbolicEvaluator(
+        design, input_values={("a", 1): forced}
+    ).run(1)
+    assert trace.wire_at("t", 1).is_const
+    assert trace.wire_at("t", 1).value == 10

@@ -1,0 +1,111 @@
+"""Width inference and well-formedness checking tests."""
+
+import pytest
+
+from repro.oyster import parse_design
+from repro.oyster.typecheck import TypeError_, check_design
+
+
+def _check(text):
+    return check_design(parse_design(text))
+
+
+def test_widths_inferred_for_wires():
+    widths = _check(
+        "design d:\n  input a 8\n  t := a + 8'1\n  u := t == a\n"
+    )
+    assert widths["t"] == 8
+    assert widths["u"] == 1
+
+
+def test_duplicate_declaration_rejected():
+    with pytest.raises(TypeError_, match="duplicate"):
+        _check("design d:\n  input a 8\n  register a 8\n")
+
+
+def test_read_before_define_rejected():
+    # A wire not yet assigned is simply undeclared at that point...
+    with pytest.raises(TypeError_, match="undeclared"):
+        _check("design d:\n  input a 8\n  t := u\n  u := a\n")
+    # ...while a declared output read before its assignment is caught as
+    # a read-before-define.
+    with pytest.raises(TypeError_, match="before it is defined"):
+        _check("design d:\n  input a 8\n  output o 8\n  t := o\n  o := a\n")
+
+
+def test_register_current_value_always_readable():
+    widths = _check(
+        "design d:\n  register r 8\n  t := r + 8'1\n  r := t\n"
+    )
+    assert widths["t"] == 8
+
+
+def test_cannot_assign_input_or_hole():
+    with pytest.raises(TypeError_, match="input"):
+        _check("design d:\n  input a 8\n  a := 8'0\n")
+    with pytest.raises(TypeError_, match="hole"):
+        _check("design d:\n  hole h 1\n  h := 1'0\n")
+
+
+def test_double_assignment_rejected():
+    with pytest.raises(TypeError_, match="more than once"):
+        _check("design d:\n  input a 8\n  t := a\n  t := a\n")
+
+
+def test_assignment_width_mismatch():
+    with pytest.raises(TypeError_, match="width"):
+        _check("design d:\n  input a 8\n  output o 4\n  o := a\n")
+
+
+def test_binop_width_mismatch():
+    with pytest.raises(TypeError_, match="widths 8 and 4"):
+        _check("design d:\n  input a 8\n  input b 4\n  t := a + b\n")
+
+
+def test_ite_condition_must_be_bit():
+    with pytest.raises(TypeError_, match="width 1"):
+        _check("design d:\n  input a 8\n  t := if a then a else a\n")
+
+
+def test_extract_bounds_checked():
+    with pytest.raises(TypeError_, match="out of range"):
+        _check("design d:\n  input a 8\n  t := a[8:0]\n")
+
+
+def test_memory_address_width_checked():
+    with pytest.raises(TypeError_, match="address width"):
+        _check(
+            "design d:\n  input a 8\n  memory m 4 8\n  t := read m a\n"
+        )
+    with pytest.raises(TypeError_, match="address width"):
+        _check(
+            "design d:\n  input a 8\n  memory m 4 8\n  write m a a 1'1\n"
+        )
+
+
+def test_write_enable_must_be_bit():
+    with pytest.raises(TypeError_, match="enable"):
+        _check(
+            "design d:\n  input a 4\n  input v 8\n  memory m 4 8\n"
+            "  write m a v v\n"
+        )
+
+
+def test_outputs_must_be_assigned():
+    with pytest.raises(TypeError_, match="outputs never assigned"):
+        _check("design d:\n  input a 8\n  output o 8\n  t := a\n")
+
+
+def test_undeclared_signal_rejected():
+    with pytest.raises(TypeError_, match="undeclared"):
+        _check("design d:\n  t := bogus\n")
+
+
+def test_undeclared_memory_rejected():
+    with pytest.raises(TypeError_, match="undeclared memory"):
+        _check("design d:\n  input a 4\n  t := read nope a\n")
+
+
+def test_hole_dep_must_exist():
+    with pytest.raises(TypeError_, match="unknown signal"):
+        _check("design d:\n  input a 8\n  hole h 1 deps(ghost)\n  t := a\n")

@@ -1,0 +1,100 @@
+"""Tests for the VCD recorder and the oyster command-line tool."""
+
+import io
+import sys
+
+import pytest
+
+from repro.oyster import Simulator, parse_design
+from repro.oyster.vcd import VcdRecorder
+from repro.tools.oyster_tool import main as oyster_main
+
+COUNTER = """
+design counter:
+  input enable 1
+  register count 4
+  output out 4
+  count := if enable then (count + 4'1) else (count)
+  out := count
+"""
+
+
+def test_vcd_records_changes(tmp_path):
+    sim = Simulator(parse_design(COUNTER))
+    recorder = VcdRecorder(sim)
+    for enable in (1, 1, 0, 1):
+        recorder.step({"enable": enable})
+    path = recorder.write(tmp_path / "trace.vcd")
+    text = open(path).read()
+    assert "$enddefinitions $end" in text
+    assert "$var wire 1" in text and "$var wire 4" in text
+    assert "#0" in text and "#4" in text
+    # count changes at cycles 1, 2 (holds at 3 after enable=0), 3... verify
+    # the value strings appear.
+    assert "b1 " in text or "b01" in text
+
+
+def test_vcd_only_changes_recorded():
+    sim = Simulator(parse_design(COUNTER))
+    recorder = VcdRecorder(sim, signals=["count"])
+    recorder.step({"enable": 0})
+    recorder.step({"enable": 0})
+    # count stays 0 the whole time: one initial record only.
+    assert len(recorder.changes) == 1
+
+
+@pytest.fixture()
+def counter_file(tmp_path):
+    path = tmp_path / "counter.oy"
+    path.write_text(COUNTER)
+    return str(path)
+
+
+def _run(argv, capsys):
+    code = oyster_main(argv)
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_tool_check(counter_file, capsys):
+    out = _run(["check", counter_file], capsys)
+    assert "counter: OK" in out
+    assert "count: 4" in out
+
+
+def test_tool_print_round_trips(counter_file, capsys):
+    out = _run(["print", counter_file], capsys)
+    assert parse_design(out) == parse_design(COUNTER)
+
+
+def test_tool_loc(counter_file, capsys):
+    out = _run(["loc", counter_file], capsys)
+    assert out.strip() == "6"
+
+
+def test_tool_verilog(counter_file, capsys):
+    out = _run(["verilog", counter_file], capsys)
+    assert "module counter (" in out
+
+
+def test_tool_gates(counter_file, capsys):
+    out = _run(["gates", counter_file], capsys)
+    assert "flops" in out
+    optimized = _run(["gates", counter_file, "--optimize"], capsys)
+    assert "counter:" in optimized
+
+
+def test_tool_sim(counter_file, capsys):
+    out = _run(["sim", counter_file, "--cycles", "3", "--random",
+                "--seed", "1"], capsys)
+    assert out.count("cycle ") == 3
+    assert "count=" in out
+
+
+def test_shipped_traffic_light_design(capsys):
+    out = _run(["check", "examples/designs/traffic_light.oy"], capsys)
+    assert "traffic_light: OK" in out
+    out = _run(["sim", "examples/designs/traffic_light.oy",
+                "--cycles", "2"], capsys)
+    assert "green=1" in out

@@ -1,0 +1,77 @@
+"""Direct unit tests for the AIG layer (beyond what bitblast exercises)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.aig import AIG, FALSE_LIT, TRUE_LIT
+
+
+def test_strashing_shares_structure():
+    aig = AIG()
+    a = aig.new_input()
+    b = aig.new_input()
+    before = len(aig)
+    first = aig.and_(a, b)
+    second = aig.and_(b, a)  # commuted
+    assert first == second
+    assert len(aig) == before + 1
+
+
+def test_cone_excludes_unreachable():
+    aig = AIG()
+    a = aig.new_input()
+    b = aig.new_input()
+    used = aig.and_(a, b)
+    aig.and_(a ^ 1, b)  # unreachable from `used`
+    cone = aig.cone([used])
+    assert used >> 1 in cone
+    assert len(cone) == 3  # a, b, the AND
+
+
+def test_is_input():
+    aig = AIG()
+    a = aig.new_input()
+    b = aig.new_input()
+    gate = aig.and_(a, b)
+    assert aig.is_input(a >> 1)
+    assert not aig.is_input(gate >> 1)
+    assert not aig.is_input(0)
+
+
+def test_neg_helper():
+    assert AIG.neg(4) == 5
+    assert AIG.neg(5) == 4
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=st.integers(0, 1), b=st.integers(0, 1), c=st.integers(0, 1),
+)
+def test_gate_semantics(a, b, c):
+    aig = AIG()
+    ia, ib, ic = aig.new_input(), aig.new_input(), aig.new_input()
+    env = {ia >> 1: a, ib >> 1: b, ic >> 1: c}
+    and_gate = aig.and_(ia, ib)
+    or_gate = aig.or_(ia, ib)
+    xor_gate = aig.xor_(ia, ib)
+    mux_gate = aig.mux(ic, ia, ib)
+    results = aig.evaluate([and_gate, or_gate, xor_gate, mux_gate,
+                            ia ^ 1, TRUE_LIT, FALSE_LIT], env)
+    assert results == [
+        a & b, a | b, a ^ b, a if c else b, 1 - a, 1, 0,
+    ]
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_constant_simplifications_never_create_nodes(data):
+    aig = AIG()
+    a = aig.new_input()
+    before = len(aig)
+    lit = data.draw(st.sampled_from([TRUE_LIT, FALSE_LIT]))
+    aig.and_(a, lit)
+    aig.or_(a, lit)
+    aig.xor_(a, lit)
+    aig.mux(lit, a, a ^ 1)
+    aig.and_(a, a)
+    aig.and_(a, a ^ 1)
+    assert len(aig) == before

@@ -1,0 +1,131 @@
+"""Tests for the SMT-LIB and DIMACS exporters."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+from repro.smt.dimacs import to_dimacs
+from repro.smt.smtlib import query_to_smtlib, to_smtlib
+
+
+def test_smtlib_renders_basic_ops():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    text = to_smtlib(T.bv_add(x, y))
+    assert text == "(bvadd x y)"
+    assert to_smtlib(T.bv_const(5, 8)) == "(_ bv5 8)"
+    assert "extract" in to_smtlib(T.bv_extract(x, 6, 2))
+    assert to_smtlib(T.bv_eq(x, y)).startswith("(ite (= ")
+
+
+def test_smtlib_quotes_exotic_names():
+    v = T.bv_var("i0!hole!x", 4)
+    assert to_smtlib(v) == "i0!hole!x"  # ! is a legal simple-symbol char
+    v2 = T.bv_var("a b", 4)
+    assert to_smtlib(v2) == "|a b|"
+
+
+def test_query_script_structure():
+    x = T.bv_var("qx", 8)
+    script = query_to_smtlib(
+        [T.bv_eq(x, T.bv_const(3, 8))], get_model=True
+    )
+    assert script.startswith("(set-logic QF_BV)")
+    assert "(declare-const qx (_ BitVec 8))" in script
+    assert "(assert (= " in script
+    assert "(check-sat)" in script
+    assert "(get-model)" in script
+
+
+def test_query_declares_each_var_once():
+    x = T.bv_var("dx", 8)
+    script = query_to_smtlib([
+        T.bv_eq(x, T.bv_const(1, 8)),
+        T.bv_ne(x, T.bv_const(2, 8)),
+    ])
+    assert script.count("declare-const dx") == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=255),
+    b=st.integers(min_value=0, max_value=255),
+)
+def test_smtlib_export_covers_all_ops(a, b):
+    x = T.bv_var("ex", 8)
+    y = T.bv_var("ey", 8)
+    builders = [
+        T.bv_add, T.bv_sub, T.bv_mul, T.bv_and, T.bv_or, T.bv_xor,
+        T.bv_udiv, T.bv_urem, T.bv_shl, T.bv_lshr, T.bv_ashr,
+        T.bv_eq, T.bv_ult, T.bv_slt, T.bv_concat,
+    ]
+    for build in builders:
+        text = to_smtlib(build(x, y))
+        assert text.startswith("(")
+
+
+# ---------------------------------------------------------------------------
+# DIMACS
+# ---------------------------------------------------------------------------
+
+
+def _parse_dimacs(text):
+    clauses = []
+    num_vars = 0
+    for line in text.splitlines():
+        if line.startswith("c"):
+            continue
+        if line.startswith("p cnf"):
+            num_vars = int(line.split()[2])
+            continue
+        lits = [int(tok) for tok in line.split()[:-1]]
+        clauses.append(lits)
+    return num_vars, clauses
+
+
+def _brute_force_sat(num_vars, clauses):
+    import itertools
+
+    for bits in itertools.product([0, 1], repeat=num_vars):
+        assignment = dict(enumerate(bits, start=1))
+        if all(
+            any(
+                (assignment[abs(l)] == 1) == (l > 0) for l in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def test_dimacs_header_and_var_map():
+    x = T.bv_var("mv", 3)
+    text = to_dimacs([T.bv_eq(x, T.bv_const(5, 3))])
+    assert re.search(r"p cnf \d+ \d+", text)
+    assert "c var mv bits" in text
+    assert text.strip().endswith("0")
+
+
+def test_dimacs_sat_agrees_with_solver():
+    from repro.smt.solver import Solver, SAT, UNSAT
+
+    x = T.bv_var("dv", 4)
+    cases = [
+        ([T.bv_eq(x, T.bv_const(9, 4))], True),
+        ([T.bv_ult(x, T.bv_const(3, 4)),
+          T.bv_ugt(x, T.bv_const(12, 4))], False),
+    ]
+    for assertions, expected in cases:
+        solver = Solver()
+        solver.add_all(assertions)
+        assert (solver.check() is SAT) == expected
+        num_vars, clauses = _parse_dimacs(to_dimacs(assertions))
+        if num_vars <= 16:
+            assert _brute_force_sat(num_vars, clauses) == expected
+
+
+def test_dimacs_trivial_assertions():
+    assert "p cnf" in to_dimacs([T.TRUE])
+    num_vars, clauses = _parse_dimacs(to_dimacs([T.FALSE]))
+    assert not _brute_force_sat(num_vars, clauses)

@@ -1,0 +1,81 @@
+"""Tests for the term printer and solver facade details."""
+
+import pytest
+
+from repro.smt import terms as T
+from repro.smt.printer import to_string
+from repro.smt.solver import Model, Solver, SAT, UNKNOWN, UNSAT
+
+
+def test_printer_basic_forms():
+    x = T.bv_var("x", 8)
+    assert to_string(T.bv_const(5, 8)) == "5'8"
+    assert to_string(x) == "x"
+    assert to_string(T.bv_add(x, T.bv_const(1, 8))) == "(x + 1'8)"
+    assert to_string(T.bv_not(x)) == "~x"
+    assert "[6:2]" in to_string(T.bv_extract(x, 6, 2))
+    assert to_string(T.bv_concat(x, x)) == "{x, x}"
+    ite = T.bv_ite(T.bv_var("c", 1), x, T.bv_not(x))
+    assert to_string(ite).startswith("(if c then ")
+
+
+def test_printer_depth_truncation():
+    expr = T.bv_var("v", 4)
+    for i in range(20):
+        expr = T.bv_add(expr, T.bv_var(f"v{i}", 4))
+    text = to_string(expr, max_depth=3)
+    assert "..." in text
+    assert len(text) < 200
+
+
+def test_repr_is_bounded():
+    expr = T.bv_var("v", 4)
+    for i in range(50):
+        expr = T.bv_xor(expr, T.bv_var(f"r{i}", 4))
+    assert len(repr(expr)) < 2000
+
+
+def test_solver_result_is_tristate():
+    with pytest.raises(TypeError, match="tri-state"):
+        bool(SAT)
+    assert repr(SAT) == "sat"
+    assert repr(UNSAT) == "unsat"
+    assert repr(UNKNOWN) == "unknown"
+
+
+def test_model_accessors():
+    model = Model({"a": 5})
+    assert model.value("a") == 5
+    assert model.value(T.bv_var("a", 8)) == 5
+    assert model.value("missing") == 0
+    assert "a" in model
+    assert model.as_dict() == {"a": 5}
+    assert "a=0x5" in repr(model)
+
+
+def test_solver_rejects_wide_assertions():
+    solver = Solver()
+    with pytest.raises(ValueError, match="width 1"):
+        solver.add(T.bv_var("wide", 4))
+
+
+def test_solver_timeout_returns_unknown():
+    # 14-bit factoring with an absurdly small deadline.
+    p = T.bv_var("tp", 14)
+    q = T.bv_var("tq", 14)
+    product = T.bv_mul(T.zero_extend(p, 28), T.zero_extend(q, 28))
+    solver = Solver()
+    solver.add(T.bv_eq(product, T.bv_const(9409 * 89, 28)))
+    solver.add(T.bv_ugt(p, T.bv_const(1, 14)))
+    solver.add(T.bv_ugt(q, T.bv_const(1, 14)))
+    verdict = solver.check(max_conflicts=1)
+    assert verdict in (SAT, UNSAT, UNKNOWN)  # budget-bounded, not hanging
+
+
+def test_stats_counters_advance():
+    solver = Solver()
+    x = T.bv_var("sc", 4)
+    solver.add(T.bv_eq(x, T.bv_const(3, 4)))
+    solver.check()
+    assert solver.stats["asserts"] == 1
+    assert solver.stats["checks"] == 1

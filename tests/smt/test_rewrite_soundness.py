@@ -1,0 +1,131 @@
+"""Property test: the rewriting constructors never change term semantics.
+
+Builds random nested expressions twice — once through the smart
+constructors (which rewrite aggressively) and once as a parallel pure-Python
+computation — and checks they agree on random inputs.  This is the
+soundness argument for the partial evaluation the whole synthesis pipeline
+leans on.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+
+
+def _mask(width):
+    return (1 << width) - 1
+
+
+def _signed(value, width):
+    return value - (1 << width) if value & (1 << (width - 1)) else value
+
+
+class _Node:
+    """A (term, python-eval-function) pair built in lockstep."""
+
+    def __init__(self, term, fn, width):
+        self.term = term
+        self.fn = fn
+        self.width = width
+
+
+def _binop(draw, a, b, op):
+    w = a.width
+    tables = {
+        "add": (T.bv_add, lambda e: (a.fn(e) + b.fn(e)) & _mask(w), w),
+        "sub": (T.bv_sub, lambda e: (a.fn(e) - b.fn(e)) & _mask(w), w),
+        "mul": (T.bv_mul, lambda e: (a.fn(e) * b.fn(e)) & _mask(w), w),
+        "and": (T.bv_and, lambda e: a.fn(e) & b.fn(e), w),
+        "or": (T.bv_or, lambda e: a.fn(e) | b.fn(e), w),
+        "xor": (T.bv_xor, lambda e: a.fn(e) ^ b.fn(e), w),
+        "shl": (T.bv_shl,
+                lambda e: (a.fn(e) << b.fn(e)) & _mask(w)
+                if b.fn(e) < w else 0, w),
+        "lshr": (T.bv_lshr,
+                 lambda e: a.fn(e) >> b.fn(e) if b.fn(e) < w else 0, w),
+        "ashr": (T.bv_ashr,
+                 lambda e: (_signed(a.fn(e), w)
+                            >> min(b.fn(e), w - 1)) & _mask(w), w),
+        "eq": (T.bv_eq, lambda e: int(a.fn(e) == b.fn(e)), 1),
+        "ult": (T.bv_ult, lambda e: int(a.fn(e) < b.fn(e)), 1),
+        "slt": (T.bv_slt,
+                lambda e: int(_signed(a.fn(e), w) < _signed(b.fn(e), w)), 1),
+    }
+    build, fn, width = tables[op]
+    return _Node(build(a.term, b.term), fn, width)
+
+
+@st.composite
+def nodes(draw, width, names, depth):
+    if depth == 0:
+        if draw(st.booleans()):
+            name = draw(st.sampled_from(names))
+            return _Node(T.bv_var(name, width),
+                         lambda e, n=name: e[n] & _mask(width), width)
+        value = draw(st.integers(0, _mask(width)))
+        return _Node(T.bv_const(value, width), lambda e, v=value: v, width)
+    kind = draw(st.sampled_from(["binop", "not", "ite", "extract",
+                                 "concat_slice"]))
+    if kind == "binop":
+        a = draw(nodes(width, names, depth - 1))
+        b = draw(nodes(width, names, depth - 1))
+        op = draw(st.sampled_from(
+            ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr",
+             "ashr"]
+        ))
+        return _binop(draw, a, b, op)
+    if kind == "not":
+        a = draw(nodes(width, names, depth - 1))
+        return _Node(T.bv_not(a.term),
+                     lambda e: ~a.fn(e) & _mask(width), width)
+    if kind == "ite":
+        a = draw(nodes(width, names, depth - 1))
+        b = draw(nodes(width, names, depth - 1))
+        c = draw(nodes(width, names, depth - 1))
+        op = draw(st.sampled_from(["eq", "ult", "slt"]))
+        cond = _binop(draw, a, b, op)
+        return _Node(
+            T.bv_ite(cond.term, a.term, c.term),
+            lambda e: a.fn(e) if cond.fn(e) else c.fn(e), width,
+        )
+    if kind == "extract":
+        a = draw(nodes(width, names, depth - 1))
+        low = draw(st.integers(0, width - 1))
+        # Re-extend to keep the uniform working width.
+        extracted_width = width - low
+        term = T.zero_extend(T.bv_extract(a.term, width - 1, low), width)
+        return _Node(term, lambda e: (a.fn(e) >> low) & _mask(width), width)
+    a = draw(nodes(width, names, depth - 1))
+    b = draw(nodes(width, names, depth - 1))
+    term = T.bv_extract(T.bv_concat(a.term, b.term), width - 1, 0)
+    return _Node(term, b.fn, width)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_random_trees_evaluate_identically(data):
+    width = data.draw(st.sampled_from([1, 4, 8, 13]))
+    names = ["ra", "rb", "rc"]
+    node = data.draw(nodes(width, names, depth=4))
+    env = {
+        name: data.draw(st.integers(0, _mask(width))) for name in names
+    }
+    assert T.evaluate(node.term, env) == node.fn(env) & _mask(width)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_substitution_commutes_with_evaluation(data):
+    width = 8
+    names = ["sa", "sb"]
+    node = data.draw(nodes(width, names, depth=3))
+    env = {name: data.draw(st.integers(0, 255)) for name in names}
+    substituted = T.substitute(
+        node.term,
+        {T.bv_var(name, width): T.bv_const(value, width)
+         for name, value in env.items()},
+    )
+    assert substituted.is_const or not (
+        T.free_variables(substituted) & {T.bv_var(n, width) for n in names}
+    )
+    assert T.evaluate(substituted, {}) == T.evaluate(node.term, env)

@@ -1,0 +1,191 @@
+"""Tests for the CDCL SAT core, including differential tests vs brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt.sat.solver import SatSolver, _luby
+
+
+def _lit(v, positive):
+    return 2 * v + (0 if positive else 1)
+
+
+def _make_solver(num_vars, clauses):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(list(clause)) and ok
+    return solver, ok
+
+
+def _brute_force(num_vars, clauses):
+    for bits in itertools.product([0, 1], repeat=num_vars):
+        assignment = dict(enumerate(bits, start=1))
+        if all(
+            any(
+                assignment[lit >> 1] == (1 - (lit & 1)) for lit in clause
+            )
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def test_luby_sequence_prefix():
+    assert [_luby(i) for i in range(15)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8
+    ]
+
+
+def test_empty_formula_is_sat():
+    solver = SatSolver()
+    assert solver.solve() is True
+
+
+def test_unit_clauses_propagate():
+    solver, ok = _make_solver(2, [[_lit(1, True)], [_lit(2, False)]])
+    assert ok and solver.solve() is True
+    model = solver.model()
+    assert model[1] == 1 and model[2] == 0
+
+
+def test_direct_contradiction_unsat():
+    solver, ok = _make_solver(1, [[_lit(1, True)], [_lit(1, False)]])
+    assert not ok or solver.solve() is False
+
+
+def test_simple_implication_chain():
+    # (x1 -> x2), (x2 -> x3), x1, !x3 is UNSAT
+    clauses = [
+        [_lit(1, False), _lit(2, True)],
+        [_lit(2, False), _lit(3, True)],
+        [_lit(1, True)],
+        [_lit(3, False)],
+    ]
+    solver, ok = _make_solver(3, clauses)
+    assert not ok or solver.solve() is False
+
+
+def test_tautological_clause_ignored():
+    solver, ok = _make_solver(2, [[_lit(1, True), _lit(1, False)]])
+    assert ok and solver.solve() is True
+
+
+def test_duplicate_literals_deduplicated():
+    solver, ok = _make_solver(1, [[_lit(1, True), _lit(1, True)]])
+    assert ok and solver.solve() is True
+    assert solver.model()[1] == 1
+
+
+def test_pigeonhole_3_into_2_unsat():
+    # p[i][j]: pigeon i in hole j; 3 pigeons, 2 holes.
+    def var(i, j):
+        return i * 2 + j + 1
+
+    clauses = []
+    for i in range(3):
+        clauses.append([_lit(var(i, 0), True), _lit(var(i, 1), True)])
+    for j in range(2):
+        for i1 in range(3):
+            for i2 in range(i1 + 1, 3):
+                clauses.append(
+                    [_lit(var(i1, j), False), _lit(var(i2, j), False)]
+                )
+    solver, ok = _make_solver(6, clauses)
+    assert not ok or solver.solve() is False
+
+
+def test_assumptions_sat_and_unsat():
+    # x1 | x2
+    solver, ok = _make_solver(2, [[_lit(1, True), _lit(2, True)]])
+    assert solver.solve(assumptions=[_lit(1, True)]) is True
+    assert solver.solve(assumptions=[_lit(1, False), _lit(2, False)]) is False
+    # solver state recovers
+    assert solver.solve() is True
+
+
+def test_incremental_additions():
+    solver, _ = _make_solver(3, [[_lit(1, True), _lit(2, True)]])
+    assert solver.solve() is True
+    solver.add_clause([_lit(1, False)])
+    assert solver.solve() is True
+    assert solver.model()[2] == 1
+    solver.add_clause([_lit(2, False)])
+    assert solver.solve() is False
+
+
+def test_conflict_budget_returns_none():
+    # A hard-ish random instance; with a 1-conflict budget we expect None
+    # (unknown) unless it solves without conflicts.
+    random.seed(7)
+    num_vars = 50
+    clauses = [
+        [
+            _lit(random.randrange(1, num_vars + 1), random.random() < 0.5)
+            for _ in range(3)
+        ]
+        for _ in range(220)
+    ]
+    solver, ok = _make_solver(num_vars, clauses)
+    if ok:
+        verdict = solver.solve(max_conflicts=1)
+        assert verdict in (None, True, False)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_random_3sat_matches_brute_force(data):
+    num_vars = data.draw(st.integers(min_value=1, max_value=8))
+    num_clauses = data.draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        size = data.draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            _lit(
+                data.draw(st.integers(min_value=1, max_value=num_vars)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(size)
+        ]
+        clauses.append(clause)
+    solver, ok = _make_solver(num_vars, clauses)
+    expected = _brute_force(num_vars, clauses)
+    if not ok:
+        assert expected is False
+        return
+    verdict = solver.solve()
+    assert verdict is expected
+    if verdict:
+        model = solver.model()
+        # Model must satisfy every clause (free vars default-checked too).
+        for clause in clauses:
+            assert any(
+                model.get(lit >> 1, 0) == (1 - (lit & 1)) for lit in clause
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_solve_is_repeatable(data):
+    num_vars = data.draw(st.integers(min_value=1, max_value=6))
+    clauses = [
+        [
+            _lit(
+                data.draw(st.integers(min_value=1, max_value=num_vars)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(2)
+        ]
+        for _ in range(10)
+    ]
+    solver, ok = _make_solver(num_vars, clauses)
+    if not ok:
+        return
+    first = solver.solve()
+    second = solver.solve()
+    assert first is second

@@ -1,0 +1,284 @@
+"""Unit and property tests for the term language and its rewrites."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import terms as T
+
+
+def test_const_masks_value():
+    assert T.bv_const(0x1FF, 8).value == 0xFF
+    assert T.bv_const(-1, 4).value == 0xF
+
+
+def test_const_rejects_bad_width():
+    with pytest.raises(ValueError):
+        T.bv_const(0, 0)
+    with pytest.raises(ValueError):
+        T.bv_var("x", -3)
+
+
+def test_interning_makes_equal_terms_identical():
+    a = T.bv_add(T.bv_var("x", 8), T.bv_const(1, 8))
+    b = T.bv_add(T.bv_var("x", 8), T.bv_const(1, 8))
+    assert a is b
+
+
+def test_commutative_canonicalization():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    assert T.bv_and(x, y) is T.bv_and(y, x)
+    assert T.bv_add(x, y) is T.bv_add(y, x)
+    assert T.bv_eq(x, y) is T.bv_eq(y, x)
+
+
+def test_constant_folding():
+    assert T.bv_add(T.bv_const(3, 8), T.bv_const(4, 8)).value == 7
+    assert T.bv_mul(T.bv_const(7, 8), T.bv_const(5, 8)).value == 35
+    assert T.bv_sub(T.bv_const(3, 8), T.bv_const(4, 8)).value == 0xFF
+
+
+def test_identity_rewrites():
+    x = T.bv_var("x", 8)
+    zero = T.bv_const(0, 8)
+    ones = T.bv_const(0xFF, 8)
+    assert T.bv_and(x, zero) is zero
+    assert T.bv_and(x, ones) is x
+    assert T.bv_or(x, zero) is x
+    assert T.bv_xor(x, zero) is x
+    assert T.bv_add(x, zero) is x
+    assert T.bv_sub(x, zero) is x
+    assert T.bv_xor(x, x).value == 0
+    assert T.bv_and(x, T.bv_not(x)).value == 0
+
+
+def test_add_reassociation_collects_constants():
+    x = T.bv_var("x", 8)
+    expr = T.bv_add(T.bv_add(x, T.bv_const(3, 8)), T.bv_const(4, 8))
+    assert expr is T.bv_add(x, T.bv_const(7, 8))
+
+
+def test_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        T.bv_add(T.bv_var("x", 8), T.bv_var("y", 4))
+    with pytest.raises(ValueError):
+        T.bv_ite(T.bv_var("c", 2), T.bv_var("x", 8), T.bv_var("x", 8))
+
+
+def test_shift_by_constant_becomes_wiring():
+    x = T.bv_var("x", 8)
+    shifted = T.bv_shl(x, T.bv_const(3, 8))
+    assert shifted.op == "concat"
+    assert T.evaluate(shifted, {"x": 0b10110011}) == (0b10110011 << 3) & 0xFF
+    right = T.bv_lshr(x, T.bv_const(2, 8))
+    assert T.evaluate(right, {"x": 0b10110011}) == 0b10110011 >> 2
+
+
+def test_shift_overflow_folds():
+    x = T.bv_var("x", 8)
+    assert T.bv_shl(x, T.bv_const(8, 8)).value == 0
+    assert T.bv_lshr(x, T.bv_const(200, 8)).value == 0
+
+
+def test_extract_of_concat_descends():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    cat = T.bv_concat(x, y)
+    assert T.bv_extract(cat, 7, 0) is y
+    assert T.bv_extract(cat, 15, 8) is x
+    mixed = T.bv_extract(cat, 11, 4)
+    assert T.evaluate(mixed, {"x": 0xAB, "y": 0xCD}) == ((0xAB << 8 | 0xCD) >> 4) & 0xFF
+
+
+def test_extract_of_extract_composes():
+    x = T.bv_var("x", 16)
+    inner = T.bv_extract(x, 11, 4)
+    outer = T.bv_extract(inner, 5, 2)
+    assert outer.op == "extract"
+    assert outer.params == (9, 6)
+
+
+def test_concat_of_adjacent_extracts_merges():
+    x = T.bv_var("x", 16)
+    hi = T.bv_extract(x, 11, 8)
+    lo = T.bv_extract(x, 7, 4)
+    assert T.bv_concat(hi, lo) is T.bv_extract(x, 11, 4)
+
+
+def test_ite_simplifications():
+    c = T.bv_var("c", 1)
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    assert T.bv_ite(T.TRUE, x, y) is x
+    assert T.bv_ite(T.FALSE, x, y) is y
+    assert T.bv_ite(c, x, x) is x
+    assert T.bv_ite(c, T.TRUE, T.FALSE) is c
+    assert T.bv_ite(T.bv_not(c), x, y) is T.bv_ite(c, y, x)
+
+
+def test_eq_of_ite_with_const_collapses():
+    c = T.bv_var("c", 1)
+    ite = T.bv_ite(c, T.bv_const(3, 4), T.bv_const(5, 4))
+    assert T.bv_eq(ite, T.bv_const(3, 4)) is c
+    assert T.bv_eq(ite, T.bv_const(5, 4)) is T.bv_not(c)
+    assert T.bv_eq(ite, T.bv_const(9, 4)) is T.FALSE
+
+
+def test_eq_concat_splits_against_constant():
+    x = T.bv_var("x", 4)
+    cat = T.bv_concat(T.bv_const(0b1010, 4), x)
+    eq = T.bv_eq(cat, T.bv_const(0b1010_0110, 8))
+    assert eq is T.bv_eq(x, T.bv_const(0b0110, 4))
+    assert T.bv_eq(cat, T.bv_const(0b0000_0110, 8)) is T.FALSE
+
+
+def test_repeat_bit():
+    b = T.bv_var("b", 1)
+    rep = T.repeat_bit(b, 5)
+    assert rep.width == 5
+    assert T.evaluate(rep, {"b": 1}) == 0b11111
+    assert T.evaluate(rep, {"b": 0}) == 0
+
+
+def test_extensions():
+    x = T.bv_var("x", 4)
+    assert T.evaluate(T.zero_extend(x, 8), {"x": 0b1010}) == 0b1010
+    assert T.evaluate(T.sign_extend(x, 8), {"x": 0b1010}) == 0b11111010
+    assert T.evaluate(T.sign_extend(x, 8), {"x": 0b0101}) == 0b0101
+
+
+def test_rotates():
+    x = T.bv_var("x", 8)
+    assert T.evaluate(T.rotate_left(x, 3), {"x": 0b10010110}) == 0b10110100
+    assert T.evaluate(T.rotate_right(x, 3), {"x": 0b10010110}) == 0b11010010
+    assert T.rotate_left(x, 0) is x
+    assert T.rotate_left(x, 8) is x
+
+
+def test_reductions():
+    x = T.bv_var("x", 4)
+    assert T.evaluate(T.reduce_or(x), {"x": 0}) == 0
+    assert T.evaluate(T.reduce_or(x), {"x": 2}) == 1
+    assert T.evaluate(T.reduce_and(x), {"x": 0xF}) == 1
+    assert T.evaluate(T.reduce_and(x), {"x": 0xE}) == 0
+
+
+def test_substitute_folds():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    expr = T.bv_add(T.bv_mul(x, y), T.bv_const(1, 8))
+    result = T.substitute(expr, {x: T.bv_const(6, 8), y: T.bv_const(7, 8)})
+    assert result.is_const and result.value == 43
+
+
+def test_substitute_partial():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    expr = T.bv_ite(T.bv_eq(x, T.bv_const(0, 8)), y, T.bv_not(y))
+    result = T.substitute(expr, {x: T.bv_const(0, 8)})
+    assert result is y
+
+
+def test_free_variables():
+    x = T.bv_var("x", 8)
+    y = T.bv_var("y", 8)
+    expr = T.bv_add(x, T.bv_and(y, x))
+    assert T.free_variables(expr) == {x, y}
+
+
+def test_term_size_counts_dag_nodes():
+    x = T.bv_var("x", 8)
+    shared = T.bv_add(x, x)
+    expr = T.bv_xor(shared, shared)
+    # xor(a, a) folds to 0, so build something non-degenerate
+    expr = T.bv_or(T.bv_not(shared), shared)
+    assert T.term_size(expr) <= 5
+
+
+def test_udiv_urem_by_zero_smtlib_semantics():
+    x = T.bv_var("x", 8)
+    zero = T.bv_const(0, 8)
+    assert T.bv_udiv(x, zero).value == 0xFF
+    assert T.bv_urem(x, zero) is x
+
+
+# ---------------------------------------------------------------------------
+# Property tests: rewritten terms agree with direct integer semantics.
+# ---------------------------------------------------------------------------
+
+_BINOPS = {
+    "add": (T.bv_add, lambda a, b, w: (a + b) % (1 << w)),
+    "sub": (T.bv_sub, lambda a, b, w: (a - b) % (1 << w)),
+    "mul": (T.bv_mul, lambda a, b, w: (a * b) % (1 << w)),
+    "and": (T.bv_and, lambda a, b, w: a & b),
+    "or": (T.bv_or, lambda a, b, w: a | b),
+    "xor": (T.bv_xor, lambda a, b, w: a ^ b),
+    "udiv": (T.bv_udiv, lambda a, b, w: ((1 << w) - 1) if b == 0 else a // b),
+    "urem": (T.bv_urem, lambda a, b, w: a if b == 0 else a % b),
+    "shl": (T.bv_shl, lambda a, b, w: (a << b) % (1 << w) if b < w else 0),
+    "lshr": (T.bv_lshr, lambda a, b, w: a >> b if b < w else 0),
+    "eq": (T.bv_eq, lambda a, b, w: int(a == b)),
+    "ult": (T.bv_ult, lambda a, b, w: int(a < b)),
+    "ule": (T.bv_ule, lambda a, b, w: int(a <= b)),
+}
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    op=st.sampled_from(sorted(_BINOPS)),
+    width=st.integers(min_value=1, max_value=16),
+    a=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 16) - 1),
+)
+def test_binop_agrees_with_integer_semantics(op, width, a, b):
+    a %= 1 << width
+    b %= 1 << width
+    build, model = _BINOPS[op]
+    x = T.bv_var("px", width)
+    y = T.bv_var("py", width)
+    term = build(x, y)
+    assert T.evaluate(term, {"px": a, "py": b}) == model(a, b, width)
+    # Constant-folded construction must agree as well.
+    folded = build(T.bv_const(a, width), T.bv_const(b, width))
+    assert folded.is_const or folded.width == term.width
+    value = folded.value if folded.is_const else T.evaluate(folded, {})
+    assert value == model(a, b, width)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    width=st.integers(min_value=2, max_value=16),
+    value=st.integers(min_value=0, max_value=(1 << 16) - 1),
+    data=st.data(),
+)
+def test_extract_matches_python_bits(width, value, data):
+    value %= 1 << width
+    low = data.draw(st.integers(min_value=0, max_value=width - 1))
+    high = data.draw(st.integers(min_value=low, max_value=width - 1))
+    x = T.bv_var("ex", width)
+    term = T.bv_extract(x, high, low)
+    expected = (value >> low) & ((1 << (high - low + 1)) - 1)
+    assert T.evaluate(term, {"ex": value}) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    width=st.integers(min_value=1, max_value=12),
+    a=st.integers(min_value=0, max_value=4095),
+    b=st.integers(min_value=0, max_value=4095),
+)
+def test_signed_comparisons(width, a, b):
+    a %= 1 << width
+    b %= 1 << width
+
+    def signed(v):
+        return v - (1 << width) if v & (1 << (width - 1)) else v
+
+    x = T.bv_var("sx", width)
+    y = T.bv_var("sy", width)
+    env = {"sx": a, "sy": b}
+    assert T.evaluate(T.bv_slt(x, y), env) == int(signed(a) < signed(b))
+    assert T.evaluate(T.bv_sle(x, y), env) == int(signed(a) <= signed(b))
+    assert T.evaluate(T.bv_ashr(x, y), env) == (
+        (signed(a) >> min(b, width - 1)) % (1 << width)
+    )

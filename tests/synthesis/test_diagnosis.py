@@ -1,0 +1,84 @@
+"""Tests for synthesis-failure diagnosis."""
+
+import pytest
+
+from repro import hdl
+from repro.abstraction import parse_abstraction
+from repro.ila import BvConst, Ila
+from repro.synthesis import SynthesisProblem
+from repro.synthesis.diagnosis import diagnose_instruction
+
+
+def _spec(want_sub=True):
+    ila = Ila("diag")
+    op = ila.new_bv_input("op", 1)
+    acc = ila.new_bv_state("acc", 8)
+    aux = ila.new_bv_state("aux", 8)
+    add = ila.new_instr("ADDER")
+    add.set_decode(op == BvConst(0, 1))
+    add.set_update(acc, acc + 1)
+    add.set_update(aux, aux)
+    if want_sub:
+        sub = ila.new_instr("SUBBER")
+        sub.set_decode(op == BvConst(1, 1))
+        sub.set_update(acc, acc - 1)
+        sub.set_update(aux, aux + 1)
+    return ila.validate()
+
+
+def _sketch(with_sub_unit=True, aux_tied_to_acc=False):
+    with hdl.Module("diag_dp") as module:
+        op = hdl.Input(1, "op")
+        acc = hdl.Register(8, "acc")
+        aux = hdl.Register(8, "aux")
+        mode = hdl.Hole(1, "mode", deps=[op])
+        aux_en = hdl.Hole(1, "aux_en", deps=[op])
+        if with_sub_unit:
+            acc.next <<= hdl.select(mode, acc - 1, acc + 1)
+        else:
+            acc.next <<= hdl.select(mode, acc + 1, acc + 1)
+        if aux_tied_to_acc:
+            # aux can only increment when acc increments: a cross-signal
+            # conflict for SUBBER (needs acc-1 with aux+1).
+            aux.next <<= hdl.select(mode, aux, aux + 1)
+        else:
+            aux.next <<= hdl.select(aux_en, aux + 1, aux)
+    return module.to_oyster()
+
+
+_ALPHA = parse_abstraction(
+    "op:  {name: 'op', type: input, [read: 1]}\n"
+    "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+    "aux: {name: 'aux', type: register, [read: 1, write: 1]}\n"
+    "with cycles: 1\n"
+)
+
+
+def test_healthy_sketch_diagnoses_clean():
+    problem = SynthesisProblem(_sketch(), _spec(), _ALPHA)
+    diagnosis = diagnose_instruction(problem, problem.spec.instr("SUBBER"))
+    assert diagnosis.ok
+    assert set(diagnosis.feasible) == {"acc", "aux"}
+    assert "ok" in diagnosis.summary()
+
+
+def test_missing_hardware_identified():
+    """No subtract unit: the acc postcondition is infeasible, aux is fine."""
+    problem = SynthesisProblem(
+        _sketch(with_sub_unit=False), _spec(), _ALPHA
+    )
+    diagnosis = diagnose_instruction(problem, problem.spec.instr("SUBBER"))
+    assert diagnosis.infeasible == ["acc"]
+    assert "aux" in diagnosis.feasible
+    assert "missing" in diagnosis.summary()
+
+
+def test_conflicting_updates_identified():
+    """Each update is implementable alone but not simultaneously."""
+    problem = SynthesisProblem(
+        _sketch(aux_tied_to_acc=True), _spec(), _ALPHA
+    )
+    diagnosis = diagnose_instruction(problem, problem.spec.instr("SUBBER"))
+    assert not diagnosis.infeasible
+    assert set(diagnosis.conflict) == {"acc", "aux"}
+    assert "conflict" in diagnosis.summary()

@@ -1,0 +1,167 @@
+"""End-to-end synthesis tests on the Section 2 case studies."""
+
+import pytest
+
+from repro.designs import accumulator, alu_machine
+from repro.oyster import Simulator
+from repro.oyster import ast as oy
+from repro.synthesis import (
+    SynthesisFailure,
+    SynthesisProblem,
+    SynthesisTimeout,
+    synthesize,
+    verify_design,
+)
+
+
+@pytest.fixture(scope="module")
+def alu_result():
+    problem = alu_machine.build_problem()
+    return problem, synthesize(problem, timeout=300)
+
+
+@pytest.fixture(scope="module")
+def acc_result():
+    problem = accumulator.build_problem()
+    return problem, synthesize(problem, timeout=300)
+
+
+def test_alu_solutions_match_reference(alu_result):
+    _, result = alu_result
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert result.hole_values_for(name) == expected
+
+
+def test_alu_completed_design_verifies(alu_result):
+    problem, result = alu_result
+    verdict = verify_design(
+        result.completed_design, problem.spec, problem.alpha
+    )
+    assert verdict.ok, verdict.summary()
+
+
+def test_alu_completed_design_simulates(alu_result):
+    _, result = alu_result
+    design = result.completed_design
+    ops = alu_machine.OPCODES
+    cases = [
+        (ops["ADD"], lambda a, b: (a + b) & 0xFF),
+        (ops["SUB"], lambda a, b: (a - b) & 0xFF),
+        (ops["AND"], lambda a, b: a & b),
+        (ops["XOR"], lambda a, b: a ^ b),
+    ]
+    for opcode, model in cases:
+        sim = Simulator(design, memory_init={"regfile": {1: 0x5A, 2: 0x33}})
+        for _ in range(3):
+            sim.step({"op": opcode, "dest": 3, "src1": 1, "src2": 2})
+        assert sim.peek_memory("regfile", 3) == model(0x5A, 0x33)
+
+
+def test_alu_wb_enable_collapses_to_constant(alu_result):
+    _, result = alu_result
+    assert result.hole_exprs["wb_en"] == oy.Const(1, 1)
+
+
+def test_alu_union_emits_precondition_wires(alu_result):
+    _, result = alu_result
+    targets = [stmt.target for stmt in result.control_stmts]
+    assert "alu_op" in targets
+    assert any(target.startswith("pre_") for target in targets)
+
+
+def test_acc_verifies_and_simulates(acc_result):
+    problem, result = acc_result
+    verdict = verify_design(
+        result.completed_design, problem.spec, problem.alpha
+    )
+    assert verdict.ok, verdict.summary()
+    sim = Simulator(result.completed_design,
+                    register_init={"state": accumulator.STATES["STOP"],
+                                   "acc": 77})
+    sim.step({"reset": 1, "go": 0, "stop": 0, "val": 0})
+    assert sim.peek("acc") == 0
+    assert sim.peek("state") == accumulator.STATES["RESET"]
+    sim.step({"reset": 0, "go": 1, "stop": 0, "val": 2})
+    sim.step({"reset": 0, "go": 0, "stop": 0, "val": 1})
+    assert sim.peek("acc") == 3
+    assert sim.peek("state") == accumulator.STATES["GO"]
+    sim.step({"reset": 0, "go": 0, "stop": 1, "val": 1})
+    assert sim.peek("acc") == 3
+    assert sim.peek("state") == accumulator.STATES["STOP"]
+
+
+def test_acc_transition_hole_dispatches_on_preconditions(acc_result):
+    _, result = acc_result
+    state_next = result.hole_exprs["state_next"]
+    assert isinstance(state_next, oy.Ite)
+
+
+def test_monolithic_mode_agrees_with_per_instruction(alu_result):
+    problem, per_instr = alu_result
+    mono = synthesize(problem, mode="monolithic", timeout=300)
+    verdict = verify_design(
+        mono.completed_design, problem.spec, problem.alpha
+    )
+    assert verdict.ok, verdict.summary()
+    for name in alu_machine.OPCODES:
+        assert (mono.hole_values_for(name)
+                == per_instr.hole_values_for(name))
+
+
+def test_unsynthesizable_sketch_raises_failure():
+    """A datapath with no subtract unit cannot implement SUB."""
+    from repro import hdl
+
+    with hdl.Module("no_sub") as module:
+        op = hdl.Input(2, "op")
+        dest = hdl.Input(2, "dest")
+        src1 = hdl.Input(2, "src1")
+        src2 = hdl.Input(2, "src2")
+        regfile = hdl.MemBlock(2, 8, "regfile")
+        alu_op = hdl.Hole(1, "alu_op", deps=[op])
+        wb_en = hdl.Hole(1, "wb_en", deps=[op])
+        rs1 = regfile.read(src1)
+        rs2 = regfile.read(src2)
+        p1 = hdl.Register(8, "p1")
+        p2 = hdl.Register(8, "p2")
+        pd = hdl.Register(2, "pd")
+        pa = hdl.Register(1, "pa")
+        pw = hdl.Register(1, "pw", init=0)
+        p1.next <<= rs1
+        p2.next <<= rs2
+        pd.next <<= dest
+        pw.next <<= wb_en
+        pa.next <<= alu_op
+        out = hdl.mux(pa, p1 + p2, p1 & p2)
+        pr = hdl.Register(8, "pr")
+        pd2 = hdl.Register(2, "pd2")
+        pw2 = hdl.Register(1, "pw2", init=0)
+        pr.next <<= out
+        pd2.next <<= pd
+        pw2.next <<= pw
+        regfile.write(pd2, pr, enable=pw2)
+    problem = SynthesisProblem(
+        sketch=module.to_oyster(),
+        spec=alu_machine.build_spec(),
+        alpha=alu_machine.build_alpha(),
+        name="no_sub",
+    )
+    with pytest.raises(SynthesisFailure):
+        synthesize(problem, timeout=120)
+
+
+def test_timeout_raises():
+    problem = alu_machine.build_problem()
+    with pytest.raises(SynthesisTimeout):
+        synthesize(problem, timeout=1e-9)
+
+
+def test_result_summary_mentions_instructions(alu_result):
+    _, result = alu_result
+    text = result.summary()
+    assert "ADD" in text and "per_instruction" in text
+
+
+def test_completed_design_has_no_holes(alu_result):
+    _, result = alu_result
+    assert result.completed_design.holes == []

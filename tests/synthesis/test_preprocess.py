@@ -1,0 +1,98 @@
+"""Tests for destructive equality resolution."""
+
+from repro.smt import terms as T
+from repro.synthesis.preprocess import resolve_equalities
+
+
+def test_var_var_equality_substituted():
+    x = T.bv_var("px", 8)
+    y = T.bv_var("py", 8)
+    antecedent = T.and_(T.bv_eq(x, y), T.bv_ult(x, T.bv_const(5, 8)))
+    consequent = T.bv_eq(T.bv_add(x, y), T.bv_add(y, y))
+    new_antecedent, new_consequent = resolve_equalities(
+        antecedent, consequent
+    )
+    # x := y makes the consequent fold to TRUE.
+    assert new_consequent is T.TRUE
+    names = {v.name for v in T.free_variables(new_antecedent)}
+    assert len(names & {"px", "py"}) == 1  # one side eliminated
+
+
+def test_var_expr_definition_substituted():
+    x = T.bv_var("dx", 8)
+    y = T.bv_var("dy", 8)
+    antecedent = T.bv_eq(x, T.bv_add(y, T.bv_const(1, 8)))
+    consequent = T.bv_eq(x, T.bv_add(y, T.bv_const(1, 8)))
+    _, new_consequent = resolve_equalities(antecedent, consequent)
+    assert new_consequent is T.TRUE
+
+
+def test_bare_boolean_assumption_substituted():
+    v = T.bv_var("valid", 1)
+    x = T.bv_var("bx", 8)
+    antecedent = T.and_(v, T.bv_ult(x, T.bv_const(9, 8)))
+    consequent = T.bv_ite(v, T.TRUE, T.FALSE)
+    _, new_consequent = resolve_equalities(antecedent, consequent)
+    assert new_consequent is T.TRUE
+
+
+def test_negated_boolean_assumption_substituted():
+    flush = T.bv_var("flush", 1)
+    antecedent = T.bv_not(flush)
+    consequent = T.bv_not(flush)
+    _, new_consequent = resolve_equalities(antecedent, consequent)
+    assert new_consequent is T.TRUE
+
+
+def test_protected_variables_survive():
+    hole = T.bv_var("hole!h", 8)
+    x = T.bv_var("hx", 8)
+    antecedent = T.bv_eq(hole, x)
+    consequent = T.bv_eq(hole, x)
+    new_antecedent, new_consequent = resolve_equalities(
+        antecedent, consequent, protected_names={"hole!h"}
+    )
+    # x may be eliminated in favour of the hole, but never the reverse —
+    # and the hole must still be a free variable afterwards.
+    names = {v.name for v in T.free_variables(new_antecedent)
+             } | {v.name for v in T.free_variables(new_consequent)}
+    # Either nothing changed or x was replaced by... x:=hole is blocked by
+    # the conservative rule, so both variables survive.
+    assert "hole!h" in names or new_consequent is T.TRUE
+
+
+def test_cyclic_definition_not_substituted():
+    x = T.bv_var("cx", 8)
+    antecedent = T.bv_eq(x, T.bv_add(x, T.bv_const(1, 8)))
+    new_antecedent, _ = resolve_equalities(antecedent, T.TRUE)
+    # x == x+1 is unsatisfiable but NOT a definition; it must survive.
+    assert {v.name for v in T.free_variables(new_antecedent)} == {"cx"}
+
+
+def test_chained_equalities_converge():
+    a = T.bv_var("ca", 8)
+    b = T.bv_var("cb", 8)
+    c = T.bv_var("cc", 8)
+    antecedent = T.and_(T.bv_eq(a, b), T.bv_eq(b, c))
+    consequent = T.bv_eq(a, c)
+    _, new_consequent = resolve_equalities(antecedent, consequent)
+    assert new_consequent is T.TRUE
+
+
+def test_semantics_preserved_under_solver():
+    """(A → C) before and after resolution must be equivalid."""
+    from repro.smt.solver import Solver, UNSAT
+
+    x = T.bv_var("sx", 8)
+    y = T.bv_var("sy", 8)
+    z = T.bv_var("sz", 8)
+    antecedent = T.and_(T.bv_eq(x, y), T.bv_ult(z, T.bv_const(8, 8)))
+    consequent = T.bv_ult(T.bv_sub(x, y), T.bv_const(1, 8))  # x-y==0 < 1
+    new_antecedent, new_consequent = resolve_equalities(
+        antecedent, consequent
+    )
+    for ante, cons in ((antecedent, consequent),
+                       (new_antecedent, new_consequent)):
+        solver = Solver()
+        solver.add(T.and_(ante, T.bv_not(cons)))
+        assert solver.check() is UNSAT

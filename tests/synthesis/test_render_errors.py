@@ -1,0 +1,59 @@
+"""Error paths of precondition rendering (decode-to-Oyster translation)."""
+
+import pytest
+
+from repro.abstraction import parse_abstraction
+from repro.ila import BvConst, Extract, Ila, Ite, Load
+from repro.oyster import ast as oy
+from repro.synthesis.union import RenderError, render_precondition
+
+
+def _alpha(extra=""):
+    return parse_abstraction(
+        "op:  {name: 'op_wire', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "mem: {name: 'm', type: memory, [read: 1, write: 1]}\n"
+        "with cycles: 1\n" + extra
+    )
+
+
+def _spec():
+    ila = Ila("r")
+    op = ila.new_bv_input("op", 4)
+    acc = ila.new_bv_state("acc", 8)
+    mem = ila.new_mem_state("mem", 4, 8)
+    return ila, op, acc, mem
+
+
+def test_variables_render_through_alpha():
+    ila, op, acc, mem = _spec()
+    rendered = render_precondition(ila, _alpha(), op == BvConst(3, 4))
+    assert rendered == oy.Binop("==", oy.Var("op_wire"), oy.Const(3, 4))
+
+
+def test_decode_fields_render_to_bindings():
+    ila, op, acc, mem = _spec()
+    field = ila.declare_decode_field("nibble", Extract(acc, 3, 0))
+    alpha = parse_abstraction(
+        "op:  {name: 'op_wire', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+        "fields: {nibble: 'low_bits'}\n"
+    )
+    rendered = render_precondition(ila, alpha, field == BvConst(1, 4))
+    assert rendered == oy.Binop("==", oy.Var("low_bits"), oy.Const(1, 4))
+
+
+def test_unbound_load_rejected():
+    ila, op, acc, mem = _spec()
+    decode = Load(mem, Extract(acc, 3, 0)) == BvConst(0, 8)
+    with pytest.raises(RenderError, match="memory load"):
+        render_precondition(ila, _alpha(), decode)
+
+
+def test_complex_expressions_render():
+    ila, op, acc, mem = _spec()
+    decode = Ite(op == BvConst(0, 4), acc == BvConst(1, 8),
+                 acc != BvConst(2, 8))
+    rendered = render_precondition(ila, _alpha(), decode)
+    assert isinstance(rendered, oy.Ite)

@@ -1,0 +1,138 @@
+"""Unit tests for the control union ⊔ (Figure 6) and control splicing."""
+
+import pytest
+
+from repro.designs import alu_machine
+from repro.oyster import ast as oy
+from repro.oyster import parse_design
+from repro.synthesis.engine import splice_control
+from repro.synthesis.result import InstructionSolution, SynthesisError
+from repro.synthesis.union import control_union, render_precondition
+
+
+def _solutions(values_by_instr):
+    return [
+        InstructionSolution(name, values, 1, 0.0)
+        for name, values in values_by_instr.items()
+    ]
+
+
+@pytest.fixture()
+def alu_problem():
+    return alu_machine.build_problem()
+
+
+def test_shared_value_collapses_to_constant(alu_problem):
+    solutions = _solutions({
+        "ADD": {"alu_op": 1, "wb_en": 1},
+        "SUB": {"alu_op": 2, "wb_en": 1},
+        "AND": {"alu_op": 3, "wb_en": 1},
+        "XOR": {"alu_op": 0, "wb_en": 1},
+    })
+    hole_exprs, _ = control_union(alu_problem, solutions)
+    assert hole_exprs["wb_en"] == oy.Const(1, 1)
+
+
+def test_distinct_values_build_ite_over_preconditions(alu_problem):
+    solutions = _solutions({
+        "ADD": {"alu_op": 1, "wb_en": 1},
+        "SUB": {"alu_op": 2, "wb_en": 1},
+        "AND": {"alu_op": 3, "wb_en": 1},
+        "XOR": {"alu_op": 0, "wb_en": 1},
+    })
+    hole_exprs, stmts = control_union(alu_problem, solutions)
+    expr = hole_exprs["alu_op"]
+    # paper Figure 6: if pre_a then v else if pre_b then v' ... else v_last
+    assert isinstance(expr, oy.Ite)
+    depth = 0
+    while isinstance(expr, oy.Ite):
+        depth += 1
+        expr = expr.els
+    assert depth == 3  # 4 distinct values -> 3 conditions + default
+    targets = [stmt.target for stmt in stmts]
+    # precondition wires come first
+    assert targets[0].startswith("pre_")
+    assert targets.index("alu_op") > targets.index("pre_ADD")
+
+
+def test_grouped_instructions_share_disjunction():
+    """Figure 6's example: a value shared by several instructions ORs
+    their preconditions."""
+    problem = alu_machine.build_problem()
+    solutions = _solutions({
+        "ADD": {"alu_op": 1, "wb_en": 1},
+        "SUB": {"alu_op": 1, "wb_en": 1},   # same as ADD
+        "AND": {"alu_op": 3, "wb_en": 0},
+        "XOR": {"alu_op": 3, "wb_en": 0},
+    })
+    hole_exprs, _ = control_union(problem, solutions)
+    condition = hole_exprs["alu_op"].cond
+    assert isinstance(condition, oy.Binop) and condition.op == "|"
+
+
+def test_render_precondition_over_datapath_names(alu_problem):
+    spec = alu_problem.spec
+    rendered = render_precondition(
+        spec, alu_problem.alpha, spec.instr("ADD").decode
+    )
+    assert rendered == oy.Binop("==", oy.Var("op"), oy.Const(1, 2))
+
+
+def test_union_rejects_mismatched_solutions(alu_problem):
+    with pytest.raises(SynthesisError):
+        control_union(alu_problem, _solutions({
+            "GHOST": {"alu_op": 0, "wb_en": 0},
+        }))
+
+
+# ---------------------------------------------------------------------------
+# splice_control
+# ---------------------------------------------------------------------------
+
+SKETCH = """
+design s:
+  input a 4
+  hole ctl 1 deps(sel)
+  register r 4
+  sel := a[0:0]
+  t := if ctl then a else r
+  r := t
+"""
+
+
+def test_splice_inserts_after_dependencies():
+    sketch = parse_design(SKETCH)
+    stmts = [oy.Assign("ctl", oy.Var("sel"))]
+    completed = splice_control(sketch, stmts)
+    targets = [s.target for s in completed.stmts
+               if isinstance(s, oy.Assign)]
+    assert targets.index("ctl") > targets.index("sel")
+    assert targets.index("ctl") < targets.index("t")
+    assert completed.holes == []
+
+
+def test_splice_rejects_missing_signal():
+    sketch = parse_design(SKETCH)
+    stmts = [oy.Assign("ctl", oy.Var("never_defined"))]
+    with pytest.raises(SynthesisError, match="never defined"):
+        splice_control(sketch, stmts)
+
+
+def test_splice_rejects_control_after_first_use():
+    sketch = parse_design(
+        "design s:\n  input a 4\n  hole ctl 1\n"
+        "  t := if ctl then a else a\n  late := t[0:0]\n"
+    )
+    # Control that depends on `late`, which is defined after ctl's use.
+    stmts = [oy.Assign("ctl", oy.Var("late"))]
+    with pytest.raises(SynthesisError, match="after the first hole use"):
+        splice_control(sketch, stmts)
+
+
+def test_splice_validates_result():
+    sketch = parse_design(SKETCH)
+    stmts = [oy.Assign("ctl", oy.Binop("==", oy.Var("sel"), oy.Const(1, 1)))]
+    completed = splice_control(sketch, stmts)
+    from repro.oyster import check_design
+
+    check_design(completed)

@@ -1,0 +1,76 @@
+"""Tests for the independent verifier, including counterexample content."""
+
+import pytest
+
+from repro.abstraction import parse_abstraction
+from repro.ila import Ila
+from repro.oyster import parse_design
+from repro.synthesis import verify_design
+
+
+def _setup(datapath_text):
+    ila = Ila("v")
+    inc = ila.new_bv_input("inc", 8)
+    acc = ila.new_bv_state("acc", 8)
+    instr = ila.new_instr("STEP")
+    instr.set_decode(inc != 0)
+    instr.set_update(acc, acc + inc)
+    alpha = parse_abstraction(
+        "inc: {name: 'inc', type: input, [read: 1]}\n"
+        "acc: {name: 'acc', type: register, [read: 1, write: 1]}\n"
+        "with cycles: 1\n"
+    )
+    return parse_design(datapath_text), ila.validate(), alpha
+
+
+def test_correct_design_proved():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    result = verify_design(design, spec, alpha)
+    assert result.ok
+    assert result.verdicts[0].status == "proved"
+    assert "proved" in result.summary()
+
+
+def test_violation_carries_counterexample():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n"
+        "  acc := acc | inc\n"  # wrong: or instead of add
+    )
+    result = verify_design(design, spec, alpha)
+    assert not result.ok
+    verdict = result.violations[0]
+    assert verdict.instruction_name == "STEP"
+    # The model must actually falsify acc + inc == acc | inc.
+    model = verdict.counterexample
+    acc0 = model.get("v0!acc@0", 0)
+    inc0 = model.get("v0!inc@1", 0)
+    assert (acc0 + inc0) & 0xFF != (acc0 | inc0)
+
+
+def test_sketch_verification_with_bound_holes():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  hole en 1\n"
+        "  acc := if en then (acc + inc) else (acc)\n"
+    )
+    good = verify_design(design, spec, alpha, hole_values={"en": 1})
+    assert good.ok
+    bad = verify_design(design, spec, alpha, hole_values={"en": 0})
+    assert not bad.ok
+
+
+def test_unknown_hole_name_raises():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    with pytest.raises(KeyError):
+        verify_design(design, spec, alpha, hole_values={"ghost": 1})
+
+
+def test_instruction_subset_filter():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    result = verify_design(design, spec, alpha, instructions=[])
+    assert result.verdicts == []

@@ -1,0 +1,45 @@
+"""Smoke tests for the fast runnable examples (the slow ones are covered by
+the design tests and benchmarks, which exercise identical code paths)."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def _run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(f"examples/{name}", run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+def test_quickstart(capsys):
+    _run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "quickstart OK" in out
+
+
+def test_export_artifacts(tmp_path, capsys):
+    _run_example("export_artifacts.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert (tmp_path / "accumulator.v").exists()
+    assert (tmp_path / "accumulator.vcd").exists()
+    assert (tmp_path / "go_start_query.smt2").exists()
+
+
+@pytest.mark.slow
+def test_riscv_core_example(capsys):
+    _run_example("riscv_core.py")
+    out = capsys.readouterr().out
+    assert "fib(10) = 55" in out
+
+
+@pytest.mark.slow
+def test_diagnose_example(capsys):
+    _run_example("diagnose_sketch.py")
+    out = capsys.readouterr().out
+    assert "[missing]" in out
