@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""CI smoke check: a fault mid-CEGIS must degrade, not crash.
+
+Installs a ``FaultInjector`` that forces an UNKNOWN verdict partway
+through the ALU synthesis run and asserts the engine hands back a
+``PartialSynthesisResult`` carrying the already-completed instructions,
+then resumes from it and verifies the completed design.  Exits non-zero
+on any violation of the degradation contract.
+
+Run: ``PYTHONPATH=src python scripts/fault_injection_smoke.py``
+"""
+
+import sys
+
+from repro.designs import alu_machine
+from repro.runtime import FaultInjector
+from repro.synthesis import PartialSynthesisResult, synthesize, verify_design
+
+
+def main():
+    problem = alu_machine.build_problem()
+    names = [i.name for i in problem.spec.instructions]
+
+    # Calibrate: count facade checks per instruction on a clean run.
+    counter = FaultInjector()
+    boundaries = {}
+    with counter.installed():
+        synthesize(problem, timeout=300, check_independence=False,
+                   progress=lambda name, _s: boundaries.setdefault(
+                       name, counter.check_count))
+    first_span_end = boundaries[names[0]]
+
+    # Inject: the first check of the second instruction comes back UNKNOWN.
+    injector = FaultInjector().inject_unknown(at_check=first_span_end + 1)
+    with injector.installed():
+        partial = synthesize(problem, timeout=300, check_independence=False,
+                             on_timeout="partial")
+
+    assert isinstance(partial, PartialSynthesisResult), (
+        f"expected PartialSynthesisResult, got {type(partial).__name__}")
+    assert partial.pending == [names[1]], partial.pending
+    assert partial.completed_count == len(names) - 1, partial.summary()
+    assert injector.fired, "the planned fault never fired"
+    print(partial.summary())
+
+    resumed = synthesize(problem, timeout=300,
+                         resume_from=partial.to_dict())
+    verdict = verify_design(resumed.completed_design, problem.spec,
+                            problem.alpha)
+    assert verdict.ok, verdict.summary()
+    print(f"resume completed {len(resumed.per_instruction)} instructions; "
+          "design verifies")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

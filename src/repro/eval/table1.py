@@ -64,6 +64,8 @@ class Table1Row:
     instructions: int
     time_seconds: float
     status: str  # "ok" or "timeout"
+    reason: str = ""             # machine-readable stop reason on timeout
+    completed_instructions: int = -1  # solved before the budget hit (-1: all)
 
 
 def build_config(row_id, quick=True):
@@ -107,12 +109,19 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120):
     budget = monolithic_timeout if mode == "monolithic" else timeout
     started = time.monotonic()
     status = "ok"
+    reason = ""
+    completed = -1
     try:
         result = synthesize(problem, mode=mode, timeout=budget)
         elapsed = result.elapsed
-    except SynthesisTimeout:
+    except SynthesisTimeout as exc:
+        # An honest Timeout row: record *why* the budget tripped and how
+        # much per-instruction work finished before it did.
         elapsed = time.monotonic() - started
         status = "timeout"
+        reason = exc.reason
+        if exc.partial is not None:
+            completed = exc.partial.completed_count
     return Table1Row(
         row_id=row_id,
         design=design_name,
@@ -122,6 +131,8 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120):
         instructions=len(problem.spec.instructions),
         time_seconds=elapsed,
         status=status,
+        reason=reason,
+        completed_instructions=completed,
     )
 
 

@@ -1,0 +1,45 @@
+"""Resilient synthesis runtime: budgets, retries, fault injection.
+
+This package is the resource-control spine under the synthesis stack:
+
+* :class:`Budget` — nestable wall-clock / conflict / memory caps, threaded
+  cooperatively from the engine down into the CDCL core's cancellation
+  checkpoints;
+* the typed failure taxonomy (:class:`BudgetExhausted`,
+  :class:`SolverUnknown`, :class:`ResourceExceeded`,
+  :class:`MalformedModel`) that replaces opaque UNKNOWNs with
+  machine-actionable reasons;
+* :class:`RetryPolicy` — restart-with-escalation (bigger conflict budget,
+  reseeded decision order, capped exponential backoff) for UNKNOWNs that
+  retrying can actually fix;
+* :class:`FaultInjector` — deterministic UNKNOWN / timeout / malformed-model
+  injection at the solver facade, so degradation paths are testable.
+
+It deliberately imports nothing from ``repro.smt`` or ``repro.synthesis``;
+those layers import *it*.
+"""
+
+from repro.runtime.budget import Budget
+from repro.runtime.errors import (
+    BudgetExhausted,
+    MalformedModel,
+    ResourceExceeded,
+    RuntimeFault,
+    SolverUnknown,
+)
+from repro.runtime.faults import FaultInjector, active_injector
+from repro.runtime.retry import Attempt, RetryPolicy, run_with_retry
+
+__all__ = [
+    "Budget",
+    "RuntimeFault",
+    "BudgetExhausted",
+    "ResourceExceeded",
+    "SolverUnknown",
+    "MalformedModel",
+    "RetryPolicy",
+    "Attempt",
+    "run_with_retry",
+    "FaultInjector",
+    "active_injector",
+]

@@ -1,0 +1,160 @@
+"""Cooperative resource budgets: wall clock, conflicts, memory.
+
+A :class:`Budget` is threaded *down* through the synthesis stack — engine →
+CEGIS → solver facade → CDCL core — and charged *up*: the SAT core polls it
+at cancellation checkpoints (propagation, decision, conflict) and every
+facade ``check`` charges the conflicts it consumed, so nested layers share
+one honest account of how much resource is left.
+
+Budgets nest: ``budget.child(timeout=5)`` returns a budget whose deadline
+is the *minimum* of its own and every ancestor's, and whose conflict
+charges propagate to the ancestors.  This is what lets the per-instruction
+loop give each instruction a slice of the overall run budget without any
+layer being able to overspend the whole.
+
+All caps are optional; ``Budget()`` with no arguments never exhausts and
+costs almost nothing to poll.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.runtime.errors import BudgetExhausted, ResourceExceeded
+
+try:  # pragma: no cover - platform gate
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+__all__ = ["Budget"]
+
+
+def _rss_bytes():
+    """Current peak RSS in bytes (0 when unavailable)."""
+    if _resource is None:
+        return 0
+    rss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes; normalize heuristically.
+    return rss * 1024 if rss < 1 << 40 else rss
+
+
+class Budget:
+    """A nestable wall-clock / conflict / memory budget.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock cap in seconds for this budget (from creation time).
+    max_conflicts:
+        Cap on SAT conflicts charged via :meth:`charge_conflicts`.
+    max_memory_mb:
+        Cap on process peak RSS in megabytes, polled at checkpoints.
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    __slots__ = ("_clock", "started", "deadline", "max_conflicts",
+                 "conflicts_used", "max_memory_bytes", "_parent")
+
+    def __init__(self, timeout=None, max_conflicts=None, max_memory_mb=None,
+                 clock=time.monotonic, _parent=None):
+        self._clock = clock
+        self.started = clock()
+        self.deadline = None if timeout is None else self.started + timeout
+        if _parent is not None and _parent.deadline is not None:
+            if self.deadline is None or _parent.deadline < self.deadline:
+                self.deadline = _parent.deadline
+        self.max_conflicts = max_conflicts
+        self.conflicts_used = 0
+        self.max_memory_bytes = (
+            None if max_memory_mb is None else int(max_memory_mb * 1024 * 1024)
+        )
+        self._parent = _parent
+
+    # -- construction ----------------------------------------------------
+
+    def child(self, timeout=None, max_conflicts=None, max_memory_mb=None):
+        """A nested budget never looser than this one.
+
+        The child's deadline is clamped to the parent chain's; conflict
+        charges to the child propagate upward.  A ``max_memory_mb`` of
+        ``None`` inherits the parent's cap (peak RSS is process-global).
+        """
+        child = Budget(timeout=timeout, max_conflicts=max_conflicts,
+                       max_memory_mb=max_memory_mb, clock=self._clock,
+                       _parent=self)
+        if child.max_memory_bytes is None:
+            child.max_memory_bytes = self.max_memory_bytes
+        return child
+
+    # -- accounting ------------------------------------------------------
+
+    def elapsed(self):
+        return self._clock() - self.started
+
+    def remaining_time(self):
+        """Seconds left before the deadline, or ``None`` if uncapped."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    def remaining_conflicts(self):
+        """Conflicts left on the tightest cap in the chain, or ``None``."""
+        remaining = None
+        node = self
+        while node is not None:
+            if node.max_conflicts is not None:
+                left = max(0, node.max_conflicts - node.conflicts_used)
+                remaining = left if remaining is None else min(remaining, left)
+            node = node._parent
+        return remaining
+
+    def charge_conflicts(self, count):
+        """Record ``count`` conflicts against this budget and its ancestors."""
+        node = self
+        while node is not None:
+            node.conflicts_used += count
+            node = node._parent
+
+    # -- exhaustion ------------------------------------------------------
+
+    def memory_exceeded(self):
+        if self.max_memory_bytes is None:
+            return False
+        return _rss_bytes() > self.max_memory_bytes
+
+    def exhausted_reason(self):
+        """The first exhausted cap (``"deadline"``/``"conflicts"``/
+        ``"memory"``) or ``None`` while within budget."""
+        if self.deadline is not None and self._clock() >= self.deadline:
+            return "deadline"
+        remaining = self.remaining_conflicts()
+        if remaining is not None and remaining <= 0:
+            return "conflicts"
+        if self.memory_exceeded():
+            return "memory"
+        return None
+
+    def check(self):
+        """Raise :class:`BudgetExhausted` if any cap in the chain is hit."""
+        reason = self.exhausted_reason()
+        if reason == "memory":
+            raise ResourceExceeded(
+                f"memory cap of {self.max_memory_bytes // (1024 * 1024)} MB "
+                "exceeded"
+            )
+        if reason is not None:
+            raise BudgetExhausted(reason=reason)
+
+    def __repr__(self):
+        caps = []
+        if self.deadline is not None:
+            caps.append(f"time={self.remaining_time():.3f}s")
+        if self.max_conflicts is not None:
+            caps.append(
+                f"conflicts={self.conflicts_used}/{self.max_conflicts}"
+            )
+        if self.max_memory_bytes is not None:
+            caps.append(f"mem<={self.max_memory_bytes >> 20}MB")
+        return f"Budget({', '.join(caps) or 'unbounded'})"

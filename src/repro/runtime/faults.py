@@ -1,0 +1,116 @@
+"""Deterministic fault injection at the solver facade.
+
+Production resilience claims ("a timeout mid-CEGIS degrades to a partial
+result") are only testable if faults can be provoked *on demand and
+reproducibly*.  A :class:`FaultInjector` holds a plan of faults keyed on
+the facade's global check/model ordinals — the N-th ``Solver.check`` call
+process-wide, regardless of which solver instance makes it — so a test can
+say "the 3rd query returns UNKNOWN" and hit, say, the guess side of CEGIS
+iteration 2 every single run.
+
+Supported faults:
+
+* ``inject_unknown(at_check=n)`` — the n-th check returns UNKNOWN
+  (reason ``"injected"``), as if a conflict cap had been hit;
+* ``inject_deadline(at_check=n)`` — the n-th check returns UNKNOWN with
+  reason ``"deadline"``, as if the wall clock had expired mid-solve;
+* ``inject_malformed_model(at_model=n)`` — the n-th model extraction is
+  corrupted with deterministic out-of-width garbage, as if the backend
+  were buggy.
+
+Installation is process-global (the facade consults
+:func:`active_injector`) and strictly scoped via the context manager, so a
+test can never leak faults into the next one.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+
+__all__ = ["FaultInjector", "active_injector", "install", "clear"]
+
+_ACTIVE = None
+
+
+def active_injector():
+    """The installed :class:`FaultInjector`, or ``None``."""
+    return _ACTIVE
+
+
+def install(injector):
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def clear():
+    global _ACTIVE
+    _ACTIVE = None
+
+
+class FaultInjector:
+    """A deterministic plan of solver faults, installable process-wide."""
+
+    def __init__(self, seed=0):
+        self.seed = seed
+        self.check_count = 0
+        self.model_count = 0
+        self._unknown_at = {}    # ordinal -> reason
+        self._malformed_at = set()
+        self.fired = []          # (kind, ordinal) log for assertions
+
+    # -- plan construction ----------------------------------------------
+
+    def inject_unknown(self, at_check, reason="injected"):
+        """The ``at_check``-th facade check returns UNKNOWN(``reason``)."""
+        for ordinal in self._ordinals(at_check):
+            self._unknown_at[ordinal] = reason
+        return self
+
+    def inject_deadline(self, at_check):
+        """The ``at_check``-th facade check times out (UNKNOWN/deadline)."""
+        return self.inject_unknown(at_check, reason="deadline")
+
+    def inject_malformed_model(self, at_model):
+        """The ``at_model``-th model extraction is corrupted."""
+        self._malformed_at.update(self._ordinals(at_model))
+        return self
+
+    @staticmethod
+    def _ordinals(spec):
+        return spec if isinstance(spec, (list, tuple, set)) else (spec,)
+
+    # -- facade hooks -----------------------------------------------------
+
+    def on_check(self):
+        """Called by ``Solver.check``; returns an UNKNOWN reason or None."""
+        self.check_count += 1
+        reason = self._unknown_at.get(self.check_count)
+        if reason is not None:
+            self.fired.append(("unknown:" + reason, self.check_count))
+        return reason
+
+    def on_model(self, values):
+        """Called by ``Solver.model`` with the assignment dict; may corrupt."""
+        self.model_count += 1
+        if self.model_count not in self._malformed_at:
+            return values
+        self.fired.append(("malformed_model", self.model_count))
+        rng = random.Random(self.seed * 1_000_003 + self.model_count)
+        corrupted = {}
+        for name in sorted(values):
+            # Out-of-width garbage: exceeds any width the blaster produced.
+            corrupted[name] = (1 << 70) | rng.getrandbits(16)
+        return corrupted
+
+    # -- installation ------------------------------------------------------
+
+    @contextmanager
+    def installed(self):
+        """Install for the duration of a ``with`` block (re-entrant safe)."""
+        previous = active_injector()
+        install(self)
+        try:
+            yield self
+        finally:
+            install(previous)

@@ -22,7 +22,17 @@ from repro.smt.terms import (
     FALSE,
     evaluate,
 )
-from repro.smt.solver import Solver, SolverResult, SAT, UNSAT, UNKNOWN
+from repro.smt.solver import (
+    Solver,
+    SolverResult,
+    SAT,
+    UNSAT,
+    UNKNOWN,
+    Unknown,
+    Model,
+    UnknownModelVariableError,
+    UnknownModelVariableWarning,
+)
 
 __all__ = [
     "Term",
@@ -36,4 +46,8 @@ __all__ = [
     "SAT",
     "UNSAT",
     "UNKNOWN",
+    "Unknown",
+    "Model",
+    "UnknownModelVariableError",
+    "UnknownModelVariableWarning",
 ]

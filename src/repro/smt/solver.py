@@ -9,17 +9,34 @@ across queries (the CEGIS guess solver relies on this).
 from __future__ import annotations
 
 import time
+import warnings
 
+from repro.runtime import faults as _faults
 from repro.smt.aig import FALSE_LIT, TRUE_LIT
 from repro.smt.bitblast import BitBlaster
 from repro.smt.sat.solver import SatSolver
 from repro.smt import terms as T
 
-__all__ = ["Solver", "SolverResult", "SAT", "UNSAT", "UNKNOWN", "Model"]
+__all__ = [
+    "Solver",
+    "SolverResult",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "Unknown",
+    "Model",
+    "UnknownModelVariableWarning",
+    "UnknownModelVariableError",
+]
 
 
 class SolverResult:
-    """Tri-state solver verdict (a tiny enum with a readable repr)."""
+    """Tri-state solver verdict (a tiny enum with a readable repr).
+
+    Verdicts compare equal by name, so a reason-carrying ``Unknown``
+    instance satisfies ``verdict == UNKNOWN``.  ``SAT``/``UNSAT`` remain
+    singletons (identity comparison keeps working for them).
+    """
 
     __slots__ = ("name",)
 
@@ -29,31 +46,88 @@ class SolverResult:
     def __repr__(self):
         return self.name
 
+    def __eq__(self, other):
+        return isinstance(other, SolverResult) and self.name == other.name
+
+    def __hash__(self):
+        return hash(self.name)
+
     def __bool__(self):
         raise TypeError(
             "SolverResult is tri-state; compare against SAT/UNSAT/UNKNOWN"
         )
 
 
+class Unknown(SolverResult):
+    """An UNKNOWN verdict carrying *why* the solver gave up.
+
+    ``reason`` is machine-readable: ``"deadline"``, ``"conflicts"``,
+    ``"memory"``, ``"injected"``, or ``"unspecified"``.
+    """
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason="unspecified"):
+        super().__init__("unknown")
+        self.reason = reason
+
+    def __repr__(self):
+        if self.reason == "unspecified":
+            return "unknown"
+        return f"unknown({self.reason})"
+
+
 SAT = SolverResult("sat")
 UNSAT = SolverResult("unsat")
-UNKNOWN = SolverResult("unknown")
+UNKNOWN = Unknown()
+
+
+class UnknownModelVariableWarning(UserWarning):
+    """A model was queried for a variable the solver never blasted."""
+
+
+class UnknownModelVariableError(KeyError):
+    """Strict-mode version of :class:`UnknownModelVariableWarning`."""
 
 
 class Model:
     """A satisfying assignment mapping term variables to ints."""
 
-    def __init__(self, values):
+    def __init__(self, values, strict=False):
         self._values = dict(values)
+        self._strict = strict
+        self._warned = set()
 
-    def value(self, var):
-        """Value of a variable, given a var term or a name; defaults to 0.
+    def value(self, var, default=0, warn=True):
+        """Value of a variable, given a var term or a name.
 
         Variables the solver never saw (e.g. folded away by rewriting) are
-        unconstrained; 0 is as good a witness as any.
+        unconstrained; ``default`` (0) is as good a witness as any.  But an
+        absent name is also what a typo'd hole name looks like, so the
+        first query of each unknown name warns — or raises
+        :class:`UnknownModelVariableError` when the model is strict.
+        Internal callers that expect fold-away (CEGIS counterexample
+        extraction) pass ``warn=False``.
         """
         name = var.name if isinstance(var, T.Term) else var
-        return self._values.get(name, 0)
+        if name not in self._values:
+            if self._strict:
+                raise UnknownModelVariableError(
+                    f"variable {name!r} was never seen by the solver "
+                    "(possible hole-name typo)"
+                )
+            if warn and name not in self._warned:
+                self._warned.add(name)
+                warnings.warn(
+                    f"model queried for {name!r}, which the solver never "
+                    f"saw; defaulting to {default} (possible hole-name typo"
+                    " — construct the solver with strict_models=True to "
+                    "raise instead)",
+                    UnknownModelVariableWarning,
+                    stacklevel=2,
+                )
+            return default
+        return self._values[name]
 
     def __contains__(self, name):
         return name in self._values
@@ -69,15 +143,21 @@ class Model:
 
 
 class Solver:
-    """An incremental QF_BV solver over the term language."""
+    """An incremental QF_BV solver over the term language.
 
-    def __init__(self):
+    ``strict_models=True`` makes extracted models raise on queries for
+    variables that were never blasted (catching hole-name typos) instead
+    of warning and defaulting to 0.
+    """
+
+    def __init__(self, strict_models=False):
         self._blaster = BitBlaster()
         self._sat = SatSolver()
         self._node_to_satvar = {}
         self._encoded_nodes = 0
         self._asserted = []
         self._trivially_false = False
+        self.strict_models = strict_models
         self.stats = {"asserts": 0, "checks": 0, "clauses": 0}
 
     def add(self, term):
@@ -99,19 +179,49 @@ class Solver:
         for term in terms:
             self.add(term)
 
-    def check(self, max_conflicts=None, timeout=None):
+    def check(self, max_conflicts=None, timeout=None, budget=None):
         """Check satisfiability; returns SAT/UNSAT/UNKNOWN.
 
         ``timeout`` is in seconds (wall clock) and bounds only this call.
+        ``budget`` is an optional ``repro.runtime.Budget``: its remaining
+        wall clock and conflicts tighten the per-call caps, the conflicts
+        this call consumes are charged back to it, and its memory cap is
+        polled at the SAT core's checkpoints.  A pre-exhausted budget
+        raises ``BudgetExhausted`` before any solving starts.
+
+        An UNKNOWN verdict is an :class:`Unknown` instance whose
+        ``reason`` names the exhausted cap (``"deadline"``,
+        ``"conflicts"``, ``"memory"``) or ``"injected"`` under fault
+        injection.
         """
         self.stats["checks"] += 1
+        injector = _faults.active_injector()
+        if injector is not None:
+            injected_reason = injector.on_check()
+            if injected_reason is not None:
+                return Unknown(injected_reason)
         if self._trivially_false:
             return UNSAT
         deadline = None if timeout is None else time.monotonic() + timeout
+        if budget is not None:
+            budget.check()
+            remaining = budget.remaining_time()
+            if remaining is not None:
+                budget_deadline = time.monotonic() + remaining
+                if deadline is None or budget_deadline < deadline:
+                    deadline = budget_deadline
+            budget_conflicts = budget.remaining_conflicts()
+            if budget_conflicts is not None and (
+                max_conflicts is None or budget_conflicts < max_conflicts
+            ):
+                max_conflicts = budget_conflicts
+        conflicts_before = self._sat.conflicts
         verdict = self._sat.solve(max_conflicts=max_conflicts,
-                                  deadline=deadline)
+                                  deadline=deadline, budget=budget)
+        if budget is not None:
+            budget.charge_conflicts(self._sat.conflicts - conflicts_before)
         if verdict is None:
-            return UNKNOWN
+            return Unknown(self._sat.stop_reason or "unspecified")
         return SAT if verdict else UNSAT
 
     def model(self):
@@ -124,7 +234,19 @@ class Solver:
                 bit = self._aig_lit_value(lit, assignment)
                 value |= bit << i
             values[name] = value
-        return Model(values)
+        injector = _faults.active_injector()
+        if injector is not None:
+            values = injector.on_model(values)
+        return Model(values, strict=self.strict_models)
+
+    @property
+    def conflicts(self):
+        """Total SAT conflicts this solver has spent (monotonic)."""
+        return self._sat.conflicts
+
+    def reseed(self, seed):
+        """Deterministically perturb the decision order (retry escalation)."""
+        self._sat.reseed(seed)
 
     # ------------------------------------------------------------------
 

@@ -11,6 +11,7 @@ from repro.synthesis.problem import SynthesisProblem
 from repro.synthesis.engine import synthesize
 from repro.synthesis.result import (
     SynthesisResult,
+    PartialSynthesisResult,
     InstructionSolution,
     SynthesisError,
     SynthesisTimeout,
@@ -25,6 +26,7 @@ __all__ = [
     "SynthesisProblem",
     "synthesize",
     "SynthesisResult",
+    "PartialSynthesisResult",
     "InstructionSolution",
     "SynthesisError",
     "SynthesisTimeout",

@@ -11,14 +11,31 @@ here it is explicit:
    constraint on the hole variables; ask for a new candidate.
 
 The guess solver is incremental — every counterexample stays, so candidates
-monotonically improve.  Both sides respect a wall-clock deadline so Table 1's
-timeout rows reproduce faithfully.
+monotonically improve.  Both sides run under a cooperative
+``repro.runtime.Budget`` (wall clock, conflicts, memory) so Table 1's
+timeout rows reproduce faithfully, and every UNKNOWN is typed:
+
+* ``reason="deadline"``/``"memory"`` → :class:`SynthesisTimeout` — more
+  attempts cannot help;
+* ``reason="conflicts"``/``"injected"`` → retried under the
+  :class:`repro.runtime.RetryPolicy` (escalated conflict budget, reseeded
+  decision order), then :class:`SolverUnknown` if retries are exhausted;
+* a SAT verdict with an out-of-width model (a buggy or fault-injected
+  backend) → :class:`MalformedModel`, never silently corrupted control
+  logic.
 """
 
 from __future__ import annotations
 
 import time
 
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    MalformedModel,
+    SolverUnknown,
+    run_with_retry,
+)
 from repro.smt import terms as T
 from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
 from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
@@ -34,6 +51,12 @@ class CegisStats:
         self.verify_time = 0.0
         self.guess_time = 0.0
         self.verify_conflicts = 0
+        self.guess_conflicts = 0
+        self.retries = 0
+
+    @property
+    def conflicts(self):
+        return self.verify_conflicts + self.guess_conflicts
 
     def as_dict(self):
         return {
@@ -41,11 +64,14 @@ class CegisStats:
             "verify_time": self.verify_time,
             "guess_time": self.guess_time,
             "verify_conflicts": self.verify_conflicts,
+            "guess_conflicts": self.guess_conflicts,
+            "retries": self.retries,
         }
 
 
 def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
-                stats=None, initial_candidate=None, partial_eval=True):
+                stats=None, initial_candidate=None, partial_eval=True,
+                budget=None, retry_policy=None):
     """Find ints for ``hole_vars`` making ``formula`` valid for all states.
 
     ``formula`` is a width-1 term whose free variables are ``hole_vars``
@@ -58,12 +84,21 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     study — it produces the full-datapath queries a rewrite-free evaluator
     would send to the solver.
 
-    Raises ``SynthesisFailure`` if no assignment exists and
-    ``SynthesisTimeout`` if the budget is exhausted first.
+    ``budget`` is a ``repro.runtime.Budget`` shared by both CEGIS sides
+    (``timeout`` is folded into it); ``retry_policy`` governs escalation on
+    retryable UNKNOWNs.
+
+    Raises ``SynthesisFailure`` if no assignment exists,
+    ``SynthesisTimeout`` if the wall-clock/memory budget is exhausted, and
+    ``SolverUnknown`` if the solver gave up for a non-budget reason even
+    after retries.
     """
     if stats is None:
         stats = CegisStats()
-    deadline = None if timeout is None else time.monotonic() + timeout
+    if budget is None:
+        budget = Budget(timeout=timeout)
+    elif timeout is not None:
+        budget = budget.child(timeout=timeout)
     hole_names = {var.name for var in hole_vars}
     forall_vars = [
         var for var in T.free_variables(formula)
@@ -92,50 +127,90 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
             for name, value in candidate.items():
                 var = hole_by_name[name]
                 verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
-        verdict = verifier.check(timeout=_remaining(deadline))
+        verdict = _checked(verifier, budget, retry_policy, stats,
+                           side="verification")
         stats.verify_time += time.monotonic() - started
-        stats.verify_conflicts += verifier._sat.conflicts
+        stats.verify_conflicts += verifier.conflicts
         if verdict is UNSAT:
             return dict(candidate)
-        if verdict is UNKNOWN:
-            raise SynthesisTimeout(
-                f"verification exceeded the budget after "
-                f"{stats.iterations} iterations"
-            )
         model = verifier.model()
         counterexample = {
-            var: T.bv_const(model.value(var), var.width)
+            var: T.bv_const(
+                _validated(model, var, side="verification"), var.width
+            )
             for var in forall_vars
         }
         # -- guess -----------------------------------------------------------
         started = time.monotonic()
         folded = T.substitute(formula, counterexample)
+        conflicts_before = guess_solver.conflicts
         guess_solver.add(folded)
-        verdict = guess_solver.check(timeout=_remaining(deadline))
+        verdict = _checked(guess_solver, budget, retry_policy, stats,
+                           side="candidate search")
         stats.guess_time += time.monotonic() - started
+        stats.guess_conflicts += guess_solver.conflicts - conflicts_before
         if verdict is UNSAT:
             raise SynthesisFailure(
                 "no hole constants satisfy the specification; the datapath "
                 "sketch cannot implement this instruction"
             )
-        if verdict is UNKNOWN:
-            raise SynthesisTimeout(
-                f"candidate search exceeded the budget after "
-                f"{stats.iterations} iterations"
-            )
         model = guess_solver.model()
         candidate = {
-            var.name: model.value(var) for var in hole_vars
+            var.name: _validated(model, var, side="candidate search")
+            for var in hole_vars
         }
     raise SynthesisTimeout(
-        f"CEGIS did not converge within {max_iterations} iterations"
+        f"CEGIS did not converge within {max_iterations} iterations",
+        reason="iterations",
     )
 
 
-def _remaining(deadline):
-    if deadline is None:
-        return None
-    remaining = deadline - time.monotonic()
-    if remaining <= 0:
-        raise SynthesisTimeout("synthesis wall-clock budget exhausted")
-    return remaining
+def _checked(solver, budget, retry_policy, stats, side):
+    """One budgeted check with retry-with-escalation on retryable UNKNOWNs.
+
+    Returns SAT/UNSAT; budget exhaustion surfaces as ``SynthesisTimeout``
+    (with the exhausted cap as ``reason``) and non-budget UNKNOWNs as
+    ``SolverUnknown`` once the retry policy gives up.
+    """
+    def attempt_check(attempt):
+        if attempt.index:
+            stats.retries += 1
+            if attempt.seed is not None:
+                solver.reseed(attempt.seed)
+        verdict = solver.check(max_conflicts=attempt.max_conflicts,
+                               budget=budget)
+        if verdict == UNKNOWN:
+            raise SolverUnknown(
+                f"{side} returned unknown ({verdict.reason}) after "
+                f"{stats.iterations} iterations",
+                reason=verdict.reason,
+            )
+        return verdict
+
+    try:
+        return run_with_retry(attempt_check, retry_policy, budget=budget)
+    except SynthesisTimeout:
+        raise
+    except BudgetExhausted as fault:
+        # The budget itself tripped (pre-check or mid-solve): timeout.
+        raise SynthesisTimeout(str(fault), reason=fault.reason) from fault
+    except SolverUnknown as fault:
+        if fault.reason in ("deadline", "memory"):
+            raise SynthesisTimeout(str(fault), reason=fault.reason) from fault
+        raise
+
+
+def _validated(model, var, side):
+    """Read ``var`` from ``model``, rejecting out-of-width garbage.
+
+    A malformed assignment means the backend (or an injected fault) broke
+    the encoding contract; surfacing it as :class:`MalformedModel` lets the
+    engine degrade instead of synthesizing corrupt control logic.
+    """
+    value = model.value(var, warn=False)
+    if not isinstance(value, int) or value < 0 or (value >> var.width):
+        raise MalformedModel(
+            f"{side} model assigns {var.name!r} = {value!r}, which does not "
+            f"fit its {var.width}-bit width"
+        )
+    return value

@@ -13,10 +13,12 @@ import time
 from repro.oyster import ast as oy
 from repro.oyster.analysis import expr_vars, stmt_uses
 from repro.oyster.typecheck import check_design
+from repro.runtime import Budget, BudgetExhausted, SolverUnknown
 from repro.synthesis.independence import check_instruction_independence
 from repro.synthesis.monolithic import synthesize_monolithic_solutions
 from repro.synthesis.per_instruction import synthesize_instruction
 from repro.synthesis.result import (
+    PartialSynthesisResult,
     SynthesisError,
     SynthesisResult,
     SynthesisTimeout,
@@ -28,7 +30,8 @@ __all__ = ["synthesize", "splice_control"]
 
 def synthesize(problem, mode="per_instruction", timeout=None,
                max_iterations=256, check_independence=True,
-               progress=None, partial_eval=True):
+               progress=None, partial_eval=True, budget=None,
+               retry_policy=None, on_timeout="raise", resume_from=None):
     """Run control logic synthesis.
 
     Parameters
@@ -44,31 +47,93 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         per-instruction strategy.
     progress:
         Optional callback ``progress(instruction_name, solution)``.
+    budget:
+        A ``repro.runtime.Budget`` (wall-clock/conflict/memory caps) for
+        the whole run; combines with ``timeout`` (the tighter wins).  Each
+        instruction runs under a child slice, so a mid-loop expiry loses
+        only the in-flight instruction, never the completed ones.
+    retry_policy:
+        A ``repro.runtime.RetryPolicy`` applied inside CEGIS: retryable
+        UNKNOWNs (conflict-cap hits, injected faults) restart with an
+        escalated conflict budget and a reseeded decision order.
+    on_timeout:
+        ``"raise"`` (default): budget exhaustion and solver faults raise,
+        with the :class:`PartialSynthesisResult` attached as ``.partial``.
+        ``"partial"``: they *return* the partial result instead, carrying
+        every completed instruction solution, per-instruction stats, the
+        machine-readable stop reason, and the resume handle.
+    resume_from:
+        A :class:`PartialSynthesisResult` (or its ``to_dict()`` form) from
+        an earlier run of the same problem/mode: completed instructions
+        are reused verbatim and only the pending ones are solved.
     """
     started = time.monotonic()
-    deadline = None if timeout is None else started + timeout
+    if on_timeout not in ("raise", "partial"):
+        # Validate eagerly: a typo'd mode must not lurk until the first
+        # run that actually times out.
+        raise ValueError(f"unknown on_timeout mode {on_timeout!r}")
+    if budget is None:
+        budget = Budget(timeout=timeout)
+    elif timeout is not None:
+        budget = budget.child(timeout=timeout)
     stats = {"mode": mode}
+    resume_solutions = _resume_solutions(problem, mode, resume_from)
+    if resume_solutions:
+        stats["resumed_instructions"] = sorted(resume_solutions)
 
     if mode == "per_instruction":
         if check_independence:
             stats["independence_notes"] = check_instruction_independence(
                 problem
             )
-        solutions = []
+        solved = dict(resume_solutions)
+        faults = []
         for index, instruction in enumerate(problem.spec.instructions):
-            remaining = _remaining(deadline)
-            solution = synthesize_instruction(
-                problem, instruction, index, timeout=remaining,
-                max_iterations=max_iterations, partial_eval=partial_eval,
-            )
-            solutions.append(solution)
+            if instruction.name in solved:
+                continue
+            try:
+                budget.check()
+                solution = synthesize_instruction(
+                    problem, instruction, index, budget=budget.child(),
+                    retry_policy=retry_policy,
+                    max_iterations=max_iterations,
+                    partial_eval=partial_eval,
+                )
+            except BudgetExhausted as fault:
+                # Budget spent (deadline/memory/iterations): stop now and
+                # hand back everything already solved.
+                partial = _partial(problem, mode, solved, fault.reason,
+                                   started, stats, faults)
+                return _degrade(partial, fault, on_timeout)
+            except SolverUnknown as fault:
+                # A non-budget fault on this one instruction: record it and
+                # keep going — later instructions may still solve, which
+                # maximizes the work a resume can reuse.
+                faults.append((instruction.name, fault.reason))
+                continue
+            solved[instruction.name] = solution
             if progress is not None:
                 progress(instruction.name, solution)
+        if faults:
+            reason = faults[0][1]
+            partial = _partial(problem, mode, solved, reason, started,
+                               stats, faults)
+            fault = SolverUnknown(
+                f"{len(faults)} instruction(s) came back unknown "
+                f"({reason}, ...)", reason=reason,
+            )
+            return _degrade(partial, fault, on_timeout)
+        solutions = [solved[i.name] for i in problem.spec.instructions]
     elif mode == "monolithic":
-        solutions, cegis_stats = synthesize_monolithic_solutions(
-            problem, timeout=_remaining(deadline),
-            max_iterations=max_iterations,
-        )
+        try:
+            solutions, cegis_stats = synthesize_monolithic_solutions(
+                problem, budget=budget, retry_policy=retry_policy,
+                max_iterations=max_iterations,
+            )
+        except (BudgetExhausted, SolverUnknown) as fault:
+            partial = _partial(problem, mode, {}, fault.reason, started,
+                               stats, [])
+            return _degrade(partial, fault, on_timeout)
         stats["cegis"] = cegis_stats.as_dict()
     else:
         raise ValueError(f"unknown synthesis mode {mode!r}")
@@ -87,13 +152,62 @@ def synthesize(problem, mode="per_instruction", timeout=None,
     )
 
 
-def _remaining(deadline):
-    if deadline is None:
-        return None
-    remaining = deadline - time.monotonic()
-    if remaining <= 0:
-        raise SynthesisTimeout("synthesis wall-clock budget exhausted")
-    return remaining
+def _resume_solutions(problem, mode, resume_from):
+    """Validate a resume handle; returns {instruction name: solution}."""
+    if resume_from is None:
+        return {}
+    if isinstance(resume_from, dict):
+        resume_from = PartialSynthesisResult.from_dict(resume_from)
+    if resume_from.problem_name != problem.name:
+        raise SynthesisError(
+            f"resume handle is for problem {resume_from.problem_name!r}, "
+            f"not {problem.name!r}"
+        )
+    if resume_from.mode != mode:
+        raise SynthesisError(
+            f"resume handle was produced in {resume_from.mode!r} mode, "
+            f"cannot resume in {mode!r}"
+        )
+    known = {i.name for i in problem.spec.instructions}
+    solutions = {}
+    for solution in resume_from.completed:
+        if solution.instruction_name not in known:
+            raise SynthesisError(
+                f"resume handle solves {solution.instruction_name!r}, "
+                "which is not in the specification"
+            )
+        solutions[solution.instruction_name] = solution
+    return solutions
+
+
+def _partial(problem, mode, solved, reason, started, stats, faults):
+    order = [i.name for i in problem.spec.instructions]
+    return PartialSynthesisResult(
+        problem_name=problem.name,
+        mode=mode,
+        completed=[solved[name] for name in order if name in solved],
+        pending=[name for name in order if name not in solved],
+        reason=reason,
+        elapsed=time.monotonic() - started,
+        stats=dict(stats),
+        faults=list(faults),
+    )
+
+
+def _degrade(partial, fault, on_timeout):
+    """Apply the degradation contract: return the partial or raise with it."""
+    if on_timeout == "partial":
+        return partial
+    if on_timeout != "raise":
+        raise ValueError(f"unknown on_timeout mode {on_timeout!r}")
+    if isinstance(fault, SynthesisTimeout):
+        fault.partial = partial
+        raise fault
+    if isinstance(fault, BudgetExhausted):
+        raise SynthesisTimeout(str(fault), reason=fault.reason,
+                               partial=partial) from fault
+    fault.partial = partial
+    raise fault
 
 
 def splice_control(sketch, control_stmts):

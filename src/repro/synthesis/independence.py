@@ -104,8 +104,8 @@ def _check_mutual_exclusion(problem, timeout_per_pair):
                     "simultaneously; per-instruction synthesis is unsound "
                     "for this specification"
                 )
-            if verdict is UNKNOWN:
+            if verdict == UNKNOWN:
                 raise IndependenceViolation(
                     f"could not decide exclusion of {name_i!r}/{name_j!r} "
-                    "within the budget"
+                    f"within the budget ({verdict.reason})"
                 )

@@ -24,12 +24,14 @@ __all__ = ["synthesize_monolithic_solutions"]
 
 
 def synthesize_monolithic_solutions(problem, timeout=None,
-                                    max_iterations=256):
+                                    max_iterations=256, budget=None,
+                                    retry_policy=None):
     """Solve all instructions in one CEGIS query.
 
     Returns ``(solutions, stats)`` where ``solutions`` is one
     ``InstructionSolution`` per instruction (so the control union applies
-    unchanged downstream).
+    unchanged downstream).  ``budget``/``retry_policy`` are threaded into
+    the underlying CEGIS run.
     """
     started = time.monotonic()
     spec = problem.spec
@@ -86,7 +88,8 @@ def synthesize_monolithic_solutions(problem, timeout=None,
     stats = CegisStats()
     values = cegis_solve(
         formula, list(constants.values()), timeout=timeout, stats=stats,
-        max_iterations=max_iterations,
+        max_iterations=max_iterations, budget=budget,
+        retry_policy=retry_policy,
     )
     elapsed = time.monotonic() - started
     solutions = []
@@ -100,6 +103,8 @@ def synthesize_monolithic_solutions(problem, timeout=None,
                 },
                 iterations=stats.iterations,
                 solve_time=elapsed / len(spec.instructions),
+                conflicts=stats.conflicts // len(spec.instructions),
+                retries=stats.retries,
             )
         )
     return solutions, stats

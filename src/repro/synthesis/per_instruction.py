@@ -51,8 +51,14 @@ def instruction_formula(problem, instruction, prefix):
 
 
 def synthesize_instruction(problem, instruction, index, timeout=None,
-                           max_iterations=256, partial_eval=True):
-    """Solve the hole constants for one instruction; returns a solution."""
+                           max_iterations=256, partial_eval=True,
+                           budget=None, retry_policy=None):
+    """Solve the hole constants for one instruction; returns a solution.
+
+    ``budget`` is a ``repro.runtime.Budget`` slice for this instruction
+    (shared caps are enforced through its parent chain); ``retry_policy``
+    governs restart-with-escalation on retryable UNKNOWNs.
+    """
     started = time.monotonic()
     prefix = f"i{index}!"
     formula, trace, _ = instruction_formula(problem, instruction, prefix)
@@ -68,6 +74,7 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
     values_by_var = cegis_solve(
         formula, hole_vars, timeout=timeout, stats=stats,
         max_iterations=max_iterations, partial_eval=partial_eval,
+        budget=budget, retry_policy=retry_policy,
     )
     hole_values = {
         hole.name: values_by_var[trace.hole_values[hole.name].name]
@@ -78,4 +85,6 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
         hole_values=hole_values,
         iterations=stats.iterations,
         solve_time=time.monotonic() - started,
+        conflicts=stats.conflicts,
+        retries=stats.retries,
     )

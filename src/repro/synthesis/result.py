@@ -4,12 +4,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.runtime.errors import BudgetExhausted
+
 __all__ = [
     "SynthesisError",
     "SynthesisTimeout",
     "SynthesisFailure",
     "InstructionSolution",
     "SynthesisResult",
+    "PartialSynthesisResult",
 ]
 
 
@@ -17,8 +20,22 @@ class SynthesisError(Exception):
     """Base class for synthesis failures."""
 
 
-class SynthesisTimeout(SynthesisError):
-    """The configured time/iteration budget was exhausted."""
+class SynthesisTimeout(SynthesisError, BudgetExhausted):
+    """The configured time/iteration budget was exhausted.
+
+    Participates in the ``repro.runtime`` taxonomy (it *is* a
+    :class:`BudgetExhausted`), carrying a machine-readable ``reason``
+    (``"deadline"``, ``"conflicts"``, ``"memory"``, ``"iterations"``) and,
+    when raised from the per-instruction engine loop, a ``partial``
+    :class:`PartialSynthesisResult` holding every completed instruction
+    solution so no work is discarded.
+    """
+
+    def __init__(self, message="", reason="deadline", partial=None):
+        SynthesisError.__init__(self, message or
+                                f"budget exhausted ({reason})")
+        self.reason = reason
+        self.partial = partial
 
 
 class SynthesisFailure(SynthesisError):
@@ -38,6 +55,29 @@ class InstructionSolution:
     hole_values: dict  # hole name -> int
     iterations: int
     solve_time: float
+    conflicts: int = 0
+    retries: int = 0
+
+    def to_dict(self):
+        return {
+            "instruction_name": self.instruction_name,
+            "hole_values": dict(self.hole_values),
+            "iterations": self.iterations,
+            "solve_time": self.solve_time,
+            "conflicts": self.conflicts,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            instruction_name=data["instruction_name"],
+            hole_values={k: int(v) for k, v in data["hole_values"].items()},
+            iterations=int(data["iterations"]),
+            solve_time=float(data["solve_time"]),
+            conflicts=int(data.get("conflicts", 0)),
+            retries=int(data.get("retries", 0)),
+        )
 
 
 @dataclass
@@ -83,4 +123,93 @@ class SynthesisResult:
                 f"{solution.iterations} CEGIS iterations, "
                 f"{solution.solve_time:.2f}s"
             )
+        return "\n".join(lines)
+
+
+@dataclass
+class PartialSynthesisResult:
+    """A synthesis run that the budget (or a solver fault) cut short.
+
+    Carries every *completed* instruction solution, the names still
+    ``pending``, the machine-readable ``reason`` the run stopped, and
+    per-instruction fault records.  It is also the resume handle: pass it
+    back as ``synthesize(problem, resume_from=partial)`` (or its
+    :meth:`to_dict` round-trip, e.g. after a process restart) and the
+    engine re-solves only the pending instructions, reusing the completed
+    ones verbatim.
+    """
+
+    problem_name: str
+    mode: str
+    completed: list            # InstructionSolution, in spec order
+    pending: list              # instruction names not yet solved
+    reason: str                # "deadline" / "conflicts" / "memory" / ...
+    elapsed: float = 0.0
+    stats: dict = field(default_factory=dict)
+    faults: list = field(default_factory=list)  # (instruction, reason) pairs
+
+    @property
+    def is_partial(self):
+        return True
+
+    @property
+    def completed_count(self):
+        return len(self.completed)
+
+    def hole_values_for(self, instruction_name):
+        for solution in self.completed:
+            if solution.instruction_name == instruction_name:
+                return solution.hole_values
+        raise KeyError(instruction_name)
+
+    def to_dict(self):
+        """JSON-serializable resume handle."""
+        return {
+            "schema": "repro.partial_synthesis_result/1",
+            "problem_name": self.problem_name,
+            "mode": self.mode,
+            "completed": [s.to_dict() for s in self.completed],
+            "pending": list(self.pending),
+            "reason": self.reason,
+            "elapsed": self.elapsed,
+            "stats": dict(self.stats),
+            "faults": [list(f) for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("schema") != "repro.partial_synthesis_result/1":
+            raise ValueError(
+                "not a serialized PartialSynthesisResult: "
+                f"{data.get('schema')!r}"
+            )
+        return cls(
+            problem_name=data["problem_name"],
+            mode=data["mode"],
+            completed=[InstructionSolution.from_dict(s)
+                       for s in data["completed"]],
+            pending=list(data["pending"]),
+            reason=data["reason"],
+            elapsed=float(data.get("elapsed", 0.0)),
+            stats=dict(data.get("stats", {})),
+            faults=[tuple(f) for f in data.get("faults", [])],
+        )
+
+    def summary(self):
+        lines = [
+            f"partial synthesis of {self.problem_name!r} ({self.mode}): "
+            f"{len(self.completed)} instructions solved, "
+            f"{len(self.pending)} pending, stopped on {self.reason!r} "
+            f"after {self.elapsed:.2f}s"
+        ]
+        for solution in self.completed:
+            lines.append(
+                f"  [done] {solution.instruction_name}: "
+                f"{solution.iterations} CEGIS iterations, "
+                f"{solution.solve_time:.2f}s, {solution.conflicts} conflicts"
+            )
+        for name in self.pending:
+            lines.append(f"  [pending] {name}")
+        for name, reason in self.faults:
+            lines.append(f"  [fault] {name}: {reason}")
         return "\n".join(lines)

@@ -52,6 +52,7 @@ def subset_result():
     return problem, synthesize(problem, timeout=600)
 
 
+@pytest.mark.slow
 def test_subset_verifies(subset_result):
     problem, result = subset_result
     verdict = verify_design(
@@ -80,6 +81,7 @@ def test_instruction_valid_assume_is_load_bearing():
         synthesize(problem, timeout=300)
 
 
+@pytest.mark.slow
 def test_reference_values_verify():
     problem = build_problem(instructions=SUBSET)
     hole_values = None

@@ -26,6 +26,10 @@ SUBSET = [
 ZBKB_SUBSET = ["rol", "rori", "andn", "pack", "rev8", "brev8", "zip",
                "unzip", "clmul"]
 
+# Every test here rides one of the module-scoped core-synthesis fixtures
+# (~30-45s each), so the whole module belongs to the nightly lane.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def single_cycle():

@@ -23,6 +23,7 @@ def test_run_row_aes():
     assert row.time_seconds > 0
 
 
+@pytest.mark.slow
 def test_run_row_crypto_quick():
     row = run_row("crypto", quick=True, timeout=900)
     assert row.status == "ok"
@@ -30,6 +31,7 @@ def test_run_row_crypto_quick():
     assert row.instructions == 11
 
 
+@pytest.mark.slow
 def test_table2_small_subset():
     row = run_variant("RV32I", quick=True, timeout=600,
                       instructions=["lui", "add", "lw"])

@@ -1,0 +1,111 @@
+"""Unit tests for nestable budgets (wall clock, conflicts, memory)."""
+
+import pytest
+
+from repro.runtime import budget as budget_mod
+from repro.runtime import Budget, BudgetExhausted, ResourceExceeded
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_uncapped_budget_never_exhausts():
+    clock = FakeClock()
+    budget = Budget(clock=clock)
+    clock.advance(1e9)
+    budget.charge_conflicts(10 ** 9)
+    assert budget.exhausted_reason() is None
+    budget.check()  # does not raise
+    assert budget.remaining_time() is None
+    assert budget.remaining_conflicts() is None
+
+
+def test_deadline_exhaustion():
+    clock = FakeClock()
+    budget = Budget(timeout=5.0, clock=clock)
+    assert budget.remaining_time() == pytest.approx(5.0)
+    clock.advance(4.0)
+    budget.check()
+    clock.advance(1.5)
+    assert budget.remaining_time() == 0.0
+    assert budget.exhausted_reason() == "deadline"
+    with pytest.raises(BudgetExhausted) as info:
+        budget.check()
+    assert info.value.reason == "deadline"
+
+
+def test_conflict_cap_and_charging():
+    budget = Budget(max_conflicts=100)
+    budget.charge_conflicts(60)
+    assert budget.remaining_conflicts() == 40
+    budget.charge_conflicts(40)
+    assert budget.exhausted_reason() == "conflicts"
+    with pytest.raises(BudgetExhausted) as info:
+        budget.check()
+    assert info.value.reason == "conflicts"
+
+
+def test_child_deadline_clamped_to_parent():
+    clock = FakeClock()
+    parent = Budget(timeout=2.0, clock=clock)
+    child = parent.child(timeout=100.0)
+    assert child.remaining_time() == pytest.approx(2.0)
+    looser = parent.child()  # no own cap: inherits the parent deadline
+    assert looser.remaining_time() == pytest.approx(2.0)
+    tighter = parent.child(timeout=0.5)
+    assert tighter.remaining_time() == pytest.approx(0.5)
+
+
+def test_child_conflicts_charge_parent():
+    parent = Budget(max_conflicts=100)
+    first = parent.child(max_conflicts=80)
+    first.charge_conflicts(70)
+    assert first.remaining_conflicts() == 10
+    assert parent.remaining_conflicts() == 30
+    # A fresh child starts clean but the parent cap still binds.
+    second = parent.child(max_conflicts=80)
+    assert second.remaining_conflicts() == 30
+    second.charge_conflicts(30)
+    assert second.exhausted_reason() == "conflicts"
+    assert parent.exhausted_reason() == "conflicts"
+
+
+def test_child_inherits_parent_deadline_exhaustion():
+    clock = FakeClock()
+    parent = Budget(timeout=1.0, clock=clock)
+    child = parent.child()
+    clock.advance(2.0)
+    assert child.exhausted_reason() == "deadline"
+
+
+def test_memory_cap_raises_resource_exceeded(monkeypatch):
+    budget = Budget(max_memory_mb=1)
+    monkeypatch.setattr(budget_mod, "_rss_bytes", lambda: 2 * 1024 * 1024)
+    assert budget.exhausted_reason() == "memory"
+    with pytest.raises(ResourceExceeded) as info:
+        budget.check()
+    assert info.value.reason == "memory"
+    assert isinstance(info.value, BudgetExhausted)
+
+
+def test_child_inherits_memory_cap(monkeypatch):
+    parent = Budget(max_memory_mb=1)
+    child = parent.child()
+    assert child.max_memory_bytes == parent.max_memory_bytes
+    monkeypatch.setattr(budget_mod, "_rss_bytes", lambda: 2 * 1024 * 1024)
+    assert child.exhausted_reason() == "memory"
+
+
+def test_repr_mentions_caps():
+    budget = Budget(timeout=10, max_conflicts=5, max_memory_mb=64)
+    text = repr(budget)
+    assert "time=" in text and "conflicts=0/5" in text and "64MB" in text
+    assert repr(Budget()) == "Budget(unbounded)"

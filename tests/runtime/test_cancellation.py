@@ -1,0 +1,105 @@
+"""Cancellation-latency and soundness tests for the budgeted SAT core.
+
+The acceptance bar from the resilience issue: a deadline expiry must be
+observed within 100ms even mid-search, and an interrupted solver must
+remain sound if solving resumes afterwards.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import Budget
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
+
+
+def _hard_factoring_solver(bits=14, composite=9409 * 89):
+    p = T.bv_var("cp", bits)
+    q = T.bv_var("cq", bits)
+    product = T.bv_mul(T.zero_extend(p, 2 * bits), T.zero_extend(q, 2 * bits))
+    solver = Solver()
+    solver.add(T.bv_eq(product, T.bv_const(composite, 2 * bits)))
+    solver.add(T.bv_ugt(p, T.bv_const(1, bits)))
+    solver.add(T.bv_ugt(q, T.bv_const(1, bits)))
+    return solver
+
+
+def test_deadline_overshoot_bounded():
+    solver = _hard_factoring_solver()
+    deadline = 0.05
+    started = time.monotonic()
+    verdict = solver.check(timeout=deadline)
+    elapsed = time.monotonic() - started
+    assert verdict == UNKNOWN
+    assert verdict.reason == "deadline"
+    # 100ms overshoot budget on top of the deadline itself.
+    assert elapsed < deadline + 0.1, f"cancellation took {elapsed:.3f}s"
+
+
+def test_stop_reason_distinguishes_conflicts_from_deadline():
+    capped = _hard_factoring_solver()
+    verdict = capped.check(max_conflicts=1)
+    assert verdict == UNKNOWN and verdict.reason == "conflicts"
+    timed = _hard_factoring_solver()
+    verdict = timed.check(timeout=1e-5)
+    assert verdict == UNKNOWN and verdict.reason == "deadline"
+
+
+def test_memory_budget_stops_solve(monkeypatch):
+    from repro.runtime import budget as budget_mod
+
+    solver = _hard_factoring_solver()
+    budget = Budget(max_memory_mb=1)
+    monkeypatch.setattr(budget_mod, "_rss_bytes", lambda: 32 * 1024 * 1024)
+    # The budget is pre-exhausted, so the facade refuses before solving.
+    from repro.runtime import ResourceExceeded
+
+    with pytest.raises(ResourceExceeded):
+        solver.check(budget=budget)
+
+
+def test_interrupted_solver_remains_sound():
+    # Interrupt mid-search, then finish without a budget: the verdict and
+    # model must match a fresh solver's.
+    interrupted = _hard_factoring_solver()
+    seen_unknown = False
+    for _ in range(50):
+        verdict = interrupted.check(timeout=2e-3)
+        if verdict != UNKNOWN:
+            break
+        seen_unknown = True
+    if verdict == UNKNOWN:
+        verdict = interrupted.check()
+    fresh = _hard_factoring_solver()
+    expected = fresh.check()
+    assert verdict.name == expected.name
+    assert seen_unknown, "expected at least one interruption in this test"
+    if verdict is SAT:
+        model = interrupted.model()
+        p = model.value("cp")
+        q = model.value("cq")
+        assert p * q == 9409 * 89 and p > 1 and q > 1
+
+
+def test_budget_charged_across_checks():
+    budget = Budget(max_conflicts=50)
+    solver = _hard_factoring_solver()
+    verdict = solver.check(budget=budget)
+    assert verdict == UNKNOWN and verdict.reason == "conflicts"
+    assert budget.remaining_conflicts() == 0
+
+
+def test_reseed_preserves_verdicts():
+    solver = _hard_factoring_solver(bits=8, composite=143)
+    first = solver.check()
+    solver.reseed(1234)
+    second = solver.check()
+    assert first.name == second.name == "sat"
+    unsat = Solver()
+    x = T.bv_var("rs", 4)
+    unsat.add(T.bv_eq(x, T.bv_const(1, 4)))
+    unsat.add(T.bv_eq(x, T.bv_const(2, 4)))
+    assert unsat.check() is UNSAT
+    unsat.reseed(99)
+    assert unsat.check() is UNSAT

@@ -1,0 +1,91 @@
+"""Unit tests for deterministic fault injection at the solver facade."""
+
+import pytest
+
+from repro.runtime import FaultInjector, active_injector
+from repro.smt import terms as T
+from repro.smt.solver import Solver, SAT, UNKNOWN
+
+
+def _sat_solver(tag):
+    solver = Solver()
+    solver.add(T.bv_eq(T.bv_var(f"fi_{tag}", 8), T.bv_const(7, 8)))
+    return solver
+
+
+def test_installation_is_scoped():
+    injector = FaultInjector()
+    assert active_injector() is None
+    with injector.installed():
+        assert active_injector() is injector
+    assert active_injector() is None
+
+
+def test_installation_restores_previous():
+    outer, inner = FaultInjector(), FaultInjector()
+    with outer.installed():
+        with inner.installed():
+            assert active_injector() is inner
+        assert active_injector() is outer
+
+
+def test_unknown_injected_at_exact_check_ordinal():
+    injector = FaultInjector().inject_unknown(at_check=2)
+    with injector.installed():
+        assert _sat_solver("a").check() is SAT
+        verdict = _sat_solver("b").check()
+        assert verdict == UNKNOWN
+        assert verdict.reason == "injected"
+        assert _sat_solver("c").check() is SAT
+    assert injector.fired == [("unknown:injected", 2)]
+
+
+def test_deadline_injection_reads_as_timeout():
+    injector = FaultInjector().inject_deadline(at_check=1)
+    with injector.installed():
+        verdict = _sat_solver("d").check()
+    assert verdict == UNKNOWN
+    assert verdict.reason == "deadline"
+
+
+def test_injection_spans_solver_instances():
+    # Ordinals are process-global across facade instances, so a plan can
+    # target "the 3rd query of the CEGIS loop" regardless of which side
+    # (fresh verifier vs incremental guesser) issues it.
+    injector = FaultInjector().inject_unknown(at_check=[1, 3])
+    with injector.installed():
+        assert _sat_solver("e").check() == UNKNOWN
+        shared = _sat_solver("f")
+        assert shared.check() is SAT
+        assert shared.check() == UNKNOWN
+
+
+def test_malformed_model_is_deterministic():
+    def corrupted_values(seed):
+        injector = FaultInjector(seed=seed).inject_malformed_model(at_model=1)
+        solver = _sat_solver(f"g{seed}")
+        with injector.installed():
+            assert solver.check() is SAT
+            return solver.model().as_dict()
+
+    first = corrupted_values(3)
+    again = corrupted_values(3)
+    other = corrupted_values(4)
+    assert first == again
+    assert first != other
+    # Corruption is out-of-width for any realistic variable.
+    assert all(value >> 64 for value in first.values())
+
+
+def test_model_uncorrupted_off_ordinal():
+    injector = FaultInjector().inject_malformed_model(at_model=5)
+    solver = _sat_solver("h")
+    with injector.installed():
+        assert solver.check() is SAT
+        assert solver.model().value(f"fi_h") == 7
+
+
+def test_no_injector_no_interference():
+    solver = _sat_solver("i")
+    assert solver.check() is SAT
+    assert solver.model().value("fi_i") == 7

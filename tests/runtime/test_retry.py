@@ -1,0 +1,111 @@
+"""Unit tests for retry-with-escalation."""
+
+import pytest
+
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    RetryPolicy,
+    SolverUnknown,
+    run_with_retry,
+)
+
+
+def test_attempt_schedule_escalates():
+    policy = RetryPolicy(max_attempts=4, initial_conflicts=100,
+                         escalation=4.0, backoff=0.1, backoff_ceiling=0.25,
+                         seed=7)
+    attempts = list(policy.attempts())
+    assert [a.max_conflicts for a in attempts] == [100, 400, 1600, 6400]
+    assert [a.seed for a in attempts] == [None, 8, 9, 10]
+    assert [a.backoff for a in attempts] == [0.0, 0.1, 0.2, 0.25]
+
+
+def test_attempt_schedule_uncapped_stays_uncapped():
+    policy = RetryPolicy(max_attempts=3, initial_conflicts=None)
+    assert [a.max_conflicts for a in policy.attempts()] == [None] * 3
+
+
+def test_retry_succeeds_after_unknowns():
+    calls = []
+
+    def step(attempt):
+        calls.append(attempt.index)
+        if len(calls) < 3:
+            raise SolverUnknown(reason="conflicts")
+        return "sat"
+
+    sleeps = []
+    policy = RetryPolicy(max_attempts=5, backoff=0.01, backoff_ceiling=0.02)
+    assert run_with_retry(step, policy, sleep=sleeps.append) == "sat"
+    assert calls == [0, 1, 2]
+    assert sleeps == [0.01, 0.02]
+
+
+def test_retry_exhaustion_reraises_with_attempt_count():
+    def step(attempt):
+        raise SolverUnknown(reason="conflicts")
+
+    policy = RetryPolicy(max_attempts=3, backoff=0.0)
+    with pytest.raises(SolverUnknown) as info:
+        run_with_retry(step, policy, sleep=lambda _: None)
+    assert info.value.attempts == 3
+
+
+def test_budget_exhaustion_is_not_retried():
+    calls = []
+
+    def step(attempt):
+        calls.append(attempt.index)
+        raise BudgetExhausted(reason="deadline")
+
+    with pytest.raises(BudgetExhausted):
+        run_with_retry(step, RetryPolicy(max_attempts=5, backoff=0.0),
+                       sleep=lambda _: None)
+    assert calls == [0]
+
+
+def test_non_retryable_unknown_reason_stops_early():
+    calls = []
+
+    def step(attempt):
+        calls.append(attempt.index)
+        raise SolverUnknown(reason="some-exotic-reason")
+
+    with pytest.raises(SolverUnknown):
+        run_with_retry(step, RetryPolicy(max_attempts=5, backoff=0.0),
+                       sleep=lambda _: None)
+    assert calls == [0]
+
+
+def test_backoff_clipped_to_budget_remaining():
+    class FakeClock:
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = FakeClock()
+    budget = Budget(timeout=0.05, clock=clock)
+    sleeps = []
+
+    def step(attempt):
+        raise SolverUnknown(reason="conflicts")
+
+    policy = RetryPolicy(max_attempts=2, backoff=10.0, backoff_ceiling=10.0)
+    with pytest.raises(SolverUnknown):
+        run_with_retry(step, policy, budget=budget, sleep=sleeps.append)
+    assert sleeps == [0.05]  # clipped from 10s to the remaining budget
+
+
+def test_none_policy_means_single_attempt():
+    calls = []
+
+    def step(attempt):
+        calls.append(attempt.index)
+        raise SolverUnknown(reason="conflicts")
+
+    with pytest.raises(SolverUnknown):
+        run_with_retry(step, None, sleep=lambda _: None)
+    assert calls == [0]

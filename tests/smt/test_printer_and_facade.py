@@ -4,7 +4,14 @@ import pytest
 
 from repro.smt import terms as T
 from repro.smt.printer import to_string
-from repro.smt.solver import Model, Solver, SAT, UNKNOWN, UNSAT
+from repro.smt.solver import (
+    Model,
+    Solver,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    UnknownModelVariableWarning,
+)
 
 
 def test_printer_basic_forms():
@@ -47,7 +54,8 @@ def test_model_accessors():
     model = Model({"a": 5})
     assert model.value("a") == 5
     assert model.value(T.bv_var("a", 8)) == 5
-    assert model.value("missing") == 0
+    with pytest.warns(UnknownModelVariableWarning, match="missing"):
+        assert model.value("missing") == 0
     assert "a" in model
     assert model.as_dict() == {"a": 5}
     assert "a=0x5" in repr(model)

@@ -1,0 +1,222 @@
+"""Degradation and resume tests for the resilient synthesis engine.
+
+Covers the four fault scenarios from the resilience acceptance criteria —
+UNKNOWN on the guess side, UNKNOWN on the verify side, a deadline observed
+mid-run, and a malformed model — plus the resume round-trip: a run killed
+mid-loop hands back a ``PartialSynthesisResult`` with all completed work,
+and resuming from it (including through JSON serialization) produces
+control logic equivalent to an uninterrupted run.
+"""
+
+import json
+
+import pytest
+
+from repro.designs import alu_machine
+from repro.runtime import FaultInjector, SolverUnknown
+from repro.synthesis import (
+    PartialSynthesisResult,
+    SynthesisTimeout,
+    synthesize,
+    verify_design,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return alu_machine.build_problem()
+
+
+@pytest.fixture(scope="module")
+def full_result(problem):
+    return synthesize(problem, timeout=300)
+
+
+@pytest.fixture(scope="module")
+def check_map(problem):
+    """Facade-check ordinal ranges per instruction, and model ordinals.
+
+    Everything in the stack is deterministic, so one instrumented clean run
+    calibrates which global check/model ordinals belong to which
+    instruction; the fault tests then aim injections precisely.
+    """
+    injector = FaultInjector()  # counts ordinals, injects nothing
+    boundaries = {}
+
+    def record(name, _solution):
+        boundaries[name] = (injector.check_count, injector.model_count)
+
+    with injector.installed():
+        synthesize(problem, timeout=300, check_independence=False,
+                   progress=record)
+    spans = {}
+    prev_checks, prev_models = 0, 0
+    for instruction in [i.name for i in problem.spec.instructions]:
+        checks, models = boundaries[instruction]
+        spans[instruction] = {
+            "checks": range(prev_checks + 1, checks + 1),
+            "models": range(prev_models + 1, models + 1),
+        }
+        prev_checks, prev_models = checks, models
+    return spans
+
+
+def _second_instruction(problem):
+    return problem.spec.instructions[1].name
+
+
+def _expect_partial(problem, injector, **kwargs):
+    with injector.installed():
+        result = synthesize(problem, timeout=300, check_independence=False,
+                            on_timeout="partial", **kwargs)
+    assert isinstance(result, PartialSynthesisResult)
+    return result
+
+
+# -- the four fault scenarios ---------------------------------------------
+
+
+def test_unknown_on_verify_degrades(problem, check_map):
+    victim = _second_instruction(problem)
+    # The first check of an instruction's span is the verify side of its
+    # first CEGIS iteration.
+    ordinal = check_map[victim]["checks"][0]
+    injector = FaultInjector().inject_unknown(at_check=ordinal)
+    partial = _expect_partial(problem, injector)
+    assert partial.pending == [victim]
+    assert partial.faults == [(victim, "injected")]
+    completed = {s.instruction_name for s in partial.completed}
+    assert completed == {i.name for i in problem.spec.instructions} - {victim}
+
+
+def test_unknown_on_guess_degrades(problem, check_map):
+    victim = _second_instruction(problem)
+    # Second check in the span: the guess side of iteration 1.
+    ordinal = check_map[victim]["checks"][1]
+    injector = FaultInjector().inject_unknown(at_check=ordinal)
+    partial = _expect_partial(problem, injector)
+    assert partial.pending == [victim]
+    assert partial.faults == [(victim, "injected")]
+
+
+def test_deadline_mid_loop_keeps_completed_work(problem, check_map):
+    victim = _second_instruction(problem)
+    ordinal = check_map[victim]["checks"][0]
+    injector = FaultInjector().inject_deadline(at_check=ordinal)
+    partial = _expect_partial(problem, injector)
+    assert partial.reason == "deadline"
+    # Deadline stops the loop: the victim and everything after it pend.
+    names = [i.name for i in problem.spec.instructions]
+    assert partial.pending == names[1:]
+    assert [s.instruction_name for s in partial.completed] == names[:1]
+
+
+def test_malformed_model_degrades(problem, check_map):
+    victim = _second_instruction(problem)
+    ordinal = check_map[victim]["models"][0]
+    injector = FaultInjector(seed=11).inject_malformed_model(at_model=ordinal)
+    partial = _expect_partial(problem, injector)
+    assert victim in partial.pending
+    assert any(reason == "malformed-model"
+               for _, reason in partial.faults)
+
+
+# -- raise-mode contract ---------------------------------------------------
+
+
+def test_raise_mode_attaches_partial(problem, check_map):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_deadline(
+        at_check=check_map[victim]["checks"][0]
+    )
+    with injector.installed():
+        with pytest.raises(SynthesisTimeout) as info:
+            synthesize(problem, timeout=300, check_independence=False)
+    assert info.value.reason == "deadline"
+    assert info.value.partial is not None
+    assert info.value.partial.completed_count == 1
+
+
+def test_solver_unknown_raise_mode_attaches_partial(problem, check_map):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_unknown(
+        at_check=check_map[victim]["checks"][0]
+    )
+    with injector.installed():
+        with pytest.raises(SolverUnknown) as info:
+            synthesize(problem, timeout=300, check_independence=False)
+    assert info.value.partial.pending == [victim]
+
+
+# -- resume round-trip -----------------------------------------------------
+
+
+def test_resume_completes_equivalently(problem, check_map, full_result):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_deadline(
+        at_check=check_map[victim]["checks"][0]
+    )
+    partial = _expect_partial(problem, injector)
+    assert partial.completed_count == 1
+
+    resumed = synthesize(problem, timeout=300, resume_from=partial)
+    assert resumed.stats["resumed_instructions"] == sorted(
+        s.instruction_name for s in partial.completed
+    )
+    # The two completion paths must produce equivalent control logic.
+    assert resumed.hole_exprs == full_result.hole_exprs
+    assert resumed.control_stmts == full_result.control_stmts
+    for instruction in problem.spec.instructions:
+        assert (resumed.hole_values_for(instruction.name)
+                == full_result.hole_values_for(instruction.name))
+    verdict = verify_design(resumed.completed_design, problem.spec,
+                            problem.alpha)
+    assert verdict.ok, verdict.summary()
+
+
+def test_resume_round_trips_through_json(problem, check_map, full_result):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_deadline(
+        at_check=check_map[victim]["checks"][0]
+    )
+    partial = _expect_partial(problem, injector)
+    wire = json.dumps(partial.to_dict())
+    revived = PartialSynthesisResult.from_dict(json.loads(wire))
+    assert revived.pending == partial.pending
+    assert revived.reason == partial.reason
+    assert [s.to_dict() for s in revived.completed] == [
+        s.to_dict() for s in partial.completed
+    ]
+    resumed = synthesize(problem, timeout=300,
+                         resume_from=json.loads(wire))
+    assert resumed.hole_exprs == full_result.hole_exprs
+
+
+def test_resume_rejects_wrong_problem(problem, check_map):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_deadline(
+        at_check=check_map[victim]["checks"][0]
+    )
+    partial = _expect_partial(problem, injector)
+    partial.problem_name = "some_other_design"
+    from repro.synthesis import SynthesisError
+
+    with pytest.raises(SynthesisError, match="resume handle"):
+        synthesize(problem, resume_from=partial)
+
+
+def test_partial_summary_is_informative(problem, check_map):
+    victim = _second_instruction(problem)
+    injector = FaultInjector().inject_deadline(
+        at_check=check_map[victim]["checks"][0]
+    )
+    partial = _expect_partial(problem, injector)
+    text = partial.summary()
+    assert "partial synthesis" in text
+    assert "[pending]" in text and "[done]" in text
+    assert "deadline" in text
+
+
+def test_from_dict_rejects_foreign_payloads():
+    with pytest.raises(ValueError, match="not a serialized"):
+        PartialSynthesisResult.from_dict({"schema": "something/else"})

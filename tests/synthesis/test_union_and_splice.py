@@ -129,6 +129,33 @@ def test_splice_rejects_control_after_first_use():
         splice_control(sketch, stmts)
 
 
+def test_splice_chained_control_statements():
+    # Control statements may read each other (precondition wires feeding
+    # the hole assignment); inter-control deps must not count as "needed".
+    sketch = parse_design(SKETCH)
+    stmts = [
+        oy.Assign("pre_x", oy.Var("sel")),
+        oy.Assign("ctl", oy.Var("pre_x")),
+    ]
+    completed = splice_control(sketch, stmts)
+    targets = [s.target for s in completed.stmts if isinstance(s, oy.Assign)]
+    assert targets.index("pre_x") < targets.index("ctl")
+    assert targets.index("ctl") < targets.index("t")
+
+
+def test_splice_register_read_inserts_at_top():
+    # A register's current value is readable before any statement runs, so
+    # control reading only registers/inputs splices at position 0.
+    sketch = parse_design(
+        "design s:\n  input a 4\n  hole ctl 1\n  register r 4\n"
+        "  t := if ctl then a else r\n  r := t\n"
+    )
+    stmts = [oy.Assign("ctl", oy.Extract(oy.Var("r"), 0, 0))]
+    completed = splice_control(sketch, stmts)
+    assigns = [s for s in completed.stmts if isinstance(s, oy.Assign)]
+    assert assigns[0].target == "ctl"
+
+
 def test_splice_validates_result():
     sketch = parse_design(SKETCH)
     stmts = [oy.Assign("ctl", oy.Binop("==", oy.Var("sel"), oy.Const(1, 1)))]
