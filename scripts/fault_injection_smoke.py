@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
 """CI smoke check: a fault mid-CEGIS must degrade, not crash.
 
-Installs a ``FaultInjector`` that forces an UNKNOWN verdict partway
-through the ALU synthesis run and asserts the engine hands back a
-``PartialSynthesisResult`` carrying the already-completed instructions,
-then resumes from it and verifies the completed design.  Exits non-zero
-on any violation of the degradation contract.
+Two lanes:
+
+* **degradation** — a ``FaultInjector`` forces an UNKNOWN verdict partway
+  through the ALU synthesis run; the engine must hand back a
+  ``PartialSynthesisResult`` carrying the already-completed instructions,
+  and resuming from it must complete a verifying design.
+* **worker containment** — the same synthesis under
+  ``execution="isolated"`` with an injected worker crash, hang, and OOM;
+  every death must be classified and contained (correct final design, no
+  orphaned worker processes).
+
+Exits non-zero on any violation.
 
 Run: ``PYTHONPATH=src python scripts/fault_injection_smoke.py``
 """
@@ -13,8 +20,40 @@ Run: ``PYTHONPATH=src python scripts/fault_injection_smoke.py``
 import sys
 
 from repro.designs import alu_machine
-from repro.runtime import FaultInjector
+from repro.runtime import FaultInjector, SolverWorkerPool
 from repro.synthesis import PartialSynthesisResult, synthesize, verify_design
+
+
+def worker_containment(problem):
+    """Isolated execution survives an injected crash, hang, and OOM."""
+    pool = SolverWorkerPool(size=2, heartbeat_interval=0.25,
+                            mem_limit_mb=512)
+    injector = FaultInjector()
+    injector.inject_worker_crash(at_request=1)
+    injector.inject_worker_hang(at_request=3)
+    injector.inject_worker_oom(at_request=5)
+    try:
+        with injector.installed():
+            result = synthesize(problem, timeout=300,
+                                check_independence=False,
+                                execution="isolated", worker_pool=pool)
+    finally:
+        accounting = pool.shutdown()
+
+    fired = [kind for kind, _ in injector.fired]
+    assert fired == ["worker:crash", "worker:hang", "worker:oom"], fired
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert result.hole_values_for(name) == expected, name
+    verdict = verify_design(result.completed_design, problem.spec,
+                            problem.alpha)
+    assert verdict.ok, verdict.summary()
+    assert accounting["crashes"] >= 3, accounting
+    assert accounting["watchdog_kills"] >= 1, accounting
+    assert accounting["spawned"] == accounting["reaped"], accounting
+    assert accounting["orphans"] == 0, accounting
+    assert not pool.live_pids(), "orphaned worker processes"
+    print("worker containment: crash+hang+oom contained, design verifies, "
+          f"accounting balanced {accounting}")
 
 
 def main():
@@ -50,6 +89,8 @@ def main():
     assert verdict.ok, verdict.summary()
     print(f"resume completed {len(resumed.per_instruction)} instructions; "
           "design verifies")
+
+    worker_containment(problem)
     return 0
 
 

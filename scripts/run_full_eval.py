@@ -3,12 +3,16 @@
 
 Writes ``results/full_eval.json`` and prints the tables; EXPERIMENTS.md is
 written from this output.  Expected runtime: tens of minutes.
+
+An interrupted Table 1 run (Ctrl-C, budget exhaustion) leaves a resume
+handle; pass it back with ``--resume handle.json`` and the already-solved
+instructions are reused verbatim instead of being re-synthesized.
 """
 
+import argparse
 import dataclasses
 import json
 import os
-import sys
 import time
 
 from repro.eval import (
@@ -17,10 +21,49 @@ from repro.eval import (
     run_table1,
     run_table2,
 )
+from repro.synthesis import PartialSynthesisResult
+
+
+def _load_resume(path):
+    """Load a resume handle and report what it lets us skip."""
+    with open(path) as handle:
+        data = json.load(handle)
+    partial = PartialSynthesisResult.from_dict(data)
+    solved = [s.instruction_name for s in partial.completed]
+    print(
+        f"resuming {partial.problem_name!r} ({partial.mode}) from {path}: "
+        f"previous run stopped on {partial.reason!r}", flush=True,
+    )
+    if solved:
+        print(
+            f"  skipping {len(solved)} already-solved instruction(s): "
+            + ", ".join(solved), flush=True,
+        )
+    print(
+        f"  {len(partial.pending)} instruction(s) still pending: "
+        + (", ".join(partial.pending) or "(none)"), flush=True,
+    )
+    return partial
 
 
 def main():
-    only = set(sys.argv[1:])  # optional: table1 table2 ct
+    parser = argparse.ArgumentParser(
+        description="Run the full paper evaluation (Tables 1/2, "
+        "constant-time study)."
+    )
+    parser.add_argument(
+        "tables", nargs="*", choices=["table1", "table2", "ct"],
+        help="restrict to the named studies (default: all)",
+    )
+    parser.add_argument(
+        "--resume", metavar="HANDLE.json", default=None,
+        help="a serialized PartialSynthesisResult from an interrupted "
+        "run; matching Table 1 rows reuse its solved instructions",
+    )
+    args = parser.parse_args()
+    only = set(args.tables)
+    resume_handle = _load_resume(args.resume) if args.resume else None
+
     os.makedirs("results", exist_ok=True)
     results = {}
     if os.path.exists("results/full_eval.json"):
@@ -35,8 +78,11 @@ def main():
         print("=== Table 1 (full) ===", flush=True)
         rows = run_table1(
             quick=False, monolithic_timeout=300,
+            resume_from=resume_handle,
             progress=lambda row: print(
-                f"  {row.row_id}: {row.time_seconds:.1f}s ({row.status})",
+                f"  {row.row_id}: {row.time_seconds:.1f}s ({row.status})"
+                + (f", reused {row.resumed_instructions}"
+                   if row.resumed_instructions else ""),
                 flush=True,
             ),
         )

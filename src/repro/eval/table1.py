@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.oyster.printer import design_loc
 from repro.synthesis import SynthesisTimeout, synthesize
-from repro.synthesis.result import SynthesisError
+from repro.synthesis.result import PartialSynthesisResult, SynthesisError
 
 __all__ = ["run_table1", "TABLE1_CONFIGS", "Table1Row", "build_config"]
 
@@ -66,6 +66,7 @@ class Table1Row:
     status: str  # "ok" or "timeout"
     reason: str = ""             # machine-readable stop reason on timeout
     completed_instructions: int = -1  # solved before the budget hit (-1: all)
+    resumed_instructions: int = 0  # reused verbatim from a resume handle
 
 
 def build_config(row_id, quick=True):
@@ -101,18 +102,40 @@ def build_config(row_id, quick=True):
     return factories[row_id]()
 
 
-def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120):
-    """Run one Table 1 row; returns a ``Table1Row``."""
+def _applicable_resume(resume_from, problem, mode):
+    """The resume handle, if it matches this row's problem and mode."""
+    if resume_from is None:
+        return None
+    if isinstance(resume_from, dict):
+        resume_from = PartialSynthesisResult.from_dict(resume_from)
+    if resume_from.problem_name != problem.name:
+        return None
+    if resume_from.mode != mode:
+        return None
+    return resume_from
+
+
+def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
+            resume_from=None):
+    """Run one Table 1 row; returns a ``Table1Row``.
+
+    ``resume_from`` is a :class:`PartialSynthesisResult` (or its
+    ``to_dict`` form) from an interrupted earlier run; when it matches
+    this row's problem and mode, the already-solved instructions are
+    reused verbatim and counted in ``resumed_instructions``.
+    """
     config = next(c for c in TABLE1_CONFIGS if c[0] == row_id)
     _, design_name, variant, mode = config
     problem = build_config(row_id, quick=quick)
+    resume = _applicable_resume(resume_from, problem, mode)
     budget = monolithic_timeout if mode == "monolithic" else timeout
     started = time.monotonic()
     status = "ok"
     reason = ""
     completed = -1
     try:
-        result = synthesize(problem, mode=mode, timeout=budget)
+        result = synthesize(problem, mode=mode, timeout=budget,
+                            resume_from=resume)
         elapsed = result.elapsed
     except SynthesisTimeout as exc:
         # An honest Timeout row: record *why* the budget tripped and how
@@ -133,17 +156,24 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120):
         status=status,
         reason=reason,
         completed_instructions=completed,
+        resumed_instructions=resume.completed_count if resume else 0,
     )
 
 
 def run_table1(row_ids=None, quick=True, timeout=1800,
-               monolithic_timeout=120, progress=None):
-    """Run Table 1 (all rows by default); returns the row list."""
+               monolithic_timeout=120, progress=None, resume_from=None):
+    """Run Table 1 (all rows by default); returns the row list.
+
+    ``resume_from`` is matched against each row (by problem name and
+    mode), so an interrupted full run's handle restarts only the work
+    that was actually lost.
+    """
     chosen = row_ids or [config[0] for config in TABLE1_CONFIGS]
     rows = []
     for row_id in chosen:
         row = run_row(row_id, quick=quick, timeout=timeout,
-                      monolithic_timeout=monolithic_timeout)
+                      monolithic_timeout=monolithic_timeout,
+                      resume_from=resume_from)
         rows.append(row)
         if progress is not None:
             progress(row)

@@ -59,7 +59,10 @@ def _render(expr):
         left_text, left_level = _render(expr.left)
         right_text, right_level = _render(expr.right)
         # Operators associate left; require strictly tighter on the right.
-        left = _parenthesize(left_text, left_level, level)
+        # Comparisons are non-associative in the grammar (`a != b != c`
+        # does not parse), so their left operand needs parens too.
+        left_minimum = level + 1 if expr.op in ast.COMPARISONS else level
+        left = _parenthesize(left_text, left_level, left_minimum)
         right = _parenthesize(right_text, right_level, level + 1)
         return f"{left} {expr.op} {right}", level
     if isinstance(expr, ast.Ite):

@@ -13,10 +13,17 @@ This package is the resource-control spine under the synthesis stack:
   reseeded decision order, capped exponential backoff) for UNKNOWNs that
   retrying can actually fix;
 * :class:`FaultInjector` — deterministic UNKNOWN / timeout / malformed-model
-  injection at the solver facade, so degradation paths are testable.
+  / worker-crash / worker-hang / worker-OOM injection, so degradation and
+  containment paths are testable;
+* :class:`SolverWorkerPool` — sandboxed subprocess workers (rlimit caps,
+  heartbeats, watchdog hard-kill) with crash classification into the
+  taxonomy (:class:`WorkerCrashed`, :class:`WorkerKilled`) and a
+  per-query circuit breaker that falls back to in-process solving.
 
 It deliberately imports nothing from ``repro.smt`` or ``repro.synthesis``;
-those layers import *it*.
+those layers import *it*.  (The worker *child* process speaks the DIMACS
+wire format and therefore imports ``repro.smt`` — but only inside the
+child's request loop, never at parent import time.)
 """
 
 from repro.runtime.budget import Budget
@@ -26,9 +33,13 @@ from repro.runtime.errors import (
     ResourceExceeded,
     RuntimeFault,
     SolverUnknown,
+    WorkerCrashed,
+    WorkerFault,
+    WorkerKilled,
 )
 from repro.runtime.faults import FaultInjector, active_injector
 from repro.runtime.retry import Attempt, RetryPolicy, run_with_retry
+from repro.runtime.workers import SolverWorkerPool, WorkerOutcome
 
 __all__ = [
     "Budget",
@@ -37,9 +48,14 @@ __all__ = [
     "ResourceExceeded",
     "SolverUnknown",
     "MalformedModel",
+    "WorkerFault",
+    "WorkerCrashed",
+    "WorkerKilled",
     "RetryPolicy",
     "Attempt",
     "run_with_retry",
     "FaultInjector",
     "active_injector",
+    "SolverWorkerPool",
+    "WorkerOutcome",
 ]

@@ -1,0 +1,12 @@
+"""Constants shared by the worker child and the parent pool.
+
+A separate module so ``repro.runtime.workers`` (parent side) never
+imports ``repro.runtime.worker_main`` (the child's ``-m`` entry point) —
+importing a ``runpy`` target from package ``__init__`` time triggers the
+"found in sys.modules" RuntimeWarning in every spawned worker.
+"""
+
+#: Exit code for an injected crash (mid-check process death).
+EXIT_CRASH = 70
+#: Exit code for a memory-rlimit breach (caught ``MemoryError``).
+EXIT_OOM = 71

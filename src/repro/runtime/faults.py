@@ -16,7 +16,15 @@ Supported faults:
   reason ``"deadline"``, as if the wall clock had expired mid-solve;
 * ``inject_malformed_model(at_model=n)`` — the n-th model extraction is
   corrupted with deterministic out-of-width garbage, as if the backend
-  were buggy.
+  were buggy;
+* ``inject_worker_crash(at_request=n)`` / ``inject_worker_hang(...)`` /
+  ``inject_worker_oom(...)`` — the n-th request submitted to a
+  :class:`repro.runtime.workers.SolverWorkerPool` carries a directive the
+  worker obeys: die with a crash exit code mid-check, go silent (stop
+  heartbeating) so the watchdog must reap it, or allocate until the
+  memory rlimit breaches.  ``at_request="all"`` makes the fault
+  persistent (every request), which is how the circuit-breaker fallback
+  is exercised.
 
 Installation is process-global (the facade consults
 :func:`active_injector`) and strictly scoped via the context manager, so a
@@ -55,8 +63,11 @@ class FaultInjector:
         self.seed = seed
         self.check_count = 0
         self.model_count = 0
+        self.request_count = 0   # worker-pool submissions, process-wide
         self._unknown_at = {}    # ordinal -> reason
         self._malformed_at = set()
+        self._worker_at = {}     # ordinal -> directive
+        self._worker_always = None  # persistent directive ("all" plans)
         self.fired = []          # (kind, ordinal) log for assertions
 
     # -- plan construction ----------------------------------------------
@@ -76,6 +87,28 @@ class FaultInjector:
         self._malformed_at.update(self._ordinals(at_model))
         return self
 
+    def inject_worker_crash(self, at_request):
+        """The ``at_request``-th pool submission dies with a crash exit."""
+        return self._plan_worker(at_request, "crash")
+
+    def inject_worker_hang(self, at_request):
+        """The ``at_request``-th pool submission goes silent (no
+        heartbeats); the watchdog must hard-kill it."""
+        return self._plan_worker(at_request, "hang")
+
+    def inject_worker_oom(self, at_request):
+        """The ``at_request``-th pool submission allocates until its
+        memory rlimit breaches."""
+        return self._plan_worker(at_request, "oom")
+
+    def _plan_worker(self, at_request, directive):
+        if at_request == "all":
+            self._worker_always = directive
+            return self
+        for ordinal in self._ordinals(at_request):
+            self._worker_at[ordinal] = directive
+        return self
+
     @staticmethod
     def _ordinals(spec):
         return spec if isinstance(spec, (list, tuple, set)) else (spec,)
@@ -89,6 +122,21 @@ class FaultInjector:
         if reason is not None:
             self.fired.append(("unknown:" + reason, self.check_count))
         return reason
+
+    def on_worker_request(self):
+        """Called by the worker pool per submission; returns a directive
+        (``"crash"``/``"hang"``/``"oom"``) or ``None``.
+
+        Thread-safe enough for concurrent dispatch: ordinals are taken
+        under the GIL and each planned ordinal fires exactly once.
+        """
+        self.request_count += 1
+        directive = self._worker_at.pop(self.request_count, None)
+        if directive is None:
+            directive = self._worker_always
+        if directive is not None:
+            self.fired.append(("worker:" + directive, self.request_count))
+        return directive
 
     def on_model(self, values):
         """Called by ``Solver.model`` with the assignment dict; may corrupt."""

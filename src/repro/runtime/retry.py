@@ -21,9 +21,13 @@ from repro.runtime.errors import BudgetExhausted, SolverUnknown
 
 __all__ = ["RetryPolicy", "Attempt", "run_with_retry"]
 
-#: UNKNOWN reasons where escalation can plausibly help.
+#: UNKNOWN reasons where escalation can plausibly help.  Worker deaths
+#: (crash, OOM rlimit, missed heartbeats) are retryable because the retry
+#: lands on a *fresh* process; deadline kills and CPU-cap breaches are not
+#: (more attempts cannot create more wall clock or CPU).
 _RETRYABLE_REASONS = frozenset(
-    {"conflicts", "unknown", "injected", "malformed-model", "unspecified"}
+    {"conflicts", "unknown", "injected", "malformed-model", "unspecified",
+     "worker-crashed", "worker-oom", "heartbeat-lost"}
 )
 
 

@@ -1,0 +1,220 @@
+"""Entry point of a sandboxed solver worker process.
+
+Run as ``python -m repro.runtime.worker_main [--mem-limit-mb N]
+[--cpu-limit-s N] [--heartbeat-interval F]``.  The parent
+(:class:`repro.runtime.workers.SolverWorkerPool`) speaks a line protocol:
+
+* parent → worker (stdin): one JSON request per line —
+  ``{"id", "dimacs", "max_conflicts", "timeout", "seed", "fault"}``;
+* worker → parent (stdout): ``{"ready": pid}`` once at boot,
+  ``{"hb": id}`` heartbeats while a request is in flight, and a final
+  ``{"id", "verdict", "reason", "model", "conflicts"}`` per request.
+
+Sandboxing is applied before the first request: ``RLIMIT_DATA`` (heap)
+caps memory so a bit-blasting or clause-database blow-up raises
+``MemoryError`` *here* instead of OOM-killing the engine, and
+``RLIMIT_CPU`` backstops runaway solving with a kernel SIGXCPU.  A
+``MemoryError`` anywhere in the request loop reports ``crashed: oom``
+and exits with :data:`EXIT_OOM` — the heap is not trustworthy afterwards,
+so the pool respawns rather than reuses the process.
+
+Fault directives (``"crash"``/``"hang"``/``"oom"``) come from the
+parent-side :class:`repro.runtime.FaultInjector` plan and make the
+containment claims testable: crash exits mid-check, hang goes silent so
+the watchdog must reap the process, oom allocates until the rlimit
+breaches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+try:  # pragma: no cover - platform gate
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX
+    _resource = None
+
+from repro.runtime._worker_proto import EXIT_CRASH, EXIT_OOM
+
+__all__ = ["main", "EXIT_CRASH", "EXIT_OOM"]
+
+#: Injected OOM stops allocating past this many bytes even when no rlimit
+#: is configured, so a mis-configured test cannot eat the whole machine.
+_OOM_ALLOCATION_CEILING = 1 << 31
+
+
+def _apply_rlimits(mem_limit_mb, cpu_limit_s):
+    if _resource is None:
+        return
+    if mem_limit_mb:
+        limit = int(mem_limit_mb) * 1024 * 1024
+        # RLIMIT_DATA caps the heap (brk + private mmap on Linux >= 4.7)
+        # without constraining the interpreter's shared mappings the way
+        # RLIMIT_AS would; breaches surface as MemoryError.
+        kind = getattr(_resource, "RLIMIT_DATA", _resource.RLIMIT_AS)
+        try:
+            _resource.setrlimit(kind, (limit, limit))
+        except (ValueError, OSError):
+            pass
+    if cpu_limit_s:
+        seconds = int(cpu_limit_s)
+        try:
+            _resource.setrlimit(_resource.RLIMIT_CPU, (seconds, seconds + 1))
+        except (ValueError, OSError):
+            pass
+
+
+class _Heartbeat:
+    """Emits ``{"hb": id}`` lines on an interval while a request runs.
+
+    A thread (not a solver checkpoint) so heartbeats keep flowing during
+    DIMACS parsing and clause loading, not just mid-search; the
+    interpreter's switch interval guarantees it gets scheduled even while
+    the main thread solves.  ``silence()`` is the injected-hang hook: the
+    process stays alive but goes quiet, which is exactly the failure mode
+    the parent watchdog exists to catch.
+    """
+
+    def __init__(self, write, interval):
+        self._write = write
+        self._interval = interval
+        self._request_id = None
+        self._silent = False
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+
+    def _run(self):
+        while True:
+            time.sleep(self._interval)
+            with self._lock:
+                request_id = None if self._silent else self._request_id
+            if request_id is not None:
+                self._write({"hb": request_id})
+
+    def begin(self, request_id):
+        with self._lock:
+            self._request_id = request_id
+            self._silent = False
+
+    def end(self):
+        with self._lock:
+            self._request_id = None
+
+    def silence(self):
+        with self._lock:
+            self._silent = True
+
+
+def _inject_oom(mem_limit_mb):
+    """Allocate until the rlimit breaches (or a hard ceiling is hit).
+
+    The hoard is released before re-raising: the crash report itself
+    needs a few allocations (json, pipe write), and a heap pinned at the
+    rlimit would thrash long enough for the watchdog to misclassify the
+    breach as a hang.
+    """
+    ceiling = _OOM_ALLOCATION_CEILING
+    if mem_limit_mb:
+        ceiling = min(ceiling, int(mem_limit_mb) * 1024 * 1024 * 4)
+    hoard = []
+    total = 0
+    chunk = 16 * 1024 * 1024
+    try:
+        while total < ceiling:
+            hoard.append(bytearray(chunk))
+            total += chunk
+    finally:
+        hoard.clear()
+    # No rlimit stopped us: simulate the breach so the parent still sees
+    # a classified OOM instead of a successful check.
+    raise MemoryError("injected oom (allocation ceiling reached)")
+
+
+def _serve(request, write, heartbeat, mem_limit_mb):
+    # Imported here, not at module top: the parent pool imports this
+    # module for the exit-code constants, and the runtime layer must not
+    # drag repro.smt in with it.
+    from repro.smt.dimacs import from_dimacs, solve_dimacs
+
+    request_id = request.get("id")
+    fault = request.get("fault")
+    heartbeat.begin(request_id)
+    try:
+        if fault == "crash":
+            os._exit(EXIT_CRASH)
+        if fault == "hang":
+            heartbeat.silence()
+            time.sleep(3600)
+        if fault == "oom":
+            _inject_oom(mem_limit_mb)
+        cnf = from_dimacs(request["dimacs"])
+        timeout = request.get("timeout")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        verdict, values, conflicts = solve_dimacs(
+            cnf,
+            max_conflicts=request.get("max_conflicts"),
+            deadline=deadline,
+            seed=request.get("seed"),
+        )
+        reason = None
+        if verdict.startswith("unknown"):
+            _, _, reason = verdict.partition(":")
+            verdict = "unknown"
+        heartbeat.end()
+        write({
+            "id": request_id,
+            "verdict": verdict,
+            "reason": reason or None,
+            "model": values if verdict == "sat" else None,
+            "conflicts": conflicts,
+        })
+    except MemoryError:
+        # The heap is suspect after a failed allocation: report with the
+        # dedicated exit code and die so the pool respawns a clean process.
+        try:
+            write({"id": request_id, "crashed": "oom"})
+        except Exception:
+            pass
+        os._exit(EXIT_OOM)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.runtime.worker_main")
+    parser.add_argument("--mem-limit-mb", type=int, default=0)
+    parser.add_argument("--cpu-limit-s", type=int, default=0)
+    parser.add_argument("--heartbeat-interval", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    _apply_rlimits(args.mem_limit_mb, args.cpu_limit_s)
+
+    stdout_lock = threading.Lock()
+
+    def write(payload):
+        with stdout_lock:
+            sys.stdout.write(json.dumps(payload) + "\n")
+            sys.stdout.flush()
+
+    # Beat at twice the nominal rate: the parent watchdog declares a hang
+    # after two silent intervals, and sleep-based beats drift under load,
+    # so a 1:1 cadence would sit right on the kill threshold.
+    heartbeat = _Heartbeat(write, args.heartbeat_interval / 2.0)
+    write({"ready": os.getpid()})
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        request = json.loads(line)
+        if request.get("shutdown"):
+            break
+        _serve(request, write, heartbeat, args.mem_limit_mb)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

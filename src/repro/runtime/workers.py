@@ -1,0 +1,433 @@
+"""Isolated solver workers: subprocess sandbox, watchdog, classification.
+
+:class:`SolverWorkerPool` executes solver checks in disposable child
+processes so a pathological query cannot take the engine down with it: a
+memory blow-up breaches the *worker's* rlimit, a wedged search is
+hard-killed by the watchdog thread, and either way the parent keeps every
+per-instruction solution it has already completed.
+
+The wire format is DIMACS (``repro.smt.dimacs``): the parent bit-blasts
+and Tseitin-encodes the query, ships the CNF plus the variable-bit header
+over the worker's stdin, and decodes the returned assignment back into
+term-level model values.  Exit status is classified into the
+``repro.runtime`` fault taxonomy:
+
+========================  =====================================  =========
+observation               classified as                          retryable
+========================  =====================================  =========
+clean ``unknown`` result  ``Unknown(reason)`` verdict            per reason
+exit ``EXIT_OOM``         ``WorkerCrashed("worker-oom")``        yes
+death by ``SIGXCPU``      ``WorkerCrashed("worker-cpu")``        no
+any other death           ``WorkerCrashed("worker-crashed")``    yes
+watchdog: silent worker   ``WorkerKilled("heartbeat-lost")``     yes
+watchdog: past deadline   ``WorkerKilled("deadline")``           no
+SIGINT teardown           ``WorkerKilled("interrupted")``        no
+========================  =====================================  =========
+
+Retryable faults feed the existing :class:`repro.runtime.RetryPolicy`
+(the retry lands on a freshly spawned worker); the pool additionally
+keeps a per-query circuit breaker so a query that keeps killing workers
+falls back to in-process solving instead of burning respawns forever.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from queue import Empty, Queue
+
+from repro.runtime import faults as _faults
+from repro.runtime.errors import WorkerCrashed, WorkerKilled
+from repro.runtime._worker_proto import EXIT_OOM
+
+__all__ = ["SolverWorkerPool", "WorkerOutcome"]
+
+
+@dataclass
+class WorkerOutcome:
+    """A clean verdict from a worker check."""
+
+    verdict: str            # "sat" | "unsat" | "unknown"
+    reason: str = ""        # exhausted cap for "unknown"
+    model: dict = None      # term-variable values for "sat"
+    conflicts: int = 0      # conflicts the worker spent (budget charge)
+
+
+class _WorkerHandle:
+    """One live child process and its liveness bookkeeping."""
+
+    def __init__(self, proc):
+        self.proc = proc
+        self.pid = proc.pid
+        self.last_beat = time.monotonic()
+        self.deadline = None      # absolute; None while idle or uncapped
+        self.kill_reason = None   # set by the watchdog before SIGKILL
+        self.requests = 0
+
+    def send(self, payload):
+        self.proc.stdin.write(json.dumps(payload) + "\n")
+        self.proc.stdin.flush()
+
+    def kill(self, reason):
+        self.kill_reason = reason
+        try:
+            self.proc.kill()
+        except OSError:
+            pass
+
+    def alive(self):
+        return self.proc.poll() is None
+
+
+class SolverWorkerPool:
+    """A fixed-size pool of sandboxed solver worker processes.
+
+    Parameters
+    ----------
+    size:
+        Number of concurrently live workers (and the useful concurrency
+        for the engine's per-instruction dispatch).
+    mem_limit_mb / cpu_limit_s:
+        ``resource.setrlimit`` caps applied inside each worker; 0/None
+        disables a cap.
+    heartbeat_interval:
+        Seconds between worker heartbeats; the watchdog hard-kills a
+        worker that has been silent for ``watchdog_grace`` intervals.
+    watchdog_grace:
+        Multiplier on the heartbeat interval before a silent worker is
+        declared hung (default 2: reaped within 2x the interval).
+    fallback_after:
+        Circuit breaker: consecutive worker faults on the *same query*
+        before ``should_fallback`` tells the facade to solve in-process.
+    """
+
+    def __init__(self, size=2, mem_limit_mb=None, cpu_limit_s=None,
+                 heartbeat_interval=0.25, watchdog_grace=2.0,
+                 fallback_after=2, python=None):
+        self.size = max(1, int(size))
+        self.mem_limit_mb = mem_limit_mb
+        self.cpu_limit_s = cpu_limit_s
+        self.heartbeat_interval = heartbeat_interval
+        self.watchdog_grace = watchdog_grace
+        self.fallback_after = fallback_after
+        self._python = python or sys.executable
+        self._lock = threading.Lock()
+        self._idle = Queue()
+        self._inflight = set()
+        self._failures = {}       # query key -> consecutive worker faults
+        self._closed = False
+        self.spawned_pids = []
+        self.stats = {
+            "spawned": 0, "reaped": 0, "requests": 0, "crashes": 0,
+            "watchdog_kills": 0, "fallbacks": 0,
+        }
+        for _ in range(self.size):
+            self._idle.put(self._spawn())
+        self._watchdog_stop = threading.Event()
+        self._watchdog = threading.Thread(
+            target=self._watch, name="solver-pool-watchdog", daemon=True
+        )
+        self._watchdog.start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn(self):
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir if not existing else src_dir + os.pathsep + existing
+        )
+        argv = [self._python, "-m", "repro.runtime.worker_main",
+                "--heartbeat-interval", str(self.heartbeat_interval)]
+        if self.mem_limit_mb:
+            argv += ["--mem-limit-mb", str(self.mem_limit_mb)]
+        if self.cpu_limit_s:
+            argv += ["--cpu-limit-s", str(self.cpu_limit_s)]
+        proc = subprocess.Popen(
+            argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            env=env, text=True, bufsize=1,
+        )
+        handle = _WorkerHandle(proc)
+        ready = proc.stdout.readline()
+        if not ready:
+            proc.kill()
+            proc.wait()
+            raise RuntimeError(
+                f"solver worker failed to boot (exit {proc.returncode})"
+            )
+        with self._lock:
+            self.stats["spawned"] += 1
+            self.spawned_pids.append(handle.pid)
+        return handle
+
+    def _reap(self, handle):
+        """Collect a dead worker and replace it with a fresh one."""
+        try:
+            handle.proc.stdin.close()
+        except OSError:
+            pass
+        code = handle.proc.wait()
+        with self._lock:
+            self.stats["reaped"] += 1
+            closed = self._closed
+        if not closed:
+            self._idle.put(self._spawn())
+        return code
+
+    def shutdown(self, timeout=5.0):
+        """Stop every worker; returns the orphan-free accounting.
+
+        Idle workers get a polite shutdown request; anything still alive
+        after ``timeout`` (including in-flight workers) is killed.  The
+        returned dict's ``orphans`` entry counts workers that survived
+        even SIGKILL — it must be 0, and tests assert exactly that.
+        """
+        with self._lock:
+            self._closed = True
+        self._watchdog_stop.set()
+        handles = []
+        while True:
+            try:
+                handles.append(self._idle.get_nowait())
+            except Empty:
+                break
+        with self._lock:
+            handles.extend(self._inflight)
+            self._inflight.clear()
+        for handle in handles:
+            if handle.alive():
+                try:
+                    handle.send({"shutdown": True})
+                except OSError:
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                handle.proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.kill("shutdown")
+                try:
+                    handle.proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:
+                    pass
+            with self._lock:
+                if handle.proc.returncode is not None:
+                    self.stats["reaped"] += 1
+        if self._watchdog.is_alive():
+            self._watchdog.join(timeout=1.0)
+        orphans = [h.pid for h in handles if h.alive()]
+        accounting = dict(self.stats)
+        accounting["orphans"] = len(orphans)
+        return accounting
+
+    def terminate_inflight(self):
+        """Hard-kill every in-flight worker (SIGINT teardown path).
+
+        Blocked submitter threads observe EOF promptly and classify the
+        death; idle workers stay available for the next run.
+        """
+        with self._lock:
+            inflight = list(self._inflight)
+        for handle in inflight:
+            handle.kill("interrupted")
+
+    def live_pids(self):
+        """PIDs of ever-spawned workers that are still alive."""
+        alive = []
+        for pid in self.spawned_pids:
+            try:
+                os.kill(pid, 0)
+            except (OSError, ProcessLookupError):
+                continue
+            alive.append(pid)
+        return alive
+
+    # -- watchdog --------------------------------------------------------
+
+    def _watch(self):
+        """Hard-kill in-flight workers that go silent or overshoot.
+
+        Scans several times per heartbeat interval so a hung worker is
+        reaped within ``watchdog_grace`` intervals of its last beat, per
+        the containment bound the tests assert.
+        """
+        period = max(0.01, self.heartbeat_interval / 4.0)
+        while not self._watchdog_stop.wait(period):
+            now = time.monotonic()
+            with self._lock:
+                inflight = list(self._inflight)
+            for handle in inflight:
+                if not handle.alive():
+                    continue
+                silent_for = now - handle.last_beat
+                if silent_for > self.watchdog_grace * self.heartbeat_interval:
+                    with self._lock:
+                        self.stats["watchdog_kills"] += 1
+                    handle.kill("heartbeat-lost")
+                elif (handle.deadline is not None
+                        and now > handle.deadline + self.heartbeat_interval):
+                    with self._lock:
+                        self.stats["watchdog_kills"] += 1
+                    handle.kill("deadline")
+
+    # -- circuit breaker -------------------------------------------------
+
+    def should_fallback(self, key):
+        """Whether ``key``'s query has crashed enough workers that the
+        facade should solve it in-process instead."""
+        with self._lock:
+            return self._failures.get(key, 0) >= self.fallback_after
+
+    def note_fallback(self, key):
+        with self._lock:
+            self.stats["fallbacks"] += 1
+
+    def _note_failure(self, key):
+        if key is None:
+            return
+        with self._lock:
+            self._failures[key] = self._failures.get(key, 0) + 1
+
+    def _note_success(self, key):
+        if key is None:
+            return
+        with self._lock:
+            self._failures.pop(key, None)
+
+    # -- the check itself ------------------------------------------------
+
+    def check(self, dimacs, max_conflicts=None, timeout=None, seed=None,
+              key=None):
+        """Run one check on a worker; returns a :class:`WorkerOutcome`.
+
+        Raises :class:`WorkerCrashed` / :class:`WorkerKilled` on worker
+        death, with the circuit-breaker failure count for ``key``
+        updated either way.
+        """
+        if self._closed:
+            raise RuntimeError("worker pool is shut down")
+        with self._lock:
+            self.stats["requests"] += 1
+        directive = None
+        injector = _faults.active_injector()
+        if injector is not None:
+            directive = injector.on_worker_request()
+        handle = self._idle.get()
+        request_id = handle.requests = handle.requests + 1
+        now = time.monotonic()
+        handle.last_beat = now
+        handle.deadline = None if timeout is None else now + timeout
+        handle.kill_reason = None
+        with self._lock:
+            self._inflight.add(handle)
+        worker_died = False
+        try:
+            outcome = self._run_request(handle, {
+                "id": request_id,
+                "dimacs": dimacs,
+                "max_conflicts": max_conflicts,
+                "timeout": timeout,
+                "seed": seed,
+                "fault": directive,
+            })
+        except (WorkerCrashed, WorkerKilled):
+            # The handle must never return to the idle queue, even if the
+            # process has not finished dying yet (the OOM reporter writes
+            # its crash line *before* _exit, so alive() can race true).
+            worker_died = True
+            self._note_failure(key)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.discard(handle)
+            handle.deadline = None
+            if worker_died or not handle.alive():
+                self._reap(handle)
+            else:
+                self._idle.put(handle)
+        self._note_success(key)
+        return outcome
+
+    def _run_request(self, handle, request):
+        try:
+            handle.send(request)
+        except (OSError, ValueError):
+            raise self._classify_death(handle)
+        while True:
+            line = handle.proc.stdout.readline()
+            if not line:
+                raise self._classify_death(handle)
+            try:
+                message = json.loads(line)
+            except ValueError:
+                continue
+            if "hb" in message:
+                handle.last_beat = time.monotonic()
+                continue
+            if message.get("id") != request["id"]:
+                continue  # stale line from a previous request
+            if message.get("crashed") == "oom":
+                # The worker reported the breach before dying; the EOF
+                # and EXIT_OOM follow, but this is the authoritative word.
+                with self._lock:
+                    self.stats["crashes"] += 1
+                raise WorkerCrashed(
+                    "worker memory rlimit breached mid-check",
+                    reason="worker-oom", exit_code=EXIT_OOM,
+                )
+            return WorkerOutcome(
+                verdict=message["verdict"],
+                reason=message.get("reason") or "",
+                model=message.get("model"),
+                conflicts=int(message.get("conflicts") or 0),
+            )
+
+    def _classify_death(self, handle):
+        """Map a dead worker's exit status into the fault taxonomy."""
+        try:
+            code = handle.proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            handle.kill("unresponsive")
+            code = handle.proc.wait()
+        with self._lock:
+            self.stats["crashes"] += 1
+        if handle.kill_reason == "heartbeat-lost":
+            return WorkerKilled(
+                f"watchdog killed worker {handle.pid} (heartbeat lost)",
+                reason="heartbeat-lost", exit_code=code,
+            )
+        if handle.kill_reason == "interrupted":
+            # SIGINT teardown: deliberately NOT retryable — the engine is
+            # unwinding, so retry machinery must not respawn the check.
+            return WorkerKilled(
+                f"worker {handle.pid} terminated by interrupt",
+                reason="interrupted", exit_code=code,
+            )
+        if handle.kill_reason == "deadline":
+            return WorkerKilled(
+                f"watchdog killed worker {handle.pid} past its deadline",
+                reason="deadline", exit_code=code,
+            )
+        if code == EXIT_OOM:
+            return WorkerCrashed(
+                f"worker {handle.pid} breached its memory rlimit",
+                reason="worker-oom", exit_code=code,
+            )
+        if code == -signal.SIGXCPU:
+            return WorkerCrashed(
+                f"worker {handle.pid} breached its CPU rlimit",
+                reason="worker-cpu", exit_code=code,
+            )
+        return WorkerCrashed(
+            f"worker {handle.pid} died with exit status {code}",
+            reason="worker-crashed", exit_code=code,
+        )

@@ -148,9 +148,24 @@ class Solver:
     ``strict_models=True`` makes extracted models raise on queries for
     variables that were never blasted (catching hole-name typos) instead
     of warning and defaulting to 0.
+
+    ``execution`` selects where checks run: ``"inprocess"`` (default)
+    solves in this process; ``"isolated"`` ships each check as DIMACS to
+    a sandboxed worker of the given
+    :class:`repro.runtime.workers.SolverWorkerPool`, so a crash, hang or
+    memory blow-up costs one disposable child process instead of the
+    engine.  Worker deaths surface as ``WorkerCrashed``/``WorkerKilled``
+    (retryable members of the runtime fault taxonomy), and a query that
+    keeps killing workers trips the pool's circuit breaker, after which
+    this facade quietly solves it in-process.
     """
 
-    def __init__(self, strict_models=False):
+    def __init__(self, strict_models=False, execution="inprocess",
+                 worker_pool=None):
+        if execution not in ("inprocess", "isolated"):
+            raise ValueError(f"unknown execution mode {execution!r}")
+        if execution == "isolated" and worker_pool is None:
+            raise ValueError("execution='isolated' requires a worker_pool")
         self._blaster = BitBlaster()
         self._sat = SatSolver()
         self._node_to_satvar = {}
@@ -158,7 +173,13 @@ class Solver:
         self._asserted = []
         self._trivially_false = False
         self.strict_models = strict_models
-        self.stats = {"asserts": 0, "checks": 0, "clauses": 0}
+        self.execution = execution
+        self._pool = worker_pool
+        self._remote_model = None     # model values from the last worker SAT
+        self._remote_conflicts = 0    # conflicts spent by workers for us
+        self._pending_seed = None     # reseed to apply on the next check
+        self.stats = {"asserts": 0, "checks": 0, "clauses": 0,
+                      "worker_checks": 0, "worker_fallbacks": 0}
 
     def add(self, term):
         """Assert that a width-1 term is 1."""
@@ -195,6 +216,7 @@ class Solver:
         injection.
         """
         self.stats["checks"] += 1
+        self._remote_model = None
         injector = _faults.active_injector()
         if injector is not None:
             injected_reason = injector.on_check()
@@ -215,6 +237,11 @@ class Solver:
                 max_conflicts is None or budget_conflicts < max_conflicts
             ):
                 max_conflicts = budget_conflicts
+        if self.execution == "isolated":
+            return self._check_isolated(max_conflicts, deadline, budget)
+        return self._check_inprocess(max_conflicts, deadline, budget)
+
+    def _check_inprocess(self, max_conflicts, deadline, budget):
         conflicts_before = self._sat.conflicts
         verdict = self._sat.solve(max_conflicts=max_conflicts,
                                   deadline=deadline, budget=budget)
@@ -224,16 +251,54 @@ class Solver:
             return Unknown(self._sat.stop_reason or "unspecified")
         return SAT if verdict else UNSAT
 
+    def _check_isolated(self, max_conflicts, deadline, budget):
+        """One check on a sandboxed worker, DIMACS over the wire.
+
+        The full assertion set is re-exported per check (workers are
+        stateless by design — any of them, including a fresh respawn,
+        can serve any query).  Worker conflicts are charged to the
+        budget exactly like in-process ones.
+        """
+        from repro.smt.dimacs import to_dimacs
+
+        dimacs = to_dimacs(self._asserted)
+        key = hash(dimacs)
+        if self._pool.should_fallback(key):
+            # Circuit breaker: this query has killed enough workers that
+            # isolation is costing more than it contains.
+            self._pool.note_fallback(key)
+            self.stats["worker_fallbacks"] += 1
+            return self._check_inprocess(max_conflicts, deadline, budget)
+        timeout = None
+        if deadline is not None:
+            timeout = max(0.0, deadline - time.monotonic())
+        self.stats["worker_checks"] += 1
+        seed, self._pending_seed = self._pending_seed, None
+        outcome = self._pool.check(dimacs, max_conflicts=max_conflicts,
+                                   timeout=timeout, seed=seed, key=key)
+        self._remote_conflicts += outcome.conflicts
+        if budget is not None:
+            budget.charge_conflicts(outcome.conflicts)
+        if outcome.verdict == "sat":
+            self._remote_model = dict(outcome.model or {})
+            return SAT
+        if outcome.verdict == "unsat":
+            return UNSAT
+        return Unknown(outcome.reason or "unspecified")
+
     def model(self):
         """Extract the model after a SAT check."""
-        assignment = self._sat.model()
-        values = {}
-        for name, bits in self._blaster.var_bits.items():
-            value = 0
-            for i, lit in enumerate(bits):
-                bit = self._aig_lit_value(lit, assignment)
-                value |= bit << i
-            values[name] = value
+        if self._remote_model is not None:
+            values = dict(self._remote_model)
+        else:
+            assignment = self._sat.model()
+            values = {}
+            for name, bits in self._blaster.var_bits.items():
+                value = 0
+                for i, lit in enumerate(bits):
+                    bit = self._aig_lit_value(lit, assignment)
+                    value |= bit << i
+                values[name] = value
         injector = _faults.active_injector()
         if injector is not None:
             values = injector.on_model(values)
@@ -241,11 +306,20 @@ class Solver:
 
     @property
     def conflicts(self):
-        """Total SAT conflicts this solver has spent (monotonic)."""
-        return self._sat.conflicts
+        """Total SAT conflicts this solver has spent (monotonic).
+
+        Includes conflicts spent on our behalf by isolated workers, so
+        CEGIS statistics and budget accounting are execution-agnostic.
+        """
+        return self._sat.conflicts + self._remote_conflicts
 
     def reseed(self, seed):
-        """Deterministically perturb the decision order (retry escalation)."""
+        """Deterministically perturb the decision order (retry escalation).
+
+        In isolated mode the seed also rides along on the next worker
+        request, where it perturbs the worker's fresh solver the same way.
+        """
+        self._pending_seed = seed
         self._sat.reseed(seed)
 
     # ------------------------------------------------------------------

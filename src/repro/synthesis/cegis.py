@@ -71,7 +71,8 @@ class CegisStats:
 
 def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
                 stats=None, initial_candidate=None, partial_eval=True,
-                budget=None, retry_policy=None):
+                budget=None, retry_policy=None, execution="inprocess",
+                worker_pool=None):
     """Find ints for ``hole_vars`` making ``formula`` valid for all states.
 
     ``formula`` is a width-1 term whose free variables are ``hole_vars``
@@ -87,6 +88,12 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     ``budget`` is a ``repro.runtime.Budget`` shared by both CEGIS sides
     (``timeout`` is folded into it); ``retry_policy`` governs escalation on
     retryable UNKNOWNs.
+
+    ``execution="isolated"`` runs every solver check in a sandboxed child
+    process of ``worker_pool`` (a ``repro.runtime.SolverWorkerPool``):
+    worker deaths surface as retryable ``WorkerCrashed``/``WorkerKilled``
+    faults and flow through the same retry machinery as conflict-cap
+    UNKNOWNs, landing each retry on a freshly spawned worker.
 
     Raises ``SynthesisFailure`` if no assignment exists,
     ``SynthesisTimeout`` if the wall-clock/memory budget is exhausted, and
@@ -108,13 +115,13 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     if initial_candidate:
         candidate.update(initial_candidate)
     hole_by_name = {var.name: var for var in hole_vars}
-    guess_solver = Solver()
+    guess_solver = Solver(execution=execution, worker_pool=worker_pool)
 
     for _ in range(max_iterations):
         stats.iterations += 1
         # -- verify ---------------------------------------------------------
         started = time.monotonic()
-        verifier = Solver()
+        verifier = Solver(execution=execution, worker_pool=worker_pool)
         if partial_eval:
             substitution = {
                 hole_by_name[name]: T.bv_const(value,

@@ -9,11 +9,18 @@ Oyster design.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
 
 from repro.oyster import ast as oy
 from repro.oyster.analysis import expr_vars, stmt_uses
 from repro.oyster.typecheck import check_design
-from repro.runtime import Budget, BudgetExhausted, SolverUnknown
+from repro.runtime import (
+    Budget,
+    BudgetExhausted,
+    RetryPolicy,
+    SolverUnknown,
+    SolverWorkerPool,
+)
 from repro.synthesis.independence import check_instruction_independence
 from repro.synthesis.monolithic import synthesize_monolithic_solutions
 from repro.synthesis.per_instruction import synthesize_instruction
@@ -31,7 +38,8 @@ __all__ = ["synthesize", "splice_control"]
 def synthesize(problem, mode="per_instruction", timeout=None,
                max_iterations=256, check_independence=True,
                progress=None, partial_eval=True, budget=None,
-               retry_policy=None, on_timeout="raise", resume_from=None):
+               retry_policy=None, on_timeout="raise", resume_from=None,
+               execution="inprocess", worker_pool=None, max_workers=None):
     """Run control logic synthesis.
 
     Parameters
@@ -66,17 +74,67 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         A :class:`PartialSynthesisResult` (or its ``to_dict()`` form) from
         an earlier run of the same problem/mode: completed instructions
         are reused verbatim and only the pending ones are solved.
+    execution:
+        ``"inprocess"`` (default) solves in this process, serially.
+        ``"isolated"`` routes every solver check through sandboxed worker
+        subprocesses and dispatches independent per-instruction problems
+        concurrently across the pool; worker deaths are classified,
+        charged to the budget, and retried on fresh workers.
+    worker_pool:
+        A caller-owned ``repro.runtime.SolverWorkerPool`` for
+        ``execution="isolated"``.  When omitted, the engine creates one
+        sized by ``max_workers`` and shuts it down (asserting no orphans)
+        before returning.
+    max_workers:
+        Size of the engine-owned pool (ignored when ``worker_pool`` is
+        given); also the per-instruction dispatch width.
+
+    A ``KeyboardInterrupt`` mid-run follows the same degradation contract
+    as budget exhaustion: live workers are terminated, and the partial
+    result (reason ``"interrupted"``, resumable) is returned or attached.
     """
     started = time.monotonic()
     if on_timeout not in ("raise", "partial"):
         # Validate eagerly: a typo'd mode must not lurk until the first
         # run that actually times out.
         raise ValueError(f"unknown on_timeout mode {on_timeout!r}")
+    if execution not in ("inprocess", "isolated"):
+        raise ValueError(f"unknown execution mode {execution!r}")
     if budget is None:
         budget = Budget(timeout=timeout)
     elif timeout is not None:
         budget = budget.child(timeout=timeout)
-    stats = {"mode": mode}
+    owned_pool = None
+    if execution == "isolated":
+        if worker_pool is None:
+            worker_pool = owned_pool = SolverWorkerPool(
+                size=max_workers or 2
+            )
+        if retry_policy is None:
+            # Isolation without retries would turn every transient worker
+            # death into a lost instruction; default to the standard
+            # escalation policy so crashes land on fresh workers.
+            retry_policy = RetryPolicy()
+    try:
+        return _synthesize(
+            problem, mode, started, max_iterations, check_independence,
+            progress, partial_eval, budget, retry_policy, on_timeout,
+            resume_from, execution, worker_pool,
+        )
+    finally:
+        if owned_pool is not None:
+            accounting = owned_pool.shutdown()
+            if accounting["orphans"]:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"{accounting['orphans']} solver worker(s) survived "
+                    "pool shutdown"
+                )
+
+
+def _synthesize(problem, mode, started, max_iterations, check_independence,
+                progress, partial_eval, budget, retry_policy, on_timeout,
+                resume_from, execution, worker_pool):
+    stats = {"mode": mode, "execution": execution}
     resume_solutions = _resume_solutions(problem, mode, resume_from)
     if resume_solutions:
         stats["resumed_instructions"] = sorted(resume_solutions)
@@ -88,32 +146,54 @@ def synthesize(problem, mode="per_instruction", timeout=None,
             )
         solved = dict(resume_solutions)
         faults = []
-        for index, instruction in enumerate(problem.spec.instructions):
-            if instruction.name in solved:
-                continue
-            try:
-                budget.check()
-                solution = synthesize_instruction(
-                    problem, instruction, index, budget=budget.child(),
-                    retry_policy=retry_policy,
-                    max_iterations=max_iterations,
-                    partial_eval=partial_eval,
+        try:
+            if execution == "isolated":
+                stop_fault = _solve_concurrently(
+                    problem, solved, faults, budget, retry_policy,
+                    max_iterations, partial_eval, worker_pool, progress,
                 )
-            except BudgetExhausted as fault:
-                # Budget spent (deadline/memory/iterations): stop now and
-                # hand back everything already solved.
-                partial = _partial(problem, mode, solved, fault.reason,
-                                   started, stats, faults)
-                return _degrade(partial, fault, on_timeout)
-            except SolverUnknown as fault:
-                # A non-budget fault on this one instruction: record it and
-                # keep going — later instructions may still solve, which
-                # maximizes the work a resume can reuse.
-                faults.append((instruction.name, fault.reason))
-                continue
-            solved[instruction.name] = solution
-            if progress is not None:
-                progress(instruction.name, solution)
+                if stop_fault is not None:
+                    partial = _partial(problem, mode, solved,
+                                       stop_fault.reason, started, stats,
+                                       faults)
+                    return _degrade(partial, stop_fault, on_timeout)
+            else:
+                for index, instruction in enumerate(
+                        problem.spec.instructions):
+                    if instruction.name in solved:
+                        continue
+                    try:
+                        budget.check()
+                        solution = synthesize_instruction(
+                            problem, instruction, index,
+                            budget=budget.child(),
+                            retry_policy=retry_policy,
+                            max_iterations=max_iterations,
+                            partial_eval=partial_eval,
+                        )
+                    except BudgetExhausted as fault:
+                        # Budget spent (deadline/memory/iterations): stop
+                        # now and hand back everything already solved.
+                        partial = _partial(problem, mode, solved,
+                                           fault.reason, started, stats,
+                                           faults)
+                        return _degrade(partial, fault, on_timeout)
+                    except SolverUnknown as fault:
+                        # A non-budget fault on this one instruction:
+                        # record it and keep going — later instructions may
+                        # still solve, which maximizes the work a resume
+                        # can reuse.
+                        faults.append((instruction.name, fault.reason))
+                        continue
+                    solved[instruction.name] = solution
+                    if progress is not None:
+                        progress(instruction.name, solution)
+        except KeyboardInterrupt as fault:
+            if worker_pool is not None:
+                worker_pool.terminate_inflight()
+            partial = _partial(problem, mode, solved, "interrupted",
+                               started, stats, faults)
+            return _degrade(partial, fault, on_timeout)
         if faults:
             reason = faults[0][1]
             partial = _partial(problem, mode, solved, reason, started,
@@ -128,8 +208,15 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         try:
             solutions, cegis_stats = synthesize_monolithic_solutions(
                 problem, budget=budget, retry_policy=retry_policy,
-                max_iterations=max_iterations,
+                max_iterations=max_iterations, execution=execution,
+                worker_pool=worker_pool,
             )
+        except KeyboardInterrupt as fault:
+            if worker_pool is not None:
+                worker_pool.terminate_inflight()
+            partial = _partial(problem, mode, {}, "interrupted", started,
+                               stats, [])
+            return _degrade(partial, fault, on_timeout)
         except (BudgetExhausted, SolverUnknown) as fault:
             partial = _partial(problem, mode, {}, fault.reason, started,
                                stats, [])
@@ -149,6 +236,79 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         per_instruction=solutions,
         elapsed=time.monotonic() - started,
         stats=stats,
+    )
+
+
+def _solve_concurrently(problem, solved, faults, budget, retry_policy,
+                        max_iterations, partial_eval, worker_pool, progress):
+    """Dispatch pending per-instruction problems across the worker pool.
+
+    Instruction independence (Section 3.3.1) is what makes this sound:
+    each problem is a self-contained ∃∀ query, so they may solve in any
+    order on any worker.  Mutates ``solved``/``faults`` (spec order is
+    restored for ``faults`` so partial results stay deterministic) and
+    returns the first ``BudgetExhausted`` if the shared budget tripped,
+    else ``None``.
+
+    A ``KeyboardInterrupt`` while waiting cancels undispatched work,
+    hard-kills in-flight workers (their submitter threads observe EOF and
+    unwind promptly), and propagates to the caller's degradation path.
+    """
+    pending = [
+        (index, instruction)
+        for index, instruction in enumerate(problem.spec.instructions)
+        if instruction.name not in solved
+    ]
+    spec_order = {i.name: n for n, i in enumerate(problem.spec.instructions)}
+    stop_fault = None
+    executor = ThreadPoolExecutor(
+        max_workers=worker_pool.size, thread_name_prefix="synth-dispatch"
+    )
+    try:
+        futures = {}
+        for index, instruction in pending:
+            future = executor.submit(
+                _solve_one, problem, instruction, index, budget,
+                retry_policy, max_iterations, partial_eval, worker_pool,
+            )
+            futures[future] = instruction
+        for future in as_completed(futures):
+            instruction = futures[future]
+            try:
+                solution = future.result()
+            except BudgetExhausted as fault:
+                # Keep draining: the siblings share the budget, so they
+                # trip the same cap almost immediately, and any that
+                # slipped in under the wire are still worth keeping.
+                if stop_fault is None:
+                    stop_fault = fault
+                continue
+            except SolverUnknown as fault:
+                faults.append((instruction.name, fault.reason))
+                continue
+            solved[instruction.name] = solution
+            if progress is not None:
+                progress(instruction.name, solution)
+    except KeyboardInterrupt:
+        worker_pool.terminate_inflight()
+        raise
+    finally:
+        # After an interrupt the killed workers EOF their submitter
+        # threads, so this wait is bounded, and it guarantees no dispatch
+        # thread races the pool teardown.
+        executor.shutdown(wait=True, cancel_futures=True)
+    faults.sort(key=lambda item: spec_order[item[0]])
+    return stop_fault
+
+
+def _solve_one(problem, instruction, index, budget, retry_policy,
+               max_iterations, partial_eval, worker_pool):
+    budget.check()
+    return synthesize_instruction(
+        problem, instruction, index, budget=budget.child(),
+        retry_policy=retry_policy, max_iterations=max_iterations,
+        partial_eval=partial_eval, execution="isolated",
+        worker_pool=worker_pool,
     )
 
 

@@ -25,7 +25,9 @@ __all__ = ["synthesize_monolithic_solutions"]
 
 def synthesize_monolithic_solutions(problem, timeout=None,
                                     max_iterations=256, budget=None,
-                                    retry_policy=None):
+                                    retry_policy=None,
+                                    execution="inprocess",
+                                    worker_pool=None):
     """Solve all instructions in one CEGIS query.
 
     Returns ``(solutions, stats)`` where ``solutions`` is one
@@ -89,7 +91,8 @@ def synthesize_monolithic_solutions(problem, timeout=None,
     values = cegis_solve(
         formula, list(constants.values()), timeout=timeout, stats=stats,
         max_iterations=max_iterations, budget=budget,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, execution=execution,
+        worker_pool=worker_pool,
     )
     elapsed = time.monotonic() - started
     solutions = []

@@ -52,12 +52,15 @@ def instruction_formula(problem, instruction, prefix):
 
 def synthesize_instruction(problem, instruction, index, timeout=None,
                            max_iterations=256, partial_eval=True,
-                           budget=None, retry_policy=None):
+                           budget=None, retry_policy=None,
+                           execution="inprocess", worker_pool=None):
     """Solve the hole constants for one instruction; returns a solution.
 
     ``budget`` is a ``repro.runtime.Budget`` slice for this instruction
     (shared caps are enforced through its parent chain); ``retry_policy``
     governs restart-with-escalation on retryable UNKNOWNs.
+    ``execution="isolated"`` routes every solver check through
+    ``worker_pool``'s sandboxed child processes.
     """
     started = time.monotonic()
     prefix = f"i{index}!"
@@ -75,6 +78,7 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
         formula, hole_vars, timeout=timeout, stats=stats,
         max_iterations=max_iterations, partial_eval=partial_eval,
         budget=budget, retry_policy=retry_policy,
+        execution=execution, worker_pool=worker_pool,
     )
     hole_values = {
         hole.name: values_by_var[trace.hole_values[hole.name].name]

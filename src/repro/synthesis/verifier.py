@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.ila.compiler import ConstraintCompiler
 from repro.oyster.symbolic import SymbolicEvaluator
+from repro.runtime import BudgetExhausted
 from repro.smt import terms as T
 from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
 from repro.synthesis.preprocess import resolve_equalities
@@ -28,6 +29,7 @@ class InstructionVerdict:
     status: str  # "proved", "violated", "unknown"
     counterexample: dict = field(default_factory=dict)
     time: float = 0.0
+    reason: str = ""  # why an "unknown" is unknown (exhausted cap, ...)
 
 
 @dataclass
@@ -46,20 +48,30 @@ class VerificationResult:
     def summary(self):
         lines = [f"verification of {self.design_name!r}:"]
         for verdict in self.verdicts:
+            detail = f" [{verdict.reason}]" if verdict.reason else ""
             lines.append(
-                f"  {verdict.instruction_name}: {verdict.status} "
+                f"  {verdict.instruction_name}: {verdict.status}{detail} "
                 f"({verdict.time:.2f}s)"
             )
         return "\n".join(lines)
 
 
 def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
-                  timeout_per_instruction=None, instructions=None):
+                  timeout_per_instruction=None, instructions=None,
+                  budget=None, execution="inprocess", worker_pool=None):
     """Check every instruction's pre→post on ``design``.
 
     ``hole_values`` allows verifying a sketch under concrete hole constants
     (used by tests); completed designs have no holes.  ``instructions``
     restricts the check to the named subset.
+
+    ``budget`` is a shared ``repro.runtime.Budget`` across all
+    instructions.  Verification is sound under resource exhaustion: a
+    budget that trips (before or mid-check) yields a verdict of
+    ``"unknown"`` whose ``reason`` names the exhausted cap — never a
+    ``"proved"`` the solver did not actually establish.  ``execution``/
+    ``worker_pool`` route checks through sandboxed workers exactly as in
+    synthesis.
     """
     spec.validate()
     verdicts = []
@@ -76,21 +88,35 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
                 name: T.bv_const(value, _hole_width(design, name))
                 for name, value in hole_values.items()
             }
-        evaluator = SymbolicEvaluator(
-            design, hole_values=term_holes,
-            const_mems=const_mems or {}, prefix=prefix,
-        )
-        trace = evaluator.run(alpha.cycles)
-        compiler = ConstraintCompiler(spec, alpha, trace, prefix=prefix)
-        compiled = compiler.compile_instruction(instruction)
-        side = T.and_(*trace.side_conditions)
-        antecedent, consequent = resolve_equalities(
-            T.bv_and(side, compiled.antecedent()), compiled.consequent()
-        )
-        violation = T.and_(antecedent, T.bv_not(consequent))
-        solver = Solver()
-        solver.add(violation)
-        verdict = solver.check(timeout=timeout_per_instruction)
+        try:
+            if budget is not None:
+                # Pre-check: an already-spent budget must not silently
+                # skip work and report success.
+                budget.check()
+            evaluator = SymbolicEvaluator(
+                design, hole_values=term_holes,
+                const_mems=const_mems or {}, prefix=prefix,
+            )
+            trace = evaluator.run(alpha.cycles)
+            compiler = ConstraintCompiler(spec, alpha, trace, prefix=prefix)
+            compiled = compiler.compile_instruction(instruction)
+            side = T.and_(*trace.side_conditions)
+            antecedent, consequent = resolve_equalities(
+                T.bv_and(side, compiled.antecedent()), compiled.consequent()
+            )
+            violation = T.and_(antecedent, T.bv_not(consequent))
+            solver = Solver(execution=execution, worker_pool=worker_pool)
+            solver.add(violation)
+            verdict = solver.check(timeout=timeout_per_instruction,
+                                   budget=budget)
+        except BudgetExhausted as fault:
+            verdicts.append(
+                InstructionVerdict(
+                    instruction.name, "unknown", {},
+                    time.monotonic() - started, reason=fault.reason,
+                )
+            )
+            continue
         elapsed = time.monotonic() - started
         if verdict is UNSAT:
             verdicts.append(
@@ -105,7 +131,10 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
             )
         else:
             verdicts.append(
-                InstructionVerdict(instruction.name, "unknown", {}, elapsed)
+                InstructionVerdict(
+                    instruction.name, "unknown", {}, elapsed,
+                    reason=getattr(verdict, "reason", "") or "",
+                )
             )
     return VerificationResult(design.name, verdicts)
 

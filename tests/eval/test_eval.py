@@ -3,7 +3,7 @@
 import pytest
 
 from repro.eval.report import format_rows, format_table
-from repro.eval.table1 import TABLE1_CONFIGS, Table1Row, run_row
+from repro.eval.table1 import TABLE1_CONFIGS, Table1Row, build_config, run_row
 from repro.eval.table2 import run_variant
 
 
@@ -21,6 +21,38 @@ def test_run_row_aes():
     assert row.instructions == 3
     assert row.sketch_size > 100
     assert row.time_seconds > 0
+    assert row.resumed_instructions == 0
+
+
+def test_run_row_resumes_from_partial_handle():
+    from repro.synthesis import synthesize
+
+    problem = build_config("aes")
+
+    class _Interrupt:
+        def __init__(self):
+            self.fired = False
+
+        def __call__(self, name, solution):
+            if not self.fired:
+                self.fired = True
+                raise KeyboardInterrupt
+
+    partial = synthesize(problem, timeout=300, progress=_Interrupt(),
+                         on_timeout="partial")
+    assert partial.completed_count == 1 and partial.pending
+
+    # A matching handle (same problem, same mode) skips the solved work;
+    # the round-trip through to_dict mirrors `--resume handle.json`.
+    row = run_row("aes", resume_from=partial.to_dict())
+    assert row.status == "ok"
+    assert row.resumed_instructions == 1
+
+    # A handle from a different mode is ignored, not misapplied.
+    mismatched = dict(partial.to_dict(), mode="monolithic")
+    row = run_row("aes", resume_from=mismatched)
+    assert row.status == "ok"
+    assert row.resumed_instructions == 0
 
 
 @pytest.mark.slow

@@ -1,0 +1,165 @@
+"""Tests for the sandboxed solver worker pool.
+
+Each test uses a real subprocess pool (no mocks): the containment claims
+— crash classification, watchdog reaping bounds, orphan-free shutdown —
+are only meaningful against live child processes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    FaultInjector,
+    SolverWorkerPool,
+    WorkerCrashed,
+    WorkerKilled,
+)
+from repro.runtime._worker_proto import EXIT_CRASH, EXIT_OOM
+from repro.smt import terms as T
+from repro.smt.dimacs import to_dimacs
+
+
+def _sat_query():
+    x = T.bv_var("x", 4)
+    return to_dimacs([T.bv_eq(x, T.bv_const(9, 4))])
+
+
+def _unsat_query():
+    x = T.bv_var("x", 4)
+    return to_dimacs([
+        T.bv_ult(x, T.bv_const(3, 4)),
+        T.bv_ugt(x, T.bv_const(12, 4)),
+    ])
+
+
+@pytest.fixture
+def pool():
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1)
+    yield pool
+    accounting = pool.shutdown()
+    assert accounting["orphans"] == 0
+    assert not pool.live_pids()
+
+
+def test_clean_check_decodes_model(pool):
+    outcome = pool.check(_sat_query())
+    assert outcome.verdict == "sat"
+    assert outcome.model["x"] == 9
+
+    outcome = pool.check(_unsat_query())
+    assert outcome.verdict == "unsat"
+
+
+def test_injected_crash_classified_and_pool_recovers(pool):
+    injector = FaultInjector().inject_worker_crash(at_request=1)
+    with injector.installed():
+        with pytest.raises(WorkerCrashed) as excinfo:
+            pool.check(_sat_query())
+    assert excinfo.value.reason == "worker-crashed"
+    assert excinfo.value.exit_code == EXIT_CRASH
+    # The pool respawned a replacement; the next check succeeds.
+    assert pool.check(_sat_query()).verdict == "sat"
+    assert pool.stats["spawned"] == 2
+    assert pool.stats["crashes"] == 1
+
+
+def test_injected_oom_is_classified_not_raw_memoryerror():
+    # A roomier heartbeat interval than the other tests: allocation up to
+    # the rlimit stalls the worker's beats enough that a tight threshold
+    # would race the watchdog against the OOM report.
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.5,
+                            mem_limit_mb=256)
+    try:
+        injector = FaultInjector().inject_worker_oom(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerCrashed) as excinfo:
+                pool.check(_sat_query())
+        # Machine-readable classification, never a raw MemoryError.
+        assert excinfo.value.reason == "worker-oom"
+        assert not isinstance(excinfo.value, MemoryError)
+        assert pool.check(_sat_query()).verdict == "sat"
+    finally:
+        accounting = pool.shutdown()
+        assert accounting["orphans"] == 0
+
+
+def test_hung_worker_reaped_within_watchdog_bound():
+    interval = 0.25
+    pool = SolverWorkerPool(size=1, heartbeat_interval=interval)
+    try:
+        injector = FaultInjector().inject_worker_hang(at_request=1)
+        started = time.monotonic()
+        with injector.installed():
+            with pytest.raises(WorkerKilled) as excinfo:
+                pool.check(_sat_query())
+        elapsed = time.monotonic() - started
+        assert excinfo.value.reason == "heartbeat-lost"
+        # Killed within watchdog_grace (2x) heartbeat intervals, plus
+        # scan-period and process-teardown slack — not the 3600s hang.
+        assert elapsed < 2 * interval + 1.0, elapsed
+        assert pool.stats["watchdog_kills"] == 1
+    finally:
+        accounting = pool.shutdown()
+        assert accounting["orphans"] == 0
+        assert not pool.live_pids()
+
+
+def test_interrupt_teardown_classified_as_interrupted():
+    # Watchdog effectively disabled (huge interval): the kill must come
+    # from terminate_inflight, and classify as non-retryable.
+    pool = SolverWorkerPool(size=1, heartbeat_interval=30.0)
+    try:
+        injector = FaultInjector().inject_worker_hang(at_request=1)
+        caught = []
+
+        def submit():
+            with pytest.raises(WorkerKilled) as excinfo:
+                pool.check(_sat_query())
+            caught.append(excinfo.value)
+
+        with injector.installed():
+            thread = threading.Thread(target=submit)
+            thread.start()
+            time.sleep(0.4)  # let the request reach the worker
+            pool.terminate_inflight()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert caught and caught[0].reason == "interrupted"
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+
+
+def test_circuit_breaker_falls_back_in_process():
+    from repro.smt.solver import Solver, SAT
+
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1,
+                            fallback_after=1)
+    try:
+        solver = Solver(execution="isolated", worker_pool=pool)
+        x = T.bv_var("x", 4)
+        solver.add(T.bv_eq(x, T.bv_const(5, 4)))
+        injector = FaultInjector().inject_worker_crash(at_request="all")
+        with injector.installed():
+            with pytest.raises(WorkerCrashed):
+                solver.check()
+            # Same query again: the breaker is open, so this solves
+            # in-process and succeeds despite the persistent directive.
+            assert solver.check() is SAT
+        assert solver.model().value(x) == 5
+        assert solver.stats["worker_fallbacks"] == 1
+        assert pool.stats["fallbacks"] == 1
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+
+
+def test_shutdown_accounting_balances():
+    pool = SolverWorkerPool(size=2, heartbeat_interval=0.1)
+    assert pool.check(_sat_query()).verdict == "sat"
+    accounting = pool.shutdown()
+    assert accounting["spawned"] == accounting["reaped"] == 2
+    assert accounting["orphans"] == 0
+    assert not pool.live_pids()
+    with pytest.raises(RuntimeError):
+        pool.check(_sat_query())

@@ -1,0 +1,104 @@
+"""End-to-end synthesis with isolated (sandboxed subprocess) execution.
+
+The acceptance property: an ``execution="isolated"`` run survives worker
+deaths injected mid-synthesis — a hard crash and a hang — and still
+completes correct, independently verified control logic, with every
+worker process accounted for at shutdown.
+"""
+
+import pytest
+
+from repro.designs import alu_machine
+from repro.runtime import FaultInjector, SolverWorkerPool
+from repro.synthesis import synthesize, verify_design
+
+
+@pytest.fixture
+def alu_problem():
+    return alu_machine.build_problem()
+
+
+def _assert_reference_values(result):
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert result.hole_values_for(name) == expected, name
+
+
+def test_isolated_survives_injected_crash_and_hang(alu_problem):
+    pool = SolverWorkerPool(size=2, heartbeat_interval=0.1)
+    injector = FaultInjector()
+    injector.inject_worker_crash(at_request=2)
+    injector.inject_worker_hang(at_request=4)
+    try:
+        with injector.installed():
+            result = synthesize(alu_problem, execution="isolated",
+                                worker_pool=pool, timeout=300)
+    finally:
+        accounting = pool.shutdown()
+    assert [kind for kind, _ in injector.fired] == [
+        "worker:crash", "worker:hang",
+    ]
+    _assert_reference_values(result)
+    verdict = verify_design(result.completed_design, alu_problem.spec,
+                            alu_problem.alpha)
+    assert verdict.ok, verdict.summary()
+    # Both deaths were contained and replaced...
+    assert accounting["crashes"] >= 2
+    assert accounting["watchdog_kills"] >= 1
+    # ...and nothing leaked: every spawned worker was collected.
+    assert accounting["spawned"] == accounting["reaped"]
+    assert accounting["orphans"] == 0
+    assert not pool.live_pids()
+
+
+def test_isolated_matches_inprocess_solutions(alu_problem):
+    inproc = synthesize(alu_problem, timeout=300)
+    isolated = synthesize(alu_problem, execution="isolated",
+                          max_workers=2, timeout=300)
+    assert isolated.stats["execution"] == "isolated"
+    for solution in inproc.per_instruction:
+        assert isolated.hole_values_for(solution.instruction_name) \
+            == solution.hole_values
+    _assert_reference_values(isolated)
+
+
+def test_engine_owned_pool_is_shut_down(alu_problem):
+    # No pool passed: the engine creates one and must tear it down —
+    # observable as zero live worker processes after the call returns.
+    result = synthesize(alu_problem, execution="isolated", max_workers=2,
+                        timeout=300)
+    _assert_reference_values(result)
+
+
+def test_persistent_crasher_trips_breaker_and_completes(alu_problem):
+    # Every request crashes its worker; the per-query circuit breaker
+    # must open after one failure and finish the run in-process.
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1,
+                            fallback_after=1)
+    injector = FaultInjector().inject_worker_crash(at_request="all")
+    try:
+        with injector.installed():
+            result = synthesize(alu_problem, execution="isolated",
+                                worker_pool=pool, timeout=300)
+    finally:
+        accounting = pool.shutdown()
+    _assert_reference_values(result)
+    assert accounting["fallbacks"] > 0
+    assert accounting["orphans"] == 0
+
+
+def test_isolated_monolithic_mode(alu_problem):
+    result = synthesize(alu_problem, mode="monolithic",
+                        execution="isolated", max_workers=1, timeout=300)
+    _assert_reference_values(result)
+
+
+def test_isolated_verifier(alu_problem):
+    completed = synthesize(alu_problem, timeout=300).completed_design
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1)
+    try:
+        verdict = verify_design(completed, alu_problem.spec,
+                                alu_problem.alpha, execution="isolated",
+                                worker_pool=pool)
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+    assert verdict.ok, verdict.summary()

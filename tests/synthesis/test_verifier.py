@@ -5,6 +5,7 @@ import pytest
 from repro.abstraction import parse_abstraction
 from repro.ila import Ila
 from repro.oyster import parse_design
+from repro.runtime import Budget, FaultInjector
 from repro.synthesis import verify_design
 
 
@@ -74,3 +75,53 @@ def test_instruction_subset_filter():
     )
     result = verify_design(design, spec, alpha, instructions=[])
     assert result.verdicts == []
+
+
+def test_solver_unknown_yields_unknown_verdict_with_reason():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    injector = FaultInjector().inject_unknown(at_check=1)
+    with injector.installed():
+        result = verify_design(design, spec, alpha)
+    assert not result.ok  # an unproved instruction is never "ok"
+    verdict = result.verdicts[0]
+    assert verdict.status == "unknown"
+    assert verdict.reason == "injected"
+    assert "[injected]" in result.summary()
+
+
+def test_injected_deadline_reason_surfaces():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    injector = FaultInjector().inject_deadline(at_check=1)
+    with injector.installed():
+        result = verify_design(design, spec, alpha)
+    assert result.verdicts[0].status == "unknown"
+    assert result.verdicts[0].reason == "deadline"
+
+
+@pytest.mark.parametrize("budget,expected_reason", [
+    (lambda: Budget(timeout=0.0), "deadline"),
+    (lambda: Budget(max_conflicts=0), "conflicts"),
+])
+def test_exhausted_budget_is_unknown_never_proved(budget, expected_reason):
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    result = verify_design(design, spec, alpha, budget=budget())
+    assert not result.ok
+    for verdict in result.verdicts:
+        # Sound under exhaustion: no "proved" the solver never earned.
+        assert verdict.status == "unknown"
+        assert verdict.reason == expected_reason
+
+
+def test_budget_with_headroom_still_proves():
+    design, spec, alpha = _setup(
+        "design d:\n  input inc 8\n  register acc 8\n  acc := acc + inc\n"
+    )
+    result = verify_design(design, spec, alpha, budget=Budget(timeout=300))
+    assert result.ok
+    assert result.verdicts[0].reason == ""
