@@ -6,50 +6,64 @@ constructors fold the unused datapath away before bit-blasting (the role
 Rosette's symbolic evaluation plays in the paper).  This ablation disables
 the substitution — hole values become equality constraints over the full
 symbolic datapath — and measures the slowdown on the ALU machine and a
-RISC-V subset.
+RISC-V subset.  The nofold arm always runs the fresh pipeline
+(``resolve_pipeline`` maps ``partial_eval=False`` there), so it stays the
+encode-cost baseline for BENCH_table1.json.
 """
 
 import pytest
 
 from benchmarks.conftest import full_eval
 from repro.designs import alu_machine, riscv
+from repro.smt import counters as _counters
 from repro.synthesis import SynthesisTimeout, synthesize
 
 
-@pytest.mark.parametrize("partial_eval", [True, False],
-                         ids=["fold", "nofold"])
-def test_alu_machine_partial_eval(benchmark, partial_eval):
-    problem = alu_machine.build_problem()
-    budget = 600 if full_eval() else 60
-
+def _run_case(benchmark, bench_record, case, problem, partial_eval, budget):
     def run():
+        before = _counters.snapshot()
         try:
             result = synthesize(problem, timeout=budget,
                                 partial_eval=partial_eval)
-            return ("ok", result.elapsed)
+            outcome = ("ok", result.elapsed, result.stats["pipeline"])
         except SynthesisTimeout:
-            return ("timeout", budget)
+            outcome = ("timeout", budget, "")
+        return outcome + (_counters.delta_since(before),)
 
-    status, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    status, elapsed, pipeline, encode = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
     benchmark.extra_info.update(status=status, seconds=round(elapsed, 2))
+    bench_record(
+        case,
+        status=status,
+        pipeline=pipeline,
+        partial_eval=partial_eval,
+        wall_time_seconds=round(elapsed, 3),
+        solver_instances=encode["solver_instances"],
+        aig_nodes=encode["aig_nodes"],
+        tseitin_clauses=encode["tseitin_clauses"],
+        trace_cache_hits=encode["trace_cache_hits"],
+        trace_cache_misses=encode["trace_cache_misses"],
+    )
 
 
 @pytest.mark.parametrize("partial_eval", [True, False],
                          ids=["fold", "nofold"])
-def test_riscv_subset_partial_eval(benchmark, partial_eval):
+def test_alu_machine_partial_eval(benchmark, bench_record, partial_eval):
+    problem = alu_machine.build_problem()
+    budget = 600 if full_eval() else 60
+    case = f"ablation_alu[{'fold' if partial_eval else 'nofold'}]"
+    _run_case(benchmark, bench_record, case, problem, partial_eval, budget)
+
+
+@pytest.mark.parametrize("partial_eval", [True, False],
+                         ids=["fold", "nofold"])
+def test_riscv_subset_partial_eval(benchmark, bench_record, partial_eval):
     problem = riscv.build_problem(
         "RV32I", "single_cycle",
         instructions=["add", "addi", "lui", "and"],
     )
     budget = 900 if full_eval() else 60
-
-    def run():
-        try:
-            result = synthesize(problem, timeout=budget,
-                                partial_eval=partial_eval)
-            return ("ok", result.elapsed)
-        except SynthesisTimeout:
-            return ("timeout", budget)
-
-    status, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
-    benchmark.extra_info.update(status=status, seconds=round(elapsed, 2))
+    case = f"ablation_riscv[{'fold' if partial_eval else 'nofold'}]"
+    _run_case(benchmark, bench_record, case, problem, partial_eval, budget)

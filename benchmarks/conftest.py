@@ -5,11 +5,26 @@ instruction sets; minutes per row).  The default "quick" configuration uses
 representative instruction subsets so that a complete
 ``pytest benchmarks/ --benchmark-only`` pass finishes in a few minutes while
 exercising exactly the same pipelines.
+
+Benchmarks record their headline numbers (wall time plus the deterministic
+encode counters) through the ``bench_record`` fixture; at session end the
+accumulated cases are merged into ``BENCH_table1.json`` at the repo root.
+Merging — read, update, write — means separate pytest invocations (one
+bench file at a time, or a rerun of a single case) accumulate into one
+report instead of clobbering each other; ``scripts/bench_report.py`` diffs
+two such files.
 """
 
+import json
 import os
+from pathlib import Path
 
 import pytest
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table1.json"
+
+#: cases recorded during this pytest session: name -> fields dict
+_CASES = {}
 
 
 def full_eval():
@@ -19,3 +34,28 @@ def full_eval():
 @pytest.fixture(scope="session")
 def quick_mode():
     return not full_eval()
+
+
+@pytest.fixture(scope="session")
+def bench_record():
+    """``record(name, **fields)``: stage one case for BENCH_table1.json."""
+
+    def record(name, **fields):
+        _CASES[name] = fields
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _CASES:
+        return
+    report = {"schema": "bench_table1/v1", "quick": not full_eval(),
+              "cases": {}}
+    if BENCH_JSON.exists():
+        try:
+            previous = json.loads(BENCH_JSON.read_text())
+            report["cases"] = previous.get("cases", {})
+        except (OSError, ValueError):
+            pass  # unreadable previous report: start clean
+    report["cases"].update(_CASES)
+    BENCH_JSON.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

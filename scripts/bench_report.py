@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Diff two BENCH_table1.json reports and flag regressions.
+
+Usage::
+
+    python scripts/bench_report.py BASELINE.json CURRENT.json
+    python scripts/bench_report.py BENCH_table1.json   # just print it
+
+A regression is a wall-time increase above the tolerance (default 10%,
+``--wall-tolerance``) or *any* increase in a deterministic encode counter
+(AIG nodes, Tseitin clauses, solver instances) — counters are exact for
+serial runs, so even a +1 drift means the encoding changed.  Exits
+nonzero when a regression is found, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: counters where any increase is a regression (deterministic units)
+COUNTER_FIELDS = ("solver_instances", "aig_nodes", "tseitin_clauses")
+WALL_FIELD = "wall_time_seconds"
+
+
+def load_cases(path):
+    with open(path) as handle:
+        report = json.load(handle)
+    return report.get("cases", {})
+
+
+def fmt_case(name, fields):
+    parts = [f"{name}:"]
+    for key in ("pipeline", "status", WALL_FIELD, "iterations",
+                *COUNTER_FIELDS, "trace_cache_hits", "encode_ratio"):
+        if key in fields:
+            parts.append(f"{key}={fields[key]}")
+    return "  " + " ".join(parts)
+
+
+def diff_cases(baseline, current, wall_tolerance):
+    """Yield (severity, message) pairs; severity is 'regression' or 'info'."""
+    for name in sorted(current):
+        if name not in baseline:
+            yield "info", f"new case {name}"
+            continue
+        base, cur = baseline[name], current[name]
+        for field in COUNTER_FIELDS:
+            if field not in base or field not in cur:
+                continue
+            if cur[field] > base[field]:
+                yield "regression", (
+                    f"{name}: {field} {base[field]} -> {cur[field]} "
+                    f"(+{cur[field] - base[field]})"
+                )
+            elif cur[field] < base[field]:
+                yield "info", (
+                    f"{name}: {field} {base[field]} -> {cur[field]} "
+                    f"({cur[field] - base[field]})"
+                )
+        if WALL_FIELD in base and WALL_FIELD in cur and base[WALL_FIELD] > 0:
+            delta = (cur[WALL_FIELD] - base[WALL_FIELD]) / base[WALL_FIELD]
+            if delta > wall_tolerance:
+                yield "regression", (
+                    f"{name}: {WALL_FIELD} {base[WALL_FIELD]} -> "
+                    f"{cur[WALL_FIELD]} (+{delta:.0%}, tolerance "
+                    f"{wall_tolerance:.0%})"
+                )
+        if base.get("status") == "ok" and cur.get("status") != "ok":
+            yield "regression", (
+                f"{name}: status ok -> {cur.get('status')!r}"
+            )
+    for name in sorted(set(baseline) - set(current)):
+        yield "info", f"case {name} missing from current report"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline BENCH_table1.json")
+    parser.add_argument("current", nargs="?", default=None,
+                        help="current report; omit to just print baseline")
+    parser.add_argument("--wall-tolerance", type=float, default=0.10,
+                        help="relative wall-time growth allowed (default .10)")
+    args = parser.parse_args(argv)
+
+    if args.current is None:
+        for name, fields in sorted(load_cases(args.baseline).items()):
+            print(fmt_case(name, fields))
+        return 0
+
+    baseline = load_cases(args.baseline)
+    current = load_cases(args.current)
+    regressions = 0
+    for severity, message in diff_cases(baseline, current,
+                                        args.wall_tolerance):
+        if severity == "regression":
+            regressions += 1
+            print(f"REGRESSION  {message}")
+        else:
+            print(f"            {message}")
+    if regressions:
+        print(f"\n{regressions} regression(s) found")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,8 @@ import time
 from dataclasses import dataclass
 
 from repro.oyster.printer import design_loc
-from repro.synthesis import SynthesisTimeout, synthesize
+from repro.smt import counters as _counters
+from repro.synthesis import SynthesisTimeout, resolve_pipeline, synthesize
 from repro.synthesis.result import PartialSynthesisResult, SynthesisError
 
 __all__ = ["run_table1", "TABLE1_CONFIGS", "Table1Row", "build_config"]
@@ -67,6 +68,14 @@ class Table1Row:
     reason: str = ""             # machine-readable stop reason on timeout
     completed_instructions: int = -1  # solved before the budget hit (-1: all)
     resumed_instructions: int = 0  # reused verbatim from a resume handle
+    # Encode accounting (deltas of repro.smt.counters across the run).
+    pipeline: str = ""
+    iterations: int = 0
+    solver_instances: int = 0
+    aig_nodes: int = 0
+    tseitin_clauses: int = 0
+    trace_cache_hits: int = 0
+    trace_cache_misses: int = 0
 
 
 def build_config(row_id, quick=True):
@@ -116,13 +125,18 @@ def _applicable_resume(resume_from, problem, mode):
 
 
 def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
-            resume_from=None):
+            resume_from=None, pipeline=None):
     """Run one Table 1 row; returns a ``Table1Row``.
 
     ``resume_from`` is a :class:`PartialSynthesisResult` (or its
     ``to_dict`` form) from an interrupted earlier run; when it matches
     this row's problem and mode, the already-solved instructions are
     reused verbatim and counted in ``resumed_instructions``.
+
+    ``pipeline`` selects ``"fresh"``/``"incremental"`` (``None`` takes
+    the engine default); the row records which one actually ran plus the
+    encode-counter deltas, so BENCH_table1.json can track the perf
+    trajectory in deterministic units.
     """
     config = next(c for c in TABLE1_CONFIGS if c[0] == row_id)
     _, design_name, variant, mode = config
@@ -133,10 +147,16 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
     status = "ok"
     reason = ""
     completed = -1
+    iterations = 0
+    encode_before = _counters.snapshot()
     try:
         result = synthesize(problem, mode=mode, timeout=budget,
-                            resume_from=resume)
+                            resume_from=resume, pipeline=pipeline)
         elapsed = result.elapsed
+        if "cegis" in result.stats:
+            iterations = result.stats["cegis"]["iterations"]
+        else:
+            iterations = sum(s.iterations for s in result.per_instruction)
     except SynthesisTimeout as exc:
         # An honest Timeout row: record *why* the budget tripped and how
         # much per-instruction work finished before it did.
@@ -145,6 +165,8 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
         reason = exc.reason
         if exc.partial is not None:
             completed = exc.partial.completed_count
+            iterations = sum(s.iterations for s in exc.partial.completed)
+    encode = _counters.delta_since(encode_before)
     return Table1Row(
         row_id=row_id,
         design=design_name,
@@ -157,6 +179,13 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
         reason=reason,
         completed_instructions=completed,
         resumed_instructions=resume.completed_count if resume else 0,
+        pipeline=resolve_pipeline(pipeline),
+        iterations=iterations,
+        solver_instances=encode["solver_instances"],
+        aig_nodes=encode["aig_nodes"],
+        tseitin_clauses=encode["tseitin_clauses"],
+        trace_cache_hits=encode["trace_cache_hits"],
+        trace_cache_misses=encode["trace_cache_misses"],
     )
 
 

@@ -8,6 +8,8 @@ literal 1 is TRUE.
 
 from __future__ import annotations
 
+from repro.smt.counters import COUNTERS
+
 __all__ = ["AIG", "FALSE_LIT", "TRUE_LIT"]
 
 FALSE_LIT = 0
@@ -35,6 +37,7 @@ class AIG:
         index = len(self.left)
         self.left.append(-1)
         self.right.append(-1)
+        COUNTERS.aig_nodes += 1
         return index << 1
 
     def is_input(self, node):
@@ -61,6 +64,7 @@ class AIG:
         index = len(self.left)
         self.left.append(a)
         self.right.append(b)
+        COUNTERS.aig_nodes += 1
         lit = index << 1
         self._strash[key] = lit
         return lit

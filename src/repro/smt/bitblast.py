@@ -22,21 +22,29 @@ class BitBlaster:
         self.var_bits = {}
 
     def blast(self, term):
-        """Return the tuple of AIG literals (LSB first) for ``term``."""
+        """Return the tuple of AIG literals (LSB first) for ``term``.
+
+        The cache is keyed by the term object itself — terms hash by
+        identity, and the key holds a strong reference.  Keying by
+        ``id(term)`` without a reference would be unsound: after
+        ``terms.reset_interner()`` a garbage-collected term's id can be
+        reused by a *different* term, silently aliasing it to the stale
+        entry's literals.
+        """
         cache = self._cache
         stack = [(term, False)]
         while stack:
             node, expanded = stack.pop()
-            if id(node) in cache:
+            if node in cache:
                 continue
             if not expanded:
                 stack.append((node, True))
                 for arg in node.args:
-                    if id(arg) not in cache:
+                    if arg not in cache:
                         stack.append((arg, False))
             else:
-                cache[id(node)] = self._blast_node(node)
-        return cache[id(term)]
+                cache[node] = self._blast_node(node)
+        return cache[term]
 
     def blast_bit(self, term):
         """Blast a width-1 term to a single literal."""
@@ -65,7 +73,7 @@ class BitBlaster:
                     f"{len(bits)} and {node.width}"
                 )
             return bits
-        args = [self._cache[id(arg)] for arg in node.args]
+        args = [self._cache[arg] for arg in node.args]
         handler = getattr(self, f"_op_{op}")
         return handler(node, *args)
 

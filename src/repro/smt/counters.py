@@ -1,0 +1,67 @@
+"""Process-global encode counters for the synthesis pipeline.
+
+The incremental pipeline's claim is *structural*: it creates fewer solver
+instances, fewer AIG nodes and fewer Tseitin clauses than the fresh
+pipeline for the same synthesis problem.  Wall clock is noisy and
+machine-dependent; these counters are exact and deterministic, so the CI
+perf-smoke lane and ``BENCH_table1.json`` report them instead.
+
+The counters are advisory accounting, not synchronization: increments are
+not atomic across threads, so concurrent isolated-execution runs may lose
+an occasional tick.  The invariant tests and benches run serially, where
+the counts are exact.
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTERS", "EncodeCounters", "snapshot", "delta_since"]
+
+_FIELDS = (
+    "solver_instances",
+    "aig_nodes",
+    "tseitin_clauses",
+    "trace_cache_hits",
+    "trace_cache_misses",
+)
+
+
+class EncodeCounters:
+    """Monotonic per-process counters of encode/solve work.
+
+    ============================  ============================================
+    ``solver_instances``          ``repro.smt.solver.Solver`` constructions
+    ``aig_nodes``                 AIG nodes allocated (inputs + AND gates)
+    ``tseitin_clauses``           CNF clauses emitted (in-process Tseitin
+                                  encoding and DIMACS exports alike)
+    ``trace_cache_hits``          shared-trace entries served from cache
+    ``trace_cache_misses``        shared-trace entries built from scratch
+    ============================  ============================================
+    """
+
+    __slots__ = _FIELDS
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        for name in _FIELDS:
+            setattr(self, name, 0)
+
+    def snapshot(self):
+        """A plain-dict copy of the current counts."""
+        return {name: getattr(self, name) for name in _FIELDS}
+
+
+#: The process-wide counter instance every encoder increments.
+COUNTERS = EncodeCounters()
+
+
+def snapshot():
+    """The current process-wide counts as a dict."""
+    return COUNTERS.snapshot()
+
+
+def delta_since(before):
+    """Counts accumulated since an earlier :func:`snapshot`."""
+    now = COUNTERS.snapshot()
+    return {name: now[name] - before.get(name, 0) for name in _FIELDS}

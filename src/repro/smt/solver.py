@@ -1,9 +1,12 @@
 """Solver facade: assert width-1 terms, check satisfiability, read models.
 
-Lowers terms through the bit-blaster into an AIG, Tseitin-encodes new AND
-nodes into the CDCL core incrementally, and exposes models as assignments to
-term-level variables.  Re-asserting into the same solver shares AIG structure
-across queries (the CEGIS guess solver relies on this).
+Lowers terms through the bit-blaster into an AIG, Tseitin-encodes the cone
+of each assertion into the CDCL core incrementally, and exposes models as
+assignments to term-level variables.  Re-asserting into the same solver
+shares AIG structure across queries (the CEGIS guess solver relies on
+this), and several solvers may share one ``BitBlaster`` — each encodes
+only the cones it actually asserts, so a shared AIG never leaks clauses
+between instances.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import warnings
 from repro.runtime import faults as _faults
 from repro.smt.aig import FALSE_LIT, TRUE_LIT
 from repro.smt.bitblast import BitBlaster
+from repro.smt.counters import COUNTERS
 from repro.smt.sat.solver import SatSolver
 from repro.smt import terms as T
 
@@ -161,15 +165,17 @@ class Solver:
     """
 
     def __init__(self, strict_models=False, execution="inprocess",
-                 worker_pool=None):
+                 worker_pool=None, blaster=None):
         if execution not in ("inprocess", "isolated"):
             raise ValueError(f"unknown execution mode {execution!r}")
         if execution == "isolated" and worker_pool is None:
             raise ValueError("execution='isolated' requires a worker_pool")
-        self._blaster = BitBlaster()
+        # ``blaster`` may be shared with other solvers: cone-of-influence
+        # encoding means this instance only Tseitin-encodes (and allocates
+        # SAT variables for) the AIG regions its own assertions reach.
+        self._blaster = blaster if blaster is not None else BitBlaster()
         self._sat = SatSolver()
         self._node_to_satvar = {}
-        self._encoded_nodes = 0
         self._asserted = []
         self._trivially_false = False
         self.strict_models = strict_models
@@ -180,6 +186,7 @@ class Solver:
         self._pending_seed = None     # reseed to apply on the next check
         self.stats = {"asserts": 0, "checks": 0, "clauses": 0,
                       "worker_checks": 0, "worker_fallbacks": 0}
+        COUNTERS.solver_instances += 1
 
     def add(self, term):
         """Assert that a width-1 term is 1."""
@@ -188,19 +195,20 @@ class Solver:
         self.stats["asserts"] += 1
         self._asserted.append(term)
         lit = self._blaster.blast_bit(term)
-        self._encode_new_nodes()
         if lit == TRUE_LIT:
             return
         if lit == FALSE_LIT:
             self._trivially_false = True
             return
+        self._encode_cone(lit)
         self._sat.add_clause([self._to_sat_lit(lit)])
 
     def add_all(self, terms):
         for term in terms:
             self.add(term)
 
-    def check(self, max_conflicts=None, timeout=None, budget=None):
+    def check(self, max_conflicts=None, timeout=None, budget=None,
+              assumptions=()):
         """Check satisfiability; returns SAT/UNSAT/UNKNOWN.
 
         ``timeout`` is in seconds (wall clock) and bounds only this call.
@@ -209,6 +217,15 @@ class Solver:
         this call consumes are charged back to it, and its memory cap is
         polled at the SAT core's checkpoints.  A pre-exhausted budget
         raises ``BudgetExhausted`` before any solving starts.
+
+        ``assumptions`` is an iterable of width-1 terms held true for
+        *this call only*: nothing is asserted permanently, so an UNSAT
+        verdict means "unsatisfiable under these assumptions" and the
+        solver (including its learned clauses) stays usable for the next
+        check.  This is the encode-once/solve-many primitive the
+        incremental CEGIS verify mode is built on.  In isolated mode the
+        assumptions ride along in the DIMACS export as unit clauses
+        (workers are stateless, so per-call scoping is automatic).
 
         An UNKNOWN verdict is an :class:`Unknown` instance whose
         ``reason`` names the exhausted cap (``"deadline"``,
@@ -224,6 +241,21 @@ class Solver:
                 return Unknown(injected_reason)
         if self._trivially_false:
             return UNSAT
+        assumption_terms = list(assumptions)
+        sat_assumptions = []
+        for term in assumption_terms:
+            if term.width != 1:
+                raise ValueError(
+                    f"assumptions must have width 1, got {term.width}"
+                )
+            lit = self._blaster.blast_bit(term)
+            if lit == TRUE_LIT:
+                continue
+            if lit == FALSE_LIT:
+                # Constant-false assumption: UNSAT for this call only.
+                return UNSAT
+            self._encode_cone(lit)
+            sat_assumptions.append(self._to_sat_lit(lit))
         deadline = None if timeout is None else time.monotonic() + timeout
         if budget is not None:
             budget.check()
@@ -238,12 +270,16 @@ class Solver:
             ):
                 max_conflicts = budget_conflicts
         if self.execution == "isolated":
-            return self._check_isolated(max_conflicts, deadline, budget)
-        return self._check_inprocess(max_conflicts, deadline, budget)
+            return self._check_isolated(max_conflicts, deadline, budget,
+                                        assumption_terms, sat_assumptions)
+        return self._check_inprocess(max_conflicts, deadline, budget,
+                                     sat_assumptions)
 
-    def _check_inprocess(self, max_conflicts, deadline, budget):
+    def _check_inprocess(self, max_conflicts, deadline, budget,
+                         sat_assumptions=()):
         conflicts_before = self._sat.conflicts
-        verdict = self._sat.solve(max_conflicts=max_conflicts,
+        verdict = self._sat.solve(assumptions=sat_assumptions,
+                                  max_conflicts=max_conflicts,
                                   deadline=deadline, budget=budget)
         if budget is not None:
             budget.charge_conflicts(self._sat.conflicts - conflicts_before)
@@ -251,24 +287,28 @@ class Solver:
             return Unknown(self._sat.stop_reason or "unspecified")
         return SAT if verdict else UNSAT
 
-    def _check_isolated(self, max_conflicts, deadline, budget):
+    def _check_isolated(self, max_conflicts, deadline, budget,
+                        assumption_terms=(), sat_assumptions=()):
         """One check on a sandboxed worker, DIMACS over the wire.
 
         The full assertion set is re-exported per check (workers are
         stateless by design — any of them, including a fresh respawn,
-        can serve any query).  Worker conflicts are charged to the
-        budget exactly like in-process ones.
+        can serve any query).  Assumptions become extra unit clauses in
+        the export; because every check re-exports from scratch, their
+        per-call scoping is automatic.  Worker conflicts are charged to
+        the budget exactly like in-process ones.
         """
         from repro.smt.dimacs import to_dimacs
 
-        dimacs = to_dimacs(self._asserted)
+        dimacs = to_dimacs(self._asserted + list(assumption_terms))
         key = hash(dimacs)
         if self._pool.should_fallback(key):
             # Circuit breaker: this query has killed enough workers that
             # isolation is costing more than it contains.
             self._pool.note_fallback(key)
             self.stats["worker_fallbacks"] += 1
-            return self._check_inprocess(max_conflicts, deadline, budget)
+            return self._check_inprocess(max_conflicts, deadline, budget,
+                                         sat_assumptions)
         timeout = None
         if deadline is not None:
             timeout = max(0.0, deadline - time.monotonic())
@@ -338,18 +378,44 @@ class Solver:
         sat_var = self._node_to_satvar[node]
         return 2 * sat_var + (aig_lit & 1)
 
-    def _encode_new_nodes(self):
-        """Tseitin-encode AIG nodes created since the last call."""
+    def _encode_cone(self, root_lit):
+        """Tseitin-encode the cone of ``root_lit`` (children first).
+
+        Cone-of-influence encoding — rather than sweeping every AIG node
+        created since the last assertion — is what makes a *shared*
+        blaster sound: each solver allocates SAT variables and emits
+        defining clauses only for the regions its own assertions (or
+        assumptions) reach, regardless of what other solvers built into
+        the same AIG in between.  Nodes already encoded by this instance
+        are reused, so re-asserting shared structure costs nothing.
+        """
         aig = self._blaster.aig
         sat = self._sat
         node_to_satvar = self._node_to_satvar
-        for node in range(max(1, self._encoded_nodes), len(aig)):
+        left_of = aig.left
+        right_of = aig.right
+        root = root_lit >> 1
+        if root == 0 or root in node_to_satvar:
+            return
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node in node_to_satvar:
+                continue
+            left = left_of[node]
+            if left == -1:
+                node_to_satvar[node] = sat.new_var()  # primary input
+                continue
+            right = right_of[node]
+            if not expanded:
+                stack.append((node, True))
+                for child_lit in (left, right):
+                    child = child_lit >> 1
+                    if child and child not in node_to_satvar:
+                        stack.append((child, False))
+                continue
             sat_var = sat.new_var()
             node_to_satvar[node] = sat_var
-            left = aig.left[node]
-            if left == -1:
-                continue  # primary input: free variable
-            right = aig.right[node]
             out = 2 * sat_var
             a = self._to_sat_lit(left)
             b = self._to_sat_lit(right)
@@ -358,4 +424,4 @@ class Solver:
             sat.add_clause([out ^ 1, b])
             sat.add_clause([out, a ^ 1, b ^ 1])
             self.stats["clauses"] += 3
-        self._encoded_nodes = len(aig)
+            COUNTERS.tseitin_clauses += 3

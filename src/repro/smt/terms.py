@@ -184,9 +184,17 @@ _INTERNER = _Interner()
 
 
 def reset_interner():
-    """Drop the intern table (useful to bound memory across test sessions)."""
+    """Drop the intern table (useful to bound memory across test sessions).
+
+    The module-level ``TRUE``/``FALSE`` singletons are re-seeded into the
+    fresh table; without that, the first post-reset ``bv_const(0, 1)``
+    would intern a *new* object and every ``is FALSE`` identity check
+    against the stale constant would fail.
+    """
     global _INTERNER
     _INTERNER = _Interner()
+    _INTERNER.intern(TRUE)
+    _INTERNER.intern(FALSE)
 
 
 def _mk(op, args, width, value=None, name=None, params=None):

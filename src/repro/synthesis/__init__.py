@@ -19,6 +19,11 @@ from repro.synthesis.result import (
 )
 from repro.synthesis.cegis import cegis_solve
 from repro.synthesis.diagnosis import diagnose_instruction, InstructionDiagnosis
+from repro.synthesis.incremental import (
+    IncrementalContext,
+    TraceCache,
+    resolve_pipeline,
+)
 from repro.synthesis.minimize import minimize_solutions, MinimizationReport
 from repro.synthesis.verifier import verify_design, VerificationResult
 
@@ -34,6 +39,9 @@ __all__ = [
     "cegis_solve",
     "diagnose_instruction",
     "InstructionDiagnosis",
+    "IncrementalContext",
+    "TraceCache",
+    "resolve_pipeline",
     "minimize_solutions",
     "MinimizationReport",
     "verify_design",

@@ -11,7 +11,12 @@ here it is explicit:
    constraint on the hole variables; ask for a new candidate.
 
 The guess solver is incremental — every counterexample stays, so candidates
-monotonically improve.  Both sides run under a cooperative
+monotonically improve.  The verify side has two modes: the default
+substitutes the candidate and solves a fresh, folded query; the
+``incremental`` mode (see ``repro.synthesis.incremental``) asserts the
+negated formula once and pins candidates with per-bit assumptions, keeping
+one verifier — and its learned clauses — alive across iterations and
+instructions.  Both sides run under a cooperative
 ``repro.runtime.Budget`` (wall clock, conflicts, memory) so Table 1's
 timeout rows reproduce faithfully, and every UNKNOWN is typed:
 
@@ -36,15 +41,24 @@ from repro.runtime import (
     SolverUnknown,
     run_with_retry,
 )
+from repro.smt import counters as _counters
 from repro.smt import terms as T
 from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
+from repro.synthesis.incremental import IncrementalContext, candidate_assumptions
 from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
 
 __all__ = ["cegis_solve", "CegisStats"]
 
 
 class CegisStats:
-    """Counters for one CEGIS run (exposed in synthesis results)."""
+    """Counters for one CEGIS run (exposed in synthesis results).
+
+    The encode counters (``solver_instances``, ``aig_nodes``,
+    ``tseitin_clauses``) are deltas of the process-global
+    ``repro.smt.counters`` taken across the run — under concurrent
+    isolated dispatch they attribute jointly, but serial runs (the bench
+    and CI configurations) are exact.
+    """
 
     def __init__(self):
         self.iterations = 0
@@ -53,6 +67,10 @@ class CegisStats:
         self.verify_conflicts = 0
         self.guess_conflicts = 0
         self.retries = 0
+        self.polish_checks = 0
+        self.solver_instances = 0
+        self.aig_nodes = 0
+        self.tseitin_clauses = 0
 
     @property
     def conflicts(self):
@@ -66,13 +84,18 @@ class CegisStats:
             "verify_conflicts": self.verify_conflicts,
             "guess_conflicts": self.guess_conflicts,
             "retries": self.retries,
+            "polish_checks": self.polish_checks,
+            "solver_instances": self.solver_instances,
+            "aig_nodes": self.aig_nodes,
+            "tseitin_clauses": self.tseitin_clauses,
         }
 
 
 def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
                 stats=None, initial_candidate=None, partial_eval=True,
                 budget=None, retry_policy=None, execution="inprocess",
-                worker_pool=None):
+                worker_pool=None, incremental=False, incremental_ctx=None,
+                canonicalize=True):
     """Find ints for ``hole_vars`` making ``formula`` valid for all states.
 
     ``formula`` is a width-1 term whose free variables are ``hole_vars``
@@ -84,6 +107,26 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     alongside the unreduced formula.  The latter exists for the ablation
     study — it produces the full-datapath queries a rewrite-free evaluator
     would send to the solver.
+
+    ``incremental=True`` selects the assumption-based verify mode:
+    ``¬formula`` is asserted *once* (selector-guarded, hole variables
+    free) into the verifier of ``incremental_ctx`` (an
+    :class:`repro.synthesis.incremental.IncrementalContext`; a private one
+    is created when omitted) and each candidate is checked under per-bit
+    assumption literals — no per-iteration solver construction, no
+    re-blasting, learned clauses survive across iterations *and* across
+    instructions sharing the context.  The substitution path
+    (``incremental=False``) is retained as the ablation baseline.
+
+    ``canonicalize=True`` (the default) polishes the converged candidate:
+    hole bits are greedily zeroed, most-significant first in hole order,
+    keeping each flip only if the candidate still verifies.  Don't-care
+    bits — where the verify search would otherwise return an arbitrary,
+    pipeline-dependent pick — land on a canonical value, so fresh and
+    incremental runs synthesize identical control logic (and the control
+    union sees fewer spurious groups).  Each polish probe is one verify
+    check: an assumption query in incremental mode, a substitution solve
+    otherwise.
 
     ``budget`` is a ``repro.runtime.Budget`` shared by both CEGIS sides
     (``timeout`` is folded into it); ``retry_policy`` governs escalation on
@@ -102,10 +145,32 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     """
     if stats is None:
         stats = CegisStats()
+    if incremental and not partial_eval:
+        raise ValueError(
+            "incremental verify requires partial_eval=True; the "
+            "partial_eval=False ablation is the fresh-pipeline baseline"
+        )
     if budget is None:
         budget = Budget(timeout=timeout)
     elif timeout is not None:
         budget = budget.child(timeout=timeout)
+    encode_before = _counters.snapshot()
+    try:
+        return _cegis_loop(
+            formula, hole_vars, max_iterations, stats, initial_candidate,
+            partial_eval, budget, retry_policy, execution, worker_pool,
+            incremental, incremental_ctx, canonicalize,
+        )
+    finally:
+        encode_delta = _counters.delta_since(encode_before)
+        stats.solver_instances += encode_delta["solver_instances"]
+        stats.aig_nodes += encode_delta["aig_nodes"]
+        stats.tseitin_clauses += encode_delta["tseitin_clauses"]
+
+
+def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
+                partial_eval, budget, retry_policy, execution, worker_pool,
+                incremental, incremental_ctx, canonicalize):
     hole_names = {var.name for var in hole_vars}
     forall_vars = [
         var for var in T.free_variables(formula)
@@ -115,30 +180,63 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     if initial_candidate:
         candidate.update(initial_candidate)
     hole_by_name = {var.name: var for var in hole_vars}
-    guess_solver = Solver(execution=execution, worker_pool=worker_pool)
+    selector = None
+    shared_verifier = None
+    guess_blaster = None
+    if incremental:
+        if incremental_ctx is None:
+            incremental_ctx = IncrementalContext(
+                execution=execution, worker_pool=worker_pool
+            )
+        selector = incremental_ctx.selector(formula)
+        shared_verifier = incremental_ctx.verifier
+        guess_blaster = incremental_ctx.guess_blaster
+    guess_solver = Solver(execution=execution, worker_pool=worker_pool,
+                          blaster=guess_blaster)
+
+    def verify_candidate(cand):
+        """One verify check for ``cand``; returns (verdict, verifier)."""
+        started = time.monotonic()
+        if incremental:
+            verifier = shared_verifier
+            conflicts_before = verifier.conflicts
+            assumptions = [selector] + candidate_assumptions(
+                hole_by_name, cand
+            )
+            verdict = _checked(verifier, budget, retry_policy, stats,
+                               side="verification", assumptions=assumptions)
+        elif partial_eval:
+            verifier = Solver(execution=execution, worker_pool=worker_pool)
+            conflicts_before = 0
+            substitution = {
+                hole_by_name[name]: T.bv_const(value,
+                                               hole_by_name[name].width)
+                for name, value in cand.items()
+            }
+            verifier.add(T.bv_not(T.substitute(formula, substitution)))
+            verdict = _checked(verifier, budget, retry_policy, stats,
+                               side="verification")
+        else:
+            verifier = Solver(execution=execution, worker_pool=worker_pool)
+            conflicts_before = 0
+            verifier.add(T.bv_not(formula))
+            for name, value in cand.items():
+                var = hole_by_name[name]
+                verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
+            verdict = _checked(verifier, budget, retry_policy, stats,
+                               side="verification")
+        stats.verify_time += time.monotonic() - started
+        stats.verify_conflicts += verifier.conflicts - conflicts_before
+        return verdict, verifier
 
     for _ in range(max_iterations):
         stats.iterations += 1
         # -- verify ---------------------------------------------------------
-        started = time.monotonic()
-        verifier = Solver(execution=execution, worker_pool=worker_pool)
-        if partial_eval:
-            substitution = {
-                hole_by_name[name]: T.bv_const(value,
-                                               hole_by_name[name].width)
-                for name, value in candidate.items()
-            }
-            verifier.add(T.bv_not(T.substitute(formula, substitution)))
-        else:
-            verifier.add(T.bv_not(formula))
-            for name, value in candidate.items():
-                var = hole_by_name[name]
-                verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
-        verdict = _checked(verifier, budget, retry_policy, stats,
-                           side="verification")
-        stats.verify_time += time.monotonic() - started
-        stats.verify_conflicts += verifier.conflicts
+        verdict, verifier = verify_candidate(candidate)
         if verdict is UNSAT:
+            if canonicalize:
+                candidate = _zero_polish(candidate, hole_vars,
+                                         verify_candidate, stats)
             return dict(candidate)
         model = verifier.model()
         counterexample = {
@@ -172,12 +270,45 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     )
 
 
-def _checked(solver, budget, retry_policy, stats, side):
+def _zero_polish(candidate, hole_vars, verify_candidate, stats):
+    """Canonicalize a verified candidate by minimizing each hole's value.
+
+    Walks the holes in their given order; for each, scans values upward
+    from 0 and keeps the first one the candidate still verifies with
+    (holding the other holes fixed).  Forced holes never change (every
+    smaller value fails the check); don't-care and partially-constrained
+    holes land on their minimum — the same value regardless of which
+    arbitrary pick the search happened to find, making the result
+    independent of the pipeline.  Per-bit greedy clearing would not be
+    canonical here: a hole whose valid set is e.g. {0, 5} cannot walk
+    from 5 to 0 one bit at a time.  Polish is best-effort: a budget
+    expiry or solver fault mid-polish keeps the already-verified
+    candidate instead of failing the instruction.
+    """
+    candidate = dict(candidate)
+    for var in hole_vars:
+        for value in range(candidate[var.name]):
+            trial = dict(candidate)
+            trial[var.name] = value
+            stats.polish_checks += 1
+            try:
+                verdict, _ = verify_candidate(trial)
+            except (SynthesisTimeout, SolverUnknown):
+                return candidate
+            if verdict is UNSAT:
+                candidate = trial
+                break
+    return candidate
+
+
+def _checked(solver, budget, retry_policy, stats, side, assumptions=()):
     """One budgeted check with retry-with-escalation on retryable UNKNOWNs.
 
     Returns SAT/UNSAT; budget exhaustion surfaces as ``SynthesisTimeout``
     (with the exhausted cap as ``reason``) and non-budget UNKNOWNs as
-    ``SolverUnknown`` once the retry policy gives up.
+    ``SolverUnknown`` once the retry policy gives up.  ``assumptions``
+    scope to each attempt (the incremental verify path), so a reseeded
+    retry replays them against the same persistent assertions.
     """
     def attempt_check(attempt):
         if attempt.index:
@@ -185,7 +316,7 @@ def _checked(solver, budget, retry_policy, stats, side):
             if attempt.seed is not None:
                 solver.reseed(attempt.seed)
         verdict = solver.check(max_conflicts=attempt.max_conflicts,
-                               budget=budget)
+                               budget=budget, assumptions=assumptions)
         if verdict == UNKNOWN:
             raise SolverUnknown(
                 f"{side} returned unknown ({verdict.reason}) after "

@@ -21,6 +21,8 @@ from repro.runtime import (
     SolverUnknown,
     SolverWorkerPool,
 )
+from repro.smt import counters as _counters
+from repro.synthesis.incremental import IncrementalContext, resolve_pipeline
 from repro.synthesis.independence import check_instruction_independence
 from repro.synthesis.monolithic import synthesize_monolithic_solutions
 from repro.synthesis.per_instruction import synthesize_instruction
@@ -39,7 +41,8 @@ def synthesize(problem, mode="per_instruction", timeout=None,
                max_iterations=256, check_independence=True,
                progress=None, partial_eval=True, budget=None,
                retry_policy=None, on_timeout="raise", resume_from=None,
-               execution="inprocess", worker_pool=None, max_workers=None):
+               execution="inprocess", worker_pool=None, max_workers=None,
+               pipeline=None):
     """Run control logic synthesis.
 
     Parameters
@@ -47,6 +50,14 @@ def synthesize(problem, mode="per_instruction", timeout=None,
     mode:
         ``"per_instruction"`` (the Section 3.3.1 optimization, default) or
         ``"monolithic"`` (Equation (1), the Table 1 † configuration).
+    pipeline:
+        ``"incremental"`` (default when ``partial_eval`` is on) evaluates
+        the sketch once per problem (shared trace cache), asserts each
+        instruction's negated formula once into a shared selector-guarded
+        verifier, and checks candidates under per-bit assumptions.
+        ``"fresh"`` re-evaluates and re-encodes per instruction and per
+        iteration — the ablation baseline (and the only pipeline the
+        ``partial_eval=False`` rewriter ablation supports).
     timeout:
         Overall wall-clock budget in seconds; ``SynthesisTimeout`` is raised
         when exceeded (this is how the paper's Timeout row reproduces).
@@ -100,6 +111,7 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         raise ValueError(f"unknown on_timeout mode {on_timeout!r}")
     if execution not in ("inprocess", "isolated"):
         raise ValueError(f"unknown execution mode {execution!r}")
+    pipeline = resolve_pipeline(pipeline, partial_eval)
     if budget is None:
         budget = Budget(timeout=timeout)
     elif timeout is not None:
@@ -119,7 +131,7 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         return _synthesize(
             problem, mode, started, max_iterations, check_independence,
             progress, partial_eval, budget, retry_policy, on_timeout,
-            resume_from, execution, worker_pool,
+            resume_from, execution, worker_pool, pipeline,
         )
     finally:
         if owned_pool is not None:
@@ -133,11 +145,20 @@ def synthesize(problem, mode="per_instruction", timeout=None,
 
 def _synthesize(problem, mode, started, max_iterations, check_independence,
                 progress, partial_eval, budget, retry_policy, on_timeout,
-                resume_from, execution, worker_pool):
-    stats = {"mode": mode, "execution": execution}
+                resume_from, execution, worker_pool, pipeline):
+    stats = {"mode": mode, "execution": execution, "pipeline": pipeline}
+    encode_before = _counters.snapshot()
     resume_solutions = _resume_solutions(problem, mode, resume_from)
     if resume_solutions:
         stats["resumed_instructions"] = sorted(resume_solutions)
+    incremental_ctx = None
+    if pipeline == "incremental":
+        # Build the shared trace (and every instruction's formula) up
+        # front: the cost is paid once, and the isolated engine can then
+        # dispatch against a read-only entry.
+        problem.trace_cache().entry(problem)
+        if execution == "inprocess":
+            incremental_ctx = IncrementalContext()
 
     if mode == "per_instruction":
         if check_independence:
@@ -151,6 +172,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
                 stop_fault = _solve_concurrently(
                     problem, solved, faults, budget, retry_policy,
                     max_iterations, partial_eval, worker_pool, progress,
+                    pipeline,
                 )
                 if stop_fault is not None:
                     partial = _partial(problem, mode, solved,
@@ -170,6 +192,8 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
                             retry_policy=retry_policy,
                             max_iterations=max_iterations,
                             partial_eval=partial_eval,
+                            pipeline=pipeline,
+                            incremental_ctx=incremental_ctx,
                         )
                     except BudgetExhausted as fault:
                         # Budget spent (deadline/memory/iterations): stop
@@ -209,7 +233,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
             solutions, cegis_stats = synthesize_monolithic_solutions(
                 problem, budget=budget, retry_policy=retry_policy,
                 max_iterations=max_iterations, execution=execution,
-                worker_pool=worker_pool,
+                worker_pool=worker_pool, pipeline=pipeline,
             )
         except KeyboardInterrupt as fault:
             if worker_pool is not None:
@@ -227,6 +251,9 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
 
     hole_exprs, control_stmts = control_union(problem, solutions)
     completed = splice_control(problem.sketch, control_stmts)
+    # Whole-run encode accounting (partial results instead carry the
+    # per-instruction deltas on their completed solutions).
+    stats["counters"] = _counters.delta_since(encode_before)
     return SynthesisResult(
         problem_name=problem.name,
         mode=mode,
@@ -240,7 +267,8 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
 
 
 def _solve_concurrently(problem, solved, faults, budget, retry_policy,
-                        max_iterations, partial_eval, worker_pool, progress):
+                        max_iterations, partial_eval, worker_pool, progress,
+                        pipeline):
     """Dispatch pending per-instruction problems across the worker pool.
 
     Instruction independence (Section 3.3.1) is what makes this sound:
@@ -270,6 +298,7 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
             future = executor.submit(
                 _solve_one, problem, instruction, index, budget,
                 retry_policy, max_iterations, partial_eval, worker_pool,
+                pipeline,
             )
             futures[future] = instruction
         for future in as_completed(futures):
@@ -302,13 +331,16 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
 
 
 def _solve_one(problem, instruction, index, budget, retry_policy,
-               max_iterations, partial_eval, worker_pool):
+               max_iterations, partial_eval, worker_pool, pipeline):
+    # incremental_ctx stays None here: each dispatch thread gets its own
+    # context inside cegis_solve (an IncrementalContext is serial), while
+    # the precompiled TraceEntry is still shared read-only.
     budget.check()
     return synthesize_instruction(
         problem, instruction, index, budget=budget.child(),
         retry_policy=retry_policy, max_iterations=max_iterations,
         partial_eval=partial_eval, execution="isolated",
-        worker_pool=worker_pool,
+        worker_pool=worker_pool, pipeline=pipeline,
     )
 
 

@@ -1,0 +1,254 @@
+"""The incremental synthesis pipeline: shared traces + encode-once CEGIS.
+
+Three layers of waste in the fresh pipeline, and what replaces them:
+
+1. **Shared traces.**  Fresh mode symbolically evaluates the sketch once
+   *per instruction* under a per-instruction prefix (``i0!``, ``i1!`` ...),
+   so N instructions cost N full evaluations whose differently-named
+   variables defeat the hash-consing interner.  :class:`TraceCache`
+   evaluates once per (sketch, cycles, const_mems) under one shared prefix
+   and compiles every instruction's pre/postconditions against that single
+   trace.
+
+2. **Assumption-based verify.**  Fresh mode builds a brand-new verifier
+   ``Solver`` per CEGIS iteration, re-blasting the formula and discarding
+   all learned clauses.  :class:`IncrementalContext` asserts each
+   instruction's negated formula *once*, guarded by a fresh selector
+   variable, and checks each candidate under per-call assumptions: the
+   selector plus one literal per hole bit.  Hole-bit assumptions are
+   extract/not terms over already-blasted variables, so a candidate check
+   allocates zero new AIG nodes.
+
+3. **Encode-once plumbing.**  The context also carries a shared guess-side
+   ``BitBlaster``; cone-of-influence encoding in the solver facade makes
+   the sharing sound (each solver encodes only what it asserts).
+
+Soundness of the selector guard: asserting ``sel_j → ¬formula_j`` for
+every instruction and checking under assumption ``sel_j`` is equivalent to
+checking ``¬formula_j`` alone — a model may always set the *other*
+selectors false, so the extra guarded assertions never constrain the
+query.  UNSAT under assumptions therefore means the candidate is correct,
+while the solver (and its learned clauses over the shared datapath) stays
+alive for the next candidate and the next instruction.
+
+Ackermann isolation: compiling an instruction's postconditions performs
+fresh frame-address memory reads which append pairwise consistency side
+conditions (the harvesting-order contract documented in
+``per_instruction.instruction_formula``).  On a *shared* trace those reads
+would accumulate across instructions, bloating every later formula with
+other instructions' Ackermann pairs.  :class:`TraceEntry` therefore
+snapshots each memory's read state before compiling an instruction and
+restores it after, capturing exactly that instruction's side-condition
+delta — each formula carries the evaluation-time conditions plus its own
+fresh-read pairs, mirroring the fresh pipeline's formula shape.
+
+Trace sharing is per-process: ``execution="isolated"`` keeps working
+because the symbolic evaluation, compilation and formula construction all
+happen in the engine process — workers still receive plain DIMACS.
+"""
+
+from __future__ import annotations
+
+from repro.ila.compiler import ConstraintCompiler
+from repro.oyster.memory import SymbolicMemory
+from repro.oyster.symbolic import SymbolicEvaluator
+from repro.smt import terms as T
+from repro.smt.bitblast import BitBlaster
+from repro.smt.counters import COUNTERS
+from repro.smt.solver import Solver
+from repro.synthesis.preprocess import resolve_equalities
+
+__all__ = [
+    "TraceCache",
+    "TraceEntry",
+    "IncrementalContext",
+    "resolve_pipeline",
+    "candidate_assumptions",
+]
+
+#: The shared evaluation prefix (fresh mode uses ``i{index}!`` instead).
+SHARED_PREFIX = "sh!"
+
+
+def resolve_pipeline(pipeline, partial_eval=True):
+    """Validate the ``pipeline`` knob; ``None`` selects the default.
+
+    The default is ``"incremental"`` — except under the rewriter ablation
+    (``partial_eval=False``), whose full-datapath verify queries are
+    defined against the fresh pipeline, so it keeps getting one.
+    Explicitly combining ``pipeline="incremental"`` with
+    ``partial_eval=False`` is a contradiction and raises.
+    """
+    if pipeline is None:
+        return "incremental" if partial_eval else "fresh"
+    if pipeline not in ("fresh", "incremental"):
+        raise ValueError(f"unknown pipeline {pipeline!r}")
+    if pipeline == "incremental" and not partial_eval:
+        raise ValueError(
+            "pipeline='incremental' requires partial_eval=True; the "
+            "rewriter ablation (partial_eval=False) is the fresh "
+            "pipeline's baseline"
+        )
+    return pipeline
+
+
+class TraceEntry:
+    """One shared symbolic evaluation plus per-instruction formulas.
+
+    All instructions are compiled eagerly, in spec order, at construction
+    time: compilation mutates the trace's memory read state, so doing it
+    up front keeps formulas deterministic and lets the isolated engine
+    dispatch instructions across threads against a read-only entry.
+    """
+
+    def __init__(self, problem, prefix=SHARED_PREFIX):
+        self.prefix = prefix
+        evaluator = SymbolicEvaluator(
+            problem.sketch, const_mems=problem.const_mems, prefix=prefix
+        )
+        self.trace = evaluator.run(problem.alpha.cycles)
+        #: Evaluation-time Ackermann conditions, shared by every formula.
+        self.base_conditions = tuple(self.trace.side_conditions)
+        self.hole_names = {
+            term.name for term in self.trace.hole_values.values()
+            if term.is_var
+        }
+        self.compiled = {}
+        self.deltas = {}
+        self.formulas = {}
+        arrays = self._uninterpreted_arrays()
+        for instruction in problem.spec.instructions:
+            self._compile_instruction(problem, instruction, arrays)
+
+    def _uninterpreted_arrays(self):
+        arrays = []
+        for memory in self.trace.initial_mems.values():
+            if isinstance(memory, SymbolicMemory):
+                base = memory._base
+                if all(base is not other for other in arrays):
+                    arrays.append(base)
+        return arrays
+
+    def _compile_instruction(self, problem, instruction, arrays):
+        """Compile one instruction with snapshot/restore read isolation.
+
+        The compiler appends fresh frame-address reads to the shared
+        memories; restoring ``_reads``/``_by_addr`` (and truncating the
+        side-condition list) afterwards means the next instruction's
+        fresh reads pair only against the evaluation-time reads, not
+        against this instruction's.  Restoring also makes the fresh
+        counter's names collide across instructions — deliberately so:
+        the per-instruction formulas are separate ∃∀ queries, and the
+        shared interned subterms are exactly what the encode-once
+        verifier deduplicates.
+        """
+        trace = self.trace
+        base_len = len(self.base_conditions)
+        marks = [
+            (array, len(array._reads), dict(array._by_addr))
+            for array in arrays
+        ]
+        compiler = ConstraintCompiler(
+            problem.spec, problem.alpha, trace, prefix=self.prefix
+        )
+        compiled = compiler.compile_instruction(instruction)
+        delta = tuple(trace.side_conditions[base_len:])
+        del trace.side_conditions[base_len:]
+        for array, read_count, by_addr in marks:
+            del array._reads[read_count:]
+            array._by_addr.clear()
+            array._by_addr.update(by_addr)
+
+        side = T.and_(*self.base_conditions, *delta)
+        antecedent = T.bv_and(side, compiled.antecedent())
+        consequent = compiled.consequent()
+        antecedent, consequent = resolve_equalities(
+            antecedent, consequent, protected_names=self.hole_names
+        )
+        self.compiled[instruction.name] = compiled
+        self.deltas[instruction.name] = delta
+        self.formulas[instruction.name] = T.implies(antecedent, consequent)
+
+    def hole_vars(self, sketch):
+        """The shared hole variables, in sketch hole order."""
+        return [self.trace.hole_values[hole.name] for hole in sketch.holes]
+
+
+class TraceCache:
+    """Caches :class:`TraceEntry` objects per (sketch, cycles, const_mems).
+
+    Lives on the :class:`~repro.synthesis.problem.SynthesisProblem` (see
+    ``SynthesisProblem.trace_cache``), so per-instruction synthesis,
+    monolithic synthesis and control minimization over the same problem
+    all reuse one symbolic evaluation.
+    """
+
+    def __init__(self):
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, problem):
+        const_mems = tuple(
+            sorted((name, id(mem)) for name, mem in problem.const_mems.items())
+        )
+        return (id(problem.sketch), problem.alpha.cycles, const_mems)
+
+    def entry(self, problem):
+        """The shared entry for ``problem``, building it on first use."""
+        key = self._key(problem)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            COUNTERS.trace_cache_misses += 1
+            entry = TraceEntry(problem)
+            self._entries[key] = entry
+        else:
+            self.hits += 1
+            COUNTERS.trace_cache_hits += 1
+        return entry
+
+
+class IncrementalContext:
+    """Shared encode-once solver state for a run of CEGIS instances.
+
+    Holds the assumption-based verifier (one ``Solver`` for *all*
+    instructions, selector-guarded) and the shared guess-side blaster.
+    A context must be used serially: share one across a sequential
+    per-instruction loop, or give each dispatch thread its own.
+    """
+
+    def __init__(self, execution="inprocess", worker_pool=None):
+        self.verifier = Solver(execution=execution, worker_pool=worker_pool)
+        self.guess_blaster = BitBlaster()
+        self._selectors = {}
+        self._counter = 0
+
+    def selector(self, formula):
+        """The selector guarding ``¬formula``, asserting it on first use."""
+        selector = self._selectors.get(formula)
+        if selector is None:
+            self._counter += 1
+            selector = T.bv_var(f"cegis!sel!{self._counter}", 1)
+            self.verifier.add(T.implies(selector, T.bv_not(formula)))
+            self._selectors[formula] = selector
+        return selector
+
+
+def candidate_assumptions(hole_by_name, candidate):
+    """Per-bit assumption literals pinning a candidate's hole constants.
+
+    ``hole_by_name`` maps names to hole variable terms and ``candidate``
+    maps the same names to ints.  Extracting single bits of an
+    already-blasted variable (and complementing them) creates no AIG
+    nodes, so a candidate check is pure solving — zero encode cost.
+    """
+    assumptions = []
+    for name, value in candidate.items():
+        var = hole_by_name[name]
+        for i in range(var.width):
+            bit = T.bv_extract(var, i, i)
+            if not (value >> i) & 1:
+                bit = T.bv_not(bit)
+            assumptions.append(bit)
+    return assumptions

@@ -26,6 +26,11 @@ from dataclasses import dataclass, field
 
 from repro.smt import terms as T
 from repro.smt.solver import Solver, UNSAT
+from repro.synthesis.incremental import (
+    IncrementalContext,
+    candidate_assumptions,
+    resolve_pipeline,
+)
 from repro.synthesis.per_instruction import instruction_formula
 from repro.synthesis.result import InstructionSolution
 
@@ -53,7 +58,17 @@ class MinimizationReport:
         return "\n".join(lines)
 
 
-def _verifies(formula, trace, hole_values, timeout):
+def _verifies(formula, trace, hole_values, timeout, ctx=None):
+    if ctx is not None:
+        # Encode-once path: ¬formula is asserted (selector-guarded) into
+        # the shared verifier on first use; each merge probe is a pure
+        # assumption check — zero new encoding.
+        assumptions = [ctx.selector(formula)] + candidate_assumptions(
+            trace.hole_values, hole_values
+        )
+        return ctx.verifier.check(
+            timeout=timeout, assumptions=assumptions
+        ) is UNSAT
     substitution = {
         trace.hole_values[name]: T.bv_const(
             value, trace.hole_values[name].width
@@ -66,25 +81,41 @@ def _verifies(formula, trace, hole_values, timeout):
 
 
 def minimize_solutions(problem, solutions, timeout_per_check=20.0,
-                       max_targets=3):
+                       max_targets=3, pipeline=None):
     """Return (new solutions, report) with don't-care values merged.
 
     ``solutions`` come from per-instruction synthesis (or the monolithic
     mode); the originals are not mutated.  ``max_targets`` bounds how many
     candidate merge values are tried per hole (most popular first) — the
     don't-care collapse almost always lands on the first.
+
+    ``pipeline="incremental"`` (the default) serves every formula from
+    the problem's shared trace cache — free when synthesis already ran
+    incrementally — and runs all merge probes as assumption checks
+    against one shared verifier; ``"fresh"`` re-derives each formula
+    under a ``min{index}!`` prefix and builds a solver per probe.
     """
     started = time.monotonic()
+    pipeline = resolve_pipeline(pipeline)
     report = MinimizationReport()
-    # Re-derive each instruction's formula once (prefix matches synthesis).
-    formulas = {}
     instructions = {i.name: i for i in problem.spec.instructions}
-    for index, solution in enumerate(solutions):
-        instruction = instructions[solution.instruction_name]
-        formula, trace, _ = instruction_formula(
-            problem, instruction, f"min{index}!"
-        )
-        formulas[solution.instruction_name] = (formula, trace)
+    formulas = {}
+    ctx = None
+    if pipeline == "incremental":
+        ctx = IncrementalContext()
+        entry = problem.trace_cache().entry(problem)
+        for solution in solutions:
+            formulas[solution.instruction_name] = (
+                entry.formulas[solution.instruction_name], entry.trace
+            )
+    else:
+        # Re-derive each instruction's formula (prefix matches synthesis).
+        for index, solution in enumerate(solutions):
+            instruction = instructions[solution.instruction_name]
+            formula, trace, _ = instruction_formula(
+                problem, instruction, f"min{index}!"
+            )
+            formulas[solution.instruction_name] = (formula, trace)
 
     current = {
         solution.instruction_name: dict(solution.hole_values)
@@ -104,7 +135,7 @@ def minimize_solutions(problem, solutions, timeout_per_check=20.0,
                 formula, trace = formulas[name]
                 report.checks += 1
                 if _verifies(formula, trace, candidate,
-                             timeout_per_check):
+                             timeout_per_check, ctx=ctx):
                     current[name] = candidate
                     report.merged += 1
         report.distinct_after[hole] = len(

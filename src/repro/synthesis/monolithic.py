@@ -18,6 +18,7 @@ from repro.ila.compiler import ConstraintCompiler
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import terms as T
 from repro.synthesis.cegis import cegis_solve, CegisStats
+from repro.synthesis.incremental import resolve_pipeline
 from repro.synthesis.result import InstructionSolution, SynthesisError
 
 __all__ = ["synthesize_monolithic_solutions"]
@@ -27,26 +28,53 @@ def synthesize_monolithic_solutions(problem, timeout=None,
                                     max_iterations=256, budget=None,
                                     retry_policy=None,
                                     execution="inprocess",
-                                    worker_pool=None):
+                                    worker_pool=None, pipeline=None):
     """Solve all instructions in one CEGIS query.
 
     Returns ``(solutions, stats)`` where ``solutions`` is one
     ``InstructionSolution`` per instruction (so the control union applies
     unchanged downstream).  ``budget``/``retry_policy`` are threaded into
     the underlying CEGIS run.
+
+    ``pipeline="incremental"`` reuses the problem's shared
+    :class:`~repro.synthesis.incremental.TraceCache` evaluation (instead
+    of a private ``m!``-prefixed one) and runs the assumption-based CEGIS
+    verify.  Conjoining the per-instruction formulas over the shared
+    trace is sound because ∀ distributes over ∧: each conjunct constrains
+    the shared state exactly as its standalone query would.
     """
     started = time.monotonic()
     spec = problem.spec
-    prefix = "m!"
-    evaluator = SymbolicEvaluator(
-        problem.sketch, const_mems=problem.const_mems, prefix=prefix
-    )
-    trace = evaluator.run(problem.alpha.cycles)
-    compiler = ConstraintCompiler(spec, problem.alpha, trace, prefix=prefix)
-    compiled = [
-        compiler.compile_instruction(instruction)
-        for instruction in spec.instructions
-    ]
+    pipeline = resolve_pipeline(pipeline)
+    if pipeline == "incremental":
+        entry = problem.trace_cache().entry(problem)
+        prefix = entry.prefix
+        trace = entry.trace
+        compiled = [
+            entry.compiled[instruction.name]
+            for instruction in spec.instructions
+        ]
+        # Shared side conditions plus every instruction's fresh-read
+        # delta; the restored fresh counter makes cross-instruction
+        # duplicates identical interned terms, so dedup keeps the
+        # conjunction linear.
+        side_terms = list(entry.base_conditions)
+        for instruction in spec.instructions:
+            side_terms.extend(entry.deltas[instruction.name])
+        side_terms = list(dict.fromkeys(side_terms))
+    else:
+        prefix = "m!"
+        evaluator = SymbolicEvaluator(
+            problem.sketch, const_mems=problem.const_mems, prefix=prefix
+        )
+        trace = evaluator.run(problem.alpha.cycles)
+        compiler = ConstraintCompiler(spec, problem.alpha, trace,
+                                      prefix=prefix)
+        compiled = [
+            compiler.compile_instruction(instruction)
+            for instruction in spec.instructions
+        ]
+        side_terms = list(trace.side_conditions)
 
     # The holes must not influence the decode preconditions (the no-feedback
     # condition); otherwise the if-tree construction below is circular.
@@ -80,7 +108,7 @@ def synthesize_monolithic_solutions(problem, timeout=None,
                             constants[(j, hole.name)], expr)
         substitution[trace.hole_values[hole.name]] = expr
 
-    side = T.and_(*trace.side_conditions)
+    side = T.and_(*side_terms)
     conjunction = T.and_(
         *[item.formula() for item in compiled]
     )
@@ -93,6 +121,7 @@ def synthesize_monolithic_solutions(problem, timeout=None,
         max_iterations=max_iterations, budget=budget,
         retry_policy=retry_policy, execution=execution,
         worker_pool=worker_pool,
+        incremental=(pipeline == "incremental"),
     )
     elapsed = time.monotonic() - started
     solutions = []

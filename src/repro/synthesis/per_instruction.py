@@ -12,8 +12,10 @@ import time
 
 from repro.ila.compiler import ConstraintCompiler
 from repro.oyster.symbolic import SymbolicEvaluator
+from repro.smt import counters as _counters
 from repro.smt import terms as T
 from repro.synthesis.cegis import cegis_solve, CegisStats
+from repro.synthesis.incremental import resolve_pipeline
 from repro.synthesis.preprocess import resolve_equalities
 from repro.synthesis.result import InstructionSolution, SynthesisError
 
@@ -53,7 +55,8 @@ def instruction_formula(problem, instruction, prefix):
 def synthesize_instruction(problem, instruction, index, timeout=None,
                            max_iterations=256, partial_eval=True,
                            budget=None, retry_policy=None,
-                           execution="inprocess", worker_pool=None):
+                           execution="inprocess", worker_pool=None,
+                           pipeline=None, incremental_ctx=None):
     """Solve the hole constants for one instruction; returns a solution.
 
     ``budget`` is a ``repro.runtime.Budget`` slice for this instruction
@@ -61,12 +64,27 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
     governs restart-with-escalation on retryable UNKNOWNs.
     ``execution="isolated"`` routes every solver check through
     ``worker_pool``'s sandboxed child processes.
+
+    ``pipeline`` selects ``"fresh"`` (per-instruction symbolic evaluation
+    + per-iteration verifiers) or ``"incremental"`` (the problem's shared
+    :class:`~repro.synthesis.incremental.TraceCache` trace + the
+    assumption-based verify mode); ``None`` resolves to incremental
+    unless ``partial_eval`` is disabled.  ``incremental_ctx`` shares one
+    encode-once verifier across a serial run of instructions.
     """
     started = time.monotonic()
-    prefix = f"i{index}!"
-    formula, trace, _ = instruction_formula(problem, instruction, prefix)
+    pipeline = resolve_pipeline(pipeline, partial_eval)
+    encode_before = _counters.snapshot()
+    if pipeline == "incremental":
+        entry = problem.trace_cache().entry(problem)
+        formula = entry.formulas[instruction.name]
+        trace_holes = entry.trace.hole_values
+    else:
+        prefix = f"i{index}!"
+        formula, trace, _ = instruction_formula(problem, instruction, prefix)
+        trace_holes = trace.hole_values
     hole_vars = [
-        trace.hole_values[hole.name] for hole in problem.sketch.holes
+        trace_holes[hole.name] for hole in problem.sketch.holes
     ]
     for var in hole_vars:
         if not var.is_var:
@@ -79,11 +97,14 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
         max_iterations=max_iterations, partial_eval=partial_eval,
         budget=budget, retry_policy=retry_policy,
         execution=execution, worker_pool=worker_pool,
+        incremental=(pipeline == "incremental"),
+        incremental_ctx=incremental_ctx,
     )
     hole_values = {
-        hole.name: values_by_var[trace.hole_values[hole.name].name]
+        hole.name: values_by_var[trace_holes[hole.name].name]
         for hole in problem.sketch.holes
     }
+    encode_delta = _counters.delta_since(encode_before)
     return InstructionSolution(
         instruction_name=instruction.name,
         hole_values=hole_values,
@@ -91,4 +112,8 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
         solve_time=time.monotonic() - started,
         conflicts=stats.conflicts,
         retries=stats.retries,
+        solver_instances=encode_delta["solver_instances"],
+        aig_nodes=encode_delta["aig_nodes"],
+        tseitin_clauses=encode_delta["tseitin_clauses"],
+        trace_cache_hits=encode_delta["trace_cache_hits"],
     )

@@ -25,6 +25,8 @@ class SynthesisProblem:
     alpha: AbstractionFunction
     const_mems: dict = field(default_factory=dict)
     name: str = ""
+    _trace_cache: object = field(default=None, init=False, repr=False,
+                                 compare=False)
 
     def __post_init__(self):
         if not self.name:
@@ -34,3 +36,17 @@ class SynthesisProblem:
             raise ValueError(
                 f"sketch {self.sketch.name!r} has no holes to synthesize"
             )
+
+    def trace_cache(self):
+        """The problem's shared-trace cache (created on first use).
+
+        The incremental pipeline evaluates the sketch symbolically once
+        per (sketch, cycles, const_mems) and serves every instruction's
+        formula from the cached trace; keeping the cache on the problem
+        lets synthesis, minimization and re-runs share one evaluation.
+        """
+        from repro.synthesis.incremental import TraceCache
+
+        if self._trace_cache is None:
+            self._trace_cache = TraceCache()
+        return self._trace_cache

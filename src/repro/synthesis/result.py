@@ -49,7 +49,14 @@ class SynthesisFailure(SynthesisError):
 
 @dataclass
 class InstructionSolution:
-    """Solved hole constants for one instruction (Equation 2's c_j)."""
+    """Solved hole constants for one instruction (Equation 2's c_j).
+
+    The encode counters (``solver_instances``, ``aig_nodes``,
+    ``tseitin_clauses``, ``trace_cache_hits``) are deltas of the
+    process-global ``repro.smt.counters`` taken across this instruction's
+    synthesis — exact in serial runs, jointly attributed under concurrent
+    dispatch.
+    """
 
     instruction_name: str
     hole_values: dict  # hole name -> int
@@ -57,6 +64,10 @@ class InstructionSolution:
     solve_time: float
     conflicts: int = 0
     retries: int = 0
+    solver_instances: int = 0
+    aig_nodes: int = 0
+    tseitin_clauses: int = 0
+    trace_cache_hits: int = 0
 
     def to_dict(self):
         return {
@@ -66,6 +77,10 @@ class InstructionSolution:
             "solve_time": self.solve_time,
             "conflicts": self.conflicts,
             "retries": self.retries,
+            "solver_instances": self.solver_instances,
+            "aig_nodes": self.aig_nodes,
+            "tseitin_clauses": self.tseitin_clauses,
+            "trace_cache_hits": self.trace_cache_hits,
         }
 
     @classmethod
@@ -77,6 +92,10 @@ class InstructionSolution:
             solve_time=float(data["solve_time"]),
             conflicts=int(data.get("conflicts", 0)),
             retries=int(data.get("retries", 0)),
+            solver_instances=int(data.get("solver_instances", 0)),
+            aig_nodes=int(data.get("aig_nodes", 0)),
+            tseitin_clauses=int(data.get("tseitin_clauses", 0)),
+            trace_cache_hits=int(data.get("trace_cache_hits", 0)),
         )
 
 

@@ -1,0 +1,53 @@
+"""Deterministic perf-smoke: encode-counter invariants, fresh vs incremental.
+
+This is the CI guard for the incremental pipeline's reason to exist.  It
+runs one small case (the ALU machine — four instructions, seconds of
+work) in both pipeline modes and asserts the *counter* invariants:
+incremental mode must perform strictly fewer solver instantiations and
+strictly fewer AIG node creations than fresh mode.  Counters, not wall
+time — the solver is deterministic, so this lane cannot flake on a busy
+CI host the way a timing assertion would.
+"""
+
+from repro.designs import alu_machine
+from repro.smt import counters as _counters
+from repro.synthesis import synthesize
+
+
+def _run(pipeline):
+    problem = alu_machine.build_problem()
+    before = _counters.snapshot()
+    result = synthesize(problem, timeout=300, pipeline=pipeline)
+    return result, _counters.delta_since(before)
+
+
+def test_incremental_strictly_cheaper_to_encode():
+    fresh_result, fresh = _run("fresh")
+    incr_result, incr = _run("incremental")
+
+    assert incr["solver_instances"] < fresh["solver_instances"]
+    assert incr["aig_nodes"] < fresh["aig_nodes"]
+    assert incr["tseitin_clauses"] < fresh["tseitin_clauses"]
+
+    # The speedup must not change the answer.
+    for solution in fresh_result.per_instruction:
+        assert incr_result.hole_values_for(solution.instruction_name) \
+            == solution.hole_values
+
+    # Engine stats carry the same accounting for bench/report consumers.
+    assert fresh_result.stats["counters"]["solver_instances"] \
+        == fresh["solver_instances"]
+    assert incr_result.stats["counters"]["trace_cache_misses"] == 1
+
+
+def test_per_instruction_counter_attribution():
+    """Serial runs attribute encode work exactly, per instruction."""
+    result, delta = _run("incremental")
+    summed = sum(s.aig_nodes for s in result.per_instruction)
+    # The shared trace + formula construction happens before the first
+    # instruction's CEGIS run, so per-instruction deltas cannot exceed
+    # the whole-run delta.
+    assert 0 < summed <= delta["aig_nodes"]
+    for solution in result.per_instruction:
+        assert solution.solver_instances >= 1
+        assert solution.trace_cache_hits >= 1

@@ -158,6 +158,50 @@ def test_trivially_false_assertion():
     assert solver.check() is UNSAT
 
 
+def test_blast_cache_survives_interner_reset():
+    """Regression: the blast cache must key by term, not by id(term).
+
+    An id-keyed cache without a strong reference is unsound across
+    ``reset_interner()``: the old term can be garbage collected and its id
+    reused by a *different* term, which then aliases to the stale entry's
+    literals.  Keying by the term object (identity hash + strong
+    reference) makes reuse impossible; a structurally equal term rebuilt
+    after the reset is a distinct object and blasts fresh, correct bits.
+    """
+    import gc
+
+    blaster = BitBlaster()
+    term = T.bv_add(T.bv_var("rst_a", 4), T.bv_const(3, 4))
+    before = blaster.blast(term)
+    assert all(isinstance(key, T.Term) for key in blaster._cache)
+
+    T.reset_interner()
+    del term
+    gc.collect()
+
+    # Rebuild dozens of distinct terms so a recycled id would have ample
+    # opportunity to collide with a stale integer key.
+    rebuilt = T.bv_add(T.bv_var("rst_a", 4), T.bv_const(3, 4))
+    decoys = [T.bv_sub(T.bv_var("rst_a", 4), T.bv_const(k, 4))
+              for k in range(16)]
+    again = blaster.blast(rebuilt)
+    # Same variable registry, same structure: identical literals — but via
+    # a fresh cache entry, not a stale alias.
+    assert again == before
+    for k, decoy in enumerate(decoys):
+        bits = blaster.blast(decoy)
+        # Semantic spot-check through the AIG: rst_a=5 -> 5-k mod 16.
+        inputs = {
+            bit >> 1: (5 >> i) & 1
+            for i, bit in enumerate(blaster.var_bits["rst_a"])
+        }
+        value = 0
+        for i, out in enumerate(blaster.aig.evaluate(list(bits), inputs)):
+            value |= out << i
+        assert value == (5 - k) % 16
+    T.reset_interner()
+
+
 def test_incremental_sharing_across_adds():
     x = T.bv_var("ix", 8)
     y = T.bv_var("iy", 8)
