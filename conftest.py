@@ -1,0 +1,56 @@
+"""Root pytest config: session tracing via ``--obs-trace``/``REPRO_TRACE``.
+
+``pytest --obs-trace /tmp/run.jsonl benchmarks/bench_table1.py`` (or
+exporting ``REPRO_TRACE=/tmp/run.jsonl``) installs a process-global
+:class:`repro.obs.Tracer` for the whole pytest session, so every solver
+query, CEGIS iteration and worker event of the selected tests or benches
+lands in one obs/v1 JSONL trace — analyzed afterwards with
+``scripts/trace_report.py``.  Without the flag nothing is installed and
+the instrumented hot paths stay on their no-op fast path.
+
+This lives in the repo root (not ``tests/``/``benchmarks/``) because
+``pytest_addoption`` only takes effect in an *initial* conftest, and both
+test trees share the flag.  The flag is spelled ``--obs-trace`` because
+pytest's own ``--trace`` (break into PDB per test) already owns the
+shorter name; the standalone drivers (``scripts/run_full_eval.py``) keep
+plain ``--trace``.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_TRACER = None
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--obs-trace", action="store", default=None, metavar="PATH",
+        help="record an obs/v1 JSONL trace of this session to PATH "
+        "(defaults to the REPRO_TRACE environment variable)",
+    )
+
+
+def pytest_configure(config):
+    global _TRACER
+    path = config.getoption("--obs-trace") or os.environ.get("REPRO_TRACE")
+    if not path:
+        return
+    from repro.obs import Tracer, install
+
+    _TRACER = Tracer(path)
+    install(_TRACER)
+
+
+def pytest_unconfigure(config):
+    global _TRACER
+    if _TRACER is None:
+        return
+    from repro.obs import clear
+
+    clear()
+    _TRACER.close()
+    _TRACER = None

@@ -40,10 +40,16 @@ def fmt_case(name, fields):
 
 
 def diff_cases(baseline, current, wall_tolerance):
-    """Yield (severity, message) pairs; severity is 'regression' or 'info'."""
+    """Yield (severity, message) pairs for an asymmetric-safe diff.
+
+    Severity is ``'regression'``, ``'added'``, ``'removed'`` or ``'info'``.
+    A case present in only one report is *reported*, never an error: new
+    benches appear before their baseline lands, and retired benches
+    linger in old baselines — neither should crash the diff or fail CI.
+    """
     for name in sorted(current):
         if name not in baseline:
-            yield "info", f"new case {name}"
+            yield "added", fmt_case(name, current[name]).strip()
             continue
         base, cur = baseline[name], current[name]
         for field in COUNTER_FIELDS:
@@ -72,7 +78,7 @@ def diff_cases(baseline, current, wall_tolerance):
                 f"{name}: status ok -> {cur.get('status')!r}"
             )
     for name in sorted(set(baseline) - set(current)):
-        yield "info", f"case {name} missing from current report"
+        yield "removed", fmt_case(name, baseline[name]).strip()
 
 
 def main(argv=None):
@@ -92,13 +98,23 @@ def main(argv=None):
     baseline = load_cases(args.baseline)
     current = load_cases(args.current)
     regressions = 0
+    added = removed = 0
     for severity, message in diff_cases(baseline, current,
                                         args.wall_tolerance):
         if severity == "regression":
             regressions += 1
             print(f"REGRESSION  {message}")
+        elif severity == "added":
+            added += 1
+            print(f"ADDED       {message}")
+        elif severity == "removed":
+            removed += 1
+            print(f"REMOVED     {message}")
         else:
             print(f"            {message}")
+    if added or removed:
+        print(f"\n{added} case(s) only in current, "
+              f"{removed} only in baseline")
     if regressions:
         print(f"\n{regressions} regression(s) found")
         return 1

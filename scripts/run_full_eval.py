@@ -60,9 +60,22 @@ def main():
         help="a serialized PartialSynthesisResult from an interrupted "
         "run; matching Table 1 rows reuse its solved instructions",
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record an obs/v1 JSONL trace of the whole evaluation to "
+        "PATH (analyze with scripts/trace_report.py)",
+    )
     args = parser.parse_args()
     only = set(args.tables)
     resume_handle = _load_resume(args.resume) if args.resume else None
+
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer, install
+
+        tracer = Tracer(args.trace)
+        install(tracer)
+        print(f"tracing to {args.trace} (run {tracer.run_id})", flush=True)
 
     os.makedirs("results", exist_ok=True)
     results = {}
@@ -108,6 +121,12 @@ def main():
         results["constant_time_seconds"] = time.monotonic() - started
         print(format_table(rows))
         save()
+    if tracer is not None:
+        from repro.obs import clear
+
+        clear()
+        tracer.close()
+        print(f"trace written to {tracer.path}")
     print("saved results/full_eval.json")
 
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Summarize an obs/v1 JSONL trace: flame tree, top queries, exact totals.
+
+Usage::
+
+    python scripts/trace_report.py TRACE.jsonl
+    python scripts/trace_report.py TRACE.jsonl --top 20
+    python scripts/trace_report.py TRACE.jsonl --validate-only
+
+Produces a flamegraph-style per-instruction/per-phase text summary, the
+top-K most expensive solver queries with full provenance (result,
+conflicts, clause/variable counts, owning span chain), the exact
+iteration and encode-counter totals re-derived from the trace, and the
+counterexample waveform paths recorded by failed verify queries.
+
+``--validate-only`` just checks the trace against the schema (exit 1 on
+violation) — this is what the CI perf-smoke lane gates on.  Traces from
+runs that died mid-span validate fine; the report marks them truncated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.report import render_report  # noqa: E402
+from repro.obs.schema import SchemaError, load_events  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="an obs/v1 JSONL trace file")
+    parser.add_argument("--top", type=int, default=10,
+                        help="solver queries to list (default 10)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="schema-check the trace and exit")
+    args = parser.parse_args(argv)
+
+    try:
+        events, summary = load_events(args.trace)
+    except SchemaError as exc:
+        print(f"INVALID TRACE: {exc}", file=sys.stderr)
+        return 1
+    if args.validate_only:
+        print(
+            f"valid: {summary['events']} events, {summary['spans']} spans, "
+            f"run {summary['run']}"
+            + (f", {len(summary['unclosed'])} unclosed span(s) "
+               "(truncated run)" if summary["unclosed"] else "")
+        )
+        return 0
+    print(render_report(args.trace, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.obs import trace as _obs
 from repro.oyster.printer import design_loc
 from repro.smt import counters as _counters
 from repro.synthesis import SynthesisTimeout, resolve_pipeline, synthesize
@@ -149,23 +150,28 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
     completed = -1
     iterations = 0
     encode_before = _counters.snapshot()
-    try:
-        result = synthesize(problem, mode=mode, timeout=budget,
-                            resume_from=resume, pipeline=pipeline)
-        elapsed = result.elapsed
-        if "cegis" in result.stats:
-            iterations = result.stats["cegis"]["iterations"]
-        else:
-            iterations = sum(s.iterations for s in result.per_instruction)
-    except SynthesisTimeout as exc:
-        # An honest Timeout row: record *why* the budget tripped and how
-        # much per-instruction work finished before it did.
-        elapsed = time.monotonic() - started
-        status = "timeout"
-        reason = exc.reason
-        if exc.partial is not None:
-            completed = exc.partial.completed_count
-            iterations = sum(s.iterations for s in exc.partial.completed)
+    with _obs.span("table1.row", row=row_id, mode=mode, quick=quick):
+        try:
+            result = synthesize(problem, mode=mode, timeout=budget,
+                                resume_from=resume, pipeline=pipeline)
+            elapsed = result.elapsed
+            if "cegis" in result.stats:
+                iterations = result.stats["cegis"]["iterations"]
+            else:
+                iterations = sum(
+                    s.iterations for s in result.per_instruction
+                )
+        except SynthesisTimeout as exc:
+            # An honest Timeout row: record *why* the budget tripped and
+            # how much per-instruction work finished before it did.
+            elapsed = time.monotonic() - started
+            status = "timeout"
+            reason = exc.reason
+            if exc.partial is not None:
+                completed = exc.partial.completed_count
+                iterations = sum(
+                    s.iterations for s in exc.partial.completed
+                )
     encode = _counters.delta_since(encode_before)
     return Table1Row(
         row_id=row_id,

@@ -17,6 +17,7 @@ from repro.designs.riscv.reference import (
 )
 from repro.hdl.codegen import control_loc, generate_pyrtl_control
 from repro.netlist import gate_count, optimize, synthesize_netlist
+from repro.obs import trace as _obs
 from repro.synthesis import synthesize
 
 __all__ = ["run_table2", "Table2Row"]
@@ -38,7 +39,8 @@ def run_variant(variant, quick=True, timeout=1800, instructions=None):
     """Build one Table 2 row for a single-cycle core variant."""
     problem = riscv.build_problem(variant, "single_cycle",
                                   instructions=instructions)
-    result = synthesize(problem, timeout=timeout)
+    with _obs.span("table2.variant", row=variant):
+        result = synthesize(problem, timeout=timeout)
 
     generated_text = generate_pyrtl_control(problem, result)
     reference_text = reference_control_text(variant)

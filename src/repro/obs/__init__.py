@@ -1,0 +1,49 @@
+"""Synthesis observability: span tracing, metrics, query provenance.
+
+The three legs of the layer, each usable alone:
+
+* :mod:`repro.obs.trace` — a process-global :class:`Tracer` writing
+  append-only JSONL events with nestable spans and a no-op fast path when
+  disabled (the default).  Instrumentation stays in the hot path
+  permanently; the *cost* of tracing is opt-in.
+* :mod:`repro.obs.metrics` — :data:`METRICS`, the unified registry
+  absorbing the encode counters, worker-pool health, budget consumption
+  and trace-cache hit rates into one snapshot/delta API.
+* :mod:`repro.obs.schema` / :mod:`repro.obs.report` — the ``obs/v1``
+  event contract and the post-hoc analysis behind
+  ``scripts/trace_report.py``.
+
+Layering: this package imports nothing from the rest of ``repro`` at
+module scope (``metrics.snapshot`` reads ``repro.smt.counters`` lazily),
+so every layer — ``runtime``, ``smt``, ``synthesis``, ``eval`` — may
+instrument itself without creating a cycle.
+"""
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.schema import SchemaError, validate_event, validate_trace
+from repro.obs.trace import (
+    Tracer,
+    active_tracer,
+    clear,
+    current_span_id,
+    event,
+    install,
+    installed,
+    span,
+)
+
+__all__ = [
+    "Tracer",
+    "active_tracer",
+    "install",
+    "clear",
+    "installed",
+    "span",
+    "event",
+    "current_span_id",
+    "METRICS",
+    "MetricsRegistry",
+    "SchemaError",
+    "validate_event",
+    "validate_trace",
+]

@@ -1,0 +1,94 @@
+"""The unified metrics registry: one snapshot/delta API for every counter.
+
+Before this module the repo's counters were scattered: encode effort in
+``repro.smt.counters``, worker-pool health in ``SolverWorkerPool.stats``,
+budget consumption inside ``Budget`` instances, trace-cache hit rates on
+``TraceCache``.  Each had its own ad-hoc reading convention, which is why
+no report could answer "what did this run cost, in every unit we track?".
+
+:data:`METRICS` is the process-global registry.  Producers call
+:meth:`MetricsRegistry.inc` with a dotted counter name (``"worker.crashes"``,
+``"budget.conflicts_charged"``); consumers call :meth:`snapshot` /
+:func:`delta_since`.  Snapshots *merge in* the encode counters from
+``repro.smt.counters`` under an ``encode.`` prefix — those stay where they
+are (the SMT layer must not import upward), the registry simply absorbs
+them at read time, so one snapshot really is the whole picture.
+
+Increments take a lock: they happen at event granularity (a worker crash,
+a facade check, a CEGIS iteration), never inside the SAT core's inner
+loops, so contention is negligible.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["MetricsRegistry", "METRICS", "snapshot", "delta_since"]
+
+
+class MetricsRegistry:
+    """Named monotonic counters with snapshot/delta reads."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def inc(self, name, value=1):
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def get(self, name):
+        """Current value of ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self):
+        """Every counter, with the encode counters merged under ``encode.``.
+
+        The import is deferred so this module stays a leaf the runtime
+        layer can import without dragging ``repro.smt`` in.
+        """
+        from repro.smt import counters as _encode
+
+        merged = {
+            f"encode.{name}": value
+            for name, value in _encode.snapshot().items()
+        }
+        with self._lock:
+            merged.update(self._counts)
+        return merged
+
+    def delta_since(self, before):
+        """Counters accumulated since an earlier :meth:`snapshot`.
+
+        Counters born after ``before`` appear with their full value;
+        counters absent from the current snapshot are dropped (they were
+        zero then and are zero now).
+        """
+        now = self.snapshot()
+        return {
+            name: value - before.get(name, 0)
+            for name, value in now.items()
+        }
+
+    def reset(self):
+        """Forget the registry's own counters (the encode counters are
+        owned by ``repro.smt.counters`` and reset there).  Test hygiene
+        only — production counters are monotonic for the process life."""
+        with self._lock:
+            self._counts.clear()
+
+
+#: The process-wide registry every instrumented layer increments.
+METRICS = MetricsRegistry()
+
+
+def snapshot():
+    """Module-level convenience for :meth:`MetricsRegistry.snapshot`."""
+    return METRICS.snapshot()
+
+
+def delta_since(before):
+    """Module-level convenience for :meth:`MetricsRegistry.delta_since`."""
+    return METRICS.delta_since(before)

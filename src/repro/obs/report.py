@@ -1,0 +1,253 @@
+"""Post-hoc trace analysis: flamegraph-style summary + query provenance.
+
+Consumes an ``obs/v1`` JSONL trace (see ``repro.obs.schema``) and answers
+the questions the observability layer exists for:
+
+* *Where did the time go?*  An indented, flamegraph-style text tree of
+  spans aggregated by path (with per-instruction attribution), inclusive
+  seconds and invocation counts.
+* *Which solver queries burned the budget?*  A top-K table of
+  ``solver.check`` provenance events sorted by wall time, each attributed
+  to its owning span chain.
+* *What did the run cost in exact units?*  Iteration counts re-derived
+  from ``cegis.iteration`` spans and encode-counter deltas re-derived
+  from ``metrics.snapshot`` events — both must match the run's own
+  reported stats, which is what makes the trace trustworthy.
+* *What artifacts did it leave?*  Counterexample VCD paths recorded by
+  failed CEGIS verify queries.
+
+``scripts/trace_report.py`` is the CLI wrapper; everything here is
+importable so tests can assert exactness without scraping stdout.
+"""
+
+from __future__ import annotations
+
+from repro.obs.schema import load_events
+
+__all__ = [
+    "span_index",
+    "flame_lines",
+    "solver_queries",
+    "top_queries_lines",
+    "totals",
+    "render_report",
+]
+
+
+def span_index(events):
+    """Map span id -> {name, attrs, parent, dur (None while unclosed)}."""
+    spans = {}
+    for ev in events:
+        if ev["ev"] == "span_begin":
+            spans[ev["id"]] = {
+                "name": ev["name"],
+                "attrs": ev.get("attrs", {}),
+                "parent": ev.get("parent"),
+                "dur": None,
+            }
+        elif ev["ev"] == "span_end":
+            if ev["id"] in spans:
+                spans[ev["id"]]["dur"] = ev["dur"]
+    return spans
+
+
+def _display_name(info):
+    """A span's display label: its name plus the attribute that names the
+    unit of work (instruction, Table 1 row, problem)."""
+    attrs = info["attrs"]
+    for key in ("instr", "row", "problem"):
+        if key in attrs:
+            return f"{info['name']}[{attrs[key]}]"
+    return info["name"]
+
+
+def _path_of(span_id, spans, cache):
+    """The display-name path from the root to ``span_id`` (a tuple)."""
+    if span_id in cache:
+        return cache[span_id]
+    info = spans[span_id]
+    parent = info["parent"]
+    if parent is None or parent not in spans:
+        path = (_display_name(info),)
+    else:
+        path = _path_of(parent, spans, cache) + (_display_name(info),)
+    cache[span_id] = path
+    return path
+
+
+def flame_lines(events, min_seconds=0.0):
+    """Flamegraph-style text lines: spans aggregated by display path.
+
+    Each line shows inclusive seconds (summed over all spans sharing the
+    path) and an invocation count; children sort by time, descending.
+    """
+    spans = span_index(events)
+    cache = {}
+    agg = {}  # path tuple -> [seconds, count]
+    for span_id, info in spans.items():
+        path = _path_of(span_id, spans, cache)
+        bucket = agg.setdefault(path, [0.0, 0])
+        bucket[0] += info["dur"] or 0.0
+        bucket[1] += 1
+
+    # Parents always aggregate at least as much inclusive time as each
+    # child, so sorting siblings by time gives the classic flame shape.
+    def children_of(prefix):
+        depth = len(prefix)
+        kids = [p for p in agg
+                if len(p) == depth + 1 and p[:depth] == prefix]
+        return sorted(kids, key=lambda p: -agg[p][0])
+
+    lines = []
+    label_width = max(
+        (2 * (len(p) - 1) + len(p[-1]) for p in agg), default=0
+    )
+
+    def walk(prefix):
+        for path in children_of(prefix):
+            seconds, count = agg[path]
+            if seconds < min_seconds and count == 0:
+                continue
+            indent = "  " * (len(path) - 1)
+            label = f"{indent}{path[-1]}"
+            lines.append(
+                f"  {label:<{label_width}}  {seconds:>9.3f}s  x{count}"
+            )
+            walk(path)
+
+    walk(())
+    return lines
+
+
+def solver_queries(events):
+    """All ``solver.check`` provenance events, annotated with their owning
+    span's display path."""
+    spans = span_index(events)
+    cache = {}
+    queries = []
+    for ev in events:
+        if ev["ev"] != "event" or ev["name"] != "solver.check":
+            continue
+        parent = ev.get("parent")
+        owner = "(no span)"
+        if parent is not None and parent in spans:
+            owner = "/".join(_path_of(parent, spans, cache))
+        record = dict(ev["attrs"])
+        record["owner"] = owner
+        record["parent"] = parent
+        queries.append(record)
+    return queries
+
+
+def top_queries_lines(events, top=10):
+    """The top-K most expensive solver queries as table lines."""
+    queries = sorted(
+        solver_queries(events),
+        key=lambda q: -(q.get("wall") or 0.0),
+    )[:top]
+    if not queries:
+        return ["  (no solver queries in trace)"]
+    lines = [
+        "  {:>9}  {:<16}  {:>9}  {:>8}  {:>8}  {:<18}  {}".format(
+            "wall_s", "result", "conflicts", "clauses", "vars", "kind",
+            "owning span",
+        )
+    ]
+    for q in queries:
+        result = q.get("result", "?")
+        if q.get("reason"):
+            result = f"{result}({q['reason']})"
+        lines.append(
+            "  {:>9.3f}  {:<16}  {:>9}  {:>8}  {:>8}  {:<18}  {}".format(
+                q.get("wall") or 0.0, result, q.get("conflicts", 0),
+                q.get("clauses", 0), q.get("vars", 0),
+                q.get("kind") or "-", q["owner"],
+            )
+        )
+    return lines
+
+
+def totals(events):
+    """Exact aggregates re-derived from the trace alone.
+
+    ``iterations`` counts ``cegis.iteration`` spans; ``encode_delta`` is
+    the difference between the first and last ``metrics.snapshot`` events'
+    ``encode.*`` counters (the same process-global counters the run's own
+    stats report); ``counterexample_vcds`` lists the waveform paths failed
+    verify queries dumped; ``orphan_queries`` counts solver checks with no
+    owning span (must be 0 for a fully attributed run).
+    """
+    iterations = 0
+    snapshots = []
+    vcds = []
+    queries = 0
+    orphans = 0
+    for ev in events:
+        kind = ev["ev"]
+        if kind == "span_begin" and ev["name"] == "cegis.iteration":
+            iterations += 1
+        elif kind == "event":
+            name = ev["name"]
+            if name == "metrics.snapshot":
+                snapshots.append(ev["attrs"])
+            elif name == "cegis.counterexample":
+                path = ev["attrs"].get("vcd")
+                if path:
+                    vcds.append(path)
+            elif name == "solver.check":
+                queries += 1
+                if ev.get("parent") is None:
+                    orphans += 1
+    encode_delta = {}
+    if len(snapshots) >= 2:
+        first, last = snapshots[0], snapshots[-1]
+        for key, value in last.items():
+            if key.startswith("encode."):
+                encode_delta[key[len("encode."):]] = (
+                    value - first.get(key, 0)
+                )
+    wall = 0.0
+    if events:
+        wall = events[-1]["ts"] - events[0]["ts"]
+    return {
+        "iterations": iterations,
+        "encode_delta": encode_delta,
+        "counterexample_vcds": vcds,
+        "solver_queries": queries,
+        "orphan_queries": orphans,
+        "wall_seconds": wall,
+    }
+
+
+def render_report(path, top=10):
+    """The full human-readable report for one trace file."""
+    events, summary = load_events(path)
+    agg = totals(events)
+    lines = [
+        f"trace {path}",
+        f"  run {summary['run']}: {summary['events']} events, "
+        f"{summary['spans']} spans"
+        + (f", {len(summary['unclosed'])} unclosed (truncated run)"
+           if summary["unclosed"] else ""),
+        f"  wall span {agg['wall_seconds']:.3f}s, "
+        f"{agg['solver_queries']} solver queries "
+        f"({agg['orphan_queries']} unattributed), "
+        f"{agg['iterations']} CEGIS iterations",
+        "",
+        "flame (inclusive seconds, x invocations):",
+    ]
+    lines.extend(flame_lines(events) or ["  (no spans in trace)"])
+    lines.append("")
+    lines.append(f"top {top} solver queries by wall time:")
+    lines.extend(top_queries_lines(events, top=top))
+    if agg["encode_delta"]:
+        lines.append("")
+        lines.append("encode-counter deltas (first -> last snapshot):")
+        for key, value in sorted(agg["encode_delta"].items()):
+            lines.append(f"  {key:<24} {value:>12}")
+    if agg["counterexample_vcds"]:
+        lines.append("")
+        lines.append("counterexample waveforms:")
+        for vcd in agg["counterexample_vcds"]:
+            lines.append(f"  {vcd}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Trace event schema: the contract between emitters and consumers.
+
+``obs/v1`` events are flat JSON objects, one per JSONL line.  Common
+envelope (every event):
+
+========  =======  ====================================================
+``ev``    str      event kind: ``run_begin``/``span_begin``/``span_end``
+                   /``event``
+``ts``    number   ``time.monotonic()`` at emission
+``run``   str      run id (constant per :class:`~repro.obs.trace.Tracer`)
+``tid``   int      emitting thread id
+``seq``   int      1-based, strictly increasing in file order
+========  =======  ====================================================
+
+Per-kind payloads:
+
+* ``run_begin`` — ``attrs`` (dict: pid, epoch, session);
+* ``span_begin`` — ``id`` (int), ``parent`` (int or null), ``name``
+  (str), ``attrs`` (dict);
+* ``span_end`` — ``id`` (int), ``name`` (str), ``dur`` (number, seconds),
+  ``attrs`` (dict; carries ``error`` when the span unwound);
+* ``event`` — ``name`` (str), ``parent`` (int or null), ``attrs`` (dict).
+
+:func:`validate_trace` additionally enforces the structural invariants a
+consumer relies on: unique span ids, ``span_end``/``parent`` referencing
+a previously begun span, and monotonically increasing ``seq``.  Spans
+left open are *reported*, not rejected — a hard-killed run's trace is
+truncated mid-span by construction, and readable truncated traces are the
+reason the format exists.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["SchemaError", "validate_event", "validate_trace", "load_events"]
+
+EVENT_KINDS = ("run_begin", "span_begin", "span_end", "event")
+
+_COMMON = (
+    ("ev", str),
+    ("ts", (int, float)),
+    ("run", str),
+    ("tid", int),
+    ("seq", int),
+)
+
+_BY_KIND = {
+    "run_begin": (("attrs", dict),),
+    "span_begin": (("id", int), ("name", str), ("attrs", dict)),
+    "span_end": (("id", int), ("name", str), ("dur", (int, float)),
+                 ("attrs", dict)),
+    "event": (("name", str), ("attrs", dict)),
+}
+
+#: kinds that carry a ``parent`` field (int or None)
+_PARENTED = ("span_begin", "event")
+
+
+class SchemaError(ValueError):
+    """A trace event (or the trace as a whole) violates ``obs/v1``."""
+
+
+def validate_event(obj):
+    """Validate one decoded event object; returns it, or raises
+    :class:`SchemaError` naming the violated field."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"event must be a JSON object, got {type(obj).__name__}")
+    for field, types in _COMMON:
+        if field not in obj:
+            raise SchemaError(f"event missing required field {field!r}: {obj}")
+        if not isinstance(obj[field], types) or isinstance(obj[field], bool):
+            raise SchemaError(
+                f"field {field!r} has wrong type "
+                f"{type(obj[field]).__name__}: {obj}"
+            )
+    kind = obj["ev"]
+    if kind not in EVENT_KINDS:
+        raise SchemaError(f"unknown event kind {kind!r}")
+    for field, types in _BY_KIND[kind]:
+        if field not in obj:
+            raise SchemaError(f"{kind} event missing field {field!r}: {obj}")
+        if not isinstance(obj[field], types) or isinstance(obj[field], bool):
+            raise SchemaError(
+                f"{kind} field {field!r} has wrong type "
+                f"{type(obj[field]).__name__}: {obj}"
+            )
+    if kind in _PARENTED:
+        if "parent" not in obj:
+            raise SchemaError(f"{kind} event missing field 'parent': {obj}")
+        parent = obj["parent"]
+        if parent is not None and (not isinstance(parent, int)
+                                   or isinstance(parent, bool)):
+            raise SchemaError(f"'parent' must be an int or null: {obj}")
+    return obj
+
+
+def validate_trace(lines):
+    """Validate an iterable of JSONL lines as one coherent trace.
+
+    Returns a summary dict: ``events``, ``spans``, ``unclosed`` (ids of
+    spans never ended — truncation, not an error), ``run`` (the run id).
+    Raises :class:`SchemaError` on any malformed line or broken
+    structural invariant.
+    """
+    begun = {}
+    closed = set()
+    events = 0
+    last_seq = 0
+    run = None
+    for lineno, raw in enumerate(lines, start=1):
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            obj = json.loads(raw)
+        except ValueError as exc:
+            raise SchemaError(f"line {lineno}: not valid JSON ({exc})")
+        try:
+            validate_event(obj)
+        except SchemaError as exc:
+            raise SchemaError(f"line {lineno}: {exc}")
+        events += 1
+        if obj["seq"] <= last_seq:
+            raise SchemaError(
+                f"line {lineno}: seq {obj['seq']} not greater than "
+                f"previous {last_seq}"
+            )
+        last_seq = obj["seq"]
+        if run is None:
+            run = obj["run"]
+        elif obj["run"] != run:
+            raise SchemaError(
+                f"line {lineno}: run id changed mid-trace "
+                f"({run!r} -> {obj['run']!r})"
+            )
+        kind = obj["ev"]
+        if kind == "span_begin":
+            if obj["id"] in begun:
+                raise SchemaError(
+                    f"line {lineno}: span id {obj['id']} begun twice"
+                )
+            begun[obj["id"]] = obj["name"]
+        elif kind == "span_end":
+            if obj["id"] not in begun:
+                raise SchemaError(
+                    f"line {lineno}: span_end for unknown span {obj['id']}"
+                )
+            if obj["id"] in closed:
+                raise SchemaError(
+                    f"line {lineno}: span {obj['id']} ended twice"
+                )
+            closed.add(obj["id"])
+        if kind in _PARENTED and obj["parent"] is not None:
+            if obj["parent"] not in begun:
+                raise SchemaError(
+                    f"line {lineno}: parent {obj['parent']} never begun"
+                )
+    return {
+        "events": events,
+        "spans": len(begun),
+        "unclosed": sorted(set(begun) - closed),
+        "run": run,
+    }
+
+
+def load_events(path):
+    """Parse and validate a trace file; returns (events list, summary)."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.readlines()
+    summary = validate_trace(lines)
+    for raw in lines:
+        raw = raw.strip()
+        if raw:
+            events.append(json.loads(raw))
+    return events, summary

@@ -7,7 +7,7 @@ in GTKWave & co.  Useful when debugging a completed design against the ISS.
 
 from __future__ import annotations
 
-__all__ = ["VcdRecorder"]
+__all__ = ["VcdRecorder", "write_counterexample_vcd"]
 
 _ID_CHARS = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
 
@@ -19,6 +19,45 @@ def _short_id(index):
         index, rem = divmod(index - 1, len(_ID_CHARS))
         chars.append(_ID_CHARS[rem])
     return "".join(chars)
+
+
+def write_counterexample_vcd(path, values, widths, scope="counterexample"):
+    """Dump one assignment (a CEGIS counterexample) as a single-step VCD.
+
+    A counterexample is a point in state space, not a simulation run, so
+    the waveform has exactly one timestep: every signal takes its
+    falsifying value at ``#0``.  Viewable in GTKWave like any other dump,
+    which is the reason to bother — "the verify query failed" becomes a
+    waveform with the offending register and input values side by side.
+
+    ``values`` maps signal name to int; ``widths`` maps signal name to bit
+    width (signals missing from ``widths`` default to width 1).  Returns
+    ``path``.
+    """
+    names = sorted(values)
+    ids = {name: _short_id(index) for index, name in enumerate(names)}
+    lines = [
+        "$date counterexample $end",
+        "$timescale 1ns $end",
+        f"$scope module {scope} $end",
+    ]
+    for name in names:
+        width = widths.get(name, 1)
+        safe = name.replace(" ", "_")
+        lines.append(f"$var wire {width} {ids[name]} {safe} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    lines.append("#0")
+    for name in names:
+        value = values[name]
+        if widths.get(name, 1) == 1:
+            lines.append(f"{value}{ids[name]}")
+        else:
+            lines.append(f"b{value:b} {ids[name]}")
+    lines.append("#1")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    return path
 
 
 class VcdRecorder:

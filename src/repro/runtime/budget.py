@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime.errors import BudgetExhausted, ResourceExceeded
 
 try:  # pragma: no cover - platform gate
@@ -55,7 +57,8 @@ class Budget:
     """
 
     __slots__ = ("_clock", "started", "deadline", "max_conflicts",
-                 "conflicts_used", "max_memory_bytes", "_parent")
+                 "conflicts_used", "max_memory_bytes", "_parent",
+                 "_reported")
 
     def __init__(self, timeout=None, max_conflicts=None, max_memory_mb=None,
                  clock=time.monotonic, _parent=None):
@@ -71,6 +74,7 @@ class Budget:
             None if max_memory_mb is None else int(max_memory_mb * 1024 * 1024)
         )
         self._parent = _parent
+        self._reported = False
 
     # -- construction ----------------------------------------------------
 
@@ -111,7 +115,13 @@ class Budget:
         return remaining
 
     def charge_conflicts(self, count):
-        """Record ``count`` conflicts against this budget and its ancestors."""
+        """Record ``count`` conflicts against this budget and its ancestors.
+
+        Called once per facade check on the leaf budget (the parent walk is
+        internal), so the metrics counter sees each conflict exactly once.
+        """
+        if count:
+            _METRICS.inc("budget.conflicts_charged", count)
         node = self
         while node is not None:
             node.conflicts_used += count
@@ -139,13 +149,23 @@ class Budget:
     def check(self):
         """Raise :class:`BudgetExhausted` if any cap in the chain is hit."""
         reason = self.exhausted_reason()
+        if reason is None:
+            # Hot path: polled at the SAT core's cancellation checkpoints,
+            # so the within-budget branch stays instrumentation-free.
+            return
+        if not self._reported:
+            self._reported = True
+            _METRICS.inc("budget.exhausted")
+            _METRICS.inc(f"budget.exhausted.{reason}")
+            _obs.event("budget.exhausted", reason=reason,
+                       elapsed=self.elapsed(),
+                       conflicts_used=self.conflicts_used)
         if reason == "memory":
             raise ResourceExceeded(
                 f"memory cap of {self.max_memory_bytes // (1024 * 1024)} MB "
                 "exceeded"
             )
-        if reason is not None:
-            raise BudgetExhausted(reason=reason)
+        raise BudgetExhausted(reason=reason)
 
     def __repr__(self):
         caps = []

@@ -36,6 +36,9 @@ from __future__ import annotations
 import random
 from contextlib import contextmanager
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
+
 __all__ = ["FaultInjector", "active_injector", "install", "clear"]
 
 _ACTIVE = None
@@ -115,12 +118,20 @@ class FaultInjector:
 
     # -- facade hooks -----------------------------------------------------
 
+    def _record(self, kind, ordinal):
+        """Append to the fired log and surface the fault as obs telemetry,
+        so a traced run shows exactly which faults actually landed."""
+        self.fired.append((kind, ordinal))
+        _METRICS.inc("faults.injected")
+        _obs.event("fault.injected", kind=kind, ordinal=ordinal,
+                   seed=self.seed)
+
     def on_check(self):
         """Called by ``Solver.check``; returns an UNKNOWN reason or None."""
         self.check_count += 1
         reason = self._unknown_at.get(self.check_count)
         if reason is not None:
-            self.fired.append(("unknown:" + reason, self.check_count))
+            self._record("unknown:" + reason, self.check_count)
         return reason
 
     def on_worker_request(self):
@@ -135,7 +146,7 @@ class FaultInjector:
         if directive is None:
             directive = self._worker_always
         if directive is not None:
-            self.fired.append(("worker:" + directive, self.request_count))
+            self._record("worker:" + directive, self.request_count)
         return directive
 
     def on_model(self, values):
@@ -143,7 +154,7 @@ class FaultInjector:
         self.model_count += 1
         if self.model_count not in self._malformed_at:
             return values
-        self.fired.append(("malformed_model", self.model_count))
+        self._record("malformed_model", self.model_count)
         rng = random.Random(self.seed * 1_000_003 + self.model_count)
         corrupted = {}
         for name in sorted(values):
@@ -155,10 +166,24 @@ class FaultInjector:
 
     @contextmanager
     def installed(self):
-        """Install for the duration of a ``with`` block (re-entrant safe)."""
+        """Install for the duration of a ``with`` block (re-entrant safe).
+
+        A traced run brackets the installation with ``fault.installed`` /
+        ``fault.uninstalled`` events — the seed on entry and the full
+        fired log on exit — so the injection plan that shaped a trace is
+        recorded *in* the trace.
+        """
         previous = active_injector()
         install(self)
+        _obs.event("fault.installed", seed=self.seed,
+                   planned_checks=len(self._unknown_at),
+                   planned_models=len(self._malformed_at),
+                   planned_workers=len(self._worker_at),
+                   persistent_worker=self._worker_always or "")
         try:
             yield self
         finally:
             install(previous)
+            _obs.event("fault.uninstalled", seed=self.seed,
+                       fired=[f"{kind}@{ordinal}"
+                              for kind, ordinal in self.fired])

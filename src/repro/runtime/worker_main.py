@@ -153,6 +153,7 @@ def _serve(request, write, heartbeat, mem_limit_mb):
             time.sleep(3600)
         if fault == "oom":
             _inject_oom(mem_limit_mb)
+        started = time.monotonic()
         cnf = from_dimacs(request["dimacs"])
         timeout = request.get("timeout")
         deadline = None if timeout is None else time.monotonic() + timeout
@@ -167,6 +168,21 @@ def _serve(request, write, heartbeat, mem_limit_mb):
             _, _, reason = verdict.partition(":")
             verdict = "unknown"
         heartbeat.end()
+        if request.get("trace"):
+            # Worker-side provenance rides the same line protocol; the
+            # parent pool forwards it onto the installed tracer.  Plain
+            # dicts only — this process deliberately imports no obs code.
+            write({
+                "id": request_id,
+                "obs": {
+                    "verdict": verdict,
+                    "reason": reason or "",
+                    "conflicts": conflicts,
+                    "clauses": len(cnf.clauses),
+                    "vars": cnf.num_vars,
+                    "wall": time.monotonic() - started,
+                },
+            })
         write({
             "id": request_id,
             "verdict": verdict,

@@ -42,6 +42,8 @@ import time
 from dataclasses import dataclass
 from queue import Empty, Queue
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime import faults as _faults
 from repro.runtime.errors import WorkerCrashed, WorkerKilled
 from repro.runtime._worker_proto import EXIT_OOM
@@ -166,6 +168,7 @@ class SolverWorkerPool:
         with self._lock:
             self.stats["spawned"] += 1
             self.spawned_pids.append(handle.pid)
+        _METRICS.inc("worker.spawned")
         return handle
 
     def _reap(self, handle):
@@ -178,6 +181,7 @@ class SolverWorkerPool:
         with self._lock:
             self.stats["reaped"] += 1
             closed = self._closed
+        _METRICS.inc("worker.reaped")
         if not closed:
             self._idle.put(self._spawn())
         return code
@@ -222,6 +226,7 @@ class SolverWorkerPool:
             with self._lock:
                 if handle.proc.returncode is not None:
                     self.stats["reaped"] += 1
+                    _METRICS.inc("worker.reaped")
         if self._watchdog.is_alive():
             self._watchdog.join(timeout=1.0)
         orphans = [h.pid for h in handles if h.alive()]
@@ -272,11 +277,22 @@ class SolverWorkerPool:
                 if silent_for > self.watchdog_grace * self.heartbeat_interval:
                     with self._lock:
                         self.stats["watchdog_kills"] += 1
+                    _METRICS.inc("worker.watchdog_kills")
+                    _METRICS.inc("worker.kills.heartbeat_lost")
+                    # The watchdog thread owns no span; the kill is still
+                    # worth a (parentless) mark on the timeline.
+                    _obs.event("worker.killed", span_parent=None,
+                               reason="heartbeat-lost", pid=handle.pid,
+                               silent_for=silent_for)
                     handle.kill("heartbeat-lost")
                 elif (handle.deadline is not None
                         and now > handle.deadline + self.heartbeat_interval):
                     with self._lock:
                         self.stats["watchdog_kills"] += 1
+                    _METRICS.inc("worker.watchdog_kills")
+                    _METRICS.inc("worker.kills.deadline")
+                    _obs.event("worker.killed", span_parent=None,
+                               reason="deadline", pid=handle.pid)
                     handle.kill("deadline")
 
     # -- circuit breaker -------------------------------------------------
@@ -290,6 +306,9 @@ class SolverWorkerPool:
     def note_fallback(self, key):
         with self._lock:
             self.stats["fallbacks"] += 1
+        _METRICS.inc("worker.fallbacks")
+        _obs.event("worker.fallback",
+                   failures=self._failures.get(key, 0))
 
     def _note_failure(self, key):
         if key is None:
@@ -317,6 +336,7 @@ class SolverWorkerPool:
             raise RuntimeError("worker pool is shut down")
         with self._lock:
             self.stats["requests"] += 1
+        _METRICS.inc("worker.requests")
         directive = None
         injector = _faults.active_injector()
         if injector is not None:
@@ -338,6 +358,9 @@ class SolverWorkerPool:
                 "timeout": timeout,
                 "seed": seed,
                 "fault": directive,
+                # Workers import no obs code; this flag asks the child to
+                # ship its own provenance back over the wire protocol.
+                "trace": _obs.active_tracer() is not None,
             })
         except (WorkerCrashed, WorkerKilled):
             # The handle must never return to the idle queue, even if the
@@ -375,11 +398,20 @@ class SolverWorkerPool:
                 continue
             if message.get("id") != request["id"]:
                 continue  # stale line from a previous request
+            if "obs" in message:
+                # Worker-side provenance riding the wire protocol: emit it
+                # on the parent's tracer, parented to the submitter
+                # thread's current span (the owning solver check).
+                _obs.event("worker.check", pid=handle.pid,
+                           **message["obs"])
+                continue
             if message.get("crashed") == "oom":
                 # The worker reported the breach before dying; the EOF
                 # and EXIT_OOM follow, but this is the authoritative word.
                 with self._lock:
                     self.stats["crashes"] += 1
+                _METRICS.inc("worker.crashes")
+                _METRICS.inc("worker.crashes.oom")
                 raise WorkerCrashed(
                     "worker memory rlimit breached mid-check",
                     reason="worker-oom", exit_code=EXIT_OOM,
@@ -400,6 +432,9 @@ class SolverWorkerPool:
             code = handle.proc.wait()
         with self._lock:
             self.stats["crashes"] += 1
+        _METRICS.inc("worker.crashes")
+        _obs.event("worker.death", pid=handle.pid, exit_code=code,
+                   kill_reason=handle.kill_reason or "")
         if handle.kill_reason == "heartbeat-lost":
             return WorkerKilled(
                 f"watchdog killed worker {handle.pid} (heartbeat lost)",

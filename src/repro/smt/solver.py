@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 import warnings
 
+from repro.obs import trace as _obs
 from repro.runtime import faults as _faults
 from repro.smt.aig import FALSE_LIT, TRUE_LIT
 from repro.smt.bitblast import BitBlaster
@@ -231,7 +232,53 @@ class Solver:
         ``reason`` names the exhausted cap (``"deadline"``,
         ``"conflicts"``, ``"memory"``) or ``"injected"`` under fault
         injection.
+
+        When a :class:`repro.obs.Tracer` is installed, every check —
+        including assumption-based incremental checks and isolated worker
+        checks — emits a ``solver.check`` provenance event carrying the
+        query kind (the enclosing span), clause/variable counts, conflicts
+        consumed, the verdict, wall time, and the owning span id, so a run
+        is fully reconstructible post-hoc.  With no tracer (the default)
+        this wrapper costs one global read.
         """
+        tracer = _obs.active_tracer()
+        if tracer is None:
+            return self._check(max_conflicts, timeout, budget, assumptions)
+        started = time.monotonic()
+        conflicts_before = self.conflicts
+        worker_checks_before = self.stats["worker_checks"]
+        verdict = None
+        try:
+            verdict = self._check(max_conflicts, timeout, budget,
+                                  assumptions)
+            return verdict
+        finally:
+            if verdict is None:
+                result, reason = "raised", ""
+            else:
+                result = verdict.name
+                reason = getattr(verdict, "reason", "") or ""
+                if reason == "unspecified":
+                    reason = ""
+            tracer.event(
+                "solver.check",
+                kind=tracer.current_span_name(),
+                result=result,
+                reason=reason,
+                wall=time.monotonic() - started,
+                conflicts=self.conflicts - conflicts_before,
+                clauses=len(self._sat.clauses),
+                vars=self._sat.num_vars,
+                asserts=self.stats["asserts"],
+                assumptions=len(assumptions)
+                if hasattr(assumptions, "__len__") else -1,
+                execution="isolated"
+                if self.stats["worker_checks"] > worker_checks_before
+                else "inprocess",
+            )
+
+    def _check(self, max_conflicts=None, timeout=None, budget=None,
+               assumptions=()):
         self.stats["checks"] += 1
         self._remote_model = None
         injector = _faults.active_injector()

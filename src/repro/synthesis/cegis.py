@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import time
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime import (
     Budget,
     BudgetExhausted,
@@ -194,80 +196,120 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
     guess_solver = Solver(execution=execution, worker_pool=worker_pool,
                           blaster=guess_blaster)
 
+    verify_mode = ("incremental" if incremental
+                   else "substitution" if partial_eval else "ablation")
+
     def verify_candidate(cand):
         """One verify check for ``cand``; returns (verdict, verifier)."""
         started = time.monotonic()
-        if incremental:
-            verifier = shared_verifier
-            conflicts_before = verifier.conflicts
-            assumptions = [selector] + candidate_assumptions(
-                hole_by_name, cand
-            )
-            verdict = _checked(verifier, budget, retry_policy, stats,
-                               side="verification", assumptions=assumptions)
-        elif partial_eval:
-            verifier = Solver(execution=execution, worker_pool=worker_pool)
-            conflicts_before = 0
-            substitution = {
-                hole_by_name[name]: T.bv_const(value,
-                                               hole_by_name[name].width)
-                for name, value in cand.items()
-            }
-            verifier.add(T.bv_not(T.substitute(formula, substitution)))
-            verdict = _checked(verifier, budget, retry_policy, stats,
-                               side="verification")
-        else:
-            verifier = Solver(execution=execution, worker_pool=worker_pool)
-            conflicts_before = 0
-            verifier.add(T.bv_not(formula))
-            for name, value in cand.items():
-                var = hole_by_name[name]
-                verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
-            verdict = _checked(verifier, budget, retry_policy, stats,
-                               side="verification")
+        with _obs.span("cegis.verify", mode=verify_mode):
+            if incremental:
+                verifier = shared_verifier
+                conflicts_before = verifier.conflicts
+                assumptions = [selector] + candidate_assumptions(
+                    hole_by_name, cand
+                )
+                verdict = _checked(verifier, budget, retry_policy, stats,
+                                   side="verification",
+                                   assumptions=assumptions)
+            elif partial_eval:
+                verifier = Solver(execution=execution,
+                                  worker_pool=worker_pool)
+                conflicts_before = 0
+                substitution = {
+                    hole_by_name[name]: T.bv_const(value,
+                                                   hole_by_name[name].width)
+                    for name, value in cand.items()
+                }
+                verifier.add(T.bv_not(T.substitute(formula, substitution)))
+                verdict = _checked(verifier, budget, retry_policy, stats,
+                                   side="verification")
+            else:
+                verifier = Solver(execution=execution,
+                                  worker_pool=worker_pool)
+                conflicts_before = 0
+                verifier.add(T.bv_not(formula))
+                for name, value in cand.items():
+                    var = hole_by_name[name]
+                    verifier.add(T.bv_eq(var, T.bv_const(value, var.width)))
+                verdict = _checked(verifier, budget, retry_policy, stats,
+                                   side="verification")
         stats.verify_time += time.monotonic() - started
         stats.verify_conflicts += verifier.conflicts - conflicts_before
         return verdict, verifier
 
     for _ in range(max_iterations):
         stats.iterations += 1
-        # -- verify ---------------------------------------------------------
-        verdict, verifier = verify_candidate(candidate)
-        if verdict is UNSAT:
-            if canonicalize:
-                candidate = _zero_polish(candidate, hole_vars,
-                                         verify_candidate, stats)
-            return dict(candidate)
-        model = verifier.model()
-        counterexample = {
-            var: T.bv_const(
-                _validated(model, var, side="verification"), var.width
-            )
-            for var in forall_vars
-        }
-        # -- guess -----------------------------------------------------------
-        started = time.monotonic()
-        folded = T.substitute(formula, counterexample)
-        conflicts_before = guess_solver.conflicts
-        guess_solver.add(folded)
-        verdict = _checked(guess_solver, budget, retry_policy, stats,
-                           side="candidate search")
-        stats.guess_time += time.monotonic() - started
-        stats.guess_conflicts += guess_solver.conflicts - conflicts_before
-        if verdict is UNSAT:
-            raise SynthesisFailure(
-                "no hole constants satisfy the specification; the datapath "
-                "sketch cannot implement this instruction"
-            )
-        model = guess_solver.model()
-        candidate = {
-            var.name: _validated(model, var, side="candidate search")
-            for var in hole_vars
-        }
+        _METRICS.inc("cegis.iterations")
+        with _obs.span("cegis.iteration", n=stats.iterations):
+            # -- verify -----------------------------------------------------
+            verdict, verifier = verify_candidate(candidate)
+            if verdict is UNSAT:
+                if canonicalize:
+                    with _obs.span("cegis.polish"):
+                        candidate = _zero_polish(candidate, hole_vars,
+                                                 verify_candidate, stats)
+                return dict(candidate)
+            model = verifier.model()
+            cex_values = {
+                var.name: _validated(model, var, side="verification")
+                for var in forall_vars
+            }
+            counterexample = {
+                var: T.bv_const(cex_values[var.name], var.width)
+                for var in forall_vars
+            }
+            _record_counterexample(cex_values, forall_vars, stats)
+            # -- guess ------------------------------------------------------
+            started = time.monotonic()
+            with _obs.span("cegis.guess"):
+                folded = T.substitute(formula, counterexample)
+                conflicts_before = guess_solver.conflicts
+                guess_solver.add(folded)
+                verdict = _checked(guess_solver, budget, retry_policy, stats,
+                                   side="candidate search")
+            stats.guess_time += time.monotonic() - started
+            stats.guess_conflicts += (guess_solver.conflicts
+                                      - conflicts_before)
+            if verdict is UNSAT:
+                raise SynthesisFailure(
+                    "no hole constants satisfy the specification; the "
+                    "datapath sketch cannot implement this instruction"
+                )
+            model = guess_solver.model()
+            candidate = {
+                var.name: _validated(model, var, side="candidate search")
+                for var in hole_vars
+            }
     raise SynthesisTimeout(
         f"CEGIS did not converge within {max_iterations} iterations",
         reason="iterations",
     )
+
+
+def _record_counterexample(values, forall_vars, stats):
+    """Record a failed verify's counterexample on the active tracer.
+
+    The falsifying state is dumped as a single-timestep VCD under the
+    trace's artifact directory, and the ``cegis.counterexample`` event
+    carries the path — the bridge from "a verify query came back SAT" to
+    "here is the waveform that refuted the candidate".  No tracer, no
+    work; a VCD write failure degrades to an event without a path.
+    """
+    tracer = _obs.active_tracer()
+    if tracer is None:
+        return
+    from repro.oyster import vcd as _vcd
+
+    path = tracer.artifact_path(f"cex-iter{stats.iterations}.vcd")
+    try:
+        _vcd.write_counterexample_vcd(
+            path, values, {var.name: var.width for var in forall_vars}
+        )
+    except OSError:
+        path = None
+    tracer.event("cegis.counterexample", iteration=stats.iterations,
+                 vars=len(values), vcd=path)
 
 
 def _zero_polish(candidate, hole_vars, verify_candidate, stats):
@@ -313,6 +355,10 @@ def _checked(solver, budget, retry_policy, stats, side, assumptions=()):
     def attempt_check(attempt):
         if attempt.index:
             stats.retries += 1
+            _METRICS.inc("cegis.retries")
+            _obs.event("cegis.retry", attempt=attempt.index, side=side,
+                       max_conflicts=attempt.max_conflicts,
+                       seed=attempt.seed)
             if attempt.seed is not None:
                 solver.reseed(attempt.seed)
         verdict = solver.check(max_conflicts=attempt.max_conflicts,

@@ -11,6 +11,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _obs
 from repro.oyster import ast as oy
 from repro.oyster.analysis import expr_vars, stmt_uses
 from repro.oyster.typecheck import check_design
@@ -128,11 +130,13 @@ def synthesize(problem, mode="per_instruction", timeout=None,
             # escalation policy so crashes land on fresh workers.
             retry_policy = RetryPolicy()
     try:
-        return _synthesize(
-            problem, mode, started, max_iterations, check_independence,
-            progress, partial_eval, budget, retry_policy, on_timeout,
-            resume_from, execution, worker_pool, pipeline,
-        )
+        with _obs.span("synthesis.run", problem=problem.name, mode=mode,
+                       execution=execution, pipeline=pipeline):
+            return _synthesize(
+                problem, mode, started, max_iterations, check_independence,
+                progress, partial_eval, budget, retry_policy, on_timeout,
+                resume_from, execution, worker_pool, pipeline,
+            )
     finally:
         if owned_pool is not None:
             accounting = owned_pool.shutdown()
@@ -148,6 +152,11 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
                 resume_from, execution, worker_pool, pipeline):
     stats = {"mode": mode, "execution": execution, "pipeline": pipeline}
     encode_before = _counters.snapshot()
+    # The trace's opening metrics snapshot is taken at the same point as
+    # ``encode_before`` (and the closing one where ``stats["counters"]``
+    # is computed), so a report's first-to-last encode deltas reproduce
+    # the run's own accounting exactly.
+    _obs.event("metrics.snapshot", **_metrics.snapshot())
     resume_solutions = _resume_solutions(problem, mode, resume_from)
     if resume_solutions:
         stats["resumed_instructions"] = sorted(resume_solutions)
@@ -254,6 +263,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
     # Whole-run encode accounting (partial results instead carry the
     # per-instruction deltas on their completed solutions).
     stats["counters"] = _counters.delta_since(encode_before)
+    _obs.event("metrics.snapshot", **_metrics.snapshot())
     return SynthesisResult(
         problem_name=problem.name,
         mode=mode,
@@ -292,13 +302,16 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
     executor = ThreadPoolExecutor(
         max_workers=worker_pool.size, thread_name_prefix="synth-dispatch"
     )
+    # Dispatch threads start with empty span stacks; pinning the parent
+    # explicitly keeps their spans attached to the run instead of orphaned.
+    parent_span = _obs.current_span_id()
     try:
         futures = {}
         for index, instruction in pending:
             future = executor.submit(
                 _solve_one, problem, instruction, index, budget,
                 retry_policy, max_iterations, partial_eval, worker_pool,
-                pipeline,
+                pipeline, parent_span,
             )
             futures[future] = instruction
         for future in as_completed(futures):
@@ -331,17 +344,20 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
 
 
 def _solve_one(problem, instruction, index, budget, retry_policy,
-               max_iterations, partial_eval, worker_pool, pipeline):
+               max_iterations, partial_eval, worker_pool, pipeline,
+               span_parent=None):
     # incremental_ctx stays None here: each dispatch thread gets its own
     # context inside cegis_solve (an IncrementalContext is serial), while
     # the precompiled TraceEntry is still shared read-only.
-    budget.check()
-    return synthesize_instruction(
-        problem, instruction, index, budget=budget.child(),
-        retry_policy=retry_policy, max_iterations=max_iterations,
-        partial_eval=partial_eval, execution="isolated",
-        worker_pool=worker_pool, pipeline=pipeline,
-    )
+    with _obs.span("synthesis.dispatch", span_parent=span_parent,
+                   instr=instruction.name):
+        budget.check()
+        return synthesize_instruction(
+            problem, instruction, index, budget=budget.child(),
+            retry_policy=retry_policy, max_iterations=max_iterations,
+            partial_eval=partial_eval, execution="isolated",
+            worker_pool=worker_pool, pipeline=pipeline,
+        )
 
 
 def _resume_solutions(problem, mode, resume_from):
@@ -373,6 +389,10 @@ def _resume_solutions(problem, mode, resume_from):
 
 
 def _partial(problem, mode, solved, reason, started, stats, faults):
+    # Degraded runs still close their trace with a metrics snapshot, so a
+    # truncated trace's encode deltas cover everything up to the stop.
+    _obs.event("metrics.snapshot", stop_reason=reason,
+               **_metrics.snapshot())
     order = [i.name for i in problem.spec.instructions]
     return PartialSynthesisResult(
         problem_name=problem.name,

@@ -50,6 +50,8 @@ happen in the engine process — workers still receive plain DIMACS.
 from __future__ import annotations
 
 from repro.ila.compiler import ConstraintCompiler
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.oyster.memory import SymbolicMemory
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import terms as T
@@ -201,11 +203,16 @@ class TraceCache:
         if entry is None:
             self.misses += 1
             COUNTERS.trace_cache_misses += 1
-            entry = TraceEntry(problem)
+            _METRICS.inc("trace_cache.misses")
+            with _obs.span("trace_cache.build",
+                           cycles=problem.alpha.cycles):
+                entry = TraceEntry(problem)
             self._entries[key] = entry
         else:
             self.hits += 1
             COUNTERS.trace_cache_hits += 1
+            _METRICS.inc("trace_cache.hits")
+            _obs.event("trace_cache.hit")
         return entry
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import time
 
 from repro.ila.compiler import ConstraintCompiler
+from repro.obs import trace as _obs
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import counters as _counters
 from repro.smt import terms as T
@@ -74,6 +75,19 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
     """
     started = time.monotonic()
     pipeline = resolve_pipeline(pipeline, partial_eval)
+    with _obs.span("synthesis.instruction", instr=instruction.name,
+                   pipeline=pipeline):
+        return _synthesize_instruction(
+            problem, instruction, index, started, timeout, max_iterations,
+            partial_eval, budget, retry_policy, execution, worker_pool,
+            pipeline, incremental_ctx,
+        )
+
+
+def _synthesize_instruction(problem, instruction, index, started, timeout,
+                            max_iterations, partial_eval, budget,
+                            retry_policy, execution, worker_pool, pipeline,
+                            incremental_ctx):
     encode_before = _counters.snapshot()
     if pipeline == "incremental":
         entry = problem.trace_cache().entry(problem)
@@ -81,7 +95,9 @@ def synthesize_instruction(problem, instruction, index, timeout=None,
         trace_holes = entry.trace.hole_values
     else:
         prefix = f"i{index}!"
-        formula, trace, _ = instruction_formula(problem, instruction, prefix)
+        with _obs.span("synthesis.evaluate", instr=instruction.name):
+            formula, trace, _ = instruction_formula(problem, instruction,
+                                                    prefix)
         trace_holes = trace.hole_values
     hole_vars = [
         trace_holes[hole.name] for hole in problem.sketch.holes

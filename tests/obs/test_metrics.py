@@ -1,0 +1,67 @@
+"""MetricsRegistry: snapshot/delta semantics and the encode-counter merge."""
+
+import threading
+
+from repro.obs import METRICS, MetricsRegistry
+from repro.smt.counters import COUNTERS
+
+
+def test_inc_get_snapshot_delta():
+    registry = MetricsRegistry()
+    registry.inc("worker.crashes")
+    registry.inc("worker.crashes")
+    registry.inc("budget.conflicts_charged", 41)
+    assert registry.get("worker.crashes") == 2
+    assert registry.get("never.touched") == 0
+
+    before = registry.snapshot()
+    registry.inc("worker.crashes")
+    registry.inc("born.later", 7)
+    delta = registry.delta_since(before)
+    assert delta["worker.crashes"] == 1
+    assert delta["born.later"] == 7
+    assert delta["budget.conflicts_charged"] == 0
+
+
+def test_snapshot_merges_encode_counters_under_prefix():
+    registry = MetricsRegistry()
+    before = registry.snapshot()
+    assert "encode.aig_nodes" in before
+    assert "encode.tseitin_clauses" in before
+    COUNTERS.tseitin_clauses += 3
+    try:
+        delta = registry.delta_since(before)
+        assert delta["encode.tseitin_clauses"] == 3
+    finally:
+        COUNTERS.tseitin_clauses -= 3
+
+
+def test_registry_own_counters_shadow_nothing():
+    # A registry counter may NOT collide with the encode namespace: the
+    # merge gives the registry's own counts the last word, so producers
+    # must stay out of ``encode.``.  This documents the convention.
+    registry = MetricsRegistry()
+    snapshot = registry.snapshot()
+    own = [name for name in snapshot if not name.startswith("encode.")]
+    assert all(not name.startswith("encode.") for name in own)
+
+
+def test_concurrent_increments_do_not_lose_counts():
+    registry = MetricsRegistry()
+
+    def hammer():
+        for _ in range(1000):
+            registry.inc("contended")
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.get("contended") == 4000
+
+
+def test_global_registry_reset_is_test_hygiene_only():
+    before = METRICS.get("obs.test.probe")
+    METRICS.inc("obs.test.probe")
+    assert METRICS.get("obs.test.probe") == before + 1

@@ -1,0 +1,172 @@
+"""Tracer core: event schema round-trip, nesting, and the no-op fast path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    SchemaError,
+    Tracer,
+    active_tracer,
+    event,
+    installed,
+    span,
+    validate_event,
+    validate_trace,
+)
+from repro.obs.schema import load_events
+from repro.obs.trace import _NULL_SPAN
+
+
+def test_written_events_round_trip_through_schema(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(path, run_id="roundtrip")
+    with installed(tracer):
+        with span("outer", instr="add"):
+            with span("inner"):
+                event("solver.check", result="sat", wall=0.25)
+        event("loose")
+    tracer.close()
+
+    events, summary = load_events(path)
+    assert summary["run"] == "roundtrip"
+    assert summary["spans"] == 2
+    assert summary["unclosed"] == []
+    # run_begin + 2 begins + 2 ends + 2 point events
+    assert summary["events"] == 7
+    for ev in events:
+        validate_event(ev)  # must not raise
+
+    begins = {e["name"]: e for e in events if e["ev"] == "span_begin"}
+    assert begins["outer"]["parent"] is None
+    assert begins["outer"]["attrs"] == {"instr": "add"}
+    assert begins["inner"]["parent"] == begins["outer"]["id"]
+    checks = [e for e in events if e["ev"] == "event"]
+    assert checks[0]["parent"] == begins["inner"]["id"]
+    assert checks[0]["attrs"] == {"result": "sat", "wall": 0.25}
+    assert checks[1]["parent"] is None  # emitted after both spans closed
+    ends = [e for e in events if e["ev"] == "span_end"]
+    assert all(e["dur"] >= 0 for e in ends)
+
+
+def test_seq_is_strictly_increasing_and_file_order(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(path)
+    with installed(tracer):
+        for _ in range(20):
+            event("tick")
+    tracer.close()
+    seqs = [json.loads(line)["seq"]
+            for line in path.read_text().splitlines()]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_span_error_recorded_and_trace_stays_valid(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(path)
+    with installed(tracer):
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+    tracer.close()
+    events, summary = load_events(path)
+    assert summary["unclosed"] == []
+    end = next(e for e in events if e["ev"] == "span_end")
+    assert end["attrs"]["error"] == "ValueError"
+
+
+def test_truncated_trace_reports_unclosed_not_error(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(path)
+    with installed(tracer):
+        ctx = span("never-ends")
+        ctx.__enter__()
+        event("mid")
+    tracer.close()  # hard-kill analogue: span_end never written
+    events, summary = load_events(path)
+    assert len(summary["unclosed"]) == 1
+    assert events  # still fully parseable
+
+
+def test_validate_trace_rejects_structural_violations():
+    good = {"ev": "span_begin", "ts": 1.0, "run": "r", "tid": 1, "seq": 1,
+            "id": 1, "parent": None, "name": "s", "attrs": {}}
+    with pytest.raises(SchemaError, match="seq"):
+        validate_trace([json.dumps(good),
+                        json.dumps(dict(good, id=2, seq=1))])
+    with pytest.raises(SchemaError, match="begun twice"):
+        validate_trace([json.dumps(good),
+                        json.dumps(dict(good, seq=2))])
+    with pytest.raises(SchemaError, match="never begun"):
+        validate_trace([json.dumps(dict(good, parent=99))])
+    with pytest.raises(SchemaError, match="not valid JSON"):
+        validate_trace(["{nope"])
+    with pytest.raises(SchemaError, match="missing required field"):
+        validate_event({"ev": "event"})
+
+
+def test_cross_thread_parent_pinning(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(path)
+    with installed(tracer):
+        with span("dispatcher") as parent:
+            def work():
+                with span("worker-side", span_parent=parent.id):
+                    event("inside")
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+    tracer.close()
+    events, _ = load_events(path)
+    begins = {e["name"]: e for e in events if e["ev"] == "span_begin"}
+    assert begins["worker-side"]["parent"] == begins["dispatcher"]["id"]
+    assert begins["worker-side"]["tid"] != begins["dispatcher"]["tid"]
+
+
+def test_installed_scoping_restores_previous(tmp_path):
+    outer = Tracer(tmp_path / "outer.jsonl")
+    inner = Tracer(tmp_path / "inner.jsonl")
+    assert active_tracer() is None
+    with installed(outer):
+        with installed(inner):
+            assert active_tracer() is inner
+        assert active_tracer() is outer
+    assert active_tracer() is None
+    outer.close()
+    inner.close()
+
+
+def test_disabled_tracing_is_allocation_free_noop():
+    assert active_tracer() is None
+    assert span("anything", instr="x") is _NULL_SPAN
+    assert event("anything") is None  # no-op, no error
+
+
+def test_disabled_tracing_overhead_guard():
+    """The no-op fast path must stay cheap enough to leave in hot loops.
+
+    100k disabled span entries complete in well under half a second on
+    any machine this suite runs on (measured ~30ms); a regression that
+    adds allocation or locking to the disabled path trips this long
+    before it trips the <5% bench budget.
+    """
+    assert active_tracer() is None
+    started = time.monotonic()
+    for _ in range(100_000):
+        with span("hot", attr=1):
+            pass
+    elapsed = time.monotonic() - started
+    assert elapsed < 0.5, f"disabled span path took {elapsed:.3f}s/100k"
+
+
+def test_artifact_paths_are_unique_and_housed(tmp_path):
+    tracer = Tracer(tmp_path / "t.jsonl")
+    first = tracer.artifact_path("cex.vcd")
+    second = tracer.artifact_path("cex.vcd")
+    assert first != second
+    assert "t-artifacts" in first
+    tracer.close()

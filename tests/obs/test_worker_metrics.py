@@ -1,0 +1,168 @@
+"""Worker-pool health metrics and obs events under injected faults.
+
+Each test drives a real subprocess pool through a fault scenario (crash,
+hang, oom — the same scenarios ``tests/runtime/test_workers.py`` uses for
+containment) and asserts the unified :data:`repro.obs.METRICS` registry
+counted exactly what happened, and that the tracer saw the corresponding
+events with correct attribution.
+"""
+
+import pytest
+
+from repro.obs import METRICS, Tracer, installed, span
+from repro.obs.schema import load_events
+from repro.runtime import (
+    FaultInjector,
+    SolverWorkerPool,
+    WorkerCrashed,
+    WorkerKilled,
+)
+from repro.smt import terms as T
+from repro.smt.dimacs import to_dimacs
+
+
+def _sat_query():
+    x = T.bv_var("wm", 4)
+    return to_dimacs([T.bv_eq(x, T.bv_const(9, 4))])
+
+
+def test_crash_metrics_and_recovery_accounting():
+    before = METRICS.snapshot()
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1)
+    try:
+        injector = FaultInjector().inject_worker_crash(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerCrashed):
+                pool.check(_sat_query())
+        assert pool.check(_sat_query()).verdict == "sat"
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+    delta = METRICS.delta_since(before)
+    assert delta["worker.requests"] == 2
+    assert delta["worker.crashes"] == 1
+    assert delta.get("worker.crashes.oom", 0) == 0
+    assert delta.get("worker.watchdog_kills", 0) == 0
+    # Initial worker + the respawned replacement; both reaped by shutdown.
+    assert delta["worker.spawned"] == 2
+    assert delta["worker.spawned"] == delta["worker.reaped"]
+
+
+def test_hang_metrics_attribute_watchdog_kill():
+    before = METRICS.snapshot()
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.25)
+    try:
+        injector = FaultInjector().inject_worker_hang(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerKilled) as excinfo:
+                pool.check(_sat_query())
+        assert excinfo.value.reason == "heartbeat-lost"
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+    delta = METRICS.delta_since(before)
+    assert delta["worker.watchdog_kills"] == 1
+    assert delta["worker.kills.heartbeat_lost"] == 1
+    assert delta.get("worker.kills.deadline", 0) == 0
+    # The kill surfaces through death classification too.
+    assert delta["worker.crashes"] == 1
+
+
+def test_oom_metrics_classified_separately():
+    before = METRICS.snapshot()
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.5,
+                            mem_limit_mb=256)
+    try:
+        injector = FaultInjector().inject_worker_oom(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerCrashed) as excinfo:
+                pool.check(_sat_query())
+        assert excinfo.value.reason == "worker-oom"
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+    delta = METRICS.delta_since(before)
+    assert delta["worker.crashes.oom"] == 1
+    assert delta["worker.crashes"] >= 1
+
+
+def test_fallback_counted_once_per_breaker_trip():
+    from repro.smt.solver import Solver, SAT
+
+    before = METRICS.snapshot()
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1,
+                            fallback_after=1)
+    try:
+        solver = Solver(execution="isolated", worker_pool=pool)
+        x = T.bv_var("wm_fb", 4)
+        solver.add(T.bv_eq(x, T.bv_const(5, 4)))
+        injector = FaultInjector().inject_worker_crash(at_request="all")
+        with injector.installed():
+            with pytest.raises(WorkerCrashed):
+                solver.check()
+            assert solver.check() is SAT
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+    delta = METRICS.delta_since(before)
+    assert delta["worker.fallbacks"] == 1
+
+
+def test_traced_pool_forwards_worker_provenance(tmp_path):
+    path = tmp_path / "pool.jsonl"
+    tracer = Tracer(path)
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1)
+    try:
+        with installed(tracer):
+            with span("owner") as owner:
+                outcome = pool.check(_sat_query())
+                owner_id = owner.id
+        assert outcome.verdict == "sat"
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+        tracer.close()
+    events, summary = load_events(path)
+    assert summary["unclosed"] == []
+    checks = [e for e in events
+              if e["ev"] == "event" and e["name"] == "worker.check"]
+    assert len(checks) == 1
+    check = checks[0]
+    assert check["parent"] == owner_id
+    assert check["attrs"]["verdict"] == "sat"
+    assert check["attrs"]["clauses"] > 0
+    assert check["attrs"]["wall"] >= 0
+    assert check["attrs"]["pid"] > 0
+
+
+def test_traced_watchdog_kill_emits_event(tmp_path):
+    path = tmp_path / "kill.jsonl"
+    tracer = Tracer(path)
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.25)
+    try:
+        injector = FaultInjector().inject_worker_hang(at_request=1)
+        with installed(tracer):
+            with injector.installed():
+                with pytest.raises(WorkerKilled):
+                    pool.check(_sat_query())
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+        tracer.close()
+    events, _ = load_events(path)
+    names = [e["name"] for e in events if e["ev"] == "event"]
+    killed = next(e for e in events
+                  if e["ev"] == "event" and e["name"] == "worker.killed")
+    assert killed["attrs"]["reason"] == "heartbeat-lost"
+    assert killed["attrs"]["pid"] > 0
+    assert "worker.death" in names
+    # Fault-injector provenance (satellite: seed + fired log as events).
+    installed_ev = next(e for e in events
+                        if e["ev"] == "event"
+                        and e["name"] == "fault.installed")
+    assert installed_ev["attrs"]["seed"] == 0
+    assert installed_ev["attrs"]["planned_workers"] == 1
+    uninstalled = next(e for e in events
+                       if e["ev"] == "event"
+                       and e["name"] == "fault.uninstalled")
+    assert uninstalled["attrs"]["fired"] == ["worker:hang@1"]
+    injected = next(e for e in events
+                    if e["ev"] == "event"
+                    and e["name"] == "fault.injected")
+    assert injected["attrs"]["kind"] == "worker:hang"
+    assert injected["attrs"]["ordinal"] == 1
+    assert injected["attrs"]["seed"] == 0

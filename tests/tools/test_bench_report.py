@@ -1,0 +1,91 @@
+"""bench_report.py must diff asymmetric reports, not KeyError on them."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parents[2]
+           / "scripts" / "bench_report.py")
+
+
+@pytest.fixture(scope="module")
+def bench_report():
+    spec = importlib.util.spec_from_file_location("bench_report", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _case(wall=10.0, aig=100, status="ok"):
+    return {"pipeline": "sc", "status": status, "wall_time_seconds": wall,
+            "iterations": 5, "solver_instances": 7, "aig_nodes": aig,
+            "tseitin_clauses": 900}
+
+
+def _write(tmp_path, name, cases):
+    path = tmp_path / name
+    path.write_text(json.dumps({"cases": cases}))
+    return str(path)
+
+
+def test_symmetric_diff_flags_regressions_only(bench_report):
+    baseline = {"a": _case(), "b": _case()}
+    current = {"a": _case(wall=10.5), "b": _case(aig=101)}
+    results = list(bench_report.diff_cases(baseline, current, 0.10))
+    severities = [sev for sev, _ in results]
+    assert severities.count("regression") == 1  # aig +1; wall within 10%
+    assert "added" not in severities
+    assert "removed" not in severities
+
+
+def test_asymmetric_reports_yield_added_and_removed(bench_report):
+    baseline = {"retired": _case(), "shared": _case()}
+    current = {"shared": _case(), "fresh": _case()}
+    results = list(bench_report.diff_cases(baseline, current, 0.10))
+    by_severity = {}
+    for severity, message in results:
+        by_severity.setdefault(severity, []).append(message)
+    assert len(by_severity["added"]) == 1
+    assert by_severity["added"][0].startswith("fresh:")
+    assert len(by_severity["removed"]) == 1
+    assert by_severity["removed"][0].startswith("retired:")
+    assert "regression" not in by_severity
+
+
+def test_case_missing_counter_fields_is_tolerated(bench_report):
+    # A partial/errored case may lack counters entirely; the diff must
+    # skip the absent fields instead of raising.
+    baseline = {"a": {"status": "ok"}}
+    current = {"a": {"status": "ok", "aig_nodes": 5}}
+    assert list(bench_report.diff_cases(baseline, current, 0.10)) == []
+
+
+def test_main_exit_codes_and_output(bench_report, tmp_path, capsys):
+    base = _write(tmp_path, "base.json",
+                  {"retired": _case(), "shared": _case()})
+    cur = _write(tmp_path, "cur.json",
+                 {"shared": _case(), "fresh": _case()})
+    # Asymmetry alone must not fail CI.
+    assert bench_report.main([base, cur]) == 0
+    out = capsys.readouterr().out
+    assert "ADDED" in out and "fresh" in out
+    assert "REMOVED" in out and "retired" in out
+    assert "1 case(s) only in current, 1 only in baseline" in out
+    assert "no regressions" in out
+
+    # A genuine counter regression still gates.
+    worse = _write(tmp_path, "worse.json",
+                   {"shared": _case(aig=101), "fresh": _case()})
+    assert bench_report.main([base, worse]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "aig_nodes 100 -> 101" in out
+
+
+def test_status_flip_is_a_regression(bench_report):
+    baseline = {"a": _case()}
+    current = {"a": _case(status="partial")}
+    severities = [s for s, _ in
+                  bench_report.diff_cases(baseline, current, 0.10)]
+    assert "regression" in severities
