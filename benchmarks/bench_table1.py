@@ -31,6 +31,7 @@ def _record_row(record, case, row):
         design=row.design,
         variant=row.variant,
         mode=row.mode,
+        backend=row.backend,
         pipeline=row.pipeline,
         status=row.status,
         instructions=row.instructions,

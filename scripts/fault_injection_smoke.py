@@ -1,27 +1,42 @@
 #!/usr/bin/env python3
 """CI smoke check: a fault mid-CEGIS must degrade, not crash.
 
-Two lanes:
+Three lanes:
 
 * **degradation** — a ``FaultInjector`` forces an UNKNOWN verdict partway
   through the ALU synthesis run; the engine must hand back a
   ``PartialSynthesisResult`` carrying the already-completed instructions,
   and resuming from it must complete a verifying design.
-* **worker containment** — the same synthesis under
-  ``execution="isolated"`` with an injected worker crash, hang, and OOM;
+* **worker containment** — the same synthesis under the ``isolated``
+  backend with an injected worker crash, hang, and OOM;
   every death must be classified and contained (correct final design, no
   orphaned worker processes).
+* **subprocess backend misbehavior** — an external DIMACS solver that
+  crashes or prints garbage must degrade to a canonical
+  ``unknown(backend-error)`` verdict, never a raw exception or a bogus
+  SAT; a well-behaved external solver must still synthesize a verifying
+  design.
 
 Exits non-zero on any violation.
 
 Run: ``PYTHONPATH=src python scripts/fault_injection_smoke.py``
 """
 
+import os
 import sys
 
 from repro.designs import alu_machine
 from repro.runtime import FaultInjector, SolverWorkerPool
+from repro.runtime.reasons import is_canonical
+from repro.smt import Solver, terms
+from repro.smt.backends import SolverConfig
+from repro.smt.backends.subprocess_dimacs import SubprocessDimacsBackend
 from repro.synthesis import PartialSynthesisResult, synthesize, verify_design
+
+_FAKE_SOLVER = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "tests", "smt", "fake_sat_solver.py",
+)
 
 
 def worker_containment(problem):
@@ -34,9 +49,9 @@ def worker_containment(problem):
     injector.inject_worker_oom(at_request=5)
     try:
         with injector.installed():
-            result = synthesize(problem, timeout=300,
-                                check_independence=False,
-                                execution="isolated", worker_pool=pool)
+            result = synthesize(
+                problem, timeout=300, check_independence=False,
+                config=SolverConfig(backend="isolated", worker_pool=pool))
     finally:
         accounting = pool.shutdown()
 
@@ -54,6 +69,35 @@ def worker_containment(problem):
     assert not pool.live_pids(), "orphaned worker processes"
     print("worker containment: crash+hang+oom contained, design verifies, "
           f"accounting balanced {accounting}")
+
+
+def subprocess_backend_misbehavior(problem):
+    """A crashing or garbage-printing external solver degrades cleanly."""
+    for flag in ("--crash", "--garbage"):
+        backend = SubprocessDimacsBackend(
+            command=[sys.executable, _FAKE_SOLVER, flag])
+        solver = Solver(backend=backend)
+        x = terms.bv_var("smoke_x", 8)
+        solver.add(terms.bv_eq(x, terms.bv_const(7, 8)))
+        verdict = solver.check()
+        assert verdict.name == "unknown", (flag, verdict)
+        assert verdict.reason == "backend-error", (flag, verdict.reason)
+        assert is_canonical(verdict.reason), verdict.reason
+        print(f"subprocess backend {flag}: degraded to "
+              f"unknown({verdict.reason})")
+
+    # And a *well-behaved* external solver completes real synthesis.
+    backend = SubprocessDimacsBackend(command=[sys.executable, _FAKE_SOLVER])
+    result = synthesize(problem, timeout=300, check_independence=False,
+                        config=SolverConfig(backend=backend))
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert result.hole_values_for(name) == expected, name
+    verdict = verify_design(result.completed_design, problem.spec,
+                            problem.alpha)
+    assert verdict.ok, verdict.summary()
+    assert result.stats["backend"] == "subprocess-dimacs", result.stats
+    print("subprocess backend clean: design synthesized externally and "
+          "verifies")
 
 
 def main():
@@ -91,6 +135,7 @@ def main():
           "design verifies")
 
     worker_containment(problem)
+    subprocess_backend_misbehavior(problem)
     return 0
 
 

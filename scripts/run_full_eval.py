@@ -65,7 +65,22 @@ def main():
         help="record an obs/v1 JSONL trace of the whole evaluation to "
         "PATH (analyze with scripts/trace_report.py)",
     )
+    parser.add_argument(
+        "--backend", metavar="NAME", default=None,
+        help="solver backend for every Table 1 row (a name registered "
+        "with repro.smt.backends, e.g. inprocess, isolated, "
+        "subprocess-dimacs; default: $REPRO_BACKEND or inprocess); "
+        "the rows record which backend ran",
+    )
     args = parser.parse_args()
+    if args.backend is not None:
+        from repro.smt.backends import available_backends
+
+        if args.backend not in available_backends():
+            parser.error(
+                f"unknown backend {args.backend!r}; registered: "
+                + ", ".join(available_backends())
+            )
     only = set(args.tables)
     resume_handle = _load_resume(args.resume) if args.resume else None
 
@@ -91,7 +106,7 @@ def main():
         print("=== Table 1 (full) ===", flush=True)
         rows = run_table1(
             quick=False, monolithic_timeout=300,
-            resume_from=resume_handle,
+            resume_from=resume_handle, backend=args.backend,
             progress=lambda row: print(
                 f"  {row.row_id}: {row.time_seconds:.1f}s ({row.status})"
                 + (f", reused {row.resumed_instructions}"

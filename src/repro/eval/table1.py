@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from repro.obs import trace as _obs
 from repro.oyster.printer import design_loc
 from repro.smt import counters as _counters
+from repro.smt.backends import SolverConfig, resolve_backend_name
 from repro.synthesis import SynthesisTimeout, resolve_pipeline, synthesize
 from repro.synthesis.result import PartialSynthesisResult, SynthesisError
 
@@ -69,6 +70,9 @@ class Table1Row:
     reason: str = ""             # machine-readable stop reason on timeout
     completed_instructions: int = -1  # solved before the budget hit (-1: all)
     resumed_instructions: int = 0  # reused verbatim from a resume handle
+    # Which decision procedure answered the row's solver queries — makes
+    # every published number attributable to a backend.
+    backend: str = ""
     # Encode accounting (deltas of repro.smt.counters across the run).
     pipeline: str = ""
     iterations: int = 0
@@ -126,7 +130,7 @@ def _applicable_resume(resume_from, problem, mode):
 
 
 def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
-            resume_from=None, pipeline=None):
+            resume_from=None, pipeline=None, backend=None):
     """Run one Table 1 row; returns a ``Table1Row``.
 
     ``resume_from`` is a :class:`PartialSynthesisResult` (or its
@@ -135,25 +139,29 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
     reused verbatim and counted in ``resumed_instructions``.
 
     ``pipeline`` selects ``"fresh"``/``"incremental"`` (``None`` takes
-    the engine default); the row records which one actually ran plus the
-    encode-counter deltas, so BENCH_table1.json can track the perf
-    trajectory in deterministic units.
+    the engine default); ``backend`` selects the solver backend (``None``
+    takes the process default).  The row records which of each actually
+    ran plus the encode-counter deltas, so BENCH_table1.json can track
+    the perf trajectory in deterministic units — and every number is
+    attributable to the decision procedure that produced it.
     """
-    config = next(c for c in TABLE1_CONFIGS if c[0] == row_id)
-    _, design_name, variant, mode = config
+    row_config = next(c for c in TABLE1_CONFIGS if c[0] == row_id)
+    _, design_name, variant, mode = row_config
     problem = build_config(row_id, quick=quick)
     resume = _applicable_resume(resume_from, problem, mode)
     budget = monolithic_timeout if mode == "monolithic" else timeout
+    solver_config = SolverConfig(backend=backend, pipeline=pipeline)
     started = time.monotonic()
     status = "ok"
     reason = ""
     completed = -1
     iterations = 0
     encode_before = _counters.snapshot()
-    with _obs.span("table1.row", row=row_id, mode=mode, quick=quick):
+    with _obs.span("table1.row", row=row_id, mode=mode, quick=quick,
+                   backend=solver_config.backend_name):
         try:
             result = synthesize(problem, mode=mode, timeout=budget,
-                                resume_from=resume, pipeline=pipeline)
+                                resume_from=resume, config=solver_config)
             elapsed = result.elapsed
             if "cegis" in result.stats:
                 iterations = result.stats["cegis"]["iterations"]
@@ -185,6 +193,7 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
         reason=reason,
         completed_instructions=completed,
         resumed_instructions=resume.completed_count if resume else 0,
+        backend=resolve_backend_name(backend),
         pipeline=resolve_pipeline(pipeline),
         iterations=iterations,
         solver_instances=encode["solver_instances"],
@@ -196,19 +205,21 @@ def run_row(row_id, quick=True, timeout=1800, monolithic_timeout=120,
 
 
 def run_table1(row_ids=None, quick=True, timeout=1800,
-               monolithic_timeout=120, progress=None, resume_from=None):
+               monolithic_timeout=120, progress=None, resume_from=None,
+               backend=None):
     """Run Table 1 (all rows by default); returns the row list.
 
     ``resume_from`` is matched against each row (by problem name and
     mode), so an interrupted full run's handle restarts only the work
-    that was actually lost.
+    that was actually lost.  ``backend`` selects the solver backend for
+    every row (``None``: the process default).
     """
     chosen = row_ids or [config[0] for config in TABLE1_CONFIGS]
     rows = []
     for row_id in chosen:
         row = run_row(row_id, quick=quick, timeout=timeout,
                       monolithic_timeout=monolithic_timeout,
-                      resume_from=resume_from)
+                      resume_from=resume_from, backend=backend)
         rows.append(row)
         if progress is not None:
             progress(row)

@@ -18,7 +18,10 @@ This package is the resource-control spine under the synthesis stack:
 * :class:`SolverWorkerPool` — sandboxed subprocess workers (rlimit caps,
   heartbeats, watchdog hard-kill) with crash classification into the
   taxonomy (:class:`WorkerCrashed`, :class:`WorkerKilled`) and a
-  per-query circuit breaker that falls back to in-process solving.
+  per-query circuit breaker that falls back to in-process solving;
+* ``reasons`` — the canonical machine-readable reason taxonomy
+  (:func:`normalize_reason`) every UNKNOWN verdict, worker outcome and
+  backend result is mapped through.
 
 It deliberately imports nothing from ``repro.smt`` or ``repro.synthesis``;
 those layers import *it*.  (The worker *child* process speaks the DIMACS
@@ -38,10 +41,20 @@ from repro.runtime.errors import (
     WorkerKilled,
 )
 from repro.runtime.faults import FaultInjector, active_injector
+from repro.runtime.reasons import (
+    CANONICAL_REASONS,
+    RETRYABLE_REASONS,
+    is_canonical,
+    normalize_reason,
+)
 from repro.runtime.retry import Attempt, RetryPolicy, run_with_retry
 from repro.runtime.workers import SolverWorkerPool, WorkerOutcome
 
 __all__ = [
+    "CANONICAL_REASONS",
+    "RETRYABLE_REASONS",
+    "is_canonical",
+    "normalize_reason",
     "Budget",
     "RuntimeFault",
     "BudgetExhausted",

@@ -8,6 +8,8 @@ package replaces that stack with a from-scratch pipeline:
 ``bitblast``   terms -> AIG literals
 ``sat``        a CDCL SAT solver (watched literals, VSIDS, restarts)
 ``solver``     a solver facade: assert terms, check satisfiability, get models
+``backends``   pluggable decision procedures behind the facade (the bundled
+               CDCL core, sandboxed worker pools, external DIMACS solvers)
 
 Everything is a bitvector; booleans are width-1 bitvectors.  This matches the
 Oyster IR (Section 3.1 of the paper), which also models every value as a
@@ -22,6 +24,17 @@ from repro.smt.terms import (
     FALSE,
     evaluate,
 )
+from repro.smt.backends import (
+    BackendResult,
+    CheckLimits,
+    SolverBackend,
+    SolverConfig,
+    available_backends,
+    backend_capabilities,
+    register_backend,
+    resolve_backend,
+    resolve_solver_config,
+)
 from repro.smt.solver import (
     Solver,
     SolverResult,
@@ -35,6 +48,15 @@ from repro.smt.solver import (
 )
 
 __all__ = [
+    "SolverBackend",
+    "BackendResult",
+    "CheckLimits",
+    "SolverConfig",
+    "available_backends",
+    "backend_capabilities",
+    "register_backend",
+    "resolve_backend",
+    "resolve_solver_config",
     "Term",
     "bv_const",
     "bv_var",

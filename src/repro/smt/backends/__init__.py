@@ -1,0 +1,53 @@
+"""Pluggable solver backends: one seam for every decision procedure.
+
+The paper's engine is solver-agnostic in principle (Rosette retargets
+Boolector or CVC4 per query); this package makes the reproduction match.
+A :class:`SolverBackend` answers CNF queries; the facade
+(``repro.smt.solver.Solver``) owns encoding and model decoding and
+delegates the decision to whichever backend is selected — per solver,
+per run (``SolverConfig``), or process-wide (``$REPRO_BACKEND``).
+
+Built-ins: ``inprocess`` (the bundled CDCL core, incremental),
+``isolated`` (sandboxed worker subprocesses), and ``subprocess-dimacs``
+(any installed DIMACS solver, kissat/cryptominisat/minisat-style).
+``register_backend`` adds more without touching any engine code.
+"""
+
+from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
+from repro.smt.backends.config import SolverConfig, resolve_solver_config
+from repro.smt.backends.inprocess import InProcessBackend
+from repro.smt.backends.isolated import IsolatedBackend
+from repro.smt.backends.registry import (
+    BACKEND_ENV,
+    available_backends,
+    backend_capabilities,
+    default_backend_name,
+    register_backend,
+    resolve_backend,
+    resolve_backend_name,
+)
+from repro.smt.backends.subprocess_dimacs import (
+    BackendUnavailable,
+    KNOWN_SOLVERS,
+    SubprocessDimacsBackend,
+)
+
+__all__ = [
+    "SolverBackend",
+    "BackendResult",
+    "CheckLimits",
+    "SolverConfig",
+    "resolve_solver_config",
+    "InProcessBackend",
+    "IsolatedBackend",
+    "SubprocessDimacsBackend",
+    "BackendUnavailable",
+    "KNOWN_SOLVERS",
+    "register_backend",
+    "resolve_backend",
+    "resolve_backend_name",
+    "available_backends",
+    "backend_capabilities",
+    "default_backend_name",
+    "BACKEND_ENV",
+]

@@ -1,0 +1,164 @@
+"""The ``SolverBackend`` seam: one protocol for every way to run a check.
+
+The solver facade (``repro.smt.solver.Solver``) owns the term-to-CNF
+pipeline — bit-blasting, Tseitin encoding, model decoding — and delegates
+the *decision procedure* to a backend.  A backend is anything that can
+answer "is this CNF satisfiable?":
+
+* :class:`~repro.smt.backends.inprocess.InProcessBackend` — the bundled
+  CDCL core, fed clauses incrementally by the facade;
+* :class:`~repro.smt.backends.isolated.IsolatedBackend` — the sandboxed
+  worker pool of ``repro.runtime.workers``, DIMACS over the wire;
+* :class:`~repro.smt.backends.subprocess_dimacs.SubprocessDimacsBackend`
+  — any installed DIMACS solver (kissat, cryptominisat, minisat, ...),
+  shelled out per query.
+
+Capability flags tell the facade how to drive a backend:
+
+``supports_incremental``
+    The backend keeps clause state between checks.  The facade encodes
+    assertion cones into it via :meth:`SolverBackend.new_var` /
+    :meth:`SolverBackend.add_clause` and passes ``cnf=None`` to
+    :meth:`SolverBackend.check`.  Stateless backends instead receive the
+    full DIMACS export of the current assertion set on every call.
+``supports_assumptions``
+    Per-call assumption literals are honored natively.  On backends
+    without it the facade *re-encodes*: assumption terms ride along in
+    the DIMACS export as unit clauses, which preserves correctness (each
+    check re-exports from scratch, so per-call scoping is automatic) at
+    the cost of losing learned-clause reuse.
+``produces_models``
+    SAT verdicts come with term-level model values decoded by the
+    backend (stateless backends own the CNF header, so they decode).
+    Incremental backends return a raw assignment instead and the facade
+    decodes through its own AIG mapping.
+
+Verdicts are plain strings here (``"sat"``/``"unsat"``/``"unknown"``);
+the facade maps them onto its ``SAT``/``UNSAT``/``Unknown`` singletons.
+This keeps the backend layer import-light — backends must never import
+``repro.smt.solver`` (the facade imports *them*).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+__all__ = ["BackendResult", "CheckLimits", "SolverBackend"]
+
+
+@dataclass
+class CheckLimits:
+    """Per-check resource caps, pre-folded by the facade.
+
+    ``deadline`` is an absolute ``time.monotonic()`` timestamp (the
+    facade has already taken the min of the caller's timeout and the
+    budget's remaining wall clock); ``max_conflicts`` likewise already
+    reflects the budget's remaining conflicts.  ``budget`` is passed
+    through so cooperative backends can poll its memory cap mid-solve —
+    backends must *not* charge conflicts to it (the facade charges once,
+    from :attr:`BackendResult.conflicts`).  ``seed`` deterministically
+    perturbs decision order where the backend supports it.
+    """
+
+    max_conflicts: int = None
+    deadline: float = None
+    budget: object = None
+    seed: int = None
+
+    def timeout(self):
+        """Remaining seconds until ``deadline`` (``None`` if uncapped)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+
+@dataclass
+class BackendResult:
+    """One backend's answer to one check."""
+
+    verdict: str            # "sat" | "unsat" | "unknown"
+    reason: str = ""        # canonical unknown reason (see runtime.reasons)
+    model: dict = None      # term-level values (produces_models backends)
+    conflicts: int = 0      # conflicts spent (facade charges the budget)
+    fallback: bool = False  # backend declined; facade must solve in-process
+
+
+class SolverBackend:
+    """Base class for pluggable decision procedures.
+
+    Subclasses set the capability flags and implement :meth:`check`;
+    incremental backends additionally implement the clause-feeding
+    sub-interface (:meth:`new_var`, :meth:`add_clause`,
+    :meth:`assignment`, :meth:`reseed`, plus the ``num_vars`` /
+    ``clauses`` / ``conflicts`` properties).
+    """
+
+    #: Registry name; also what obs events and Table 1 rows record.
+    name = "abstract"
+    supports_assumptions = False
+    supports_incremental = False
+    produces_models = True
+
+    # -- the decision procedure -----------------------------------------
+
+    def check(self, cnf, assumptions=(), limits=None):
+        """Decide one query; returns a :class:`BackendResult`.
+
+        ``cnf`` is the DIMACS text of the query for stateless backends,
+        or ``None`` for incremental backends (solve the accumulated
+        clause state).  ``assumptions`` are internal SAT literals, only
+        passed when ``supports_assumptions``.  Worker faults
+        (``WorkerCrashed``/``WorkerKilled``) may propagate — the retry
+        machinery above the facade handles them.
+        """
+        raise NotImplementedError
+
+    def close(self):
+        """Release backend-owned resources (pools, temp dirs).  No-op by
+        default; the facade never calls this on shared backends."""
+
+    # -- incremental sub-interface (supports_incremental only) ----------
+
+    def new_var(self):
+        raise NotImplementedError(
+            f"backend {self.name!r} is not incremental"
+        )
+
+    def add_clause(self, lits):
+        raise NotImplementedError(
+            f"backend {self.name!r} is not incremental"
+        )
+
+    def assignment(self):
+        """Raw SAT assignment after a SAT check (incremental backends)."""
+        raise NotImplementedError(
+            f"backend {self.name!r} is not incremental"
+        )
+
+    def reseed(self, seed):
+        """Perturb decision order; default no-op for stateless backends
+        (they receive the seed per-call via :class:`CheckLimits`)."""
+
+    @property
+    def num_vars(self):
+        return 0
+
+    @property
+    def clauses(self):
+        return ()
+
+    @property
+    def conflicts(self):
+        return 0
+
+    def describe(self):
+        """One-line capability summary (docs, ``available_backends``)."""
+        flags = []
+        if self.supports_incremental:
+            flags.append("incremental")
+        if self.supports_assumptions:
+            flags.append("assumptions")
+        if self.produces_models:
+            flags.append("models")
+        return f"{self.name} ({', '.join(flags) or 'stateless'})"

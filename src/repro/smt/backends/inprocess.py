@@ -1,0 +1,90 @@
+"""The in-process backend: the bundled CDCL core behind the seam.
+
+This is the migration target of the old ``Solver._check_inprocess`` path:
+the facade used to own a ``SatSolver`` directly and branch on
+``execution=``; now the same core lives behind the
+:class:`~repro.smt.backends.base.SolverBackend` protocol as the one
+incremental, assumption-capable backend.  The facade feeds it Tseitin
+clauses as assertions arrive (``new_var``/``add_clause``) and each
+``check`` solves the accumulated state — learned clauses and variable
+activities survive across calls, which is what the incremental CEGIS
+pipeline's encode-once verifier is built on.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.reasons import normalize_reason
+from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
+from repro.smt.sat.solver import SatSolver
+
+__all__ = ["InProcessBackend"]
+
+
+class InProcessBackend(SolverBackend):
+    """The bundled CDCL SAT core, solving in the engine process."""
+
+    name = "inprocess"
+    supports_assumptions = True
+    supports_incremental = True
+    produces_models = False  # raw assignments; the facade decodes
+
+    def __init__(self):
+        self._sat = SatSolver()
+
+    # -- incremental clause feeding -------------------------------------
+
+    def new_var(self):
+        return self._sat.new_var()
+
+    def add_clause(self, lits):
+        self._sat.add_clause(lits)
+
+    def assignment(self):
+        return self._sat.model()
+
+    def reseed(self, seed):
+        self._sat.reseed(seed)
+
+    @property
+    def num_vars(self):
+        return self._sat.num_vars
+
+    @property
+    def clauses(self):
+        return self._sat.clauses
+
+    @property
+    def conflicts(self):
+        return self._sat.conflicts
+
+    # -- the check itself ------------------------------------------------
+
+    def check(self, cnf=None, assumptions=(), limits=None):
+        """Solve the accumulated clause state (``cnf`` must be ``None``).
+
+        The budget rides along only for its cooperative memory-cap polls
+        at the core's checkpoints; conflict accounting is returned in the
+        result and charged by the facade.
+        """
+        if cnf is not None:
+            raise ValueError(
+                "the in-process backend solves its incremental state; "
+                "pass cnf=None (use solve_dimacs for one-shot CNF replay)"
+            )
+        if limits is None:
+            limits = CheckLimits()
+        before = self._sat.conflicts
+        verdict = self._sat.solve(
+            assumptions=list(assumptions),
+            max_conflicts=limits.max_conflicts,
+            deadline=limits.deadline,
+            budget=limits.budget,
+        )
+        spent = self._sat.conflicts - before
+        if verdict is None:
+            return BackendResult(
+                "unknown",
+                reason=normalize_reason(self._sat.stop_reason),
+                conflicts=spent,
+            )
+        return BackendResult("sat" if verdict else "unsat", conflicts=spent)

@@ -1,0 +1,77 @@
+"""The isolated backend: sandboxed worker subprocesses behind the seam.
+
+Wraps :class:`repro.runtime.workers.SolverWorkerPool` — previously a
+parallel code path inside ``Solver._check_isolated`` — behind the same
+:class:`~repro.smt.backends.base.SolverBackend` protocol as every other
+decision procedure.  The pool's crash classification, watchdog, and
+retry semantics are unchanged: ``WorkerCrashed``/``WorkerKilled``
+propagate out of :meth:`IsolatedBackend.check` exactly as they did out
+of the facade, feeding the same retry-with-escalation machinery.
+
+The backend is stateless per query (``supports_incremental=False``): any
+worker, including a fresh respawn, can serve any check, which is what
+makes hard-killing them safe.  Assumptions are therefore *re-encoded* by
+the facade as unit clauses in the DIMACS export
+(``supports_assumptions=False``) — per-call scoping falls out of the
+per-call export.
+
+The pool's per-query circuit breaker surfaces as
+``BackendResult(fallback=True)``: the backend refuses a query that has
+killed too many workers, and the facade — which still holds the fully
+encoded in-process core — solves it there instead.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.reasons import normalize_reason
+from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
+
+__all__ = ["IsolatedBackend"]
+
+
+class IsolatedBackend(SolverBackend):
+    """Checks run on a sandboxed worker of a ``SolverWorkerPool``."""
+
+    name = "isolated"
+    supports_assumptions = False
+    supports_incremental = False
+    produces_models = True
+
+    def __init__(self, worker_pool):
+        if worker_pool is None:
+            raise ValueError(
+                "backend 'isolated' requires a worker_pool "
+                "(repro.runtime.SolverWorkerPool)"
+            )
+        self.pool = worker_pool
+
+    def check(self, cnf, assumptions=(), limits=None):
+        if limits is None:
+            limits = CheckLimits()
+        key = hash(cnf)
+        if self.pool.should_fallback(key):
+            # Circuit breaker: this query has killed enough workers that
+            # isolation is costing more than it contains.
+            self.pool.note_fallback(key)
+            return BackendResult(
+                "unknown", reason="circuit-breaker", fallback=True
+            )
+        outcome = self.pool.check(
+            cnf,
+            max_conflicts=limits.max_conflicts,
+            timeout=limits.timeout(),
+            seed=limits.seed,
+            key=key,
+        )
+        if outcome.verdict == "sat":
+            return BackendResult(
+                "sat", model=dict(outcome.model or {}),
+                conflicts=outcome.conflicts,
+            )
+        if outcome.verdict == "unsat":
+            return BackendResult("unsat", conflicts=outcome.conflicts)
+        return BackendResult(
+            "unknown",
+            reason=normalize_reason(outcome.reason),
+            conflicts=outcome.conflicts,
+        )

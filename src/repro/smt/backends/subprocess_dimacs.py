@@ -1,0 +1,202 @@
+"""The subprocess-dimacs backend: shell out to any installed SAT solver.
+
+FormalRTL-style scaling in one file: the facade exports the query as
+DIMACS, this backend writes it to a temp file, execs an external solver
+binary, and parses the standard SAT-competition output format back —
+``s SATISFIABLE`` / ``s UNSATISFIABLE`` / ``s UNKNOWN`` verdict lines and
+``v`` model lines — decoding the assignment into term-level values
+through the very ``c var`` header :func:`repro.smt.dimacs.to_dimacs`
+emitted.  Dropping in kissat (or cryptominisat, or a research solver)
+therefore needs zero engine changes: install the binary, pass
+``backend="subprocess-dimacs"``.
+
+Solver discovery, in priority order:
+
+1. an explicit ``command`` argument (string or argv list);
+2. the ``REPRO_DIMACS_SOLVER`` environment variable (shell-split), which
+   is how CI pins the bundled fake solver without installing anything;
+3. a PATH scan over well-known binaries (:data:`KNOWN_SOLVERS`).
+
+MiniSat predates the ``s``/``v`` convention — it takes an output *file*
+and signals the verdict via exit code 10/20 — so commands whose basename
+contains ``minisat`` get that calling convention automatically.
+
+Failure taxonomy (all canonical, see ``repro.runtime.reasons``):
+a solver that exceeds the deadline is killed and reported as
+``unknown(deadline)``; garbage output, a crash, or a vanished binary is
+``unknown(backend-error)`` (retryable — a reseeded retry may dodge a
+flaky solver); no binary found at construction raises
+:class:`BackendUnavailable` immediately rather than at the first check.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import tempfile
+
+from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
+from repro.smt.dimacs import from_dimacs
+
+__all__ = ["SubprocessDimacsBackend", "BackendUnavailable", "KNOWN_SOLVERS"]
+
+#: PATH-scanned binaries, in preference order.
+KNOWN_SOLVERS = (
+    "kissat", "cadical", "cryptominisat5", "cryptominisat", "picosat",
+    "minisat", "glucose", "lingeling",
+)
+
+#: Environment variable naming the solver command (shell-split).
+SOLVER_ENV = "REPRO_DIMACS_SOLVER"
+
+_CONFLICTS_RE = re.compile(
+    r"^c\s+(?:conflicts|number of conflicts)\s*[:=]?\s*(\d+)", re.IGNORECASE
+)
+
+
+class BackendUnavailable(RuntimeError):
+    """No external DIMACS solver could be located."""
+
+
+def _discover_command(command):
+    """Resolve ``command`` to an argv list (see module docstring)."""
+    if command is not None:
+        if isinstance(command, str):
+            return shlex.split(command)
+        return list(command)
+    env = os.environ.get(SOLVER_ENV)
+    if env:
+        return shlex.split(env)
+    for name in KNOWN_SOLVERS:
+        path = shutil.which(name)
+        if path:
+            return [path]
+    raise BackendUnavailable(
+        "backend 'subprocess-dimacs' found no SAT solver: pass command=, "
+        f"set ${SOLVER_ENV}, or install one of {', '.join(KNOWN_SOLVERS)}"
+    )
+
+
+class SubprocessDimacsBackend(SolverBackend):
+    """One external-solver invocation per check, DIMACS in, s/v lines out."""
+
+    name = "subprocess-dimacs"
+    supports_assumptions = False
+    supports_incremental = False
+    produces_models = True
+
+    def __init__(self, command=None):
+        self.command = _discover_command(command)
+        base = os.path.basename(self.command[0]).lower()
+        #: MiniSat calling convention: ``minisat in.cnf out`` + exit codes.
+        self._minisat_style = "minisat" in base
+
+    def describe(self):
+        return (f"{self.name} ({' '.join(self.command)})")
+
+    def check(self, cnf, assumptions=(), limits=None):
+        if limits is None:
+            limits = CheckLimits()
+        timeout = limits.timeout()
+        workdir = tempfile.mkdtemp(prefix="repro-dimacs-")
+        cnf_path = os.path.join(workdir, "query.cnf")
+        out_path = os.path.join(workdir, "result.txt")
+        try:
+            with open(cnf_path, "w") as handle:
+                handle.write(cnf)
+            argv = list(self.command) + [cnf_path]
+            if self._minisat_style:
+                argv.append(out_path)
+            try:
+                proc = subprocess.run(
+                    argv, capture_output=True, text=True, timeout=timeout,
+                )
+            except subprocess.TimeoutExpired:
+                return BackendResult("unknown", reason="deadline")
+            except OSError:
+                # The binary vanished (or was never executable) after
+                # discovery: a backend failure, not a query property.
+                return BackendResult("unknown", reason="backend-error")
+            output = proc.stdout or ""
+            if self._minisat_style and os.path.exists(out_path):
+                with open(out_path) as handle:
+                    output = handle.read() + "\n" + output
+            return self._parse(cnf, output, proc.returncode)
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+
+    def _parse(self, cnf, output, returncode):
+        """Decode solver output into a :class:`BackendResult`.
+
+        Tolerates both the competition format (``s``/``v`` lines) and the
+        MiniSat result-file format (``SAT``/``UNSAT`` headers, bare model
+        line); exit codes 10/20 break ties when no verdict line exists.
+        """
+        verdict = None
+        model_lits = []
+        conflicts = 0
+        for raw in output.splitlines():
+            line = raw.strip()
+            if not line:
+                continue
+            upper = line.upper()
+            if upper.startswith("S "):
+                word = upper[2:].strip()
+                if word == "SATISFIABLE":
+                    verdict = "sat"
+                elif word == "UNSATISFIABLE":
+                    verdict = "unsat"
+                else:
+                    verdict = "unknown"
+            elif upper in ("SAT", "SATISFIABLE"):
+                verdict = "sat"
+            elif upper in ("UNSAT", "UNSATISFIABLE"):
+                verdict = "unsat"
+            elif upper in ("UNKNOWN", "INDETERMINATE"):
+                verdict = "unknown"
+            elif line.startswith(("v", "V")) and not line[1:2].isalpha():
+                model_lits.extend(_ints(line[1:]))
+            elif line[0] in "-0123456789" and verdict == "sat":
+                # MiniSat result files carry a bare model line.
+                model_lits.extend(_ints(line))
+            else:
+                match = _CONFLICTS_RE.match(line)
+                if match:
+                    conflicts = int(match.group(1))
+        if verdict is None:
+            if returncode == 10:
+                verdict = "sat"
+            elif returncode == 20:
+                verdict = "unsat"
+            else:
+                # Crash, empty output, or text with no verdict line.
+                return BackendResult("unknown", reason="backend-error")
+        if verdict == "unknown":
+            return BackendResult("unknown", reason="backend-error",
+                                 conflicts=conflicts)
+        if verdict == "unsat":
+            return BackendResult("unsat", conflicts=conflicts)
+        assignment = {abs(lit): (0 if lit < 0 else 1)
+                      for lit in model_lits if lit != 0}
+        if not assignment:
+            # "SAT" with no witness: unusable for model extraction, and
+            # trusting it would let a buggy solver corrupt control logic.
+            return BackendResult("unknown", reason="backend-error",
+                                 conflicts=conflicts)
+        values = from_dimacs(cnf).model_values(assignment)
+        return BackendResult("sat", model=values, conflicts=conflicts)
+
+
+def _ints(text):
+    out = []
+    for token in text.split():
+        try:
+            out.append(int(token))
+        except ValueError:
+            return []  # garbage inside a model line: discard the line
+    return out

@@ -1,12 +1,21 @@
 """Solver facade: assert width-1 terms, check satisfiability, read models.
 
 Lowers terms through the bit-blaster into an AIG, Tseitin-encodes the cone
-of each assertion into the CDCL core incrementally, and exposes models as
+of each assertion into an incremental core, and exposes models as
 assignments to term-level variables.  Re-asserting into the same solver
 shares AIG structure across queries (the CEGIS guess solver relies on
 this), and several solvers may share one ``BitBlaster`` — each encodes
 only the cones it actually asserts, so a shared AIG never leaks clauses
 between instances.
+
+The *decision procedure* is pluggable (see ``repro.smt.backends``): the
+facade owns encoding and model decoding and delegates each check to a
+:class:`~repro.smt.backends.base.SolverBackend`.  Incremental backends
+(the default ``"inprocess"`` CDCL core) are fed clauses as assertions
+arrive; stateless backends (``"isolated"`` workers, external
+``"subprocess-dimacs"`` solvers) receive a full DIMACS export per check,
+with assumption terms re-encoded as unit clauses so per-call scoping
+survives the loss of native assumption support.
 """
 
 from __future__ import annotations
@@ -16,10 +25,14 @@ import warnings
 
 from repro.obs import trace as _obs
 from repro.runtime import faults as _faults
+from repro.runtime.reasons import normalize_reason
 from repro.smt.aig import FALSE_LIT, TRUE_LIT
+from repro.smt.backends.base import CheckLimits
+from repro.smt.backends.inprocess import InProcessBackend
+from repro.smt.backends.registry import resolve_backend, resolve_backend_name
 from repro.smt.bitblast import BitBlaster
 from repro.smt.counters import COUNTERS
-from repro.smt.sat.solver import SatSolver
+from repro.smt.dimacs import to_dimacs
 from repro.smt import terms as T
 
 __all__ = [
@@ -33,6 +46,9 @@ __all__ = [
     "UnknownModelVariableWarning",
     "UnknownModelVariableError",
 ]
+
+#: Legacy ``execution=`` values and the backend names they map to.
+_EXECUTION_TO_BACKEND = {"inprocess": "inprocess", "isolated": "isolated"}
 
 
 class SolverResult:
@@ -66,8 +82,10 @@ class SolverResult:
 class Unknown(SolverResult):
     """An UNKNOWN verdict carrying *why* the solver gave up.
 
-    ``reason`` is machine-readable: ``"deadline"``, ``"conflicts"``,
-    ``"memory"``, ``"injected"``, or ``"unspecified"``.
+    ``reason`` is machine-readable and canonical (see
+    ``repro.runtime.reasons``): ``"deadline"``, ``"conflicts"``,
+    ``"memory"``, ``"injected"``, ``"backend-error"``,
+    ``"circuit-breaker"``, or ``"unspecified"``.
     """
 
     __slots__ = ("reason",)
@@ -154,40 +172,86 @@ class Solver:
     variables that were never blasted (catching hole-name typos) instead
     of warning and defaulting to 0.
 
-    ``execution`` selects where checks run: ``"inprocess"`` (default)
-    solves in this process; ``"isolated"`` ships each check as DIMACS to
-    a sandboxed worker of the given
+    ``backend`` selects the decision procedure: a registered backend name
+    (``"inprocess"``, ``"isolated"``, ``"subprocess-dimacs"``, or
+    anything added via ``repro.smt.backends.register_backend``), a live
+    :class:`~repro.smt.backends.base.SolverBackend` instance, or ``None``
+    for the process default (``$REPRO_BACKEND`` or ``"inprocess"``).
+    ``worker_pool`` binds the ``"isolated"`` backend to a
     :class:`repro.runtime.workers.SolverWorkerPool`, so a crash, hang or
     memory blow-up costs one disposable child process instead of the
     engine.  Worker deaths surface as ``WorkerCrashed``/``WorkerKilled``
     (retryable members of the runtime fault taxonomy), and a query that
     keeps killing workers trips the pool's circuit breaker, after which
     this facade quietly solves it in-process.
+
+    Stateless backends never replace the in-process core: the facade
+    keeps encoding every cone into it, both so encode counters stay
+    execution-agnostic and so fallback (circuit breaker, backend refusal)
+    is always one ``solve`` away.
+
+    ``execution`` is the deprecated PR-2 spelling of the same choice
+    (``"inprocess"``/``"isolated"``); prefer ``backend=``.
     """
 
-    def __init__(self, strict_models=False, execution="inprocess",
-                 worker_pool=None, blaster=None):
-        if execution not in ("inprocess", "isolated"):
-            raise ValueError(f"unknown execution mode {execution!r}")
-        if execution == "isolated" and worker_pool is None:
-            raise ValueError("execution='isolated' requires a worker_pool")
+    def __init__(self, strict_models=False, execution=None,
+                 worker_pool=None, blaster=None, backend=None):
+        if execution is not None:
+            mapped = _EXECUTION_TO_BACKEND.get(execution)
+            if mapped is None:
+                raise ValueError(f"unknown execution mode {execution!r}")
+            warnings.warn(
+                "Solver(execution=...) is deprecated; pass backend="
+                f"{mapped!r} instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if backend is not None and resolve_backend_name(backend) != mapped:
+                raise ValueError(
+                    f"conflicting backend selection: execution={execution!r}"
+                    f" vs backend={backend!r}"
+                )
+            backend = backend if backend is not None else mapped
         # ``blaster`` may be shared with other solvers: cone-of-influence
         # encoding means this instance only Tseitin-encodes (and allocates
         # SAT variables for) the AIG regions its own assertions reach.
         self._blaster = blaster if blaster is not None else BitBlaster()
-        self._sat = SatSolver()
+        self._backend = resolve_backend(backend, worker_pool=worker_pool)
+        # The encoding target.  An incremental backend *is* the core; a
+        # stateless backend gets a private in-process core alongside it
+        # (encode counters stay identical across backends, and the core
+        # doubles as the circuit-breaker fallback solver).
+        if self._backend.supports_incremental:
+            self._core = self._backend
+        else:
+            self._core = InProcessBackend()
         self._node_to_satvar = {}
         self._asserted = []
         self._trivially_false = False
         self.strict_models = strict_models
-        self.execution = execution
-        self._pool = worker_pool
-        self._remote_model = None     # model values from the last worker SAT
-        self._remote_conflicts = 0    # conflicts spent by workers for us
+        self._remote_model = None     # model values from a stateless backend
+        self._remote_conflicts = 0    # conflicts spent out-of-process for us
         self._pending_seed = None     # reseed to apply on the next check
+        self._last_backend = self._core.name  # who served the last check
         self.stats = {"asserts": 0, "checks": 0, "clauses": 0,
                       "worker_checks": 0, "worker_fallbacks": 0}
         COUNTERS.solver_instances += 1
+
+    @property
+    def backend(self):
+        """The configured :class:`SolverBackend` instance."""
+        return self._backend
+
+    @property
+    def backend_name(self):
+        return self._backend.name
+
+    @property
+    def execution(self):
+        """Deprecated PR-2 spelling of the dispatch mode: the backend
+        name for stateless backends, else ``"inprocess"``."""
+        if self._backend.supports_incremental:
+            return "inprocess"
+        return self._backend.name
 
     def add(self, term):
         """Assert that a width-1 term is 1."""
@@ -202,7 +266,7 @@ class Solver:
             self._trivially_false = True
             return
         self._encode_cone(lit)
-        self._sat.add_clause([self._to_sat_lit(lit)])
+        self._core.add_clause([self._to_sat_lit(lit)])
 
     def add_all(self, terms):
         for term in terms:
@@ -224,20 +288,24 @@ class Solver:
         verdict means "unsatisfiable under these assumptions" and the
         solver (including its learned clauses) stays usable for the next
         check.  This is the encode-once/solve-many primitive the
-        incremental CEGIS verify mode is built on.  In isolated mode the
-        assumptions ride along in the DIMACS export as unit clauses
-        (workers are stateless, so per-call scoping is automatic).
+        incremental CEGIS verify mode is built on.  Backends without
+        native assumption support degrade gracefully: the assumptions
+        ride along in the per-check DIMACS export as unit clauses
+        (stateless backends re-export every check, so per-call scoping is
+        automatic).
 
         An UNKNOWN verdict is an :class:`Unknown` instance whose
         ``reason`` names the exhausted cap (``"deadline"``,
-        ``"conflicts"``, ``"memory"``) or ``"injected"`` under fault
-        injection.
+        ``"conflicts"``, ``"memory"``), a backend failure
+        (``"backend-error"``, ``"circuit-breaker"``), or ``"injected"``
+        under fault injection.
 
         When a :class:`repro.obs.Tracer` is installed, every check —
-        including assumption-based incremental checks and isolated worker
-        checks — emits a ``solver.check`` provenance event carrying the
-        query kind (the enclosing span), clause/variable counts, conflicts
-        consumed, the verdict, wall time, and the owning span id, so a run
+        including assumption-based incremental checks and out-of-process
+        backend checks — emits a ``solver.check`` provenance event
+        carrying the query kind (the enclosing span), clause/variable
+        counts, conflicts consumed, the verdict, wall time, the backend
+        that actually served the query, and the owning span id, so a run
         is fully reconstructible post-hoc.  With no tracer (the default)
         this wrapper costs one global read.
         """
@@ -246,7 +314,6 @@ class Solver:
             return self._check(max_conflicts, timeout, budget, assumptions)
         started = time.monotonic()
         conflicts_before = self.conflicts
-        worker_checks_before = self.stats["worker_checks"]
         verdict = None
         try:
             verdict = self._check(max_conflicts, timeout, budget,
@@ -267,25 +334,25 @@ class Solver:
                 reason=reason,
                 wall=time.monotonic() - started,
                 conflicts=self.conflicts - conflicts_before,
-                clauses=len(self._sat.clauses),
-                vars=self._sat.num_vars,
+                clauses=len(self._core.clauses),
+                vars=self._core.num_vars,
                 asserts=self.stats["asserts"],
                 assumptions=len(assumptions)
                 if hasattr(assumptions, "__len__") else -1,
-                execution="isolated"
-                if self.stats["worker_checks"] > worker_checks_before
-                else "inprocess",
+                backend=self._last_backend,
+                execution=self._last_backend,
             )
 
     def _check(self, max_conflicts=None, timeout=None, budget=None,
                assumptions=()):
         self.stats["checks"] += 1
         self._remote_model = None
+        self._last_backend = self._core.name
         injector = _faults.active_injector()
         if injector is not None:
             injected_reason = injector.on_check()
             if injected_reason is not None:
-                return Unknown(injected_reason)
+                return Unknown(normalize_reason(injected_reason))
         if self._trivially_false:
             return UNSAT
         assumption_terms = list(assumptions)
@@ -316,69 +383,48 @@ class Solver:
                 max_conflicts is None or budget_conflicts < max_conflicts
             ):
                 max_conflicts = budget_conflicts
-        if self.execution == "isolated":
-            return self._check_isolated(max_conflicts, deadline, budget,
-                                        assumption_terms, sat_assumptions)
-        return self._check_inprocess(max_conflicts, deadline, budget,
-                                     sat_assumptions)
-
-    def _check_inprocess(self, max_conflicts, deadline, budget,
-                         sat_assumptions=()):
-        conflicts_before = self._sat.conflicts
-        verdict = self._sat.solve(assumptions=sat_assumptions,
-                                  max_conflicts=max_conflicts,
-                                  deadline=deadline, budget=budget)
+        limits = CheckLimits(max_conflicts=max_conflicts, deadline=deadline,
+                             budget=budget)
+        backend = self._backend
+        if backend.supports_incremental:
+            self._last_backend = backend.name
+            result = backend.check(None, sat_assumptions, limits)
+        else:
+            # Stateless dispatch: re-export the full assertion set per
+            # check (any backend instance — worker respawn, fresh solver
+            # process — can serve any query), with assumption terms as
+            # unit clauses so per-call scoping survives.
+            limits.seed, self._pending_seed = self._pending_seed, None
+            dimacs = to_dimacs(self._asserted + assumption_terms)
+            self.stats["worker_checks"] += 1
+            self._last_backend = backend.name
+            result = backend.check(dimacs, (), limits)
+            if result.fallback:
+                # The backend declined (circuit breaker): the un-dispatched
+                # check doesn't count, and the in-process core — which holds
+                # the same clauses — answers instead.
+                self.stats["worker_checks"] -= 1
+                self.stats["worker_fallbacks"] += 1
+                self._last_backend = self._core.name
+                result = self._core.check(None, sat_assumptions, limits)
+            else:
+                self._remote_conflicts += result.conflicts
+                if result.verdict == "sat" and result.model is not None:
+                    self._remote_model = dict(result.model)
         if budget is not None:
-            budget.charge_conflicts(self._sat.conflicts - conflicts_before)
-        if verdict is None:
-            return Unknown(self._sat.stop_reason or "unspecified")
-        return SAT if verdict else UNSAT
-
-    def _check_isolated(self, max_conflicts, deadline, budget,
-                        assumption_terms=(), sat_assumptions=()):
-        """One check on a sandboxed worker, DIMACS over the wire.
-
-        The full assertion set is re-exported per check (workers are
-        stateless by design — any of them, including a fresh respawn,
-        can serve any query).  Assumptions become extra unit clauses in
-        the export; because every check re-exports from scratch, their
-        per-call scoping is automatic.  Worker conflicts are charged to
-        the budget exactly like in-process ones.
-        """
-        from repro.smt.dimacs import to_dimacs
-
-        dimacs = to_dimacs(self._asserted + list(assumption_terms))
-        key = hash(dimacs)
-        if self._pool.should_fallback(key):
-            # Circuit breaker: this query has killed enough workers that
-            # isolation is costing more than it contains.
-            self._pool.note_fallback(key)
-            self.stats["worker_fallbacks"] += 1
-            return self._check_inprocess(max_conflicts, deadline, budget,
-                                         sat_assumptions)
-        timeout = None
-        if deadline is not None:
-            timeout = max(0.0, deadline - time.monotonic())
-        self.stats["worker_checks"] += 1
-        seed, self._pending_seed = self._pending_seed, None
-        outcome = self._pool.check(dimacs, max_conflicts=max_conflicts,
-                                   timeout=timeout, seed=seed, key=key)
-        self._remote_conflicts += outcome.conflicts
-        if budget is not None:
-            budget.charge_conflicts(outcome.conflicts)
-        if outcome.verdict == "sat":
-            self._remote_model = dict(outcome.model or {})
+            budget.charge_conflicts(result.conflicts)
+        if result.verdict == "sat":
             return SAT
-        if outcome.verdict == "unsat":
+        if result.verdict == "unsat":
             return UNSAT
-        return Unknown(outcome.reason or "unspecified")
+        return Unknown(normalize_reason(result.reason))
 
     def model(self):
         """Extract the model after a SAT check."""
         if self._remote_model is not None:
             values = dict(self._remote_model)
         else:
-            assignment = self._sat.model()
+            assignment = self._core.assignment()
             values = {}
             for name, bits in self._blaster.var_bits.items():
                 value = 0
@@ -395,19 +441,20 @@ class Solver:
     def conflicts(self):
         """Total SAT conflicts this solver has spent (monotonic).
 
-        Includes conflicts spent on our behalf by isolated workers, so
-        CEGIS statistics and budget accounting are execution-agnostic.
+        Includes conflicts spent on our behalf by out-of-process backends
+        (isolated workers, external solvers), so CEGIS statistics and
+        budget accounting are backend-agnostic.
         """
-        return self._sat.conflicts + self._remote_conflicts
+        return self._core.conflicts + self._remote_conflicts
 
     def reseed(self, seed):
         """Deterministically perturb the decision order (retry escalation).
 
-        In isolated mode the seed also rides along on the next worker
-        request, where it perturbs the worker's fresh solver the same way.
+        For stateless backends the seed also rides along on the next
+        check request, where it perturbs the remote solver the same way.
         """
         self._pending_seed = seed
-        self._sat.reseed(seed)
+        self._core.reseed(seed)
 
     # ------------------------------------------------------------------
 
@@ -437,7 +484,7 @@ class Solver:
         are reused, so re-asserting shared structure costs nothing.
         """
         aig = self._blaster.aig
-        sat = self._sat
+        sat = self._core
         node_to_satvar = self._node_to_satvar
         left_of = aig.left
         right_of = aig.right

@@ -45,6 +45,7 @@ from repro.runtime import (
 )
 from repro.smt import counters as _counters
 from repro.smt import terms as T
+from repro.smt.backends import resolve_solver_config
 from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
 from repro.synthesis.incremental import IncrementalContext, candidate_assumptions
 from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
@@ -95,9 +96,9 @@ class CegisStats:
 
 def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
                 stats=None, initial_candidate=None, partial_eval=True,
-                budget=None, retry_policy=None, execution="inprocess",
+                budget=None, retry_policy=None, execution=None,
                 worker_pool=None, incremental=False, incremental_ctx=None,
-                canonicalize=True):
+                canonicalize=True, config=None, backend=None):
     """Find ints for ``hole_vars`` making ``formula`` valid for all states.
 
     ``formula`` is a width-1 term whose free variables are ``hole_vars``
@@ -134,17 +135,24 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     (``timeout`` is folded into it); ``retry_policy`` governs escalation on
     retryable UNKNOWNs.
 
-    ``execution="isolated"`` runs every solver check in a sandboxed child
-    process of ``worker_pool`` (a ``repro.runtime.SolverWorkerPool``):
-    worker deaths surface as retryable ``WorkerCrashed``/``WorkerKilled``
-    faults and flow through the same retry machinery as conflict-cap
-    UNKNOWNs, landing each retry on a freshly spawned worker.
+    ``config`` (a :class:`repro.smt.backends.SolverConfig`) or ``backend``
+    (a registered backend name / instance) selects the decision procedure
+    for every solver this run constructs.  ``backend="isolated"`` with a
+    ``worker_pool`` runs every check in a sandboxed child process of a
+    ``repro.runtime.SolverWorkerPool``: worker deaths surface as retryable
+    ``WorkerCrashed``/``WorkerKilled`` faults and flow through the same
+    retry machinery as conflict-cap UNKNOWNs, landing each retry on a
+    freshly spawned worker.  ``execution``/``worker_pool`` are the
+    deprecated PR-2 spellings of the same selection.
 
     Raises ``SynthesisFailure`` if no assignment exists,
     ``SynthesisTimeout`` if the wall-clock/memory budget is exhausted, and
     ``SolverUnknown`` if the solver gave up for a non-budget reason even
     after retries.
     """
+    config = resolve_solver_config(config, backend=backend,
+                                   execution=execution,
+                                   worker_pool=worker_pool)
     if stats is None:
         stats = CegisStats()
     if incremental and not partial_eval:
@@ -160,7 +168,7 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     try:
         return _cegis_loop(
             formula, hole_vars, max_iterations, stats, initial_candidate,
-            partial_eval, budget, retry_policy, execution, worker_pool,
+            partial_eval, budget, retry_policy, config,
             incremental, incremental_ctx, canonicalize,
         )
     finally:
@@ -171,7 +179,7 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
 
 
 def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
-                partial_eval, budget, retry_policy, execution, worker_pool,
+                partial_eval, budget, retry_policy, config,
                 incremental, incremental_ctx, canonicalize):
     hole_names = {var.name for var in hole_vars}
     forall_vars = [
@@ -187,14 +195,11 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
     guess_blaster = None
     if incremental:
         if incremental_ctx is None:
-            incremental_ctx = IncrementalContext(
-                execution=execution, worker_pool=worker_pool
-            )
+            incremental_ctx = IncrementalContext(config=config)
         selector = incremental_ctx.selector(formula)
         shared_verifier = incremental_ctx.verifier
         guess_blaster = incremental_ctx.guess_blaster
-    guess_solver = Solver(execution=execution, worker_pool=worker_pool,
-                          blaster=guess_blaster)
+    guess_solver = Solver(blaster=guess_blaster, **config.solver_kwargs())
 
     verify_mode = ("incremental" if incremental
                    else "substitution" if partial_eval else "ablation")
@@ -213,8 +218,7 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
                                    side="verification",
                                    assumptions=assumptions)
             elif partial_eval:
-                verifier = Solver(execution=execution,
-                                  worker_pool=worker_pool)
+                verifier = Solver(**config.solver_kwargs())
                 conflicts_before = 0
                 substitution = {
                     hole_by_name[name]: T.bv_const(value,
@@ -225,8 +229,7 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
                 verdict = _checked(verifier, budget, retry_policy, stats,
                                    side="verification")
             else:
-                verifier = Solver(execution=execution,
-                                  worker_pool=worker_pool)
+                verifier = Solver(**config.solver_kwargs())
                 conflicts_before = 0
                 verifier.add(T.bv_not(formula))
                 for name, value in cand.items():

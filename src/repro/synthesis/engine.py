@@ -24,6 +24,11 @@ from repro.runtime import (
     SolverWorkerPool,
 )
 from repro.smt import counters as _counters
+from repro.smt.backends import (
+    SolverBackend,
+    available_backends,
+    resolve_solver_config,
+)
 from repro.synthesis.incremental import IncrementalContext, resolve_pipeline
 from repro.synthesis.independence import check_instruction_independence
 from repro.synthesis.monolithic import synthesize_monolithic_solutions
@@ -43,8 +48,8 @@ def synthesize(problem, mode="per_instruction", timeout=None,
                max_iterations=256, check_independence=True,
                progress=None, partial_eval=True, budget=None,
                retry_policy=None, on_timeout="raise", resume_from=None,
-               execution="inprocess", worker_pool=None, max_workers=None,
-               pipeline=None):
+               execution=None, worker_pool=None, max_workers=None,
+               pipeline=None, config=None, backend=None):
     """Run control logic synthesis.
 
     Parameters
@@ -52,6 +57,23 @@ def synthesize(problem, mode="per_instruction", timeout=None,
     mode:
         ``"per_instruction"`` (the Section 3.3.1 optimization, default) or
         ``"monolithic"`` (Equation (1), the Table 1 † configuration).
+    config:
+        A :class:`repro.smt.backends.SolverConfig` bundling the solver
+        knobs (``backend``, ``worker_pool``, ``pipeline``,
+        ``max_workers``), resolved exactly once at this boundary and
+        threaded down the whole stack.  Mutually exclusive with passing
+        the individual knobs below.
+    backend:
+        The decision procedure for every solver check: a registered
+        backend name (``"inprocess"``, ``"isolated"``,
+        ``"subprocess-dimacs"``, or anything added via
+        ``repro.smt.backends.register_backend``), a live
+        ``SolverBackend`` instance, or ``None`` for the process default
+        (``$REPRO_BACKEND`` or ``"inprocess"``).  ``"isolated"`` routes
+        checks through sandboxed worker subprocesses and dispatches
+        independent per-instruction problems concurrently across the
+        pool; worker deaths are classified, charged to the budget, and
+        retried on fresh workers.
     pipeline:
         ``"incremental"`` (default when ``partial_eval`` is on) evaluates
         the sketch once per problem (shared trace cache), asserts each
@@ -60,6 +82,7 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         ``"fresh"`` re-evaluates and re-encodes per instruction and per
         iteration — the ablation baseline (and the only pipeline the
         ``partial_eval=False`` rewriter ablation supports).
+        Deprecated as a direct kwarg; prefer ``config=``.
     timeout:
         Overall wall-clock budget in seconds; ``SynthesisTimeout`` is raised
         when exceeded (this is how the paper's Timeout row reproduces).
@@ -88,16 +111,14 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         an earlier run of the same problem/mode: completed instructions
         are reused verbatim and only the pending ones are solved.
     execution:
-        ``"inprocess"`` (default) solves in this process, serially.
-        ``"isolated"`` routes every solver check through sandboxed worker
-        subprocesses and dispatches independent per-instruction problems
-        concurrently across the pool; worker deaths are classified,
-        charged to the budget, and retried on fresh workers.
+        Deprecated PR-2 spelling of ``backend`` (``"inprocess"`` /
+        ``"isolated"``); emits a ``DeprecationWarning``.
     worker_pool:
-        A caller-owned ``repro.runtime.SolverWorkerPool`` for
-        ``execution="isolated"``.  When omitted, the engine creates one
+        A caller-owned ``repro.runtime.SolverWorkerPool`` for the
+        ``"isolated"`` backend.  When omitted, the engine creates one
         sized by ``max_workers`` and shuts it down (asserting no orphans)
-        before returning.
+        before returning.  Deprecated as a direct kwarg; prefer
+        ``config=SolverConfig(worker_pool=...)``.
     max_workers:
         Size of the engine-owned pool (ignored when ``worker_pool`` is
         given); also the per-instruction dispatch width.
@@ -111,19 +132,33 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         # Validate eagerly: a typo'd mode must not lurk until the first
         # run that actually times out.
         raise ValueError(f"unknown on_timeout mode {on_timeout!r}")
-    if execution not in ("inprocess", "isolated"):
-        raise ValueError(f"unknown execution mode {execution!r}")
-    pipeline = resolve_pipeline(pipeline, partial_eval)
+    config = resolve_solver_config(config, backend=backend,
+                                   execution=execution,
+                                   worker_pool=worker_pool,
+                                   pipeline=pipeline,
+                                   max_workers=max_workers)
+    backend_name = config.backend_name
+    if (not isinstance(config.backend, SolverBackend)
+            and backend_name not in available_backends()):
+        # Validate eagerly, before any evaluation work: a typo'd backend
+        # must not lurk until the first solver construction.
+        raise ValueError(
+            f"unknown solver backend {backend_name!r}; registered: "
+            f"{', '.join(available_backends())}"
+        )
+    pipeline = resolve_pipeline(config.pipeline, partial_eval)
+    # Freeze the resolved pipeline into the config so every downstream
+    # layer sees the same choice without re-resolving.
+    config = config.replace(pipeline=pipeline)
     if budget is None:
         budget = Budget(timeout=timeout)
     elif timeout is not None:
         budget = budget.child(timeout=timeout)
     owned_pool = None
-    if execution == "isolated":
-        if worker_pool is None:
-            worker_pool = owned_pool = SolverWorkerPool(
-                size=max_workers or 2
-            )
+    if backend_name == "isolated":
+        if config.worker_pool is None:
+            owned_pool = SolverWorkerPool(size=config.max_workers or 2)
+            config = config.replace(worker_pool=owned_pool)
         if retry_policy is None:
             # Isolation without retries would turn every transient worker
             # death into a lost instruction; default to the standard
@@ -131,11 +166,12 @@ def synthesize(problem, mode="per_instruction", timeout=None,
             retry_policy = RetryPolicy()
     try:
         with _obs.span("synthesis.run", problem=problem.name, mode=mode,
-                       execution=execution, pipeline=pipeline):
+                       backend=backend_name, execution=backend_name,
+                       pipeline=pipeline):
             return _synthesize(
                 problem, mode, started, max_iterations, check_independence,
                 progress, partial_eval, budget, retry_policy, on_timeout,
-                resume_from, execution, worker_pool, pipeline,
+                resume_from, config, pipeline,
             )
     finally:
         if owned_pool is not None:
@@ -149,8 +185,12 @@ def synthesize(problem, mode="per_instruction", timeout=None,
 
 def _synthesize(problem, mode, started, max_iterations, check_independence,
                 progress, partial_eval, budget, retry_policy, on_timeout,
-                resume_from, execution, worker_pool, pipeline):
-    stats = {"mode": mode, "execution": execution, "pipeline": pipeline}
+                resume_from, config, pipeline):
+    backend_name = config.backend_name
+    worker_pool = config.worker_pool
+    isolated = backend_name == "isolated"
+    stats = {"mode": mode, "backend": backend_name,
+             "execution": backend_name, "pipeline": pipeline}
     encode_before = _counters.snapshot()
     # The trace's opening metrics snapshot is taken at the same point as
     # ``encode_before`` (and the closing one where ``stats["counters"]``
@@ -166,8 +206,11 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
         # front: the cost is paid once, and the isolated engine can then
         # dispatch against a read-only entry.
         problem.trace_cache().entry(problem)
-        if execution == "inprocess":
-            incremental_ctx = IncrementalContext()
+        if not isolated:
+            # Serial execution shares one encode-once context across the
+            # instruction loop; isolated dispatch threads each build
+            # their own (a context is serial by contract).
+            incremental_ctx = IncrementalContext(config=config)
 
     if mode == "per_instruction":
         if check_independence:
@@ -177,11 +220,10 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
         solved = dict(resume_solutions)
         faults = []
         try:
-            if execution == "isolated":
+            if isolated:
                 stop_fault = _solve_concurrently(
                     problem, solved, faults, budget, retry_policy,
-                    max_iterations, partial_eval, worker_pool, progress,
-                    pipeline,
+                    max_iterations, partial_eval, config, progress,
                 )
                 if stop_fault is not None:
                     partial = _partial(problem, mode, solved,
@@ -201,7 +243,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
                             retry_policy=retry_policy,
                             max_iterations=max_iterations,
                             partial_eval=partial_eval,
-                            pipeline=pipeline,
+                            config=config,
                             incremental_ctx=incremental_ctx,
                         )
                     except BudgetExhausted as fault:
@@ -241,8 +283,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
         try:
             solutions, cegis_stats = synthesize_monolithic_solutions(
                 problem, budget=budget, retry_policy=retry_policy,
-                max_iterations=max_iterations, execution=execution,
-                worker_pool=worker_pool, pipeline=pipeline,
+                max_iterations=max_iterations, config=config,
             )
         except KeyboardInterrupt as fault:
             if worker_pool is not None:
@@ -277,8 +318,7 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
 
 
 def _solve_concurrently(problem, solved, faults, budget, retry_policy,
-                        max_iterations, partial_eval, worker_pool, progress,
-                        pipeline):
+                        max_iterations, partial_eval, config, progress):
     """Dispatch pending per-instruction problems across the worker pool.
 
     Instruction independence (Section 3.3.1) is what makes this sound:
@@ -292,6 +332,7 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
     hard-kills in-flight workers (their submitter threads observe EOF and
     unwind promptly), and propagates to the caller's degradation path.
     """
+    worker_pool = config.worker_pool
     pending = [
         (index, instruction)
         for index, instruction in enumerate(problem.spec.instructions)
@@ -310,8 +351,8 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
         for index, instruction in pending:
             future = executor.submit(
                 _solve_one, problem, instruction, index, budget,
-                retry_policy, max_iterations, partial_eval, worker_pool,
-                pipeline, parent_span,
+                retry_policy, max_iterations, partial_eval, config,
+                parent_span,
             )
             futures[future] = instruction
         for future in as_completed(futures):
@@ -344,8 +385,7 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
 
 
 def _solve_one(problem, instruction, index, budget, retry_policy,
-               max_iterations, partial_eval, worker_pool, pipeline,
-               span_parent=None):
+               max_iterations, partial_eval, config, span_parent=None):
     # incremental_ctx stays None here: each dispatch thread gets its own
     # context inside cegis_solve (an IncrementalContext is serial), while
     # the precompiled TraceEntry is still shared read-only.
@@ -355,8 +395,7 @@ def _solve_one(problem, instruction, index, budget, retry_policy,
         return synthesize_instruction(
             problem, instruction, index, budget=budget.child(),
             retry_policy=retry_policy, max_iterations=max_iterations,
-            partial_eval=partial_eval, execution="isolated",
-            worker_pool=worker_pool, pipeline=pipeline,
+            partial_eval=partial_eval, config=config,
         )
 
 

@@ -42,9 +42,10 @@ restores it after, capturing exactly that instruction's side-condition
 delta — each formula carries the evaluation-time conditions plus its own
 fresh-read pairs, mirroring the fresh pipeline's formula shape.
 
-Trace sharing is per-process: ``execution="isolated"`` keeps working
-because the symbolic evaluation, compilation and formula construction all
-happen in the engine process — workers still receive plain DIMACS.
+Trace sharing is per-process: out-of-process backends (``"isolated"``
+workers, ``"subprocess-dimacs"`` solvers) keep working because the
+symbolic evaluation, compilation and formula construction all happen in
+the engine process — remote solvers still receive plain DIMACS.
 """
 
 from __future__ import annotations
@@ -55,6 +56,7 @@ from repro.obs.metrics import METRICS as _METRICS
 from repro.oyster.memory import SymbolicMemory
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import terms as T
+from repro.smt.backends import resolve_solver_config
 from repro.smt.bitblast import BitBlaster
 from repro.smt.counters import COUNTERS
 from repro.smt.solver import Solver
@@ -223,10 +225,20 @@ class IncrementalContext:
     instructions, selector-guarded) and the shared guess-side blaster.
     A context must be used serially: share one across a sequential
     per-instruction loop, or give each dispatch thread its own.
+
+    ``config`` is a :class:`repro.smt.backends.SolverConfig` selecting
+    the decision procedure; candidate checks on a backend without native
+    assumption support degrade to per-check DIMACS re-export (the facade
+    handles it), so the context stays correct — just without the
+    learned-clause reuse that motivates it.  ``execution``/``worker_pool``
+    are the deprecated spellings.
     """
 
-    def __init__(self, execution="inprocess", worker_pool=None):
-        self.verifier = Solver(execution=execution, worker_pool=worker_pool)
+    def __init__(self, execution=None, worker_pool=None, config=None):
+        config = resolve_solver_config(config, execution=execution,
+                                       worker_pool=worker_pool)
+        self.config = config
+        self.verifier = Solver(**config.solver_kwargs())
         self.guess_blaster = BitBlaster()
         self._selectors = {}
         self._counter = 0

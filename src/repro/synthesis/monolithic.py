@@ -17,6 +17,7 @@ import time
 from repro.ila.compiler import ConstraintCompiler
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import terms as T
+from repro.smt.backends import resolve_solver_config
 from repro.synthesis.cegis import cegis_solve, CegisStats
 from repro.synthesis.incremental import resolve_pipeline
 from repro.synthesis.result import InstructionSolution, SynthesisError
@@ -27,14 +28,17 @@ __all__ = ["synthesize_monolithic_solutions"]
 def synthesize_monolithic_solutions(problem, timeout=None,
                                     max_iterations=256, budget=None,
                                     retry_policy=None,
-                                    execution="inprocess",
-                                    worker_pool=None, pipeline=None):
+                                    execution=None,
+                                    worker_pool=None, pipeline=None,
+                                    config=None, backend=None):
     """Solve all instructions in one CEGIS query.
 
     Returns ``(solutions, stats)`` where ``solutions`` is one
     ``InstructionSolution`` per instruction (so the control union applies
     unchanged downstream).  ``budget``/``retry_policy`` are threaded into
-    the underlying CEGIS run.
+    the underlying CEGIS run; ``config``/``backend`` select the decision
+    procedure (``execution``/``worker_pool``/``pipeline`` are the
+    deprecated spellings).
 
     ``pipeline="incremental"`` reuses the problem's shared
     :class:`~repro.synthesis.incremental.TraceCache` evaluation (instead
@@ -45,7 +49,11 @@ def synthesize_monolithic_solutions(problem, timeout=None,
     """
     started = time.monotonic()
     spec = problem.spec
-    pipeline = resolve_pipeline(pipeline)
+    config = resolve_solver_config(config, backend=backend,
+                                   execution=execution,
+                                   worker_pool=worker_pool,
+                                   pipeline=pipeline)
+    pipeline = resolve_pipeline(config.pipeline)
     if pipeline == "incremental":
         entry = problem.trace_cache().entry(problem)
         prefix = entry.prefix
@@ -119,8 +127,7 @@ def synthesize_monolithic_solutions(problem, timeout=None,
     values = cegis_solve(
         formula, list(constants.values()), timeout=timeout, stats=stats,
         max_iterations=max_iterations, budget=budget,
-        retry_policy=retry_policy, execution=execution,
-        worker_pool=worker_pool,
+        retry_policy=retry_policy, config=config,
         incremental=(pipeline == "incremental"),
     )
     elapsed = time.monotonic() - started

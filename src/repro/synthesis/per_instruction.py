@@ -15,6 +15,7 @@ from repro.obs import trace as _obs
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.smt import counters as _counters
 from repro.smt import terms as T
+from repro.smt.backends import resolve_solver_config
 from repro.synthesis.cegis import cegis_solve, CegisStats
 from repro.synthesis.incremental import resolve_pipeline
 from repro.synthesis.preprocess import resolve_equalities
@@ -56,37 +57,46 @@ def instruction_formula(problem, instruction, prefix):
 def synthesize_instruction(problem, instruction, index, timeout=None,
                            max_iterations=256, partial_eval=True,
                            budget=None, retry_policy=None,
-                           execution="inprocess", worker_pool=None,
-                           pipeline=None, incremental_ctx=None):
+                           execution=None, worker_pool=None,
+                           pipeline=None, incremental_ctx=None,
+                           config=None, backend=None):
     """Solve the hole constants for one instruction; returns a solution.
 
     ``budget`` is a ``repro.runtime.Budget`` slice for this instruction
     (shared caps are enforced through its parent chain); ``retry_policy``
     governs restart-with-escalation on retryable UNKNOWNs.
-    ``execution="isolated"`` routes every solver check through
-    ``worker_pool``'s sandboxed child processes.
 
-    ``pipeline`` selects ``"fresh"`` (per-instruction symbolic evaluation
-    + per-iteration verifiers) or ``"incremental"`` (the problem's shared
+    ``config`` (a :class:`repro.smt.backends.SolverConfig`) or ``backend``
+    selects the decision procedure — e.g. ``backend="isolated"`` routes
+    every solver check through a worker pool's sandboxed child processes.
+    The config's ``pipeline`` field selects ``"fresh"`` (per-instruction
+    symbolic evaluation + per-iteration verifiers) or ``"incremental"``
+    (the problem's shared
     :class:`~repro.synthesis.incremental.TraceCache` trace + the
     assumption-based verify mode); ``None`` resolves to incremental
     unless ``partial_eval`` is disabled.  ``incremental_ctx`` shares one
     encode-once verifier across a serial run of instructions.
+    ``execution``/``worker_pool``/``pipeline`` are the deprecated PR-2
+    spellings of the same knobs.
     """
     started = time.monotonic()
-    pipeline = resolve_pipeline(pipeline, partial_eval)
+    config = resolve_solver_config(config, backend=backend,
+                                   execution=execution,
+                                   worker_pool=worker_pool,
+                                   pipeline=pipeline)
+    pipeline = resolve_pipeline(config.pipeline, partial_eval)
     with _obs.span("synthesis.instruction", instr=instruction.name,
-                   pipeline=pipeline):
+                   pipeline=pipeline, backend=config.backend_name):
         return _synthesize_instruction(
             problem, instruction, index, started, timeout, max_iterations,
-            partial_eval, budget, retry_policy, execution, worker_pool,
+            partial_eval, budget, retry_policy, config,
             pipeline, incremental_ctx,
         )
 
 
 def _synthesize_instruction(problem, instruction, index, started, timeout,
                             max_iterations, partial_eval, budget,
-                            retry_policy, execution, worker_pool, pipeline,
+                            retry_policy, config, pipeline,
                             incremental_ctx):
     encode_before = _counters.snapshot()
     if pipeline == "incremental":
@@ -111,8 +121,7 @@ def _synthesize_instruction(problem, instruction, index, started, timeout,
     values_by_var = cegis_solve(
         formula, hole_vars, timeout=timeout, stats=stats,
         max_iterations=max_iterations, partial_eval=partial_eval,
-        budget=budget, retry_policy=retry_policy,
-        execution=execution, worker_pool=worker_pool,
+        budget=budget, retry_policy=retry_policy, config=config,
         incremental=(pipeline == "incremental"),
         incremental_ctx=incremental_ctx,
     )

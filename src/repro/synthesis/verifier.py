@@ -16,7 +16,9 @@ from dataclasses import dataclass, field
 from repro.ila.compiler import ConstraintCompiler
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.runtime import BudgetExhausted
+from repro.runtime.reasons import normalize_reason
 from repro.smt import terms as T
+from repro.smt.backends import resolve_solver_config
 from repro.smt.solver import Solver, SAT, UNSAT, UNKNOWN
 from repro.synthesis.preprocess import resolve_equalities
 
@@ -29,7 +31,9 @@ class InstructionVerdict:
     status: str  # "proved", "violated", "unknown"
     counterexample: dict = field(default_factory=dict)
     time: float = 0.0
-    reason: str = ""  # why an "unknown" is unknown (exhausted cap, ...)
+    #: Why an "unknown" is unknown: always a canonical reason from
+    #: ``repro.runtime.reasons`` ("deadline", "conflicts", "memory", ...).
+    reason: str = ""
 
 
 @dataclass
@@ -58,7 +62,8 @@ class VerificationResult:
 
 def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
                   timeout_per_instruction=None, instructions=None,
-                  budget=None, execution="inprocess", worker_pool=None):
+                  budget=None, execution=None, worker_pool=None,
+                  config=None, backend=None):
     """Check every instruction's pre→post on ``design``.
 
     ``hole_values`` allows verifying a sketch under concrete hole constants
@@ -68,12 +73,16 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
     ``budget`` is a shared ``repro.runtime.Budget`` across all
     instructions.  Verification is sound under resource exhaustion: a
     budget that trips (before or mid-check) yields a verdict of
-    ``"unknown"`` whose ``reason`` names the exhausted cap — never a
-    ``"proved"`` the solver did not actually establish.  ``execution``/
-    ``worker_pool`` route checks through sandboxed workers exactly as in
-    synthesis.
+    ``"unknown"`` whose ``reason`` names the exhausted cap (canonical, per
+    ``repro.runtime.reasons``) — never a ``"proved"`` the solver did not
+    actually establish.  ``config``/``backend`` select the decision
+    procedure exactly as in synthesis (``execution``/``worker_pool`` are
+    the deprecated spellings).
     """
     spec.validate()
+    config = resolve_solver_config(config, backend=backend,
+                                   execution=execution,
+                                   worker_pool=worker_pool)
     verdicts = []
     chosen = spec.instructions
     if instructions is not None:
@@ -105,7 +114,7 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
                 T.bv_and(side, compiled.antecedent()), compiled.consequent()
             )
             violation = T.and_(antecedent, T.bv_not(consequent))
-            solver = Solver(execution=execution, worker_pool=worker_pool)
+            solver = Solver(**config.solver_kwargs())
             solver.add(violation)
             verdict = solver.check(timeout=timeout_per_instruction,
                                    budget=budget)
@@ -113,7 +122,8 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
             verdicts.append(
                 InstructionVerdict(
                     instruction.name, "unknown", {},
-                    time.monotonic() - started, reason=fault.reason,
+                    time.monotonic() - started,
+                    reason=normalize_reason(fault.reason),
                 )
             )
             continue
@@ -133,7 +143,9 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
             verdicts.append(
                 InstructionVerdict(
                     instruction.name, "unknown", {}, elapsed,
-                    reason=getattr(verdict, "reason", "") or "",
+                    reason=normalize_reason(
+                        getattr(verdict, "reason", "") or ""
+                    ),
                 )
             )
     return VerificationResult(design.name, verdicts)

@@ -17,6 +17,7 @@ from repro.runtime import (
     WorkerKilled,
 )
 from repro.runtime._worker_proto import EXIT_CRASH, EXIT_OOM
+from repro.runtime.reasons import WORKER_REASONS, is_canonical
 from repro.smt import terms as T
 from repro.smt.dimacs import to_dimacs
 
@@ -58,6 +59,7 @@ def test_injected_crash_classified_and_pool_recovers(pool):
         with pytest.raises(WorkerCrashed) as excinfo:
             pool.check(_sat_query())
     assert excinfo.value.reason == "worker-crashed"
+    assert excinfo.value.reason in WORKER_REASONS
     assert excinfo.value.exit_code == EXIT_CRASH
     # The pool respawned a replacement; the next check succeeds.
     assert pool.check(_sat_query()).verdict == "sat"
@@ -76,8 +78,10 @@ def test_injected_oom_is_classified_not_raw_memoryerror():
         with injector.installed():
             with pytest.raises(WorkerCrashed) as excinfo:
                 pool.check(_sat_query())
-        # Machine-readable classification, never a raw MemoryError.
+        # Machine-readable classification, never a raw MemoryError —
+        # and always a canonical reason (repro.runtime.reasons).
         assert excinfo.value.reason == "worker-oom"
+        assert is_canonical(excinfo.value.reason)
         assert not isinstance(excinfo.value, MemoryError)
         assert pool.check(_sat_query()).verdict == "sat"
     finally:
@@ -96,6 +100,7 @@ def test_hung_worker_reaped_within_watchdog_bound():
                 pool.check(_sat_query())
         elapsed = time.monotonic() - started
         assert excinfo.value.reason == "heartbeat-lost"
+        assert excinfo.value.reason in WORKER_REASONS
         # Killed within watchdog_grace (2x) heartbeat intervals, plus
         # scan-period and process-teardown slack — not the 3600s hang.
         assert elapsed < 2 * interval + 1.0, elapsed
@@ -127,6 +132,7 @@ def test_interrupt_teardown_classified_as_interrupted():
             thread.join(timeout=10.0)
         assert not thread.is_alive()
         assert caught and caught[0].reason == "interrupted"
+        assert is_canonical(caught[0].reason)
     finally:
         assert pool.shutdown()["orphans"] == 0
 

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A hermetic stand-in for an external DIMACS SAT solver.
+
+The subprocess-dimacs backend shells out to whatever solver binary it is
+given; this script lets its happy path, malformed-output path and timeout
+path all be tested without installing kissat or minisat.  It reads a
+DIMACS file, *actually solves it* with the repo's bundled CDCL core (so
+differential tests can demand bit-identical synthesized control logic),
+and prints the standard SAT-competition output format::
+
+    c fake-sat-solver
+    c conflicts 42
+    s SATISFIABLE
+    v 1 -2 3 ... 0
+
+Failure modes are simulated with flags (placed *before* the CNF path,
+e.g. ``REPRO_DIMACS_SOLVER="python fake_sat_solver.py --garbage"``):
+
+``--unknown``   print ``s UNKNOWN`` without solving
+``--garbage``   print non-DIMACS noise and exit 0 (a broken solver)
+``--modelless`` claim ``s SATISFIABLE`` but print no ``v`` lines
+``--hang N``    sleep N seconds before answering (deadline enforcement)
+``--crash``     exit 1 with no output (a solver that segfaulted)
+
+Exit codes follow the competition convention: 10 for SAT, 20 for UNSAT.
+"""
+
+import argparse
+import os
+import sys
+import time
+
+#: This file lives at <repo>/tests/smt/; the package root is <repo>/src.
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--unknown", action="store_true")
+    parser.add_argument("--garbage", action="store_true")
+    parser.add_argument("--modelless", action="store_true")
+    parser.add_argument("--hang", type=float, default=0.0, metavar="SECONDS")
+    parser.add_argument("--crash", action="store_true")
+    parser.add_argument("cnf", help="path to the DIMACS query")
+    args = parser.parse_args()
+
+    if args.hang:
+        time.sleep(args.hang)
+    if args.crash:
+        return 1
+    if args.garbage:
+        print("segmentation fault (core dumped) just kidding but still")
+        print("%%% not a verdict line %%%")
+        return 0
+    if args.unknown:
+        print("c fake-sat-solver giving up on purpose")
+        print("s UNKNOWN")
+        return 0
+
+    sys.path.insert(0, _SRC)
+    from repro.smt.dimacs import from_dimacs
+    from repro.smt.sat.solver import SatSolver
+
+    with open(args.cnf) as handle:
+        cnf = from_dimacs(handle.read())
+    solver = SatSolver()
+    while solver.num_vars < cnf.num_vars:
+        solver.new_var()
+    for clause in cnf.clauses:
+        solver.add_clause(
+            [2 * abs(lit) + (1 if lit < 0 else 0) for lit in clause]
+        )
+    verdict = solver.solve()
+    print("c fake-sat-solver")
+    print(f"c conflicts {solver.conflicts}")
+    if not verdict:
+        print("s UNSATISFIABLE")
+        return 20
+    print("s SATISFIABLE")
+    if not args.modelless:
+        model = solver.model()
+        lits = [
+            str(var if model.get(var, 0) else -var)
+            for var in range(1, cnf.num_vars + 1)
+        ]
+        print("v " + " ".join(lits) + " 0")
+    return 10
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,327 @@
+"""The backend seam itself: registry, config resolution, external solvers.
+
+Three layers under test:
+
+* the registry (``available_backends`` / ``register_backend`` /
+  ``resolve_backend``) and the capability table it reports;
+* ``SolverConfig`` + ``resolve_solver_config`` — the single funnel the
+  legacy ``execution=``/``worker_pool=``/``pipeline=`` kwargs drain into;
+* the ``subprocess-dimacs`` backend's full failure taxonomy, driven
+  hermetically by ``fake_sat_solver.py``'s misbehavior flags.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro.runtime.reasons import (
+    CANONICAL_REASONS,
+    is_canonical,
+    normalize_reason,
+)
+from repro.smt import Solver
+from repro.smt import terms as T
+from repro.smt.backends import (
+    BackendResult,
+    SolverBackend,
+    SolverConfig,
+    available_backends,
+    backend_capabilities,
+    register_backend,
+    resolve_backend,
+    resolve_solver_config,
+)
+from repro.smt.backends import registry as _registry
+from repro.smt.backends.inprocess import InProcessBackend
+from repro.smt.backends.registry import (
+    BACKEND_ENV,
+    default_backend_name,
+    resolve_backend_name,
+)
+from repro.smt.backends.subprocess_dimacs import (
+    SOLVER_ENV,
+    BackendUnavailable,
+    SubprocessDimacsBackend,
+)
+from repro.smt.dimacs import solve_dimacs
+from repro.smt.solver import SAT, UNSAT
+
+FAKE_SOLVER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fake_sat_solver.py")
+
+
+def _fake_command(*flags):
+    return [sys.executable, FAKE_SOLVER, *flags]
+
+
+def _sat_query(solver):
+    x = T.bv_var("x", 8)
+    solver.add(T.bv_eq(T.bv_add(x, T.bv_const(1, 8)), T.bv_const(10, 8)))
+    return x
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def test_builtin_backends_are_registered():
+    names = available_backends()
+    for name in ("inprocess", "isolated", "subprocess-dimacs"):
+        assert name in names
+
+
+def test_capability_table_matches_the_docs():
+    table = backend_capabilities()
+    assert table["inprocess"] == {
+        "supports_assumptions": True,
+        "supports_incremental": True,
+        "produces_models": False,
+    }
+    assert table["isolated"] == {
+        "supports_assumptions": False,
+        "supports_incremental": False,
+        "produces_models": True,
+    }
+    assert table["subprocess-dimacs"] == {
+        "supports_assumptions": False,
+        "supports_incremental": False,
+        "produces_models": True,
+    }
+
+
+def test_resolve_unknown_backend_raises_with_the_roster():
+    with pytest.raises(ValueError, match="unknown solver backend 'no-such'"):
+        resolve_backend("no-such")
+
+
+def test_resolve_backend_instance_passes_through():
+    backend = InProcessBackend()
+    assert resolve_backend(backend) is backend
+    assert resolve_backend_name(backend) == "inprocess"
+
+
+def test_register_backend_rejects_duplicates():
+    with pytest.raises(ValueError, match="already registered"):
+        register_backend("inprocess", lambda worker_pool=None: None)
+
+
+def test_isolated_without_pool_is_a_clear_error():
+    with pytest.raises(ValueError, match="requires a worker_pool"):
+        resolve_backend("isolated")
+
+
+def test_env_var_sets_the_process_default_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "subprocess-dimacs")
+    assert default_backend_name() == "subprocess-dimacs"
+    assert resolve_backend_name(None) == "subprocess-dimacs"
+    assert SolverConfig().backend_name == "subprocess-dimacs"
+    monkeypatch.delenv(BACKEND_ENV)
+    assert default_backend_name() == "inprocess"
+
+
+def test_custom_backend_registers_and_serves_checks():
+    """The registration example from the registry docstring, end to end."""
+
+    class EchoCdclBackend(SolverBackend):
+        name = "echo-cdcl"
+        produces_models = True
+
+        def check(self, cnf, assumptions=(), limits=None):
+            verdict, values, conflicts = solve_dimacs(cnf)
+            return BackendResult(verdict, model=values, conflicts=conflicts)
+
+    register_backend("echo-cdcl", lambda worker_pool=None: EchoCdclBackend(),
+                     cls=EchoCdclBackend)
+    try:
+        assert "echo-cdcl" in available_backends()
+        solver = Solver(backend="echo-cdcl")
+        x = _sat_query(solver)
+        assert solver.check() is SAT
+        assert solver.model().value(x) == 9
+        assert solver.backend_name == "echo-cdcl"
+    finally:
+        _registry._REGISTRY.pop("echo-cdcl", None)
+
+
+# ---------------------------------------------------------------------------
+# SolverConfig resolution and the deprecated kwargs
+# ---------------------------------------------------------------------------
+
+
+def test_config_passes_through_untouched():
+    config = SolverConfig(backend="inprocess", pipeline="fresh")
+    assert resolve_solver_config(config=config) is config
+
+
+def test_config_plus_knobs_is_a_contradiction():
+    config = SolverConfig()
+    with pytest.raises(ValueError, match="not both"):
+        resolve_solver_config(config=config, backend="inprocess")
+    with pytest.raises(ValueError, match="pipeline"):
+        resolve_solver_config(config=config, pipeline="fresh")
+
+
+def test_legacy_execution_kwarg_warns_and_maps():
+    with pytest.warns(DeprecationWarning, match="execution is deprecated"):
+        config = resolve_solver_config(execution="inprocess")
+    assert config.backend_name == "inprocess"
+
+
+def test_legacy_kwargs_warn_once_naming_all_offenders():
+    with pytest.warns(DeprecationWarning,
+                      match="execution, pipeline are deprecated"):
+        config = resolve_solver_config(execution="inprocess",
+                                       pipeline="fresh")
+    assert config.pipeline == "fresh"
+
+
+def test_unknown_execution_mode_raises():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="unknown execution mode"):
+            resolve_solver_config(execution="quantum")
+
+
+def test_execution_conflicting_with_backend_raises():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ValueError, match="conflicting backend"):
+            resolve_solver_config(execution="isolated", backend="inprocess")
+
+
+def test_solver_accepts_legacy_execution_with_warning():
+    with pytest.warns(DeprecationWarning,
+                      match=r"Solver\(execution=...\) is deprecated"):
+        solver = Solver(execution="inprocess")
+    assert solver.backend_name == "inprocess"
+    assert solver.execution == "inprocess"
+
+
+def test_solver_config_solver_kwargs_round_trip():
+    backend = SubprocessDimacsBackend(command=_fake_command())
+    config = SolverConfig(backend=backend)
+    solver = Solver(**config.solver_kwargs())
+    assert solver.backend is backend
+    assert solver.backend_name == "subprocess-dimacs"
+
+
+# ---------------------------------------------------------------------------
+# subprocess-dimacs: discovery and the failure taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_solver_env_var_pins_the_command(monkeypatch):
+    monkeypatch.setenv(
+        SOLVER_ENV, f"{sys.executable} {FAKE_SOLVER}")
+    backend = SubprocessDimacsBackend()
+    assert backend.command == [sys.executable, FAKE_SOLVER]
+
+
+def test_no_solver_anywhere_raises_backend_unavailable(monkeypatch):
+    monkeypatch.delenv(SOLVER_ENV, raising=False)
+    monkeypatch.setenv("PATH", "")
+    with pytest.raises(BackendUnavailable, match="found no SAT solver"):
+        SubprocessDimacsBackend()
+
+
+def test_subprocess_happy_path_sat_and_unsat():
+    solver = Solver(backend=SubprocessDimacsBackend(command=_fake_command()))
+    x = _sat_query(solver)
+    assert solver.check() is SAT
+    assert solver.model().value(x) == 9
+    solver.add(T.bv_eq(x, T.bv_const(3, 8)))
+    assert solver.check() is UNSAT
+
+
+@pytest.mark.parametrize("flag,reason", [
+    ("--unknown", "backend-error"),
+    ("--garbage", "backend-error"),
+    ("--modelless", "backend-error"),
+    ("--crash", "backend-error"),
+])
+def test_subprocess_misbehavior_degrades_to_canonical_unknown(flag, reason):
+    solver = Solver(
+        backend=SubprocessDimacsBackend(command=_fake_command(flag)))
+    _sat_query(solver)
+    verdict = solver.check()
+    assert verdict.name == "unknown"
+    assert verdict.reason == reason
+    assert is_canonical(verdict.reason)
+
+
+def test_subprocess_hang_is_killed_at_the_deadline():
+    solver = Solver(
+        backend=SubprocessDimacsBackend(command=_fake_command("--hang", "60")))
+    _sat_query(solver)
+    verdict = solver.check(timeout=0.5)
+    assert verdict.name == "unknown"
+    assert verdict.reason == "deadline"
+
+
+def test_subprocess_checks_count_as_worker_checks():
+    solver = Solver(backend=SubprocessDimacsBackend(command=_fake_command()))
+    _sat_query(solver)
+    solver.check()
+    assert solver.stats["worker_checks"] == 1
+    assert solver.stats["worker_fallbacks"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Canonical unknown-reason taxonomy
+# ---------------------------------------------------------------------------
+
+
+def test_normalize_reason_aliases():
+    assert normalize_reason("timeout") == "deadline"
+    assert normalize_reason("garbage") == "backend-error"
+    assert normalize_reason("") == "unspecified"
+    assert normalize_reason(None) == "unspecified"
+
+
+def test_normalize_reason_passes_canonical_through():
+    for reason in CANONICAL_REASONS:
+        assert normalize_reason(reason) == reason
+        assert is_canonical(reason)
+
+
+def test_unknown_verdicts_from_the_facade_are_canonical():
+    # Pinned to the in-process core: the conflict cap is what trips.
+    solver = Solver(backend="inprocess")
+    x = T.bv_var("hard_p", 14)
+    y = T.bv_var("hard_q", 14)
+    solver.add(T.bv_eq(T.bv_mul(T.zero_extend(x, 28), T.zero_extend(y, 28)),
+                       T.bv_const(9409 * 89, 28)))
+    solver.add(T.bv_ugt(x, T.bv_const(1, 14)))
+    solver.add(T.bv_ugt(y, T.bv_const(1, 14)))
+    verdict = solver.check(max_conflicts=1)
+    assert verdict.name == "unknown"
+    assert is_canonical(verdict.reason)
+
+
+# ---------------------------------------------------------------------------
+# Obs attribution: zero unattributed solver queries
+# ---------------------------------------------------------------------------
+
+
+def test_every_solver_query_event_names_its_backend(tmp_path):
+    from repro.obs import Tracer, installed
+    from repro.obs.report import solver_queries
+    from repro.obs.schema import load_events
+
+    path = tmp_path / "backends.jsonl"
+    tracer = Tracer(path, run_id="backend-attrib")
+    with installed(tracer):
+        for backend in ("inprocess", SubprocessDimacsBackend(
+                command=_fake_command())):
+            solver = Solver(backend=backend)
+            _sat_query(solver)
+            solver.check()
+    tracer.close()
+    events, _ = load_events(path)
+    queries = solver_queries(events)
+    assert len(queries) == 2
+    seen = {q["backend"] for q in queries}
+    assert seen == {"inprocess", "subprocess-dimacs"}
+    for query in queries:
+        assert query["backend"], "unattributed solver query"
+        assert query["execution"] == query["backend"]

@@ -6,6 +6,7 @@ from repro.abstraction import parse_abstraction
 from repro.ila import Ila
 from repro.oyster import parse_design
 from repro.runtime import Budget, FaultInjector
+from repro.runtime.reasons import is_canonical
 from repro.synthesis import verify_design
 
 
@@ -88,6 +89,7 @@ def test_solver_unknown_yields_unknown_verdict_with_reason():
     verdict = result.verdicts[0]
     assert verdict.status == "unknown"
     assert verdict.reason == "injected"
+    assert is_canonical(verdict.reason)
     assert "[injected]" in result.summary()
 
 
@@ -116,6 +118,7 @@ def test_exhausted_budget_is_unknown_never_proved(budget, expected_reason):
         # Sound under exhaustion: no "proved" the solver never earned.
         assert verdict.status == "unknown"
         assert verdict.reason == expected_reason
+        assert is_canonical(verdict.reason)
 
 
 def test_budget_with_headroom_still_proves():
