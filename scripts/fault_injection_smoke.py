@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI smoke check: a fault mid-CEGIS must degrade, not crash.
 
-Three lanes:
+Four lanes:
 
 * **degradation** — a ``FaultInjector`` forces an UNKNOWN verdict partway
   through the ALU synthesis run; the engine must hand back a
@@ -16,6 +16,12 @@ Three lanes:
   ``unknown(backend-error)`` verdict, never a raw exception or a bogus
   SAT; a well-behaved external solver must still synthesize a verifying
   design.
+* **portfolio chaos** — the hedged-racing backend with one member that
+  hangs forever and one that crashes intermittently must still complete
+  the full synthesis bit-identically, with zero leaked temp files and a
+  fully attributed trace; a verdict-flipping member must raise
+  ``SoundnessViolation`` (with a ``portfolio.disagreement`` obs event),
+  never return a wrong verdict.
 
 Exits non-zero on any violation.
 
@@ -100,6 +106,76 @@ def subprocess_backend_misbehavior(problem):
           "verifies")
 
 
+def portfolio_chaos(problem, trace_path):
+    """Hedged racing survives a hanging and a flaky member, attributed."""
+    import glob
+    import tempfile
+    import threading
+
+    from repro.obs import Tracer, installed
+    from repro.obs.report import totals
+    from repro.obs.schema import load_events
+    from repro.runtime import SoundnessViolation
+    from repro.smt.backends import PortfolioBackend
+
+    state_dir = tempfile.mkdtemp(prefix="repro-portfolio-smoke-")
+    backend = PortfolioBackend(members=[
+        "inprocess",
+        SubprocessDimacsBackend(
+            command=[sys.executable, _FAKE_SOLVER, "--hang", "60"]),
+        SubprocessDimacsBackend(
+            command=[sys.executable, _FAKE_SOLVER, "--flaky", "2",
+                     "--state-file", os.path.join(state_dir, "flaky")]),
+    ])
+    tmp_pattern = os.path.join(tempfile.gettempdir(), "repro-dimacs-*")
+    tmp_before = set(glob.glob(tmp_pattern))
+    tracer = Tracer(trace_path, run_id="portfolio-smoke")
+    with installed(tracer):
+        result = synthesize(problem, timeout=300, check_independence=False,
+                            config=SolverConfig(backend=backend))
+    tracer.close()
+
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert result.hole_values_for(name) == expected, name
+    verdict = verify_design(result.completed_design, problem.spec,
+                            problem.alpha)
+    assert verdict.ok, verdict.summary()
+    assert result.stats["backend"] == "portfolio", result.stats
+
+    leaked = set(glob.glob(tmp_pattern)) - tmp_before
+    assert not leaked, f"leaked solver temp dirs: {sorted(leaked)}"
+    stragglers = [t.name for t in threading.enumerate()
+                  if t.name.startswith("portfolio-")]
+    assert not stragglers, f"member threads outlived races: {stragglers}"
+
+    events, _ = load_events(trace_path)
+    agg = totals(events)
+    assert agg["solver_queries"] > 0, "trace recorded no solver queries"
+    assert agg["orphan_queries"] == 0, (
+        f"{agg['orphan_queries']} unattributed solver queries")
+    assert agg["portfolio_delta"].get("races", 0) > 0, agg["portfolio_delta"]
+    print("portfolio chaos: synthesis bit-identical under hang+flaky "
+          f"members, {agg['solver_queries']} queries all attributed, "
+          f"{agg['portfolio_delta'].get('races')} races, 0 leaks; "
+          f"trace at {trace_path}")
+
+    # A verdict-flipping member must trip the disagreement sentinel.
+    flip = PortfolioBackend(members=[SubprocessDimacsBackend(
+        command=[sys.executable, _FAKE_SOLVER, "--flip"])])
+    solver = Solver(backend=flip)
+    x = terms.bv_var("flip_x", 8)
+    solver.add(terms.bv_eq(x, terms.bv_const(7, 8)))
+    try:
+        solver.check()
+    except SoundnessViolation as exc:
+        assert exc.reason == "disagreement", exc.reason
+        assert exc.verdicts, "violation carries no member verdicts"
+        print(f"portfolio flip: SoundnessViolation raised ({exc.verdicts})")
+    else:
+        raise AssertionError(
+            "a lying member returned a verdict instead of raising")
+
+
 def main():
     problem = alu_machine.build_problem()
     names = [i.name for i in problem.spec.instructions]
@@ -136,6 +212,9 @@ def main():
 
     worker_containment(problem)
     subprocess_backend_misbehavior(problem)
+    trace_path = os.environ.get("REPRO_SMOKE_TRACE",
+                                "portfolio_smoke_trace.jsonl")
+    portfolio_chaos(problem, trace_path)
     return 0
 
 

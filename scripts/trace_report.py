@@ -6,6 +6,7 @@ Usage::
     python scripts/trace_report.py TRACE.jsonl
     python scripts/trace_report.py TRACE.jsonl --top 20
     python scripts/trace_report.py TRACE.jsonl --validate-only
+    python scripts/trace_report.py TRACE.jsonl --assert-attributed
 
 Produces a flamegraph-style per-instruction/per-phase text summary, the
 top-K most expensive solver queries with full provenance (result,
@@ -16,6 +17,10 @@ counterexample waveform paths recorded by failed verify queries.
 ``--validate-only`` just checks the trace against the schema (exit 1 on
 violation) — this is what the CI perf-smoke lane gates on.  Traces from
 runs that died mid-span validate fine; the report marks them truncated.
+
+``--assert-attributed`` additionally fails (exit 1) if any ``solver.check``
+event has no owning span — the CI portfolio lane gates on this so racing,
+hedging and cancellation can never produce an unattributed query.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ sys.path.insert(
         os.path.abspath(__file__))), "src")
 )
 
-from repro.obs.report import render_report  # noqa: E402
+from repro.obs.report import render_report, totals  # noqa: E402
 from repro.obs.schema import SchemaError, load_events  # noqa: E402
 
 
@@ -40,6 +45,8 @@ def main(argv=None):
                         help="solver queries to list (default 10)")
     parser.add_argument("--validate-only", action="store_true",
                         help="schema-check the trace and exit")
+    parser.add_argument("--assert-attributed", action="store_true",
+                        help="fail if any solver query lacks an owning span")
     args = parser.parse_args(argv)
 
     try:
@@ -56,6 +63,16 @@ def main(argv=None):
         )
         return 0
     print(render_report(args.trace, top=args.top))
+    if args.assert_attributed:
+        orphans = totals(events)["orphan_queries"]
+        if orphans:
+            print(
+                f"ATTRIBUTION FAILURE: {orphans} solver quer"
+                f"{'y' if orphans == 1 else 'ies'} with no owning span",
+                file=sys.stderr,
+            )
+            return 1
+        print("all solver queries attributed")
     return 0
 
 

@@ -175,7 +175,10 @@ def totals(events):
     ``encode.*`` counters (the same process-global counters the run's own
     stats report); ``counterexample_vcds`` lists the waveform paths failed
     verify queries dumped; ``orphan_queries`` counts solver checks with no
-    owning span (must be 0 for a fully attributed run).
+    owning span (must be 0 for a fully attributed run); ``portfolio_delta``
+    is the same first-vs-last snapshot difference for the ``portfolio.*``
+    counters (races, hedges fired, cancellations, quarantines,
+    disagreements) — empty when the run never raced a portfolio.
     """
     iterations = 0
     snapshots = []
@@ -199,11 +202,18 @@ def totals(events):
                 if ev.get("parent") is None:
                     orphans += 1
     encode_delta = {}
+    portfolio_delta = {}
     if len(snapshots) >= 2:
         first, last = snapshots[0], snapshots[-1]
         for key, value in last.items():
             if key.startswith("encode."):
                 encode_delta[key[len("encode."):]] = (
+                    value - first.get(key, 0)
+                )
+            elif key.startswith("portfolio."):
+                # Portfolio counters are born lazily (first race), so
+                # they may be absent from the opening snapshot entirely.
+                portfolio_delta[key[len("portfolio."):]] = (
                     value - first.get(key, 0)
                 )
     wall = 0.0
@@ -212,6 +222,7 @@ def totals(events):
     return {
         "iterations": iterations,
         "encode_delta": encode_delta,
+        "portfolio_delta": portfolio_delta,
         "counterexample_vcds": vcds,
         "solver_queries": queries,
         "orphan_queries": orphans,
@@ -244,6 +255,11 @@ def render_report(path, top=10):
         lines.append("")
         lines.append("encode-counter deltas (first -> last snapshot):")
         for key, value in sorted(agg["encode_delta"].items()):
+            lines.append(f"  {key:<24} {value:>12}")
+    if any(agg["portfolio_delta"].values()):
+        lines.append("")
+        lines.append("portfolio counters (first -> last snapshot):")
+        for key, value in sorted(agg["portfolio_delta"].items()):
             lines.append(f"  {key:<24} {value:>12}")
     if agg["counterexample_vcds"]:
         lines.append("")

@@ -36,6 +36,7 @@ from repro.runtime.errors import (
     ResourceExceeded,
     RuntimeFault,
     SolverUnknown,
+    SoundnessViolation,
     WorkerCrashed,
     WorkerFault,
     WorkerKilled,
@@ -47,7 +48,12 @@ from repro.runtime.reasons import (
     is_canonical,
     normalize_reason,
 )
-from repro.runtime.retry import Attempt, RetryPolicy, run_with_retry
+from repro.runtime.retry import (
+    Attempt,
+    RetryPolicy,
+    decorrelated_jitter,
+    run_with_retry,
+)
 from repro.runtime.workers import SolverWorkerPool, WorkerOutcome
 
 __all__ = [
@@ -64,9 +70,11 @@ __all__ = [
     "WorkerFault",
     "WorkerCrashed",
     "WorkerKilled",
+    "SoundnessViolation",
     "RetryPolicy",
     "Attempt",
     "run_with_retry",
+    "decorrelated_jitter",
     "FaultInjector",
     "active_injector",
     "SolverWorkerPool",

@@ -21,6 +21,13 @@ answer, because the recovery differs:
     hard-killed by the pool's watchdog (missed heartbeats, deadline
     overshoot); the query itself is unharmed, so most of these are
     retryable on a respawned worker.
+``SoundnessViolation``
+    two solver backends returned contradictory SAT/UNSAT verdicts on the
+    same query — one of them is *wrong*, and synthesis must abort rather
+    than emit control logic derived from an unverified verdict.  This is
+    deliberately **not** a ``SolverUnknown``: retry machinery must never
+    absorb it, and the engine's degradation paths must never convert it
+    into a partial result.
 
 All of these derive from ``RuntimeFault`` so orchestration layers can
 catch the whole family with one handler while still branching on
@@ -38,6 +45,7 @@ __all__ = [
     "WorkerFault",
     "WorkerCrashed",
     "WorkerKilled",
+    "SoundnessViolation",
 ]
 
 
@@ -122,3 +130,27 @@ class WorkerKilled(WorkerFault):
     def __init__(self, message="", reason="heartbeat-lost", exit_code=None):
         super().__init__(message or f"solver worker killed ({reason})",
                          reason=reason, exit_code=exit_code)
+
+
+class SoundnessViolation(RuntimeFault):
+    """Solver backends returned contradictory SAT/UNSAT verdicts.
+
+    Raised by the portfolio backend's disagreement sentinel after a
+    re-check on the trusted member fails to exonerate anyone.  Carries
+    the full evidence: ``verdicts`` maps each member name to the verdict
+    it claimed, ``trusted`` names the member whose re-check was used as
+    the tiebreaker (``None`` if none was available).
+
+    Subclasses ``RuntimeFault`` directly — **not** ``SolverUnknown`` —
+    so retry policies (which only catch ``SolverUnknown``) re-raise it
+    immediately and it propagates loudly out of ``synthesize``.
+    """
+
+    reason = "disagreement"
+
+    def __init__(self, message="", verdicts=None, trusted=None):
+        super().__init__(
+            message or "solver backends disagree on a SAT/UNSAT verdict"
+        )
+        self.verdicts = dict(verdicts or {})
+        self.trusted = trusted

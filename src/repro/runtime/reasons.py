@@ -32,6 +32,10 @@ reason                    meaning
 ``circuit-breaker``       the pool refused the query (internal; the facade
                           converts this into an in-process fallback)
 ``malformed-model``       a SAT verdict carried an out-of-width assignment
+``cancelled``             a portfolio race winner made this member's answer
+                          moot (internal; never surfaces as a verdict)
+``disagreement``          portfolio members returned contradictory verdicts
+                          (carried by :class:`SoundnessViolation`)
 ``unspecified``           the producer gave no reason (should be rare)
 ========================  ===================================================
 
@@ -46,6 +50,7 @@ __all__ = [
     "BUDGET_REASONS",
     "WORKER_REASONS",
     "BACKEND_REASONS",
+    "PORTFOLIO_REASONS",
     "CANONICAL_REASONS",
     "RETRYABLE_REASONS",
     "normalize_reason",
@@ -66,9 +71,12 @@ BACKEND_REASONS = frozenset({
     "backend-error", "backend-missing", "circuit-breaker",
 })
 
+#: Portfolio-race outcomes (internal bookkeeping, never a final verdict).
+PORTFOLIO_REASONS = frozenset({"cancelled", "disagreement"})
+
 #: The full canonical vocabulary.
 CANONICAL_REASONS = (
-    BUDGET_REASONS | WORKER_REASONS | BACKEND_REASONS
+    BUDGET_REASONS | WORKER_REASONS | BACKEND_REASONS | PORTFOLIO_REASONS
     | frozenset({"injected", "malformed-model", "unspecified"})
 )
 
@@ -115,6 +123,10 @@ _ALIASES = {
     "breaker": "circuit-breaker",
     "fallback": "circuit-breaker",
     "bad-model": "malformed-model",
+    "canceled": "cancelled",
+    "race-lost": "cancelled",
+    "disagree": "disagreement",
+    "verdict-conflict": "disagreement",
 }
 
 

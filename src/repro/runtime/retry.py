@@ -14,12 +14,30 @@ create more wall clock, and memory pressure only gets worse.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 
 from repro.runtime.errors import BudgetExhausted, SolverUnknown
 
-__all__ = ["RetryPolicy", "Attempt", "run_with_retry"]
+__all__ = ["RetryPolicy", "Attempt", "run_with_retry",
+           "decorrelated_jitter"]
+
+
+def decorrelated_jitter(rng, base, cap, previous):
+    """One step of AWS-style decorrelated-jitter backoff.
+
+    ``sleep = min(cap, uniform(base, previous * 3))`` — grows roughly
+    exponentially like the classic doubling schedule but decorrelates
+    concurrent retriers (portfolio probes, pool respawns) so they do not
+    synchronize into thundering herds.  Deterministic given a seeded
+    ``rng``, which is what the tests pin.
+    """
+    if cap <= 0.0 or base <= 0.0:
+        return 0.0
+    low = min(base, cap)
+    high = max(low, min(previous * 3.0, cap) if previous > 0.0 else low)
+    return min(cap, rng.uniform(low, high))
 
 #: UNKNOWN reasons where escalation can plausibly help.  Worker deaths
 #: (crash, OOM rlimit, missed heartbeats) are retryable because the retry
@@ -50,6 +68,12 @@ class RetryPolicy:
     ``escalation``.  ``reseed=True`` perturbs the solver's decision order
     with ``seed + index`` before each retry, which is frequently what
     actually rescues a stuck search.
+
+    ``jitter="decorrelated"`` (the default) replaces the bare doubling
+    backoff with :func:`decorrelated_jitter` so concurrent retriers
+    spread out; the sequence is still deterministic (driven by ``seed``).
+    ``jitter="none"`` keeps the exact exponential schedule, for callers
+    (and tests) that pin specific backoff values.
     """
 
     max_attempts: int = 3
@@ -59,18 +83,29 @@ class RetryPolicy:
     backoff_ceiling: float = 2.0
     reseed: bool = True
     seed: int = 2024
+    jitter: str = "decorrelated"  # "decorrelated" | "none"
 
     def attempts(self):
         """Yield the :class:`Attempt` sequence this policy prescribes."""
         conflicts = self.initial_conflicts
+        rng = random.Random(self.seed) if self.jitter == "decorrelated" \
+            else None
+        previous = 0.0
         for index in range(max(1, self.max_attempts)):
+            if index == 0:
+                pause = 0.0
+            elif rng is not None:
+                pause = decorrelated_jitter(
+                    rng, self.backoff, self.backoff_ceiling, previous)
+                previous = pause
+            else:
+                pause = min(self.backoff * (2.0 ** (index - 1)),
+                            self.backoff_ceiling)
             yield Attempt(
                 index=index,
                 max_conflicts=None if conflicts is None else int(conflicts),
                 seed=(self.seed + index) if (self.reseed and index) else None,
-                backoff=0.0 if index == 0 else min(
-                    self.backoff * (2.0 ** (index - 1)), self.backoff_ceiling
-                ),
+                backoff=pause,
             )
             if conflicts is not None:
                 conflicts = max(conflicts + 1, conflicts * self.escalation)

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -46,6 +47,7 @@ from repro.obs import trace as _obs
 from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime import faults as _faults
 from repro.runtime.errors import WorkerCrashed, WorkerKilled
+from repro.runtime.retry import decorrelated_jitter
 from repro.runtime._worker_proto import EXIT_OOM
 
 __all__ = ["SolverWorkerPool", "WorkerOutcome"]
@@ -107,17 +109,29 @@ class SolverWorkerPool:
     fallback_after:
         Circuit breaker: consecutive worker faults on the *same query*
         before ``should_fallback`` tells the facade to solve in-process.
+    respawn_jitter / respawn_jitter_cap:
+        Decorrelated-jitter delay (seconds) before replacing a crashed
+        worker, so a burst of crashes (portfolio chaos, a bad query
+        killing every member) does not respawn the whole pool in
+        lockstep.  ``respawn_jitter=0`` disables the delay.  The jitter
+        sequence is deterministic given ``seed``.
     """
 
     def __init__(self, size=2, mem_limit_mb=None, cpu_limit_s=None,
                  heartbeat_interval=0.25, watchdog_grace=2.0,
-                 fallback_after=2, python=None):
+                 fallback_after=2, python=None,
+                 respawn_jitter=0.01, respawn_jitter_cap=0.25, seed=2024):
         self.size = max(1, int(size))
         self.mem_limit_mb = mem_limit_mb
         self.cpu_limit_s = cpu_limit_s
         self.heartbeat_interval = heartbeat_interval
         self.watchdog_grace = watchdog_grace
         self.fallback_after = fallback_after
+        self.respawn_jitter = respawn_jitter
+        self.respawn_jitter_cap = respawn_jitter_cap
+        self._respawn_rng = random.Random(seed)
+        self._respawn_previous = 0.0
+        self._sleep = time.sleep
         self._python = python or sys.executable
         self._lock = threading.Lock()
         self._idle = Queue()
@@ -172,7 +186,13 @@ class SolverWorkerPool:
         return handle
 
     def _reap(self, handle):
-        """Collect a dead worker and replace it with a fresh one."""
+        """Collect a dead worker and replace it with a fresh one.
+
+        The replacement is delayed by a decorrelated-jitter pause so
+        simultaneous crashes (a query that kills every worker it lands
+        on, portfolio chaos lanes) refill the pool staggered instead of
+        in lockstep.
+        """
         try:
             handle.proc.stdin.close()
         except OSError:
@@ -183,8 +203,23 @@ class SolverWorkerPool:
             closed = self._closed
         _METRICS.inc("worker.reaped")
         if not closed:
+            pause = self._respawn_pause()
+            if pause > 0.0:
+                self._sleep(pause)
             self._idle.put(self._spawn())
         return code
+
+    def _respawn_pause(self):
+        """Next deterministic respawn delay (0.0 when jitter is off)."""
+        if not self.respawn_jitter:
+            return 0.0
+        with self._lock:
+            pause = decorrelated_jitter(
+                self._respawn_rng, self.respawn_jitter,
+                self.respawn_jitter_cap, self._respawn_previous,
+            )
+            self._respawn_previous = pause
+        return pause
 
     def shutdown(self, timeout=5.0):
         """Stop every worker; returns the orphan-free accounting.

@@ -8,15 +8,23 @@ delegates the decision to whichever backend is selected — per solver,
 per run (``SolverConfig``), or process-wide (``$REPRO_BACKEND``).
 
 Built-ins: ``inprocess`` (the bundled CDCL core, incremental),
-``isolated`` (sandboxed worker subprocesses), and ``subprocess-dimacs``
-(any installed DIMACS solver, kissat/cryptominisat/minisat-style).
-``register_backend`` adds more without touching any engine code.
+``isolated`` (sandboxed worker subprocesses), ``subprocess-dimacs``
+(any installed DIMACS solver, kissat/cryptominisat/minisat-style), and
+``portfolio`` (hedged racing over member backends with health scoring
+and a disagreement sentinel).  ``register_backend`` adds more without
+touching any engine code.
 """
 
 from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
 from repro.smt.backends.config import SolverConfig, resolve_solver_config
-from repro.smt.backends.inprocess import InProcessBackend
+from repro.smt.backends.health import HealthLedger, MemberHealth
+from repro.smt.backends.inprocess import InProcessBackend, OneShotCdclBackend
 from repro.smt.backends.isolated import IsolatedBackend
+from repro.smt.backends.portfolio import (
+    PORTFOLIO_ENV,
+    PortfolioBackend,
+    shared_portfolio,
+)
 from repro.smt.backends.registry import (
     BACKEND_ENV,
     available_backends,
@@ -39,8 +47,14 @@ __all__ = [
     "SolverConfig",
     "resolve_solver_config",
     "InProcessBackend",
+    "OneShotCdclBackend",
     "IsolatedBackend",
     "SubprocessDimacsBackend",
+    "PortfolioBackend",
+    "shared_portfolio",
+    "PORTFOLIO_ENV",
+    "HealthLedger",
+    "MemberHealth",
     "BackendUnavailable",
     "KNOWN_SOLVERS",
     "register_backend",

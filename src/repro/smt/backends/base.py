@@ -58,13 +58,17 @@ class CheckLimits:
     through so cooperative backends can poll its memory cap mid-solve —
     backends must *not* charge conflicts to it (the facade charges once,
     from :attr:`BackendResult.conflicts`).  ``seed`` deterministically
-    perturbs decision order where the backend supports it.
+    perturbs decision order where the backend supports it.  ``cancel``
+    (a ``threading.Event``, set by a portfolio race once a winner is in)
+    asks the backend to abandon the check: in-process members observe it
+    at the CDCL checkpoints, subprocess members kill their child.
     """
 
     max_conflicts: int = None
     deadline: float = None
     budget: object = None
     seed: int = None
+    cancel: object = None
 
     def timeout(self):
         """Remaining seconds until ``deadline`` (``None`` if uncapped)."""
@@ -82,6 +86,9 @@ class BackendResult:
     model: dict = None      # term-level values (produces_models backends)
     conflicts: int = 0      # conflicts spent (facade charges the budget)
     fallback: bool = False  # backend declined; facade must solve in-process
+    assignment: dict = None  # raw DIMACS {var: 0/1} witness, when available
+    #                          (lets the portfolio validate SAT claims
+    #                          against the CNF before trusting them)
 
 
 class SolverBackend:

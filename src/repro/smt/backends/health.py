@@ -1,0 +1,234 @@
+"""Per-member health ledger for portfolio racing.
+
+Every portfolio member has a :class:`MemberHealth` record tracking an
+EWMA of its answer latency, consecutive-fault and consecutive-loss
+counters, and its position in the quarantine state machine::
+
+    healthy ──(faults ≥ quarantine_after,              ┌─────────┐
+    ▲          or losses ≥ loss_quarantine_after)────► │quarantin│
+    │                                                  │   ed    │
+    │  probe answers sat/unsat                         └────┬────┘
+    └──────────────◄── probe ◄──(backoff expired)──────────┘
+                       │
+                       └──(probe faults)──► re-quarantined,
+                                            backoff grown (jittered)
+
+*Faults* are unknowns whose canonical reason indicates the member is
+sick (``backend-error``, ``deadline``, worker deaths, malformed models);
+budget-reason unknowns (``conflicts``/``memory``/``iterations``) are
+neutral — every member shares the caller's caps, so hitting one says
+nothing about this member.  *Losses* are race cancellations: normal for
+a slower member occasionally, but a member that never wins is dead
+weight as a primary, so persistent losing also quarantines (with a
+higher threshold).
+
+Quarantine backoff grows by decorrelated jitter
+(:func:`repro.runtime.retry.decorrelated_jitter`) — roughly exponential
+but desynchronized across members, and deterministic given ``seed``.
+Once the backoff expires the member becomes a *probe*: it rejoins races
+as a hedge (never as primary); a definitive answer restores it to
+healthy, another fault re-quarantines it with a grown backoff.
+
+The ledger is thread-safe (race member threads deliver concurrently)
+and lives as long as the portfolio backend — the registry factory hands
+out a singleton, so health survives across ``Solver`` instances and
+CEGIS iterations.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.runtime.reasons import BUDGET_REASONS, normalize_reason
+from repro.runtime.retry import decorrelated_jitter
+
+__all__ = ["MemberHealth", "HealthLedger"]
+
+#: Unknown-reasons that are *neutral* for health purposes: shared
+#: resource caps, or the race itself cancelling a loser.
+_NEUTRAL_REASONS = (BUDGET_REASONS - {"deadline"}) | {"cancelled"}
+
+
+@dataclass
+class MemberHealth:
+    """One member's ledger entry (mutated only under the ledger lock)."""
+
+    name: str
+    state: str = "healthy"          # "healthy" | "quarantined"
+    ewma_latency: float = None      # seconds; None until first answer
+    consecutive_faults: int = 0
+    consecutive_losses: int = 0
+    checks: int = 0                 # races this member was launched into
+    wins: int = 0
+    faults: int = 0                 # lifetime fault count
+    losses: int = 0                 # lifetime cancelled-as-loser count
+    quarantines: int = 0            # lifetime quarantine entries
+    probes: int = 0                 # lifetime probe dispatches
+    quarantined_until: float = None  # monotonic timestamp; None if healthy
+    quarantine_backoff: float = 0.0  # last backoff duration (grows)
+    last_reason: str = ""           # most recent fault reason
+    reasons: dict = field(default_factory=dict)  # reason -> count
+
+    def snapshot(self):
+        """A JSON-able view for obs events and reports."""
+        return {
+            "name": self.name,
+            "state": self.state,
+            "ewma_latency": self.ewma_latency,
+            "consecutive_faults": self.consecutive_faults,
+            "consecutive_losses": self.consecutive_losses,
+            "checks": self.checks,
+            "wins": self.wins,
+            "faults": self.faults,
+            "losses": self.losses,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "last_reason": self.last_reason,
+            "reasons": dict(self.reasons),
+        }
+
+
+class HealthLedger:
+    """Thread-safe health scoring and quarantine for portfolio members."""
+
+    def __init__(self, quarantine_after=3, loss_quarantine_after=5,
+                 quarantine_base=0.25, quarantine_cap=30.0,
+                 ewma_alpha=0.3, seed=2024, clock=time.monotonic):
+        self.quarantine_after = max(1, int(quarantine_after))
+        self.loss_quarantine_after = max(1, int(loss_quarantine_after))
+        self.quarantine_base = quarantine_base
+        self.quarantine_cap = quarantine_cap
+        self.ewma_alpha = ewma_alpha
+        self._clock = clock
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._members = {}
+        #: quarantine entries this ledger has recorded (metrics hook).
+        self.quarantine_events = 0
+
+    # -- access ----------------------------------------------------------
+
+    def member(self, name):
+        with self._lock:
+            return self._member(name)
+
+    def _member(self, name):
+        record = self._members.get(name)
+        if record is None:
+            record = self._members[name] = MemberHealth(name=name)
+        return record
+
+    def snapshot(self):
+        with self._lock:
+            return {name: record.snapshot()
+                    for name, record in self._members.items()}
+
+    # -- the state machine ----------------------------------------------
+
+    def status(self, name):
+        """``"healthy"``, ``"probe"`` (backoff expired) or ``"quarantined"``."""
+        with self._lock:
+            record = self._member(name)
+            if record.state == "healthy":
+                return "healthy"
+            if (record.quarantined_until is not None
+                    and self._clock() >= record.quarantined_until):
+                return "probe"
+            return "quarantined"
+
+    def record_launch(self, name, probe=False):
+        with self._lock:
+            record = self._member(name)
+            record.checks += 1
+            if probe:
+                record.probes += 1
+
+    def record_success(self, name, latency, won=False):
+        """A definitive (validated) sat/unsat answer: full health restore."""
+        with self._lock:
+            record = self._member(name)
+            record.consecutive_faults = 0
+            record.consecutive_losses = 0
+            record.state = "healthy"
+            record.quarantined_until = None
+            record.quarantine_backoff = 0.0
+            if won:
+                record.wins += 1
+            self._update_ewma(record, latency)
+
+    def record_fault(self, name, reason, latency=None):
+        """An unknown/exception from this member; may enter quarantine.
+
+        Neutral reasons (shared budget caps, race cancellation) are
+        recorded but do not count toward quarantine.  Returns the
+        member's post-update state.
+        """
+        reason = normalize_reason(reason)
+        with self._lock:
+            record = self._member(name)
+            record.reasons[reason] = record.reasons.get(reason, 0) + 1
+            if reason in _NEUTRAL_REASONS:
+                return record.state
+            record.faults += 1
+            record.consecutive_faults += 1
+            record.last_reason = reason
+            if latency is not None:
+                self._update_ewma(record, latency)
+            if (record.state == "quarantined"
+                    or record.consecutive_faults >= self.quarantine_after):
+                self._quarantine(record)
+            return record.state
+
+    def record_loss(self, name, latency=None):
+        """The race cancelled this member after a winner answered."""
+        with self._lock:
+            record = self._member(name)
+            record.losses += 1
+            record.consecutive_losses += 1
+            record.reasons["cancelled"] = record.reasons.get("cancelled", 0) + 1
+            if record.state == "quarantined":
+                # A probe that lost the race learned nothing: re-arm the
+                # current backoff without growing it.
+                record.quarantined_until = \
+                    self._clock() + max(record.quarantine_backoff,
+                                        self.quarantine_base)
+            elif record.consecutive_losses >= self.loss_quarantine_after:
+                self._quarantine(record)
+            return record.state
+
+    def _quarantine(self, record):
+        """Enter (or deepen) quarantine with jittered exponential backoff."""
+        record.state = "quarantined"
+        record.quarantines += 1
+        self.quarantine_events += 1
+        record.quarantine_backoff = decorrelated_jitter(
+            self._rng, self.quarantine_base, self.quarantine_cap,
+            record.quarantine_backoff,
+        )
+        record.quarantined_until = self._clock() + record.quarantine_backoff
+        record.consecutive_faults = 0
+        record.consecutive_losses = 0
+
+    def _update_ewma(self, record, latency):
+        if latency is None:
+            return
+        if record.ewma_latency is None:
+            record.ewma_latency = latency
+        else:
+            record.ewma_latency = (
+                self.ewma_alpha * latency
+                + (1.0 - self.ewma_alpha) * record.ewma_latency
+            )
+
+    # -- lineup help -----------------------------------------------------
+
+    def sort_key(self, name, index):
+        """Primary-selection key: proven-fast members first, then config
+        order; members with no latency history sort after proven ones."""
+        with self._lock:
+            record = self._member(name)
+            ewma = record.ewma_latency
+        return (0, ewma, index) if ewma is not None else (1, 0.0, index)

@@ -17,7 +17,7 @@ from repro.runtime.reasons import normalize_reason
 from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
 from repro.smt.sat.solver import SatSolver
 
-__all__ = ["InProcessBackend"]
+__all__ = ["InProcessBackend", "OneShotCdclBackend"]
 
 
 class InProcessBackend(SolverBackend):
@@ -79,6 +79,7 @@ class InProcessBackend(SolverBackend):
             max_conflicts=limits.max_conflicts,
             deadline=limits.deadline,
             budget=limits.budget,
+            cancel=limits.cancel,
         )
         spent = self._sat.conflicts - before
         if verdict is None:
@@ -88,3 +89,48 @@ class InProcessBackend(SolverBackend):
                 conflicts=spent,
             )
         return BackendResult("sat" if verdict else "unsat", conflicts=spent)
+
+
+class OneShotCdclBackend(SolverBackend):
+    """The bundled CDCL core as a *stateless* DIMACS-per-check backend.
+
+    Same decision procedure as :class:`InProcessBackend`, but speaking
+    the stateless protocol: every check replays the full DIMACS export
+    on a fresh ``SatSolver`` and decodes the model itself.  This is the
+    trusted member of a portfolio race — it shares no process, file or
+    clause state with the external members it races, can be cancelled
+    cooperatively at the CDCL checkpoints, and is always available (no
+    binary discovery, no pool).
+    """
+
+    name = "inprocess-oneshot"
+    supports_assumptions = False
+    supports_incremental = False
+    produces_models = True
+
+    def check(self, cnf, assumptions=(), limits=None):
+        from repro.smt.dimacs import from_dimacs, solve_dimacs
+
+        if limits is None:
+            limits = CheckLimits()
+        parsed = from_dimacs(cnf)
+        solver = SatSolver()
+        verdict, values, conflicts = solve_dimacs(
+            parsed,
+            max_conflicts=limits.max_conflicts,
+            deadline=limits.deadline,
+            budget=limits.budget,
+            seed=limits.seed,
+            solver=solver,
+            cancel=limits.cancel,
+        )
+        if verdict.startswith("unknown"):
+            _, _, reason = verdict.partition(":")
+            return BackendResult("unknown",
+                                 reason=normalize_reason(reason),
+                                 conflicts=conflicts)
+        if verdict == "unsat":
+            return BackendResult("unsat", conflicts=conflicts)
+        assignment = solver.model()
+        return BackendResult("sat", model=values, conflicts=conflicts,
+                             assignment=assignment)

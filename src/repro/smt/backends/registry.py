@@ -135,15 +135,26 @@ def _make_subprocess(worker_pool=None):
     return SubprocessDimacsBackend()
 
 
+def _make_portfolio(worker_pool=None):
+    # A shared instance, not a fresh one per Solver: the health ledger
+    # (EWMA latencies, quarantine state) must survive across the many
+    # short-lived solvers one synthesis run creates.
+    from repro.smt.backends.portfolio import shared_portfolio
+
+    return shared_portfolio(worker_pool=worker_pool)
+
+
 def _register_builtins():
     from repro.smt.backends.inprocess import InProcessBackend
     from repro.smt.backends.isolated import IsolatedBackend
+    from repro.smt.backends.portfolio import PortfolioBackend
     from repro.smt.backends.subprocess_dimacs import SubprocessDimacsBackend
 
     register_backend("inprocess", _make_inprocess, cls=InProcessBackend)
     register_backend("isolated", _make_isolated, cls=IsolatedBackend)
     register_backend("subprocess-dimacs", _make_subprocess,
                      cls=SubprocessDimacsBackend)
+    register_backend("portfolio", _make_portfolio, cls=PortfolioBackend)
 
 
 _register_builtins()

@@ -97,13 +97,17 @@ class SubprocessDimacsBackend(SolverBackend):
     def describe(self):
         return (f"{self.name} ({' '.join(self.command)})")
 
+    #: How often the wait loop polls the cancellation event (seconds);
+    #: bounds how long a losing portfolio member outlives the winner.
+    _POLL_INTERVAL = 0.05
+
     def check(self, cnf, assumptions=(), limits=None):
         if limits is None:
             limits = CheckLimits()
-        timeout = limits.timeout()
         workdir = tempfile.mkdtemp(prefix="repro-dimacs-")
         cnf_path = os.path.join(workdir, "query.cnf")
         out_path = os.path.join(workdir, "result.txt")
+        proc = None
         try:
             with open(cnf_path, "w") as handle:
                 handle.write(cnf)
@@ -111,22 +115,64 @@ class SubprocessDimacsBackend(SolverBackend):
             if self._minisat_style:
                 argv.append(out_path)
             try:
-                proc = subprocess.run(
-                    argv, capture_output=True, text=True, timeout=timeout,
+                proc = subprocess.Popen(
+                    argv, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                    text=True,
                 )
-            except subprocess.TimeoutExpired:
-                return BackendResult("unknown", reason="deadline")
             except OSError:
                 # The binary vanished (or was never executable) after
                 # discovery: a backend failure, not a query property.
                 return BackendResult("unknown", reason="backend-error")
-            output = proc.stdout or ""
+            stdout, stopped = self._await(proc, limits)
+            if stopped is not None:
+                return BackendResult("unknown", reason=stopped)
+            output = stdout or ""
             if self._minisat_style and os.path.exists(out_path):
                 with open(out_path) as handle:
                     output = handle.read() + "\n" + output
             return self._parse(cnf, output, proc.returncode)
         finally:
+            # Kill and *reap* the child before removing its workdir: a
+            # solver crashed or hard-killed mid-race could otherwise
+            # re-create its minisat-style result file after the rmtree,
+            # leaking `repro-dimacs-*` litter (and an orphan process).
+            if proc is not None:
+                if proc.poll() is None:
+                    proc.kill()
+                try:
+                    proc.communicate(timeout=5.0)
+                except (subprocess.TimeoutExpired, OSError, ValueError):
+                    pass
             shutil.rmtree(workdir, ignore_errors=True)
+
+    def _await(self, proc, limits):
+        """Wait for the child; returns ``(stdout, unknown_reason_or_None)``.
+
+        Blocks in short slices so the deadline and the portfolio
+        cancellation event are both observed within ``_POLL_INTERVAL``;
+        on either, the child is killed (the ``finally`` in :meth:`check`
+        reaps it and removes the workdir).
+        """
+        cancel = limits.cancel
+        while True:
+            if cancel is not None and cancel.is_set():
+                proc.kill()
+                return None, "cancelled"
+            remaining = limits.timeout()
+            if remaining is not None and remaining <= 0.0:
+                proc.kill()
+                return None, "deadline"
+            if cancel is None and remaining is None:
+                slice_s = None  # nothing to poll: block until exit
+            elif remaining is None:
+                slice_s = self._POLL_INTERVAL
+            else:
+                slice_s = min(self._POLL_INTERVAL, max(remaining, 0.001))
+            try:
+                stdout, _stderr = proc.communicate(timeout=slice_s)
+                return stdout, None
+            except subprocess.TimeoutExpired:
+                continue
 
     # ------------------------------------------------------------------
 
@@ -189,7 +235,8 @@ class SubprocessDimacsBackend(SolverBackend):
             return BackendResult("unknown", reason="backend-error",
                                  conflicts=conflicts)
         values = from_dimacs(cnf).model_values(assignment)
-        return BackendResult("sat", model=values, conflicts=conflicts)
+        return BackendResult("sat", model=values, conflicts=conflicts,
+                             assignment=assignment)
 
 
 def _ints(text):

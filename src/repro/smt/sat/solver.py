@@ -8,10 +8,12 @@ literal is ``2*v + 1``; ``lit ^ 1`` negates.
 
 The solver is incremental in the "add clauses, solve, add more, solve again"
 sense, and supports solving under assumptions.  ``solve`` can be bounded by a
-conflict budget, a wall-clock deadline, and/or a memory-capped
-``repro.runtime.Budget`` — returning ``None`` (unknown) when exhausted, with
-``stop_reason`` set to ``"conflicts"``, ``"deadline"`` or ``"memory"``.
-This is how the reproduction implements the paper's synthesis timeouts.
+conflict budget, a wall-clock deadline, a memory-capped
+``repro.runtime.Budget``, and/or a ``threading.Event`` cancellation token —
+returning ``None`` (unknown) when exhausted, with ``stop_reason`` set to
+``"conflicts"``, ``"deadline"``, ``"memory"`` or ``"cancelled"``.
+This is how the reproduction implements the paper's synthesis timeouts and
+how portfolio races stop losing in-process members.
 
 Cancellation is cooperative and checked at three checkpoints — every
 propagation batch, every few conflicts, and every few decisions — so a
@@ -73,6 +75,7 @@ class SatSolver:
         self.propagations = 0
         self.stop_reason = None   # why the last solve returned None
         self._deadline = None     # active only inside solve()
+        self._cancel = None       # cooperative cancellation event
         self._stop_flag = None    # set by _propagate on deadline expiry
         self._heap = []
         self._heap_pos = {}
@@ -207,16 +210,16 @@ class SatSolver:
                 watch_list[j] = ci
                 j += 1
                 self.propagations += 1
-                if (self._deadline is not None
+                if ((self._deadline is not None or self._cancel is not None)
                         and (self.propagations & _PROPAGATION_CHECK_MASK) == 0
-                        and time.monotonic() > self._deadline):
-                    # Deadline observed mid-propagation: compact the watch
-                    # list (keeping unscanned entries) and bail out; the
-                    # solve loop converts the flag into an unknown verdict.
-                    # Rewind the queue index so this trail literal is fully
-                    # reprocessed if solving resumes later (rescanning the
-                    # already-moved entries is safe).
-                    self._stop_flag = "deadline"
+                        and (flag := self._interrupt_flag()) is not None):
+                    # Deadline or cancellation observed mid-propagation:
+                    # compact the watch list (keeping unscanned entries) and
+                    # bail out; the solve loop converts the flag into an
+                    # unknown verdict.  Rewind the queue index so this trail
+                    # literal is fully reprocessed if solving resumes later
+                    # (rescanning the already-moved entries is safe).
+                    self._stop_flag = flag
                     self.propagated -= 1
                     while i < n:
                         watch_list[j] = watch_list[i]
@@ -421,29 +424,43 @@ class SatSolver:
     # -- main solve loop ---------------------------------------------------------
 
     def solve(self, assumptions=(), max_conflicts=None, deadline=None,
-              budget=None):
+              budget=None, cancel=None):
         """Solve; returns True (SAT), False (UNSAT) or None (budget exhausted).
 
         ``deadline`` is an absolute ``time.monotonic()`` timestamp.
         ``budget`` is an optional ``repro.runtime.Budget`` polled for its
         memory cap at conflict checkpoints (time/conflict caps should be
-        lowered into ``deadline``/``max_conflicts`` by the caller).  When
-        the verdict is ``None``, ``stop_reason`` names the exhausted cap.
+        lowered into ``deadline``/``max_conflicts`` by the caller).
+        ``cancel`` is an optional ``threading.Event`` polled at the same
+        cooperative checkpoints as the deadline; setting it makes the
+        solve return ``None`` with ``stop_reason == "cancelled"`` —
+        how a portfolio race tells a losing in-process member to stop.
+        When the verdict is ``None``, ``stop_reason`` names the cause.
         """
         if not self.ok:
             return False
         self.stop_reason = None
         self._stop_flag = None
         self._deadline = deadline
+        self._cancel = cancel
         try:
             return self._solve(assumptions, max_conflicts, deadline, budget)
         finally:
             self._deadline = None
+            self._cancel = None
             self._stop_flag = None
 
     def _stop(self, reason):
         self.stop_reason = reason
         self._backtrack(0)
+        return None
+
+    def _interrupt_flag(self):
+        """Why solving should stop right now (``None`` to keep going)."""
+        if self._cancel is not None and self._cancel.is_set():
+            return "cancelled"
+        if self._deadline is not None and time.monotonic() > self._deadline:
+            return "deadline"
         return None
 
     def _solve(self, assumptions, max_conflicts, deadline, budget):
@@ -473,10 +490,10 @@ class SatSolver:
                     self.conflicts - conflicts_at_entry
                 ) >= max_conflicts:
                     return self._stop("conflicts")
-                if deadline is not None and (
+                if (deadline is not None or self._cancel is not None) and (
                     self.conflicts & _CONFLICT_CHECK_MASK
-                ) == 0 and time.monotonic() > deadline:
-                    return self._stop("deadline")
+                ) == 0 and (flag := self._interrupt_flag()) is not None:
+                    return self._stop(flag)
                 if budget is not None and (
                     self.conflicts & _MEMORY_CHECK_MASK
                 ) == 0 and budget.memory_exceeded():
@@ -513,10 +530,10 @@ class SatSolver:
             if var == 0:
                 return True
             self.decisions += 1
-            if deadline is not None and (
+            if (deadline is not None or self._cancel is not None) and (
                 self.decisions & _DECISION_CHECK_MASK
-            ) == 0 and time.monotonic() > deadline:
-                return self._stop("deadline")
+            ) == 0 and (flag := self._interrupt_flag()) is not None:
+                return self._stop(flag)
             self.trail_lim.append(len(self.trail))
             lit = 2 * var + (1 - self.phase[var])
             self._enqueue(lit, -1)

@@ -66,7 +66,7 @@ def synthesize(problem, mode="per_instruction", timeout=None,
     backend:
         The decision procedure for every solver check: a registered
         backend name (``"inprocess"``, ``"isolated"``,
-        ``"subprocess-dimacs"``, or anything added via
+        ``"subprocess-dimacs"``, ``"portfolio"``, or anything added via
         ``repro.smt.backends.register_backend``), a live
         ``SolverBackend`` instance, or ``None`` for the process default
         (``$REPRO_BACKEND`` or ``"inprocess"``).  ``"isolated"`` routes

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.ila.compiler import ConstraintCompiler
+from repro.obs import trace as _obs
 from repro.oyster.symbolic import SymbolicEvaluator
 from repro.runtime import BudgetExhausted
 from repro.runtime.reasons import normalize_reason
@@ -102,22 +103,28 @@ def verify_design(design, spec, alpha, const_mems=None, hole_values=None,
                 # Pre-check: an already-spent budget must not silently
                 # skip work and report success.
                 budget.check()
-            evaluator = SymbolicEvaluator(
-                design, hole_values=term_holes,
-                const_mems=const_mems or {}, prefix=prefix,
-            )
-            trace = evaluator.run(alpha.cycles)
-            compiler = ConstraintCompiler(spec, alpha, trace, prefix=prefix)
-            compiled = compiler.compile_instruction(instruction)
-            side = T.and_(*trace.side_conditions)
-            antecedent, consequent = resolve_equalities(
-                T.bv_and(side, compiled.antecedent()), compiled.consequent()
-            )
-            violation = T.and_(antecedent, T.bv_not(consequent))
-            solver = Solver(**config.solver_kwargs())
-            solver.add(violation)
-            verdict = solver.check(timeout=timeout_per_instruction,
-                                   budget=budget)
+            # A span of its own: verification queries are attributable
+            # even when verify_design is called standalone (the trace
+            # report's zero-orphan-queries invariant covers the oracle).
+            with _obs.span("verify.instruction", instr=instruction.name):
+                evaluator = SymbolicEvaluator(
+                    design, hole_values=term_holes,
+                    const_mems=const_mems or {}, prefix=prefix,
+                )
+                trace = evaluator.run(alpha.cycles)
+                compiler = ConstraintCompiler(spec, alpha, trace,
+                                              prefix=prefix)
+                compiled = compiler.compile_instruction(instruction)
+                side = T.and_(*trace.side_conditions)
+                antecedent, consequent = resolve_equalities(
+                    T.bv_and(side, compiled.antecedent()),
+                    compiled.consequent()
+                )
+                violation = T.and_(antecedent, T.bv_not(consequent))
+                solver = Solver(**config.solver_kwargs())
+                solver.add(violation)
+                verdict = solver.check(timeout=timeout_per_instruction,
+                                       budget=budget)
         except BudgetExhausted as fault:
             verdicts.append(
                 InstructionVerdict(

@@ -1,5 +1,7 @@
 """Unit tests for retry-with-escalation."""
 
+import random
+
 import pytest
 
 from repro.runtime import (
@@ -7,6 +9,7 @@ from repro.runtime import (
     BudgetExhausted,
     RetryPolicy,
     SolverUnknown,
+    decorrelated_jitter,
     run_with_retry,
 )
 
@@ -14,11 +17,57 @@ from repro.runtime import (
 def test_attempt_schedule_escalates():
     policy = RetryPolicy(max_attempts=4, initial_conflicts=100,
                          escalation=4.0, backoff=0.1, backoff_ceiling=0.25,
-                         seed=7)
+                         seed=7, jitter="none")
     attempts = list(policy.attempts())
     assert [a.max_conflicts for a in attempts] == [100, 400, 1600, 6400]
     assert [a.seed for a in attempts] == [None, 8, 9, 10]
     assert [a.backoff for a in attempts] == [0.0, 0.1, 0.2, 0.25]
+
+
+def test_decorrelated_jitter_stays_in_envelope():
+    rng = random.Random(11)
+    previous = 0.0
+    pauses = []
+    for _ in range(50):
+        pause = decorrelated_jitter(rng, 0.1, 2.0, previous)
+        assert 0.1 <= pause <= 2.0
+        # Never more than 3x the last pause: the growth stays bounded.
+        if previous:
+            assert pause <= max(0.1, previous * 3.0) + 1e-12
+        pauses.append(pause)
+        previous = pause
+    # It is jitter, not a fixed schedule.
+    assert len(set(pauses)) > 1
+
+
+def test_decorrelated_jitter_deterministic_under_seed():
+    def sequence():
+        rng = random.Random(99)
+        previous, out = 0.0, []
+        for _ in range(10):
+            previous = decorrelated_jitter(rng, 0.05, 1.0, previous)
+            out.append(previous)
+        return out
+
+    assert sequence() == sequence()
+
+
+def test_decorrelated_jitter_degenerate_inputs():
+    rng = random.Random(0)
+    assert decorrelated_jitter(rng, 0.0, 1.0, 0.5) == 0.0
+    assert decorrelated_jitter(rng, 0.1, 0.0, 0.5) == 0.0
+    # Base above cap clamps to the cap.
+    assert decorrelated_jitter(rng, 5.0, 1.0, 0.0) == 1.0
+
+
+def test_jittered_schedule_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_attempts=6, backoff=0.1, backoff_ceiling=0.5,
+                         seed=7)
+    first = [a.backoff for a in policy.attempts()]
+    second = [a.backoff for a in policy.attempts()]
+    assert first == second  # same seed, same schedule
+    assert first[0] == 0.0
+    assert all(0.1 <= pause <= 0.5 for pause in first[1:])
 
 
 def test_attempt_schedule_uncapped_stays_uncapped():
@@ -36,7 +85,8 @@ def test_retry_succeeds_after_unknowns():
         return "sat"
 
     sleeps = []
-    policy = RetryPolicy(max_attempts=5, backoff=0.01, backoff_ceiling=0.02)
+    policy = RetryPolicy(max_attempts=5, backoff=0.01, backoff_ceiling=0.02,
+                         jitter="none")
     assert run_with_retry(step, policy, sleep=sleeps.append) == "sat"
     assert calls == [0, 1, 2]
     assert sleeps == [0.01, 0.02]

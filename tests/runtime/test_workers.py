@@ -160,6 +160,59 @@ def test_circuit_breaker_falls_back_in_process():
         assert pool.shutdown()["orphans"] == 0
 
 
+def test_respawn_pause_is_deterministic_jitter():
+    # Pure schedule test: no subprocesses, just the delay computation.
+    def schedule(seed):
+        pool = SolverWorkerPool.__new__(SolverWorkerPool)
+        pool.respawn_jitter = 0.01
+        pool.respawn_jitter_cap = 0.25
+        import random as _random
+        import threading as _threading
+        pool._respawn_rng = _random.Random(seed)
+        pool._respawn_previous = 0.0
+        pool._lock = _threading.Lock()
+        return [pool._respawn_pause() for _ in range(8)]
+
+    first = schedule(2024)
+    assert first == schedule(2024)  # seeded -> reproducible
+    assert first != schedule(7)     # but seed-dependent
+    assert all(0.01 <= pause <= 0.25 for pause in first)
+    assert len(set(first)) > 1      # jittered, not a constant
+
+
+def test_respawn_after_crash_sleeps_jittered_delay():
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1, seed=42)
+    sleeps = []
+    pool._sleep = sleeps.append
+    try:
+        injector = FaultInjector().inject_worker_crash(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerCrashed):
+                pool.check(_sat_query())
+        assert pool.check(_sat_query()).verdict == "sat"
+        # Exactly one respawn happened, preceded by one jittered pause.
+        assert len(sleeps) == 1
+        assert 0.01 <= sleeps[0] <= 0.25
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+
+
+def test_respawn_jitter_zero_disables_pause():
+    pool = SolverWorkerPool(size=1, heartbeat_interval=0.1,
+                            respawn_jitter=0.0)
+    sleeps = []
+    pool._sleep = sleeps.append
+    try:
+        injector = FaultInjector().inject_worker_crash(at_request=1)
+        with injector.installed():
+            with pytest.raises(WorkerCrashed):
+                pool.check(_sat_query())
+        assert pool.check(_sat_query()).verdict == "sat"
+        assert sleeps == []
+    finally:
+        assert pool.shutdown()["orphans"] == 0
+
+
 def test_shutdown_accounting_balances():
     pool = SolverWorkerPool(size=2, heartbeat_interval=0.1)
     assert pool.check(_sat_query()).verdict == "sat"

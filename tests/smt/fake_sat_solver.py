@@ -21,6 +21,14 @@ e.g. ``REPRO_DIMACS_SOLVER="python fake_sat_solver.py --garbage"``):
 ``--modelless`` claim ``s SATISFIABLE`` but print no ``v`` lines
 ``--hang N``    sleep N seconds before answering (deadline enforcement)
 ``--crash``     exit 1 with no output (a solver that segfaulted)
+``--flip``      solve, then report the *opposite* verdict (a lying
+                solver: actually-SAT becomes ``s UNSATISFIABLE``,
+                actually-UNSAT becomes ``s SATISFIABLE`` with a
+                fabricated all-positive model) — the portfolio's
+                disagreement sentinel must catch this
+``--flaky N``   crash (exit 1) on every Nth call, solving honestly
+                otherwise; call count persists in ``--state-file PATH``
+                (an intermittently dying solver: quarantine entry/exit)
 
 Exit codes follow the competition convention: 10 for SAT, 20 for UNSAT.
 """
@@ -44,6 +52,9 @@ def main():
     parser.add_argument("--modelless", action="store_true")
     parser.add_argument("--hang", type=float, default=0.0, metavar="SECONDS")
     parser.add_argument("--crash", action="store_true")
+    parser.add_argument("--flip", action="store_true")
+    parser.add_argument("--flaky", type=int, default=0, metavar="N")
+    parser.add_argument("--state-file", default=None, metavar="PATH")
     parser.add_argument("cnf", help="path to the DIMACS query")
     args = parser.parse_args()
 
@@ -51,6 +62,10 @@ def main():
         time.sleep(args.hang)
     if args.crash:
         return 1
+    if args.flaky:
+        calls = _bump_call_count(args.state_file)
+        if calls % args.flaky == 0:
+            return 1
     if args.garbage:
         print("segmentation fault (core dumped) just kidding but still")
         print("%%% not a verdict line %%%")
@@ -74,6 +89,8 @@ def main():
             [2 * abs(lit) + (1 if lit < 0 else 0) for lit in clause]
         )
     verdict = solver.solve()
+    if args.flip:
+        verdict = not verdict
     print("c fake-sat-solver")
     print(f"c conflicts {solver.conflicts}")
     if not verdict:
@@ -81,13 +98,33 @@ def main():
         return 20
     print("s SATISFIABLE")
     if not args.modelless:
-        model = solver.model()
-        lits = [
-            str(var if model.get(var, 0) else -var)
-            for var in range(1, cnf.num_vars + 1)
-        ]
+        if args.flip:
+            # The instance is actually UNSAT: fabricate a witness the
+            # way a buggy solver would (every variable positive).
+            lits = [str(var) for var in range(1, cnf.num_vars + 1)]
+        else:
+            model = solver.model()
+            lits = [
+                str(var if model.get(var, 0) else -var)
+                for var in range(1, cnf.num_vars + 1)
+            ]
         print("v " + " ".join(lits) + " 0")
     return 10
+
+
+def _bump_call_count(state_file):
+    """Increment and return the cross-invocation call counter."""
+    if not state_file:
+        return 1
+    try:
+        with open(state_file) as handle:
+            calls = int(handle.read().strip() or 0)
+    except (OSError, ValueError):
+        calls = 0
+    calls += 1
+    with open(state_file, "w") as handle:
+        handle.write(str(calls))
+    return calls
 
 
 if __name__ == "__main__":

@@ -29,7 +29,7 @@ from repro.synthesis import synthesize, verify_design
 FAKE_SOLVER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "fake_sat_solver.py")
 
-BACKENDS = ("inprocess", "isolated", "subprocess-dimacs")
+BACKENDS = ("inprocess", "isolated", "subprocess-dimacs", "portfolio")
 
 
 def _make_config(backend_name, pool):
@@ -38,6 +38,18 @@ def _make_config(backend_name, pool):
     if backend_name == "subprocess-dimacs":
         return SolverConfig(backend=SubprocessDimacsBackend(
             command=[sys.executable, FAKE_SOLVER]))
+    if backend_name == "portfolio":
+        # The acceptance-criteria chaos portfolio: the honest CDCL racing
+        # a member that hangs forever and one that crashes instantly.
+        from repro.smt.backends import PortfolioBackend
+
+        return SolverConfig(backend=PortfolioBackend(members=[
+            "inprocess",
+            SubprocessDimacsBackend(
+                command=[sys.executable, FAKE_SOLVER, "--hang", "60"]),
+            SubprocessDimacsBackend(
+                command=[sys.executable, FAKE_SOLVER, "--crash"]),
+        ]))
     return SolverConfig(backend=backend_name)
 
 

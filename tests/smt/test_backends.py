@@ -68,7 +68,7 @@ def _sat_query(solver):
 
 def test_builtin_backends_are_registered():
     names = available_backends()
-    for name in ("inprocess", "isolated", "subprocess-dimacs"):
+    for name in ("inprocess", "isolated", "subprocess-dimacs", "portfolio"):
         assert name in names
 
 
@@ -85,6 +85,11 @@ def test_capability_table_matches_the_docs():
         "produces_models": True,
     }
     assert table["subprocess-dimacs"] == {
+        "supports_assumptions": False,
+        "supports_incremental": False,
+        "produces_models": True,
+    }
+    assert table["portfolio"] == {
         "supports_assumptions": False,
         "supports_incremental": False,
         "produces_models": True,
@@ -256,6 +261,25 @@ def test_subprocess_hang_is_killed_at_the_deadline():
     verdict = solver.check(timeout=0.5)
     assert verdict.name == "unknown"
     assert verdict.reason == "deadline"
+
+
+def test_subprocess_kill_reaps_child_and_leaves_no_temp_files(
+        tmp_path, monkeypatch):
+    """Deadline-killing a hung solver must reap the child *before* the
+    workdir is removed — a kill that raced the rmtree used to leak the
+    ``repro-dimacs-*`` temp dir (minisat's result file lives there)."""
+    import tempfile
+
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    solver = Solver(backend=SubprocessDimacsBackend(
+        command=_fake_command("--hang", "60")))
+    _sat_query(solver)
+    verdict = solver.check(timeout=0.3)
+    assert verdict.name == "unknown"
+    assert verdict.reason == "deadline"
+    leftovers = [p.name for p in tmp_path.iterdir()
+                 if p.name.startswith("repro-dimacs-")]
+    assert leftovers == []
 
 
 def test_subprocess_checks_count_as_worker_checks():
