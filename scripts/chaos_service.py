@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Chaos lane: ``kill -9`` the synthesis daemon and prove nothing is lost.
+
+Each round starts the daemon (``python -m repro.service``) on a fresh
+state directory, submits a mix of accumulator and ALU jobs, then sends
+``SIGKILL`` after a randomized delay — deliberately landing anywhere in
+the pipeline: before the first checkpoint, between checkpoints, or after
+completion.  The restarted daemon must then:
+
+* re-admit every interrupted job and run all of them to ``done``;
+* produce **bit-identical** designs to an undisturbed reference run
+  (resume handles reuse solved instructions verbatim, and the engine's
+  canonicalization makes the remainder deterministic);
+* serve resubmissions of the same requests from the idempotency cache;
+* leave **zero orphan processes** tied to the state directory;
+* shut down gracefully (exit code 0) when asked.
+
+The kill delays are drawn from a seeded RNG, so a failing round is
+reproducible with ``--seed``.
+
+Run: ``PYTHONPATH=src python scripts/chaos_service.py [--rounds N]``
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.service import SynthesisService  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+DESIGNS = ["accumulator", "alu_machine"]
+
+
+def reference_designs():
+    """Undisturbed in-process runs: the bit-identical ground truth."""
+    reference = {}
+    with tempfile.TemporaryDirectory() as state:
+        service = SynthesisService(state, fsync=False)
+        service.start()
+        try:
+            for design in DESIGNS:
+                ack = service.submit(design)
+                job = service.wait(ack["job_id"], timeout=300)
+                assert job["state"] == "done", job
+                reference[design] = job["result"]["design"]
+        finally:
+            service.shutdown(timeout=15.0)
+    return reference
+
+
+def start_daemon(state_dir, stall, trace=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    argv = [sys.executable, "-m", "repro.service",
+            "--state-dir", state_dir, "--tcp", "127.0.0.1:0",
+            "--stall", str(stall)]
+    if trace:
+        argv += ["--trace", trace]
+    proc = subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
+                            text=True)
+    banner = json.loads(proc.stdout.readline())
+    _host, port = banner["listening"]
+    return proc, port, banner
+
+
+def orphans_for(state_dir):
+    """PIDs (other than ours) whose cmdline mentions the state dir."""
+    found = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit() or int(entry) == os.getpid():
+            continue
+        try:
+            with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                cmdline = handle.read().decode("utf-8", "replace")
+        except OSError:
+            continue
+        if state_dir in cmdline:
+            found.append(int(entry))
+    return found
+
+
+def one_round(index, rng, reference, stall, trace=None):
+    state_dir = tempfile.mkdtemp(prefix=f"chaos-service-{index}-")
+    try:
+        proc, port, _banner = start_daemon(state_dir, stall, trace=trace)
+        with ServiceClient.connect_retry(port=port) as client:
+            job_ids = {}
+            for design in DESIGNS:
+                ack = client.submit(design)
+                assert ack["state"] == "accepted", ack
+                job_ids[design] = ack["job_id"]
+        # The randomized kill point: anywhere from "no checkpoint yet"
+        # to "everything already done".
+        delay = rng.uniform(0.0, 4 * stall + 1.0)
+        time.sleep(delay)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+        proc2, port2, banner2 = start_daemon(state_dir, 0.0)
+        recovery = banner2["recovery"]
+        with ServiceClient.connect_retry(port=port2) as client:
+            for design, job_id in job_ids.items():
+                job = client.wait(job_id, timeout=300)
+                assert job["state"] == "done", (
+                    f"round {index}: {design} ended {job}")
+                got = job["result"]["design"]
+                assert got == reference[design], (
+                    f"round {index}: {design} recovery is not "
+                    f"bit-identical to the reference run")
+            # Idempotency: identical submissions are cache hits now.
+            hits = 0
+            for design in DESIGNS:
+                again = client.submit(design)
+                assert again["cached"], (
+                    f"round {index}: {design} missed the result cache "
+                    f"after recovery: {again}")
+                hits += 1
+            client.shutdown()
+        proc2.wait(timeout=60)
+        assert proc2.returncode == 0, (
+            f"round {index}: graceful shutdown exited "
+            f"{proc2.returncode}")
+        leaked = orphans_for(state_dir)
+        assert not leaked, (
+            f"round {index}: orphan processes survived: {leaked}")
+        print(f"round {index}: killed after {delay:.2f}s "
+              f"(recovery: replayed={recovery['replayed']} "
+              f"requeued={recovery['requeued']} "
+              f"torn_tail={recovery['torn_tail']}), "
+              f"{len(DESIGNS)} jobs bit-identical, {hits} cache hits, "
+              f"0 orphans", flush=True)
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Kill -9 the synthesis daemon at randomized points "
+        "and assert bit-identical recovery.")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=20240808)
+    parser.add_argument("--stall", type=float, default=0.3,
+                        help="per-checkpoint stall in the daemon, so "
+                        "kills land mid-job often")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record the first (killed) daemon's obs "
+                        "trace to PATH")
+    args = parser.parse_args()
+
+    rng = random.Random(args.seed)
+    print("computing reference designs (undisturbed runs)...", flush=True)
+    reference = reference_designs()
+    for index in range(args.rounds):
+        one_round(index, rng, reference, args.stall,
+                  trace=args.trace if index == 0 else None)
+    print(f"chaos lane passed: {args.rounds} round(s), every kill point "
+          "recovered bit-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI smoke check: a fault mid-CEGIS must degrade, not crash.
 
-Four lanes:
+Five lanes:
 
 * **degradation** — a ``FaultInjector`` forces an UNKNOWN verdict partway
   through the ALU synthesis run; the engine must hand back a
@@ -22,6 +22,11 @@ Four lanes:
   fully attributed trace; a verdict-flipping member must raise
   ``SoundnessViolation`` (with a ``portfolio.disagreement`` obs event),
   never return a wrong verdict.
+* **service journal faults** — the synthesis daemon with injected
+  journal write faults must reject submissions with the typed
+  ``service.journal`` error (canonical reason ``journal-fault``) and
+  never acknowledge a job whose record was not made durable; once the
+  fault clears, the same submission must run to a verified ``done``.
 
 Exits non-zero on any violation.
 
@@ -176,6 +181,51 @@ def portfolio_chaos(problem, trace_path):
             "a lying member returned a verdict instead of raising")
 
 
+def service_journal_faults():
+    """Journal write faults degrade to typed errors, never lost acks."""
+    import tempfile
+
+    from repro.service import JournalFault, SynthesisService
+
+    with tempfile.TemporaryDirectory() as state:
+        service = SynthesisService(state, fsync=False)
+        service.start()
+        try:
+            injector = FaultInjector()
+            injector.inject_journal_fault(at_append="all")
+            with injector.installed():
+                # Direct API: the typed fault propagates, nothing is acked.
+                try:
+                    service.submit("accumulator")
+                except JournalFault as fault:
+                    assert is_canonical(fault.reason), fault.reason
+                    assert fault.reason == "journal-fault", fault.reason
+                else:
+                    raise AssertionError(
+                        "submit acknowledged a job whose journal record "
+                        "was never durable")
+                # Protocol boundary: the same fault as a typed response.
+                response = service.handle_request(
+                    {"op": "submit", "design": "accumulator"})
+                assert not response["ok"], response
+                assert response["error"]["type"] == "service.journal", \
+                    response
+                assert response["error"]["reason"] == "journal-fault", \
+                    response
+            assert injector.fired, "the journal fault never fired"
+            assert service.stats()["jobs"] == {}, (
+                "an un-logged job leaked into the store: "
+                f"{service.stats()['jobs']}")
+            # Fault cleared: the identical submission completes.
+            ack = service.submit("accumulator")
+            job = service.wait(ack["job_id"], timeout=120)
+            assert job["state"] == "done", job
+        finally:
+            service.shutdown(timeout=10.0)
+    print("service journal faults degraded to typed errors; "
+          "post-fault submission completed")
+
+
 def main():
     problem = alu_machine.build_problem()
     names = [i.name for i in problem.spec.instructions]
@@ -215,6 +265,7 @@ def main():
     trace_path = os.environ.get("REPRO_SMOKE_TRACE",
                                 "portfolio_smoke_trace.jsonl")
     portfolio_chaos(problem, trace_path)
+    service_journal_faults()
     return 0
 
 

@@ -21,14 +21,18 @@ from repro.eval import (
     run_table1,
     run_table2,
 )
-from repro.synthesis import PartialSynthesisResult
+from repro.synthesis import MalformedResumeHandle, load_resume_handle
 
 
 def _load_resume(path):
     """Load a resume handle and report what it lets us skip."""
-    with open(path) as handle:
-        data = json.load(handle)
-    partial = PartialSynthesisResult.from_dict(data)
+    try:
+        partial = load_resume_handle(path)
+    except MalformedResumeHandle as exc:
+        raise SystemExit(
+            f"error: cannot resume from {path}: {exc} "
+            f"(reason: {exc.reason})"
+        ) from exc
     solved = [s.instruction_name for s in partial.completed]
     print(
         f"resuming {partial.problem_name!r} ({partial.mode}) from {path}: "

@@ -18,6 +18,7 @@ costs almost nothing to poll.
 
 from __future__ import annotations
 
+import threading
 import time
 
 from repro.obs import trace as _obs
@@ -58,7 +59,7 @@ class Budget:
 
     __slots__ = ("_clock", "started", "deadline", "max_conflicts",
                  "conflicts_used", "max_memory_bytes", "_parent",
-                 "_reported")
+                 "_reported", "_lock")
 
     def __init__(self, timeout=None, max_conflicts=None, max_memory_mb=None,
                  clock=time.monotonic, _parent=None):
@@ -75,6 +76,7 @@ class Budget:
         )
         self._parent = _parent
         self._reported = False
+        self._lock = threading.Lock()
 
     # -- construction ----------------------------------------------------
 
@@ -119,12 +121,16 @@ class Budget:
 
         Called once per facade check on the leaf budget (the parent walk is
         internal), so the metrics counter sees each conflict exactly once.
+        Thread-safe: concurrent runner threads charging children of a
+        shared parent (the service's per-tenant budgets) must not lose
+        updates to the ancestors' read-modify-write.
         """
         if count:
             _METRICS.inc("budget.conflicts_charged", count)
         node = self
         while node is not None:
-            node.conflicts_used += count
+            with node._lock:
+                node.conflicts_used += count
             node = node._parent
 
     # -- exhaustion ------------------------------------------------------

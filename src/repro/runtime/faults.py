@@ -25,6 +25,11 @@ Supported faults:
   memory rlimit breaches.  ``at_request="all"`` makes the fault
   persistent (every request), which is how the circuit-breaker fallback
   is exercised.
+* ``inject_journal_fault(at_append=n)`` — the n-th append to the
+  synthesis service's write-ahead journal fails as if the underlying
+  write/fsync had errored; the service must surface a typed
+  ``JournalFault`` and never acknowledge the un-logged job.
+  ``at_append="all"`` fails every append.
 
 Installation is process-global (the facade consults
 :func:`active_injector`) and strictly scoped via the context manager, so a
@@ -67,10 +72,13 @@ class FaultInjector:
         self.check_count = 0
         self.model_count = 0
         self.request_count = 0   # worker-pool submissions, process-wide
+        self.journal_count = 0   # service journal appends, process-wide
         self._unknown_at = {}    # ordinal -> reason
         self._malformed_at = set()
         self._worker_at = {}     # ordinal -> directive
         self._worker_always = None  # persistent directive ("all" plans)
+        self._journal_at = set()
+        self._journal_always = False
         self.fired = []          # (kind, ordinal) log for assertions
 
     # -- plan construction ----------------------------------------------
@@ -103,6 +111,15 @@ class FaultInjector:
         """The ``at_request``-th pool submission allocates until its
         memory rlimit breaches."""
         return self._plan_worker(at_request, "oom")
+
+    def inject_journal_fault(self, at_append):
+        """The ``at_append``-th service-journal append fails durably:
+        the record must be treated as never written."""
+        if at_append == "all":
+            self._journal_always = True
+            return self
+        self._journal_at.update(self._ordinals(at_append))
+        return self
 
     def _plan_worker(self, at_request, directive):
         if at_request == "all":
@@ -149,6 +166,19 @@ class FaultInjector:
             self._record("worker:" + directive, self.request_count)
         return directive
 
+    def on_journal_append(self):
+        """Called by the service journal per append; ``True`` = fail it.
+
+        The journal consults this *before* writing anything, modelling a
+        write/fsync error: a failed append leaves no bytes behind, so the
+        job it carried was never durable and must not be acknowledged.
+        """
+        self.journal_count += 1
+        if self._journal_always or self.journal_count in self._journal_at:
+            self._record("journal", self.journal_count)
+            return True
+        return False
+
     def on_model(self, values):
         """Called by ``Solver.model`` with the assignment dict; may corrupt."""
         self.model_count += 1
@@ -179,7 +209,9 @@ class FaultInjector:
                    planned_checks=len(self._unknown_at),
                    planned_models=len(self._malformed_at),
                    planned_workers=len(self._worker_at),
-                   persistent_worker=self._worker_always or "")
+                   planned_journal=len(self._journal_at),
+                   persistent_worker=self._worker_always or "",
+                   persistent_journal=self._journal_always)
         try:
             yield self
         finally:

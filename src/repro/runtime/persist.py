@@ -1,0 +1,78 @@
+"""Crash-atomic file persistence: tempfile + fsync + ``os.replace``.
+
+Every durable artifact in the stack — resume handles, the service job
+store's snapshots, result-cache entries — must survive a ``kill -9`` at
+any instant with either the *old* contents or the *new* contents, never a
+torn mixture.  POSIX gives exactly one primitive with that guarantee:
+write a sibling tempfile, ``fsync`` it, ``os.replace`` it over the
+destination, and ``fsync`` the directory so the rename itself is durable.
+
+These helpers are deliberately tiny and dependency-free so any layer
+(``runtime``, ``synthesis``, ``service``) can use them without layering
+concerns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "atomic_write_json", "fsync_dir"]
+
+
+def fsync_dir(path):
+    """Flush a directory entry so a completed rename survives power loss.
+
+    Best-effort: some filesystems (and all of Windows) refuse to open
+    directories; the rename is still atomic there, just not yet durable.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform gate
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform gate
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path, text, fsync=True):
+    """Atomically replace ``path`` with ``text``.
+
+    The tempfile is created in the destination's directory (``os.replace``
+    must not cross filesystems) and removed on any failure, so a crashed
+    writer leaves the old file intact and at worst one stray
+    ``.tmp-*`` sibling.  ``fsync=False`` skips the flushes for callers
+    that only need atomicity, not durability (tests, scratch state).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=".tmp-" + os.path.basename(path) + "-", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(directory)
+    return path
+
+
+def atomic_write_json(path, obj, fsync=True):
+    """Atomically replace ``path`` with ``obj`` serialized as JSON."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=2, sort_keys=True) + "\n", fsync=fsync
+    )

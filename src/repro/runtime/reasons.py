@@ -36,6 +36,14 @@ reason                    meaning
                           moot (internal; never surfaces as a verdict)
 ``disagreement``          portfolio members returned contradictory verdicts
                           (carried by :class:`SoundnessViolation`)
+``checkpoint``            a mid-run durability snapshot (not a stop; the
+                          reason on periodic engine checkpoint partials)
+``drained``               a graceful shutdown stopped the run at a clean
+                          checkpoint boundary (resumable by construction)
+``journal-fault``         the service's write-ahead journal could not make
+                          a record durable (carried by ``JournalFault``)
+``poisoned``              a service job crashed its runner too many times
+                          and was marked failed-permanent
 ``unspecified``           the producer gave no reason (should be rare)
 ========================  ===================================================
 
@@ -51,6 +59,7 @@ __all__ = [
     "WORKER_REASONS",
     "BACKEND_REASONS",
     "PORTFOLIO_REASONS",
+    "SERVICE_REASONS",
     "CANONICAL_REASONS",
     "RETRYABLE_REASONS",
     "normalize_reason",
@@ -74,9 +83,15 @@ BACKEND_REASONS = frozenset({
 #: Portfolio-race outcomes (internal bookkeeping, never a final verdict).
 PORTFOLIO_REASONS = frozenset({"cancelled", "disagreement"})
 
+#: Lifecycle outcomes of the long-lived synthesis service.
+SERVICE_REASONS = frozenset({
+    "checkpoint", "drained", "journal-fault", "poisoned",
+})
+
 #: The full canonical vocabulary.
 CANONICAL_REASONS = (
     BUDGET_REASONS | WORKER_REASONS | BACKEND_REASONS | PORTFOLIO_REASONS
+    | SERVICE_REASONS
     | frozenset({"injected", "malformed-model", "unspecified"})
 )
 
@@ -127,6 +142,11 @@ _ALIASES = {
     "race-lost": "cancelled",
     "disagree": "disagreement",
     "verdict-conflict": "disagreement",
+    "drain": "drained",
+    "draining": "drained",
+    "journal": "journal-fault",
+    "poison": "poisoned",
+    "poison-job": "poisoned",
 }
 
 

@@ -1,0 +1,68 @@
+"""``repro.service``: the crash-safe synthesis daemon.
+
+A long-lived service wrapper around ``repro.synthesis.synthesize`` whose
+core guarantee is durability: every *accepted* job survives ``kill -9``
+at any instant, because acceptance is acknowledged only after the job's
+record is fsync'd into a write-ahead journal, progress is checkpointed
+to crash-atomic resume handles, and a restart replays
+``snapshot ∘ journal`` and finishes exactly the work the dead process
+owed.
+
+Layering (each module usable on its own):
+
+* :mod:`~repro.service.journal` — fsync'd JSONL write-ahead journal,
+  torn-tail-tolerant replay, fault injection;
+* :mod:`~repro.service.jobs` — the job model and its recovery state
+  machine;
+* :mod:`~repro.service.store` — journal-then-apply job index with
+  atomic-snapshot compaction and the idempotency/result cache;
+* :mod:`~repro.service.admission` — bounded queues, per-tenant budgets,
+  typed backpressure;
+* :mod:`~repro.service.runner` — checkpointing job runners and the
+  crash-containing supervisor (poison jobs fail permanently);
+* :mod:`~repro.service.daemon` — the ``SynthesisService`` tying it all
+  together behind a JSON-lines socket protocol;
+* :mod:`~repro.service.client` — the matching client.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionRejected
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import SynthesisService
+from repro.service.jobs import (
+    INTERRUPTED_STATES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    IllegalTransition,
+    Job,
+)
+from repro.service.journal import Journal, JournalFault
+from repro.service.problems import (
+    PROBLEMS,
+    build_problem,
+    idempotency_key,
+    register_problem,
+)
+from repro.service.runner import JobRunner, Supervisor
+from repro.service.store import JobStore
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "ServiceClient",
+    "ServiceError",
+    "SynthesisService",
+    "INTERRUPTED_STATES",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "IllegalTransition",
+    "Job",
+    "Journal",
+    "JournalFault",
+    "PROBLEMS",
+    "build_problem",
+    "idempotency_key",
+    "register_problem",
+    "JobRunner",
+    "Supervisor",
+    "JobStore",
+]

@@ -1,0 +1,112 @@
+"""Admission control: bounded queues, typed backpressure, tenant budgets.
+
+A long-lived daemon that accepts everything it is offered does not fail
+gracefully — it OOMs with a queue full of promises it cannot keep.  The
+:class:`AdmissionController` is the single gate every submission passes:
+
+* **queue depth** — at most ``max_queue_depth`` non-terminal jobs may be
+  in the system; beyond that submissions are rejected with the typed
+  reason ``"queue-full"`` (the client should back off and retry);
+* **per-tenant concurrency** — a tenant may hold at most
+  ``max_active_per_tenant`` non-terminal jobs (``"tenant-cap"``);
+* **per-tenant conflict budgets** — each tenant gets a long-lived
+  :class:`repro.runtime.Budget` capping total SAT conflicts; every job
+  runs under a child slice, so charges aggregate across jobs and a
+  tenant that has burned its cap is rejected at admission
+  (``"tenant-budget"``) instead of wasting runner time;
+* **draining** — once a graceful shutdown begins, every submission is
+  rejected with ``"draining"``.
+
+Rejections are *typed* (:class:`AdmissionRejected` carrying the reason)
+and observable (``service.admission`` events, ``service.admission.*``
+metrics) — backpressure you cannot see is backpressure you cannot tune.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
+from repro.runtime import Budget
+from repro.runtime.errors import RuntimeFault
+
+__all__ = ["AdmissionController", "AdmissionRejected"]
+
+
+class AdmissionRejected(RuntimeFault):
+    """A submission was refused at the admission gate.
+
+    ``reason`` is machine-readable backpressure: ``"queue-full"``,
+    ``"tenant-cap"``, ``"tenant-budget"``, ``"draining"`` or
+    ``"unknown-design"``.  ``retryable`` tells the client whether backing
+    off and resubmitting can ever succeed (a drained daemon will be
+    back; an exhausted tenant budget will not refill by itself).
+    """
+
+    def __init__(self, message="", reason="queue-full", retryable=True):
+        super().__init__(message or f"admission rejected ({reason})")
+        self.reason = reason
+        self.retryable = retryable
+
+
+class AdmissionController:
+    """The single admission gate in front of the job queue."""
+
+    def __init__(self, max_queue_depth=32, max_active_per_tenant=8,
+                 tenant_conflict_cap=None):
+        self.max_queue_depth = max_queue_depth
+        self.max_active_per_tenant = max_active_per_tenant
+        self.tenant_conflict_cap = tenant_conflict_cap
+        self._tenant_budgets = {}
+        self._lock = threading.Lock()
+
+    def tenant_budget(self, tenant):
+        """The tenant's long-lived budget (created on first use).
+
+        Uncapped when ``tenant_conflict_cap`` is ``None`` — still useful,
+        because every job's child slice charges it and the aggregate is
+        visible in ``conflicts_used``.
+        """
+        with self._lock:
+            budget = self._tenant_budgets.get(tenant)
+            if budget is None:
+                budget = Budget(max_conflicts=self.tenant_conflict_cap)
+                self._tenant_budgets[tenant] = budget
+            return budget
+
+    def admit(self, job, *, queue_depth, tenant_active, draining=False):
+        """Pass ``job`` through the gate; raises :class:`AdmissionRejected`.
+
+        ``queue_depth`` and ``tenant_active`` are supplied by the caller
+        (the store owns those counts); the controller owns the policy.
+        """
+        reason = None
+        retryable = True
+        if draining:
+            reason = "draining"
+        elif queue_depth >= self.max_queue_depth:
+            reason = "queue-full"
+        elif tenant_active >= self.max_active_per_tenant:
+            reason = "tenant-cap"
+        else:
+            budget = self.tenant_budget(job.tenant)
+            if budget.exhausted_reason() is not None:
+                reason = "tenant-budget"
+                retryable = False
+        if reason is not None:
+            _METRICS.inc("service.admission.rejected")
+            _METRICS.inc(f"service.admission.rejected.{reason}")
+            _obs.event("service.admission", decision="rejected",
+                       reason=reason, job_id=job.job_id,
+                       tenant=job.tenant, queue_depth=queue_depth)
+            raise AdmissionRejected(
+                f"job {job.job_id} rejected: {reason} "
+                f"(queue {queue_depth}/{self.max_queue_depth}, tenant "
+                f"{job.tenant!r} active {tenant_active})",
+                reason=reason, retryable=retryable,
+            )
+        _METRICS.inc("service.admission.accepted")
+        _obs.event("service.admission", decision="accepted",
+                   job_id=job.job_id, tenant=job.tenant,
+                   queue_depth=queue_depth)

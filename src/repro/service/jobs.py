@@ -1,0 +1,171 @@
+"""Job model and the recovery state machine of the synthesis service.
+
+A job moves through::
+
+    accepted ──► running ──► done
+        ▲           │  ▲
+        │           ▼  │ (periodic durability snapshots)
+        │       checkpointed ──► done
+        │           │
+        └───────────┤  (crash recovery / runner restart)
+                    ▼
+                 failed / failed-permanent
+
+``accepted``, ``running`` and ``checkpointed`` are the *interrupted*
+states: a daemon restart re-admits every job found in one of them,
+resuming ``checkpointed`` jobs from their on-disk resume handles.
+``done``, ``failed`` and ``failed-permanent`` are terminal.
+``failed-permanent`` is the poison verdict: the job crashed its runner
+more than the supervisor's crash cap and will not be retried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.errors import RuntimeFault
+
+__all__ = [
+    "Job",
+    "IllegalTransition",
+    "JOB_STATES",
+    "INTERRUPTED_STATES",
+    "TERMINAL_STATES",
+    "LEGAL_TRANSITIONS",
+]
+
+JOB_STATES = (
+    "accepted", "running", "checkpointed", "done", "failed",
+    "failed-permanent",
+)
+
+#: States a crash can strand a job in; recovery re-admits all of them.
+INTERRUPTED_STATES = frozenset({"accepted", "running", "checkpointed"})
+
+TERMINAL_STATES = frozenset({"done", "failed", "failed-permanent"})
+
+#: state -> states it may legally move to.  Recovery and runner-crash
+#: requeues move running/checkpointed jobs *back* to accepted.
+LEGAL_TRANSITIONS = {
+    "accepted": frozenset({"running", "failed", "failed-permanent"}),
+    "running": frozenset({"checkpointed", "done", "failed",
+                          "failed-permanent", "accepted"}),
+    "checkpointed": frozenset({"checkpointed", "running", "done", "failed",
+                               "failed-permanent", "accepted"}),
+    "done": frozenset(),
+    "failed": frozenset(),
+    "failed-permanent": frozenset(),
+}
+
+
+class IllegalTransition(RuntimeFault):
+    """A job was asked to move along an edge the state machine forbids."""
+
+    reason = "illegal-transition"
+
+    def __init__(self, job_id, current, requested):
+        super().__init__(
+            f"job {job_id}: illegal transition {current!r} -> {requested!r}"
+        )
+        self.job_id = job_id
+        self.current = current
+        self.requested = requested
+
+
+@dataclass
+class Job:
+    """One synthesis request and its durable lifecycle state.
+
+    Everything here round-trips through the journal as JSON; the large
+    artifacts (resume handles) live in sibling files named by
+    ``checkpoint_path`` so journal records stay small.
+    """
+
+    job_id: str
+    design: str                  # problem-registry name
+    mode: str = "per_instruction"
+    tenant: str = "default"
+    timeout: object = None       # per-job wall-clock seconds, or None
+    idempotency_key: str = ""
+    state: str = "accepted"
+    crashes: int = 0             # runner crashes while executing this job
+    instructions_done: int = 0   # progress at the last checkpoint
+    checkpoint_path: str = ""    # resume handle on disk, "" if none yet
+    reason: str = ""             # machine-readable outcome qualifier
+    error: str = ""              # human-readable failure detail
+    result: object = None        # dict payload once done
+    submitted_at: float = 0.0    # service clock, informational only
+
+    def validate_transition(self, state):
+        """Raise :class:`IllegalTransition` if the edge is forbidden."""
+        if state not in JOB_STATES:
+            raise IllegalTransition(self.job_id, self.state, state)
+        if state not in LEGAL_TRANSITIONS[self.state]:
+            raise IllegalTransition(self.job_id, self.state, state)
+
+    def transition(self, state):
+        """Validate and apply a state-machine edge (in memory)."""
+        self.validate_transition(state)
+        self.state = state
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL_STATES
+
+    @property
+    def interrupted(self):
+        return self.state in INTERRUPTED_STATES
+
+    def to_dict(self):
+        return {
+            "job_id": self.job_id,
+            "design": self.design,
+            "mode": self.mode,
+            "tenant": self.tenant,
+            "timeout": self.timeout,
+            "idempotency_key": self.idempotency_key,
+            "state": self.state,
+            "crashes": self.crashes,
+            "instructions_done": self.instructions_done,
+            "checkpoint_path": self.checkpoint_path,
+            "reason": self.reason,
+            "error": self.error,
+            "result": self.result,
+            "submitted_at": self.submitted_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            job_id=data["job_id"],
+            design=data["design"],
+            mode=data.get("mode", "per_instruction"),
+            tenant=data.get("tenant", "default"),
+            timeout=data.get("timeout"),
+            idempotency_key=data.get("idempotency_key", ""),
+            state=data.get("state", "accepted"),
+            crashes=int(data.get("crashes", 0)),
+            instructions_done=int(data.get("instructions_done", 0)),
+            checkpoint_path=data.get("checkpoint_path", ""),
+            reason=data.get("reason", ""),
+            error=data.get("error", ""),
+            result=data.get("result"),
+            submitted_at=float(data.get("submitted_at", 0.0)),
+        )
+
+    def public_view(self):
+        """The client-facing status dict (no internal bookkeeping)."""
+        view = {
+            "job_id": self.job_id,
+            "design": self.design,
+            "mode": self.mode,
+            "tenant": self.tenant,
+            "state": self.state,
+            "instructions_done": self.instructions_done,
+            "crashes": self.crashes,
+        }
+        if self.reason:
+            view["reason"] = self.reason
+        if self.error:
+            view["error"] = self.error
+        return view

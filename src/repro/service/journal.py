@@ -1,0 +1,169 @@
+"""The service's write-ahead journal: durable JSONL state transitions.
+
+Every job-store mutation is a record appended here *before* it takes
+effect in memory and long before the client sees an acknowledgement —
+the classic WAL contract.  A ``kill -9`` at any instant then loses at
+most the record being written, and that record was by construction never
+acknowledged, so no *accepted* work is ever lost.
+
+Durability mechanics:
+
+* appends are a single ``write`` of one JSON line followed by ``flush`` +
+  ``fsync`` (opt-out via ``fsync=False`` for tests);
+* replay tolerates exactly one *torn tail* — a final line the crash cut
+  short — and counts it, because a torn tail is the expected signature of
+  dying mid-append; corruption anywhere *else* means the file was
+  damaged outside the protocol and raises :class:`JournalFault`;
+* compaction is snapshot-then-reset: the caller atomically writes a
+  snapshot of the full state (``repro.runtime.persist``), then
+  :meth:`Journal.reset` atomically replaces the journal with an empty
+  file, so there is no instant at which neither representation exists.
+
+Fault injection: each append first consults the installed
+:class:`repro.runtime.FaultInjector` (``inject_journal_fault``); an
+injected fault raises *before* any byte is written, modelling a failed
+write/fsync whose record must be treated as never durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.metrics import METRICS as _METRICS
+from repro.runtime.errors import RuntimeFault
+from repro.runtime.faults import active_injector
+from repro.runtime.persist import atomic_write_text, fsync_dir
+
+__all__ = ["Journal", "JournalFault"]
+
+
+class JournalFault(RuntimeFault):
+    """A journal record could not be made durable (write/fsync failure),
+    or the journal file is damaged beyond the torn-tail tolerance.
+
+    ``reason`` is ``"journal-fault"``: callers (the daemon's submit path)
+    convert this into a typed ``service.journal`` error response and must
+    never acknowledge the job whose record failed.
+    """
+
+    reason = "journal-fault"
+
+    def __init__(self, message=""):
+        super().__init__(message or "journal append failed (journal-fault)")
+
+
+class Journal:
+    """An append-only JSONL journal with fsync'd writes and torn-tail
+    tolerant replay."""
+
+    def __init__(self, path, fsync=True):
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._seq = 0
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, record):
+        """Durably append one record dict; returns its sequence number.
+
+        Raises :class:`JournalFault` if the write cannot be made durable
+        (real OS error or injected fault).  On fault nothing is visible
+        to a replay, so the caller must treat the record as never
+        written — in particular, never acknowledge the job it carried.
+        """
+        injector = active_injector()
+        if injector is not None and injector.on_journal_append():
+            _METRICS.inc("service.journal.faults")
+            raise JournalFault("injected journal write fault")
+        self._seq += 1
+        line = json.dumps(dict(record, seq=self._seq), sort_keys=True)
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except (OSError, ValueError) as exc:
+            _METRICS.inc("service.journal.faults")
+            raise JournalFault(f"journal append failed: {exc}") from exc
+        _METRICS.inc("service.journal.appends")
+        return self._seq
+
+    # -- replay ----------------------------------------------------------
+
+    @staticmethod
+    def replay(path):
+        """Read back every durable record; returns ``(records, torn)``.
+
+        ``torn`` is ``True`` when the final line was cut short by a crash
+        (unparseable or missing its newline) — expected, tolerated, and
+        by the WAL contract never an acknowledged record.  Unparseable
+        records *before* the tail mean out-of-protocol damage and raise
+        :class:`JournalFault`.
+        """
+        if not os.path.exists(path):
+            return [], False
+        with open(path, encoding="utf-8") as handle:
+            raw = handle.read()
+        records = []
+        torn = False
+        lines = raw.split("\n")
+        # A well-formed file ends with "\n", so the last split element is
+        # empty; anything else is a tail the crash cut short.
+        complete, tail = lines[:-1], lines[-1]
+        if tail:
+            torn = True
+        for index, line in enumerate(complete):
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if index == len(complete) - 1 and not tail:
+                    # The crash tore the final line but still got the
+                    # newline out: same torn-tail case.
+                    torn = True
+                    break
+                raise JournalFault(
+                    f"journal {path!r} is corrupt at record {index + 1}: "
+                    f"{exc}"
+                ) from exc
+        return records, torn
+
+    def resume_from(self, records):
+        """Continue sequence numbering after a replay."""
+        if records:
+            self._seq = max(int(r.get("seq", 0)) for r in records)
+
+    # -- compaction ------------------------------------------------------
+
+    def reset(self):
+        """Atomically truncate the journal (post-snapshot compaction)."""
+        self._handle.close()
+        atomic_write_text(self.path, "", fsync=self.fsync)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._seq = 0
+        _METRICS.inc("service.journal.compactions")
+
+    def close(self):
+        if not self._handle.closed:
+            self._handle.flush()
+            if self.fsync:
+                try:
+                    os.fsync(self._handle.fileno())
+                except OSError:  # pragma: no cover - already gone
+                    pass
+            self._handle.close()
+        directory = os.path.dirname(self.path)
+        if directory and self.fsync:
+            fsync_dir(directory)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()

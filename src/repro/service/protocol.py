@@ -1,0 +1,83 @@
+"""The wire protocol: one JSON object per line, over Unix or TCP sockets.
+
+Requests are ``{"op": ..., ...}`` dicts; responses are either
+``{"ok": true, ...}`` or ``{"ok": false, "error": {...}}`` where the
+error object is *typed*: a stable ``type`` (``"service.admission"``,
+``"service.journal"``, ``"service.request"``, ``"service.internal"``), a
+machine-readable ``reason`` from the canonical taxonomy, a human
+``message``, and ``retryable`` so clients know whether backing off can
+help.  Typed errors are the protocol-level face of the store's
+durability contract: a ``service.journal`` error means the job was
+*never acknowledged* and therefore never owed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.admission import AdmissionRejected
+from repro.service.journal import JournalFault
+
+__all__ = ["encode_line", "decode_line", "ok_response", "error_response",
+           "read_lines"]
+
+_MAX_LINE = 1 << 20  # 1 MiB: a request is a name + knobs, never a design
+
+
+def encode_line(obj):
+    """Serialize one protocol message to its wire line (bytes)."""
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_line(line):
+    """Parse one wire line; raises ``ValueError`` on malformed input."""
+    text = line.decode("utf-8") if isinstance(line, bytes) else line
+    obj = json.loads(text)
+    if not isinstance(obj, dict):
+        raise ValueError("protocol message must be a JSON object")
+    return obj
+
+
+def ok_response(**fields):
+    response = {"ok": True}
+    response.update(fields)
+    return response
+
+
+def error_response(exc):
+    """Shape an exception into the typed error object."""
+    if isinstance(exc, AdmissionRejected):
+        kind, reason, retryable = ("service.admission", exc.reason,
+                                   exc.retryable)
+    elif isinstance(exc, JournalFault):
+        kind, reason, retryable = "service.journal", "journal-fault", True
+    elif isinstance(exc, (ValueError, KeyError, TypeError)):
+        kind, reason, retryable = "service.request", "malformed-request", False
+    else:
+        kind, reason, retryable = "service.internal", "internal", True
+    return {
+        "ok": False,
+        "error": {
+            "type": kind,
+            "reason": reason,
+            "message": str(exc) or type(exc).__name__,
+            "retryable": retryable,
+        },
+    }
+
+
+def read_lines(sock_file):
+    """Yield decoded request dicts from a socket file object.
+
+    Stops at EOF; oversized lines raise ``ValueError`` (the server turns
+    that into a ``service.request`` error and drops the connection).
+    """
+    while True:
+        line = sock_file.readline(_MAX_LINE + 1)
+        if not line:
+            return
+        if len(line) > _MAX_LINE:
+            raise ValueError("protocol line exceeds 1 MiB")
+        if not line.strip():
+            continue
+        yield decode_line(line)

@@ -1,0 +1,243 @@
+"""Job execution: checkpointing runners and the crash-restarting supervisor.
+
+:class:`JobRunner` executes one job end to end — build the problem from
+the registry, resume from the job's on-disk handle if one survived a
+crash, run the engine with a periodic checkpoint hook, and record the
+terminal transition.  Every durability step happens in the safe order:
+the resume handle is written crash-atomically *first*, then the
+``checkpointed`` transition is journaled, so the journal never points at
+a handle that does not exist.
+
+:class:`Supervisor` owns the worker threads that drain the run queue.
+A runner that raises *unexpectedly* (a bug, an injected crash — anything
+other than the engine's typed degradation path) does not take the
+service down: the supervisor logs the crash, requeues the job with
+decorrelated-jitter backoff, and after ``max_crashes`` crashes declares
+it poison (``failed-permanent``, reason ``"poisoned"``) so one bad job
+cannot crash-loop the daemon forever.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+import traceback
+
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
+from repro.oyster import print_design
+from repro.runtime.retry import RetryPolicy, decorrelated_jitter
+from repro.service.problems import build_problem
+from repro.synthesis import (
+    MalformedResumeHandle,
+    load_resume_handle,
+    save_resume_handle,
+    synthesize,
+)
+
+__all__ = ["JobRunner", "Supervisor"]
+
+
+class JobRunner:
+    """Executes one job under the store's durability contract."""
+
+    def __init__(self, store, admission, config=None, drain_event=None,
+                 stall=0.0):
+        self.store = store
+        self.admission = admission
+        self.config = config
+        self.drain_event = drain_event or threading.Event()
+        #: per-checkpoint sleep (seconds) — the chaos harness uses this to
+        #: make "killed mid-job with checkpoints on disk" deterministic.
+        self.stall = stall
+
+    def _load_resume(self, job):
+        """The job's surviving resume handle, or ``None`` to start fresh.
+
+        A torn/corrupt handle is not fatal: the journal is the source of
+        truth for the job's existence, the handle only saves re-solving.
+        """
+        if not job.checkpoint_path:
+            return None
+        try:
+            return load_resume_handle(job.checkpoint_path)
+        except FileNotFoundError:
+            return None
+        except MalformedResumeHandle as exc:
+            _METRICS.inc("service.recovery.bad_handles")
+            _obs.event("service.recovery", job_id=job.job_id,
+                       bad_handle=str(exc), reason=exc.reason)
+            return None
+
+    def run(self, job_id):
+        """Run the job to a terminal or ``checkpointed``-for-drain state.
+
+        Raises only on *unexpected* failure (the supervisor treats that
+        as a runner crash); typed synthesis outcomes are absorbed into
+        job transitions here.
+        """
+        job = self.store.get(job_id)
+        with _obs.span("service.job", job_id=job_id, design=job.design,
+                       tenant=job.tenant, mode=job.mode):
+            self.store.transition(job_id, "running")
+            problem = build_problem(job.design)
+            resume = self._load_resume(job)
+            tenant_budget = self.admission.tenant_budget(job.tenant)
+            budget = tenant_budget.child(timeout=job.timeout)
+            handle_path = self.store.checkpoint_path(job_id)
+
+            def checkpoint(partial):
+                # Handle first (crash-atomic), then journal: the journal
+                # must never reference a handle that is not on disk.
+                save_resume_handle(partial, handle_path,
+                                   fsync=self.store.fsync)
+                self.store.transition(
+                    job_id, "checkpointed",
+                    checkpoint_path=handle_path,
+                    instructions_done=partial.completed_count,
+                )
+                if self.stall:
+                    time.sleep(self.stall)
+                if self.drain_event.is_set():
+                    return False
+                return True
+
+            result = synthesize(
+                problem, mode=job.mode, budget=budget,
+                config=self.config, resume_from=resume,
+                checkpoint=checkpoint, on_timeout="partial",
+            )
+            if not getattr(result, "is_partial", False):
+                payload = {
+                    "design": print_design(result.completed_design),
+                    "instructions": len(problem.spec.instructions),
+                }
+                self.store.transition(job_id, "done", result=payload,
+                                      reason="done")
+                _METRICS.inc("service.jobs.done")
+                return self.store.get(job_id)
+            if result.reason == "drained":
+                # The drain checkpoint already journaled the handle; the
+                # job stays `checkpointed` and resumes on the next start.
+                _METRICS.inc("service.jobs.drained")
+                return self.store.get(job_id)
+            self.store.transition(
+                job_id, "failed", reason=result.reason,
+                error=f"synthesis stopped: {result.reason} "
+                      f"({result.completed_count} instruction(s) done)",
+            )
+            _METRICS.inc("service.jobs.failed")
+            return self.store.get(job_id)
+
+
+class Supervisor:
+    """Worker threads + crash containment around :class:`JobRunner`.
+
+    The queue carries job ids (the store owns the state).  ``submit``
+    enqueues; worker threads run jobs; a crash requeues with backoff
+    until the poison cap.  ``drain`` stops the workers at the next job
+    boundary and lets in-flight jobs stop at their next checkpoint.
+    """
+
+    def __init__(self, store, runner, threads=1, max_crashes=3,
+                 retry_policy=None):
+        self.store = store
+        self.runner = runner
+        self.max_crashes = max_crashes
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._queue = queue.Queue()
+        self._rng = random.Random(self.retry_policy.seed)
+        self._stop = threading.Event()
+        self._previous_backoff = 0.0
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"service-runner-{i}")
+            for i in range(max(1, threads))
+        ]
+        self._started = False
+
+    def start(self):
+        if not self._started:
+            self._started = True
+            for thread in self._threads:
+                thread.start()
+
+    def submit(self, job_id):
+        self._queue.put(job_id)
+
+    def pending(self):
+        return self._queue.unfinished_tasks
+
+    def _worker(self):
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._run_one(job_id)
+            finally:
+                self._queue.task_done()
+
+    def _run_one(self, job_id):
+        job = self.store.get(job_id)
+        if job is None or job.terminal:
+            return
+        try:
+            self.runner.run(job_id)
+        except Exception as exc:  # noqa: BLE001 - crash containment
+            self._on_crash(job_id, exc)
+
+    def _on_crash(self, job_id, exc):
+        """Contain a runner crash: requeue with backoff, or poison."""
+        job = self.store.get(job_id)
+        crashes = job.crashes + 1
+        detail = "".join(
+            traceback.format_exception_only(type(exc), exc)
+        ).strip()
+        _METRICS.inc("service.runner.crashes")
+        _obs.event("service.job", job_id=job_id, crash=detail,
+                   crashes=crashes)
+        if job.terminal:
+            return
+        if crashes >= self.max_crashes:
+            self.store.transition(
+                job_id, "failed-permanent", crashes=crashes,
+                reason="poisoned",
+                error=f"poison job: runner crashed {crashes} time(s), "
+                      f"last: {detail}",
+            )
+            _METRICS.inc("service.jobs.poisoned")
+            return
+        pause = decorrelated_jitter(
+            self._rng, self.retry_policy.backoff,
+            self.retry_policy.backoff_ceiling, self._previous_backoff,
+        )
+        self._previous_backoff = pause
+        self.store.transition(job_id, "accepted", crashes=crashes,
+                              reason="requeued", error=detail)
+        _METRICS.inc("service.runner.requeues")
+        if pause:
+            time.sleep(pause)
+        self._queue.put(job_id)
+
+    def drain(self, timeout=30.0):
+        """Stop pulling new jobs; wait for in-flight runners to park.
+
+        In-flight jobs stop at their next engine checkpoint (the runner's
+        drain event makes the checkpoint callback return ``False``);
+        queued-but-unstarted jobs simply stay ``accepted``.  Both resume
+        on the next daemon start.
+        """
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            if not thread.is_alive():
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(remaining)
+        return all(not thread.is_alive() for thread in self._threads)

@@ -16,7 +16,9 @@ from repro.synthesis.result import (
     SynthesisError,
     SynthesisTimeout,
     SynthesisFailure,
+    MalformedResumeHandle,
 )
+from repro.synthesis.handles import load_resume_handle, save_resume_handle
 from repro.synthesis.cegis import cegis_solve
 from repro.synthesis.diagnosis import diagnose_instruction, InstructionDiagnosis
 from repro.synthesis.incremental import (
@@ -36,6 +38,9 @@ __all__ = [
     "SynthesisError",
     "SynthesisTimeout",
     "SynthesisFailure",
+    "MalformedResumeHandle",
+    "save_resume_handle",
+    "load_resume_handle",
     "cegis_solve",
     "diagnose_instruction",
     "InstructionDiagnosis",

@@ -8,8 +8,11 @@ Oyster design.
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
+from contextlib import contextmanager
 
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _obs
@@ -49,7 +52,7 @@ def synthesize(problem, mode="per_instruction", timeout=None,
                progress=None, partial_eval=True, budget=None,
                retry_policy=None, on_timeout="raise", resume_from=None,
                execution=None, worker_pool=None, max_workers=None,
-               pipeline=None, config=None, backend=None):
+               pipeline=None, config=None, backend=None, checkpoint=None):
     """Run control logic synthesis.
 
     Parameters
@@ -123,9 +126,24 @@ def synthesize(problem, mode="per_instruction", timeout=None,
         Size of the engine-owned pool (ignored when ``worker_pool`` is
         given); also the per-instruction dispatch width.
 
+    checkpoint:
+        Optional callable invoked with a fresh
+        :class:`PartialSynthesisResult` (reason ``"checkpoint"``) after
+        *every* completed instruction — the periodic durability hook a
+        long-lived service needs, instead of a handle that only exists
+        once the run has already died.  Each snapshot carries every
+        solution completed so far and is a valid ``resume_from`` handle.
+        Returning ``False`` (exactly) asks the engine to stop at this
+        clean boundary: the run degrades like budget exhaustion with
+        reason ``"drained"`` — the graceful-shutdown path.  Monolithic
+        mode has no per-instruction boundary and never checkpoints.
+
     A ``KeyboardInterrupt`` mid-run follows the same degradation contract
     as budget exhaustion: live workers are terminated, and the partial
     result (reason ``"interrupted"``, resumable) is returned or attached.
+    ``SIGTERM`` delivered to the main thread is wired to the same
+    contract as ``SIGINT``: the engine degrades to the same resumable
+    partial result and reaps live workers/subprocess solvers.
     """
     started = time.monotonic()
     if on_timeout not in ("raise", "partial"):
@@ -165,13 +183,14 @@ def synthesize(problem, mode="per_instruction", timeout=None,
             # escalation policy so crashes land on fresh workers.
             retry_policy = RetryPolicy()
     try:
-        with _obs.span("synthesis.run", problem=problem.name, mode=mode,
-                       backend=backend_name, execution=backend_name,
-                       pipeline=pipeline):
+        with _sigterm_degrades(), \
+                _obs.span("synthesis.run", problem=problem.name, mode=mode,
+                          backend=backend_name, execution=backend_name,
+                          pipeline=pipeline):
             return _synthesize(
                 problem, mode, started, max_iterations, check_independence,
                 progress, partial_eval, budget, retry_policy, on_timeout,
-                resume_from, config, pipeline,
+                resume_from, config, pipeline, checkpoint,
             )
     finally:
         if owned_pool is not None:
@@ -183,9 +202,39 @@ def synthesize(problem, mode="per_instruction", timeout=None,
                 )
 
 
+@contextmanager
+def _sigterm_degrades():
+    """Wire SIGTERM to the SIGINT degradation contract for this run.
+
+    A service manager's polite stop must not differ from Ctrl-C: both
+    degrade to the same resumable ``PartialSynthesisResult`` and reap
+    live workers.  Signals are only deliverable to the main thread, and
+    handlers are only installable *from* it, so dispatch-thread runs
+    (e.g. service job runners) leave the process handler untouched — the
+    daemon owns SIGTERM there and drains via the checkpoint hook instead.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _synthesize(problem, mode, started, max_iterations, check_independence,
                 progress, partial_eval, budget, retry_policy, on_timeout,
-                resume_from, config, pipeline):
+                resume_from, config, pipeline, checkpoint=None):
     backend_name = config.backend_name
     worker_pool = config.worker_pool
     isolated = backend_name == "isolated"
@@ -219,11 +268,21 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
             )
         solved = dict(resume_solutions)
         faults = []
+
+        def _checkpoint_ok(solved_now):
+            """Emit a checkpoint snapshot; ``False`` means stop here."""
+            if checkpoint is None:
+                return True
+            snap = _partial(problem, mode, solved_now, "checkpoint",
+                            started, stats, faults, close_trace=False)
+            return checkpoint(snap) is not False
+
         try:
             if isolated:
                 stop_fault = _solve_concurrently(
                     problem, solved, faults, budget, retry_policy,
                     max_iterations, partial_eval, config, progress,
+                    _checkpoint_ok,
                 )
                 if stop_fault is not None:
                     partial = _partial(problem, mode, solved,
@@ -263,6 +322,15 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
                     solved[instruction.name] = solution
                     if progress is not None:
                         progress(instruction.name, solution)
+                    if not _checkpoint_ok(solved):
+                        partial = _partial(problem, mode, solved, "drained",
+                                           started, stats, faults)
+                        return _degrade(
+                            partial,
+                            BudgetExhausted(
+                                "synthesis drained at a checkpoint",
+                                reason="drained"),
+                            on_timeout)
         except KeyboardInterrupt as fault:
             if worker_pool is not None:
                 worker_pool.terminate_inflight()
@@ -318,7 +386,8 @@ def _synthesize(problem, mode, started, max_iterations, check_independence,
 
 
 def _solve_concurrently(problem, solved, faults, budget, retry_policy,
-                        max_iterations, partial_eval, config, progress):
+                        max_iterations, partial_eval, config, progress,
+                        checkpoint_ok=None):
     """Dispatch pending per-instruction problems across the worker pool.
 
     Instruction independence (Section 3.3.1) is what makes this sound:
@@ -372,6 +441,13 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
             solved[instruction.name] = solution
             if progress is not None:
                 progress(instruction.name, solution)
+            if checkpoint_ok is not None and not checkpoint_ok(solved):
+                # Drain requested: the in-flight siblings are killed (they
+                # stay pending and resumable), the finished ones are kept.
+                stop_fault = BudgetExhausted(
+                    "synthesis drained at a checkpoint", reason="drained")
+                worker_pool.terminate_inflight()
+                break
     except KeyboardInterrupt:
         worker_pool.terminate_inflight()
         raise
@@ -427,11 +503,15 @@ def _resume_solutions(problem, mode, resume_from):
     return solutions
 
 
-def _partial(problem, mode, solved, reason, started, stats, faults):
+def _partial(problem, mode, solved, reason, started, stats, faults,
+             close_trace=True):
     # Degraded runs still close their trace with a metrics snapshot, so a
     # truncated trace's encode deltas cover everything up to the stop.
-    _obs.event("metrics.snapshot", stop_reason=reason,
-               **_metrics.snapshot())
+    # Mid-run checkpoint snapshots pass close_trace=False: the run is
+    # still going, so they must not emit a closing snapshot.
+    if close_trace:
+        _obs.event("metrics.snapshot", stop_reason=reason,
+                   **_metrics.snapshot())
     order = [i.name for i in problem.spec.instructions]
     return PartialSynthesisResult(
         problem_name=problem.name,

@@ -1,0 +1,63 @@
+"""Crash-atomic persistence for resume handles.
+
+A resume handle is only worth its durability story: a handle that a crash
+can tear mid-write is *worse* than no handle, because the resuming run
+dies on a ``json.JSONDecodeError`` instead of simply redoing the work.
+:func:`save_resume_handle` therefore writes through the
+tempfile + fsync + ``os.replace`` protocol (``repro.runtime.persist``),
+and :func:`load_resume_handle` converts every decode failure into a typed
+:class:`~repro.synthesis.result.MalformedResumeHandle` carrying a
+machine-readable reason, so callers can branch on "torn" vs "foreign" vs
+"too new" instead of pattern-matching tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.runtime.persist import atomic_write_json
+from repro.synthesis.result import (
+    MalformedResumeHandle,
+    PartialSynthesisResult,
+)
+
+__all__ = ["save_resume_handle", "load_resume_handle"]
+
+
+def save_resume_handle(partial, path, fsync=True):
+    """Atomically write ``partial`` (or its dict form) as a handle file.
+
+    A ``kill -9`` at any instant leaves either the previous handle or the
+    new one on disk, never a torn mixture.  Returns ``path``.
+    """
+    if isinstance(partial, PartialSynthesisResult):
+        partial = partial.to_dict()
+    return atomic_write_json(path, partial, fsync=fsync)
+
+
+def load_resume_handle(path):
+    """Load a handle written by :func:`save_resume_handle`.
+
+    Raises :class:`MalformedResumeHandle` (with ``reason`` and ``path``
+    set) on torn/corrupt JSON, a foreign schema, an unknown newer
+    version, or missing fields.  A genuinely absent file propagates
+    ``FileNotFoundError`` unchanged — "never written" and "written but
+    unreadable" call for different recoveries.
+    """
+    path = os.fspath(path)
+    with open(path) as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        fault = MalformedResumeHandle(
+            f"resume handle {path!r} is torn or corrupt: {exc}",
+            reason="torn-or-corrupt", path=path,
+        )
+        raise fault from exc
+    try:
+        return PartialSynthesisResult.from_dict(data)
+    except MalformedResumeHandle as exc:
+        exc.path = path
+        raise

@@ -10,14 +10,45 @@ __all__ = [
     "SynthesisError",
     "SynthesisTimeout",
     "SynthesisFailure",
+    "MalformedResumeHandle",
     "InstructionSolution",
     "SynthesisResult",
     "PartialSynthesisResult",
+    "RESUME_HANDLE_SCHEMA",
+    "RESUME_HANDLE_VERSION",
 ]
+
+#: The resume-handle wire schema tag and its current version.  The version
+#: is bumped when a field changes meaning; readers refuse *newer* versions
+#: (they cannot know what the fields mean) and accept older ones.
+RESUME_HANDLE_SCHEMA = "repro.partial_synthesis_result/1"
+RESUME_HANDLE_VERSION = 1
 
 
 class SynthesisError(Exception):
     """Base class for synthesis failures."""
+
+
+class MalformedResumeHandle(SynthesisError, ValueError):
+    """A resume handle could not be decoded into a usable partial result.
+
+    Raised instead of a raw ``json.JSONDecodeError``/``KeyError`` when a
+    handle file is torn (a crash mid-write), corrupt, from a foreign
+    schema, or from a *newer* handle version than this reader knows.
+    ``reason`` is machine-readable (``"torn-or-corrupt"``,
+    ``"foreign-schema"``, ``"unknown-version"``, ``"missing-field"``);
+    ``path`` names the offending file when it came from disk.
+
+    Subclasses ``ValueError`` so pre-existing callers that caught the old
+    untyped failure keep working.
+    """
+
+    def __init__(self, message="", reason="torn-or-corrupt", path=None):
+        super().__init__(
+            message or f"malformed resume handle ({reason})"
+        )
+        self.reason = reason
+        self.path = path
 
 
 class SynthesisTimeout(SynthesisError, BudgetExhausted):
@@ -120,6 +151,10 @@ class SynthesisResult:
     stats: dict = field(default_factory=dict)
 
     @property
+    def is_partial(self):
+        return False
+
+    @property
     def instruction_count(self):
         return len(self.per_instruction)
 
@@ -184,7 +219,8 @@ class PartialSynthesisResult:
     def to_dict(self):
         """JSON-serializable resume handle."""
         return {
-            "schema": "repro.partial_synthesis_result/1",
+            "schema": RESUME_HANDLE_SCHEMA,
+            "version": RESUME_HANDLE_VERSION,
             "problem_name": self.problem_name,
             "mode": self.mode,
             "completed": [s.to_dict() for s in self.completed],
@@ -197,22 +233,42 @@ class PartialSynthesisResult:
 
     @classmethod
     def from_dict(cls, data):
-        if data.get("schema") != "repro.partial_synthesis_result/1":
-            raise ValueError(
-                "not a serialized PartialSynthesisResult: "
-                f"{data.get('schema')!r}"
+        if not isinstance(data, dict):
+            raise MalformedResumeHandle(
+                "resume handle is not a JSON object: "
+                f"{type(data).__name__}",
+                reason="torn-or-corrupt",
             )
-        return cls(
-            problem_name=data["problem_name"],
-            mode=data["mode"],
-            completed=[InstructionSolution.from_dict(s)
-                       for s in data["completed"]],
-            pending=list(data["pending"]),
-            reason=data["reason"],
-            elapsed=float(data.get("elapsed", 0.0)),
-            stats=dict(data.get("stats", {})),
-            faults=[tuple(f) for f in data.get("faults", [])],
-        )
+        if data.get("schema") != RESUME_HANDLE_SCHEMA:
+            raise MalformedResumeHandle(
+                "not a serialized PartialSynthesisResult: "
+                f"{data.get('schema')!r}",
+                reason="foreign-schema",
+            )
+        version = data.get("version", 1)  # pre-version handles are v1
+        if not isinstance(version, int) or version > RESUME_HANDLE_VERSION:
+            raise MalformedResumeHandle(
+                f"resume handle version {version!r} is newer than this "
+                f"reader (max {RESUME_HANDLE_VERSION})",
+                reason="unknown-version",
+            )
+        try:
+            return cls(
+                problem_name=data["problem_name"],
+                mode=data["mode"],
+                completed=[InstructionSolution.from_dict(s)
+                           for s in data["completed"]],
+                pending=list(data["pending"]),
+                reason=data["reason"],
+                elapsed=float(data.get("elapsed", 0.0)),
+                stats=dict(data.get("stats", {})),
+                faults=[tuple(f) for f in data.get("faults", [])],
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise MalformedResumeHandle(
+                f"resume handle is missing or mistypes a field: {exc!r}",
+                reason="missing-field",
+            ) from exc
 
     def summary(self):
         lines = [

@@ -109,3 +109,44 @@ def test_repr_mentions_caps():
     text = repr(budget)
     assert "time=" in text and "conflicts=0/5" in text and "64MB" in text
     assert repr(Budget()) == "Budget(unbounded)"
+
+
+def test_concurrent_charges_do_not_lose_updates():
+    # Service runners charge children of a shared per-tenant budget from
+    # multiple threads; the ancestor walk must not drop increments.
+    import threading
+
+    parent = Budget(max_conflicts=None)
+    children = [parent.child() for _ in range(4)]
+    per_thread, per_charge = 500, 3
+
+    def hammer(child):
+        for _ in range(per_thread):
+            child.charge_conflicts(per_charge)
+
+    threads = [threading.Thread(target=hammer, args=(c,)) for c in children]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert parent.conflicts_used == len(children) * per_thread * per_charge
+    for child in children:
+        assert child.conflicts_used == per_thread * per_charge
+
+
+def test_tenant_cap_survives_checkpoint_resume_roundtrip():
+    # A service restart creates a *new* child slice under the same
+    # tenant budget; the tenant's cap keeps counting what was already
+    # spent before the crash.
+    tenant = Budget(max_conflicts=100)
+    first = tenant.child(timeout=10)
+    first.charge_conflicts(60)
+    assert tenant.conflicts_used == 60
+
+    # "Restart": a fresh child, as the recovered job gets.
+    second = tenant.child(timeout=10)
+    assert second.remaining_conflicts() == 40
+    second.charge_conflicts(40)
+    assert tenant.exhausted_reason() == "conflicts"
+    with pytest.raises(BudgetExhausted):
+        second.check()

@@ -1,0 +1,60 @@
+"""Admission control: bounded queues, tenant caps, typed backpressure."""
+
+import pytest
+
+from repro.service import AdmissionController, AdmissionRejected, Job
+
+
+def _job(tenant="default"):
+    return Job(job_id="j", design="accumulator", tenant=tenant)
+
+
+def test_accepts_within_limits():
+    controller = AdmissionController(max_queue_depth=2,
+                                     max_active_per_tenant=2)
+    controller.admit(_job(), queue_depth=1, tenant_active=1)
+
+
+def test_queue_full_is_typed_and_retryable():
+    controller = AdmissionController(max_queue_depth=2)
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.admit(_job(), queue_depth=2, tenant_active=0)
+    assert excinfo.value.reason == "queue-full"
+    assert excinfo.value.retryable
+
+
+def test_tenant_cap_is_per_tenant():
+    controller = AdmissionController(max_queue_depth=10,
+                                     max_active_per_tenant=1)
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.admit(_job("alice"), queue_depth=1, tenant_active=1)
+    assert excinfo.value.reason == "tenant-cap"
+    # Another tenant is unaffected by alice's concurrency.
+    controller.admit(_job("bob"), queue_depth=1, tenant_active=0)
+
+
+def test_draining_rejects_everything():
+    controller = AdmissionController()
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.admit(_job(), queue_depth=0, tenant_active=0,
+                         draining=True)
+    assert excinfo.value.reason == "draining"
+    assert excinfo.value.retryable
+
+
+def test_exhausted_tenant_budget_rejects_permanently():
+    controller = AdmissionController(tenant_conflict_cap=100)
+    budget = controller.tenant_budget("alice")
+    budget.charge_conflicts(100)
+    with pytest.raises(AdmissionRejected) as excinfo:
+        controller.admit(_job("alice"), queue_depth=0, tenant_active=0)
+    assert excinfo.value.reason == "tenant-budget"
+    assert not excinfo.value.retryable
+    # Budgets are per tenant: bob still gets in.
+    controller.admit(_job("bob"), queue_depth=0, tenant_active=0)
+
+
+def test_tenant_budget_is_stable_across_calls():
+    controller = AdmissionController(tenant_conflict_cap=50)
+    assert controller.tenant_budget("a") is controller.tenant_budget("a")
+    assert controller.tenant_budget("a") is not controller.tenant_budget("b")

@@ -1,0 +1,95 @@
+"""The write-ahead journal: durability, torn tails, injected faults."""
+
+import json
+
+import pytest
+
+from repro.runtime import FaultInjector
+from repro.service import Journal, JournalFault
+
+
+def test_append_replay_roundtrip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        assert journal.append({"type": "job", "job_id": "a"}) == 1
+        assert journal.append({"type": "transition", "job_id": "a",
+                               "state": "running"}) == 2
+    records, torn = Journal.replay(path)
+    assert not torn
+    assert [r["seq"] for r in records] == [1, 2]
+    assert records[1]["state"] == "running"
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    records, torn = Journal.replay(tmp_path / "absent.jsonl")
+    assert records == [] and not torn
+
+
+def test_torn_tail_is_tolerated_and_reported(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        journal.append({"type": "job", "job_id": "a"})
+        journal.append({"type": "job", "job_id": "b"})
+    # A crash mid-append leaves a final line cut short (no newline).
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "job", "job_id": "c", "se')
+    records, torn = Journal.replay(path)
+    assert torn
+    assert [r["job_id"] for r in records] == ["a", "b"]
+
+
+def test_corruption_before_the_tail_raises(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    lines = [json.dumps({"seq": 1}), "NOT JSON", json.dumps({"seq": 3})]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(JournalFault, match="corrupt at record 2"):
+        Journal.replay(path)
+
+
+def test_sequence_numbers_continue_after_replay(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        journal.append({"type": "job", "job_id": "a"})
+    records, _ = Journal.replay(path)
+    with Journal(path, fsync=False) as journal:
+        journal.resume_from(records)
+        assert journal.append({"type": "job", "job_id": "b"}) == 2
+
+
+def test_injected_fault_fails_before_any_byte_is_written(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        injector = FaultInjector()
+        injector.inject_journal_fault(at_append=1)
+        with injector.installed():
+            with pytest.raises(JournalFault):
+                journal.append({"type": "job", "job_id": "lost"})
+            # The fault fired before the write: nothing is durable,
+            # which is exactly why the caller must not have acked.
+            journal.append({"type": "job", "job_id": "kept"})
+    records, torn = Journal.replay(path)
+    assert not torn
+    assert [r["job_id"] for r in records] == ["kept"]
+
+
+def test_persistent_journal_fault_with_all(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        injector = FaultInjector()
+        injector.inject_journal_fault(at_append="all")
+        with injector.installed():
+            for _ in range(3):
+                with pytest.raises(JournalFault):
+                    journal.append({"type": "job"})
+    assert Journal.replay(path) == ([], False)
+
+
+def test_reset_truncates_atomically(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    with Journal(path, fsync=False) as journal:
+        journal.append({"type": "job", "job_id": "a"})
+        journal.reset()
+        journal.append({"type": "job", "job_id": "b"})
+    records, _ = Journal.replay(path)
+    assert [r["job_id"] for r in records] == ["b"]
+    assert records[0]["seq"] == 1

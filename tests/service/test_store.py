@@ -1,0 +1,175 @@
+"""The durable job store: journal-then-apply, recovery, compaction."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime import FaultInjector
+from repro.runtime.persist import atomic_write_json
+from repro.service import IllegalTransition, Job, JobStore, JournalFault
+
+
+def _store(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", False)
+    kwargs.setdefault("compact_every", 0)  # compaction only when explicit
+    store = JobStore(tmp_path / "state", **kwargs)
+    store.open()
+    return store
+
+
+def _job(job_id="j1", **kwargs):
+    kwargs.setdefault("design", "accumulator")
+    return Job(job_id=job_id, **kwargs)
+
+
+def test_submit_and_transitions_survive_reopen(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1", idempotency_key="k1"))
+    store.transition("j1", "running")
+    store.transition("j1", "checkpointed", instructions_done=2,
+                     checkpoint_path="cp.json")
+    store.close()
+
+    reopened = _store(tmp_path)
+    job = reopened.get("j1")
+    assert job.state == "checkpointed"
+    assert job.instructions_done == 2
+    assert job.checkpoint_path == "cp.json"
+    assert reopened.find_by_key("k1").job_id == "j1"
+
+
+def test_recovery_report_counts_interrupted_jobs(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("a"))
+    store.submit(_job("b"))
+    store.transition("b", "running")
+    store.transition("b", "done", result={"design": "d"})
+    store.close()
+
+    reopened = JobStore(tmp_path / "state", fsync=False)
+    report = reopened.open()
+    assert report["jobs"] == 2
+    assert report["states"] == {"accepted": 1, "done": 1}
+    assert [j.job_id for j in reopened.interrupted()] == ["a"]
+
+
+def test_journal_fault_on_submit_indexes_nothing(tmp_path):
+    store = _store(tmp_path)
+    injector = FaultInjector()
+    injector.inject_journal_fault(at_append=1)
+    with injector.installed():
+        with pytest.raises(JournalFault):
+            store.submit(_job("lost"))
+    # Never acked, never indexed, never durable.
+    assert store.get("lost") is None
+    store.close()
+    reopened = _store(tmp_path)
+    assert reopened.get("lost") is None
+
+
+def test_illegal_transition_raises_and_journals_nothing(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1"))
+    store.transition("j1", "running")
+    store.transition("j1", "done", result={"design": "d"})
+    with pytest.raises(IllegalTransition):
+        store.transition("j1", "running")
+    store.close()
+    # The rejected edge must not have poisoned the journal: replay works
+    # and lands on the terminal state.
+    reopened = _store(tmp_path)
+    assert reopened.get("j1").state == "done"
+
+
+def test_idempotency_cache_serves_only_done_jobs(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1", idempotency_key="k"))
+    assert store.cached_result("k") is None  # accepted, not done
+    store.transition("j1", "running")
+    store.transition("j1", "failed", reason="deadline")
+    assert store.cached_result("k") is None
+    assert store.find_by_key("k") is None    # failed jobs don't dedupe
+    store.submit(_job("j2", idempotency_key="k"))
+    store.transition("j2", "running")
+    store.transition("j2", "done", result={"design": "text"})
+    assert store.cached_result("k").result == {"design": "text"}
+    store.close()
+    # The cache is journal-backed: it survives a restart.
+    reopened = _store(tmp_path)
+    assert reopened.cached_result("k").result == {"design": "text"}
+
+
+def test_compaction_folds_and_reopens_identically(tmp_path):
+    store = _store(tmp_path)
+    for i in range(5):
+        store.submit(_job(f"j{i}"))
+        store.transition(f"j{i}", "running")
+        store.transition(f"j{i}", "done", result={"n": i})
+    before = {j.job_id: j.to_dict() for j in store.jobs.values()}
+    store.compact()
+    store.submit(_job("after"))
+    store.close()
+
+    reopened = JobStore(tmp_path / "state", fsync=False)
+    report = reopened.open()
+    # Only the post-compaction record replays; the rest came from the
+    # snapshot.
+    assert report["replayed"] == 1
+    after = {j.job_id: j.to_dict() for j in reopened.jobs.values()}
+    assert {k: v for k, v in after.items() if k != "after"} == before
+
+
+def test_crash_between_snapshot_and_rotation_never_double_applies(tmp_path):
+    """A snapshot that recorded folded_gen makes the old journal stale.
+
+    Simulates dying right after the snapshot rename but before the
+    journal rotation deleted the folded generation: replaying that stale
+    journal onto the snapshot state would hit IllegalTransition (e.g.
+    "running" onto "done"); the generation protocol discards it instead.
+    """
+    store = _store(tmp_path)
+    store.submit(_job("j1"))
+    store.transition("j1", "running")
+    store.transition("j1", "done", result={"design": "d"})
+    # Crash-point simulation: snapshot exists and covers generation 0,
+    # but journal.0.jsonl was never deleted.
+    atomic_write_json(
+        store.snapshot_path,
+        {"schema": "repro.service.snapshot/1", "folded_gen": store._gen,
+         "jobs": [j.to_dict() for j in store.jobs.values()]},
+        fsync=False,
+    )
+    stale = store.journal_path
+    store.close()
+    assert os.path.exists(stale)
+
+    reopened = JobStore(tmp_path / "state", fsync=False)
+    report = reopened.open()
+    assert report["replayed"] == 0          # stale generation discarded
+    assert not os.path.exists(stale)
+    assert reopened.get("j1").state == "done"
+
+
+def test_torn_tail_on_reopen_is_reported_not_fatal(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1"))
+    path = store.journal_path
+    store.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "transition", "job_id": "j1", "sta')
+    reopened = JobStore(tmp_path / "state", fsync=False)
+    report = reopened.open()
+    assert report["torn_tail"]
+    assert reopened.get("j1").state == "accepted"
+
+
+def test_automatic_compaction_after_threshold(tmp_path):
+    store = JobStore(tmp_path / "state", fsync=False, compact_every=4)
+    store.open()
+    for i in range(4):
+        store.submit(_job(f"j{i}"))
+    with open(store.snapshot_path) as handle:
+        snapshot = json.load(handle)
+    assert len(snapshot["jobs"]) == 4
+    store.close()

@@ -1,0 +1,100 @@
+"""The engine's periodic checkpoint hook: snapshots, draining, resume.
+
+The synthesis service depends on three properties tested here: the hook
+fires after every solved instruction with a live resume handle (reason
+``"checkpoint"``); returning ``False`` stops the run at a clean boundary
+(reason ``"drained"``); and a snapshot taken mid-run resumes exactly
+like a budget-exhaustion handle.
+"""
+
+import pytest
+
+from repro.designs import alu_machine
+from repro.synthesis import (
+    PartialSynthesisResult,
+    SynthesisTimeout,
+    synthesize,
+    verify_design,
+)
+
+
+@pytest.fixture
+def alu_problem():
+    return alu_machine.build_problem()
+
+
+class _Recorder:
+    """Record every checkpoint snapshot; optionally drain after N."""
+
+    def __init__(self, drain_after=None):
+        self.snapshots = []
+        self.drain_after = drain_after
+
+    def __call__(self, partial):
+        self.snapshots.append(partial)
+        if self.drain_after is not None \
+                and len(self.snapshots) >= self.drain_after:
+            return False
+        return True
+
+
+def test_checkpoint_fires_after_every_instruction(alu_problem):
+    recorder = _Recorder()
+    result = synthesize(alu_problem, timeout=300, checkpoint=recorder)
+    assert not result.is_partial
+    count = len(alu_problem.spec.instructions)
+    assert len(recorder.snapshots) == count
+    for index, snap in enumerate(recorder.snapshots):
+        assert isinstance(snap, PartialSynthesisResult)
+        assert snap.reason == "checkpoint"
+        assert snap.completed_count == index + 1
+    assert recorder.snapshots[-1].pending == []
+
+
+def test_checkpoint_false_drains_at_a_clean_boundary(alu_problem):
+    recorder = _Recorder(drain_after=2)
+    partial = synthesize(alu_problem, timeout=300, checkpoint=recorder,
+                         on_timeout="partial")
+    assert isinstance(partial, PartialSynthesisResult)
+    assert partial.reason == "drained"
+    assert partial.completed_count == 2
+    assert len(partial.pending) == 2
+
+
+def test_drain_raises_synthesis_timeout_with_partial(alu_problem):
+    recorder = _Recorder(drain_after=1)
+    with pytest.raises(SynthesisTimeout) as excinfo:
+        synthesize(alu_problem, timeout=300, checkpoint=recorder)
+    assert excinfo.value.reason == "drained"
+    assert excinfo.value.partial.completed_count == 1
+
+
+def test_midrun_checkpoint_snapshot_resumes(alu_problem):
+    recorder = _Recorder(drain_after=2)
+    synthesize(alu_problem, timeout=300, checkpoint=recorder,
+               on_timeout="partial")
+    snapshot = recorder.snapshots[1]
+    resumed = synthesize(alu_problem, timeout=300,
+                         resume_from=snapshot.to_dict())
+    assert sorted(resumed.stats["resumed_instructions"]) \
+        == sorted(s.instruction_name for s in snapshot.completed)
+    for name, expected in alu_machine.REFERENCE_HOLE_VALUES.items():
+        assert resumed.hole_values_for(name) == expected
+    verdict = verify_design(resumed.completed_design, alu_problem.spec,
+                            alu_problem.alpha)
+    assert verdict.ok, verdict.summary()
+
+
+def test_checkpoints_fire_under_resume_too(alu_problem):
+    first = _Recorder(drain_after=1)
+    partial = synthesize(alu_problem, timeout=300, checkpoint=first,
+                         on_timeout="partial")
+    second = _Recorder()
+    resumed = synthesize(alu_problem, timeout=300,
+                         resume_from=partial.to_dict(), checkpoint=second)
+    assert not resumed.is_partial
+    # Checkpoints cover the remaining instructions, and each snapshot
+    # carries the resumed solutions too.
+    assert len(second.snapshots) == len(partial.pending)
+    assert second.snapshots[0].completed_count \
+        == partial.completed_count + 1

@@ -105,3 +105,50 @@ def test_interrupt_in_monolithic_mode(alu_problem):
     assert isinstance(partial, PartialSynthesisResult)
     assert partial.reason == "interrupted"
     assert partial.completed == []
+
+
+def test_sigterm_degrades_exactly_like_sigint(alu_problem):
+    # SIGTERM mid-run must follow the same degradation contract as
+    # Ctrl-C: partial with reason "interrupted", resumable handle, and
+    # the previous handler restored afterwards.
+    import os
+    import signal
+
+    sentinel = object()
+    previous = signal.signal(signal.SIGTERM, lambda s, f: sentinel)
+
+    class _TermAfter:
+        def __init__(self):
+            self.seen = []
+
+        def __call__(self, name, solution):
+            self.seen.append(name)
+            if len(self.seen) == 1:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+    try:
+        terminator = _TermAfter()
+        partial = synthesize(alu_problem, timeout=300,
+                             progress=terminator, on_timeout="partial")
+        assert isinstance(partial, PartialSynthesisResult)
+        assert partial.reason == "interrupted"
+        assert partial.completed_count == 1
+        assert partial.pending
+        # The engine restored the handler it displaced.
+        assert signal.getsignal(signal.SIGTERM)(None, None) is sentinel
+
+        resumed = synthesize(alu_problem, timeout=300,
+                             resume_from=partial.to_dict())
+        assert sorted(resumed.stats["resumed_instructions"]) \
+            == sorted(terminator.seen)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def test_sigterm_handler_scope_is_run_local(alu_problem):
+    # Outside synthesize() the process default is untouched.
+    import signal
+
+    before = signal.getsignal(signal.SIGTERM)
+    synthesize(alu_problem, timeout=300)
+    assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,97 @@
+"""Crash-atomic resume-handle persistence and typed malformed-handle errors."""
+
+import json
+import os
+
+import pytest
+
+from repro.synthesis import (
+    MalformedResumeHandle,
+    PartialSynthesisResult,
+    load_resume_handle,
+    save_resume_handle,
+)
+from repro.synthesis.result import (
+    RESUME_HANDLE_SCHEMA,
+    RESUME_HANDLE_VERSION,
+)
+
+
+def _partial():
+    return PartialSynthesisResult(
+        problem_name="acc", mode="per_instruction", completed=[],
+        pending=["LOAD"], reason="deadline", elapsed=1.5,
+    )
+
+
+def test_save_load_roundtrip(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    loaded = load_resume_handle(path)
+    assert loaded.problem_name == "acc"
+    assert loaded.pending == ["LOAD"]
+    assert loaded.reason == "deadline"
+
+
+def test_handle_carries_schema_and_version(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    with open(path) as handle:
+        data = json.load(handle)
+    assert data["schema"] == RESUME_HANDLE_SCHEMA
+    assert data["version"] == RESUME_HANDLE_VERSION
+
+
+def test_save_replaces_atomically_leaving_no_temp_files(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    save_resume_handle(_partial(), path, fsync=False)
+    assert os.listdir(tmp_path) == ["handle.json"]
+
+
+def test_torn_write_is_a_typed_error(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    raw = path.read_text()
+    path.write_text(raw[: len(raw) // 2])  # a crash mid-write
+    with pytest.raises(MalformedResumeHandle) as excinfo:
+        load_resume_handle(path)
+    assert excinfo.value.reason == "torn-or-corrupt"
+    assert excinfo.value.path == os.fspath(path)
+
+
+def test_unknown_version_is_rejected(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    data = json.loads(path.read_text())
+    data["version"] = RESUME_HANDLE_VERSION + 1
+    path.write_text(json.dumps(data))
+    with pytest.raises(MalformedResumeHandle) as excinfo:
+        load_resume_handle(path)
+    assert excinfo.value.reason == "unknown-version"
+
+
+def test_foreign_schema_is_rejected(tmp_path):
+    path = tmp_path / "handle.json"
+    path.write_text(json.dumps({"schema": "something/else"}))
+    with pytest.raises(MalformedResumeHandle) as excinfo:
+        load_resume_handle(path)
+    assert excinfo.value.reason == "foreign-schema"
+    # Still a ValueError for pre-existing callers.
+    assert isinstance(excinfo.value, ValueError)
+
+
+def test_missing_field_is_rejected(tmp_path):
+    path = tmp_path / "handle.json"
+    save_resume_handle(_partial(), path, fsync=False)
+    data = json.loads(path.read_text())
+    del data["pending"]
+    path.write_text(json.dumps(data))
+    with pytest.raises(MalformedResumeHandle) as excinfo:
+        load_resume_handle(path)
+    assert excinfo.value.reason == "missing-field"
+
+
+def test_missing_file_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_resume_handle(tmp_path / "absent.json")
