@@ -83,6 +83,12 @@ class SynthesisService:
         self.recovery_report = None
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
+        # One submission commits at a time: the dedup lookup, admission
+        # decision and durable store.submit must be atomic against
+        # concurrent connection threads, or two submissions with the
+        # same idempotency key can both miss the dedup check (duplicate
+        # solving) and queue/tenant caps can be overshot.
+        self._submit_lock = threading.Lock()
         self._serve_stop = threading.Event()
         self._started = False
 
@@ -144,27 +150,28 @@ class SynthesisService:
         """
         problem = build_problem(design)  # typed rejection if unknown
         key = idempotency_key(problem, mode=mode, config=self.config)
-        cached = self.store.cached_result(key)
-        if cached is not None:
-            _METRICS.inc("service.cache.hits")
-            _obs.event("service.admission", decision="cache-hit",
-                       job_id=cached.job_id, tenant=tenant)
-            return {"job_id": cached.job_id, "state": "done",
-                    "cached": True, "result": cached.result}
-        live = self.store.find_by_key(key)
-        if live is not None:
-            _METRICS.inc("service.cache.joined")
-            return {"job_id": live.job_id, "state": live.state,
-                    "cached": False, "deduplicated": True}
-        job = Job(job_id=self._new_job_id(), design=design, mode=mode,
-                  tenant=tenant, timeout=timeout, idempotency_key=key,
-                  submitted_at=time.time())
-        self.admission.admit(
-            job, queue_depth=self._queue_depth(),
-            tenant_active=self.store.active_for_tenant(tenant),
-            draining=self.drain_event.is_set(),
-        )
-        self.store.submit(job)  # durability point: ack only past here
+        with self._submit_lock:
+            cached = self.store.cached_result(key)
+            if cached is not None:
+                _METRICS.inc("service.cache.hits")
+                _obs.event("service.admission", decision="cache-hit",
+                           job_id=cached.job_id, tenant=tenant)
+                return {"job_id": cached.job_id, "state": "done",
+                        "cached": True, "result": cached.result}
+            live = self.store.find_by_key(key)
+            if live is not None:
+                _METRICS.inc("service.cache.joined")
+                return {"job_id": live.job_id, "state": live.state,
+                        "cached": False, "deduplicated": True}
+            job = Job(job_id=self._new_job_id(), design=design, mode=mode,
+                      tenant=tenant, timeout=timeout, idempotency_key=key,
+                      submitted_at=time.time())
+            self.admission.admit(
+                job, queue_depth=self._queue_depth(),
+                tenant_active=self.store.active_for_tenant(tenant),
+                draining=self.drain_event.is_set(),
+            )
+            self.store.submit(job)  # durability point: ack past here
         self.supervisor.submit(job.job_id)
         return {"job_id": job.job_id, "state": "accepted", "cached": False}
 

@@ -45,10 +45,15 @@ INTERRUPTED_STATES = frozenset({"accepted", "running", "checkpointed"})
 TERMINAL_STATES = frozenset({"done", "failed", "failed-permanent"})
 
 #: state -> states it may legally move to.  Recovery and runner-crash
-#: requeues move running/checkpointed jobs *back* to accepted.
+#: requeues move running/checkpointed jobs *back* to accepted.  The
+#: non-terminal states allow self-edges: a crash requeue may re-journal
+#: ``accepted`` (to persist the crash count before the ``running``
+#: transition ever became durable), and a re-run after a requeue whose
+#: transition could not be journaled re-asserts ``running``.
 LEGAL_TRANSITIONS = {
-    "accepted": frozenset({"running", "failed", "failed-permanent"}),
-    "running": frozenset({"checkpointed", "done", "failed",
+    "accepted": frozenset({"accepted", "running", "failed",
+                           "failed-permanent"}),
+    "running": frozenset({"running", "checkpointed", "done", "failed",
                           "failed-permanent", "accepted"}),
     "checkpointed": frozenset({"checkpointed", "running", "done", "failed",
                                "failed-permanent", "accepted"}),

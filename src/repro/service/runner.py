@@ -151,6 +151,8 @@ class Supervisor:
         self._rng = random.Random(self.retry_policy.seed)
         self._stop = threading.Event()
         self._previous_backoff = 0.0
+        self._timers = []         # pending delayed requeues
+        self._timer_lock = threading.Lock()
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"service-runner-{i}")
@@ -188,11 +190,30 @@ class Supervisor:
         try:
             self.runner.run(job_id)
         except Exception as exc:  # noqa: BLE001 - crash containment
-            self._on_crash(job_id, exc)
+            try:
+                self._on_crash(job_id, exc)
+            except Exception as handler_exc:  # noqa: BLE001
+                # The crash handler is the last line of containment: if
+                # it raises, the worker thread dies and (threads=1) the
+                # daemon silently stops draining the queue.  Log, leave
+                # the job interrupted (the next start re-admits it).
+                _METRICS.inc("service.runner.crash_handler_errors")
+                _obs.event("service.job", job_id=job_id,
+                           crash_handler_error=str(handler_exc))
 
     def _on_crash(self, job_id, exc):
-        """Contain a runner crash: requeue with backoff, or poison."""
+        """Contain a runner crash: requeue with backoff, or poison.
+
+        Must not propagate — the store calls below journal transitions
+        and can themselves fault (e.g. an injected journal fault crashed
+        the runner in the first place).  A requeue whose transition could
+        not be journaled still requeues: the in-memory state is
+        unchanged and the self-edges in the job state machine make the
+        re-run legal.
+        """
         job = self.store.get(job_id)
+        if job is None:
+            return
         crashes = job.crashes + 1
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
@@ -203,25 +224,55 @@ class Supervisor:
         if job.terminal:
             return
         if crashes >= self.max_crashes:
-            self.store.transition(
-                job_id, "failed-permanent", crashes=crashes,
-                reason="poisoned",
-                error=f"poison job: runner crashed {crashes} time(s), "
-                      f"last: {detail}",
-            )
-            _METRICS.inc("service.jobs.poisoned")
+            try:
+                self.store.transition(
+                    job_id, "failed-permanent", crashes=crashes,
+                    reason="poisoned",
+                    error=f"poison job: runner crashed {crashes} "
+                          f"time(s), last: {detail}",
+                )
+                _METRICS.inc("service.jobs.poisoned")
+            except Exception as store_exc:  # noqa: BLE001
+                # The poison verdict could not be made durable; park the
+                # job (still interrupted, re-admitted on next start)
+                # rather than kill the worker or retry past the cap.
+                _METRICS.inc("service.runner.crash_handler_errors")
+                _obs.event("service.job", job_id=job_id,
+                           crash_handler_error=str(store_exc))
             return
         pause = decorrelated_jitter(
             self._rng, self.retry_policy.backoff,
             self.retry_policy.backoff_ceiling, self._previous_backoff,
         )
         self._previous_backoff = pause
-        self.store.transition(job_id, "accepted", crashes=crashes,
-                              reason="requeued", error=detail)
+        try:
+            self.store.transition(job_id, "accepted", crashes=crashes,
+                                  reason="requeued", error=detail)
+        except Exception as store_exc:  # noqa: BLE001
+            _METRICS.inc("service.runner.crash_handler_errors")
+            _obs.event("service.job", job_id=job_id,
+                       crash_handler_error=str(store_exc))
         _METRICS.inc("service.runner.requeues")
-        if pause:
-            time.sleep(pause)
-        self._queue.put(job_id)
+        self._requeue_later(job_id, pause)
+
+    def _requeue_later(self, job_id, pause):
+        """Requeue after the backoff without blocking a worker thread.
+
+        Sleeping the backoff on the worker would stall every other job
+        (with the default single worker, the whole daemon); a timer
+        re-enqueues instead.  A timer still pending at drain is
+        cancelled — the job stays ``accepted`` and the next start
+        re-admits it.
+        """
+        if not pause or pause <= 0:
+            self._queue.put(job_id)
+            return
+        timer = threading.Timer(pause, self._queue.put, args=(job_id,))
+        timer.daemon = True
+        with self._timer_lock:
+            self._timers = [t for t in self._timers if t.is_alive()]
+            self._timers.append(timer)
+        timer.start()
 
     def drain(self, timeout=30.0):
         """Stop pulling new jobs; wait for in-flight runners to park.
@@ -232,6 +283,10 @@ class Supervisor:
         on the next daemon start.
         """
         self._stop.set()
+        with self._timer_lock:
+            for timer in self._timers:
+                timer.cancel()
+            self._timers = []
         deadline = time.monotonic() + timeout
         for thread in self._threads:
             if not thread.is_alive():

@@ -21,6 +21,13 @@ are replayed.  A crash anywhere in that sequence leaves at least one
 complete representation of the state on disk, and never replays a record
 into a state it has already produced.
 
+Opening also rotates: every incarnation appends to its *own* fresh
+generation, never to a file a crash may have left with a torn tail —
+replay tolerates a torn tail only as the frozen end of a closed file,
+and appending past one would fuse it with the next record, turning an
+ignorable tail into mid-file corruption (or silently dropping the fused
+record).
+
 Idempotency keys double as a content-addressed result cache: a ``done``
 job's record carries its full result payload, so a duplicate submission
 with the same key is answered from the journal-backed index without any
@@ -114,6 +121,7 @@ class JobStore:
                     self._index(Job.from_dict(data))
             replayed = 0
             torn = False
+            live_records = []
             gens = self._journal_generations()
             for gen in gens:
                 if gen <= folded_gen:
@@ -126,9 +134,16 @@ class JobStore:
                 replayed += len(records)
                 for record in records:
                     self._apply(record)
-            live_gens = [g for g in gens if g > folded_gen]
-            self._gen = max([folded_gen + 1] + live_gens)
+                live_records.extend(records)
+            # Never append to a file a crash may have torn: each
+            # incarnation writes a fresh generation, so a torn tail stays
+            # frozen where replay tolerates it (the end of a closed file)
+            # instead of being fused with the next incarnation's appends.
+            # Older live generations keep replaying until a compaction
+            # folds them away.
+            self._gen = max([folded_gen] + gens) + 1
             self._journal = Journal(self.journal_path, fsync=self.fsync)
+            self._journal.resume_from(live_records)
             states = self.counts()
             report = {
                 "replayed": replayed,
@@ -292,9 +307,15 @@ class JobStore:
             self._journal.close()
             self._gen += 1
             self._journal = Journal(self.journal_path, fsync=self.fsync)
-            try:
-                os.unlink(self._journal_file(folded))
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
+            # Restarts leave one live generation per incarnation; the
+            # snapshot just absorbed every record up to `folded`, so all
+            # of them are stale now, not only the newest.
+            for gen in self._journal_generations():
+                if gen > folded:
+                    continue
+                try:
+                    os.unlink(self._journal_file(gen))
+                except FileNotFoundError:  # pragma: no cover - gone
+                    pass
             self._since_compact = 0
         _METRICS.inc("service.store.compactions")

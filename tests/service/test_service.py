@@ -127,6 +127,40 @@ def test_runner_crashes_are_requeued_then_succeed(service, flaky_design):
     assert job["crashes"] == 2
 
 
+def test_crash_before_running_durable_still_requeues(service):
+    """A journal fault on the 'running' transition must not kill the
+    worker: the job is still 'accepted', so the requeue takes the
+    accepted self-edge and the job completes on the retry."""
+    injector = FaultInjector()
+    injector.inject_journal_fault(at_append=2)  # 1=submit, 2=running
+    with injector.installed():
+        ack = service.submit("accumulator")
+        job = service.wait(ack["job_id"], timeout=60)
+    assert job["state"] == "done"
+    assert job["crashes"] == 1
+
+
+def test_concurrent_duplicate_submissions_create_one_job(service):
+    import threading
+
+    acks = []
+    barrier = threading.Barrier(8)
+
+    def submit():
+        barrier.wait()
+        acks.append(service.submit("accumulator"))
+
+    threads = [threading.Thread(target=submit) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(acks) == 8
+    assert len({ack["job_id"] for ack in acks}) == 1
+    assert sum(service.stats()["jobs"].values()) == 1
+    service.wait(acks[0]["job_id"], timeout=60)
+
+
 def test_poison_job_fails_permanent_after_crash_cap(tmp_path, flaky_design):
     svc = SynthesisService(tmp_path / "state", fsync=False, max_crashes=2,
                            retry_policy=_FAST_RETRY)

@@ -164,6 +164,65 @@ def test_torn_tail_on_reopen_is_reported_not_fatal(tmp_path):
     assert reopened.get("j1").state == "accepted"
 
 
+def test_appends_after_torn_tail_never_fuse_with_it(tmp_path):
+    """A restart must not append onto a crash-torn journal file.
+
+    Appending to the torn file would fuse the partial line with the
+    first new record — corrupting it (JournalFault on the next open) or
+    silently dropping it as "torn".  Each incarnation writes a fresh
+    generation instead, so post-restart work survives further restarts.
+    """
+    store = _store(tmp_path)
+    store.submit(_job("j1"))
+    torn_file = store.journal_path
+    store.close()
+    with open(torn_file, "a", encoding="utf-8") as handle:
+        handle.write('{"type": "transition", "job_id": "j1", "sta')
+
+    reopened = JobStore(tmp_path / "state", fsync=False, compact_every=0)
+    report = reopened.open()
+    assert report["torn_tail"]
+    assert reopened.journal_path != torn_file
+    reopened.transition("j1", "running")
+    reopened.transition("j1", "done", result={"design": "d"})
+    reopened.close()
+
+    third = JobStore(tmp_path / "state", fsync=False, compact_every=0)
+    third.open()  # must not raise: the torn tail stayed frozen
+    assert third.get("j1").state == "done"
+    third.close()
+
+
+def test_reopen_rotates_generation_and_resumes_seq(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1"))  # seq 1 in generation 0
+    gen0 = store.journal_path
+    store.close()
+
+    reopened = _store(tmp_path)
+    assert reopened.journal_path != gen0
+    reopened.transition("j1", "running")
+    with open(reopened.journal_path, encoding="utf-8") as handle:
+        record = json.loads(handle.readline())
+    assert record["seq"] == 2  # continues after the replayed records
+    reopened.close()
+
+
+def test_compaction_sweeps_all_prior_generations(tmp_path):
+    store = _store(tmp_path)
+    store.submit(_job("j1"))
+    store.close()
+    reopened = _store(tmp_path)   # generation per incarnation
+    reopened.submit(_job("j2"))
+    assert len(reopened._journal_generations()) == 2
+    reopened.compact()
+    assert reopened._journal_generations() == [reopened._gen]
+    reopened.close()
+    third = _store(tmp_path)
+    assert set(third.jobs) == {"j1", "j2"}
+    third.close()
+
+
 def test_automatic_compaction_after_threshold(tmp_path):
     store = JobStore(tmp_path / "state", fsync=False, compact_every=4)
     store.open()
