@@ -19,7 +19,11 @@ for the full-ISA rows (the numbers recorded in EXPERIMENTS.md).
 import pytest
 
 from benchmarks.conftest import full_eval
+from repro.designs import riscv
 from repro.eval.table1 import TABLE1_CONFIGS, run_row
+from repro.smt import counters as _counters
+from repro.smt.backends import SolverConfig
+from repro.synthesis import synthesize
 
 _PER_INSTRUCTION_ROWS = [c[0] for c in TABLE1_CONFIGS
                          if c[3] == "per_instruction"]
@@ -103,6 +107,66 @@ def test_table1_pipeline_comparison(benchmark, bench_record, row_id):
     assert incr.tseitin_clauses < fresh.tseitin_clauses
     if row_id == "sc_rv32i":
         assert ratio >= 2.0, f"encode ratio {ratio:.2f} below 2x"
+
+
+def test_pipeline_wall_ratio_riscv_subset(benchmark, bench_record):
+    """Incremental solving must actually pay: wall-time gate.
+
+    Same workload as ``ablation_riscv`` (the RV32I subset), same fold
+    settings on both arms (``partial_eval`` defaults on) — the only
+    difference is the pipeline.  The incremental arm must be no slower
+    than fresh, its trail-reuse counters must be nonzero (the CDCL
+    assumption hot path is really engaged, not just configured), and
+    both arms must synthesize bit-identical control logic.  The ratio
+    lands in BENCH_table1.json as ``riscv_subset[wall_ratio]``, where
+    ``scripts/bench_report.py`` gates on it.
+    """
+    budget = 900 if full_eval() else 120
+
+    def both():
+        out = {}
+        for pipeline in ("fresh", "incremental"):
+            problem = riscv.build_problem(
+                "RV32I", "single_cycle",
+                instructions=["add", "addi", "lui", "and"],
+            )
+            before = _counters.snapshot()
+            result = synthesize(problem, timeout=budget,
+                                config=SolverConfig(pipeline=pipeline))
+            out[pipeline] = (result, _counters.delta_since(before))
+        return out
+
+    results = benchmark.pedantic(both, rounds=1, iterations=1)
+    (fresh, _), (incr, incr_counters) = (results["fresh"],
+                                         results["incremental"])
+    ratio = incr.elapsed / fresh.elapsed
+    benchmark.extra_info.update(
+        fresh_seconds=round(fresh.elapsed, 2),
+        incremental_seconds=round(incr.elapsed, 2),
+        wall_ratio=round(ratio, 3),
+    )
+    for pipeline, (result, _) in results.items():
+        bench_record(
+            f"riscv_subset[{pipeline}]",
+            pipeline=pipeline,
+            status="ok",
+            wall_time_seconds=round(result.elapsed, 3),
+        )
+    bench_record(
+        "riscv_subset[wall_ratio]",
+        wall_ratio=round(ratio, 3),
+        trail_reuse_hits=incr_counters["sat_trail_reuse_hits"],
+        trail_reuse_levels_saved=incr_counters[
+            "sat_trail_reuse_levels_saved"],
+    )
+
+    for solution in fresh.per_instruction:
+        assert incr.hole_values_for(solution.instruction_name) \
+            == solution.hole_values, solution.instruction_name
+    assert incr_counters["sat_trail_reuse_hits"] > 0
+    assert ratio <= 1.0, (
+        f"incremental pipeline slower than fresh: ratio {ratio:.3f}"
+    )
 
 
 def test_table1_aes_monolithic(benchmark, bench_record):

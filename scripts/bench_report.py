@@ -11,6 +11,13 @@ A regression is a wall-time increase above the tolerance (default 10%,
 (AIG nodes, Tseitin clauses, solver instances) — counters are exact for
 serial runs, so even a +1 drift means the encoding changed.  Exits
 nonzero when a regression is found, so CI can gate on it.
+
+The pipeline ratios are gated *absolutely*, in both modes (even when
+just printing one report): a ``wall_ratio`` above 1.0 anywhere means
+the incremental pipeline stopped paying for itself, and an
+``encode_ratio`` below 2.0 on the single-cycle RV32I headline case
+means the encode saving eroded — either fails the report regardless of
+what the baseline said.
 """
 
 from __future__ import annotations
@@ -23,6 +30,30 @@ import sys
 COUNTER_FIELDS = ("solver_instances", "aig_nodes", "tseitin_clauses")
 WALL_FIELD = "wall_time_seconds"
 
+#: absolute ratio gates: (case-name prefix, field, bound, sense).
+#: ``max`` fails values above the bound, ``min`` fails values below;
+#: the empty prefix applies to every case recording the field.
+RATIO_GATES = (
+    ("", "wall_ratio", 1.0, "max"),
+    ("sc_rv32i", "encode_ratio", 2.0, "min"),
+)
+
+
+def gate_violations(cases):
+    """Yield messages for absolute ratio-gate violations in ``cases``."""
+    for prefix, field, bound, sense in RATIO_GATES:
+        for name in sorted(cases):
+            if not name.startswith(prefix):
+                continue
+            value = cases[name].get(field)
+            if value is None:
+                continue
+            if (value > bound) if sense == "max" else (value < bound):
+                yield (
+                    f"{name}: {field} {value} violates the "
+                    f"{'<=' if sense == 'max' else '>='} {bound} gate"
+                )
+
 
 def load_cases(path):
     with open(path) as handle:
@@ -33,7 +64,8 @@ def load_cases(path):
 def fmt_case(name, fields):
     parts = [f"{name}:"]
     for key in ("pipeline", "status", WALL_FIELD, "iterations",
-                *COUNTER_FIELDS, "trace_cache_hits", "encode_ratio"):
+                *COUNTER_FIELDS, "trace_cache_hits", "encode_ratio",
+                "wall_ratio", "trail_reuse_hits"):
         if key in fields:
             parts.append(f"{key}={fields[key]}")
     return "  " + " ".join(parts)
@@ -91,8 +123,16 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.current is None:
-        for name, fields in sorted(load_cases(args.baseline).items()):
+        cases = load_cases(args.baseline)
+        for name, fields in sorted(cases.items()):
             print(fmt_case(name, fields))
+        gated = 0
+        for message in gate_violations(cases):
+            gated += 1
+            print(f"GATE        {message}")
+        if gated:
+            print(f"\n{gated} ratio gate violation(s)")
+            return 1
         return 0
 
     baseline = load_cases(args.baseline)
@@ -112,6 +152,9 @@ def main(argv=None):
             print(f"REMOVED     {message}")
         else:
             print(f"            {message}")
+    for message in gate_violations(current):
+        regressions += 1
+        print(f"GATE        {message}")
     if added or removed:
         print(f"\n{added} case(s) only in current, "
               f"{removed} only in baseline")

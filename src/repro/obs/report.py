@@ -179,12 +179,30 @@ def totals(events):
     is the same first-vs-last snapshot difference for the ``portfolio.*``
     counters (races, hedges fired, cancellations, quarantines,
     disagreements) — empty when the run never raced a portfolio.
+
+    ``solver_internals`` sums the per-check solver work each
+    ``solver.check`` event carried (propagations, restarts, learned,
+    deleted, trail-reuse, chronological backtracks).  The facade charges
+    the *same* per-check deltas to ``repro.smt.counters``, so for a run
+    whose snapshots bracket every check, each field must equal the
+    ``encode_delta`` entry of the same name with an ``sat_`` prefix —
+    the event stream and the counters reconcile exactly, which is what
+    makes per-query attribution trustworthy.
     """
     iterations = 0
     snapshots = []
     vcds = []
     queries = 0
     orphans = 0
+    internals = {
+        "propagations": 0,
+        "restarts": 0,
+        "learned": 0,
+        "deleted": 0,
+        "trail_reuse_hits": 0,
+        "trail_reuse_levels_saved": 0,
+        "chrono_backtracks": 0,
+    }
     for ev in events:
         kind = ev["ev"]
         if kind == "span_begin" and ev["name"] == "cegis.iteration":
@@ -201,6 +219,9 @@ def totals(events):
                 queries += 1
                 if ev.get("parent") is None:
                     orphans += 1
+                attrs = ev["attrs"]
+                for key in internals:
+                    internals[key] += attrs.get(key, 0)
     encode_delta = {}
     portfolio_delta = {}
     if len(snapshots) >= 2:
@@ -226,6 +247,7 @@ def totals(events):
         "counterexample_vcds": vcds,
         "solver_queries": queries,
         "orphan_queries": orphans,
+        "solver_internals": internals,
         "wall_seconds": wall,
     }
 
@@ -256,6 +278,16 @@ def render_report(path, top=10):
         lines.append("encode-counter deltas (first -> last snapshot):")
         for key, value in sorted(agg["encode_delta"].items()):
             lines.append(f"  {key:<24} {value:>12}")
+    if any(agg["solver_internals"].values()):
+        lines.append("")
+        lines.append("solver internals (summed over solver.check events):")
+        for key, value in sorted(agg["solver_internals"].items()):
+            counter = agg["encode_delta"].get(f"sat_{key}")
+            note = ""
+            if counter is not None:
+                note = ("  == counters" if counter == value
+                        else f"  != counters ({counter})")
+            lines.append(f"  {key:<24} {value:>12}{note}")
     if any(agg["portfolio_delta"].values()):
         lines.append("")
         lines.append("portfolio counters (first -> last snapshot):")

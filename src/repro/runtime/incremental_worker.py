@@ -1,0 +1,173 @@
+"""Entry point of a persistent incremental solver worker process.
+
+Run as ``python -m repro.runtime.incremental_worker [--mem-limit-mb N]
+[--cpu-limit-s N] [--heartbeat-interval F]``.  Where
+``repro.runtime.worker_main`` hosts *stateless* checks (one DIMACS query
+per request, any worker can serve any query), this worker keeps ONE
+``SatSolver`` alive for its whole life: the parent
+(:class:`repro.smt.backends.incremental_subprocess
+.IncrementalSubprocessBackend`) streams clauses into it once and then
+issues many assumption solves against the accumulated state — learned
+clauses, variable activities and the kept assumption trail all survive
+across checks, out of process.
+
+The wire protocol is an IPASIR-flavoured *text* line protocol (JSON per
+clause would dominate the encode cost at clause-stream rates).  Literals
+are the solver core's internal encoding (``2*var`` positive,
+``2*var + 1`` negated) — the parent mirrors the core's numbering, so no
+translation happens on either side.
+
+* parent -> worker (stdin)::
+
+    alloc <num_vars>             allocate variables up to this count
+    a <lit> ... 0                add one clause
+    assume <lit> ... 0           stage assumptions for the next solve
+    solve <max_conflicts|-> <timeout_s|->
+                                 solve under the staged assumptions
+    reseed <seed>                perturb decision order (retries)
+    fault crash|hang|oom         fault injection (containment tests)
+    quit                         exit cleanly
+
+* worker -> parent (stdout)::
+
+    ready <pid>                  once, after rlimits are applied
+    hb                           heartbeats while a solve is in flight
+    v <+var|-var> ... 0          assignment lines (before a sat result)
+    r sat|unsat|unknown <reason|-> <conflicts> [key=value ...]
+                                 one result per solve; key=value pairs
+                                 are the per-solve internals deltas
+
+Sandboxing matches the stateless worker: the same ``RLIMIT_DATA`` /
+``RLIMIT_CPU`` caps (:func:`repro.runtime.worker_main._apply_rlimits`)
+are applied before the first request, the same heartbeat thread
+(:class:`repro.runtime.worker_main._Heartbeat`) keeps the parent's
+watchdog fed during long solves, and a ``MemoryError`` anywhere exits
+with :data:`EXIT_OOM` so the parent respawns (and replays its mirrored
+clause list) rather than trust a post-OOM heap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+import time
+
+from repro.runtime._worker_proto import EXIT_CRASH, EXIT_OOM
+from repro.runtime.worker_main import _apply_rlimits, _Heartbeat, _inject_oom
+
+__all__ = ["main", "EXIT_CRASH", "EXIT_OOM"]
+
+
+def _run_loop(write, heartbeat, mem_limit_mb):
+    # Imported here, not at module top: the parent backend imports this
+    # module for its name only, and the runtime layer must not drag
+    # repro.smt in with it.
+    from repro.smt.sat.solver import SatSolver
+
+    solver = SatSolver()
+    assumptions = []
+
+    def ensure_vars(count):
+        while solver.num_vars < count:
+            solver.new_var()
+
+    for line in sys.stdin:
+        tokens = line.split()
+        if not tokens:
+            continue
+        cmd = tokens[0]
+        if cmd == "a":
+            lits = [int(tok) for tok in tokens[1:-1]]
+            if lits:
+                ensure_vars(max(lit >> 1 for lit in lits))
+            solver.add_clause(lits)
+        elif cmd == "assume":
+            assumptions = [int(tok) for tok in tokens[1:-1]]
+            if assumptions:
+                ensure_vars(max(lit >> 1 for lit in assumptions))
+        elif cmd == "alloc":
+            ensure_vars(int(tokens[1]))
+        elif cmd == "solve":
+            max_conflicts = None if tokens[1] == "-" else int(tokens[1])
+            timeout = None if tokens[2] == "-" else float(tokens[2])
+            deadline = None if timeout is None else time.monotonic() + timeout
+            heartbeat.begin("solve")
+            before = solver.conflicts
+            internals_before = solver.internals()
+            verdict = solver.solve(
+                assumptions=assumptions,
+                max_conflicts=max_conflicts,
+                deadline=deadline,
+            )
+            heartbeat.end()
+            assumptions = []
+            spent = solver.conflicts - before
+            internals = solver.internals()
+            deltas = " ".join(
+                f"{key}={value - internals_before[key]}"
+                for key, value in internals.items()
+            )
+            if verdict is None:
+                reason = solver.stop_reason or "-"
+                write(f"r unknown {reason} {spent} {deltas}")
+            elif verdict:
+                model = solver.model()
+                write("v " + " ".join(
+                    str(var if value else -var)
+                    for var, value in model.items()
+                ) + " 0")
+                write(f"r sat - {spent} {deltas}")
+            else:
+                write(f"r unsat - {spent} {deltas}")
+        elif cmd == "reseed":
+            solver.reseed(int(tokens[1]))
+        elif cmd == "fault":
+            kind = tokens[1]
+            if kind == "crash":
+                os._exit(EXIT_CRASH)
+            elif kind == "hang":
+                heartbeat.begin("hang")
+                heartbeat.silence()
+                time.sleep(3600)
+            elif kind == "oom":
+                _inject_oom(mem_limit_mb)
+        elif cmd == "quit":
+            break
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.runtime.incremental_worker")
+    parser.add_argument("--mem-limit-mb", type=int, default=0)
+    parser.add_argument("--cpu-limit-s", type=int, default=0)
+    parser.add_argument("--heartbeat-interval", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    _apply_rlimits(args.mem_limit_mb, args.cpu_limit_s)
+
+    stdout_lock = threading.Lock()
+
+    def write(text):
+        with stdout_lock:
+            sys.stdout.write(text + "\n")
+            sys.stdout.flush()
+
+    # The heartbeat thread emits dict payloads; render them as protocol
+    # lines.  Beating at half the nominal interval keeps the cadence
+    # safely under the parent's two-silent-intervals kill threshold.
+    heartbeat = _Heartbeat(lambda payload: write("hb"),
+                           args.heartbeat_interval / 2.0)
+    write(f"ready {os.getpid()}")
+    try:
+        _run_loop(write, heartbeat, args.mem_limit_mb)
+    except MemoryError:
+        # The heap is suspect: report nothing more and die with the
+        # dedicated exit code so the parent respawns and replays.
+        os._exit(EXIT_OOM)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

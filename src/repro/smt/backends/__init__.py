@@ -9,7 +9,9 @@ per run (``SolverConfig``), or process-wide (``$REPRO_BACKEND``).
 
 Built-ins: ``inprocess`` (the bundled CDCL core, incremental),
 ``isolated`` (sandboxed worker subprocesses), ``subprocess-dimacs``
-(any installed DIMACS solver, kissat/cryptominisat/minisat-style), and
+(any installed DIMACS solver, kissat/cryptominisat/minisat-style),
+``incremental-subprocess`` (a persistent sandboxed child hosting the
+CDCL core — incremental solving *with* crash containment), and
 ``portfolio`` (hedged racing over member backends with health scoring
 and a disagreement sentinel).  ``register_backend`` adds more without
 touching any engine code.
@@ -18,6 +20,10 @@ touching any engine code.
 from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
 from repro.smt.backends.config import SolverConfig, resolve_solver_config
 from repro.smt.backends.health import HealthLedger, MemberHealth
+from repro.smt.backends.incremental_subprocess import (
+    WORKER_ENV,
+    IncrementalSubprocessBackend,
+)
 from repro.smt.backends.inprocess import InProcessBackend, OneShotCdclBackend
 from repro.smt.backends.isolated import IsolatedBackend
 from repro.smt.backends.portfolio import (
@@ -50,6 +56,8 @@ __all__ = [
     "OneShotCdclBackend",
     "IsolatedBackend",
     "SubprocessDimacsBackend",
+    "IncrementalSubprocessBackend",
+    "WORKER_ENV",
     "PortfolioBackend",
     "shared_portfolio",
     "PORTFOLIO_ENV",

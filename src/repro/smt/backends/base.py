@@ -89,6 +89,10 @@ class BackendResult:
     assignment: dict = None  # raw DIMACS {var: 0/1} witness, when available
     #                          (lets the portfolio validate SAT claims
     #                          against the CNF before trusting them)
+    internals: dict = None  # per-check solver work deltas (propagations,
+    #                         restarts, learned, deleted, trail-reuse...);
+    #                         the facade charges them to repro.smt.counters
+    #                         and surfaces them on solver.check obs events
 
 
 class SolverBackend:

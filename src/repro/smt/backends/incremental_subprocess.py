@@ -1,0 +1,330 @@
+"""The incremental-subprocess backend: a persistent out-of-process core.
+
+The stateless workers of ``repro.runtime.workers`` buy crash containment
+by re-shipping the full DIMACS export on every check — which forfeits
+exactly the learned-clause and trail reuse the incremental pipeline is
+built on.  This backend keeps both: it spawns ONE long-lived child
+process (``python -m repro.runtime.incremental_worker``) hosting a
+persistent ``SatSolver``, streams each clause over the wire once as the
+facade encodes it, and then issues assumption solves against the
+accumulated state.  ``supports_incremental`` is true, so the solver
+facade makes this backend its encoding core — clauses flow here instead
+of into an in-process ``SatSolver``, and the engine process never holds
+the clause database at all.
+
+Containment comes from the PR-2 worker sandbox this child reuses:
+rlimit caps (``RLIMIT_DATA``/``RLIMIT_CPU``) are applied before the
+first clause arrives, a heartbeat thread keeps beating during long
+solves, and the parent-side watchdog loop in :meth:`check` kills a
+silent or overdue child.  The parent also mirrors every clause it has
+sent (plain int lists — cheap next to the child's watcher structures),
+so a crashed, hung or OOM-killed child is *replayed* into a fresh
+process on the next check instead of poisoning the solver: the check
+that observed the fault reports a retryable ``unknown`` and the retry
+machinery above the facade re-asks against the rebuilt state.
+
+Literals on the wire are the core's internal encoding (``2*var``,
+``2*var + 1``); the parent allocates variable ids and the child follows
+via ``alloc``, so both sides agree by construction.  See
+``repro.runtime.incremental_worker`` for the line protocol.
+
+``command=`` (argv list or string) overrides the spawned command — how
+the differential tests run the wire protocol against the scripted fake
+solver — and the ``REPRO_INCREMENTAL_WORKER`` environment variable does
+the same process-wide.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import subprocess
+import sys
+import threading
+import time
+from queue import Empty, Queue
+
+from repro.runtime._worker_proto import EXIT_OOM
+from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
+
+__all__ = ["IncrementalSubprocessBackend", "WORKER_ENV"]
+
+#: Environment variable overriding the worker command (shell-split).
+WORKER_ENV = "REPRO_INCREMENTAL_WORKER"
+
+#: How often the await loop polls cancellation/deadline (seconds).
+_POLL_INTERVAL = 0.05
+
+
+def _worker_command(command, mem_limit_mb, cpu_limit_s, heartbeat_interval):
+    if command is not None:
+        if isinstance(command, str):
+            return shlex.split(command)
+        return list(command)
+    env = os.environ.get(WORKER_ENV)
+    if env:
+        return shlex.split(env)
+    argv = [sys.executable, "-m", "repro.runtime.incremental_worker",
+            "--heartbeat-interval", str(heartbeat_interval)]
+    if mem_limit_mb:
+        argv += ["--mem-limit-mb", str(mem_limit_mb)]
+    if cpu_limit_s:
+        argv += ["--cpu-limit-s", str(cpu_limit_s)]
+    return argv
+
+
+class IncrementalSubprocessBackend(SolverBackend):
+    """One persistent sandboxed child per solver, clauses shipped once."""
+
+    name = "incremental-subprocess"
+    supports_assumptions = True
+    supports_incremental = True
+    produces_models = False  # raw assignments; the facade decodes
+
+    def __init__(self, command=None, mem_limit_mb=None, cpu_limit_s=None,
+                 heartbeat_interval=0.25, watchdog_grace=4.0,
+                 spawn_timeout=20.0):
+        self._command = _worker_command(command, mem_limit_mb, cpu_limit_s,
+                                        heartbeat_interval)
+        self._heartbeat_interval = heartbeat_interval
+        self._watchdog_grace = watchdog_grace
+        self._spawn_timeout = spawn_timeout
+        self._num_vars = 0
+        self._clauses = []        # parent mirror: replay source of truth
+        self._conflicts = 0
+        self._assignment = {}
+        self._pending_seed = None
+        self._proc = None
+        self._lines = None        # Queue fed by the reader thread
+        self.respawns = 0         # fresh spawns after a fault (tests/obs)
+
+    def describe(self):
+        return f"{self.name} ({' '.join(self._command)})"
+
+    # -- incremental clause feeding -------------------------------------
+
+    def new_var(self):
+        self._num_vars += 1
+        return self._num_vars
+
+    def add_clause(self, lits):
+        clause = list(lits)
+        self._clauses.append(clause)
+        if self._proc is not None:
+            # Keep the live child in sync; a failed send just marks it
+            # dead and the next check replays the mirror.
+            self._send("a " + " ".join(map(str, clause)) + " 0")
+
+    def assignment(self):
+        return dict(self._assignment)
+
+    def reseed(self, seed):
+        self._pending_seed = seed
+
+    @property
+    def num_vars(self):
+        return self._num_vars
+
+    @property
+    def clauses(self):
+        return self._clauses
+
+    @property
+    def conflicts(self):
+        return self._conflicts
+
+    def close(self):
+        if self._proc is not None:
+            self._send("quit")
+            self._shutdown()
+
+    # -- child lifecycle -------------------------------------------------
+
+    def _spawn(self):
+        proc = subprocess.Popen(
+            self._command,
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, text=True, bufsize=1,
+        )
+        lines = Queue()
+
+        def reader():
+            try:
+                for line in proc.stdout:
+                    lines.put(line)
+            except ValueError:
+                pass  # stdout closed under the reader during shutdown
+            lines.put(None)  # EOF sentinel: the child is gone
+
+        threading.Thread(target=reader, daemon=True).start()
+        self._proc, self._lines = proc, lines
+        # Wait for the ready line so rlimits are in place before clauses
+        # flow; a child that cannot even boot is a hard error (matching
+        # BackendUnavailable semantics, but detected at first use since
+        # spawning is lazy).
+        deadline = time.monotonic() + self._spawn_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._shutdown()
+                raise OSError("incremental worker did not report ready")
+            try:
+                line = lines.get(timeout=min(_POLL_INTERVAL, remaining))
+            except Empty:
+                continue
+            if line is None:
+                self._shutdown()
+                raise OSError("incremental worker died at boot")
+            if line.split()[:1] == ["ready"]:
+                return
+
+    def _ensure_worker(self):
+        if self._proc is not None and self._proc.poll() is None:
+            return
+        if self._proc is not None:
+            self._shutdown()
+            self.respawns += 1
+        self._spawn()
+        # Replay the mirrored state into the fresh child.
+        self._send(f"alloc {self._num_vars}")
+        for clause in self._clauses:
+            self._send("a " + " ".join(map(str, clause)) + " 0")
+
+    def _send(self, line):
+        proc = self._proc
+        if proc is None:
+            return False
+        try:
+            proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            return True
+        except (OSError, ValueError):
+            # Broken pipe: leave the corpse for _ensure_worker to notice
+            # (poll() reports the exit) and replay on the next check.
+            return False
+
+    def _shutdown(self):
+        proc, self._proc, self._lines = self._proc, None, None
+        if proc is None:
+            return
+        if proc.poll() is None:
+            try:
+                proc.kill()
+            except OSError:
+                pass
+        try:
+            proc.communicate(timeout=5.0)
+        except (subprocess.TimeoutExpired, OSError, ValueError):
+            pass
+
+    def inject_fault(self, kind):
+        """Arm a containment-test fault (``crash``/``hang``/``oom``) in
+        the live child; spawns one if needed."""
+        self._ensure_worker()
+        self._send(f"fault {kind}")
+
+    # -- the check itself ------------------------------------------------
+
+    def check(self, cnf=None, assumptions=(), limits=None):
+        if cnf is not None:
+            raise ValueError(
+                "the incremental-subprocess backend solves its streamed "
+                "state; pass cnf=None"
+            )
+        if limits is None:
+            limits = CheckLimits()
+        try:
+            self._ensure_worker()
+        except OSError:
+            return BackendResult("unknown", reason="backend-error")
+        if self._pending_seed is not None:
+            self._send(f"reseed {self._pending_seed}")
+            self._pending_seed = None
+        if limits.seed is not None:
+            self._send(f"reseed {limits.seed}")
+        max_conflicts = "-" if limits.max_conflicts is None else str(
+            int(limits.max_conflicts))
+        timeout = limits.timeout()
+        timeout_tok = "-" if timeout is None else f"{timeout:.3f}"
+        self._send(f"alloc {self._num_vars}")
+        self._send("assume " + " ".join(map(str, assumptions)) + " 0")
+        if not self._send(f"solve {max_conflicts} {timeout_tok}"):
+            return self._fault("backend-error")
+        return self._await_result(limits, timeout)
+
+    def _await_result(self, limits, timeout):
+        """Consume child lines until a result; watchdog in the gaps.
+
+        The child enforces its own solve timeout, so the parent deadline
+        only backstops a wedged child: heartbeat silence beyond
+        ``watchdog_grace`` intervals, or running past the deadline by
+        the same grace, kills and replays.
+        """
+        lines = self._lines
+        assignment = {}
+        silence_cap = self._watchdog_grace * self._heartbeat_interval
+        hard_deadline = None
+        if timeout is not None:
+            hard_deadline = time.monotonic() + timeout + silence_cap
+        last_line = time.monotonic()
+        cancel = limits.cancel
+        while True:
+            if cancel is not None and cancel.is_set():
+                return self._fault("cancelled")
+            now = time.monotonic()
+            if hard_deadline is not None and now > hard_deadline:
+                return self._fault("deadline")
+            if now - last_line > silence_cap:
+                return self._fault("heartbeat-lost")
+            try:
+                line = lines.get(timeout=_POLL_INTERVAL)
+            except Empty:
+                continue
+            if line is None:
+                # EOF: the child died mid-solve.  Classify OOM exits so
+                # the facade reports the canonical memory reason.
+                code = self._proc.poll() if self._proc is not None else None
+                reason = "worker-oom" if code == EXIT_OOM else "worker-crashed"
+                return self._fault(reason)
+            last_line = time.monotonic()
+            tokens = line.split()
+            if not tokens or tokens[0] == "hb":
+                continue
+            if tokens[0] == "v":
+                for tok in tokens[1:-1]:
+                    lit = int(tok)
+                    assignment[abs(lit)] = 0 if lit < 0 else 1
+                continue
+            if tokens[0] == "r":
+                return self._result(tokens, assignment)
+            # Unknown chatter: tolerated (a future worker may add lines).
+
+    def _result(self, tokens, assignment):
+        try:
+            verdict = tokens[1]
+            reason = tokens[2]
+            conflicts = int(tokens[3])
+            internals = {}
+            for pair in tokens[4:]:
+                key, _, value = pair.partition("=")
+                internals[key] = int(value)
+        except (IndexError, ValueError):
+            return self._fault("backend-error")
+        self._conflicts += conflicts
+        if verdict == "sat":
+            self._assignment = assignment
+            return BackendResult("sat", conflicts=conflicts,
+                                 internals=internals)
+        if verdict == "unsat":
+            return BackendResult("unsat", conflicts=conflicts,
+                                 internals=internals)
+        return BackendResult("unknown",
+                             reason="" if reason == "-" else reason,
+                             conflicts=conflicts, internals=internals)
+
+    def _fault(self, reason):
+        """Kill the child and report a per-check unknown; the mirror is
+        replayed into a fresh child on the next check."""
+        self._shutdown()
+        self.respawns += 1
+        return BackendResult("unknown", reason=reason)

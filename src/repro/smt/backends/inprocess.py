@@ -74,6 +74,7 @@ class InProcessBackend(SolverBackend):
         if limits is None:
             limits = CheckLimits()
         before = self._sat.conflicts
+        internals_before = self._sat.internals()
         verdict = self._sat.solve(
             assumptions=list(assumptions),
             max_conflicts=limits.max_conflicts,
@@ -82,13 +83,19 @@ class InProcessBackend(SolverBackend):
             cancel=limits.cancel,
         )
         spent = self._sat.conflicts - before
+        internals = {
+            key: value - internals_before[key]
+            for key, value in self._sat.internals().items()
+        }
         if verdict is None:
             return BackendResult(
                 "unknown",
                 reason=normalize_reason(self._sat.stop_reason),
                 conflicts=spent,
+                internals=internals,
             )
-        return BackendResult("sat" if verdict else "unsat", conflicts=spent)
+        return BackendResult("sat" if verdict else "unsat", conflicts=spent,
+                             internals=internals)
 
 
 class OneShotCdclBackend(SolverBackend):
@@ -124,13 +131,16 @@ class OneShotCdclBackend(SolverBackend):
             solver=solver,
             cancel=limits.cancel,
         )
+        internals = solver.internals()  # fresh solver: totals == this check
         if verdict.startswith("unknown"):
             _, _, reason = verdict.partition(":")
             return BackendResult("unknown",
                                  reason=normalize_reason(reason),
-                                 conflicts=conflicts)
+                                 conflicts=conflicts,
+                                 internals=internals)
         if verdict == "unsat":
-            return BackendResult("unsat", conflicts=conflicts)
+            return BackendResult("unsat", conflicts=conflicts,
+                                 internals=internals)
         assignment = solver.model()
         return BackendResult("sat", model=values, conflicts=conflicts,
-                             assignment=assignment)
+                             assignment=assignment, internals=internals)

@@ -135,6 +135,14 @@ def _make_subprocess(worker_pool=None):
     return SubprocessDimacsBackend()
 
 
+def _make_incremental_subprocess(worker_pool=None):
+    from repro.smt.backends.incremental_subprocess import (
+        IncrementalSubprocessBackend,
+    )
+
+    return IncrementalSubprocessBackend()
+
+
 def _make_portfolio(worker_pool=None):
     # A shared instance, not a fresh one per Solver: the health ledger
     # (EWMA latencies, quarantine state) must survive across the many
@@ -145,6 +153,9 @@ def _make_portfolio(worker_pool=None):
 
 
 def _register_builtins():
+    from repro.smt.backends.incremental_subprocess import (
+        IncrementalSubprocessBackend,
+    )
     from repro.smt.backends.inprocess import InProcessBackend
     from repro.smt.backends.isolated import IsolatedBackend
     from repro.smt.backends.portfolio import PortfolioBackend
@@ -154,6 +165,8 @@ def _register_builtins():
     register_backend("isolated", _make_isolated, cls=IsolatedBackend)
     register_backend("subprocess-dimacs", _make_subprocess,
                      cls=SubprocessDimacsBackend)
+    register_backend("incremental-subprocess", _make_incremental_subprocess,
+                     cls=IncrementalSubprocessBackend)
     register_backend("portfolio", _make_portfolio, cls=PortfolioBackend)
 
 

@@ -22,6 +22,13 @@ _FIELDS = (
     "tseitin_clauses",
     "trace_cache_hits",
     "trace_cache_misses",
+    "sat_propagations",
+    "sat_restarts",
+    "sat_learned",
+    "sat_deleted",
+    "sat_trail_reuse_hits",
+    "sat_trail_reuse_levels_saved",
+    "sat_chrono_backtracks",
 )
 
 
@@ -35,7 +42,20 @@ class EncodeCounters:
                                   encoding and DIMACS exports alike)
     ``trace_cache_hits``          shared-trace entries served from cache
     ``trace_cache_misses``        shared-trace entries built from scratch
+    ``sat_propagations``          unit propagations inside CDCL checks
+    ``sat_restarts``              CDCL restarts inside checks
+    ``sat_learned``               clauses learned inside checks
+    ``sat_deleted``               learned clauses dropped by DB reduction
+    ``sat_trail_reuse_hits``      checks that reused a kept assumption trail
+    ``sat_trail_reuse_levels_saved``  assumption levels kept across checks
+    ``sat_chrono_backtracks``     deep backjumps converted to one-level
+                                  chronological backtracks
     ============================  ============================================
+
+    The ``sat_*`` solver-internals fields are charged once per check by
+    the solver facade from :attr:`BackendResult.internals`, and the same
+    numbers ride the ``solver.check`` obs event — so traced runs reconcile
+    exactly (``repro.obs.report.totals``).
     """
 
     __slots__ = _FIELDS

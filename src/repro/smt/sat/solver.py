@@ -2,18 +2,42 @@
 
 Implements the standard modern recipe: two-literal watching, first-UIP clause
 learning with local minimization, VSIDS decision ordering with phase saving,
-Luby restarts, and learned-clause database reduction.  Literal encoding: for
-variable ``v`` (1-based) the positive literal is ``2*v`` and the negative
-literal is ``2*v + 1``; ``lit ^ 1`` negates.
+Luby restarts, and glucose-style LBD-tiered learned-clause database
+reduction.  Literal encoding: for variable ``v`` (1-based) the positive
+literal is ``2*v`` and the negative literal is ``2*v + 1``; ``lit ^ 1``
+negates.
 
 The solver is incremental in the "add clauses, solve, add more, solve again"
-sense, and supports solving under assumptions.  ``solve`` can be bounded by a
-conflict budget, a wall-clock deadline, a memory-capped
-``repro.runtime.Budget``, and/or a ``threading.Event`` cancellation token —
-returning ``None`` (unknown) when exhausted, with ``stop_reason`` set to
-``"conflicts"``, ``"deadline"``, ``"memory"`` or ``"cancelled"``.
-This is how the reproduction implements the paper's synthesis timeouts and
-how portfolio races stop losing in-process members.
+sense, and supports solving under assumptions *MiniSat-style*: each
+assumption occupies its own decision level (level ``i + 1`` holds
+``assumptions[i]``), placed in one batched pass and propagated together.
+Because levels align with assumption indices, consecutive
+``solve(assumptions=...)`` calls that share an assumption prefix reuse the
+trail: the solver backtracks only to the first divergent assumption level
+instead of level 0, so the propagation work for the shared prefix — in the
+encode-once CEGIS verifier, the selector literal plus most hole bits —
+survives across queries.  ``trail_reuse_hits`` / ``trail_reuse_levels``
+count the savings.
+
+Learned clauses are tagged with their LBD (literal block distance — the
+number of distinct decision levels among their literals, computed at
+learning time).  Reduction keeps three tiers: *core* clauses (LBD <= 2)
+are never deleted, *mid* clauses (LBD 3..6) go only when the *local* tier
+(LBD >= 7) cannot fill the deletion quota, ranked by activity within each
+tier.  The reduction threshold grows geometrically instead of sitting at a
+fixed size, and deleted clauses are unhooked lazily — ``_propagate`` drops
+stale watch entries as it traverses them — so a reduction costs time
+proportional to the clauses it deletes, not to every watch list in the
+database.  Between solves, the clause database is simplified against the
+level-0 trail: satisfied clauses are dropped and falsified literals
+stripped.
+
+``solve`` can be bounded by a conflict budget, a wall-clock deadline, a
+memory-capped ``repro.runtime.Budget``, and/or a ``threading.Event``
+cancellation token — returning ``None`` (unknown) when exhausted, with
+``stop_reason`` set to ``"conflicts"``, ``"deadline"``, ``"memory"`` or
+``"cancelled"``.  This is how the reproduction implements the paper's
+synthesis timeouts and how portfolio races stop losing in-process members.
 
 Cancellation is cooperative and checked at three checkpoints — every
 propagation batch, every few conflicts, and every few decisions — so a
@@ -38,6 +62,28 @@ _CONFLICT_CHECK_MASK = 7         # ... every 8 conflicts
 _DECISION_CHECK_MASK = 31        # ... every 32 decisions
 _MEMORY_CHECK_MASK = 255         # poll the memory cap every 256 conflicts
 
+# Learned-clause tiers by LBD (glucose-style): core clauses are never
+# deleted, local clauses go first, mid clauses only fill a remaining quota.
+_CORE_LBD = 2
+_MID_LBD = 6
+# Reduction trigger: starts at the historical fixed threshold and grows
+# geometrically with every reduction, so the database is allowed to get
+# larger as the instance proves it needs one.
+_REDUCE_BASE = 2000
+_REDUCE_GROWTH = 1.15
+
+# Weak chronological backtracking (Nadel & Ryvchin, SAT'18): a backjump
+# unwinding more than this many levels backtracks a single level instead.
+# On the big mostly-satisfiable verify queries of the synthesis pipeline,
+# a deep backjump throws away (and immediately re-derives) thousands of
+# datapath propagations; chronological backtracking keeps them.  The
+# learned clause is still asserting at any level at or above its computed
+# backjump level, so enqueueing its asserting literal one level down is
+# sound — and because literals are always stamped with the level they are
+# *placed* at, the trail stays level-monotonic and conflict analysis
+# needs no out-of-order machinery.
+_CHRONO_LIMIT = 64
+
 
 def _luby(x):
     """The Luby restart sequence, 0-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
@@ -54,9 +100,10 @@ def _luby(x):
 
 class SatSolver:
     def __init__(self):
-        self.clauses = []           # each clause: list of lits
+        self.clauses = []           # clause lists; None marks a deleted slot
         self.learned = set()        # indices into self.clauses that are learned
         self.activity_cl = {}       # clause index -> activity
+        self.lbd = {}               # clause index -> LBD at learning time
         self.watches = [[], []]     # lit -> clause indices (lit 0/1 unused)
         self.assign = [_UNASSIGNED]  # var -> 0/1/_UNASSIGNED
         self.phase = [0]
@@ -73,12 +120,25 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.learned_total = 0     # clauses ever learned (incl. units)
+        self.deleted_total = 0     # learned clauses dropped by reduction
+        self.simplified_total = 0  # clauses dropped by level-0 simplification
+        self.trail_reuse_hits = 0    # solves that kept >=1 assumption level
+        self.trail_reuse_levels = 0  # assumption levels kept across solves
+        self.chrono_backtracks = 0   # deep backjumps converted to 1-level
         self.stop_reason = None   # why the last solve returned None
+        self.profile = None       # optional phase-wall dict (enable_profiling)
         self._deadline = None     # active only inside solve()
         self._cancel = None       # cooperative cancellation event
         self._stop_flag = None    # set by _propagate on deadline expiry
         self._heap = []
         self._heap_pos = {}
+        self._seen = bytearray(1)     # persistent _analyze scratch (per var)
+        self._last_assumptions = []   # previous solve's assumption vector
+        self._n_assume = 0            # assumption count of the active solve
+        self._reduce_limit = _REDUCE_BASE
+        self._simplified_at = 0       # level-0 trail size at last _simplify
 
     # -- variable / clause management -----------------------------------
 
@@ -90,6 +150,7 @@ class SatSolver:
         self.activity.append(0.0)
         self.watches.append([])
         self.watches.append([])
+        self._seen.append(0)
         var = len(self.assign) - 1
         self._heap_insert(var)
         return var
@@ -177,6 +238,7 @@ class SatSolver:
         """Unit propagation; returns conflicting clause index or -1."""
         clauses = self.clauses
         watches = self.watches
+        assign = self.assign
         while self.propagated < len(self.trail):
             lit = self.trail[self.propagated]
             self.propagated += 1
@@ -189,18 +251,22 @@ class SatSolver:
                 ci = watch_list[i]
                 i += 1
                 clause = clauses[ci]
+                if clause is None:
+                    # A clause deleted by reduction/simplification: drop the
+                    # stale entry by not copying it (lazy watch cleanup).
+                    continue
                 # Normalize: watched literals are clause[0] and clause[1].
                 if clause[0] == false_lit:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._lit_value(first) == 1:
+                if assign[first >> 1] == ((first & 1) ^ 1):  # satisfied
                     watch_list[j] = ci
                     j += 1
                     continue
                 found = False
                 for k in range(2, len(clause)):
                     other = clause[k]
-                    if self._lit_value(other) != 0:
+                    if assign[other >> 1] != (other & 1):  # not false
                         clause[1], clause[k] = clause[k], clause[1]
                         watches[other].append(ci)
                         found = True
@@ -241,25 +307,28 @@ class SatSolver:
     # -- clause learning ----------------------------------------------------
 
     def _analyze(self, conflict):
-        """First-UIP learning; returns (learned clause, backtrack level)."""
+        """First-UIP learning; returns (learned clause, backtrack level, LBD)."""
         learned = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        seen = self._seen
+        touched = []
         counter = 0
         lit = -1
         index = len(self.trail) - 1
         clause_index = conflict
         current_level = self._decision_level()
+        level = self.level
         while True:
             clause = self.clauses[clause_index]
             self._bump_clause(clause_index)
             start = 0 if lit == -1 else 1
             for reason_lit in clause[start:]:
                 var = reason_lit >> 1
-                if seen[var] or self.level[var] == 0:
+                if seen[var] or level[var] == 0:
                     continue
-                seen[var] = True
+                seen[var] = 1
+                touched.append(var)
                 self._bump_var(var)
-                if self.level[var] == current_level:
+                if level[var] == current_level:
                     counter += 1
                 else:
                     learned.append(reason_lit)
@@ -272,20 +341,25 @@ class SatSolver:
             if counter == 0:
                 break
             clause_index = self.reason[lit >> 1]
-            seen[lit >> 1] = False
+            seen[lit >> 1] = 0
         learned[0] = lit ^ 1
         self._minimize(learned, seen)
+        # LBD at learning time: distinct decision levels among the literals
+        # (glucose).  Computed before the backjump, while levels are fresh.
+        lbd = len({level[l >> 1] for l in learned})
+        for var in touched:
+            seen[var] = 0
         if len(learned) == 1:
             back_level = 0
         else:
             # Second-highest decision level among learned literals.
             max_index = 1
             for k in range(2, len(learned)):
-                if self.level[learned[k] >> 1] > self.level[learned[max_index] >> 1]:
+                if level[learned[k] >> 1] > level[learned[max_index] >> 1]:
                     max_index = k
             learned[1], learned[max_index] = learned[max_index], learned[1]
-            back_level = self.level[learned[1] >> 1]
-        return learned, back_level
+            back_level = level[learned[1] >> 1]
+        return learned, back_level, lbd
 
     def _minimize(self, learned, seen):
         """Drop literals implied by the rest of the clause (local check)."""
@@ -303,7 +377,8 @@ class SatSolver:
                     break
         learned[:] = kept
 
-    def _record_learned(self, learned):
+    def _record_learned(self, learned, lbd):
+        self.learned_total += 1
         if len(learned) == 1:
             self._enqueue(learned[0], -1)
             return
@@ -311,6 +386,7 @@ class SatSolver:
         self.clauses.append(learned)
         self.learned.add(index)
         self.activity_cl[index] = self.cla_inc
+        self.lbd[index] = lbd
         self.watches[learned[0]].append(index)
         self.watches[learned[1]].append(index)
         self._enqueue(learned[0], index)
@@ -402,24 +478,90 @@ class SatSolver:
 
     # -- learned clause DB reduction ------------------------------------------
 
+    def _delete_clause(self, index):
+        """Unhook one clause; watch entries are cleaned lazily by
+        ``_propagate``, so deletion is O(1) per clause."""
+        self.clauses[index] = None
+        self.learned.discard(index)
+        self.activity_cl.pop(index, None)
+        self.lbd.pop(index, None)
+
     def _reduce_db(self):
-        if len(self.learned) < 2000:
+        if len(self.learned) < self._reduce_limit:
             return
-        ranked = sorted(self.learned, key=lambda ci: self.activity_cl.get(ci, 0.0))
-        drop = set(ranked[: len(ranked) // 2])
-        # Keep clauses that are a reason for a current assignment.
-        locked = {self.reason[lit >> 1] for lit in self.trail}
-        drop -= locked
+        # Clauses that are the reason for a current assignment must
+        # survive (the -1 entries are decisions, not clause indices).
+        reason = self.reason
+        locked = set()
+        for lit in self.trail:
+            r = reason[lit >> 1]
+            if r != -1:
+                locked.add(r)
+        lbd = self.lbd
+        activity = self.activity_cl
+        local = []
+        mid = []
+        for ci in self.learned:
+            if ci in locked:
+                continue
+            tier = lbd.get(ci, _MID_LBD + 1)
+            if tier <= _CORE_LBD:
+                continue  # core tier: kept forever
+            (local if tier > _MID_LBD else mid).append(ci)
+        target = len(self.learned) // 2
+        local.sort(key=lambda ci: activity.get(ci, 0.0))
+        drop = local[:target]
+        if len(drop) < target:
+            mid.sort(key=lambda ci: activity.get(ci, 0.0))
+            drop.extend(mid[: target - len(drop)])
+        # Geometric growth: every reduction earns a larger database, so
+        # reduction frequency amortizes as the instance scales.
+        self._reduce_limit = int(self._reduce_limit * _REDUCE_GROWTH) + 1
         if not drop:
             return
         for ci in drop:
-            self.clauses[ci] = None
-            self.learned.discard(ci)
-            self.activity_cl.pop(ci, None)
-        for lit in range(2, len(self.watches)):
-            self.watches[lit] = [
-                ci for ci in self.watches[lit] if self.clauses[ci] is not None
-            ]
+            self._delete_clause(ci)
+        self.deleted_total += len(drop)
+
+    # -- level-0 simplification ----------------------------------------------
+
+    def _simplify(self):
+        """Simplify the clause database against the level-0 trail.
+
+        Runs between solves, only when new level-0 facts arrived since the
+        last pass: satisfied clauses are dropped outright and falsified
+        literals stripped from the rest (at positions >= 2 only, so the
+        watch invariants survive untouched — after propagation reached its
+        level-0 fixpoint, no surviving clause watches a false literal).
+        """
+        if self.trail_lim or not self.ok:
+            return
+        if len(self.trail) == self._simplified_at:
+            return
+        assign = self.assign
+        reason = self.reason
+        for lit in self.trail:
+            reason[lit >> 1] = -1  # level-0 facts need no reason clause
+        for ci, clause in enumerate(self.clauses):
+            if clause is None:
+                continue
+            satisfied = False
+            for l in clause:
+                if assign[l >> 1] == ((l & 1) ^ 1):
+                    satisfied = True
+                    break
+            if satisfied:
+                self._delete_clause(ci)
+                self.simplified_total += 1
+                continue
+            k = len(clause) - 1
+            while k >= 2:
+                l = clause[k]
+                if assign[l >> 1] == (l & 1):  # falsified at level 0
+                    clause[k] = clause[-1]
+                    clause.pop()
+                k -= 1
+        self._simplified_at = len(self.trail)
 
     # -- main solve loop ---------------------------------------------------------
 
@@ -436,6 +578,11 @@ class SatSolver:
         solve return ``None`` with ``stop_reason == "cancelled"`` —
         how a portfolio race tells a losing in-process member to stop.
         When the verdict is ``None``, ``stop_reason`` names the cause.
+
+        Under assumptions, an UNSAT result means "unsatisfiable under
+        these assumptions"; the formula itself stays usable.  The trail is
+        left at the deepest still-valid assumption level on exit, so a
+        following call sharing an assumption prefix resumes from it.
         """
         if not self.ok:
             return False
@@ -452,7 +599,9 @@ class SatSolver:
 
     def _stop(self, reason):
         self.stop_reason = reason
-        self._backtrack(0)
+        # Keep the assumption levels (they are still valid decisions);
+        # only the free search above them is abandoned.
+        self._backtrack(min(self._n_assume, self._decision_level()))
         return None
 
     def _interrupt_flag(self):
@@ -464,27 +613,86 @@ class SatSolver:
         return None
 
     def _solve(self, assumptions, max_conflicts, deadline, budget):
-        self._backtrack(0)
-        if self._propagate() != -1:
-            self.ok = False
-            return False
-        if self._stop_flag is not None:
-            return self._stop(self._stop_flag)
+        assumptions = list(assumptions)
+        n_assume = len(assumptions)
+        self._n_assume = n_assume
+        # Trail reuse: keep the longest prefix of assumption levels shared
+        # with the previous solve.  ``add_clause``/``reseed`` backtrack to
+        # level 0, so a nonzero decision level here implies the clause
+        # database is unchanged since the trail was built — every kept
+        # assignment (and its propagation) is still valid.
+        prev = self._last_assumptions
+        keep = 0
+        limit = min(n_assume, len(prev), self._decision_level())
+        while keep < limit and assumptions[keep] == prev[keep]:
+            keep += 1
+        self._backtrack(keep)
+        if keep:
+            self.trail_reuse_hits += 1
+            self.trail_reuse_levels += keep
+        self._last_assumptions = assumptions
+        profile = self.profile
+        if profile is not None:
+            profile["solves"] += 1
+        if not self.trail_lim:
+            # Starting from the root: establish the level-0 fixpoint and
+            # simplify the clause database against any new facts.
+            conflict = self._timed_propagate(profile)
+            if conflict != -1:
+                self.ok = False
+                return False
+            if self._stop_flag is not None:
+                return self._stop(self._stop_flag)
+            if profile is None:
+                self._simplify()
+            else:
+                t0 = time.perf_counter()
+                self._simplify()
+                profile["simplify"] += time.perf_counter() - t0
         restart_count = 0
         conflicts_at_entry = self.conflicts
         conflict_budget = _luby(restart_count) * 128
         conflicts_this_restart = 0
         while True:
-            conflict = self._propagate()
+            conflict = self._timed_propagate(profile)
             if conflict != -1:
                 self.conflicts += 1
                 conflicts_this_restart += 1
-                if self._decision_level() == 0:
+                # Batched assumption placement propagates several fresh
+                # levels at once, so the conflict may lie entirely below
+                # the current decision level: back up to the deepest
+                # literal in the conflicting clause before analyzing.
+                level = self.level
+                conf_level = 0
+                for l in self.clauses[conflict]:
+                    lv = level[l >> 1]
+                    if lv > conf_level:
+                        conf_level = lv
+                if conf_level == 0:
                     self.ok = False
                     return False
-                learned, back_level = self._analyze(conflict)
+                if conf_level < self._decision_level():
+                    self._backtrack(conf_level)
+                if profile is None:
+                    learned, back_level, lbd = self._analyze(conflict)
+                else:
+                    t0 = time.perf_counter()
+                    learned, back_level, lbd = self._analyze(conflict)
+                    profile["analyze"] += time.perf_counter() - t0
+                # Chronological backtracking: when the backjump would
+                # unwind a long stretch of still-valid assignments, step
+                # back one level instead.  The learned clause stays unit
+                # there (all its non-asserting literals live at or below
+                # ``back_level``), so recording it still enqueues the
+                # asserting literal.  Unit learned clauses keep the full
+                # jump: they are global facts and belong at level 0.
+                cur_level = self._decision_level()
+                if (len(learned) > 1
+                        and cur_level - back_level > _CHRONO_LIMIT):
+                    back_level = cur_level - 1
+                    self.chrono_backtracks += 1
                 self._backtrack(back_level)
-                self._record_learned(learned)
+                self._record_learned(learned, lbd)
                 self._decay()
                 if max_conflicts is not None and (
                     self.conflicts - conflicts_at_entry
@@ -503,28 +711,41 @@ class SatSolver:
                 return self._stop(self._stop_flag)
             if conflicts_this_restart >= conflict_budget:
                 restart_count += 1
+                self.restarts += 1
                 conflict_budget = _luby(restart_count) * 128
                 conflicts_this_restart = 0
-                self._reduce_db()
-                self._backtrack(0)
+                if profile is None:
+                    self._reduce_db()
+                else:
+                    t0 = time.perf_counter()
+                    self._reduce_db()
+                    profile["reduce"] += time.perf_counter() - t0
+                # Restart the search, not the assumptions: the assumption
+                # levels are forced either way, so their propagation work
+                # is kept.
+                self._backtrack(min(n_assume, self._decision_level()))
                 continue
-            # Re-place any assumption that is not yet satisfied; assumptions
-            # are replayed as the first decisions after every backtrack.
-            placed_all = True
-            for lit in assumptions:
-                value = self._lit_value(lit)
-                if value == 1:
-                    continue
-                if value == 0:
-                    # The formula (plus learned clauses) forces the negation
-                    # of an assumption: UNSAT under these assumptions.
-                    self._backtrack(0)
-                    return False
-                self.trail_lim.append(len(self.trail))
-                self._enqueue(lit, -1)
-                placed_all = False
-                break
-            if not placed_all:
+            dl = self._decision_level()
+            if dl < n_assume:
+                # Batched assumption placement: one decision level per
+                # assumption (level i+1 holds assumptions[i], which is what
+                # lets trail reuse map a shared prefix onto shared levels),
+                # all enqueued in one pass and propagated together.
+                while dl < n_assume:
+                    lit = assumptions[dl]
+                    value = self._lit_value(lit)
+                    if value == 0:
+                        # The formula (plus learned clauses) forces the
+                        # negation of an assumption: UNSAT under these
+                        # assumptions.  The trail stays put — the next
+                        # solve can still reuse the shared prefix.
+                        return False
+                    self.trail_lim.append(len(self.trail))
+                    dl += 1
+                    if value == _UNASSIGNED:
+                        self._enqueue(lit, -1)
+                    # value == 1: an already-satisfied assumption keeps an
+                    # empty decision level, preserving the alignment.
                 continue
             var = self._pick_branch_var()
             if var == 0:
@@ -537,6 +758,41 @@ class SatSolver:
             self.trail_lim.append(len(self.trail))
             lit = 2 * var + (1 - self.phase[var])
             self._enqueue(lit, -1)
+
+    def _timed_propagate(self, profile):
+        if profile is None:
+            return self._propagate()
+        t0 = time.perf_counter()
+        conflict = self._propagate()
+        profile["propagate"] += time.perf_counter() - t0
+        return conflict
+
+    def enable_profiling(self):
+        """Turn on phase-wall attribution; returns the live profile dict.
+
+        Keys: ``propagate``/``analyze``/``reduce``/``simplify`` wall
+        seconds plus a ``solves`` call count.  Costs two clock reads per
+        phase call, so it is off by default — ``scripts/profile_solver.py``
+        is the intended consumer.
+        """
+        if self.profile is None:
+            self.profile = {"propagate": 0.0, "analyze": 0.0, "reduce": 0.0,
+                            "simplify": 0.0, "solves": 0}
+        return self.profile
+
+    def internals(self):
+        """Monotonic per-solver work counters as a plain dict."""
+        return {
+            "propagations": self.propagations,
+            "decisions": self.decisions,
+            "restarts": self.restarts,
+            "learned": self.learned_total,
+            "deleted": self.deleted_total,
+            "simplified": self.simplified_total,
+            "trail_reuse_hits": self.trail_reuse_hits,
+            "trail_reuse_levels_saved": self.trail_reuse_levels,
+            "chrono_backtracks": self.chrono_backtracks,
+        }
 
     def reseed(self, seed):
         """Perturb the decision order deterministically (for retries).

@@ -232,6 +232,7 @@ class Solver:
         self._remote_conflicts = 0    # conflicts spent out-of-process for us
         self._pending_seed = None     # reseed to apply on the next check
         self._last_backend = self._core.name  # who served the last check
+        self._last_internals = {}     # solver work deltas of the last check
         self.stats = {"asserts": 0, "checks": 0, "clauses": 0,
                       "worker_checks": 0, "worker_fallbacks": 0}
         COUNTERS.solver_instances += 1
@@ -327,6 +328,7 @@ class Solver:
                 reason = getattr(verdict, "reason", "") or ""
                 if reason == "unspecified":
                     reason = ""
+            internals = self._last_internals
             tracer.event(
                 "solver.check",
                 kind=tracer.current_span_name(),
@@ -341,6 +343,17 @@ class Solver:
                 if hasattr(assumptions, "__len__") else -1,
                 backend=self._last_backend,
                 execution=self._last_backend,
+                # Solver internals, mirroring what _check charged to
+                # repro.smt.counters for this check — the obs report
+                # reconciles the two exactly.
+                propagations=internals.get("propagations", 0),
+                restarts=internals.get("restarts", 0),
+                learned=internals.get("learned", 0),
+                deleted=internals.get("deleted", 0),
+                trail_reuse_hits=internals.get("trail_reuse_hits", 0),
+                trail_reuse_levels_saved=internals.get(
+                    "trail_reuse_levels_saved", 0),
+                chrono_backtracks=internals.get("chrono_backtracks", 0),
             )
 
     def _check(self, max_conflicts=None, timeout=None, budget=None,
@@ -348,6 +361,7 @@ class Solver:
         self.stats["checks"] += 1
         self._remote_model = None
         self._last_backend = self._core.name
+        self._last_internals = {}
         injector = _faults.active_injector()
         if injector is not None:
             injected_reason = injector.on_check()
@@ -413,6 +427,19 @@ class Solver:
                     self._remote_model = dict(result.model)
         if budget is not None:
             budget.charge_conflicts(result.conflicts)
+        if result.internals:
+            internals = result.internals
+            self._last_internals = internals
+            COUNTERS.sat_propagations += internals.get("propagations", 0)
+            COUNTERS.sat_restarts += internals.get("restarts", 0)
+            COUNTERS.sat_learned += internals.get("learned", 0)
+            COUNTERS.sat_deleted += internals.get("deleted", 0)
+            COUNTERS.sat_trail_reuse_hits += internals.get(
+                "trail_reuse_hits", 0)
+            COUNTERS.sat_trail_reuse_levels_saved += internals.get(
+                "trail_reuse_levels_saved", 0)
+            COUNTERS.sat_chrono_backtracks += internals.get(
+                "chrono_backtracks", 0)
         if result.verdict == "sat":
             return SAT
         if result.verdict == "unsat":

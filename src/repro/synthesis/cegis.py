@@ -13,10 +13,12 @@ here it is explicit:
 The guess solver is incremental — every counterexample stays, so candidates
 monotonically improve.  The verify side has two modes: the default
 substitutes the candidate and solves a fresh, folded query; the
-``incremental`` mode (see ``repro.synthesis.incremental``) asserts the
-negated formula once and pins candidates with per-bit assumptions, keeping
-one verifier — and its learned clauses — alive across iterations and
-instructions.  Both sides run under a cooperative
+``incremental`` mode (see ``repro.synthesis.incremental``) stages each
+candidate's folded negation, selector-guarded, into one persistent
+per-formula verifier — interned AIG regions, SAT variables and learned
+clauses all survive across iterations and instructions, and polish runs
+per-hole assumption scans on the same core.  Both sides run under a
+cooperative
 ``repro.runtime.Budget`` (wall clock, conflicts, memory) so Table 1's
 timeout rows reproduce faithfully, and every UNKNOWN is typed:
 
@@ -51,7 +53,6 @@ from repro.synthesis.incremental import IncrementalContext, candidate_assumption
 from repro.synthesis.result import SynthesisFailure, SynthesisTimeout
 
 __all__ = ["cegis_solve", "CegisStats"]
-
 
 class CegisStats:
     """Counters for one CEGIS run (exposed in synthesis results).
@@ -111,14 +112,17 @@ def cegis_solve(formula, hole_vars, max_iterations=256, timeout=None,
     study — it produces the full-datapath queries a rewrite-free evaluator
     would send to the solver.
 
-    ``incremental=True`` selects the assumption-based verify mode:
-    ``¬formula`` is asserted *once* (selector-guarded, hole variables
-    free) into the verifier of ``incremental_ctx`` (an
+    ``incremental=True`` selects the persistent-verifier mode: each
+    candidate's folded ``¬formula`` is staged, selector-guarded, into the
+    formula's long-lived verifier inside ``incremental_ctx`` (an
     :class:`repro.synthesis.incremental.IncrementalContext`; a private one
-    is created when omitted) and each candidate is checked under per-bit
-    assumption literals — no per-iteration solver construction, no
-    re-blasting, learned clauses survive across iterations *and* across
-    instructions sharing the context.  The substitution path
+    is created when omitted) and decided under a one-literal selector
+    assumption — no per-iteration solver construction, shared interned
+    AIG (so shared SAT variables) between consecutive candidates, and
+    learned clauses that survive across iterations *and* across
+    instructions sharing the context.  Polish opens per-hole scan
+    verifiers (``assert_scan``) whose trial values ride as assumption
+    bits on a reused trail.  The substitution path
     (``incremental=False``) is retained as the ablation baseline.
 
     ``canonicalize=True`` (the default) polishes the converged candidate:
@@ -190,14 +194,10 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
     if initial_candidate:
         candidate.update(initial_candidate)
     hole_by_name = {var.name: var for var in hole_vars}
-    selector = None
-    shared_verifier = None
     guess_blaster = None
     if incremental:
         if incremental_ctx is None:
             incremental_ctx = IncrementalContext(config=config)
-        selector = incremental_ctx.selector(formula)
-        shared_verifier = incremental_ctx.verifier
         guess_blaster = incremental_ctx.guess_blaster
     guess_solver = Solver(blaster=guess_blaster, **config.solver_kwargs())
 
@@ -208,12 +208,34 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
         """One verify check for ``cand``; returns (verdict, verifier)."""
         started = time.monotonic()
         with _obs.span("cegis.verify", mode=verify_mode):
-            if incremental:
-                verifier = shared_verifier
+            if incremental and partial_eval:
+                # Fold the candidate's constants into the formula — the
+                # same datapath collapse the fresh pipeline gets — but
+                # decide the query on the formula's *persistent* folded
+                # verifier: consecutive candidates' instances share
+                # interned AIG nodes (so SAT variables), and learned
+                # clauses carry over, which makes repeat proofs nearly
+                # free.  The symbolic-hole assumption check was measured
+                # and retired here: its full-cone descent floor costs
+                # more per check than a folded solve *plus* its encode
+                # delta, on every workload shape.
+                substitution = {
+                    hole_by_name[name]: T.bv_const(
+                        value, hole_by_name[name].width)
+                    for name, value in cand.items()
+                }
+                verifier, sel = incremental_ctx.assert_folded(
+                    formula, substitution)
                 conflicts_before = verifier.conflicts
-                assumptions = [selector] + candidate_assumptions(
-                    hole_by_name, cand
-                )
+                verdict = _checked(verifier, budget, retry_policy, stats,
+                                   side="verification", assumptions=[sel])
+            elif incremental:
+                # Rewrite-free ablation shape, incremental spelling: one
+                # persistent verifier holds the unreduced ¬formula and
+                # each candidate rides in as per-bit hole assumptions.
+                verifier = incremental_ctx.verifier_for(formula)
+                conflicts_before = verifier.conflicts
+                assumptions = candidate_assumptions(hole_by_name, cand)
                 verdict = _checked(verifier, budget, retry_policy, stats,
                                    side="verification",
                                    assumptions=assumptions)
@@ -241,6 +263,38 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
         stats.verify_conflicts += verifier.conflicts - conflicts_before
         return verdict, verifier
 
+    scan_probe = None
+    if incremental and partial_eval:
+        def scan_probe(var, fixed):
+            """Open a per-hole polish scan; returns ``probe(value)``.
+
+            One staged fold (every hole but ``var`` pinned) serves the
+            whole scan — each trial value is then a pure assumption
+            check whose prefix (selector + the scanned hole's shared low
+            bits) the core's trail reuse keeps across probes.
+            """
+            solver, sel = incremental_ctx.assert_scan(
+                formula, fixed, hole_by_name, var.name)
+            single = {var.name: var}
+
+            def probe(value):
+                started = time.monotonic()
+                with _obs.span("cegis.verify", mode=verify_mode):
+                    conflicts_before = solver.conflicts
+                    assumptions = [sel]
+                    assumptions += candidate_assumptions(
+                        single, {var.name: value})
+                    try:
+                        return _checked(solver, budget, retry_policy,
+                                        stats, side="verification",
+                                        assumptions=assumptions)
+                    finally:
+                        stats.verify_time += time.monotonic() - started
+                        stats.verify_conflicts += (solver.conflicts
+                                                   - conflicts_before)
+
+            return probe
+
     for _ in range(max_iterations):
         stats.iterations += 1
         _METRICS.inc("cegis.iterations")
@@ -251,7 +305,8 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
                 if canonicalize:
                     with _obs.span("cegis.polish"):
                         candidate = _zero_polish(candidate, hole_vars,
-                                                 verify_candidate, stats)
+                                                 verify_candidate, stats,
+                                                 scan_probe)
                 return dict(candidate)
             model = verifier.model()
             cex_values = {
@@ -315,7 +370,8 @@ def _record_counterexample(values, forall_vars, stats):
                  vars=len(values), vcd=path)
 
 
-def _zero_polish(candidate, hole_vars, verify_candidate, stats):
+def _zero_polish(candidate, hole_vars, verify_candidate, stats,
+                 scan_probe=None):
     """Canonicalize a verified candidate by minimizing each hole's value.
 
     Walks the holes in their given order; for each, scans values upward
@@ -329,19 +385,31 @@ def _zero_polish(candidate, hole_vars, verify_candidate, stats):
     from 5 to 0 one bit at a time.  Polish is best-effort: a budget
     expiry or solver fault mid-polish keeps the already-verified
     candidate instead of failing the instruction.
+
+    ``scan_probe`` (incremental mode) opens one per-hole scan verifier
+    and decides each trial by assumption check; the fallback re-verifies
+    full trial candidates through ``verify_candidate``.  Both decide the
+    identical query, so the polished values cannot depend on the path.
     """
     candidate = dict(candidate)
     for var in hole_vars:
+        if not candidate[var.name]:
+            continue
+        probe = scan_probe(var, candidate) if scan_probe is not None else None
         for value in range(candidate[var.name]):
-            trial = dict(candidate)
-            trial[var.name] = value
             stats.polish_checks += 1
             try:
-                verdict, _ = verify_candidate(trial)
+                if probe is not None:
+                    verdict = probe(value)
+                else:
+                    trial = dict(candidate)
+                    trial[var.name] = value
+                    verdict, _ = verify_candidate(trial)
             except (SynthesisTimeout, SolverUnknown):
                 return candidate
             if verdict is UNSAT:
-                candidate = trial
+                candidate = dict(candidate)
+                candidate[var.name] = value
                 break
     return candidate
 

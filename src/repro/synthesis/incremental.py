@@ -10,26 +10,46 @@ Three layers of waste in the fresh pipeline, and what replaces them:
    and compiles every instruction's pre/postconditions against that single
    trace.
 
-2. **Assumption-based verify.**  Fresh mode builds a brand-new verifier
+2. **Persistent folded verify.**  Fresh mode builds a brand-new verifier
    ``Solver`` per CEGIS iteration, re-blasting the formula and discarding
-   all learned clauses.  :class:`IncrementalContext` asserts each
-   instruction's negated formula *once*, guarded by a fresh selector
-   variable, and checks each candidate under per-call assumptions: the
-   selector plus one literal per hole bit.  Hole-bit assumptions are
-   extract/not terms over already-blasted variables, so a candidate check
-   allocates zero new AIG nodes.
+   all learned clauses.  :class:`IncrementalContext` keeps one verifier
+   per *instruction formula* (``_folded_solver``) and stages each
+   candidate's folded negation into it, guarded by a fresh selector
+   literal (``assert_folded``); the check itself is a one-assumption
+   solve.  Consecutive candidates fold into heavily overlapping AIG
+   (the interner shares every untouched datapath region, so most SAT
+   variables and Tseitin clauses already exist), and learned clauses
+   over the shared regions carry across candidates.  A symbolic-hole
+   variant — assert once with holes free, assume one literal per hole
+   bit — was measured against this and retired: extending the
+   assignment over the full symbolic cone costs more per check than
+   the folded stage-plus-solve on every workload shape.  Per-hole
+   assumption scans survive where they win: ``assert_scan`` stages a
+   fold with a single hole left free for polish/minimize probe loops,
+   whose per-value checks are pure assumption solves with a reused
+   trail prefix.  Retirement of a superseded instance (asserting its
+   selector's negation) is deferred to the *next* staging on that
+   formula, because retiring backtracks the shared core to level 0 and
+   would destroy the SAT model a caller has yet to read.
 
-3. **Encode-once plumbing.**  The context also carries a shared guess-side
-   ``BitBlaster``; cone-of-influence encoding in the solver facade makes
-   the sharing sound (each solver encodes only what it asserts).
+3. **Encode-once plumbing.**  All per-formula verifiers share one
+   verifier-side ``BitBlaster`` (and the context carries a shared
+   guess-side one); cone-of-influence encoding in the solver facade
+   makes the sharing sound *and* scoped — interned AIG regions common
+   to several instructions are built once, yet each verifier's CNF (and
+   therefore each SAT check's assignment) covers only its own
+   instruction's cone.
 
-Soundness of the selector guard: asserting ``sel_j → ¬formula_j`` for
-every instruction and checking under assumption ``sel_j`` is equivalent to
-checking ``¬formula_j`` alone — a model may always set the *other*
-selectors false, so the extra guarded assertions never constrain the
-query.  UNSAT under assumptions therefore means the candidate is correct,
-while the solver (and its learned clauses over the shared datapath) stays
-alive for the next candidate and the next instruction.
+Why one verifier per formula rather than one for all: a CDCL check must
+extend its assignment to *every* variable in the solver, so a union
+verifier pays O(total cones) of propagation per check no matter how
+little changed — the per-check floor grows with instruction count and
+swamps what assumption reuse saves.  Per-formula solvers keep each
+check's universe at one instruction's cone while the shared blaster
+keeps the encode-once economics.  UNSAT under the hole-bit assumptions
+means the candidate is correct, while the solver (and its learned
+clauses over the instruction's datapath) stays alive for the next
+candidate.
 
 Ackermann isolation: compiling an instruction's postconditions performs
 fresh frame-address memory reads which append pairwise consistency side
@@ -221,10 +241,11 @@ class TraceCache:
 class IncrementalContext:
     """Shared encode-once solver state for a run of CEGIS instances.
 
-    Holds the assumption-based verifier (one ``Solver`` for *all*
-    instructions, selector-guarded) and the shared guess-side blaster.
-    A context must be used serially: share one across a sequential
-    per-instruction loop, or give each dispatch thread its own.
+    Holds one assumption-based verifier per instruction formula
+    (``verifier_for``), all encoding against one shared verifier-side
+    ``BitBlaster``, plus the shared guess-side blaster.  A context must
+    be used serially: share one across a sequential per-instruction
+    loop, or give each dispatch thread its own.
 
     ``config`` is a :class:`repro.smt.backends.SolverConfig` selecting
     the decision procedure; candidate checks on a backend without native
@@ -238,20 +259,112 @@ class IncrementalContext:
         config = resolve_solver_config(config, execution=execution,
                                        worker_pool=worker_pool)
         self.config = config
-        self.verifier = Solver(**config.solver_kwargs())
+        #: One AIG for every per-formula verifier: subterms interned
+        #: across instructions blast once, while cone-of-influence
+        #: encoding keeps each verifier's CNF scoped to its own formula.
+        self.verifier_blaster = BitBlaster()
         self.guess_blaster = BitBlaster()
-        self._selectors = {}
+        self._verifiers = {}
+        self._folded = {}
+        #: formula -> (instance key, live selector) for the one guarded
+        #: instance currently staged on that formula's folded verifier.
+        self._active = {}
         self._counter = 0
 
-    def selector(self, formula):
-        """The selector guarding ``¬formula``, asserting it on first use."""
-        selector = self._selectors.get(formula)
-        if selector is None:
-            self._counter += 1
-            selector = T.bv_var(f"cegis!sel!{self._counter}", 1)
-            self.verifier.add(T.implies(selector, T.bv_not(formula)))
-            self._selectors[formula] = selector
-        return selector
+    def verifier_for(self, formula):
+        """The verifier holding ``¬formula``, asserting it on first use.
+
+        Subsequent candidate checks against the returned solver are pure
+        assumption solves: same clause DB, same learned clauses, and a
+        mostly-unchanged assumption prefix for the core's trail reuse.
+        """
+        solver = self._verifiers.get(formula)
+        if solver is None:
+            solver = Solver(blaster=self.verifier_blaster,
+                            **self.config.solver_kwargs())
+            solver.add(T.bv_not(formula))
+            self._verifiers[formula] = solver
+        return solver
+
+    # -- the folded verify tier ------------------------------------------
+
+    def _folded_solver(self, formula):
+        solver = self._folded.get(formula)
+        if solver is None:
+            solver = Solver(blaster=self.verifier_blaster,
+                            **self.config.solver_kwargs())
+            self._folded[formula] = solver
+        return solver
+
+    def _stage(self, formula, key, substitution):
+        """Stage one guarded instance of ``¬formula`` with ``substitution``
+        folded in; retires the formula's previous instance first.
+
+        Retirement is deferred to the *next* staging rather than done by
+        the caller because retiring (a permanent ``¬selector`` assert)
+        backtracks the shared core to level 0, which destroys the model
+        of a SAT verdict the caller has not read yet.
+        """
+        solver = self._folded_solver(formula)
+        active = self._active.get(formula)
+        if active is not None:
+            if active[0] == key:
+                return solver, active[1]
+            # Unit ¬selector satisfies the retired instance's root
+            # clauses at level 0, so the core's between-solves
+            # simplification deletes them; the shared Tseitin
+            # definitions below stay for structure sharing.
+            solver.add(T.bv_not(active[1]))
+        self._counter += 1
+        selector = T.bv_var(f"cegis!fold!{self._counter}", 1)
+        solver.add(T.implies(selector,
+                             T.bv_not(T.substitute(formula, substitution))))
+        self._active[formula] = (key, selector)
+        return solver, selector
+
+    def assert_folded(self, formula, substitution):
+        """Stage a candidate-folded instance of ``¬formula``; returns
+        ``(solver, selector)`` — check under ``assumptions=[selector]``.
+
+        Substituting the candidate's hole constants lets the term
+        rewriter fold the unused datapath away — the same collapse the
+        fresh pipeline gets per check — so verify queries run on a
+        few-thousand-variable cone instead of the full symbolic-hole
+        formula.  Unlike fresh, the solver is *persistent* per formula:
+        consecutive candidates differ in a hole or two, so their folded
+        instances share most interned AIG nodes — and therefore SAT
+        variables — which keeps the encode delta small and lets learned
+        clauses carry over between candidates (a repeat UNSAT proof is
+        often conflict-free).  The staged instance is retired
+        automatically when the next one is staged.
+        """
+        self._counter += 1
+        return self._stage(formula, ("fold", self._counter), substitution)
+
+    def assert_scan(self, formula, fixed_values, hole_by_name, free_name):
+        """Stage ``¬formula`` folded over every hole except ``free_name``;
+        returns ``(solver, selector)``.
+
+        This is the per-hole scan primitive behind polish and
+        minimization: the fixed holes collapse the datapath as in
+        :meth:`assert_folded`, but the scanned hole stays symbolic, so
+        each trial value is a pure assumption check —
+        ``[selector] + candidate_assumptions(...)`` — with zero new
+        encoding.  Consecutive probes share the selector and the scanned
+        hole's low bits, which is exactly the assumption-prefix shape
+        the core's trail reuse keeps.  Re-requesting the same scan (same
+        formula, same fixed values, same free hole) returns the live
+        instance instead of staging a new one.
+        """
+        key = ("scan", free_name,
+               tuple(sorted((name, value)
+                            for name, value in fixed_values.items()
+                            if name != free_name)))
+        substitution = {
+            hole_by_name[name]: T.bv_const(value, hole_by_name[name].width)
+            for name, value in fixed_values.items() if name != free_name
+        }
+        return self._stage(formula, key, substitution)
 
 
 def candidate_assumptions(hole_by_name, candidate):

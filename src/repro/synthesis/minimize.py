@@ -58,17 +58,21 @@ class MinimizationReport:
         return "\n".join(lines)
 
 
-def _verifies(formula, trace, hole_values, timeout, ctx=None):
+def _verifies(formula, trace, hole_values, timeout, probe_hole, ctx=None):
     if ctx is not None:
-        # Encode-once path: ¬formula is asserted (selector-guarded) into
-        # the shared verifier on first use; each merge probe is a pure
-        # assumption check — zero new encoding.
-        assumptions = [ctx.selector(formula)] + candidate_assumptions(
-            trace.hole_values, hole_values
+        # Scan path: fold every hole except the one being merged into
+        # the formula's persistent verifier (staged once per
+        # instruction-and-fixed-values, reused across merge targets),
+        # then decide this probe as a pure assumption check on the
+        # merged hole's bits.
+        solver, sel = ctx.assert_scan(
+            formula, hole_values, trace.hole_values, probe_hole)
+        assumptions = [sel] + candidate_assumptions(
+            {probe_hole: trace.hole_values[probe_hole]},
+            {probe_hole: hole_values[probe_hole]},
         )
-        return ctx.verifier.check(
-            timeout=timeout, assumptions=assumptions
-        ) is UNSAT
+        return solver.check(timeout=timeout,
+                            assumptions=assumptions) is UNSAT
     substitution = {
         trace.hole_values[name]: T.bv_const(
             value, trace.hole_values[name].width
@@ -92,7 +96,7 @@ def minimize_solutions(problem, solutions, timeout_per_check=20.0,
     ``pipeline="incremental"`` (the default) serves every formula from
     the problem's shared trace cache — free when synthesis already ran
     incrementally — and runs all merge probes as assumption checks
-    against one shared verifier; ``"fresh"`` re-derives each formula
+    against per-formula persistent verifiers; ``"fresh"`` re-derives each formula
     under a ``min{index}!`` prefix and builds a solver per probe.
     """
     started = time.monotonic()
@@ -135,7 +139,7 @@ def minimize_solutions(problem, solutions, timeout_per_check=20.0,
                 formula, trace = formulas[name]
                 report.checks += 1
                 if _verifies(formula, trace, candidate,
-                             timeout_per_check, ctx=ctx):
+                             timeout_per_check, hole, ctx=ctx):
                     current[name] = candidate
                     report.merged += 1
         report.distinct_after[hole] = len(

@@ -62,6 +62,20 @@ def test_encode_counter_deltas_reproduced_exactly(traced_run):
     assert totals(events)["encode_delta"] == result.stats["counters"]
 
 
+def test_solver_internals_reconcile_with_counters_exactly(traced_run):
+    # The facade charges each check's internals delta to the process-wide
+    # sat_* counters AND mirrors it on the solver.check event, so the sum
+    # over events must equal the counter delta between the run's bracketing
+    # metrics.snapshot events — field by field, exactly.
+    _, events, _, _ = traced_run
+    report = totals(events)
+    internals = report["solver_internals"]
+    assert internals["propagations"] > 0
+    assert internals["learned"] > 0
+    for key, value in internals.items():
+        assert value == report["encode_delta"].get(f"sat_{key}", 0), key
+
+
 def test_counterexample_vcds_exist_on_disk(traced_run):
     _, events, _, _ = traced_run
     vcds = totals(events)["counterexample_vcds"]
@@ -82,5 +96,8 @@ def test_render_report_lists_vcds_and_flame_tree(traced_run):
     assert "synthesis.run" in text
     assert "cegis.iteration" in text
     assert "top 5 solver queries by wall time:" in text
+    assert "solver internals (summed over solver.check events):" in text
+    assert "== counters" in text
+    assert "!= counters" not in text
     for vcd in totals(events)["counterexample_vcds"]:
         assert vcd in text

@@ -31,11 +31,20 @@ e.g. ``REPRO_DIMACS_SOLVER="python fake_sat_solver.py --garbage"``):
                 (an intermittently dying solver: quarantine entry/exit)
 
 Exit codes follow the competition convention: 10 for SAT, 20 for UNSAT.
+
+With ``--incremental`` the script instead speaks the persistent wire
+protocol of ``repro.runtime.incremental_worker`` on stdin/stdout
+(``alloc``/``a``/``assume``/``solve``/``reseed``/``fault``/``quit`` in,
+``ready``/``hb``/``v``/``r`` out) — an independently written protocol
+peer, so the incremental-subprocess backend's framing is tested against
+something other than the worker it ships with.  No CNF path is taken in
+this mode; ``--crash`` makes the very first solve die mid-protocol.
 """
 
 import argparse
 import os
 import sys
+import threading
 import time
 
 #: This file lives at <repo>/tests/smt/; the package root is <repo>/src.
@@ -55,9 +64,15 @@ def main():
     parser.add_argument("--flip", action="store_true")
     parser.add_argument("--flaky", type=int, default=0, metavar="N")
     parser.add_argument("--state-file", default=None, metavar="PATH")
-    parser.add_argument("cnf", help="path to the DIMACS query")
+    parser.add_argument("--incremental", action="store_true")
+    parser.add_argument("cnf", nargs="?", default=None,
+                        help="path to the DIMACS query (one-shot mode only)")
     args = parser.parse_args()
 
+    if args.incremental:
+        return _incremental_loop(args)
+    if args.cnf is None:
+        parser.error("a CNF path is required outside --incremental mode")
     if args.hang:
         time.sleep(args.hang)
     if args.crash:
@@ -110,6 +125,96 @@ def main():
             ]
         print("v " + " ".join(lits) + " 0")
     return 10
+
+
+def _incremental_loop(args):
+    """Speak the incremental-subprocess wire protocol until ``quit``."""
+    sys.path.insert(0, _SRC)
+    from repro.smt.sat.solver import SatSolver
+
+    lock = threading.Lock()
+
+    def write(text):
+        with lock:
+            sys.stdout.write(text + "\n")
+            sys.stdout.flush()
+
+    # A free-running heartbeat: simpler than the worker's solve-scoped
+    # one, and stale ``hb`` lines between solves are protocol-legal (the
+    # parent skips them).
+    stop = threading.Event()
+
+    def beat():
+        while not stop.is_set():
+            write("hb")
+            time.sleep(0.1)
+
+    solver = SatSolver()
+    assumptions = []
+    crash_armed = args.crash
+
+    def ensure_vars(count):
+        while solver.num_vars < count:
+            solver.new_var()
+
+    write(f"ready {os.getpid()}")
+    threading.Thread(target=beat, daemon=True).start()
+    for line in sys.stdin:
+        tokens = line.split()
+        if not tokens:
+            continue
+        cmd = tokens[0]
+        if cmd == "a":
+            lits = [int(tok) for tok in tokens[1:-1]]
+            if lits:
+                ensure_vars(max(lit >> 1 for lit in lits))
+            solver.add_clause(lits)
+        elif cmd == "assume":
+            assumptions = [int(tok) for tok in tokens[1:-1]]
+            if assumptions:
+                ensure_vars(max(lit >> 1 for lit in assumptions))
+        elif cmd == "alloc":
+            ensure_vars(int(tokens[1]))
+        elif cmd == "solve":
+            if crash_armed:
+                os._exit(1)
+            max_conflicts = None if tokens[1] == "-" else int(tokens[1])
+            timeout = None if tokens[2] == "-" else float(tokens[2])
+            deadline = (None if timeout is None
+                        else time.monotonic() + timeout)
+            before = solver.conflicts
+            internals_before = solver.internals()
+            verdict = solver.solve(
+                assumptions=assumptions,
+                max_conflicts=max_conflicts,
+                deadline=deadline,
+            )
+            assumptions = []
+            spent = solver.conflicts - before
+            deltas = " ".join(
+                f"{key}={value - internals_before[key]}"
+                for key, value in solver.internals().items()
+            )
+            if verdict is None:
+                write(f"r unknown {solver.stop_reason or '-'} "
+                      f"{spent} {deltas}")
+            elif verdict:
+                write("v " + " ".join(
+                    str(var if value else -var)
+                    for var, value in solver.model().items()
+                ) + " 0")
+                write(f"r sat - {spent} {deltas}")
+            else:
+                write(f"r unsat - {spent} {deltas}")
+        elif cmd == "reseed":
+            solver.reseed(int(tokens[1]))
+        elif cmd == "fault":
+            if tokens[1] == "crash":
+                os._exit(1)
+        elif cmd == "quit":
+            break
+    stop.set()
+    return 0
 
 
 def _bump_call_count(state_file):

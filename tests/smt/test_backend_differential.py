@@ -29,12 +29,19 @@ from repro.synthesis import synthesize, verify_design
 FAKE_SOLVER = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "fake_sat_solver.py")
 
-BACKENDS = ("inprocess", "isolated", "subprocess-dimacs", "portfolio")
+BACKENDS = ("inprocess", "isolated", "subprocess-dimacs",
+            "incremental-subprocess", "portfolio")
 
 
 def _make_config(backend_name, pool):
     if backend_name == "isolated":
         return SolverConfig(backend="isolated", worker_pool=pool)
+    if backend_name == "incremental-subprocess":
+        # By *name*, not instance: every Solver must get its own child
+        # (the backend is stateful — it IS the solver's encoding core).
+        # The default command is the repo's own worker, so this row is
+        # hermetic too.
+        return SolverConfig(backend="incremental-subprocess")
     if backend_name == "subprocess-dimacs":
         return SolverConfig(backend=SubprocessDimacsBackend(
             command=[sys.executable, FAKE_SOLVER]))

@@ -68,7 +68,8 @@ def _sat_query(solver):
 
 def test_builtin_backends_are_registered():
     names = available_backends()
-    for name in ("inprocess", "isolated", "subprocess-dimacs", "portfolio"):
+    for name in ("inprocess", "isolated", "subprocess-dimacs",
+                 "incremental-subprocess", "portfolio"):
         assert name in names
 
 
@@ -88,6 +89,11 @@ def test_capability_table_matches_the_docs():
         "supports_assumptions": False,
         "supports_incremental": False,
         "produces_models": True,
+    }
+    assert table["incremental-subprocess"] == {
+        "supports_assumptions": True,
+        "supports_incremental": True,
+        "produces_models": False,
     }
     assert table["portfolio"] == {
         "supports_assumptions": False,
@@ -288,6 +294,148 @@ def test_subprocess_checks_count_as_worker_checks():
     solver.check()
     assert solver.stats["worker_checks"] == 1
     assert solver.stats["worker_fallbacks"] == 0
+
+
+# ---------------------------------------------------------------------------
+# incremental-subprocess: the persistent out-of-process core
+# ---------------------------------------------------------------------------
+
+
+def _incremental_solver(**kwargs):
+    from repro.smt.backends import IncrementalSubprocessBackend
+
+    return Solver(backend=IncrementalSubprocessBackend(**kwargs))
+
+
+def test_incremental_subprocess_happy_path_and_assumptions():
+    solver = _incremental_solver()
+    try:
+        x = _sat_query(solver)
+        assert solver.check() is SAT
+        assert solver.model().value(x) == 9
+        # Native assumptions: the base formula survives a failed probe.
+        assert solver.check(
+            assumptions=[T.bv_eq(x, T.bv_const(3, 8))]) is UNSAT
+        assert solver.check() is SAT
+        solver.add(T.bv_eq(x, T.bv_const(3, 8)))
+        assert solver.check() is UNSAT
+    finally:
+        solver.backend.close()
+
+
+def test_incremental_subprocess_crash_is_contained_and_replayed():
+    solver = _incremental_solver()
+    backend = solver.backend
+    try:
+        x = _sat_query(solver)
+        assert solver.check() is SAT
+        backend.inject_fault("crash")
+        # Depending on who wins the race, the next check either observes
+        # the crash mid-solve (retryable unknown) or finds the corpse up
+        # front and replays immediately (SAT) — both are containment.
+        verdict = solver.check()
+        if verdict is not SAT:
+            assert verdict.name == "unknown"
+            assert verdict.reason == "worker-crashed"
+            assert is_canonical(verdict.reason)
+        # The respawned child replays the clause mirror: same verdict,
+        # same model, accumulated state intact.
+        assert solver.check() is SAT
+        assert solver.model().value(x) == 9
+        assert backend.respawns >= 1
+    finally:
+        backend.close()
+
+
+def test_incremental_subprocess_hang_trips_the_watchdog():
+    solver = _incremental_solver(heartbeat_interval=0.1, watchdog_grace=3.0)
+    backend = solver.backend
+    try:
+        _sat_query(solver)
+        backend.inject_fault("hang")
+        verdict = solver.check()
+        assert verdict.name == "unknown"
+        assert verdict.reason == "heartbeat-lost"
+        assert is_canonical(verdict.reason)
+        assert solver.check() is SAT
+    finally:
+        backend.close()
+
+
+def test_incremental_subprocess_oom_reports_memory():
+    solver = _incremental_solver(mem_limit_mb=256)
+    backend = solver.backend
+    try:
+        _sat_query(solver)
+        backend.inject_fault("oom")
+        verdict = solver.check()
+        if verdict is not SAT:  # see the crash test for the race
+            assert verdict.name == "unknown"
+            # Three legitimate deaths: the allocator trips the rlimit
+            # (worker-oom), the kernel kills the child outright
+            # (worker-crashed), or the allocation stalls the heartbeat
+            # thread long enough for the watchdog to fire first
+            # (heartbeat-lost).  All are retryable; the next check must
+            # respawn and replay either way.
+            assert verdict.reason in (
+                "worker-oom", "worker-crashed", "heartbeat-lost")
+            assert is_canonical(verdict.reason)
+        assert solver.check() is SAT
+        assert backend.respawns >= 1
+    finally:
+        backend.close()
+
+
+def test_incremental_subprocess_rejects_one_shot_cnf():
+    from repro.smt.backends import IncrementalSubprocessBackend
+    from repro.smt.dimacs import from_dimacs
+
+    backend = IncrementalSubprocessBackend()
+    with pytest.raises(ValueError, match="pass cnf=None"):
+        backend.check(from_dimacs("p cnf 1 1\n1 0\n"))
+
+
+def test_incremental_worker_env_var_pins_the_command(monkeypatch):
+    from repro.smt.backends import IncrementalSubprocessBackend, WORKER_ENV
+
+    monkeypatch.setenv(
+        WORKER_ENV, f"{sys.executable} {FAKE_SOLVER} --incremental")
+    solver = Solver(backend=IncrementalSubprocessBackend())
+    try:
+        assert FAKE_SOLVER in solver.backend.describe()
+        x = _sat_query(solver)
+        assert solver.check() is SAT
+        assert solver.model().value(x) == 9
+        assert solver.check(
+            assumptions=[T.bv_eq(x, T.bv_const(9, 8))]) is SAT
+        assert solver.check(
+            assumptions=[T.bv_eq(x, T.bv_const(3, 8))]) is UNSAT
+    finally:
+        solver.backend.close()
+
+
+def test_fake_incremental_peer_crash_containment():
+    """The independently written protocol peer dying mid-solve must look
+    exactly like the real worker dying: retryable unknown, then replay."""
+    from repro.smt.backends import IncrementalSubprocessBackend
+
+    solver = Solver(backend=IncrementalSubprocessBackend(
+        command=[sys.executable, FAKE_SOLVER, "--incremental", "--crash"]))
+    backend = solver.backend
+    try:
+        x = _sat_query(solver)
+        verdict = solver.check()
+        assert verdict.name == "unknown"
+        assert verdict.reason == "worker-crashed"
+        # --crash only arms the first solve of a child; the respawned
+        # peer answers honestly from the replayed mirror... except every
+        # fresh child re-arms.  Pin the honest command for the retry.
+        backend._command = [sys.executable, FAKE_SOLVER, "--incremental"]
+        assert solver.check() is SAT
+        assert solver.model().value(x) == 9
+        assert backend.respawns >= 1
+    finally:
+        backend.close()
 
 
 # ---------------------------------------------------------------------------

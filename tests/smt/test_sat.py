@@ -169,6 +169,116 @@ def test_random_3sat_matches_brute_force(data):
             )
 
 
+def test_reduce_db_never_drops_reason_clauses():
+    # Regression for the locked-set bug: reason[] stores -1 for decisions
+    # and level-0 facts; a reduction pass that treats -1 as a clause index
+    # (or skips locking entirely) deletes a clause some trail literal
+    # still depends on, and the next _analyze walks a None.
+    solver = SatSolver()
+    for _ in range(8):
+        solver.new_var()
+    indices = []
+    for v in range(1, 7):
+        clause = [_lit(v, True), _lit(v + 1, False)]
+        ci = len(solver.clauses)
+        solver.clauses.append(clause)
+        solver.learned.add(ci)
+        solver.lbd[ci] = 10          # local tier: first to be dropped
+        solver.activity_cl[ci] = float(v)
+        indices.append(ci)
+    # Make the *lowest-activity* candidate the reason for a literal on a
+    # decision level — exactly the clause an unlocked reduction would
+    # drop first.
+    locked_ci = indices[0]
+    solver.trail_lim.append(len(solver.trail))
+    assert solver._enqueue(_lit(1, True), locked_ci)
+    solver._reduce_limit = 1
+    solver._reduce_db()
+    assert solver.clauses[locked_ci] is not None
+    assert locked_ci in solver.learned
+    # The pass still reduced: unlocked clauses were actually dropped.
+    assert solver.deleted_total > 0
+    dropped = [ci for ci in indices if solver.clauses[ci] is None]
+    assert locked_ci not in dropped and dropped
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_constant_reduction_pressure_stays_sound(data):
+    # Force a DB reduction at every opportunity (limit 1) so the locked
+    # set is exercised mid-search, then check the verdict is still right.
+    num_vars = data.draw(st.integers(min_value=4, max_value=8))
+    clauses = []
+    for _ in range(4 * num_vars):
+        clause = [
+            _lit(
+                data.draw(st.integers(min_value=1, max_value=num_vars)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(3)
+        ]
+        clauses.append(clause)
+    solver, ok = _make_solver(num_vars, clauses)
+    expected = _brute_force(num_vars, clauses)
+    if not ok:
+        assert expected is False
+        return
+    solver._reduce_limit = 1
+    assert solver.solve() is expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_trail_reusing_solver_matches_fresh_per_call(data):
+    # The incremental contract: one persistent solver answering a sequence
+    # of assumption solves (keeping learned clauses and reused trail
+    # prefixes across calls) must agree, call by call, with a fresh solver
+    # built from scratch for the same query — and its SAT models must
+    # satisfy both the clauses and the assumptions.
+    num_vars = data.draw(st.integers(min_value=2, max_value=8))
+    num_clauses = data.draw(st.integers(min_value=1, max_value=24))
+    clauses = []
+    for _ in range(num_clauses):
+        size = data.draw(st.integers(min_value=1, max_value=3))
+        clauses.append([
+            _lit(
+                data.draw(st.integers(min_value=1, max_value=num_vars)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(size)
+        ])
+    persistent, ok = _make_solver(num_vars, clauses)
+    num_solves = data.draw(st.integers(min_value=1, max_value=6))
+    for _ in range(num_solves):
+        assumptions = [
+            _lit(
+                data.draw(st.integers(min_value=1, max_value=num_vars)),
+                data.draw(st.booleans()),
+            )
+            for _ in range(data.draw(st.integers(min_value=0,
+                                                 max_value=num_vars)))
+        ]
+        fresh, fresh_ok = _make_solver(num_vars, clauses)
+        assert fresh_ok is ok
+        if not ok:
+            return
+        expected = fresh.solve(assumptions=assumptions)
+        got = persistent.solve(assumptions=assumptions)
+        assert got is expected
+        if got:
+            model = persistent.model()
+            for clause in clauses:
+                assert any(
+                    model.get(lit >> 1, 0) == (1 - (lit & 1))
+                    for lit in clause
+                )
+            for lit in assumptions:
+                assert model[lit >> 1] == (1 - (lit & 1))
+    # Reuse stats only ever move forward; they never invent levels.
+    assert persistent.trail_reuse_levels >= 0
+    assert persistent.trail_reuse_hits <= num_solves
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.data())
 def test_solve_is_repeatable(data):
