@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""``top`` for the synthesis daemon: live telemetry in the terminal.
+
+Polls a running daemon's ``telemetry`` and ``health`` ops and renders
+one frame per interval: health checks, queue/job counters, and the
+latency histograms (count, p50/p90/p99, max) the service charges from
+``Solver.check`` wall time, CEGIS iterations, admission-queue waits and
+per-op request handling.
+
+Usage::
+
+    python scripts/obs_top.py --socket /run/repro/service.sock
+    python scripts/obs_top.py --tcp 127.0.0.1:7733
+    python scripts/obs_top.py --tcp 127.0.0.1:7733 --once
+    python scripts/obs_top.py --tcp 127.0.0.1:7733 --prometheus
+
+``--once`` prints a single frame and exits (what the CI smoke lane
+scrapes); ``--prometheus`` dumps the daemon's Prometheus exposition
+text verbatim instead of the rendered frame.  Interactive mode clears
+the screen between frames; stop with Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.service.client import ServiceClient, ServiceError  # noqa: E402
+
+#: Counters surfaced in the frame's middle band, in display order.
+_COUNTERS = (
+    "service.jobs.done",
+    "service.jobs.failed",
+    "service.jobs.poisoned",
+    "service.jobs.drained",
+    "service.runner.crashes",
+    "service.runner.requeues",
+    "service.request.internal_errors",
+    "worker.crash_storms",
+    "portfolio.races",
+    "portfolio.disagreements",
+    "incremental.ctx_mismatches",
+)
+
+
+def _fmt_seconds(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:8.3f}s"
+    return f"{value * 1000.0:7.2f}ms"
+
+
+def histogram_lines(metrics):
+    """Table lines for every ``hist.<name>`` summary in the snapshot."""
+    rows = []
+    for key in sorted(metrics):
+        if not key.startswith("hist."):
+            continue
+        summary = metrics[key]
+        if not isinstance(summary, dict):
+            continue
+        rows.append((
+            key[len("hist."):],
+            summary.get("count", 0),
+            summary.get("p50"),
+            summary.get("p90"),
+            summary.get("p99"),
+            summary.get("max"),
+        ))
+    if not rows:
+        return ["  (no histograms yet)"]
+    lines = [
+        "  {:<28} {:>8}  {:>9}  {:>9}  {:>9}  {:>9}".format(
+            "histogram", "count", "p50", "p90", "p99", "max")
+    ]
+    for name, count, p50, p90, p99, top in rows:
+        lines.append(
+            "  {:<28} {:>8}  {:>9}  {:>9}  {:>9}  {:>9}".format(
+                name, count, _fmt_seconds(p50), _fmt_seconds(p90),
+                _fmt_seconds(p99), _fmt_seconds(top))
+        )
+    return lines
+
+
+def health_lines(health):
+    """One line per typed check, worst first."""
+    lines = [
+        f"  status: {health['status']}"
+        + ("  (draining)" if health.get("draining") else "")
+    ]
+    checks = health.get("checks", {})
+    for name in sorted(checks, key=lambda n: checks[n].get("ok", True)):
+        check = checks[name]
+        flag = "ok " if check.get("ok") else "DEGRADED"
+        detail = ", ".join(
+            f"{key}={value}" for key, value in sorted(check.items())
+            if key != "ok"
+        )
+        lines.append(f"  [{flag:<8}] {name:<12} {detail}")
+    return lines
+
+
+def render_frame(telemetry, health, stats=None):
+    metrics = telemetry.get("metrics", {})
+    flight = telemetry.get("flight", {})
+    lines = ["health:"]
+    lines.extend(health_lines(health))
+    lines.append("")
+    lines.append("counters:")
+    shown = False
+    for name in _COUNTERS:
+        value = metrics.get(name)
+        if value:
+            lines.append(f"  {name:<36} {value:>10}")
+            shown = True
+    if not shown:
+        lines.append("  (all zero)")
+    if stats:
+        jobs = stats.get("jobs", {})
+        if jobs:
+            states = ", ".join(
+                f"{state}={count}" for state, count in sorted(jobs.items()))
+            lines.append(f"  jobs by state: {states}")
+    lines.append("")
+    lines.append("latency histograms:")
+    lines.extend(histogram_lines(metrics))
+    lines.append("")
+    lines.append(
+        f"flight recorder: {flight.get('entries', 0)}"
+        f"/{flight.get('capacity', 0)} entries, "
+        f"{flight.get('dumps', 0)} dump(s)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--socket", metavar="PATH",
+                        help="daemon Unix socket path")
+    target.add_argument("--tcp", metavar="HOST:PORT",
+                        help="daemon TCP endpoint")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between frames (default 2)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one frame and exit")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="dump the Prometheus exposition text and exit")
+    args = parser.parse_args(argv)
+
+    host = port = None
+    if args.tcp:
+        host, _, port_text = args.tcp.rpartition(":")
+        port = int(port_text)
+
+    def connect():
+        return ServiceClient.connect_retry(
+            socket_path=args.socket, host=host or None, port=port,
+            deadline=5.0)
+
+    with connect() as client:
+        if args.prometheus:
+            sys.stdout.write(client.telemetry()["prometheus"])
+            return 0
+        interactive = not args.once and sys.stdout.isatty()
+        while True:
+            telemetry = client.telemetry()
+            health = client.health()
+            try:
+                stats = client.stats()
+            except ServiceError:
+                stats = None
+            frame = render_frame(telemetry, health, stats)
+            if interactive:
+                sys.stdout.write("\x1b[2J\x1b[H")
+            stamp = time.strftime("%H:%M:%S")
+            print(f"repro service telemetry  @ {stamp}")
+            print(frame, flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except KeyboardInterrupt:
+        sys.exit(0)

@@ -7,6 +7,7 @@ Usage::
     python scripts/trace_report.py TRACE.jsonl --top 20
     python scripts/trace_report.py TRACE.jsonl --validate-only
     python scripts/trace_report.py TRACE.jsonl --assert-attributed
+    python scripts/trace_report.py TRACE.jsonl --job JOB-ID
 
 Produces a flamegraph-style per-instruction/per-phase text summary, the
 top-K most expensive solver queries with full provenance (result,
@@ -21,6 +22,13 @@ runs that died mid-span validate fine; the report marks them truncated.
 ``--assert-attributed`` additionally fails (exit 1) if any ``solver.check``
 event has no owning span — the CI portfolio lane gates on this so racing,
 hedging and cancellation can never produce an unattributed query.
+
+``--job JOB-ID`` slices the trace to one job's propagated trace context
+(resolved through the daemon's ``service.job`` span, or a raw trace id)
+and reports on the slice alone — the single-trace-id view of one
+submission across daemon, runner threads and worker subprocesses.
+Combined with ``--assert-attributed``, the attribution gate applies to
+the job's slice.
 """
 
 from __future__ import annotations
@@ -34,7 +42,13 @@ sys.path.insert(
         os.path.abspath(__file__))), "src")
 )
 
-from repro.obs.report import render_report, totals  # noqa: E402
+from repro.obs.report import (  # noqa: E402
+    job_trace_id,
+    render_job_report,
+    render_report,
+    slice_by_trace,
+    totals,
+)
 from repro.obs.schema import SchemaError, load_events  # noqa: E402
 
 
@@ -47,6 +61,9 @@ def main(argv=None):
                         help="schema-check the trace and exit")
     parser.add_argument("--assert-attributed", action="store_true",
                         help="fail if any solver query lacks an owning span")
+    parser.add_argument("--job", metavar="JOB-ID",
+                        help="slice to one job's trace context (a job id "
+                             "from the daemon, or a raw trace id)")
     args = parser.parse_args(argv)
 
     try:
@@ -62,7 +79,16 @@ def main(argv=None):
                "(truncated run)" if summary["unclosed"] else "")
         )
         return 0
-    print(render_report(args.trace, top=args.top))
+    if args.job:
+        trace_id = job_trace_id(events, args.job)
+        if trace_id is None:
+            print(f"UNKNOWN JOB: no service.job span or trace id matches "
+                  f"{args.job!r}", file=sys.stderr)
+            return 1
+        events = slice_by_trace(events, trace_id)
+        print(render_job_report(args.trace, args.job, top=args.top))
+    else:
+        print(render_report(args.trace, top=args.top))
     if args.assert_attributed:
         orphans = totals(events)["orphan_queries"]
         if orphans:

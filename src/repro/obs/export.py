@@ -1,0 +1,82 @@
+"""Prometheus text exposition for the metrics registry.
+
+Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` into the
+Prometheus text format (version 0.0.4): flat counters become
+``counter`` samples, ``hist.``-prefixed histogram summaries become the
+conventional ``_bucket``/``_sum``/``_count`` triple with *cumulative*
+``le`` labels ending at ``+Inf``.  Names are sanitized (dots and every
+other non-``[a-zA-Z0-9_:]`` character become underscores) and prefixed
+``repro_`` so the service's series land in one namespace.
+
+No client library, no HTTP server — the daemon's ``telemetry`` op
+returns this text verbatim and anything that can speak the JSON-lines
+protocol (``scripts/obs_top.py``, a sidecar exporter) can forward it to
+a real scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["prometheus_name", "render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name, prefix="repro_"):
+    """Sanitize a dotted metric name into a Prometheus metric name."""
+    sanitized = _NAME_RE.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _fmt(value):
+    """Prometheus sample value: integers stay integral, floats round-trip."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot, prefix="repro_"):
+    """Render a metrics snapshot to Prometheus exposition text.
+
+    ``snapshot`` is exactly what :func:`repro.obs.metrics.snapshot`
+    returns: flat int counters plus ``hist.<name>`` summary dicts.
+    Returns one string, newline-terminated, stable-sorted by name so
+    diffs between scrapes are meaningful.
+    """
+    counters = []
+    histograms = []
+    for name, value in sorted(snapshot.items()):
+        if isinstance(value, dict):
+            histograms.append((name, value))
+        else:
+            counters.append((name, value))
+    lines = []
+    for name, value in counters:
+        metric = prometheus_name(name, prefix=prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, summary in histograms:
+        base = name[len("hist."):] if name.startswith("hist.") else name
+        metric = prometheus_name(base, prefix=prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        bounds = summary.get("bounds", [])
+        buckets = summary.get("buckets", [])
+        cumulative = 0
+        for bound, count in zip(bounds, buckets):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} '
+                         f"{cumulative}")
+        # The overflow bucket (and the +Inf sample Prometheus requires).
+        if len(buckets) > len(bounds):
+            cumulative += buckets[len(bounds)]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(summary.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {summary.get('count', 0)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,234 @@
+"""The crash flight recorder: a bounded ring of recent obs events.
+
+Always-on JSONL tracing is too expensive for a production daemon, but a
+post-mortem with *zero* recent events is useless.  The flight recorder
+is the middle ground: a bounded in-memory ring that captures the most
+recent spans and events whether or not a :class:`~repro.obs.trace.Tracer`
+is installed, and is dumped to disk — atomically, as a schema-valid
+``obs/v1`` JSONL file — only when something goes wrong:
+
+* a poison-job verdict (the supervisor gave up on a crash-looping job);
+* a :class:`~repro.runtime.faults.SoundnessViolation` (portfolio members
+  disagreed on a verdict);
+* a worker crash storm (several subprocess worker deaths in a short
+  window);
+* an unhandled exception escaping the daemon's request handler.
+
+The ring is lock-free in the practical sense: entries are appended to a
+``collections.deque(maxlen=...)`` — a single atomic operation under
+CPython — so recording never takes a lock and never blocks the traced
+hot path.  Dumping snapshots the deque (also atomic) and serializes
+outside any lock; a dump races recording harmlessly (entries recorded
+mid-dump simply land in the next dump).
+
+Dump format: one ``run_begin`` record carrying the dump reason, then one
+``event`` record per ring entry, named ``flight.<original kind>``, with
+fresh 1-based ``seq``, the original monotonic ``ts``/``tid``/``trace``
+preserved, and every original field flattened into ``attrs``.  Parents
+are deliberately ``null`` — ring entries are a sliding window, so parent
+spans may have been evicted; an all-parentless dump is always
+structurally valid, and ``validate_trace`` accepts it unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import METRICS as _METRICS
+
+__all__ = [
+    "FlightRecorder",
+    "install_flight",
+    "clear_flight",
+    "active_flight",
+    "flight_record",
+    "flight_dump",
+]
+
+#: Ring entries above this many attrs get truncated — the recorder must
+#: never become the memory hog it exists to debug.
+_MAX_ATTRS = 32
+
+
+class FlightRecorder:
+    """Bounded ring of recent obs entries with atomic crash dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size (entries).  512 covers several jobs' worth of solver
+        checks at event granularity while staying ~100 KiB.
+    dump_dir:
+        Fallback directory for dumps when no tracer is installed; a
+        tracer's artifact dir wins when present.  Created lazily.
+    """
+
+    def __init__(self, capacity=512, dump_dir=None):
+        self.capacity = int(capacity)
+        self.dump_dir = dump_dir
+        self._ring = deque(maxlen=self.capacity)
+        self._dump_lock = threading.Lock()
+        self._dump_counter = 0
+        self.dumps = []          # paths written, newest last
+        self.last_dump_at = None
+
+    # -- recording (hot path, no locks) ----------------------------------
+
+    def record(self, kind, name, attrs, dur=None, trace=None):
+        """Record one entry; called from the tracing-off span/event path."""
+        entry = {
+            "k": kind,
+            "name": name,
+            "ts": time.monotonic(),
+            "tid": threading.get_ident(),
+        }
+        if trace is not None:
+            entry["trace"] = trace
+        if dur is not None:
+            entry["dur"] = dur
+        if attrs:
+            entry["attrs"] = attrs
+        self._ring.append(entry)
+
+    def tee(self, record):
+        """Mirror a full tracer record; called from ``Tracer._emit``."""
+        self._ring.append(record)
+
+    def __len__(self):
+        return len(self._ring)
+
+    # -- dumping ---------------------------------------------------------
+
+    def _entry_to_event(self, entry, seq, run_id):
+        """Normalize one ring entry to a schema-valid ``event`` record."""
+        kind = entry.get("k") or entry.get("ev") or "event"
+        name = entry.get("name")
+        if name is None:
+            # span_begin/span_end tees carry their name; run_begin does
+            # not — fall back to the kind itself.
+            name = kind
+        attrs = dict(entry.get("attrs") or {})
+        for field, value in entry.items():
+            if field in ("k", "ev", "name", "ts", "tid", "trace", "attrs",
+                         "run", "seq", "parent"):
+                continue
+            attrs[field] = value
+        if len(attrs) > _MAX_ATTRS:
+            attrs = dict(list(attrs.items())[:_MAX_ATTRS])
+            attrs["truncated"] = True
+        record = {
+            "ev": "event",
+            "ts": entry.get("ts", 0.0),
+            "run": run_id,
+            "tid": entry.get("tid", 0),
+            "name": f"flight.{kind}",
+            "parent": None,
+            "attrs": attrs,
+            "seq": seq,
+        }
+        if entry.get("trace") is not None:
+            record["trace"] = entry["trace"]
+        return record
+
+    def dump(self, reason, dump_dir=None):
+        """Write the ring to an ``obs/v1`` JSONL dump; returns the path.
+
+        The dump lands in the active tracer's artifact directory when a
+        tracer is installed (so trace + flight dump archive as one unit),
+        else in ``dump_dir`` / the recorder's configured directory, else
+        the current directory.  Written to a temp file and ``os.replace``d
+        into place, so a reader never sees a torn dump.  Never raises —
+        the recorder is called from crash paths where a second failure
+        must not mask the first; returns ``None`` on failure.
+        """
+        try:
+            with self._dump_lock:
+                self._dump_counter += 1
+                ordinal = self._dump_counter
+            entries = list(self._ring)   # atomic snapshot
+            stem = f"flight-{ordinal:03d}-{reason.replace('/', '-')}.jsonl"
+            tracer = _trace.active_tracer()
+            if tracer is not None:
+                path = tracer.artifact_path(stem)
+            else:
+                directory = dump_dir or self.dump_dir or "."
+                os.makedirs(directory, exist_ok=True)
+                path = os.path.join(directory, stem)
+            run_id = f"flight-{os.getpid()}-{ordinal}"
+            records = [{
+                "ev": "run_begin",
+                "ts": time.monotonic(),
+                "run": run_id,
+                "tid": threading.get_ident(),
+                "attrs": {
+                    "pid": os.getpid(),
+                    "epoch": time.time(),
+                    "reason": reason,
+                    "entries": len(entries),
+                    "capacity": self.capacity,
+                },
+                "seq": 1,
+            }]
+            for offset, entry in enumerate(entries):
+                records.append(
+                    self._entry_to_event(entry, seq=offset + 2,
+                                         run_id=run_id))
+            tmp = path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, default=str,
+                                            separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            self.dumps.append(path)
+            self.last_dump_at = time.time()
+            _METRICS.inc("flight.dumps")
+            _trace.event("flight.dump", reason=reason, path=path,
+                         entries=len(entries))
+            return path
+        except Exception:  # noqa: BLE001 - crash-path: never mask the cause
+            _METRICS.inc("flight.dump_errors")
+            return None
+
+
+def install_flight(capacity=512, dump_dir=None):
+    """Create and install a process-wide recorder; returns it.
+
+    Installing over an existing recorder replaces it (the old ring is
+    dropped) — daemons install exactly one at startup.
+    """
+    recorder = FlightRecorder(capacity=capacity, dump_dir=dump_dir)
+    _trace.set_flight(recorder)
+    return recorder
+
+
+def clear_flight():
+    """Remove the installed recorder (test hygiene)."""
+    _trace.set_flight(None)
+
+
+def active_flight():
+    """The installed recorder, or ``None``."""
+    return _trace.active_flight()
+
+
+def flight_record(kind, name, **attrs):
+    """Record directly into the installed recorder; no-op when absent."""
+    recorder = _trace.active_flight()
+    if recorder is not None:
+        recorder.record(kind, name, attrs,
+                        trace=_trace.current_trace_id())
+
+
+def flight_dump(reason, dump_dir=None):
+    """Dump the installed recorder; returns the path or ``None``."""
+    recorder = _trace.active_flight()
+    if recorder is None:
+        return None
+    return recorder.dump(reason, dump_dir=dump_dir)

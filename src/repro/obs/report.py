@@ -30,7 +30,11 @@ __all__ = [
     "solver_queries",
     "top_queries_lines",
     "totals",
+    "trace_ids",
+    "job_trace_id",
+    "slice_by_trace",
     "render_report",
+    "render_job_report",
 ]
 
 
@@ -250,6 +254,91 @@ def totals(events):
         "solver_internals": internals,
         "wall_seconds": wall,
     }
+
+
+def trace_ids(events):
+    """Distinct trace-context ids in the trace -> stamped record count."""
+    counts = {}
+    for ev in events:
+        tid = ev.get("trace")
+        if tid:
+            counts[tid] = counts.get(tid, 0) + 1
+    return counts
+
+
+def job_trace_id(events, job_id):
+    """The trace id stamped on job ``job_id``'s records, or ``None``.
+
+    Resolves through the daemon's ``service.job`` span (its ``job_id``
+    attribute names the job; the record's ``trace`` field carries the
+    id minted at submit).  A ``job_id`` that is itself one of the
+    trace ids in the file is accepted as-is, so submitters who kept
+    the ack's ``trace_id`` can slice without knowing the job id.
+    """
+    for ev in events:
+        if (ev["ev"] == "span_begin" and ev["name"] == "service.job"
+                and ev.get("attrs", {}).get("job_id") == job_id
+                and ev.get("trace")):
+            return ev["trace"]
+    if job_id in trace_ids(events):
+        return job_id
+    return None
+
+
+def slice_by_trace(events, trace_id):
+    """Every record stamped with ``trace_id``, in trace order.
+
+    Spans that straddle a context boundary (began inside it, ended
+    after it was popped, or vice versa) keep both halves, so
+    :func:`span_index` still sees complete durations for the slice.
+    """
+    sliced = [ev for ev in events if ev.get("trace") == trace_id]
+    begin_ids = {ev["id"] for ev in sliced if ev["ev"] == "span_begin"}
+    end_ids = {ev["id"] for ev in sliced if ev["ev"] == "span_end"}
+    straddlers = [
+        ev for ev in events
+        if ev.get("trace") != trace_id and (
+            (ev["ev"] == "span_end" and ev["id"] in begin_ids)
+            or (ev["ev"] == "span_begin" and ev["id"] in end_ids)
+        )
+    ]
+    if straddlers:
+        sliced = sorted(sliced + straddlers,
+                        key=lambda ev: (ev["ts"], ev.get("seq", 0)))
+    return sliced
+
+
+def render_job_report(path, job_id, top=10):
+    """The per-job report: the trace sliced to one job's context.
+
+    Raises ``KeyError`` when neither a ``service.job`` span nor a raw
+    trace id matches ``job_id``.
+    """
+    events, summary = load_events(path)
+    tid = job_trace_id(events, job_id)
+    if tid is None:
+        raise KeyError(
+            f"no service.job span or trace id matching {job_id!r} "
+            f"in {path} ({len(trace_ids(events))} trace context(s) present)"
+        )
+    sliced = slice_by_trace(events, tid)
+    agg = totals(sliced)
+    lines = [
+        f"job {job_id} (trace {tid}) in {path}",
+        f"  {len(sliced)} of {len(events)} records carry this trace, "
+        f"run {summary['run']}",
+        f"  wall span {agg['wall_seconds']:.3f}s, "
+        f"{agg['solver_queries']} solver queries "
+        f"({agg['orphan_queries']} unattributed), "
+        f"{agg['iterations']} CEGIS iterations",
+        "",
+        "flame (inclusive seconds, x invocations):",
+    ]
+    lines.extend(flame_lines(sliced) or ["  (no spans in slice)"])
+    lines.append("")
+    lines.append(f"top {top} solver queries by wall time:")
+    lines.extend(top_queries_lines(sliced, top=top))
+    return "\n".join(lines)
 
 
 def render_report(path, top=10):

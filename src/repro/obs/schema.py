@@ -12,6 +12,12 @@ envelope (every event):
 ``seq``   int      1-based, strictly increasing in file order
 ========  =======  ====================================================
 
+An optional ``trace`` field (str) may appear on any event: the
+cross-process trace-context id minted at job submission and stamped on
+every event emitted while that job's context is open (including events
+re-emitted from subprocess workers and flight-recorder dump records).
+Events outside any context simply omit it.
+
 Per-kind payloads:
 
 * ``run_begin`` — ``attrs`` (dict: pid, epoch, session);
@@ -92,6 +98,10 @@ def validate_event(obj):
         if parent is not None and (not isinstance(parent, int)
                                    or isinstance(parent, bool)):
             raise SchemaError(f"'parent' must be an int or null: {obj}")
+    if "trace" in obj and not isinstance(obj["trace"], str):
+        # Optional cross-process correlation id (service jobs); absent on
+        # events emitted outside any trace context.
+        raise SchemaError(f"'trace' must be a string when present: {obj}")
     return obj
 
 

@@ -38,12 +38,23 @@ __all__ = [
     "span",
     "event",
     "current_span_id",
+    "new_trace_id",
+    "current_trace_id",
+    "trace_context",
+    "set_flight",
+    "active_flight",
 ]
 
 _ACTIVE = None
 
 #: Sentinel distinguishing "no explicit parent" from "parentless" (None).
 _UNSET = object()
+
+#: The installed flight recorder (``repro.obs.flight.FlightRecorder``) or
+#: ``None``.  Lives here — not in ``flight`` — so the span/event fast
+#: paths can consult it with one module-global read and ``flight`` can
+#: import this module without a cycle.
+_FLIGHT = None
 
 
 def active_tracer():
@@ -59,6 +70,70 @@ def install(tracer):
 def clear():
     global _ACTIVE
     _ACTIVE = None
+
+
+def set_flight(recorder):
+    """Install (or with ``None`` remove) the process flight recorder."""
+    global _FLIGHT
+    _FLIGHT = recorder
+
+
+def active_flight():
+    """The installed flight recorder, or ``None``."""
+    return _FLIGHT
+
+
+# -- cross-process trace context -----------------------------------------
+#
+# A ``traceparent``-style correlation id, minted once per service job at
+# ``ServiceClient.submit`` and carried through the protocol, the job
+# store, the runner and the worker wire protocols.  The context is a
+# thread-local stack (nested jobs compose; the common case is depth 1);
+# while a context is open, every record the :class:`Tracer` emits — and
+# every flight-recorder entry — is stamped with a top-level ``trace``
+# field, so one job's events can be sliced out of a multi-job, multi-
+# process trace by id alone.
+
+_CTX = threading.local()
+
+
+def new_trace_id():
+    """Mint a fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def current_trace_id():
+    """The innermost open trace id on this thread, or ``None``."""
+    stack = getattr(_CTX, "stack", None)
+    return stack[-1] if stack else None
+
+
+class trace_context:
+    """``with trace_context(tid):`` — stamp emitted events with ``tid``.
+
+    A ``None``/empty id is a no-op, so call sites can pass a job's
+    (possibly absent) trace id unconditionally.
+    """
+
+    __slots__ = ("_trace_id", "_pushed")
+
+    def __init__(self, trace_id):
+        self._trace_id = trace_id or None
+        self._pushed = False
+
+    def __enter__(self):
+        if self._trace_id is not None:
+            stack = getattr(_CTX, "stack", None)
+            if stack is None:
+                stack = _CTX.stack = []
+            stack.append(self._trace_id)
+            self._pushed = True
+        return self._trace_id
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._pushed:
+            _CTX.stack.pop()
+        return False
 
 
 class _NullSpan:
@@ -77,16 +152,54 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _FlightSpan:
+    """Tracing-off span that still leaves one flight-recorder entry.
+
+    Records a single ``span`` entry (with duration) on exit — half the
+    ring pressure of begin/end pairs, and the recorder's consumers only
+    ever read dumps, where the merged form is what you want anyway.
+    """
+
+    __slots__ = ("_flight", "_name", "_attrs", "_started")
+    id = None
+
+    def __init__(self, flight, name, attrs):
+        self._flight = flight
+        self._name = name
+        self._attrs = attrs
+        self._started = 0.0
+
+    def __enter__(self):
+        self._started = time.monotonic()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        attrs = self._attrs
+        if exc_type is not None:
+            attrs = dict(attrs, error=exc_type.__name__)
+        self._flight.record(
+            "span", self._name, attrs,
+            dur=time.monotonic() - self._started,
+            trace=current_trace_id(),
+        )
+        return False
+
+
 def span(name, span_parent=_UNSET, **attrs):
     """A span context manager, or the shared no-op when tracing is off.
 
     The no-op path is deliberately minimal — one global read and one
     attribute return — so instrumentation can stay in hot loops
-    unconditionally.
+    unconditionally.  With a flight recorder installed (and no tracer)
+    the span still leaves a ring entry, timed but never written to disk
+    unless a dump triggers.
     """
     tracer = _ACTIVE
     if tracer is None:
-        return _NULL_SPAN
+        flight = _FLIGHT
+        if flight is None:
+            return _NULL_SPAN
+        return _FlightSpan(flight, name, attrs)
     return tracer.span(name, span_parent=span_parent, **attrs)
 
 
@@ -95,6 +208,10 @@ def event(name, span_parent=_UNSET, **attrs):
     tracer = _ACTIVE
     if tracer is not None:
         tracer.event(name, span_parent=span_parent, **attrs)
+    else:
+        flight = _FLIGHT
+        if flight is not None:
+            flight.record("event", name, attrs, trace=current_trace_id())
 
 
 def current_span_id():
@@ -210,7 +327,13 @@ class Tracer:
             "run": self.run_id,
             "tid": threading.get_ident(),
         }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            record["trace"] = trace_id
         record.update(fields)
+        flight = _FLIGHT
+        if flight is not None:
+            flight.tee(record)
         line = json.dumps(record, default=str, separators=(",", ":"))
         with self._lock:
             if self._closed:

@@ -25,6 +25,8 @@ translation happens on either side.
     solve <max_conflicts|-> <timeout_s|->
                                  solve under the staged assumptions
     reseed <seed>                perturb decision order (retries)
+    ctx <token|->                set (or with ``-`` clear) the trace
+                                 context echoed on every result line
     fault crash|hang|oom         fault injection (containment tests)
     quit                         exit cleanly
 
@@ -35,7 +37,9 @@ translation happens on either side.
     v <+var|-var> ... 0          assignment lines (before a sat result)
     r sat|unsat|unknown <reason|-> <conflicts> [key=value ...]
                                  one result per solve; key=value pairs
-                                 are the per-solve internals deltas
+                                 are the per-solve internals deltas,
+                                 plus ``ctx=<token>`` when a trace
+                                 context is set
 
 Sandboxing matches the stateless worker: the same ``RLIMIT_DATA`` /
 ``RLIMIT_CPU`` caps (:func:`repro.runtime.worker_main._apply_rlimits`)
@@ -68,6 +72,7 @@ def _run_loop(write, heartbeat, mem_limit_mb):
 
     solver = SatSolver()
     assumptions = []
+    trace_ctx = None
 
     def ensure_vars(count):
         while solver.num_vars < count:
@@ -109,18 +114,23 @@ def _run_loop(write, heartbeat, mem_limit_mb):
                 f"{key}={value - internals_before[key]}"
                 for key, value in internals.items()
             )
+            # Echo the cross-process trace context on every result: the
+            # parent attributes this solve to the submitting job's trace.
+            suffix = f" ctx={trace_ctx}" if trace_ctx else ""
             if verdict is None:
                 reason = solver.stop_reason or "-"
-                write(f"r unknown {reason} {spent} {deltas}")
+                write(f"r unknown {reason} {spent} {deltas}{suffix}")
             elif verdict:
                 model = solver.model()
                 write("v " + " ".join(
                     str(var if value else -var)
                     for var, value in model.items()
                 ) + " 0")
-                write(f"r sat - {spent} {deltas}")
+                write(f"r sat - {spent} {deltas}{suffix}")
             else:
-                write(f"r unsat - {spent} {deltas}")
+                write(f"r unsat - {spent} {deltas}{suffix}")
+        elif cmd == "ctx":
+            trace_ctx = None if tokens[1] == "-" else tokens[1]
         elif cmd == "reseed":
             solver.reseed(int(tokens[1]))
         elif cmd == "fault":

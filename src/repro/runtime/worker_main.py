@@ -172,16 +172,21 @@ def _serve(request, write, heartbeat, mem_limit_mb):
             # Worker-side provenance rides the same line protocol; the
             # parent pool forwards it onto the installed tracer.  Plain
             # dicts only — this process deliberately imports no obs code.
+            obs = {
+                "verdict": verdict,
+                "reason": reason or "",
+                "conflicts": conflicts,
+                "clauses": len(cnf.clauses),
+                "vars": cnf.num_vars,
+                "wall": time.monotonic() - started,
+            }
+            if request.get("trace_ctx"):
+                # Echo the cross-process trace context: the parent's
+                # re-emitted event then proves the id crossed the wire.
+                obs["trace_ctx"] = request["trace_ctx"]
             write({
                 "id": request_id,
-                "obs": {
-                    "verdict": verdict,
-                    "reason": reason or "",
-                    "conflicts": conflicts,
-                    "clauses": len(cnf.clauses),
-                    "vars": cnf.num_vars,
-                    "wall": time.monotonic() - started,
-                },
+                "obs": obs,
             })
         write({
             "id": request_id,

@@ -43,6 +43,7 @@ import time
 from dataclasses import dataclass
 from queue import Empty, Queue
 
+from repro.obs import flight as _flight
 from repro.obs import trace as _obs
 from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime import faults as _faults
@@ -137,6 +138,12 @@ class SolverWorkerPool:
         self._idle = Queue()
         self._inflight = set()
         self._failures = {}       # query key -> consecutive worker faults
+        #: crash-storm detection: this many worker deaths inside the
+        #: window dumps the flight recorder (at most once per window).
+        self.storm_threshold = 3
+        self.storm_window = 10.0
+        self._crash_times = []
+        self._last_storm_dump = None
         self._closed = False
         self.spawned_pids = []
         self.stats = {
@@ -395,7 +402,14 @@ class SolverWorkerPool:
                 "fault": directive,
                 # Workers import no obs code; this flag asks the child to
                 # ship its own provenance back over the wire protocol.
-                "trace": _obs.active_tracer() is not None,
+                # The flight recorder wants the same provenance even with
+                # JSONL tracing off.
+                "trace": (_obs.active_tracer() is not None
+                          or _obs.active_flight() is not None),
+                # Cross-process trace context: the child echoes this back
+                # with its provenance so the stitched per-job trace
+                # provably crossed the process boundary.
+                "trace_ctx": _obs.current_trace_id(),
             })
         except (WorkerCrashed, WorkerKilled):
             # The handle must never return to the idle queue, even if the
@@ -447,6 +461,7 @@ class SolverWorkerPool:
                     self.stats["crashes"] += 1
                 _METRICS.inc("worker.crashes")
                 _METRICS.inc("worker.crashes.oom")
+                self._note_crash_storm()
                 raise WorkerCrashed(
                     "worker memory rlimit breached mid-check",
                     reason="worker-oom", exit_code=EXIT_OOM,
@@ -458,6 +473,31 @@ class SolverWorkerPool:
                 conflicts=int(message.get("conflicts") or 0),
             )
 
+    def _note_crash_storm(self):
+        """Dump the flight recorder when worker deaths cluster.
+
+        A single crash is routine (the taxonomy absorbs it); several
+        inside :attr:`storm_window` seconds mean something systemic — a
+        query killing every worker it touches, an environment change —
+        and the ring holds the evidence.  At most one dump per window.
+        """
+        now = time.monotonic()
+        storm = False
+        with self._lock:
+            self._crash_times.append(now)
+            self._crash_times = [
+                t for t in self._crash_times
+                if now - t <= self.storm_window
+            ]
+            if len(self._crash_times) >= self.storm_threshold and (
+                    self._last_storm_dump is None
+                    or now - self._last_storm_dump >= self.storm_window):
+                self._last_storm_dump = now
+                storm = True
+        if storm:
+            _METRICS.inc("worker.crash_storms")
+            _flight.flight_dump("worker-crash-storm")
+
     def _classify_death(self, handle):
         """Map a dead worker's exit status into the fault taxonomy."""
         try:
@@ -468,6 +508,7 @@ class SolverWorkerPool:
         with self._lock:
             self.stats["crashes"] += 1
         _METRICS.inc("worker.crashes")
+        self._note_crash_storm()
         _obs.event("worker.death", pid=handle.pid, exit_code=code,
                    kill_reason=handle.kill_reason or "")
         if handle.kill_reason == "heartbeat-lost":

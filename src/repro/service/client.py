@@ -12,6 +12,7 @@ from __future__ import annotations
 import socket
 import time
 
+from repro.obs.trace import new_trace_id
 from repro.service.protocol import decode_line, encode_line
 
 __all__ = ["ServiceClient", "ServiceError"]
@@ -25,6 +26,16 @@ class ServiceError(RuntimeError):
         self.type = error.get("type", "service.internal")
         self.reason = error.get("reason", "internal")
         self.retryable = bool(error.get("retryable", False))
+
+    @classmethod
+    def timeout(cls, exc):
+        """A client-side socket timeout as a typed, retryable error."""
+        return cls({
+            "type": "service.client",
+            "reason": "timeout",
+            "message": f"request timed out: {exc or 'socket timeout'}",
+            "retryable": True,
+        })
 
 
 class ServiceClient:
@@ -56,9 +67,18 @@ class ServiceClient:
     # -- plumbing --------------------------------------------------------
 
     def request(self, **message):
-        """Send one request dict; return the ``ok`` payload or raise."""
-        self._sock.sendall(encode_line(message))
-        line = self._reader.readline()
+        """Send one request dict; return the ``ok`` payload or raise.
+
+        A socket timeout surfaces as a *typed*
+        ``ServiceError(reason="timeout", retryable=True)`` — callers get
+        the same error shape for client-side deadlines as for daemon
+        rejections instead of a raw ``socket.timeout`` leaking through.
+        """
+        try:
+            self._sock.sendall(encode_line(message))
+            line = self._reader.readline()
+        except socket.timeout as exc:
+            raise ServiceError.timeout(exc) from exc
         if not line:
             raise ConnectionError("service closed the connection")
         response = decode_line(line)
@@ -72,9 +92,18 @@ class ServiceClient:
         return self.request(op="ping")
 
     def submit(self, design, mode="per_instruction", tenant="default",
-               timeout=None):
+               timeout=None, trace_id=None):
+        """Submit a job, minting its cross-process trace context.
+
+        The trace id rides the request as ``trace``; the daemon stamps
+        every event the job produces — across runner threads and worker
+        subprocesses — with it, and echoes it in the ack
+        (``trace_id``), so the submitter can later slice the daemon's
+        trace with ``scripts/trace_report.py --job``.
+        """
         return self.request(op="submit", design=design, mode=mode,
-                            tenant=tenant, timeout=timeout)
+                            tenant=tenant, timeout=timeout,
+                            trace=trace_id or new_trace_id())
 
     def status(self, job_id):
         return self.request(op="status", job_id=job_id)["job"]
@@ -85,6 +114,14 @@ class ServiceClient:
 
     def stats(self):
         return self.request(op="stats")
+
+    def telemetry(self):
+        """Metrics snapshot + Prometheus exposition + flight status."""
+        return self.request(op="telemetry")
+
+    def health(self):
+        """Typed health checks (``status``/``checks``/``draining``)."""
+        return self.request(op="health")
 
     def shutdown(self):
         return self.request(op="shutdown")

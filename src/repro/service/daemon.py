@@ -41,7 +41,9 @@ import socket
 import threading
 import time
 
+from repro.obs import flight as _flight
 from repro.obs import trace as _obs
+from repro.obs.export import render_prometheus
 from repro.obs.metrics import METRICS as _METRICS
 from repro.service.admission import AdmissionController
 from repro.service.jobs import INTERRUPTED_STATES, Job
@@ -91,6 +93,13 @@ class SynthesisService:
         self._submit_lock = threading.Lock()
         self._serve_stop = threading.Event()
         self._started = False
+        # The flight recorder is the always-on half of observability: it
+        # captures recent spans/events even with JSONL tracing off, and
+        # is dumped on poison verdicts, crash storms and unhandled
+        # daemon errors.  Installing replaces any prior recorder — one
+        # daemon, one ring.
+        self.flight = _flight.install_flight(
+            dump_dir=os.path.join(self.store.state_dir, "flight"))
 
     # -- lifecycle -------------------------------------------------------
 
@@ -141,39 +150,51 @@ class SynthesisService:
         return sum(counts.get(state, 0) for state in INTERRUPTED_STATES)
 
     def submit(self, design, mode="per_instruction", tenant="default",
-               timeout=None):
+               timeout=None, trace_id=None):
         """Admit one job; returns an ack dict the caller may rely on.
 
         The ack is sent only after the job's record is durable in the
         journal — a :class:`JournalFault` propagates instead, and by the
         WAL contract the job was then never accepted.
+
+        ``trace_id`` is the client-minted cross-process trace context;
+        one is minted here when the caller did not send one, so every
+        accepted job carries a correlation id.  It is persisted on the
+        job record — a restarted daemon resumes the job under the *same*
+        trace id, which is what makes a kill-resume job one trace.
         """
-        problem = build_problem(design)  # typed rejection if unknown
-        key = idempotency_key(problem, mode=mode, config=self.config)
-        with self._submit_lock:
-            cached = self.store.cached_result(key)
-            if cached is not None:
-                _METRICS.inc("service.cache.hits")
-                _obs.event("service.admission", decision="cache-hit",
-                           job_id=cached.job_id, tenant=tenant)
-                return {"job_id": cached.job_id, "state": "done",
-                        "cached": True, "result": cached.result}
-            live = self.store.find_by_key(key)
-            if live is not None:
-                _METRICS.inc("service.cache.joined")
-                return {"job_id": live.job_id, "state": live.state,
-                        "cached": False, "deduplicated": True}
-            job = Job(job_id=self._new_job_id(), design=design, mode=mode,
-                      tenant=tenant, timeout=timeout, idempotency_key=key,
-                      submitted_at=time.time())
-            self.admission.admit(
-                job, queue_depth=self._queue_depth(),
-                tenant_active=self.store.active_for_tenant(tenant),
-                draining=self.drain_event.is_set(),
-            )
-            self.store.submit(job)  # durability point: ack past here
-        self.supervisor.submit(job.job_id)
-        return {"job_id": job.job_id, "state": "accepted", "cached": False}
+        trace_id = trace_id or _obs.new_trace_id()
+        with _obs.trace_context(trace_id):
+            problem = build_problem(design)  # typed rejection if unknown
+            key = idempotency_key(problem, mode=mode, config=self.config)
+            with self._submit_lock:
+                cached = self.store.cached_result(key)
+                if cached is not None:
+                    _METRICS.inc("service.cache.hits")
+                    _obs.event("service.admission", decision="cache-hit",
+                               job_id=cached.job_id, tenant=tenant)
+                    return {"job_id": cached.job_id, "state": "done",
+                            "cached": True, "result": cached.result,
+                            "trace_id": cached.trace_id or trace_id}
+                live = self.store.find_by_key(key)
+                if live is not None:
+                    _METRICS.inc("service.cache.joined")
+                    return {"job_id": live.job_id, "state": live.state,
+                            "cached": False, "deduplicated": True,
+                            "trace_id": live.trace_id or trace_id}
+                job = Job(job_id=self._new_job_id(), design=design,
+                          mode=mode, tenant=tenant, timeout=timeout,
+                          idempotency_key=key, submitted_at=time.time(),
+                          trace_id=trace_id)
+                self.admission.admit(
+                    job, queue_depth=self._queue_depth(),
+                    tenant_active=self.store.active_for_tenant(tenant),
+                    draining=self.drain_event.is_set(),
+                )
+                self.store.submit(job)  # durability point: ack past here
+            self.supervisor.submit(job.job_id)
+            return {"job_id": job.job_id, "state": "accepted",
+                    "cached": False, "trace_id": trace_id}
 
     def status(self, job_id):
         job = self.store.get(job_id)
@@ -208,37 +229,128 @@ class SynthesisService:
             "recovery": self.recovery_report,
         }
 
+    def telemetry(self):
+        """The live metrics surface: snapshot + Prometheus exposition."""
+        snap = _METRICS.snapshot()
+        return {
+            "metrics": snap,
+            "prometheus": render_prometheus(snap),
+            "flight": {
+                "entries": len(self.flight),
+                "capacity": self.flight.capacity,
+                "dumps": len(self.flight.dumps),
+            },
+        }
+
+    def health(self):
+        """Typed health checks; ``status`` is ``ok`` or ``degraded``.
+
+        Each check is independently ``ok``-flagged so an operator (or
+        the chaos harness) can gate on exactly the property it cares
+        about — e.g. ``recovery.requeued`` after a kill -9 restart.
+        """
+        checks = {}
+        checks["journal"] = self.store.journal_health()
+        depth = self._queue_depth()
+        cap = self.admission.max_queue_depth
+        checks["queue"] = {"ok": depth <= cap, "depth": depth, "cap": cap}
+        alive = self.supervisor.alive_threads()
+        total = len(self.supervisor._threads)
+        draining = self.drain_event.is_set()
+        checks["supervisor"] = {
+            "ok": draining or alive == total,
+            "alive": alive,
+            "threads": total,
+        }
+        last_crash = self.supervisor.last_crash_at
+        age = None if last_crash is None else round(
+            time.time() - last_crash, 3)
+        checks["last_crash"] = {
+            # A runner crash in the last minute means the daemon is
+            # likely still crash-looping something: degraded, not down.
+            "ok": age is None or age >= 60.0,
+            "age_seconds": age,
+            "crashes": _METRICS.get("service.runner.crashes"),
+        }
+        report = self.recovery_report or {}
+        checks["recovery"] = {
+            "ok": self._started,
+            "requeued": report.get("requeued", 0),
+            "replayed": report.get("replayed", 0),
+            "torn_tail": report.get("torn_tail", False),
+        }
+        checks["flight"] = {
+            "ok": True,
+            "entries": len(self.flight),
+            "dumps": len(self.flight.dumps),
+        }
+        status = "ok" if all(c["ok"] for c in checks.values()) \
+            else "degraded"
+        return {"status": status, "checks": checks, "draining": draining}
+
     # -- protocol --------------------------------------------------------
 
     def handle_request(self, request):
-        """One request dict in, one response dict out (never raises)."""
+        """One request dict in, one response dict out (never raises).
+
+        Every request runs under a ``service.request`` span (inside the
+        client's trace context when the request carried one) and charges
+        its wall time to the ``service.request`` and
+        ``service.request.<op>`` latency histograms.  An error the
+        taxonomy calls ``service.internal`` — a daemon bug, not a typed
+        rejection — additionally dumps the flight recorder.
+        """
+        op = request.get("op")
+        op_name = op if isinstance(op, str) else "invalid"
+        trace_id = request.get("trace")
+        if not isinstance(trace_id, str):
+            trace_id = None
+        started = time.monotonic()
         try:
-            op = request.get("op")
-            if op == "ping":
-                return ok_response(pong=True, started=self._started)
-            if op == "submit":
-                return ok_response(**self.submit(
-                    request["design"],
-                    mode=request.get("mode", "per_instruction"),
-                    tenant=request.get("tenant", "default"),
-                    timeout=request.get("timeout"),
-                ))
-            if op == "status":
-                return ok_response(job=self.status(request["job_id"]))
-            if op == "wait":
-                return ok_response(job=self.wait(
-                    request["job_id"],
-                    timeout=float(request.get("timeout", 120.0)),
-                ))
-            if op == "stats":
-                return ok_response(**self.stats())
-            if op == "shutdown":
-                # Ack first; the drain happens after the response flushes.
-                threading.Thread(target=self.shutdown, daemon=True).start()
-                return ok_response(draining=True)
-            raise ValueError(f"unknown op {op!r}")
-        except Exception as exc:  # noqa: BLE001 - protocol boundary
-            return error_response(exc)
+            with _obs.trace_context(trace_id), \
+                    _obs.span("service.request", op=op_name):
+                try:
+                    return self._dispatch(op, request)
+                except Exception as exc:  # noqa: BLE001 - protocol boundary
+                    response = error_response(exc)
+                    if response["error"]["type"] == "service.internal":
+                        _METRICS.inc("service.request.internal_errors")
+                        _flight.flight_dump(f"daemon-error-{op_name}")
+                    return response
+        finally:
+            wall = time.monotonic() - started
+            _METRICS.observe("service.request", wall)
+            _METRICS.observe(f"service.request.{op_name}", wall)
+
+    def _dispatch(self, op, request):
+        if op == "ping":
+            return ok_response(pong=True, started=self._started)
+        if op == "submit":
+            return ok_response(**self.submit(
+                request["design"],
+                mode=request.get("mode", "per_instruction"),
+                tenant=request.get("tenant", "default"),
+                timeout=request.get("timeout"),
+                trace_id=request.get("trace"),
+            ))
+        if op == "status":
+            return ok_response(job=self.status(request["job_id"]))
+        if op == "wait":
+            return ok_response(job=self.wait(
+                request["job_id"],
+                timeout=float(request.get("timeout", 120.0)),
+            ))
+        if op == "stats":
+            return ok_response(**self.stats())
+        if op == "telemetry":
+            return ok_response(**self.telemetry())
+        if op == "health":
+            return ok_response(**self.health())
+        if op == "shutdown":
+            # Ack first; the drain happens after the response flushes.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+            return ok_response(draining=True)
+        raise ValueError(f"unknown op {op!r}")
 
     # -- serving ---------------------------------------------------------
 

@@ -100,6 +100,7 @@ class Job:
     error: str = ""              # human-readable failure detail
     result: object = None        # dict payload once done
     submitted_at: float = 0.0    # service clock, informational only
+    trace_id: str = ""           # cross-process trace context, "" if none
 
     def validate_transition(self, state):
         """Raise :class:`IllegalTransition` if the edge is forbidden."""
@@ -137,6 +138,7 @@ class Job:
             "error": self.error,
             "result": self.result,
             "submitted_at": self.submitted_at,
+            "trace_id": self.trace_id,
         }
 
     @classmethod
@@ -156,6 +158,7 @@ class Job:
             error=data.get("error", ""),
             result=data.get("result"),
             submitted_at=float(data.get("submitted_at", 0.0)),
+            trace_id=data.get("trace_id", ""),
         )
 
     def public_view(self):
@@ -173,4 +176,6 @@ class Job:
             view["reason"] = self.reason
         if self.error:
             view["error"] = self.error
+        if self.trace_id:
+            view["trace_id"] = self.trace_id
         return view

@@ -20,6 +20,8 @@ including across daemon restarts.
 from __future__ import annotations
 
 import hashlib
+import os
+import threading
 
 from repro.oyster import print_design
 from repro.service.admission import AdmissionRejected
@@ -38,11 +40,36 @@ def _alu_machine():
     return factory()
 
 
+def _chaos_poison():
+    """A deliberate poison pill for the chaos lane.
+
+    Builds fine on the daemon's accept path (submission must succeed:
+    the idempotency key needs a real problem), then raises in every
+    runner thread — so the job crash-loops to its poison verdict and
+    the flight recorder's post-mortem dump can be asserted end to end.
+    The sketch is renamed so the content-addressed idempotency key
+    cannot collide with an honest accumulator submission (a cache hit
+    would serve the poison job a real result).  Registered only under
+    ``REPRO_SERVICE_CHAOS=1``; production daemons never know the name.
+    """
+    import dataclasses
+
+    if threading.current_thread().name.startswith("service-runner"):
+        raise RuntimeError("chaos poison pill: injected runner crash")
+    problem = _accumulator()
+    return dataclasses.replace(
+        problem, sketch=dataclasses.replace(
+            problem.sketch, name="chaos_poison_datapath"))
+
+
 #: design name -> zero-argument SynthesisProblem factory
 PROBLEMS = {
     "accumulator": _accumulator,
     "alu_machine": _alu_machine,
 }
+
+if os.environ.get("REPRO_SERVICE_CHAOS") == "1":
+    PROBLEMS["chaos_poison"] = _chaos_poison
 
 
 def register_problem(name, factory):

@@ -25,6 +25,7 @@ import threading
 import time
 import traceback
 
+from repro.obs import flight as _flight
 from repro.obs import trace as _obs
 from repro.obs.metrics import METRICS as _METRICS
 from repro.oyster import print_design
@@ -79,8 +80,16 @@ class JobRunner:
         job transitions here.
         """
         job = self.store.get(job_id)
-        with _obs.span("service.job", job_id=job_id, design=job.design,
-                       tenant=job.tenant, mode=job.mode):
+        if job.submitted_at:
+            # Admission-queue wait: submission ack to runner pickup.  A
+            # crash-requeued job charges again from its original
+            # submission — the operator-facing truth is "how long did
+            # accepted work sit unserved", retries included.
+            _METRICS.observe("service.queue_wait",
+                             max(0.0, time.time() - job.submitted_at))
+        with _obs.trace_context(job.trace_id), \
+                _obs.span("service.job", job_id=job_id, design=job.design,
+                          tenant=job.tenant, mode=job.mode):
             self.store.transition(job_id, "running")
             problem = build_problem(job.design)
             resume = self._load_resume(job)
@@ -159,6 +168,8 @@ class Supervisor:
             for i in range(max(1, threads))
         ]
         self._started = False
+        #: wall-clock time of the most recent runner crash (health op).
+        self.last_crash_at = None
 
     def start(self):
         if not self._started:
@@ -171,6 +182,10 @@ class Supervisor:
 
     def pending(self):
         return self._queue.unfinished_tasks
+
+    def alive_threads(self):
+        """How many worker threads are still running (health op)."""
+        return sum(1 for thread in self._threads if thread.is_alive())
 
     def _worker(self):
         while not self._stop.is_set():
@@ -214,10 +229,16 @@ class Supervisor:
         job = self.store.get(job_id)
         if job is None:
             return
+        with _obs.trace_context(job.trace_id):
+            self._contain_crash(job, exc)
+
+    def _contain_crash(self, job, exc):
+        job_id = job.job_id
         crashes = job.crashes + 1
         detail = "".join(
             traceback.format_exception_only(type(exc), exc)
         ).strip()
+        self.last_crash_at = time.time()
         _METRICS.inc("service.runner.crashes")
         _obs.event("service.job", job_id=job_id, crash=detail,
                    crashes=crashes)
@@ -232,6 +253,9 @@ class Supervisor:
                           f"time(s), last: {detail}",
                 )
                 _METRICS.inc("service.jobs.poisoned")
+                # Poison is a post-mortem moment by definition: the ring
+                # holds the crash-looping job's last attempts.
+                _flight.flight_dump(f"poison-{job_id}")
             except Exception as store_exc:  # noqa: BLE001
                 # The poison verdict could not be made durable; park the
                 # job (still interrupted, re-admitted on next start)

@@ -277,6 +277,28 @@ class JobStore:
                 states[job.state] = states.get(job.state, 0) + 1
             return states
 
+    def journal_health(self):
+        """Typed health probe for the active journal.
+
+        Checks existence and writability of the live generation without
+        appending (a probe must not grow the WAL).  ``ok`` is ``False``
+        before :meth:`open` / after :meth:`close` — a serving daemon
+        whose journal is closed is exactly the failure this surfaces.
+        """
+        with self._lock:
+            if self._journal is None:
+                return {"ok": False, "open": False, "writable": False}
+            path = self.journal_path
+            generation = self._gen
+        exists = os.path.exists(path)
+        writable = exists and os.access(path, os.W_OK)
+        return {
+            "ok": writable,
+            "open": True,
+            "writable": writable,
+            "generation": generation,
+        }
+
     # -- compaction ------------------------------------------------------
 
     def _maybe_compact(self):

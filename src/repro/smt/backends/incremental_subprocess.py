@@ -44,6 +44,8 @@ import threading
 import time
 from queue import Empty, Queue
 
+from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime._worker_proto import EXIT_OOM
 from repro.smt.backends.base import BackendResult, CheckLimits, SolverBackend
 
@@ -97,6 +99,8 @@ class IncrementalSubprocessBackend(SolverBackend):
         self._proc = None
         self._lines = None        # Queue fed by the reader thread
         self.respawns = 0         # fresh spawns after a fault (tests/obs)
+        self._sent_ctx = None     # trace context last shipped to the child
+        self.last_wire_ctx = None  # trace context echoed on the last result
 
     def describe(self):
         return f"{self.name} ({' '.join(self._command)})"
@@ -185,7 +189,9 @@ class IncrementalSubprocessBackend(SolverBackend):
             self._shutdown()
             self.respawns += 1
         self._spawn()
-        # Replay the mirrored state into the fresh child.
+        # Replay the mirrored state into the fresh child.  The fresh
+        # child holds no trace context yet, whatever we sent before.
+        self._sent_ctx = None
         self._send(f"alloc {self._num_vars}")
         for clause in self._clauses:
             self._send("a " + " ".join(map(str, clause)) + " 0")
@@ -246,6 +252,14 @@ class IncrementalSubprocessBackend(SolverBackend):
             int(limits.max_conflicts))
         timeout = limits.timeout()
         timeout_tok = "-" if timeout is None else f"{timeout:.3f}"
+        # Cross-process trace propagation: ship the current context when
+        # it changed since the last solve; the child echoes it on every
+        # result line, proving the persistent child's work is attributed
+        # to the submitting job even across respawns.
+        ctx = _obs.current_trace_id()
+        if ctx != self._sent_ctx:
+            self._send(f"ctx {ctx or '-'}")
+            self._sent_ctx = ctx
         self._send(f"alloc {self._num_vars}")
         self._send("assume " + " ".join(map(str, assumptions)) + " 0")
         if not self._send(f"solve {max_conflicts} {timeout_tok}"):
@@ -305,11 +319,23 @@ class IncrementalSubprocessBackend(SolverBackend):
             reason = tokens[2]
             conflicts = int(tokens[3])
             internals = {}
+            wire_ctx = None
             for pair in tokens[4:]:
                 key, _, value = pair.partition("=")
+                if key == "ctx":
+                    # The echoed trace context: a string, not an
+                    # internals counter.
+                    wire_ctx = value
+                    continue
                 internals[key] = int(value)
         except (IndexError, ValueError):
             return self._fault("backend-error")
+        self.last_wire_ctx = wire_ctx
+        if wire_ctx is not None and wire_ctx != _obs.current_trace_id():
+            # The child answered under a stale context (e.g. a result
+            # raced a context switch) — count it; attribution reports
+            # treat the echo as advisory.
+            _METRICS.inc("incremental.ctx_mismatches")
         self._conflicts += conflicts
         if verdict == "sat":
             self._assignment = assignment

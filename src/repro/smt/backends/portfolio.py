@@ -59,6 +59,7 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
+from repro.obs import flight as _flight
 from repro.obs import trace as _obs
 from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime.errors import RuntimeFault, SoundnessViolation
@@ -267,23 +268,29 @@ class PortfolioBackend(SolverBackend):
             self.ledger.record_launch(member.label, probe=probe)
             member_limits = self._member_limits(member, limits, event)
             parent_id = race_span.id
+            # Span parent AND trace context are both thread-local: pin
+            # them here so member-thread events stay attached to the
+            # race and attributed to the submitting job's trace.
+            trace_ctx = _obs.current_trace_id()
 
             def run():
                 started = time.monotonic()
-                try:
-                    result = member.backend.check(cnf, limits=member_limits)
-                except Exception as exc:  # fault taxonomy + surprises
-                    result = BackendResult(
-                        "unknown", reason=_fault_reason(exc))
-                result = self._vet(parsed, result)
-                latency = time.monotonic() - started
-                _obs.event(
-                    "portfolio.member", span_parent=parent_id,
-                    member=member.label, verdict=result.verdict,
-                    reason=result.reason, latency=round(latency, 6),
-                    probe=probe,
-                )
-                deliver(member, result, latency)
+                with _obs.trace_context(trace_ctx):
+                    try:
+                        result = member.backend.check(
+                            cnf, limits=member_limits)
+                    except Exception as exc:  # fault taxonomy + surprises
+                        result = BackendResult(
+                            "unknown", reason=_fault_reason(exc))
+                    result = self._vet(parsed, result)
+                    latency = time.monotonic() - started
+                    _obs.event(
+                        "portfolio.member", span_parent=parent_id,
+                        member=member.label, verdict=result.verdict,
+                        reason=result.reason, latency=round(latency, 6),
+                        probe=probe,
+                    )
+                    deliver(member, result, latency)
 
             thread = threading.Thread(
                 target=run, name=f"portfolio-{member.label}", daemon=True)
@@ -592,6 +599,11 @@ class PortfolioBackend(SolverBackend):
             },
             health=self.ledger.snapshot(),
         )
+        # A soundness violation is exactly the moment the flight
+        # recorder exists for: dump the recent-history ring before the
+        # raise unwinds the engine, so the evidence survives even when
+        # tracing is off.
+        _flight.flight_dump(f"soundness-{digest}")
         raise SoundnessViolation(
             f"portfolio members disagree on query {digest}: "
             + ", ".join(f"{label}={verdict}"

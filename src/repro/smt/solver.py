@@ -24,6 +24,7 @@ import time
 import warnings
 
 from repro.obs import trace as _obs
+from repro.obs.metrics import METRICS as _METRICS
 from repro.runtime import faults as _faults
 from repro.runtime.reasons import normalize_reason
 from repro.smt.aig import FALSE_LIT, TRUE_LIT
@@ -307,12 +308,20 @@ class Solver:
         carrying the query kind (the enclosing span), clause/variable
         counts, conflicts consumed, the verdict, wall time, the backend
         that actually served the query, and the owning span id, so a run
-        is fully reconstructible post-hoc.  With no tracer (the default)
-        this wrapper costs one global read.
+        is fully reconstructible post-hoc.  Wall time is always charged
+        to the ``solver.check`` latency histogram in
+        :data:`repro.obs.metrics.METRICS`; with no tracer (the default)
+        that plus one global read is the whole wrapper cost.
         """
         tracer = _obs.active_tracer()
         if tracer is None:
-            return self._check(max_conflicts, timeout, budget, assumptions)
+            started = time.monotonic()
+            try:
+                return self._check(max_conflicts, timeout, budget,
+                                   assumptions)
+            finally:
+                _METRICS.observe("solver.check",
+                                 time.monotonic() - started)
         started = time.monotonic()
         conflicts_before = self.conflicts
         verdict = None
@@ -321,6 +330,7 @@ class Solver:
                                   assumptions)
             return verdict
         finally:
+            _METRICS.observe("solver.check", time.monotonic() - started)
             if verdict is None:
                 result, reason = "raised", ""
             else:

@@ -34,6 +34,7 @@ timeout rows reproduce faithfully, and every UNKNOWN is typed:
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 from repro.obs import trace as _obs
@@ -298,7 +299,9 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
     for _ in range(max_iterations):
         stats.iterations += 1
         _METRICS.inc("cegis.iterations")
-        with _obs.span("cegis.iteration", n=stats.iterations):
+        iteration_started = time.monotonic()
+        with _iteration_timer(iteration_started), \
+                _obs.span("cegis.iteration", n=stats.iterations):
             # -- verify -----------------------------------------------------
             verdict, verifier = verify_candidate(candidate)
             if verdict is UNSAT:
@@ -343,6 +346,16 @@ def _cegis_loop(formula, hole_vars, max_iterations, stats, initial_candidate,
         f"CEGIS did not converge within {max_iterations} iterations",
         reason="iterations",
     )
+
+
+@contextlib.contextmanager
+def _iteration_timer(started):
+    # Charges the iteration's wall time to the process-wide latency
+    # histogram even when the body returns or raises out of the loop.
+    try:
+        yield
+    finally:
+        _METRICS.observe("cegis.iteration", time.monotonic() - started)
 
 
 def _record_counterexample(values, forall_vars, stats):

@@ -414,14 +414,17 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
     )
     # Dispatch threads start with empty span stacks; pinning the parent
     # explicitly keeps their spans attached to the run instead of orphaned.
+    # The trace context is thread-local too, so it is captured here and
+    # re-entered inside each dispatch thread the same way.
     parent_span = _obs.current_span_id()
+    trace_ctx = _obs.current_trace_id()
     try:
         futures = {}
         for index, instruction in pending:
             future = executor.submit(
                 _solve_one, problem, instruction, index, budget,
                 retry_policy, max_iterations, partial_eval, config,
-                parent_span,
+                parent_span, trace_ctx,
             )
             futures[future] = instruction
         for future in as_completed(futures):
@@ -461,12 +464,14 @@ def _solve_concurrently(problem, solved, faults, budget, retry_policy,
 
 
 def _solve_one(problem, instruction, index, budget, retry_policy,
-               max_iterations, partial_eval, config, span_parent=None):
+               max_iterations, partial_eval, config, span_parent=None,
+               trace_ctx=None):
     # incremental_ctx stays None here: each dispatch thread gets its own
     # context inside cegis_solve (an IncrementalContext is serial), while
     # the precompiled TraceEntry is still shared read-only.
-    with _obs.span("synthesis.dispatch", span_parent=span_parent,
-                   instr=instruction.name):
+    with _obs.trace_context(trace_ctx), \
+            _obs.span("synthesis.dispatch", span_parent=span_parent,
+                      instr=instruction.name):
         budget.check()
         return synthesize_instruction(
             problem, instruction, index, budget=budget.child(),

@@ -3,6 +3,7 @@
 import threading
 
 from repro.obs import METRICS, MetricsRegistry
+from repro.obs.metrics import LATENCY_BOUNDS
 from repro.smt.counters import COUNTERS
 
 
@@ -65,3 +66,78 @@ def test_global_registry_reset_is_test_hygiene_only():
     before = METRICS.get("obs.test.probe")
     METRICS.inc("obs.test.probe")
     assert METRICS.get("obs.test.probe") == before + 1
+
+
+def test_histogram_observe_summary_and_snapshot_key():
+    registry = MetricsRegistry()
+    for value in (0.0005, 0.003, 0.003, 0.2, 400.0):
+        registry.observe("solver.check", value)
+    summary = registry.histogram("solver.check")
+    assert summary["count"] == 5
+    assert summary["min"] == 0.0005
+    assert summary["max"] == 400.0
+    assert abs(summary["sum"] - 400.2065) < 1e-9
+    # p50 of [0.0005, 0.003, 0.003, 0.2, 400] sits in the 0.005 bucket
+    # (upper-bound estimate); p99 lands in the overflow bucket, which
+    # reports the last finite bound.
+    assert summary["p50"] == 0.005
+    assert summary["p99"] == LATENCY_BOUNDS[-1]
+    # Every observation is in exactly one bucket (overflow included).
+    assert sum(summary["buckets"]) == 5
+    assert summary["buckets"][-1] == 1  # the 400s outlier
+    # The snapshot exposes the same summary under the hist. prefix, and
+    # every non-hist value stays an int (delta arithmetic relies on it).
+    snap = registry.snapshot()
+    assert snap["hist.solver.check"]["count"] == 5
+    assert all(isinstance(v, int) for k, v in snap.items()
+               if not k.startswith("hist."))
+
+
+def test_histogram_delta_since_subtracts_buckets():
+    registry = MetricsRegistry()
+    registry.observe("cegis.iteration", 0.02)
+    before = registry.snapshot()
+    registry.observe("cegis.iteration", 0.02)
+    registry.observe("cegis.iteration", 3.0)
+    delta = registry.delta_since(before)["hist.cegis.iteration"]
+    assert delta["count"] == 2
+    assert sum(delta["buckets"]) == 2
+    assert abs(delta["sum"] - 3.02) < 1e-9
+    # Percentiles are recomputed from the *delta* buckets: the median of
+    # the two new observations, not of all three.
+    assert delta["p50"] == 0.025
+    assert delta["p90"] == 5.0
+
+
+def test_histogram_born_after_snapshot_appears_whole():
+    registry = MetricsRegistry()
+    before = registry.snapshot()
+    registry.observe("born.later", 0.1)
+    delta = registry.delta_since(before)["hist.born.later"]
+    assert delta["count"] == 1
+    assert delta["p50"] == 0.1
+
+
+def test_histogram_concurrent_observe_merges_exactly():
+    registry = MetricsRegistry()
+    registry.observe("contended.lat", 0.004)
+    before = registry.snapshot()
+
+    def hammer(value):
+        for _ in range(1000):
+            registry.observe("contended.lat", value)
+
+    threads = [threading.Thread(target=hammer, args=(v,))
+               for v in (0.002, 0.02, 0.2, 2.0)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    delta = registry.delta_since(before)["hist.contended.lat"]
+    assert delta["count"] == 4000
+    assert sum(delta["buckets"]) == 4000
+    # Each thread's 1000 observations land whole in their own bucket —
+    # no lost updates, and the pre-snapshot observation is subtracted out.
+    populated = sorted(n for n in delta["buckets"] if n)
+    assert populated == [1000, 1000, 1000, 1000]
+    assert abs(delta["sum"] - 1000 * (0.002 + 0.02 + 0.2 + 2.0)) < 1e-6

@@ -323,6 +323,27 @@ def test_incremental_subprocess_happy_path_and_assumptions():
         solver.backend.close()
 
 
+def test_incremental_subprocess_echoes_trace_context():
+    from repro.obs import new_trace_id, trace_context
+
+    solver = _incremental_solver()
+    backend = solver.backend
+    tid = new_trace_id()
+    try:
+        x = _sat_query(solver)
+        with trace_context(tid):
+            assert solver.check() is SAT
+        # The child echoed the shipped context on its result line: the
+        # persistent subprocess's work is attributable to the submitter.
+        assert backend.last_wire_ctx == tid
+        assert solver.model().value(x) == 9
+        # Outside any context the parent clears the child's token.
+        assert solver.check() is SAT
+        assert backend.last_wire_ctx is None
+    finally:
+        backend.close()
+
+
 def test_incremental_subprocess_crash_is_contained_and_replayed():
     solver = _incremental_solver()
     backend = solver.backend
